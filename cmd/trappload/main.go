@@ -1,0 +1,88 @@
+// Command trappload generates the experiment workloads as CSV for external
+// analysis or plotting.
+//
+// Usage:
+//
+//	trappload -kind stocks  [-n 90]  [-seed ...]   # day-range quotes
+//	trappload -kind network [-nodes 50] [-links 200] [-steps 100] [-seed ...]
+//
+// The stocks output has one row per synthetic stock (symbol, low, high,
+// close, cost) — the input of the Figure 5/6 experiments. The network
+// output has one row per link per step (step, key, from, to, latency,
+// bandwidth, traffic, cost).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"trapp/internal/experiment"
+	"trapp/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "stocks", "workload kind: stocks or network")
+	n := flag.Int("n", 90, "number of stocks")
+	nodes := flag.Int("nodes", 50, "network nodes")
+	links := flag.Int("links", 200, "network links")
+	steps := flag.Int("steps", 100, "network update rounds")
+	seed := flag.Int64("seed", experiment.DefaultSeed, "generator seed")
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *kind {
+	case "stocks":
+		writeStocks(w, *n, *seed)
+	case "network":
+		if err := writeNetwork(w, *nodes, *links, *steps, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func writeStocks(w *csv.Writer, n int, seed int64) {
+	_ = w.Write([]string{"symbol", "low", "high", "close", "cost"})
+	for _, q := range workload.StockDay(n, seed) {
+		_ = w.Write([]string{
+			strconv.Itoa(q.Symbol),
+			fmt.Sprintf("%.4f", q.Low),
+			fmt.Sprintf("%.4f", q.High),
+			fmt.Sprintf("%.4f", q.Close),
+			fmt.Sprintf("%.0f", q.Cost),
+		})
+	}
+}
+
+func writeNetwork(w *csv.Writer, nodes, links, steps int, seed int64) error {
+	net, err := workload.NewNetwork(nodes, links, seed)
+	if err != nil {
+		return err
+	}
+	_ = w.Write([]string{"step", "key", "from", "to", "latency", "bandwidth", "traffic", "cost"})
+	for s := 0; s < steps; s++ {
+		for _, l := range net.Links {
+			v := l.Values()
+			_ = w.Write([]string{
+				strconv.Itoa(s),
+				strconv.FormatInt(l.Key, 10),
+				strconv.Itoa(l.From),
+				strconv.Itoa(l.To),
+				fmt.Sprintf("%.4f", v[0]),
+				fmt.Sprintf("%.4f", v[1]),
+				fmt.Sprintf("%.4f", v[2]),
+				fmt.Sprintf("%.0f", l.Cost),
+			})
+		}
+		net.Step()
+	}
+	return nil
+}

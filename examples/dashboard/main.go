@@ -1,0 +1,98 @@
+// Command dashboard exercises the repository's section 8 extensions on
+// the network monitoring scenario: a per-node GROUP BY report, a relative
+// (percentage) precision constraint, an iterative (online) execution, and
+// a bounded MEDIAN — all over the paper's Figure 2 data.
+//
+// Run with:
+//
+//	go run ./examples/dashboard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trapp"
+	"trapp/internal/quantile"
+	"trapp/internal/workload"
+)
+
+func main() {
+	fmt.Println("TRAPP dashboard — §8 extensions over the Figure 2 network")
+	fmt.Println()
+
+	schemas := map[string]*trapp.Schema{"links": workload.LinkSchema()}
+	master := workload.MapOracle(workload.Figure2Master())
+
+	// 1. GROUP BY: exact per-source-node latency totals.
+	{
+		proc := trapp.NewProcessor(trapp.Options{})
+		proc.Register("links", workload.Figure2Table(), master)
+		q, err := trapp.ParseQueryWith(
+			"SELECT SUM(latency) WITHIN 0 FROM links GROUP BY from", schemas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := proc.ExecuteGroupBy(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("per-node outgoing latency (GROUP BY from, WITHIN 0):")
+		for _, row := range rows {
+			fmt.Printf("  node %.0f: %v (cost %.0f)\n",
+				row.Key[0], row.Result.Answer, row.Result.RefreshCost)
+		}
+		fmt.Println()
+	}
+
+	// 2. Relative constraint: total traffic within 2%.
+	{
+		proc := trapp.NewProcessor(trapp.Options{})
+		proc.Register("links", workload.Figure2Table(), master)
+		q, err := trapp.ParseQueryWith(
+			"SELECT SUM(traffic) WITHIN 2% FROM links", schemas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := proc.Execute(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("total traffic WITHIN 2%%: %v (width %.1f, refreshed %d, cost %.0f)\n\n",
+			res.Answer, res.Answer.Width(), res.Refreshed, res.RefreshCost)
+	}
+
+	// 3. Iterative execution: same query as the paper's Q2, paying
+	// refreshes one at a time and stopping early.
+	{
+		proc := trapp.NewProcessor(trapp.Options{})
+		table := workload.Figure2Table()
+		table.Delete(3)
+		table.Delete(4)
+		proc.Register("links", table, master)
+		q, err := trapp.ParseQueryWith(
+			"SELECT SUM(latency) WITHIN 5 FROM links", schemas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := proc.ExecuteIterative(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q2 iterative: %v after %d single-tuple rounds (cost %.0f; batch pays 5)\n\n",
+			res.Answer, res.Refreshed, res.RefreshCost)
+	}
+
+	// 4. Bounded MEDIAN with a precision constraint.
+	{
+		table := workload.Figure2Table()
+		lat := table.Schema().MustLookup(workload.ColLatency)
+		initial := quantile.Median(table, lat)
+		res, err := quantile.ExecuteMedian(table, lat, 1, master)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("median latency: cached %v → WITHIN 1 gives %v (refreshed %d, cost %.0f)\n",
+			initial, res.Answer, res.Refreshed, res.RefreshCost)
+	}
+}

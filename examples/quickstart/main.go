@@ -1,0 +1,80 @@
+// Command quickstart is the smallest complete TRAPP program: one source,
+// one cache, three replicated temperature sensors, and a single bounded
+// query with a precision constraint.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trapp"
+)
+
+func main() {
+	// A TRAPP system bundles sources, caches, a logical clock, and the
+	// query processor.
+	sys := trapp.NewSystem(trapp.Options{})
+
+	// The source owns the master copies: three sensors reporting degrees
+	// Celsius, each with a refresh cost (e.g. radio wake-up cost).
+	src, err := sys.AddSource("sensors", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	temps := []float64{21.5, 19.0, 23.4}
+	for i, v := range temps {
+		// The adaptive width policy (paper Appendix A) widens bounds when
+		// values escape and narrows them when queries pay for refreshes.
+		if err := src.AddObject(int64(i+1), []float64{v}, float64(i+1), trapp.NewAdaptiveWidth(0.5)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The cache replicates the sensors as a table: an exact id column and
+	// a bounded temperature column.
+	schema := trapp.NewSchema(
+		trapp.Column{Name: "id", Kind: trapp.Exact},
+		trapp.Column{Name: "celsius", Kind: trapp.Bounded},
+	)
+	cache, err := sys.AddCache("station", schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range temps {
+		if err := cache.Subscribe(src, int64(i+1), []float64{float64(i + 1)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Mount("readings", cache); err != nil {
+		log.Fatal(err)
+	}
+
+	// Time passes; cached bounds grow like sqrt(elapsed); master values
+	// drift.
+	sys.Clock.Advance(100)
+	if err := src.SetValue(2, []float64{19.8}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Ask for the average temperature to within 2 degrees. TRAPP combines
+	// cached bounds with the cheapest refreshes needed to guarantee the
+	// answer interval is no wider than 2.
+	q, err := trapp.ParseQuery("SELECT AVG(celsius) WITHIN 2 FROM readings", sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Execute(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query:            %s\n", q)
+	fmt.Printf("initial bound:    %v (width %.2f, from cache only)\n", res.Initial, res.Initial.Width())
+	fmt.Printf("final answer:     %v (width %.2f <= 2 guaranteed)\n", res.Answer, res.Answer.Width())
+	fmt.Printf("tuples refreshed: %d (cost %.1f)\n", res.Refreshed, res.RefreshCost)
+	fmt.Printf("network traffic:  %+v\n", sys.Stats().Messages)
+}

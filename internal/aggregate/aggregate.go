@@ -1,0 +1,423 @@
+// Package aggregate computes bounded answers to the five standard
+// relational aggregation functions over bounded data, with and without
+// selection predicates (paper sections 5 and 6, Appendices C and E).
+//
+// A bounded answer is an interval [LA, HA] guaranteed to contain the
+// precise answer that would be obtained from the master values, for every
+// possible assignment of master values inside the cached bounds. The
+// precision of the answer is its width HA − LA.
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"trapp/internal/interval"
+	"trapp/internal/predicate"
+	"trapp/internal/relation"
+)
+
+// Func identifies an aggregation function.
+type Func int8
+
+const (
+	// Min is the MIN aggregate.
+	Min Func = iota
+	// Max is the MAX aggregate.
+	Max
+	// Sum is the SUM aggregate.
+	Sum
+	// Count is the COUNT aggregate.
+	Count
+	// Avg is the AVG aggregate.
+	Avg
+)
+
+// String returns the SQL name of the aggregate.
+func (f Func) String() string {
+	switch f {
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	default:
+		return "AVG"
+	}
+}
+
+// ParseFunc parses a SQL aggregate name (upper case) into a Func.
+func ParseFunc(name string) (Func, error) {
+	switch name {
+	case "MIN":
+		return Min, nil
+	case "MAX":
+		return Max, nil
+	case "SUM":
+		return Sum, nil
+	case "COUNT":
+		return Count, nil
+	case "AVG":
+		return Avg, nil
+	default:
+		return 0, fmt.Errorf("aggregate: unknown function %q", name)
+	}
+}
+
+// Input is the per-tuple view consumed by bounded-answer computation and
+// by the CHOOSE_REFRESH algorithms: the tuple's (possibly shrunk) bound on
+// the aggregation column, its refresh cost, its predicate classification,
+// and its index in the table.
+type Input struct {
+	// Index is the tuple's position in the table.
+	Index int
+	// Key is the tuple's object key.
+	Key int64
+	// Bound is the tuple's bound on the aggregation column, after the
+	// Appendix D shrinking refinement when applicable.
+	Bound interval.Interval
+	// Cost is the tuple's refresh cost.
+	Cost float64
+	// Class is Plus (T+) or Maybe (T?); Minus tuples are omitted.
+	Class predicate.Class
+}
+
+// Collect classifies the table's tuples against the predicate and returns
+// the T+ and T? tuples' inputs for aggregation over column col. T− tuples
+// are omitted: they contribute to no aggregate. When shrink is true the
+// Appendix D refinement is applied: T? bounds are intersected with the
+// predicate's restriction on the aggregation column. Tuples whose shrunk
+// bound would be empty are reclassified as T− (their bound cannot satisfy
+// the predicate's restriction on the aggregation column).
+func Collect(t *relation.Table, col int, p predicate.Expr, shrink bool) []Input {
+	trivial := predicate.IsTrivial(p)
+	var restr interval.Interval
+	if shrink && !trivial {
+		restr = predicate.Restriction(p, col)
+	} else {
+		restr = interval.Unbounded
+	}
+	inputs := make([]Input, 0, t.Len())
+	for i := range t.Tuples() {
+		tu := t.At(i)
+		cls := predicate.Plus
+		if !trivial {
+			cls = predicate.ClassifyTuple(p, tu)
+		}
+		if cls == predicate.Minus {
+			continue
+		}
+		b := tu.Bounds[col]
+		if cls == predicate.Maybe {
+			s := b.Intersect(restr)
+			if s.IsEmpty() {
+				continue // cannot satisfy the restriction: effectively T−
+			}
+			b = s
+		}
+		inputs = append(inputs, Input{
+			Index: i,
+			Key:   tu.Key,
+			Bound: b,
+			Cost:  tu.Cost,
+			Class: cls,
+		})
+	}
+	return inputs
+}
+
+// Eval computes the bounded answer for the aggregate over column col of
+// table t under predicate p (TruePred or nil for no predicate). For AVG
+// with a predicate the tight O(n log n) bound of Appendix E is used; see
+// EvalLooseAvg for the linear-time loose variant.
+//
+// Conventions for empty inputs follow the paper's min(∅) = +∞ /
+// max(∅) = −∞: MIN/MAX/AVG over a certainly empty selection return
+// interval.Empty; SUM returns [0, 0]; COUNT returns [0, 0].
+func Eval(t *relation.Table, col int, fn Func, p predicate.Expr) interval.Interval {
+	inputs := Collect(t, col, p, true)
+	return EvalInputs(inputs, fn, predicate.IsTrivial(p), t.Len())
+}
+
+// EvalInputs computes the bounded answer from pre-collected inputs.
+// noPredicate selects the section 5 formulas (all tuples count as T+);
+// tableLen is the full table cardinality, needed by COUNT without a
+// predicate.
+func EvalInputs(inputs []Input, fn Func, noPredicate bool, tableLen int) interval.Interval {
+	switch fn {
+	case Min:
+		return evalMin(inputs)
+	case Max:
+		return evalMax(inputs)
+	case Sum:
+		return evalSum(inputs, noPredicate)
+	case Count:
+		return evalCount(inputs, noPredicate, tableLen)
+	case Avg:
+		return evalAvgTight(inputs)
+	default:
+		panic(fmt.Sprintf("aggregate: unknown func %d", fn))
+	}
+}
+
+// evalMin implements sections 5.1 and 6.1:
+// [min over T+∪T? of L, min over T+ of H]. Without a predicate every tuple
+// is T+ so both reductions range over all tuples. An empty T+ leaves the
+// answer unbounded above (+∞); empty input yields Empty.
+func evalMin(inputs []Input) interval.Interval {
+	lo, hi := interval.Empty, interval.Empty
+	for _, in := range inputs {
+		if lo.IsEmpty() || in.Bound.Lo < lo.Lo {
+			lo = interval.Point(in.Bound.Lo)
+		}
+		if in.Class == predicate.Plus {
+			if hi.IsEmpty() || in.Bound.Hi < hi.Lo {
+				hi = interval.Point(in.Bound.Hi)
+			}
+		}
+	}
+	if lo.IsEmpty() {
+		return interval.Empty
+	}
+	if hi.IsEmpty() {
+		return interval.Interval{Lo: lo.Lo, Hi: interval.Unbounded.Hi}
+	}
+	return interval.Interval{Lo: lo.Lo, Hi: hi.Lo}
+}
+
+// evalMax implements the symmetric Appendix C formulas:
+// [max over T+ of L, max over T+∪T? of H].
+func evalMax(inputs []Input) interval.Interval {
+	lo, hi := interval.Empty, interval.Empty
+	for _, in := range inputs {
+		if hi.IsEmpty() || in.Bound.Hi > hi.Lo {
+			hi = interval.Point(in.Bound.Hi)
+		}
+		if in.Class == predicate.Plus {
+			if lo.IsEmpty() || in.Bound.Lo > lo.Lo {
+				lo = interval.Point(in.Bound.Lo)
+			}
+		}
+	}
+	if hi.IsEmpty() {
+		return interval.Empty
+	}
+	if lo.IsEmpty() {
+		return interval.Interval{Lo: interval.Unbounded.Lo, Hi: hi.Lo}
+	}
+	return interval.Interval{Lo: lo.Lo, Hi: hi.Lo}
+}
+
+// evalSum implements sections 5.2 and 6.2. Without a predicate:
+// [ΣL, ΣH]. With one: T+ tuples contribute their full bounds; T? tuples
+// contribute only negative L to the lower bound and only positive H to the
+// upper bound (their bounds are effectively extended to include 0, since
+// they may contribute nothing).
+func evalSum(inputs []Input, noPredicate bool) interval.Interval {
+	var lo, hi float64
+	for _, in := range inputs {
+		if noPredicate || in.Class == predicate.Plus {
+			lo += in.Bound.Lo
+			hi += in.Bound.Hi
+			continue
+		}
+		if in.Bound.Lo < 0 {
+			lo += in.Bound.Lo
+		}
+		if in.Bound.Hi > 0 {
+			hi += in.Bound.Hi
+		}
+	}
+	return interval.Interval{Lo: lo, Hi: hi}
+}
+
+// evalCount implements sections 5.3 and 6.3. Without a predicate the
+// cached cardinality is exact. With one: [|T+|, |T+| + |T?|].
+func evalCount(inputs []Input, noPredicate bool, tableLen int) interval.Interval {
+	if noPredicate {
+		return interval.Point(float64(tableLen))
+	}
+	plus, maybe := 0, 0
+	for _, in := range inputs {
+		if in.Class == predicate.Plus {
+			plus++
+		} else {
+			maybe++
+		}
+	}
+	return interval.Interval{Lo: float64(plus), Hi: float64(plus + maybe)}
+}
+
+// evalAvgTight implements the Appendix E tight bound for AVG.
+//
+// Lower endpoint: start from the average of the T+ tuples' lower endpoints
+// and fold in T? lower endpoints in increasing order while each further
+// endpoint decreases the running average. The upper endpoint is symmetric
+// with upper endpoints in decreasing order. When T+ is empty the running
+// average starts from the first T? endpoint (an AVG over a possibly empty
+// selection is only defined when at least one tuple contributes; the bound
+// covers every nonempty subset). Without a predicate every tuple is T+ and
+// the result reduces to [mean of L, mean of H].
+func evalAvgTight(inputs []Input) interval.Interval {
+	if len(inputs) == 0 {
+		return interval.Empty
+	}
+	var sl, sh float64
+	k := 0
+	var maybes []Input
+	for _, in := range inputs {
+		if in.Class == predicate.Plus {
+			sl += in.Bound.Lo
+			sh += in.Bound.Hi
+			k++
+		} else {
+			maybes = append(maybes, in)
+		}
+	}
+	lo := foldAvg(sl, k, maybes, func(in Input) float64 { return in.Bound.Lo }, true)
+	hi := foldAvg(sh, k, maybes, func(in Input) float64 { return in.Bound.Hi }, false)
+	return interval.Interval{Lo: lo, Hi: hi}
+}
+
+// foldAvg performs the Appendix E prefix-averaging fold. s and k are the
+// T+ seed sum and count; endpoint extracts the relevant endpoint from a T?
+// tuple; minimize selects whether endpoints are folded in increasing order
+// to minimize the average (lower bound) or decreasing order to maximize it
+// (upper bound).
+func foldAvg(s float64, k int, maybes []Input, endpoint func(Input) float64, minimize bool) float64 {
+	vals := make([]float64, len(maybes))
+	for i, in := range maybes {
+		vals[i] = endpoint(in)
+	}
+	sort.Float64s(vals)
+	if !minimize {
+		for i, j := 0, len(vals)-1; i < j; i, j = i+1, j-1 {
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+	}
+	i := 0
+	if k == 0 {
+		// Empty T+: seed with the extreme T? endpoint.
+		s, k, i = vals[0], 1, 1
+	}
+	for ; i < len(vals); i++ {
+		avg := s / float64(k)
+		if minimize {
+			if vals[i] >= avg {
+				break
+			}
+		} else {
+			if vals[i] <= avg {
+				break
+			}
+		}
+		s += vals[i]
+		k++
+	}
+	return s / float64(k)
+}
+
+// EvalLooseAvg computes the linear-time loose AVG bound of section 6.4.1:
+// divide the SUM bound endpoints by the COUNT bound endpoints and take the
+// widest combination. When the count lower bound is zero (possibly empty
+// selection) the division degenerates, so the bound falls back to
+// [min of L, max of H] over contributing tuples — sound because an average
+// always lies between the minimum and maximum element.
+func EvalLooseAvg(t *relation.Table, col int, p predicate.Expr) interval.Interval {
+	inputs := Collect(t, col, p, true)
+	return EvalLooseAvgInputs(inputs, predicate.IsTrivial(p), t.Len())
+}
+
+// EvalLooseAvgInputs is EvalLooseAvg over pre-collected inputs.
+func EvalLooseAvgInputs(inputs []Input, noPredicate bool, tableLen int) interval.Interval {
+	if len(inputs) == 0 {
+		return interval.Empty
+	}
+	sum := evalSum(inputs, noPredicate)
+	cnt := evalCount(inputs, noPredicate, tableLen)
+	if cnt.Lo <= 0 {
+		lo, hi := interval.Empty, interval.Empty
+		for _, in := range inputs {
+			lo = lo.Min(interval.Point(in.Bound.Lo))
+			hi = hi.Max(interval.Point(in.Bound.Hi))
+		}
+		return interval.Interval{Lo: lo.Lo, Hi: hi.Hi}
+	}
+	la := sum.Lo / cnt.Hi
+	if v := sum.Lo / cnt.Lo; v < la {
+		la = v
+	}
+	ha := sum.Hi / cnt.Lo
+	if v := sum.Hi / cnt.Hi; v > ha {
+		ha = v
+	}
+	return interval.Interval{Lo: la, Hi: ha}
+}
+
+// Exact computes the precise aggregate from master values, the ground
+// truth used by tests and by precise-mode baselines. The master map holds,
+// for each tuple key, exact values for the table's bounded columns in
+// schema order; exact columns take their cached point values. ok is false
+// when the aggregate is undefined (MIN/MAX/AVG over an empty selection).
+func Exact(t *relation.Table, col int, fn Func, p predicate.Expr, master map[int64][]float64) (result float64, ok bool) {
+	schema := t.Schema()
+	bcols := schema.BoundedColumns()
+	bpos := make(map[int]int, len(bcols))
+	for j, c := range bcols {
+		bpos[c] = j
+	}
+	var vals []float64
+	count := 0
+	var sum float64
+	best := 0.0
+	haveBest := false
+	for i := range t.Tuples() {
+		tu := t.At(i)
+		mv := master[tu.Key]
+		if vals == nil {
+			vals = make([]float64, schema.NumColumns())
+		}
+		for c := 0; c < schema.NumColumns(); c++ {
+			if j, isBounded := bpos[c]; isBounded {
+				vals[c] = mv[j]
+			} else {
+				vals[c] = tu.Bounds[c].Lo
+			}
+		}
+		if p != nil && !p.EvalExact(vals) {
+			continue
+		}
+		v := vals[col]
+		count++
+		sum += v
+		switch fn {
+		case Min:
+			if !haveBest || v < best {
+				best, haveBest = v, true
+			}
+		case Max:
+			if !haveBest || v > best {
+				best, haveBest = v, true
+			}
+		}
+	}
+	switch fn {
+	case Count:
+		return float64(count), true
+	case Sum:
+		return sum, true
+	case Avg:
+		if count == 0 {
+			return 0, false
+		}
+		return sum / float64(count), true
+	default: // Min, Max
+		if !haveBest {
+			return 0, false
+		}
+		return best, true
+	}
+}

@@ -1,0 +1,254 @@
+// Package boundfn implements the time-varying bound functions that TRAPP
+// sources attach to refreshed values (paper section 3.2 and Appendix A).
+//
+// At refresh time Tr a source sends the current master value V(Tr) together
+// with a bound whose endpoints are functions of time:
+//
+//	L(T) = V(Tr) − W·f(T−Tr)
+//	H(T) = V(Tr) + W·f(T−Tr)
+//
+// where f is a monotonically increasing shape with f(0) = 0 and W ≥ 0 is a
+// per-object width parameter chosen at run time. At refresh time the bound
+// has zero width and both endpoints equal the refreshed value; as time
+// advances the endpoints diverge so the bound keeps containing the master
+// value with high probability. In the absence of information about update
+// behaviour, a random-walk argument (Appendix A) yields f(T) = √T, which is
+// the package default.
+//
+// The package also provides the adaptive width controller sketched in
+// Appendix A: the width parameter W is increased every time a
+// value-initiated refresh occurs (the bound proved too narrow) and decreased
+// every time a query-initiated refresh occurs (the bound proved too wide).
+package boundfn
+
+import (
+	"fmt"
+	"math"
+
+	"trapp/internal/interval"
+)
+
+// Shape is a monotonically increasing bound-growth shape with Shape(0) = 0.
+// Elapsed time is measured in abstract ticks; negative elapsed time is
+// treated as zero so a bound evaluated "before" its refresh is a point.
+type Shape interface {
+	// Eval returns the shape value at elapsed time dt ≥ 0.
+	Eval(dt float64) float64
+	// Name identifies the shape in reports.
+	Name() string
+}
+
+// SqrtShape is the paper's default √T shape, derived from modelling the
+// data value as a one-dimensional random walk: after T steps the walk's
+// standard deviation grows proportionally to √T, so a bound proportional to
+// √T contains the value with fixed probability (Chebyshev's inequality).
+type SqrtShape struct{}
+
+// Eval returns √dt (0 for negative dt).
+func (SqrtShape) Eval(dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return math.Sqrt(dt)
+}
+
+// Name returns "sqrt".
+func (SqrtShape) Name() string { return "sqrt" }
+
+// LinearShape grows the bound linearly with elapsed time, appropriate when
+// the value drifts at a roughly constant rate (e.g. a counter).
+type LinearShape struct{}
+
+// Eval returns dt (0 for negative dt).
+func (LinearShape) Eval(dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return dt
+}
+
+// Name returns "linear".
+func (LinearShape) Name() string { return "linear" }
+
+// ConstantShape yields a fixed-width bound immediately after refresh, the
+// static policy used by Quasi-copies-style systems; included as a baseline
+// for the Appendix A ablation experiment.
+type ConstantShape struct{}
+
+// Eval returns 1 for any positive dt and 0 at dt = 0 (the bound snaps open
+// one tick after refresh).
+func (ConstantShape) Eval(dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return 1
+}
+
+// Name returns "constant".
+func (ConstantShape) Name() string { return "constant" }
+
+// LogShape grows with log(1+dt), for values whose volatility decays; kept
+// for experimentation with specialized update patterns (paper section 8.3).
+type LogShape struct{}
+
+// Eval returns log(1+dt) (0 for negative dt).
+func (LogShape) Eval(dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return math.Log1p(dt)
+}
+
+// Name returns "log".
+func (LogShape) Name() string { return "log" }
+
+// Bound is an instantiated pair of bound functions for one data object: the
+// value and width transmitted at refresh time plus the shape. A Bound can
+// be encoded in two numbers (V and W) plus the refresh time, exactly the
+// compressed representation discussed in Appendix A.
+type Bound struct {
+	// Value is the exact master value V(Tr) sent at refresh time.
+	Value float64
+	// Width is the width parameter W ≥ 0.
+	Width float64
+	// RefreshedAt is the refresh time Tr in ticks.
+	RefreshedAt int64
+	// Shape determines how the bound grows; nil means SqrtShape.
+	Shape Shape
+}
+
+// shape returns the configured shape, defaulting to √T.
+func (b Bound) shape() Shape {
+	if b.Shape == nil {
+		return SqrtShape{}
+	}
+	return b.Shape
+}
+
+// At evaluates the bound at time now, returning the interval
+// [V − W·f(now−Tr), V + W·f(now−Tr)].
+func (b Bound) At(now int64) interval.Interval {
+	dt := float64(now - b.RefreshedAt)
+	d := b.Width * b.shape().Eval(dt)
+	return interval.Interval{Lo: b.Value - d, Hi: b.Value + d}
+}
+
+// Contains reports whether value v lies within the bound at time now.
+func (b Bound) Contains(now int64, v float64) bool {
+	return b.At(now).Contains(v)
+}
+
+// String renders the bound for diagnostics.
+func (b Bound) String() string {
+	return fmt.Sprintf("bound{V=%g W=%g Tr=%d shape=%s}", b.Value, b.Width, b.RefreshedAt, b.shape().Name())
+}
+
+// WidthPolicy chooses the width parameter W for the next bound sent by a
+// source, and observes refresh events to adapt.
+type WidthPolicy interface {
+	// NextWidth returns the width parameter for a new bound on the object.
+	NextWidth() float64
+	// ObserveValueRefresh notes that a value-initiated refresh occurred:
+	// the master value escaped the bound, a signal it was too narrow.
+	ObserveValueRefresh()
+	// ObserveQueryRefresh notes that a query-initiated refresh occurred: a
+	// query had to pay to refresh the object, a signal the bound was too
+	// wide.
+	ObserveQueryRefresh()
+}
+
+// StaticWidth is a WidthPolicy that always returns the same width. It is
+// the Quasi-copies-style baseline in which an administrator fixes bounds
+// statically.
+type StaticWidth float64
+
+// NextWidth returns the fixed width.
+func (w StaticWidth) NextWidth() float64 { return float64(w) }
+
+// ObserveValueRefresh is a no-op for the static policy.
+func (StaticWidth) ObserveValueRefresh() {}
+
+// ObserveQueryRefresh is a no-op for the static policy.
+func (StaticWidth) ObserveQueryRefresh() {}
+
+// AdaptiveWidth implements the Appendix A adaptive strategy: start with
+// some width, multiply it by Grow (> 1) after each value-initiated refresh
+// and by Shrink (< 1) after each query-initiated refresh, clamping to
+// [Min, Max]. The controller seeks a middle ground between bounds so wide
+// they are useless to queries and bounds so narrow that value-initiated
+// refreshes fire constantly.
+type AdaptiveWidth struct {
+	// W is the current width parameter.
+	W float64
+	// Grow is the multiplicative increase applied on value-initiated
+	// refreshes; must be > 1. Zero means the default 2.
+	Grow float64
+	// Shrink is the multiplicative decrease applied on query-initiated
+	// refreshes; must be in (0, 1). Zero means the default 0.7.
+	Shrink float64
+	// Min and Max clamp W. Zero Max means no upper clamp; Min defaults to
+	// a small positive floor so the bound never degenerates permanently.
+	Min, Max float64
+
+	valueRefreshes int64
+	queryRefreshes int64
+}
+
+// NewAdaptiveWidth returns an adaptive controller starting at width w with
+// the default gains.
+func NewAdaptiveWidth(w float64) *AdaptiveWidth {
+	return &AdaptiveWidth{W: w}
+}
+
+func (a *AdaptiveWidth) grow() float64 {
+	if a.Grow <= 1 {
+		return 2
+	}
+	return a.Grow
+}
+
+func (a *AdaptiveWidth) shrink() float64 {
+	if a.Shrink <= 0 || a.Shrink >= 1 {
+		return 0.7
+	}
+	return a.Shrink
+}
+
+func (a *AdaptiveWidth) clamp() {
+	min := a.Min
+	if min <= 0 {
+		min = 1e-6
+	}
+	if a.W < min {
+		a.W = min
+	}
+	if a.Max > 0 && a.W > a.Max {
+		a.W = a.Max
+	}
+}
+
+// NextWidth returns the current width parameter.
+func (a *AdaptiveWidth) NextWidth() float64 {
+	a.clamp()
+	return a.W
+}
+
+// ObserveValueRefresh widens the next bound.
+func (a *AdaptiveWidth) ObserveValueRefresh() {
+	a.valueRefreshes++
+	a.W *= a.grow()
+	a.clamp()
+}
+
+// ObserveQueryRefresh narrows the next bound.
+func (a *AdaptiveWidth) ObserveQueryRefresh() {
+	a.queryRefreshes++
+	a.W *= a.shrink()
+	a.clamp()
+}
+
+// Counts returns the number of value- and query-initiated refreshes
+// observed, for the Appendix A experiments.
+func (a *AdaptiveWidth) Counts() (valueRefreshes, queryRefreshes int64) {
+	return a.valueRefreshes, a.queryRefreshes
+}

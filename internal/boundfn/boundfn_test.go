@@ -1,0 +1,237 @@
+package boundfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trapp/internal/interval"
+)
+
+func TestShapesZeroAtOrigin(t *testing.T) {
+	shapes := []Shape{SqrtShape{}, LinearShape{}, ConstantShape{}, LogShape{}}
+	for _, s := range shapes {
+		if got := s.Eval(0); got != 0 {
+			t.Errorf("%s.Eval(0) = %g, want 0", s.Name(), got)
+		}
+		if got := s.Eval(-5); got != 0 {
+			t.Errorf("%s.Eval(-5) = %g, want 0", s.Name(), got)
+		}
+	}
+}
+
+func TestShapesMonotone(t *testing.T) {
+	shapes := []Shape{SqrtShape{}, LinearShape{}, ConstantShape{}, LogShape{}}
+	for _, s := range shapes {
+		prev := 0.0
+		for dt := 1.0; dt <= 1000; dt *= 2 {
+			v := s.Eval(dt)
+			if v < prev {
+				t.Errorf("%s not monotone at dt=%g: %g < %g", s.Name(), dt, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSqrtShapeValues(t *testing.T) {
+	s := SqrtShape{}
+	if got := s.Eval(4); got != 2 {
+		t.Errorf("sqrt(4) = %g", got)
+	}
+	if got := s.Eval(9); got != 3 {
+		t.Errorf("sqrt(9) = %g", got)
+	}
+}
+
+func TestBoundZeroWidthAtRefresh(t *testing.T) {
+	b := Bound{Value: 42, Width: 3, RefreshedAt: 100}
+	iv := b.At(100)
+	if !iv.IsPoint() || iv.Lo != 42 {
+		t.Errorf("bound at refresh time = %v, want [42]", iv)
+	}
+}
+
+func TestBoundGrowth(t *testing.T) {
+	b := Bound{Value: 10, Width: 2, RefreshedAt: 0}
+	iv := b.At(16) // sqrt(16)=4, so ±8
+	want := interval.New(2, 18)
+	if !iv.ApproxEqual(want, 1e-12) {
+		t.Errorf("bound at 16 = %v, want %v", iv, want)
+	}
+}
+
+func TestBoundDefaultShapeIsSqrt(t *testing.T) {
+	b := Bound{Value: 0, Width: 1, RefreshedAt: 0}
+	if got := b.At(25).Hi; math.Abs(got-5) > 1e-12 {
+		t.Errorf("default shape Hi at t=25: %g, want 5", got)
+	}
+}
+
+func TestBoundLinearShape(t *testing.T) {
+	b := Bound{Value: 0, Width: 1, RefreshedAt: 0, Shape: LinearShape{}}
+	if got := b.At(7).Hi; got != 7 {
+		t.Errorf("linear Hi at t=7: %g", got)
+	}
+}
+
+func TestBoundConstantShape(t *testing.T) {
+	b := Bound{Value: 5, Width: 3, RefreshedAt: 0, Shape: ConstantShape{}}
+	if got := b.At(1); !got.Equal(interval.New(2, 8)) {
+		t.Errorf("constant shape at t=1: %v", got)
+	}
+	if got := b.At(1000); !got.Equal(interval.New(2, 8)) {
+		t.Errorf("constant shape at t=1000: %v", got)
+	}
+}
+
+func TestBoundContains(t *testing.T) {
+	b := Bound{Value: 10, Width: 1, RefreshedAt: 0}
+	if !b.Contains(4, 11.5) { // bound is [8, 12]
+		t.Error("Contains(4, 11.5) = false")
+	}
+	if b.Contains(4, 13) {
+		t.Error("Contains(4, 13) = true")
+	}
+}
+
+func TestBoundBeforeRefreshIsPoint(t *testing.T) {
+	b := Bound{Value: 7, Width: 5, RefreshedAt: 50}
+	if got := b.At(10); !got.IsPoint() {
+		t.Errorf("bound before refresh = %v, want point", got)
+	}
+}
+
+func TestStaticWidth(t *testing.T) {
+	var p WidthPolicy = StaticWidth(4)
+	if p.NextWidth() != 4 {
+		t.Error("static width wrong")
+	}
+	p.ObserveValueRefresh()
+	p.ObserveQueryRefresh()
+	if p.NextWidth() != 4 {
+		t.Error("static width changed after observations")
+	}
+}
+
+func TestAdaptiveWidthGrowsOnValueRefresh(t *testing.T) {
+	a := NewAdaptiveWidth(1)
+	a.ObserveValueRefresh()
+	if a.NextWidth() != 2 {
+		t.Errorf("width after value refresh = %g, want 2", a.NextWidth())
+	}
+	a.ObserveValueRefresh()
+	if a.NextWidth() != 4 {
+		t.Errorf("width after two value refreshes = %g, want 4", a.NextWidth())
+	}
+}
+
+func TestAdaptiveWidthShrinksOnQueryRefresh(t *testing.T) {
+	a := NewAdaptiveWidth(10)
+	a.ObserveQueryRefresh()
+	if got := a.NextWidth(); math.Abs(got-7) > 1e-12 {
+		t.Errorf("width after query refresh = %g, want 7", got)
+	}
+}
+
+func TestAdaptiveWidthClamps(t *testing.T) {
+	a := &AdaptiveWidth{W: 1, Min: 0.5, Max: 3}
+	for i := 0; i < 10; i++ {
+		a.ObserveValueRefresh()
+	}
+	if a.NextWidth() != 3 {
+		t.Errorf("width not clamped to Max: %g", a.NextWidth())
+	}
+	for i := 0; i < 50; i++ {
+		a.ObserveQueryRefresh()
+	}
+	if a.NextWidth() != 0.5 {
+		t.Errorf("width not clamped to Min: %g", a.NextWidth())
+	}
+}
+
+func TestAdaptiveWidthCounts(t *testing.T) {
+	a := NewAdaptiveWidth(1)
+	a.ObserveValueRefresh()
+	a.ObserveValueRefresh()
+	a.ObserveQueryRefresh()
+	v, q := a.Counts()
+	if v != 2 || q != 1 {
+		t.Errorf("counts = (%d, %d), want (2, 1)", v, q)
+	}
+}
+
+func TestAdaptiveWidthCustomGains(t *testing.T) {
+	a := &AdaptiveWidth{W: 8, Grow: 1.5, Shrink: 0.5}
+	a.ObserveQueryRefresh()
+	if a.NextWidth() != 4 {
+		t.Errorf("custom shrink: %g, want 4", a.NextWidth())
+	}
+	a.ObserveValueRefresh()
+	if a.NextWidth() != 6 {
+		t.Errorf("custom grow: %g, want 6", a.NextWidth())
+	}
+}
+
+func TestAdaptiveWidthDefaultsOnBadGains(t *testing.T) {
+	a := &AdaptiveWidth{W: 1, Grow: 0.5, Shrink: 5} // invalid, fall back
+	a.ObserveValueRefresh()
+	if a.NextWidth() != 2 {
+		t.Errorf("invalid Grow not defaulted: %g", a.NextWidth())
+	}
+	a.ObserveQueryRefresh()
+	if got := a.NextWidth(); math.Abs(got-1.4) > 1e-12 {
+		t.Errorf("invalid Shrink not defaulted: %g", got)
+	}
+}
+
+// TestQuickBoundAlwaysContainsRefreshValue: at any time at or after refresh,
+// the bound must contain the refreshed value (it only grows outward).
+func TestQuickBoundContainsRefreshValue(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := Bound{
+			Value:       r.Float64()*200 - 100,
+			Width:       r.Float64() * 10,
+			RefreshedAt: int64(r.Intn(1000)),
+		}
+		for i := 0; i < 20; i++ {
+			now := b.RefreshedAt + int64(r.Intn(10000))
+			if !b.Contains(now, b.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBoundWidthMonotone: bound width is non-decreasing in time for
+// every shape.
+func TestQuickBoundWidthMonotone(t *testing.T) {
+	shapes := []Shape{SqrtShape{}, LinearShape{}, ConstantShape{}, LogShape{}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := Bound{
+			Value:       r.Float64() * 100,
+			Width:       r.Float64() * 5,
+			RefreshedAt: 0,
+			Shape:       shapes[r.Intn(len(shapes))],
+		}
+		prev := -1.0
+		for now := int64(0); now < 200; now += int64(1 + r.Intn(20)) {
+			w := b.At(now).Width()
+			if w < prev-1e-12 {
+				return false
+			}
+			prev = w
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package boundfn_test
+
+import (
+	"fmt"
+
+	"trapp/internal/boundfn"
+)
+
+// A source refreshes value 100 at time 0 with width parameter 2; the
+// cached bound grows like ±2·√(elapsed) (paper section 3.2).
+func ExampleBound_At() {
+	b := boundfn.Bound{Value: 100, Width: 2, RefreshedAt: 0}
+	fmt.Println(b.At(0))
+	fmt.Println(b.At(25))
+	fmt.Println(b.At(100))
+	// Output:
+	// [100]
+	// [90, 110]
+	// [80, 120]
+}
+
+// The Appendix A controller widens after escapes and narrows after
+// query-paid refreshes.
+func ExampleAdaptiveWidth() {
+	w := boundfn.NewAdaptiveWidth(1)
+	w.ObserveValueRefresh() // bound was too narrow
+	fmt.Println(w.NextWidth())
+	w.ObserveQueryRefresh() // bound was too wide
+	w.ObserveQueryRefresh()
+	fmt.Printf("%.2f\n", w.NextWidth())
+	// Output:
+	// 2
+	// 0.98
+}

@@ -1,0 +1,231 @@
+// Package cache implements the data-cache side of the TRAPP architecture
+// (paper section 3, Figure 3): a cache stores, for every replicated data
+// object, the time-varying bound functions most recently promised by the
+// object's source, materializes them into a relational table of interval
+// bounds for the query processor, and pulls query-initiated refreshes when
+// a precision constraint demands exact values.
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"trapp/internal/boundfn"
+	"trapp/internal/interval"
+	"trapp/internal/netsim"
+	"trapp/internal/relation"
+	"trapp/internal/source"
+)
+
+// Cache is one data cache holding a single cached table. It implements
+// source.Subscriber (receiving value-initiated refreshes) and the query
+// processor's Oracle (serving query-initiated refreshes). All methods are
+// safe for concurrent use.
+type Cache struct {
+	id    string
+	clock *netsim.Clock
+
+	mu      sync.Mutex
+	table   *relation.Table
+	sources map[int64]*source.Source
+	bounds  map[int64][]boundfn.Bound // per bounded column, schema order
+	watched []*source.Source          // sources watched for membership events
+}
+
+// New creates a cache around an empty table with the given schema.
+func New(id string, clock *netsim.Clock, schema *relation.Schema) *Cache {
+	return &Cache{
+		id:      id,
+		clock:   clock,
+		table:   relation.NewTable(schema),
+		sources: make(map[int64]*source.Source),
+		bounds:  make(map[int64][]boundfn.Bound),
+	}
+}
+
+// ID returns the cache identifier.
+func (c *Cache) ID() string { return c.id }
+
+// Table exposes the cached table for the query processor. Callers must
+// call Sync first so the interval bounds reflect the current time.
+func (c *Cache) Table() *relation.Table { return c.table }
+
+// Subscribe replicates object key from the source into this cache. The
+// exact columns' values are supplied by the caller (they are propagated
+// precisely, like insertions); bounded columns are initialized from the
+// source's first refresh. The tuple's refresh cost is the source's cost
+// for the object.
+func (c *Cache) Subscribe(src *source.Source, key int64, exactVals []float64) error {
+	r, err := src.Subscribe(key, c)
+	if err != nil {
+		return err
+	}
+	cost, _ := src.Cost(key)
+	schema := c.table.Schema()
+	bcols := schema.BoundedColumns()
+	if len(r.Values) != len(bcols) {
+		return fmt.Errorf("cache %s: source sent %d values, schema has %d bounded columns",
+			c.id, len(r.Values), len(bcols))
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	tu := relation.Tuple{
+		Key:      key,
+		Cost:     cost,
+		SourceID: src.ID(),
+		Bounds:   make([]interval.Interval, schema.NumColumns()),
+	}
+	ei, bi := 0, 0
+	for col := 0; col < schema.NumColumns(); col++ {
+		if schema.Column(col).Kind == relation.Exact {
+			if ei >= len(exactVals) {
+				return fmt.Errorf("cache %s: missing exact value for column %q",
+					c.id, schema.Column(col).Name)
+			}
+			tu.Bounds[col] = interval.Point(exactVals[ei])
+			ei++
+		} else {
+			tu.Bounds[col] = r.Bounds[bi].At(now)
+			bi++
+		}
+	}
+	if err := c.table.Insert(tu); err != nil {
+		return err
+	}
+	c.sources[key] = src
+	c.bounds[key] = r.Bounds
+	return nil
+}
+
+// ApplyRefresh installs new bounds for an object; it is invoked by sources
+// for value-initiated refreshes and internally after query-initiated ones.
+func (c *Cache) ApplyRefresh(r source.Refresh) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.applyLocked(r)
+}
+
+func (c *Cache) applyLocked(r source.Refresh) {
+	i := c.table.ByKey(r.Key)
+	if i < 0 {
+		return // object was deleted; stale refresh
+	}
+	c.bounds[r.Key] = r.Bounds
+	now := c.clock.Now()
+	bcols := c.table.Schema().BoundedColumns()
+	for j, col := range bcols {
+		// Best effort: bounds from a source are never empty and exact
+		// columns are not refreshed, so SetBound cannot fail here.
+		_ = c.table.SetBound(i, col, r.Bounds[j].At(now))
+	}
+}
+
+// Sync re-evaluates every cached bound function at the current clock time
+// and writes the resulting intervals into the table. The query processor
+// must call this before computing bounded answers so that the √T growth
+// since the last refresh is reflected.
+func (c *Cache) Sync() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	bcols := c.table.Schema().BoundedColumns()
+	for key, bs := range c.bounds {
+		i := c.table.ByKey(key)
+		if i < 0 {
+			continue
+		}
+		for j, col := range bcols {
+			_ = c.table.SetBound(i, col, bs[j].At(now))
+		}
+	}
+}
+
+// Master implements the query-processor Oracle: it pulls a query-initiated
+// refresh for the object from its source, installs the new bounds, and
+// returns the exact values.
+func (c *Cache) Master(key int64) ([]float64, bool) {
+	c.mu.Lock()
+	src := c.sources[key]
+	c.mu.Unlock()
+	if src == nil {
+		return nil, false
+	}
+	r, err := src.QueryRefresh(key, c)
+	if err != nil {
+		return nil, false
+	}
+	c.ApplyRefresh(r)
+	return r.Values, true
+}
+
+// Drop removes a cached object, modelling a propagated deletion.
+func (c *Cache) Drop(key int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sources, key)
+	delete(c.bounds, key)
+	return c.table.Delete(key)
+}
+
+// WatchSource registers this cache for membership (insert/delete) events
+// of the source, enabling the section 8.3 delayed-propagation mode: the
+// source may defer up to its configured slack of events, and the cache's
+// cardinality answers widen accordingly (see CardinalitySlack).
+func (c *Cache) WatchSource(src *source.Source) {
+	src.Watch(c)
+	c.mu.Lock()
+	c.watched = append(c.watched, src)
+	c.mu.Unlock()
+}
+
+// OnTableEvent implements source.Watcher: insertions subscribe to the new
+// object using the event's metadata as exact column values; deletions
+// drop the cached tuple.
+func (c *Cache) OnTableEvent(src *source.Source, ev source.TableEvent) {
+	if ev.Insert {
+		// A failed subscribe (e.g. concurrent removal) leaves the cache
+		// without the tuple, which the next flush reconciles.
+		_ = c.Subscribe(src, ev.Key, ev.Meta)
+		return
+	}
+	c.Drop(ev.Key)
+}
+
+// CardinalitySlack returns the total propagation slack promised by the
+// cache's watched sources: the cached cardinality may differ from the
+// true master cardinality by at most this many tuples in either
+// direction. Zero when no watched source delays propagation.
+func (c *Cache) CardinalitySlack() int {
+	c.mu.Lock()
+	watched := append([]*source.Source(nil), c.watched...)
+	c.mu.Unlock()
+	total := 0
+	for _, src := range watched {
+		total += src.Slack()
+	}
+	return total
+}
+
+// FlushWatched forces every watched source to propagate its queued
+// membership events, restoring an exact cached cardinality.
+func (c *Cache) FlushWatched() {
+	c.mu.Lock()
+	watched := append([]*source.Source(nil), c.watched...)
+	c.mu.Unlock()
+	for _, src := range watched {
+		src.FlushEvents()
+	}
+}
+
+// Keys returns the cached object keys in table order.
+func (c *Cache) Keys() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int64, 0, c.table.Len())
+	for i := 0; i < c.table.Len(); i++ {
+		out = append(out, c.table.At(i).Key)
+	}
+	return out
+}

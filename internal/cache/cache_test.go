@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"testing"
+
+	"trapp/internal/boundfn"
+	"trapp/internal/netsim"
+	"trapp/internal/source"
+	"trapp/internal/workload"
+)
+
+func newPair(t *testing.T) (*Cache, *source.Source, *netsim.Clock) {
+	t.Helper()
+	clock := netsim.NewClock()
+	net := netsim.NewNetwork()
+	src := source.New("s1", clock, net, nil)
+	c := New("c1", clock, workload.LinkSchema())
+	for _, row := range workload.Figure2() {
+		if err := src.AddObject(row.Key,
+			[]float64{row.LatencyV, row.BandwidthV, row.TrafficV},
+			row.Cost, boundfn.StaticWidth(2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Subscribe(src, row.Key, []float64{float64(row.From), float64(row.To)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, src, clock
+}
+
+func TestSubscribePopulatesTable(t *testing.T) {
+	c, _, _ := newPair(t)
+	tab := c.Table()
+	if tab.Len() != 6 {
+		t.Fatalf("table len = %d", tab.Len())
+	}
+	if c.ID() != "c1" {
+		t.Errorf("ID = %q", c.ID())
+	}
+	tu := tab.At(tab.ByKey(1))
+	// Exact columns.
+	if tu.Bounds[0].Lo != 1 || tu.Bounds[1].Lo != 2 {
+		t.Errorf("exact columns = %v, %v", tu.Bounds[0], tu.Bounds[1])
+	}
+	// Fresh bounds are points at the master values.
+	lat := tab.Schema().MustLookup(workload.ColLatency)
+	if !tu.Bounds[lat].IsPoint() || tu.Bounds[lat].Lo != 3 {
+		t.Errorf("latency bound = %v, want [3]", tu.Bounds[lat])
+	}
+	if tu.Cost != 3 {
+		t.Errorf("cost = %g", tu.Cost)
+	}
+	if tu.SourceID != "s1" {
+		t.Errorf("sourceID = %q", tu.SourceID)
+	}
+}
+
+func TestSyncGrowsBoundsWithTime(t *testing.T) {
+	c, _, clock := newPair(t)
+	tab := c.Table()
+	lat := tab.Schema().MustLookup(workload.ColLatency)
+	clock.Advance(9) // width 2, sqrt(9) = 3 → ±6
+	c.Sync()
+	b := tab.At(tab.ByKey(1)).Bounds[lat]
+	if b.Width() != 12 {
+		t.Errorf("bound width after 9 ticks = %g, want 12", b.Width())
+	}
+	if !b.Contains(3) {
+		t.Errorf("bound %v does not contain master 3", b)
+	}
+}
+
+func TestMasterPullsQueryRefresh(t *testing.T) {
+	c, _, clock := newPair(t)
+	clock.Advance(100)
+	c.Sync()
+	vals, ok := c.Master(1)
+	if !ok {
+		t.Fatal("Master(1) failed")
+	}
+	if vals[0] != 3 || vals[1] != 61 || vals[2] != 98 {
+		t.Errorf("master values = %v", vals)
+	}
+	// After the refresh the cached bound collapses to a point.
+	tab := c.Table()
+	lat := tab.Schema().MustLookup(workload.ColLatency)
+	if b := tab.At(tab.ByKey(1)).Bounds[lat]; !b.IsPoint() {
+		t.Errorf("bound after refresh = %v", b)
+	}
+	if _, ok := c.Master(999); ok {
+		t.Error("Master(999) succeeded")
+	}
+}
+
+func TestValuePushUpdatesCache(t *testing.T) {
+	c, src, clock := newPair(t)
+	clock.Advance(1)
+	// Jump latency of object 1 outside its bound: ±2 around 3 → 100 escapes.
+	if err := src.SetValue(1, []float64{100, 61, 98}); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+	tab := c.Table()
+	lat := tab.Schema().MustLookup(workload.ColLatency)
+	b := tab.At(tab.ByKey(1)).Bounds[lat]
+	if !b.Contains(100) {
+		t.Errorf("cache bound %v does not contain pushed value 100", b)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	c, _, _ := newPair(t)
+	if !c.Drop(1) {
+		t.Fatal("Drop(1) failed")
+	}
+	if c.Table().Len() != 5 {
+		t.Errorf("len after drop = %d", c.Table().Len())
+	}
+	if c.Drop(1) {
+		t.Error("double drop succeeded")
+	}
+	if _, ok := c.Master(1); ok {
+		t.Error("Master of dropped key succeeded")
+	}
+	// A stale refresh for the dropped key is ignored gracefully.
+	c.ApplyRefresh(source.Refresh{Key: 1, Bounds: []boundfn.Bound{{}, {}, {}}})
+}
+
+func TestKeys(t *testing.T) {
+	c, _, _ := newPair(t)
+	keys := c.Keys()
+	if len(keys) != 6 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+// TestInvariantMasterAlwaysInsideBound drives random updates and checks
+// the architecture invariant: after every update + sync, each cached
+// bound contains the current master value (invariant 6 of DESIGN.md).
+func TestInvariantMasterAlwaysInsideBound(t *testing.T) {
+	c, src, clock := newPair(t)
+	tab := c.Table()
+	bcols := tab.Schema().BoundedColumns()
+	vals := map[int64][]float64{}
+	for _, row := range workload.Figure2() {
+		vals[row.Key] = []float64{row.LatencyV, row.BandwidthV, row.TrafficV}
+	}
+	step := func(key int64, delta float64) {
+		v := vals[key]
+		v[0] += delta
+		v[1] -= delta / 2
+		v[2] += delta * 2
+		if err := src.SetValue(key, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deltas := []float64{0.5, -1, 3, -8, 20, -0.1, 50}
+	for i, d := range deltas {
+		clock.Advance(int64(1 + i))
+		for _, row := range workload.Figure2() {
+			step(row.Key, d)
+		}
+		c.Sync()
+		for _, row := range workload.Figure2() {
+			tu := tab.At(tab.ByKey(row.Key))
+			for j, col := range bcols {
+				if !tu.Bounds[col].Contains(vals[row.Key][j]) {
+					t.Fatalf("step %d: key %d col %d bound %v missing master %g",
+						i, row.Key, col, tu.Bounds[col], vals[row.Key][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSubscribeErrors(t *testing.T) {
+	clock := netsim.NewClock()
+	net := netsim.NewNetwork()
+	src := source.New("s1", clock, net, nil)
+	c := New("c1", clock, workload.LinkSchema())
+	// Missing object.
+	if err := c.Subscribe(src, 42, []float64{0, 0}); err == nil {
+		t.Error("subscribe to missing object accepted")
+	}
+	// Wrong bounded-column arity from source.
+	if err := src.AddObject(1, []float64{1, 2}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(src, 1, []float64{0, 0}); err == nil {
+		t.Error("source with 2 values accepted for 3 bounded columns")
+	}
+	// Missing exact values.
+	if err := src.AddObject(2, []float64{1, 2, 3}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(src, 2, []float64{0}); err == nil {
+		t.Error("short exact values accepted")
+	}
+	// Duplicate subscription → duplicate key in table.
+	if err := src.AddObject(3, []float64{1, 2, 3}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(src, 3, []float64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(src, 3, []float64{0, 0}); err == nil {
+		t.Error("duplicate subscription accepted")
+	}
+}

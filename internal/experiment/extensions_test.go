@@ -1,0 +1,51 @@
+package experiment
+
+import "testing"
+
+func TestIterativeVsBatch(t *testing.T) {
+	rows := IterativeVsBatch(90, DefaultSeed)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.IterCost > r.BatchCost+1e-9 {
+			t.Errorf("%v: iterative %g > batch %g", r.Agg, r.IterCost, r.BatchCost)
+		}
+		if r.IterRounds < 0 {
+			t.Errorf("%v: rounds %d", r.Agg, r.IterRounds)
+		}
+	}
+}
+
+func TestIndexSpeedup(t *testing.T) {
+	rows := IndexSpeedup([]int{100, 1000}, DefaultSeed, 20)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ScanTime <= 0 || r.IndexTime <= 0 {
+			t.Errorf("n=%d: non-positive times %v %v", r.N, r.ScanTime, r.IndexTime)
+		}
+	}
+	// At the larger size the index should win (the scan is O(n); the
+	// index probes are near-constant for a small plan).
+	big := rows[len(rows)-1]
+	if big.IndexTime > big.ScanTime {
+		t.Logf("index (%v) did not beat scan (%v) at n=%d — acceptable on noisy machines",
+			big.IndexTime, big.ScanTime, big.N)
+	}
+}
+
+func TestMedians(t *testing.T) {
+	rows := Medians([]float64{20, 10, 5, 1, 0}, 90, DefaultSeed)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Tightening R must not reduce refresh cost.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RefreshCost < rows[i-1].RefreshCost-1e-9 {
+			t.Errorf("R=%g cost %g < R=%g cost %g",
+				rows[i].R, rows[i].RefreshCost, rows[i-1].R, rows[i-1].RefreshCost)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package interval
+
+// Tri is a three-valued logic truth value used to evaluate predicates over
+// bounded data: a comparison between intervals may be certainly true,
+// certainly false, or unknown (true for some contained values and false for
+// others). This is the semantic core of the paper's Possible/Certain
+// predicate transformations (Appendix D).
+type Tri int8
+
+const (
+	// False means the predicate is false for every choice of master values
+	// inside the bounds.
+	False Tri = iota
+	// Unknown means some choices satisfy the predicate and others do not.
+	Unknown
+	// True means the predicate holds for every choice inside the bounds.
+	True
+)
+
+// String returns "false", "unknown", or "true".
+func (t Tri) String() string {
+	switch t {
+	case False:
+		return "false"
+	case True:
+		return "true"
+	default:
+		return "unknown"
+	}
+}
+
+// TriOf converts a Go bool into a definite Tri value.
+func TriOf(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Not returns three-valued negation: ¬True = False, ¬False = True,
+// ¬Unknown = Unknown.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// And returns three-valued conjunction (Kleene logic): False dominates.
+func (t Tri) And(u Tri) Tri {
+	if t == False || u == False {
+		return False
+	}
+	if t == True && u == True {
+		return True
+	}
+	return Unknown
+}
+
+// Or returns three-valued disjunction (Kleene logic): True dominates.
+func (t Tri) Or(u Tri) Tri {
+	if t == True || u == True {
+		return True
+	}
+	if t == False && u == False {
+		return False
+	}
+	return Unknown
+}
+
+// Possible reports whether the value could be true (True or Unknown). A
+// tuple is in T+ ∪ T? exactly when Possible holds for its predicate.
+func (t Tri) Possible() bool { return t != False }
+
+// Certain reports whether the value is definitely true. A tuple is in T+
+// exactly when Certain holds for its predicate.
+func (t Tri) Certain() bool { return t == True }
+
+// CmpLess evaluates x < y over bounded values using the translation rules
+// of the paper's Figure 8:
+//
+//	Certain(x < y)  ⇔  x.Hi < y.Lo
+//	Possible(x < y) ⇔  x.Lo < y.Hi
+func CmpLess(x, y Interval) Tri {
+	if x.IsEmpty() || y.IsEmpty() {
+		return False
+	}
+	if x.Hi < y.Lo {
+		return True
+	}
+	if x.Lo < y.Hi {
+		return Unknown
+	}
+	return False
+}
+
+// CmpLessEq evaluates x <= y over bounded values:
+//
+//	Certain(x ≤ y)  ⇔  x.Hi ≤ y.Lo
+//	Possible(x ≤ y) ⇔  x.Lo ≤ y.Hi
+func CmpLessEq(x, y Interval) Tri {
+	if x.IsEmpty() || y.IsEmpty() {
+		return False
+	}
+	if x.Hi <= y.Lo {
+		return True
+	}
+	if x.Lo <= y.Hi {
+		return Unknown
+	}
+	return False
+}
+
+// CmpGreater evaluates x > y over bounded values (symmetric to CmpLess).
+func CmpGreater(x, y Interval) Tri { return CmpLess(y, x) }
+
+// CmpGreaterEq evaluates x >= y over bounded values.
+func CmpGreaterEq(x, y Interval) Tri { return CmpLessEq(y, x) }
+
+// CmpEq evaluates x = y over bounded values:
+//
+//	Certain(x = y)  ⇔  x.Lo = x.Hi = y.Lo = y.Hi
+//	Possible(x = y) ⇔  the intervals intersect
+func CmpEq(x, y Interval) Tri {
+	if x.IsEmpty() || y.IsEmpty() {
+		return False
+	}
+	if x.IsPoint() && y.IsPoint() && x.Lo == y.Lo {
+		return True
+	}
+	if x.Intersects(y) {
+		return Unknown
+	}
+	return False
+}
+
+// CmpNotEq evaluates x ≠ y over bounded values (negation of CmpEq).
+func CmpNotEq(x, y Interval) Tri { return CmpEq(x, y).Not() }

@@ -1,0 +1,169 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriString(t *testing.T) {
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Error("Tri String wrong")
+	}
+}
+
+func TestTriOf(t *testing.T) {
+	if TriOf(true) != True || TriOf(false) != False {
+		t.Error("TriOf wrong")
+	}
+}
+
+func TestTriLogicTables(t *testing.T) {
+	vals := []Tri{False, Unknown, True}
+	// Kleene AND truth table.
+	andWant := [3][3]Tri{
+		{False, False, False},
+		{False, Unknown, Unknown},
+		{False, Unknown, True},
+	}
+	orWant := [3][3]Tri{
+		{False, Unknown, True},
+		{Unknown, Unknown, True},
+		{True, True, True},
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			if got := a.And(b); got != andWant[i][j] {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, andWant[i][j])
+			}
+			if got := a.Or(b); got != orWant[i][j] {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, orWant[i][j])
+			}
+		}
+	}
+	notWant := map[Tri]Tri{False: True, Unknown: Unknown, True: False}
+	for _, a := range vals {
+		if got := a.Not(); got != notWant[a] {
+			t.Errorf("NOT %v = %v", a, got)
+		}
+	}
+}
+
+func TestPossibleCertain(t *testing.T) {
+	if !True.Possible() || !True.Certain() {
+		t.Error("True flags wrong")
+	}
+	if !Unknown.Possible() || Unknown.Certain() {
+		t.Error("Unknown flags wrong")
+	}
+	if False.Possible() || False.Certain() {
+		t.Error("False flags wrong")
+	}
+}
+
+func TestCmpLess(t *testing.T) {
+	cases := []struct {
+		x, y Interval
+		want Tri
+	}{
+		{New(1, 2), New(3, 4), True},    // disjoint, x entirely below
+		{New(1, 5), New(3, 4), Unknown}, // overlap
+		{New(5, 6), New(1, 2), False},   // x entirely above
+		{New(1, 3), New(3, 4), Unknown}, // touching: x could equal 3 = y
+		{Point(3), Point(3), False},     // equal points: 3 < 3 false
+		{Point(2), Point(3), True},      // points ordered
+		{New(1, 2), Empty, False},       // empty operand
+	}
+	for _, c := range cases {
+		if got := CmpLess(c.x, c.y); got != c.want {
+			t.Errorf("CmpLess(%v, %v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestCmpLessEq(t *testing.T) {
+	cases := []struct {
+		x, y Interval
+		want Tri
+	}{
+		{New(1, 3), New(3, 4), True}, // x.Hi == y.Lo: certainly <=
+		{Point(3), Point(3), True},
+		{New(4, 5), New(1, 3), False},
+		{New(1, 5), New(2, 3), Unknown},
+	}
+	for _, c := range cases {
+		if got := CmpLessEq(c.x, c.y); got != c.want {
+			t.Errorf("CmpLessEq(%v, %v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestCmpEq(t *testing.T) {
+	cases := []struct {
+		x, y Interval
+		want Tri
+	}{
+		{Point(3), Point(3), True},
+		{Point(3), Point(4), False},
+		{New(1, 3), New(2, 5), Unknown},
+		{New(1, 2), New(3, 4), False},
+		{New(1, 3), New(3, 4), Unknown}, // touch at a point
+		{New(1, 3), Point(2), Unknown},
+	}
+	for _, c := range cases {
+		if got := CmpEq(c.x, c.y); got != c.want {
+			t.Errorf("CmpEq(%v, %v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+		if got := CmpNotEq(c.x, c.y); got != c.want.Not() {
+			t.Errorf("CmpNotEq(%v, %v) = %v", c.x, c.y, got)
+		}
+	}
+}
+
+func TestCmpSymmetry(t *testing.T) {
+	x, y := New(1, 5), New(3, 8)
+	if CmpGreater(x, y) != CmpLess(y, x) {
+		t.Error("CmpGreater not symmetric to CmpLess")
+	}
+	if CmpGreaterEq(x, y) != CmpLessEq(y, x) {
+		t.Error("CmpGreaterEq not symmetric to CmpLessEq")
+	}
+}
+
+// TestQuickComparisonSoundness verifies the defining property of the
+// Possible/Certain translation (paper Appendix D): for any master values
+// inside the bounds, Certain implies the predicate holds and the predicate
+// holding implies Possible.
+func TestQuickComparisonSoundness(t *testing.T) {
+	type cmp struct {
+		tri  func(x, y Interval) Tri
+		real func(a, b float64) bool
+	}
+	cmps := []cmp{
+		{CmpLess, func(a, b float64) bool { return a < b }},
+		{CmpLessEq, func(a, b float64) bool { return a <= b }},
+		{CmpGreater, func(a, b float64) bool { return a > b }},
+		{CmpGreaterEq, func(a, b float64) bool { return a >= b }},
+		{CmpEq, func(a, b float64) bool { return a == b }},
+		{CmpNotEq, func(a, b float64) bool { return a != b }},
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randomInterval(r), randomInterval(r)
+		a, b := pick(r, x), pick(r, y)
+		for _, c := range cmps {
+			tri := c.tri(x, y)
+			holds := c.real(a, b)
+			if tri == True && !holds {
+				return false // Certain must imply truth
+			}
+			if tri == False && holds {
+				return false // truth must imply Possible
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

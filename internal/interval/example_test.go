@@ -1,0 +1,42 @@
+package interval_test
+
+import (
+	"fmt"
+
+	"trapp/internal/interval"
+)
+
+// A cache stores bounds instead of exact values; interval arithmetic
+// computes with them.
+func ExampleInterval_Add() {
+	latencyAB := interval.New(2, 4)
+	latencyBC := interval.New(5, 7)
+	total := latencyAB.Add(latencyBC)
+	fmt.Println(total)
+	// Output: [7, 11]
+}
+
+func ExampleInterval_Width() {
+	answer := interval.New(103, 113)
+	fmt.Println(answer.Width() <= 10) // satisfies WITHIN 10
+	// Output: true
+}
+
+func ExampleCmpLess() {
+	// Is a link with latency in [9, 11] faster than 10 ms? Unknown: some
+	// values inside the bound are, others are not.
+	fmt.Println(interval.CmpLess(interval.New(9, 11), interval.Point(10)))
+	fmt.Println(interval.CmpLess(interval.New(2, 4), interval.Point(10)))
+	fmt.Println(interval.CmpLess(interval.New(12, 16), interval.Point(10)))
+	// Output:
+	// unknown
+	// true
+	// false
+}
+
+func ExampleInterval_IncludeZero() {
+	// A T? tuple may contribute nothing to a SUM, so its bound is
+	// extended to include zero when computing the answer bound.
+	fmt.Println(interval.New(3, 8).IncludeZero())
+	// Output: [0, 8]
+}

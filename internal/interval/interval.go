@@ -1,0 +1,269 @@
+// Package interval implements closed real intervals [Lo, Hi] used as
+// guaranteed bounds on replicated data values in TRAPP systems.
+//
+// An Interval represents the set of all real values v with Lo <= v <= Hi.
+// TRAPP caches store one Interval per data object; the data source
+// guarantees that the current master value lies inside it. Aggregation over
+// bounded data is interval arithmetic, and selection predicates over bounded
+// data evaluate to three-valued logic (certainly true, certainly false, or
+// unknown), provided by the comparison operations in this package.
+//
+// The zero value of Interval is the degenerate point interval [0, 0].
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed interval [Lo, Hi]. Invariant: Lo <= Hi, except for
+// the special Empty interval where Lo > Hi.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Point returns the degenerate interval [v, v], used for exact values.
+func Point(v float64) Interval { return Interval{v, v} }
+
+// New returns the interval [lo, hi]. It panics if lo > hi or either endpoint
+// is NaN, since such bounds cannot arise from a correct TRAPP source.
+func New(lo, hi float64) Interval {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		panic("interval: NaN endpoint")
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("interval: inverted endpoints [%g, %g]", lo, hi))
+	}
+	return Interval{lo, hi}
+}
+
+// Empty is the canonical empty interval: it contains no values. It is the
+// identity for Union and the result of aggregating zero tuples for MIN/MAX.
+var Empty = Interval{Lo: math.Inf(1), Hi: math.Inf(-1)}
+
+// Unbounded is the interval containing every real value, representing
+// complete ignorance (precision constraint R = infinity).
+var Unbounded = Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+
+// IsEmpty reports whether the interval contains no values.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// IsPoint reports whether the interval is a single exact value.
+func (iv Interval) IsPoint() bool { return iv.Lo == iv.Hi }
+
+// Width returns Hi − Lo, the paper's measure of imprecision. The width of
+// an empty interval is 0; the width of an unbounded interval is +Inf.
+func (iv Interval) Width() float64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Mid returns the midpoint of the interval, used by visualization and
+// reporting helpers. Mid of an empty interval is NaN.
+func (iv Interval) Mid() float64 {
+	if iv.IsEmpty() {
+		return math.NaN()
+	}
+	return iv.Lo + (iv.Hi-iv.Lo)/2
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// ContainsInterval reports whether other is a (non-strict) subset of iv.
+// Every interval contains the empty interval.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	if iv.IsEmpty() {
+		return false
+	}
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Intersects reports whether the two intervals share at least one value.
+func (iv Interval) Intersects(other Interval) bool {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return false
+	}
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Intersect returns the interval of values common to both intervals, or an
+// empty interval when they are disjoint.
+func (iv Interval) Intersect(other Interval) Interval {
+	if !iv.Intersects(other) {
+		return Empty
+	}
+	return Interval{math.Max(iv.Lo, other.Lo), math.Min(iv.Hi, other.Hi)}
+}
+
+// Union returns the smallest interval containing both intervals (their
+// convex hull; any gap between them is included).
+func (iv Interval) Union(other Interval) Interval {
+	if iv.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return iv
+	}
+	return Interval{math.Min(iv.Lo, other.Lo), math.Max(iv.Hi, other.Hi)}
+}
+
+// Clamp returns v clamped into the interval. Clamp on an empty interval
+// returns NaN.
+func (iv Interval) Clamp(v float64) float64 {
+	if iv.IsEmpty() {
+		return math.NaN()
+	}
+	return math.Min(math.Max(v, iv.Lo), iv.Hi)
+}
+
+// Add returns the interval sum {x+y : x in iv, y in other}.
+func (iv Interval) Add(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty
+	}
+	return Interval{iv.Lo + other.Lo, iv.Hi + other.Hi}
+}
+
+// Sub returns the interval difference {x−y : x in iv, y in other}.
+func (iv Interval) Sub(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty
+	}
+	return Interval{iv.Lo - other.Hi, iv.Hi - other.Lo}
+}
+
+// Neg returns {−x : x in iv}.
+func (iv Interval) Neg() Interval {
+	if iv.IsEmpty() {
+		return Empty
+	}
+	return Interval{-iv.Hi, -iv.Lo}
+}
+
+// Mul returns the interval product {x*y : x in iv, y in other}.
+func (iv Interval) Mul(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty
+	}
+	a := iv.Lo * other.Lo
+	b := iv.Lo * other.Hi
+	c := iv.Hi * other.Lo
+	d := iv.Hi * other.Hi
+	return Interval{
+		math.Min(math.Min(a, b), math.Min(c, d)),
+		math.Max(math.Max(a, b), math.Max(c, d)),
+	}
+}
+
+// Scale returns {k*x : x in iv}.
+func (iv Interval) Scale(k float64) Interval {
+	if iv.IsEmpty() {
+		return Empty
+	}
+	if k >= 0 {
+		return Interval{k * iv.Lo, k * iv.Hi}
+	}
+	return Interval{k * iv.Hi, k * iv.Lo}
+}
+
+// Div returns the interval quotient {x/y : x in iv, y in other}. If other
+// contains 0 the quotient is unbounded (the paper's AVG bound computation
+// never divides by an interval containing 0 because COUNT lower bounds are
+// at least 1 whenever SUM is nonempty, but the general case is handled for
+// API completeness).
+func (iv Interval) Div(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty
+	}
+	if other.Contains(0) {
+		if other.IsPoint() { // exactly [0,0]
+			return Empty
+		}
+		return Unbounded
+	}
+	inv := Interval{1 / other.Hi, 1 / other.Lo}
+	return iv.Mul(inv)
+}
+
+// Min returns the interval of possible values of min(x, y) for x in iv and
+// y in other. min over an empty operand is the other operand (matching the
+// paper's convention min(∅) = +∞).
+func (iv Interval) Min(other Interval) Interval {
+	if iv.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return iv
+	}
+	return Interval{math.Min(iv.Lo, other.Lo), math.Min(iv.Hi, other.Hi)}
+}
+
+// Max returns the interval of possible values of max(x, y), with
+// max(∅) = −∞ as in the paper.
+func (iv Interval) Max(other Interval) Interval {
+	if iv.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return iv
+	}
+	return Interval{math.Max(iv.Lo, other.Lo), math.Max(iv.Hi, other.Hi)}
+}
+
+// Expand returns the interval widened by delta on both sides. Negative
+// delta shrinks the interval; if it would invert, the midpoint is returned.
+func (iv Interval) Expand(delta float64) Interval {
+	if iv.IsEmpty() {
+		return iv
+	}
+	lo, hi := iv.Lo-delta, iv.Hi+delta
+	if lo > hi {
+		m := iv.Mid()
+		return Interval{m, m}
+	}
+	return Interval{lo, hi}
+}
+
+// IncludeZero extends the interval to include 0, as required when a T?
+// tuple might not satisfy the predicate and thus contribute nothing to a
+// SUM (paper section 6.2).
+func (iv Interval) IncludeZero() Interval {
+	if iv.IsEmpty() {
+		return Point(0)
+	}
+	return Interval{math.Min(iv.Lo, 0), math.Max(iv.Hi, 0)}
+}
+
+// Equal reports exact endpoint equality. Two empty intervals are equal
+// regardless of their endpoint representation.
+func (iv Interval) Equal(other Interval) bool {
+	if iv.IsEmpty() && other.IsEmpty() {
+		return true
+	}
+	return iv.Lo == other.Lo && iv.Hi == other.Hi
+}
+
+// ApproxEqual reports endpoint equality within absolute tolerance eps.
+func (iv Interval) ApproxEqual(other Interval, eps float64) bool {
+	if iv.IsEmpty() && other.IsEmpty() {
+		return true
+	}
+	return math.Abs(iv.Lo-other.Lo) <= eps && math.Abs(iv.Hi-other.Hi) <= eps
+}
+
+// String renders the interval in the paper's "[lo, hi]" notation.
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "[empty]"
+	}
+	if iv.IsPoint() {
+		return fmt.Sprintf("[%g]", iv.Lo)
+	}
+	return fmt.Sprintf("[%g, %g]", iv.Lo, iv.Hi)
+}

@@ -1,0 +1,318 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoint(t *testing.T) {
+	p := Point(3.5)
+	if !p.IsPoint() {
+		t.Fatalf("Point(3.5) not a point: %v", p)
+	}
+	if p.Width() != 0 {
+		t.Errorf("point width = %g, want 0", p.Width())
+	}
+	if !p.Contains(3.5) || p.Contains(3.4999) {
+		t.Errorf("point containment wrong")
+	}
+}
+
+func TestNewPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(2, 1) did not panic")
+		}
+	}()
+	New(2, 1)
+}
+
+func TestNewPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(NaN, 1) did not panic")
+		}
+	}()
+	New(math.NaN(), 1)
+}
+
+func TestEmpty(t *testing.T) {
+	if !Empty.IsEmpty() {
+		t.Fatal("Empty is not empty")
+	}
+	if Empty.Contains(0) {
+		t.Error("Empty contains 0")
+	}
+	if Empty.Width() != 0 {
+		t.Errorf("Empty width = %g, want 0", Empty.Width())
+	}
+	if got := Empty.Union(New(1, 2)); !got.Equal(New(1, 2)) {
+		t.Errorf("Empty.Union([1,2]) = %v", got)
+	}
+	if got := New(1, 2).Intersect(New(3, 4)); !got.IsEmpty() {
+		t.Errorf("disjoint intersect = %v, want empty", got)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	if Unbounded.IsEmpty() {
+		t.Fatal("Unbounded is empty")
+	}
+	if !Unbounded.Contains(1e300) || !Unbounded.Contains(-1e300) {
+		t.Error("Unbounded does not contain extremes")
+	}
+	if !math.IsInf(Unbounded.Width(), 1) {
+		t.Errorf("Unbounded width = %g", Unbounded.Width())
+	}
+}
+
+func TestWidthMid(t *testing.T) {
+	iv := New(2, 6)
+	if iv.Width() != 4 {
+		t.Errorf("width = %g, want 4", iv.Width())
+	}
+	if iv.Mid() != 4 {
+		t.Errorf("mid = %g, want 4", iv.Mid())
+	}
+	if !math.IsNaN(Empty.Mid()) {
+		t.Error("Empty.Mid() not NaN")
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	outer := New(0, 10)
+	cases := []struct {
+		in   Interval
+		want bool
+	}{
+		{New(2, 5), true},
+		{New(0, 10), true},
+		{New(-1, 5), false},
+		{New(5, 11), false},
+		{Empty, true},
+	}
+	for _, c := range cases {
+		if got := outer.ContainsInterval(c.in); got != c.want {
+			t.Errorf("ContainsInterval(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if Empty.ContainsInterval(New(1, 2)) {
+		t.Error("Empty contains [1,2]")
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a, b := New(0, 5), New(3, 8)
+	if got := a.Intersect(b); !got.Equal(New(3, 5)) {
+		t.Errorf("intersect = %v, want [3,5]", got)
+	}
+	if got := a.Union(b); !got.Equal(New(0, 8)) {
+		t.Errorf("union = %v, want [0,8]", got)
+	}
+	// Union spans gaps.
+	if got := New(0, 1).Union(New(4, 5)); !got.Equal(New(0, 5)) {
+		t.Errorf("gap union = %v, want [0,5]", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	iv := New(2, 6)
+	for _, c := range []struct{ in, want float64 }{{1, 2}, {4, 4}, {9, 6}} {
+		if got := iv.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Empty.Clamp(1)) {
+		t.Error("Empty.Clamp not NaN")
+	}
+}
+
+func TestArithmeticExamples(t *testing.T) {
+	a, b := New(1, 2), New(10, 20)
+	if got := a.Add(b); !got.Equal(New(11, 22)) {
+		t.Errorf("add = %v", got)
+	}
+	if got := b.Sub(a); !got.Equal(New(8, 19)) {
+		t.Errorf("sub = %v", got)
+	}
+	if got := a.Neg(); !got.Equal(New(-2, -1)) {
+		t.Errorf("neg = %v", got)
+	}
+	if got := a.Mul(b); !got.Equal(New(10, 40)) {
+		t.Errorf("mul = %v", got)
+	}
+	if got := New(-1, 2).Mul(New(-3, 4)); !got.Equal(New(-6, 8)) {
+		t.Errorf("signed mul = %v, want [-6, 8]", got)
+	}
+	if got := b.Div(a); !got.Equal(New(5, 20)) {
+		t.Errorf("div = %v", got)
+	}
+	if got := a.Scale(-2); !got.Equal(New(-4, -2)) {
+		t.Errorf("scale = %v", got)
+	}
+}
+
+func TestDivByZeroSpanningInterval(t *testing.T) {
+	if got := New(1, 2).Div(New(-1, 1)); !got.Equal(Unbounded) {
+		t.Errorf("div by zero-spanning = %v, want unbounded", got)
+	}
+	if got := New(1, 2).Div(Point(0)); !got.IsEmpty() {
+		t.Errorf("div by [0,0] = %v, want empty", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := New(2, 6), New(4, 5)
+	if got := a.Min(b); !got.Equal(New(2, 5)) {
+		t.Errorf("min = %v, want [2,5]", got)
+	}
+	if got := a.Max(b); !got.Equal(New(4, 6)) {
+		t.Errorf("max = %v, want [4,6]", got)
+	}
+	// Empty operand behaves like min(∅)=+∞ / max(∅)=−∞ identities.
+	if got := Empty.Min(a); !got.Equal(a) {
+		t.Errorf("Empty.Min = %v", got)
+	}
+	if got := a.Max(Empty); !got.Equal(a) {
+		t.Errorf("Max(Empty) = %v", got)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	iv := New(2, 6)
+	if got := iv.Expand(1); !got.Equal(New(1, 7)) {
+		t.Errorf("expand = %v", got)
+	}
+	if got := iv.Expand(-1); !got.Equal(New(3, 5)) {
+		t.Errorf("shrink = %v", got)
+	}
+	if got := iv.Expand(-10); !got.IsPoint() || got.Lo != 4 {
+		t.Errorf("over-shrink = %v, want [4]", got)
+	}
+}
+
+func TestIncludeZero(t *testing.T) {
+	if got := New(3, 8).IncludeZero(); !got.Equal(New(0, 8)) {
+		t.Errorf("positive IncludeZero = %v", got)
+	}
+	if got := New(-8, -3).IncludeZero(); !got.Equal(New(-8, 0)) {
+		t.Errorf("negative IncludeZero = %v", got)
+	}
+	if got := New(-1, 1).IncludeZero(); !got.Equal(New(-1, 1)) {
+		t.Errorf("straddling IncludeZero = %v", got)
+	}
+	if got := Empty.IncludeZero(); !got.Equal(Point(0)) {
+		t.Errorf("empty IncludeZero = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	for _, c := range []struct {
+		iv   Interval
+		want string
+	}{
+		{New(2, 4), "[2, 4]"},
+		{Point(7), "[7]"},
+		{Empty, "[empty]"},
+	} {
+		if got := c.iv.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.iv, got, c.want)
+		}
+	}
+}
+
+// randomInterval produces a random non-empty interval with endpoints in
+// [-50, 50] for property tests.
+func randomInterval(r *rand.Rand) Interval {
+	a := r.Float64()*100 - 50
+	b := r.Float64()*100 - 50
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{a, b}
+}
+
+// pick returns a random value inside the interval.
+func pick(r *rand.Rand, iv Interval) float64 {
+	return iv.Lo + r.Float64()*(iv.Hi-iv.Lo)
+}
+
+// TestQuickArithmeticSoundness verifies the fundamental inclusion property
+// of interval arithmetic: for x in X and y in Y, x op y lies in X op Y.
+func TestQuickArithmeticSoundness(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randomInterval(r), randomInterval(r)
+		a, b := pick(r, x), pick(r, y)
+		const eps = 1e-9
+		checks := []struct {
+			got  Interval
+			want float64
+		}{
+			{x.Add(y), a + b},
+			{x.Sub(y), a - b},
+			{x.Mul(y), a * b},
+			{x.Neg(), -a},
+			{x.Min(y), math.Min(a, b)},
+			{x.Max(y), math.Max(a, b)},
+			{x.Union(y), a},
+			{x.Union(y), b},
+			{x.Scale(3.25), 3.25 * a},
+			{x.Scale(-1.5), -1.5 * a},
+		}
+		for _, c := range checks {
+			if !c.got.Expand(eps).Contains(c.want) {
+				return false
+			}
+		}
+		if !y.Contains(0) {
+			if !x.Div(y).Expand(eps).Contains(a / b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntersectSubset checks Intersect produces a subset of both
+// operands and Union a superset.
+func TestQuickIntersectSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randomInterval(r), randomInterval(r)
+		in := x.Intersect(y)
+		un := x.Union(y)
+		if !x.ContainsInterval(in) || !y.ContainsInterval(in) {
+			return false
+		}
+		if !un.ContainsInterval(x) || !un.ContainsInterval(y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWidthMonotone: width of a sum is the sum of widths; refreshing a
+// value to a point (width 0) never widens an aggregate — the algebraic fact
+// behind the SUM knapsack formulation.
+func TestQuickWidthSum(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randomInterval(r), randomInterval(r)
+		got := x.Add(y).Width()
+		want := x.Width() + y.Width()
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

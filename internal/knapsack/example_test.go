@@ -1,0 +1,38 @@
+package knapsack_test
+
+import (
+	"fmt"
+
+	"trapp/internal/knapsack"
+)
+
+// The paper's Q2 worked example (section 5.2): total latency along the
+// path with R = 5. Tuples kept in the knapsack are NOT refreshed; the
+// optimum keeps tuples 2 and 5 (weights 2 and 3), leaving {1, 6} to
+// refresh.
+func ExampleBruteForce() {
+	// Path tuples 1, 2, 5, 6 with latency bound widths as weights and
+	// refresh costs as profits (Figure 2).
+	items := []knapsack.Item{
+		{Profit: 3, Weight: 2}, // tuple 1
+		{Profit: 6, Weight: 2}, // tuple 2
+		{Profit: 4, Weight: 3}, // tuple 5
+		{Profit: 2, Weight: 2}, // tuple 6
+	}
+	sol := knapsack.BruteForce(items, 5)
+	fmt.Println("kept in knapsack:", sol.Selected)
+	fmt.Println("refresh:", sol.Complement(len(items)))
+	// Output:
+	// kept in knapsack: [1 2]
+	// refresh: [0 3]
+}
+
+func ExampleApprox() {
+	items := []knapsack.Item{
+		{Profit: 3, Weight: 2}, {Profit: 6, Weight: 2},
+		{Profit: 4, Weight: 3}, {Profit: 2, Weight: 2},
+	}
+	sol := knapsack.Approx(items, 5, 0.1)
+	fmt.Println(sol.Profit >= 0.9*10) // within ε of the optimum 10
+	// Output: true
+}

@@ -1,0 +1,340 @@
+// Package knapsack implements 0/1 knapsack solvers used by the TRAPP/AG
+// CHOOSE_REFRESH algorithms for SUM and AVG queries (paper section 5.2).
+//
+// The refresh-selection problem is mapped onto the knapsack as follows: the
+// tuples *not* refreshed are "placed in the knapsack"; each tuple has profit
+// equal to its refresh cost C_i (profit we avoid paying) and weight equal to
+// its bound width H_i − L_i (imprecision it leaves in the answer); the
+// knapsack capacity is the precision constraint R. Maximizing the profit in
+// the knapsack minimizes the total cost of the tuples that must be
+// refreshed.
+//
+// Because 0/1 knapsack is NP-complete, the package offers several solvers:
+//
+//   - BruteForce: exhaustive search, exponential, for testing optimality.
+//   - ExactDP: dynamic programming over integer profits, pseudo-polynomial
+//     O(n · ΣP); exact whenever profits are (small) integers, as with the
+//     paper's uniform-random costs in [1, 10].
+//   - Approx: an Ibarra–Kim-style fully polynomial approximation scheme
+//     (FPTAS) that scales profits down by K = ε·Pmax/n and runs the DP on
+//     the scaled instance, guaranteeing profit ≥ (1−ε)·OPT.
+//   - GreedyUniform: sorts by weight and fills greedily; optimal when all
+//     profits are equal (the uniform-cost special case in section 5.2).
+//   - GreedyDensity: profit/weight greedy with a best-single-item fallback,
+//     a classical 1/2-approximation used as a fast baseline.
+package knapsack
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Item is a knapsack item. In the TRAPP mapping, Profit is the tuple's
+// refresh cost and Weight is its bound width (possibly adjusted for
+// predicate uncertainty or AVG coupling).
+type Item struct {
+	Profit float64
+	Weight float64
+}
+
+// Solution is a subset of items: the tuples chosen NOT to be refreshed.
+type Solution struct {
+	// Selected holds indices into the input item slice, ascending.
+	Selected []int
+	// Profit is the total profit of the selected items.
+	Profit float64
+	// Weight is the total weight of the selected items.
+	Weight float64
+}
+
+// Complement returns the indices NOT in the solution, ascending — in the
+// TRAPP mapping, the set of tuples to refresh.
+func (s Solution) Complement(n int) []int {
+	in := make([]bool, n)
+	for _, i := range s.Selected {
+		in[i] = true
+	}
+	out := make([]int, 0, n-len(s.Selected))
+	for i := 0; i < n; i++ {
+		if !in[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// solutionFromTake builds a Solution from a take mask.
+func solutionFromTake(items []Item, take []bool) Solution {
+	var s Solution
+	for i, t := range take {
+		if t {
+			s.Selected = append(s.Selected, i)
+			s.Profit += items[i].Profit
+			s.Weight += items[i].Weight
+		}
+	}
+	return s
+}
+
+// validate reports items with negative profit or weight, which have no
+// meaning in the TRAPP mapping (costs and widths are nonnegative).
+func validate(items []Item, capacity float64) error {
+	if capacity < 0 || math.IsNaN(capacity) {
+		return errors.New("knapsack: negative or NaN capacity")
+	}
+	for _, it := range items {
+		if it.Profit < 0 || it.Weight < 0 || math.IsNaN(it.Profit) || math.IsNaN(it.Weight) {
+			return errors.New("knapsack: negative or NaN item")
+		}
+	}
+	return nil
+}
+
+// BruteForce solves the instance exactly by enumerating all 2^n subsets.
+// It panics for n > 30. Intended for tests and tiny instances such as the
+// paper's 6-tuple worked examples.
+func BruteForce(items []Item, capacity float64) Solution {
+	if err := validate(items, capacity); err != nil {
+		panic(err)
+	}
+	n := len(items)
+	if n > 30 {
+		panic("knapsack: BruteForce limited to 30 items")
+	}
+	best := Solution{Selected: []int{}}
+	for mask := 0; mask < 1<<n; mask++ {
+		var w, p float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				w += items[i].Weight
+				p += items[i].Profit
+			}
+		}
+		if w <= capacity && p > best.Profit {
+			take := make([]bool, n)
+			for i := 0; i < n; i++ {
+				take[i] = mask&(1<<i) != 0
+			}
+			best = solutionFromTake(items, take)
+		}
+	}
+	return best
+}
+
+// maxDPStates bounds the profit-dimension of the exact DP table so a
+// degenerate instance cannot exhaust memory.
+const maxDPStates = 50_000_000
+
+// ErrNonIntegerProfit is returned by ExactDP when some profit is not a
+// nonnegative integer (within 1e-9); use Approx instead.
+var ErrNonIntegerProfit = errors.New("knapsack: ExactDP requires integer profits")
+
+// ErrTooManyStates is returned by ExactDP when n·ΣP exceeds the internal
+// memory budget; use Approx instead.
+var ErrTooManyStates = errors.New("knapsack: instance too large for exact DP")
+
+// ExactDP solves the instance exactly with dynamic programming over total
+// profit: dp[p] = minimum weight achieving profit exactly p. Running time
+// and memory are O(n · ΣP). Profits must be nonnegative integers.
+func ExactDP(items []Item, capacity float64) (Solution, error) {
+	if err := validate(items, capacity); err != nil {
+		return Solution{}, err
+	}
+	n := len(items)
+	profits := make([]int, n)
+	total := 0
+	for i, it := range items {
+		p := math.Round(it.Profit)
+		if math.Abs(it.Profit-p) > 1e-9 {
+			return Solution{}, ErrNonIntegerProfit
+		}
+		profits[i] = int(p)
+		total += int(p)
+	}
+	if n > 0 && (total+1) > maxDPStates/n {
+		return Solution{}, ErrTooManyStates
+	}
+	sol := dpByProfit(items, profits, total, capacity)
+	return sol, nil
+}
+
+// dpByProfit runs the min-weight-per-profit DP and reconstructs the chosen
+// set. items[i] has integer profit profits[i]; total is ΣP.
+func dpByProfit(items []Item, profits []int, total int, capacity float64) Solution {
+	n := len(items)
+	const inf = math.MaxFloat64
+	dp := make([]float64, total+1)
+	for p := 1; p <= total; p++ {
+		dp[p] = inf
+	}
+	// take[i*(total+1)+p] records whether item i is taken on the best path
+	// to profit p after considering items 0..i.
+	take := make([]bool, n*(total+1))
+	for i := 0; i < n; i++ {
+		pi, wi := profits[i], items[i].Weight
+		row := take[i*(total+1):]
+		for p := total; p >= pi; p-- {
+			if dp[p-pi] < inf && dp[p-pi]+wi < dp[p] {
+				dp[p] = dp[p-pi] + wi
+				row[p] = true
+			}
+		}
+	}
+	bestP := 0
+	for p := total; p >= 0; p-- {
+		if dp[p] <= capacity {
+			bestP = p
+			break
+		}
+	}
+	// Reconstruct: walk items backwards. take rows were written in item
+	// order with the classic 1-D DP, so a row flag means "item i is used on
+	// the optimal path to this profit considering items 0..i"; walking from
+	// the last item down recovers one optimal subset.
+	chosen := make([]bool, n)
+	p := bestP
+	for i := n - 1; i >= 0 && p > 0; i-- {
+		if take[i*(total+1)+p] {
+			chosen[i] = true
+			p -= profits[i]
+		}
+	}
+	return solutionFromTake(items, chosen)
+}
+
+// Approx solves the instance with a profit-scaling FPTAS in the style of
+// Ibarra and Kim: profits are divided by K = ε·Pmax/n and floored to
+// integers, then the exact DP runs on the scaled instance. The returned
+// solution is feasible and achieves profit at least (1−ε)·OPT. eps must be
+// in (0, 1); smaller eps costs more time (the scaled profit sum grows as
+// n²/ε) but approaches the optimum — exactly the tradeoff plotted in the
+// paper's Figure 5.
+func Approx(items []Item, capacity float64, eps float64) Solution {
+	if err := validate(items, capacity); err != nil {
+		panic(err)
+	}
+	if eps <= 0 || eps >= 1 {
+		panic("knapsack: Approx eps must be in (0, 1)")
+	}
+	n := len(items)
+	if n == 0 {
+		return Solution{Selected: []int{}}
+	}
+	// Drop items that can never fit; remember original indices.
+	idx := make([]int, 0, n)
+	feas := make([]Item, 0, n)
+	var pmax float64
+	for i, it := range items {
+		if it.Weight <= capacity {
+			idx = append(idx, i)
+			feas = append(feas, it)
+			if it.Profit > pmax {
+				pmax = it.Profit
+			}
+		}
+	}
+	if len(feas) == 0 || pmax == 0 {
+		// No profitable feasible item: selecting every zero-profit feasible
+		// item is harmless but pointless; return the empty solution.
+		return Solution{Selected: []int{}}
+	}
+	k := eps * pmax / float64(len(feas))
+	scaled := make([]int, len(feas))
+	total := 0
+	for i, it := range feas {
+		scaled[i] = int(math.Floor(it.Profit / k))
+		total += scaled[i]
+	}
+	sub := dpByProfit(feas, scaled, total, capacity)
+	// Map back to original indices.
+	sel := make([]int, len(sub.Selected))
+	for i, j := range sub.Selected {
+		sel[i] = idx[j]
+	}
+	sort.Ints(sel)
+	out := Solution{Selected: sel}
+	for _, i := range sel {
+		out.Profit += items[i].Profit
+		out.Weight += items[i].Weight
+	}
+	return out
+}
+
+// GreedyUniform solves the uniform-profit special case: when every item has
+// the same profit, filling the knapsack with the lightest items first is
+// optimal (section 5.2). It runs in O(n log n), or sublinear given an index
+// on weights. The items' profits are not inspected; the caller asserts
+// uniformity.
+func GreedyUniform(items []Item, capacity float64) Solution {
+	if err := validate(items, capacity); err != nil {
+		panic(err)
+	}
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return items[order[a]].Weight < items[order[b]].Weight
+	})
+	take := make([]bool, len(items))
+	var w float64
+	for _, i := range order {
+		if w+items[i].Weight <= capacity {
+			take[i] = true
+			w += items[i].Weight
+		} else {
+			break
+		}
+	}
+	return solutionFromTake(items, take)
+}
+
+// GreedyDensity fills the knapsack by decreasing profit/weight ratio
+// (zero-weight items first) and returns the better of the greedy fill and
+// the single most profitable feasible item, a classical 1/2-approximation.
+// Used as a cheap baseline in the solver ablation experiments.
+func GreedyDensity(items []Item, capacity float64) Solution {
+	if err := validate(items, capacity); err != nil {
+		panic(err)
+	}
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		// Zero-weight items are infinitely dense.
+		if ia.Weight == 0 || ib.Weight == 0 {
+			if ia.Weight == 0 && ib.Weight == 0 {
+				return ia.Profit > ib.Profit
+			}
+			return ia.Weight == 0
+		}
+		return ia.Profit/ia.Weight > ib.Profit/ib.Weight
+	})
+	take := make([]bool, len(items))
+	var w float64
+	for _, i := range order {
+		if w+items[i].Weight <= capacity {
+			take[i] = true
+			w += items[i].Weight
+		}
+	}
+	greedy := solutionFromTake(items, take)
+
+	bestSingle := -1
+	for i, it := range items {
+		if it.Weight <= capacity && (bestSingle < 0 || it.Profit > items[bestSingle].Profit) {
+			bestSingle = i
+		}
+	}
+	if bestSingle >= 0 && items[bestSingle].Profit > greedy.Profit {
+		return Solution{
+			Selected: []int{bestSingle},
+			Profit:   items[bestSingle].Profit,
+			Weight:   items[bestSingle].Weight,
+		}
+	}
+	return greedy
+}

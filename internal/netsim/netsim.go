@@ -1,0 +1,132 @@
+// Package netsim provides the simulated wide-area substrate underneath the
+// TRAPP architecture: a discrete logical clock shared by sources and
+// caches, and a message-accounting network that records refresh traffic and
+// cost. The paper's experiments measure refresh cost rather than wire
+// time, so the network model is deliberately simple — per-message cost and
+// counters — while still separating value-initiated from query-initiated
+// traffic so the Appendix A adaptive-bound experiments can observe both.
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Clock is a shared discrete logical clock. Bound functions are evaluated
+// against it, and sources check registered bounds when it advances. It is
+// safe for concurrent use.
+type Clock struct {
+	now atomic.Int64
+}
+
+// NewClock returns a clock at time 0.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current tick.
+func (c *Clock) Now() int64 { return c.now.Load() }
+
+// Advance moves the clock forward by d ticks (d ≤ 0 is ignored) and
+// returns the new time.
+func (c *Clock) Advance(d int64) int64 {
+	if d <= 0 {
+		return c.now.Load()
+	}
+	return c.now.Add(d)
+}
+
+// MsgKind classifies simulated messages.
+type MsgKind int8
+
+const (
+	// ValueRefresh is a value-initiated refresh: the master value escaped
+	// a registered cached bound and the source pushed a new bound.
+	ValueRefresh MsgKind = iota
+	// QueryRefresh is a query-initiated refresh: a cache paid to pull the
+	// exact master value to satisfy a precision constraint.
+	QueryRefresh
+	// Registration is a cache subscribing to an object.
+	Registration
+	// Propagation is an insert/delete propagated to caches.
+	Propagation
+)
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case ValueRefresh:
+		return "value-refresh"
+	case QueryRefresh:
+		return "query-refresh"
+	case Registration:
+		return "registration"
+	default:
+		return "propagation"
+	}
+}
+
+// Stats aggregates network traffic counters.
+type Stats struct {
+	// Messages counts all messages by kind.
+	Messages map[MsgKind]int64
+	// QueryRefreshCost is the total refresh cost Σ C_i paid by queries.
+	QueryRefreshCost float64
+	// ValueRefreshCost is the total cost attributed to value-initiated
+	// refreshes (the source pays to push).
+	ValueRefreshCost float64
+}
+
+// Total returns the total message count.
+func (s Stats) Total() int64 {
+	var t int64
+	for _, n := range s.Messages {
+		t += n
+	}
+	return t
+}
+
+// Network records simulated message traffic. It is safe for concurrent
+// use.
+type Network struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewNetwork returns an empty traffic recorder.
+func NewNetwork() *Network {
+	return &Network{stats: Stats{Messages: make(map[MsgKind]int64)}}
+}
+
+// Send records one message of the given kind and cost.
+func (n *Network) Send(kind MsgKind, cost float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Messages[kind]++
+	switch kind {
+	case QueryRefresh:
+		n.stats.QueryRefreshCost += cost
+	case ValueRefresh:
+		n.stats.ValueRefreshCost += cost
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := Stats{
+		Messages:         make(map[MsgKind]int64, len(n.stats.Messages)),
+		QueryRefreshCost: n.stats.QueryRefreshCost,
+		ValueRefreshCost: n.stats.ValueRefreshCost,
+	}
+	for k, v := range n.stats.Messages {
+		out.Messages[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (n *Network) Reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{Messages: make(map[MsgKind]int64)}
+}

@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("initial time %d", c.Now())
+	}
+	if got := c.Advance(5); got != 5 {
+		t.Errorf("Advance(5) = %d", got)
+	}
+	if got := c.Advance(0); got != 5 {
+		t.Errorf("Advance(0) = %d", got)
+	}
+	if got := c.Advance(-3); got != 5 {
+		t.Errorf("Advance(-3) = %d", got)
+	}
+	if c.Now() != 5 {
+		t.Errorf("Now = %d", c.Now())
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 1000 {
+		t.Errorf("concurrent advance total = %d, want 1000", c.Now())
+	}
+}
+
+func TestNetworkCounters(t *testing.T) {
+	n := NewNetwork()
+	n.Send(QueryRefresh, 3)
+	n.Send(QueryRefresh, 4)
+	n.Send(ValueRefresh, 2)
+	n.Send(Registration, 0)
+	n.Send(Propagation, 0)
+	s := n.Stats()
+	if s.Messages[QueryRefresh] != 2 || s.Messages[ValueRefresh] != 1 {
+		t.Errorf("messages = %v", s.Messages)
+	}
+	if s.QueryRefreshCost != 7 {
+		t.Errorf("query cost = %g", s.QueryRefreshCost)
+	}
+	if s.ValueRefreshCost != 2 {
+		t.Errorf("value cost = %g", s.ValueRefreshCost)
+	}
+	if s.Total() != 5 {
+		t.Errorf("total = %d", s.Total())
+	}
+}
+
+func TestNetworkReset(t *testing.T) {
+	n := NewNetwork()
+	n.Send(QueryRefresh, 3)
+	n.Reset()
+	if n.Stats().Total() != 0 {
+		t.Error("reset did not clear counters")
+	}
+}
+
+func TestNetworkStatsIsolatedSnapshot(t *testing.T) {
+	n := NewNetwork()
+	n.Send(QueryRefresh, 1)
+	s := n.Stats()
+	s.Messages[QueryRefresh] = 99
+	if n.Stats().Messages[QueryRefresh] != 1 {
+		t.Error("snapshot shares map with network")
+	}
+}
+
+func TestNetworkConcurrentSend(t *testing.T) {
+	n := NewNetwork()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				n.Send(QueryRefresh, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := n.Stats().Messages[QueryRefresh]; got != 400 {
+		t.Errorf("concurrent sends = %d", got)
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	want := map[MsgKind]string{
+		ValueRefresh: "value-refresh", QueryRefresh: "query-refresh",
+		Registration: "registration", Propagation: "propagation",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

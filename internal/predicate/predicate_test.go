@@ -1,0 +1,281 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trapp/internal/interval"
+	"trapp/internal/relation"
+	"trapp/internal/workload"
+)
+
+// figure2Preds builds the three predicates of the paper's Figure 7 against
+// the link schema.
+func fastLinksPred(s *relation.Schema) Expr {
+	bw := s.MustLookup(workload.ColBandwidth)
+	lat := s.MustLookup(workload.ColLatency)
+	return NewAnd(
+		NewCmp(Column(bw, "bandwidth"), Gt, Const(50)),
+		NewCmp(Column(lat, "latency"), Lt, Const(10)),
+	)
+}
+
+func highLatencyPred(s *relation.Schema) Expr {
+	lat := s.MustLookup(workload.ColLatency)
+	return NewCmp(Column(lat, "latency"), Gt, Const(10))
+}
+
+func highTrafficPred(s *relation.Schema) Expr {
+	tr := s.MustLookup(workload.ColTraffic)
+	return NewCmp(Column(tr, "traffic"), Gt, Const(100))
+}
+
+func TestOpString(t *testing.T) {
+	ops := map[Op]string{Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Eq: "=", Ne: "<>"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("Op %d string %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestCmpEvalAgainstBounds(t *testing.T) {
+	s := workload.LinkSchema()
+	tab := workload.Figure2Table()
+	lat := s.MustLookup(workload.ColLatency)
+	p := NewCmp(Column(lat, "latency"), Gt, Const(10))
+	// Tuple 3 has latency [12,16]: certainly > 10.
+	if got := p.Eval(tab.At(tab.ByKey(3))); got != interval.True {
+		t.Errorf("tuple 3: %v", got)
+	}
+	// Tuple 1 has latency [2,4]: certainly not > 10.
+	if got := p.Eval(tab.At(tab.ByKey(1))); got != interval.False {
+		t.Errorf("tuple 1: %v", got)
+	}
+	// Tuple 4 has latency [9,11]: unknown.
+	if got := p.Eval(tab.At(tab.ByKey(4))); got != interval.Unknown {
+		t.Errorf("tuple 4: %v", got)
+	}
+}
+
+func TestFigure7ClassificationBeforeRefresh(t *testing.T) {
+	// The paper's Figure 7 lists, for each of three predicates, the
+	// classification of tuples 1–6 before refresh.
+	s := workload.LinkSchema()
+	tab := workload.Figure2Table()
+	cases := []struct {
+		name string
+		p    Expr
+		want map[int64]Class // by tuple key
+	}{
+		{
+			name: "(bandwidth > 50) AND (latency < 10)",
+			p:    fastLinksPred(s),
+			want: map[int64]Class{1: Plus, 2: Maybe, 3: Minus, 4: Maybe, 5: Maybe, 6: Maybe},
+		},
+		{
+			name: "latency > 10",
+			p:    highLatencyPred(s),
+			want: map[int64]Class{1: Minus, 2: Minus, 3: Plus, 4: Maybe, 5: Maybe, 6: Minus},
+		},
+		{
+			name: "traffic > 100",
+			p:    highTrafficPred(s),
+			want: map[int64]Class{1: Maybe, 2: Plus, 3: Maybe, 4: Plus, 5: Maybe, 6: Maybe},
+		},
+	}
+	for _, c := range cases {
+		for key, want := range c.want {
+			got := ClassifyTuple(c.p, tab.At(tab.ByKey(key)))
+			if got != want {
+				t.Errorf("%s tuple %d: got %v, want %v", c.name, key, got, want)
+			}
+		}
+	}
+}
+
+func TestFigure7ClassificationAfterRefresh(t *testing.T) {
+	// After refreshing every tuple to its master values, classification
+	// must match Figure 7's "after refresh" columns (all T+ or T−).
+	tab := workload.Figure2Table()
+	master := workload.Figure2Master()
+	for i := 0; i < tab.Len(); i++ {
+		if err := tab.Refresh(i, master[tab.At(i).Key]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tab.Schema()
+	cases := []struct {
+		p    Expr
+		want map[int64]Class
+	}{
+		{fastLinksPred(s), map[int64]Class{1: Plus, 2: Plus, 3: Minus, 4: Plus, 5: Minus, 6: Minus}},
+		{highLatencyPred(s), map[int64]Class{1: Minus, 2: Minus, 3: Plus, 4: Minus, 5: Plus, 6: Minus}},
+		{highTrafficPred(s), map[int64]Class{1: Minus, 2: Plus, 3: Plus, 4: Plus, 5: Minus, 6: Plus}},
+	}
+	for _, c := range cases {
+		for key, want := range c.want {
+			got := ClassifyTuple(c.p, tab.At(tab.ByKey(key)))
+			if got != want {
+				t.Errorf("%s tuple %d after refresh: got %v, want %v", c.p, key, got, want)
+			}
+		}
+	}
+}
+
+func TestClassifyPartition(t *testing.T) {
+	tab := workload.Figure2Table()
+	p := highTrafficPred(tab.Schema())
+	c := Classify(tab, p)
+	if len(c.Plus)+len(c.Maybe)+len(c.Minus) != tab.Len() {
+		t.Fatalf("partition sizes %d+%d+%d != %d",
+			len(c.Plus), len(c.Maybe), len(c.Minus), tab.Len())
+	}
+	if len(c.Plus) != 2 || len(c.Maybe) != 4 || len(c.Minus) != 0 {
+		t.Errorf("traffic>100 partition = +%d ?%d -%d, want +2 ?4 -0",
+			len(c.Plus), len(c.Maybe), len(c.Minus))
+	}
+	if c.PossibleCount() != 6 {
+		t.Errorf("PossibleCount = %d", c.PossibleCount())
+	}
+}
+
+func TestLogicalConnectives(t *testing.T) {
+	tab := workload.Figure2Table()
+	s := tab.Schema()
+	lat := s.MustLookup(workload.ColLatency)
+	lt10 := NewCmp(Column(lat, "latency"), Lt, Const(10))
+	// Tuple 4 latency [9,11] → Unknown; NOT Unknown = Unknown.
+	tu := tab.At(tab.ByKey(4))
+	if got := NewNot(lt10).Eval(tu); got != interval.Unknown {
+		t.Errorf("NOT unknown = %v", got)
+	}
+	// Unknown OR True = True.
+	always := TruePred{}
+	if got := NewOr(lt10, always).Eval(tu); got != interval.True {
+		t.Errorf("unknown OR true = %v", got)
+	}
+	// Unknown AND False = False.
+	never := NewNot(TruePred{})
+	if got := NewAnd(lt10, never).Eval(tu); got != interval.False {
+		t.Errorf("unknown AND false = %v", got)
+	}
+}
+
+func TestColumns(t *testing.T) {
+	s := workload.LinkSchema()
+	p := fastLinksPred(s)
+	cols := p.Columns(nil)
+	if len(cols) != 2 {
+		t.Fatalf("Columns = %v", cols)
+	}
+	seen := map[int]bool{}
+	for _, c := range cols {
+		seen[c] = true
+	}
+	if !seen[s.MustLookup(workload.ColBandwidth)] || !seen[s.MustLookup(workload.ColLatency)] {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := workload.LinkSchema()
+	p := fastLinksPred(s)
+	want := "(bandwidth > 50 AND latency < 10)"
+	if p.String() != want {
+		t.Errorf("String = %q, want %q", p.String(), want)
+	}
+	if (TruePred{}).String() != "TRUE" {
+		t.Error("TruePred string")
+	}
+	n := NewNot(TruePred{})
+	if n.String() != "NOT (TRUE)" {
+		t.Errorf("Not string = %q", n.String())
+	}
+	if Const(3.5).String() != "3.5" {
+		t.Errorf("Const string = %q", Const(3.5).String())
+	}
+	if Column(2, "").String() != "col2" {
+		t.Errorf("anonymous column string = %q", Column(2, "").String())
+	}
+}
+
+func TestIsTrivial(t *testing.T) {
+	if !IsTrivial(TruePred{}) || !IsTrivial(nil) {
+		t.Error("IsTrivial false negatives")
+	}
+	if IsTrivial(NewCmp(Const(1), Lt, Const(2))) {
+		t.Error("comparison is trivial")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Plus.String() != "T+" || Maybe.String() != "T?" || Minus.String() != "T-" {
+		t.Error("Class strings")
+	}
+}
+
+// randomExpr builds a random predicate tree over the given columns.
+func randomExpr(r *rand.Rand, cols int, depth int) Expr {
+	if depth == 0 || r.Intn(3) == 0 {
+		mkOperand := func() Operand {
+			if r.Intn(2) == 0 {
+				return Column(r.Intn(cols), "")
+			}
+			return Const(r.Float64()*40 - 20)
+		}
+		return NewCmp(mkOperand(), Op(r.Intn(6)), mkOperand())
+	}
+	switch r.Intn(3) {
+	case 0:
+		return NewAnd(randomExpr(r, cols, depth-1), randomExpr(r, cols, depth-1))
+	case 1:
+		return NewOr(randomExpr(r, cols, depth-1), randomExpr(r, cols, depth-1))
+	default:
+		return NewNot(randomExpr(r, cols, depth-1))
+	}
+}
+
+// TestQuickClassificationSoundness is the package's central property: for
+// random predicates, random bounds, and random master values inside those
+// bounds, T+ tuples always satisfy the predicate and T− tuples never do.
+func TestQuickClassificationSoundness(t *testing.T) {
+	const cols = 3
+	schema := relation.NewSchema(
+		relation.Column{Name: "a", Kind: relation.Bounded},
+		relation.Column{Name: "b", Kind: relation.Bounded},
+		relation.Column{Name: "c", Kind: relation.Bounded},
+	)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomExpr(r, cols, 3)
+		for trial := 0; trial < 30; trial++ {
+			bounds := make([]interval.Interval, cols)
+			vals := make([]float64, cols)
+			for i := range bounds {
+				lo := r.Float64()*40 - 20
+				w := r.Float64() * 10
+				if r.Intn(4) == 0 {
+					w = 0 // exact value
+				}
+				bounds[i] = interval.New(lo, lo+w)
+				vals[i] = lo + r.Float64()*w
+			}
+			tu := &relation.Tuple{Key: 1, Bounds: bounds}
+			cls := ClassifyTuple(p, tu)
+			holds := p.EvalExact(vals)
+			if cls == Plus && !holds {
+				return false
+			}
+			if cls == Minus && holds {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+	_ = schema
+}

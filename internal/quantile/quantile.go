@@ -1,0 +1,171 @@
+// Package quantile extends TRAPP/AG with bounded order-statistic queries —
+// MEDIAN, general k-th smallest, and TOP-n — the first item on the paper's
+// future-work list (section 8.1, citing the companion paper [FMP+00],
+// "Computing the median with uncertainty").
+//
+// The bounded answer for the k-th smallest value over bounds
+// [L_1,H_1]..[L_n,H_n] is
+//
+//	[ k-th smallest of {L_i},  k-th smallest of {H_i} ]
+//
+// which follows from the monotonicity of order statistics: pushing every
+// value to its lower endpoint minimizes the k-th smallest, pushing every
+// value to its upper endpoint maximizes it, and the statistic moves
+// continuously in between.
+//
+// Refresh selection for order statistics does not reduce to a knapsack the
+// way SUM does — refreshing a tuple helps only if its bound overlaps the
+// answer region — so this package provides the iterative strategy the
+// paper sketches in section 8.2: repeatedly refresh the cheapest tuple
+// whose bound overlaps the current answer interval, recomputing after each
+// refresh, until the precision constraint is met. Each step strictly
+// shrinks some bound to a point, so the loop terminates with an exact
+// answer in the worst case.
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"trapp/internal/interval"
+	"trapp/internal/query"
+	"trapp/internal/relation"
+)
+
+// KthSmallest computes the bounded k-th smallest value (1-based) of the
+// given column over all tuples of the table. It returns Empty when
+// k is out of range.
+func KthSmallest(t *relation.Table, col int, k int) interval.Interval {
+	n := t.Len()
+	if k < 1 || k > n {
+		return interval.Empty
+	}
+	los := make([]float64, n)
+	his := make([]float64, n)
+	for i := 0; i < n; i++ {
+		b := t.At(i).Bounds[col]
+		los[i] = b.Lo
+		his[i] = b.Hi
+	}
+	sort.Float64s(los)
+	sort.Float64s(his)
+	return interval.Interval{Lo: los[k-1], Hi: his[k-1]}
+}
+
+// Median computes the bounded median: the ⌈n/2⌉-th smallest value, the
+// convention of [FMP+00] for odd and even n alike.
+func Median(t *relation.Table, col int) interval.Interval {
+	return KthSmallest(t, col, (t.Len()+1)/2)
+}
+
+// TopN computes the bounded n-th largest value, i.e. the (N−n+1)-th
+// smallest over a table of N tuples.
+func TopN(t *relation.Table, col int, n int) interval.Interval {
+	return KthSmallest(t, col, t.Len()-n+1)
+}
+
+// ExactKth computes the precise k-th smallest from master values (bounded
+// columns in schema order), the ground truth for tests.
+func ExactKth(t *relation.Table, col int, k int, master map[int64][]float64) (float64, bool) {
+	n := t.Len()
+	if k < 1 || k > n {
+		return 0, false
+	}
+	schema := t.Schema()
+	bcols := schema.BoundedColumns()
+	pos := -1
+	for j, c := range bcols {
+		if c == col {
+			pos = j
+		}
+	}
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		tu := t.At(i)
+		if pos >= 0 {
+			vals = append(vals, master[tu.Key][pos])
+		} else {
+			vals = append(vals, tu.Bounds[col].Lo)
+		}
+	}
+	sort.Float64s(vals)
+	return vals[k-1], true
+}
+
+// Result reports an order-statistic query execution.
+type Result struct {
+	// Answer is the final bounded k-th smallest.
+	Answer interval.Interval
+	// Initial is the pre-refresh bound.
+	Initial interval.Interval
+	// Refreshed counts refreshed tuples.
+	Refreshed int
+	// RefreshCost is the total cost paid.
+	RefreshCost float64
+	// Met reports whether the final width is within the constraint.
+	Met bool
+}
+
+// ExecuteKth runs the iterative bounded k-th smallest query: refresh the
+// cheapest tuple overlapping the current answer interval until the width
+// is at most r.
+func ExecuteKth(t *relation.Table, col int, k int, r float64, oracle query.Oracle) (Result, error) {
+	if r < 0 || math.IsNaN(r) {
+		return Result{}, fmt.Errorf("quantile: invalid precision constraint %g", r)
+	}
+	if k < 1 || k > t.Len() {
+		return Result{}, fmt.Errorf("quantile: k=%d out of range for %d tuples", k, t.Len())
+	}
+	var res Result
+	res.Initial = KthSmallest(t, col, k)
+	res.Answer = res.Initial
+	refreshed := make(map[int64]bool)
+	for res.Answer.Width() > r+1e-12 {
+		// Candidates: unrefreshed tuples with nonzero width overlapping
+		// the answer interval. Refreshing anything else cannot move
+		// either endpoint of the k-th order statistic.
+		best := -1
+		bestCost := math.Inf(1)
+		for i := 0; i < t.Len(); i++ {
+			tu := t.At(i)
+			if refreshed[tu.Key] || tu.Bounds[col].Width() == 0 {
+				continue
+			}
+			if !tu.Bounds[col].Intersects(res.Answer) {
+				continue
+			}
+			if tu.Cost < bestCost {
+				best, bestCost = i, tu.Cost
+			}
+		}
+		if best < 0 {
+			// No overlapping uncertain tuple remains, yet the width
+			// exceeds r: impossible, because with every overlapping bound
+			// a point the k-th smallest of Lo's equals that of Hi's.
+			return res, fmt.Errorf("quantile: stalled at width %g > %g", res.Answer.Width(), r)
+		}
+		tu := t.At(best)
+		if oracle == nil {
+			return res, fmt.Errorf("quantile: no oracle to refresh tuple %d", tu.Key)
+		}
+		vals, ok := oracle.Master(tu.Key)
+		if !ok {
+			return res, fmt.Errorf("quantile: oracle missing key %d", tu.Key)
+		}
+		if err := t.Refresh(best, vals); err != nil {
+			return res, err
+		}
+		refreshed[tu.Key] = true
+		res.Refreshed++
+		res.RefreshCost += bestCost
+		res.Answer = KthSmallest(t, col, k)
+	}
+	res.Met = true
+	return res, nil
+}
+
+// ExecuteMedian runs the iterative bounded median query.
+func ExecuteMedian(t *relation.Table, col int, r float64, oracle query.Oracle) (Result, error) {
+	return ExecuteKth(t, col, (t.Len()+1)/2, r, oracle)
+}

@@ -1,0 +1,233 @@
+// Package query implements the TRAPP/AG query model and the three-step
+// bounded query execution of paper section 4:
+//
+//  1. Compute an initial bounded answer from the cached bounds and check
+//     the precision constraint. If it is not met,
+//  2. run CHOOSE_REFRESH to select a minimum-cost set of tuples and
+//     refresh them from their sources, then
+//  3. recompute the bounded answer from the partially refreshed cache.
+//
+// The Processor works against any refresh Oracle; the trapp package wires
+// it to simulated remote sources with per-object costs, while tests use
+// in-memory master-value maps.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/interval"
+	"trapp/internal/predicate"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+)
+
+// Query is a single-table TRAPP/AG aggregation query:
+//
+//	SELECT AGGREGATE(table.column) WITHIN R FROM table WHERE predicate
+type Query struct {
+	// Table names the cached table.
+	Table string
+	// Agg is the aggregation function.
+	Agg aggregate.Func
+	// Column names the aggregation column.
+	Column string
+	// Within is the precision constraint R ≥ 0; +Inf (the zero query's
+	// default via NewQuery) means unconstrained (pure imprecise mode).
+	Within float64
+	// RelativeWithin, when positive, expresses the §8.1 relative
+	// constraint: the answer width must be at most 2·|A|·RelativeWithin
+	// for the true answer A. It takes precedence over Within.
+	RelativeWithin float64
+	// Where is the selection predicate; nil means none.
+	Where predicate.Expr
+	// GroupBy lists exact grouping columns (§8.1 extension); non-empty
+	// queries must be run with ExecuteGroupBy.
+	GroupBy []string
+}
+
+// NewQuery returns a query with an unconstrained precision (R = +Inf).
+func NewQuery(table string, agg aggregate.Func, column string) Query {
+	return Query{Table: table, Agg: agg, Column: column, Within: math.Inf(1)}
+}
+
+// String renders the query in the paper's SQL-ish syntax.
+func (q Query) String() string {
+	s := fmt.Sprintf("SELECT %s(%s.%s)", q.Agg, q.Table, q.Column)
+	if q.RelativeWithin > 0 {
+		s += fmt.Sprintf(" WITHIN %g%%", q.RelativeWithin*100)
+	} else if !math.IsInf(q.Within, 1) {
+		s += fmt.Sprintf(" WITHIN %g", q.Within)
+	}
+	s += " FROM " + q.Table
+	if !predicate.IsTrivial(q.Where) {
+		s += " WHERE " + q.Where.String()
+	}
+	for i, g := range q.GroupBy {
+		if i == 0 {
+			s += " GROUP BY " + g
+		} else {
+			s += ", " + g
+		}
+	}
+	return s
+}
+
+// Oracle supplies exact master values during query-initiated refreshes.
+// Master returns the precise values of the bounded columns (in schema
+// order) for the object with the given key.
+type Oracle interface {
+	Master(key int64) (vals []float64, ok bool)
+}
+
+// Result reports a bounded query execution.
+type Result struct {
+	// Answer is the final bounded answer [LA, HA].
+	Answer interval.Interval
+	// Initial is the bounded answer computed from cached bounds alone
+	// (step 1), before any refresh.
+	Initial interval.Interval
+	// Refreshed is the number of tuples refreshed.
+	Refreshed int
+	// RefreshCost is the total cost Σ C_i paid for refreshes.
+	RefreshCost float64
+	// ChooseTime is the time spent inside CHOOSE_REFRESH, the quantity
+	// plotted in the paper's Figure 5.
+	ChooseTime time.Duration
+	// Met reports whether the final answer satisfies the precision
+	// constraint (always true for supported queries unless the answer is
+	// exactly undefined, which counts as met).
+	Met bool
+}
+
+// Processor executes bounded queries over a set of cached tables, pulling
+// refreshes from per-table oracles.
+type Processor struct {
+	tables  map[string]*relation.Table
+	oracles map[string]Oracle
+	opts    refresh.Options
+}
+
+// NewProcessor returns an empty processor with the given refresh options.
+func NewProcessor(opts refresh.Options) *Processor {
+	return &Processor{
+		tables:  make(map[string]*relation.Table),
+		oracles: make(map[string]Oracle),
+		opts:    opts,
+	}
+}
+
+// Register adds a cached table and its refresh oracle. A nil oracle is
+// allowed for tables queried only in imprecise mode.
+func (p *Processor) Register(name string, t *relation.Table, o Oracle) {
+	p.tables[name] = t
+	p.oracles[name] = o
+}
+
+// Table returns a registered table, or nil.
+func (p *Processor) Table(name string) *relation.Table { return p.tables[name] }
+
+// ErrUnknownTable is returned for queries against unregistered tables.
+var ErrUnknownTable = errors.New("query: unknown table")
+
+// ErrUnknownColumn is returned when the aggregation column does not exist.
+var ErrUnknownColumn = errors.New("query: unknown column")
+
+// ErrNoOracle is returned when a query needs refreshes but the table has
+// no oracle.
+var ErrNoOracle = errors.New("query: table has no refresh oracle")
+
+// Execute runs the three-step bounded execution for the query. Queries
+// with a relative precision constraint are delegated to ExecuteRelative;
+// queries with GROUP BY must be run with ExecuteGroupBy.
+func (p *Processor) Execute(q Query) (Result, error) {
+	if len(q.GroupBy) > 0 {
+		return Result{}, fmt.Errorf("query: GROUP BY query requires ExecuteGroupBy")
+	}
+	if q.RelativeWithin > 0 {
+		rel := q.RelativeWithin
+		q.RelativeWithin = 0
+		return p.ExecuteRelative(q, rel)
+	}
+	t, ok := p.tables[q.Table]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknownTable, q.Table)
+	}
+	col, ok := t.Schema().Lookup(q.Column)
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, q.Table, q.Column)
+	}
+	if q.Within < 0 || math.IsNaN(q.Within) {
+		return Result{}, fmt.Errorf("query: invalid precision constraint %g", q.Within)
+	}
+
+	// Step 1: initial bounded answer from cached bounds.
+	var res Result
+	res.Initial = aggregate.Eval(t, col, q.Agg, q.Where)
+	res.Answer = res.Initial
+	if satisfies(res.Answer, q.Within) {
+		res.Met = true
+		return res, nil
+	}
+
+	// Step 2: choose and perform refreshes.
+	start := time.Now()
+	plan, err := refresh.Choose(t, col, q.Agg, q.Where, q.Within, p.opts)
+	res.ChooseTime = time.Since(start)
+	if err != nil {
+		return res, err
+	}
+	if plan.Len() > 0 {
+		oracle := p.oracles[q.Table]
+		if oracle == nil {
+			return res, fmt.Errorf("%w: %q", ErrNoOracle, q.Table)
+		}
+		for _, key := range plan.Keys {
+			vals, ok := oracle.Master(key)
+			if !ok {
+				return res, fmt.Errorf("query: oracle has no master values for key %d", key)
+			}
+			i := t.ByKey(key)
+			if i < 0 {
+				return res, fmt.Errorf("query: planned key %d vanished from table", key)
+			}
+			if err := t.Refresh(i, vals); err != nil {
+				return res, err
+			}
+		}
+		res.Refreshed = plan.Len()
+		res.RefreshCost = plan.Cost
+	}
+
+	// Step 3: recompute from the partially refreshed cache.
+	res.Answer = aggregate.Eval(t, col, q.Agg, q.Where)
+	res.Met = satisfies(res.Answer, q.Within)
+	return res, nil
+}
+
+// satisfies reports whether a bounded answer meets the constraint. An
+// empty answer (exactly undefined aggregate) is trivially precise.
+func satisfies(a interval.Interval, r float64) bool {
+	if a.IsEmpty() {
+		return true
+	}
+	return a.Width() <= r+1e-9
+}
+
+// PreciseMode executes the query by refreshing every tuple that might
+// contribute, the "query the sources" extreme of Figure 1(a). It is the
+// baseline for the precision-performance experiments.
+func (p *Processor) PreciseMode(q Query) (Result, error) {
+	q.Within = 0
+	return p.Execute(q)
+}
+
+// ImpreciseMode executes the query over cached bounds only, the "query the
+// cache" extreme of Figure 1(a): no refreshes, no guarantees about width.
+func (p *Processor) ImpreciseMode(q Query) (Result, error) {
+	q.Within = math.Inf(1)
+	return p.Execute(q)
+}

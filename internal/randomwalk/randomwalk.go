@@ -1,0 +1,124 @@
+// Package randomwalk implements the update models that drive TRAPP
+// simulation workloads. The paper's Appendix A motivates the √T bound
+// shape by modelling data values as one-dimensional random walks — updates
+// that increment or decrement the current value by small amounts ("escrow
+// transactions"). This package provides that walk, a Gaussian-step
+// variant, and a multiplicative (geometric) walk used to synthesize the
+// volatile stock-price series of section 5.2.1.
+//
+// All generators are deterministic given their seed, so experiments are
+// reproducible.
+package randomwalk
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Walk is a one-dimensional random walk: at each step the value moves up
+// or down by exactly the step size, matching the binomial model of
+// Appendix A.
+type Walk struct {
+	value float64
+	step  float64
+	rng   *rand.Rand
+}
+
+// NewWalk returns a walk starting at start with the given step size.
+func NewWalk(start, step float64, seed int64) *Walk {
+	return &Walk{value: start, step: step, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Value returns the current value.
+func (w *Walk) Value() float64 { return w.value }
+
+// Next advances one step and returns the new value.
+func (w *Walk) Next() float64 {
+	if w.rng.Intn(2) == 0 {
+		w.value += w.step
+	} else {
+		w.value -= w.step
+	}
+	return w.value
+}
+
+// Steps advances n steps and returns the final value.
+func (w *Walk) Steps(n int) float64 {
+	for i := 0; i < n; i++ {
+		w.Next()
+	}
+	return w.value
+}
+
+// Gaussian is a random walk with normally distributed steps, a smoother
+// model for measured quantities such as link latency.
+type Gaussian struct {
+	value float64
+	sigma float64
+	min   float64
+	rng   *rand.Rand
+}
+
+// NewGaussian returns a Gaussian walk starting at start with step standard
+// deviation sigma; values are clamped below at min (e.g. latencies cannot
+// go negative).
+func NewGaussian(start, sigma, min float64, seed int64) *Gaussian {
+	return &Gaussian{value: start, sigma: sigma, min: min, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Value returns the current value.
+func (g *Gaussian) Value() float64 { return g.value }
+
+// Next advances one step and returns the new value.
+func (g *Gaussian) Next() float64 {
+	g.value += g.rng.NormFloat64() * g.sigma
+	if g.value < g.min {
+		g.value = g.min
+	}
+	return g.value
+}
+
+// Geometric is a multiplicative random walk: each step scales the value by
+// exp(σ·N(0,1)), the standard discrete model for intraday stock prices.
+type Geometric struct {
+	value float64
+	sigma float64
+	rng   *rand.Rand
+}
+
+// NewGeometric returns a geometric walk starting at start with log-step
+// volatility sigma.
+func NewGeometric(start, sigma float64, seed int64) *Geometric {
+	return &Geometric{value: start, sigma: sigma, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Value returns the current value.
+func (g *Geometric) Value() float64 { return g.value }
+
+// Next advances one step and returns the new value.
+func (g *Geometric) Next() float64 {
+	g.value *= math.Exp(g.rng.NormFloat64() * g.sigma)
+	return g.value
+}
+
+// Series runs a walk-like generator for n steps and returns all values
+// including the start.
+func Series(next func() float64, start float64, n int) []float64 {
+	out := make([]float64, n+1)
+	out[0] = start
+	for i := 1; i <= n; i++ {
+		out[i] = next()
+	}
+	return out
+}
+
+// Envelope returns the minimum and maximum of a series — the day-low and
+// day-high of a simulated trading day.
+func Envelope(series []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range series {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

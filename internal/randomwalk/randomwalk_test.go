@@ -1,0 +1,97 @@
+package randomwalk
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWalkDeterministic(t *testing.T) {
+	a := NewWalk(10, 1, 5)
+	b := NewWalk(10, 1, 5)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("walks diverge at step %d", i)
+		}
+	}
+}
+
+func TestWalkStepSize(t *testing.T) {
+	w := NewWalk(0, 2.5, 1)
+	prev := w.Value()
+	for i := 0; i < 50; i++ {
+		v := w.Next()
+		if d := math.Abs(v - prev); d != 2.5 {
+			t.Fatalf("step %d moved by %g, want 2.5", i, d)
+		}
+		prev = v
+	}
+}
+
+func TestWalkSteps(t *testing.T) {
+	w := NewWalk(0, 1, 7)
+	v := w.Steps(10)
+	if v != w.Value() {
+		t.Error("Steps return differs from Value")
+	}
+	// After 10 unit steps parity of displacement is even.
+	if math.Mod(math.Abs(v), 2) != 0 {
+		t.Errorf("displacement %g has odd parity after 10 steps", v)
+	}
+}
+
+func TestWalkVarianceGrowsLikeT(t *testing.T) {
+	// Appendix A's premise: variance after T steps is s²·T. Estimate the
+	// standard deviation over many walks at two horizons and verify
+	// roughly √T scaling (factor 2 for 4× the steps, within 30%).
+	const walks = 400
+	sd := func(steps int) float64 {
+		var sum, sumsq float64
+		for i := 0; i < walks; i++ {
+			w := NewWalk(0, 1, int64(1000+i))
+			v := w.Steps(steps)
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / walks
+		return math.Sqrt(sumsq/walks - mean*mean)
+	}
+	r := sd(400) / sd(100)
+	if r < 1.4 || r > 2.6 {
+		t.Errorf("sd ratio for 4x steps = %g, want ≈ 2", r)
+	}
+}
+
+func TestGaussianClampsAtMin(t *testing.T) {
+	g := NewGaussian(0.5, 10, 0, 3)
+	for i := 0; i < 200; i++ {
+		if v := g.Next(); v < 0 {
+			t.Fatalf("value %g below min", v)
+		}
+	}
+}
+
+func TestGeometricStaysPositive(t *testing.T) {
+	g := NewGeometric(100, 0.05, 11)
+	for i := 0; i < 500; i++ {
+		if v := g.Next(); v <= 0 {
+			t.Fatalf("geometric walk hit %g", v)
+		}
+	}
+}
+
+func TestSeriesAndEnvelope(t *testing.T) {
+	w := NewWalk(5, 1, 13)
+	s := Series(w.Next, 5, 20)
+	if len(s) != 21 || s[0] != 5 {
+		t.Fatalf("series = %v", s)
+	}
+	lo, hi := Envelope(s)
+	if lo > 5 || hi < 5 {
+		t.Errorf("envelope [%g, %g] excludes start", lo, hi)
+	}
+	for _, v := range s {
+		if v < lo || v > hi {
+			t.Errorf("value %g outside envelope [%g, %g]", v, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package refresh
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/relation"
+	"trapp/internal/workload"
+)
+
+func stockWithIndexes(n int, seed int64) (*relation.Table, *relation.Index, *relation.Index, *relation.Index, int) {
+	quotes := workload.StockDay(n, seed)
+	tab := workload.StockTable(quotes)
+	price := tab.Schema().MustLookup("price")
+	lower := relation.NewIndex(tab, price, relation.LowerEndpoint)
+	upper := relation.NewIndex(tab, price, relation.UpperEndpoint)
+	width := relation.NewIndex(tab, price, relation.BoundWidth)
+	return tab, lower, upper, width, price
+}
+
+func sortedKeys(keys []int64) []int64 {
+	out := append([]int64(nil), keys...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func TestChooseMinIndexedMatchesScan(t *testing.T) {
+	tab, lower, upper, _, price := stockWithIndexes(90, 7)
+	for _, r := range []float64{0, 5, 20, 100} {
+		scan, err := Choose(tab, price, aggregate.Min, nil, r, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := ChooseMinIndexed(tab, lower, upper, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := sortedKeys(scan.Keys), sortedKeys(idx.Keys)
+		if len(a) != len(b) {
+			t.Fatalf("R=%g: scan %d keys, indexed %d keys", r, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("R=%g: key sets differ: %v vs %v", r, a, b)
+			}
+		}
+		if math.Abs(scan.Cost-idx.Cost) > 1e-9 {
+			t.Errorf("R=%g: costs differ %g vs %g", r, scan.Cost, idx.Cost)
+		}
+	}
+}
+
+func TestChooseMaxIndexedMatchesScan(t *testing.T) {
+	tab, lower, upper, _, price := stockWithIndexes(90, 9)
+	for _, r := range []float64{0, 5, 20, 100} {
+		scan, err := Choose(tab, price, aggregate.Max, nil, r, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := ChooseMaxIndexed(tab, lower, upper, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := sortedKeys(scan.Keys), sortedKeys(idx.Keys)
+		if len(a) != len(b) {
+			t.Fatalf("R=%g: scan %d keys, indexed %d", r, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("R=%g: key sets differ", r)
+			}
+		}
+	}
+}
+
+func TestChooseUniformSumIndexedGuarantee(t *testing.T) {
+	// Uniform costs: the indexed greedy is optimal; verify residual width
+	// fits the budget and matches the scan-based GreedyUniform solver.
+	quotes := workload.StockDay(60, 3)
+	for i := range quotes {
+		quotes[i].Cost = 5
+	}
+	tab := workload.StockTable(quotes)
+	price := tab.Schema().MustLookup("price")
+	width := relation.NewIndex(tab, price, relation.BoundWidth)
+	for _, r := range []float64{0, 10, 50, 500} {
+		plan, err := ChooseUniformSumIndexed(tab, price, width, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refreshed := map[int64]bool{}
+		for _, k := range plan.Keys {
+			refreshed[k] = true
+		}
+		var residual float64
+		for i := 0; i < tab.Len(); i++ {
+			tu := tab.At(i)
+			if !refreshed[tu.Key] {
+				residual += tu.Bounds[price].Width()
+			}
+		}
+		if residual > r+1e-9 {
+			t.Errorf("R=%g: residual %g", r, residual)
+		}
+		scan, err := Choose(tab, price, aggregate.Sum, nil, r, Options{Solver: SolverGreedyUniform})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(scan.Cost-plan.Cost) > 1e-9 {
+			t.Errorf("R=%g: cost %g vs scan %g", r, plan.Cost, scan.Cost)
+		}
+	}
+}
+
+func TestIndexedInfiniteAndEmpty(t *testing.T) {
+	tab, lower, upper, width, _ := stockWithIndexes(10, 1)
+	if p, err := ChooseMinIndexed(tab, lower, upper, math.Inf(1)); err != nil || p.Len() != 0 {
+		t.Error("infinite R not empty plan")
+	}
+	if _, err := ChooseMinIndexed(tab, lower, upper, -1); err == nil {
+		t.Error("negative R accepted")
+	}
+	if _, err := ChooseMaxIndexed(tab, lower, upper, math.NaN()); err == nil {
+		t.Error("NaN R accepted")
+	}
+	if _, err := ChooseUniformSumIndexed(tab, 1, width, -1); err == nil {
+		t.Error("negative R accepted for uniform sum")
+	}
+
+	empty := relation.NewTable(workload.StockSchema())
+	price := empty.Schema().MustLookup("price")
+	el := relation.NewIndex(empty, price, relation.LowerEndpoint)
+	eu := relation.NewIndex(empty, price, relation.UpperEndpoint)
+	if p, err := ChooseMinIndexed(empty, el, eu, 5); err != nil || p.Len() != 0 {
+		t.Error("empty table plan not empty")
+	}
+	if p, err := ChooseMaxIndexed(empty, el, eu, 5); err != nil || p.Len() != 0 {
+		t.Error("empty table max plan not empty")
+	}
+}
+
+// TestQuickIndexedEqualsScan compares indexed and scan plans on random
+// tables after random refresh churn (indexes updated incrementally).
+func TestQuickIndexedEqualsScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		quotes := workload.StockDay(n, seed)
+		tab := workload.StockTable(quotes)
+		price := tab.Schema().MustLookup("price")
+		lower := relation.NewIndex(tab, price, relation.LowerEndpoint)
+		upper := relation.NewIndex(tab, price, relation.UpperEndpoint)
+		// Random churn: refresh a few tuples and update indexes.
+		for j := 0; j < r.Intn(5); j++ {
+			i := r.Intn(tab.Len())
+			tu := tab.At(i)
+			v := tu.Bounds[price].Lo + r.Float64()*tu.Bounds[price].Width()
+			if err := tab.Refresh(i, []float64{v}); err != nil {
+				return false
+			}
+			if lower.Update(tu.Key) != nil || upper.Update(tu.Key) != nil {
+				return false
+			}
+		}
+		R := r.Float64() * 30
+		scan, err := Choose(tab, price, aggregate.Min, nil, R, Options{})
+		if err != nil {
+			return false
+		}
+		idx, err := ChooseMinIndexed(tab, lower, upper, R)
+		if err != nil {
+			return false
+		}
+		a, b := sortedKeys(scan.Keys), sortedKeys(idx.Keys)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,342 @@
+package relation
+
+// BTree is an in-memory B-tree mapping float64 keys to tuple keys, used to
+// index bound endpoints (lower bounds, upper bounds, widths) and refresh
+// costs. The paper's CHOOSE_REFRESH algorithms for MIN/MAX/COUNT achieve
+// sublinear running time given B-tree indexes on these quantities
+// (sections 5.1, 6.3, 8.3); this implementation provides the same
+// asymptotics for the simulated cache.
+//
+// Duplicate float keys are permitted; entries are ordered by (key, id) so
+// iteration is deterministic.
+type BTree struct {
+	root   *btreeNode
+	degree int
+	size   int
+}
+
+// btreeEntry is one (key, id) pair.
+type btreeEntry struct {
+	key float64
+	id  int64
+}
+
+// less orders entries by key then id.
+func (e btreeEntry) less(o btreeEntry) bool {
+	if e.key != o.key {
+		return e.key < o.key
+	}
+	return e.id < o.id
+}
+
+type btreeNode struct {
+	entries  []btreeEntry
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// NewBTree returns an empty B-tree with the given minimum degree t (each
+// node except the root holds between t−1 and 2t−1 entries). Degree < 2 is
+// raised to 2.
+func NewBTree(degree int) *BTree {
+	if degree < 2 {
+		degree = 2
+	}
+	return &BTree{degree: degree}
+}
+
+// Len returns the number of entries.
+func (t *BTree) Len() int { return t.size }
+
+// maxEntries is 2t−1.
+func (t *BTree) maxEntries() int { return 2*t.degree - 1 }
+
+// minEntries is t−1.
+func (t *BTree) minEntries() int { return t.degree - 1 }
+
+// Insert adds the (key, id) pair. Duplicates of the exact pair are allowed
+// and stored separately; callers that need set semantics should Delete
+// before Insert.
+func (t *BTree) Insert(key float64, id int64) {
+	e := btreeEntry{key, id}
+	if t.root == nil {
+		t.root = &btreeNode{entries: []btreeEntry{e}}
+		t.size = 1
+		return
+	}
+	if len(t.root.entries) == t.maxEntries() {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, e)
+	t.size++
+}
+
+// splitChild splits the full i'th child of parent around its median entry.
+func (t *BTree) splitChild(parent *btreeNode, i int) {
+	child := parent.children[i]
+	mid := t.degree - 1
+	median := child.entries[mid]
+
+	right := &btreeNode{entries: append([]btreeEntry(nil), child.entries[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.entries = child.entries[:mid]
+
+	parent.entries = append(parent.entries, btreeEntry{})
+	copy(parent.entries[i+1:], parent.entries[i:])
+	parent.entries[i] = median
+
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+func (t *BTree) insertNonFull(n *btreeNode, e btreeEntry) {
+	for {
+		i := n.lowerBound(e)
+		if n.leaf() {
+			n.entries = append(n.entries, btreeEntry{})
+			copy(n.entries[i+1:], n.entries[i:])
+			n.entries[i] = e
+			return
+		}
+		if len(n.children[i].entries) == t.maxEntries() {
+			t.splitChild(n, i)
+			if n.entries[i].less(e) {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// lowerBound returns the first index whose entry is not less than e.
+func (n *btreeNode) lowerBound(e btreeEntry) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.entries[mid].less(e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Delete removes one occurrence of the (key, id) pair, reporting whether it
+// was present.
+func (t *BTree) Delete(key float64, id int64) bool {
+	if t.root == nil {
+		return false
+	}
+	ok := t.delete(t.root, btreeEntry{key, id})
+	if ok {
+		t.size--
+	}
+	if len(t.root.entries) == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	return ok
+}
+
+func (t *BTree) delete(n *btreeNode, e btreeEntry) bool {
+	i := n.lowerBound(e)
+	found := i < len(n.entries) && !e.less(n.entries[i]) // entries[i] == e
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		return true
+	}
+	if found {
+		// Replace with predecessor or successor, or merge.
+		if len(n.children[i].entries) > t.minEntries() {
+			pred := t.maxEntry(n.children[i])
+			n.entries[i] = pred
+			return t.delete(n.children[i], pred)
+		}
+		if len(n.children[i+1].entries) > t.minEntries() {
+			succ := t.minEntry(n.children[i+1])
+			n.entries[i] = succ
+			return t.delete(n.children[i+1], succ)
+		}
+		t.merge(n, i)
+		return t.delete(n.children[i], e)
+	}
+	// Descend, refilling the child first if it is minimal.
+	if len(n.children[i].entries) == t.minEntries() {
+		t.fill(n, i)
+		// fill may have merged children; recompute the branch.
+		i = n.lowerBound(e)
+		if i < len(n.entries) && !e.less(n.entries[i]) {
+			return t.delete(n, e)
+		}
+		if i >= len(n.children) {
+			i = len(n.children) - 1
+		}
+	}
+	return t.delete(n.children[i], e)
+}
+
+func (t *BTree) maxEntry(n *btreeNode) btreeEntry {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.entries[len(n.entries)-1]
+}
+
+func (t *BTree) minEntry(n *btreeNode) btreeEntry {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.entries[0]
+}
+
+// fill ensures child i of n has more than minEntries entries, borrowing
+// from a sibling or merging.
+func (t *BTree) fill(n *btreeNode, i int) {
+	if i > 0 && len(n.children[i-1].entries) > t.minEntries() {
+		t.borrowFromLeft(n, i)
+		return
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].entries) > t.minEntries() {
+		t.borrowFromRight(n, i)
+		return
+	}
+	if i == len(n.children)-1 {
+		t.merge(n, i-1)
+	} else {
+		t.merge(n, i)
+	}
+}
+
+func (t *BTree) borrowFromLeft(n *btreeNode, i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.entries = append([]btreeEntry{n.entries[i-1]}, child.entries...)
+	n.entries[i-1] = left.entries[len(left.entries)-1]
+	left.entries = left.entries[:len(left.entries)-1]
+	if !left.leaf() {
+		child.children = append([]*btreeNode{left.children[len(left.children)-1]}, child.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+func (t *BTree) borrowFromRight(n *btreeNode, i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.entries = append(child.entries, n.entries[i])
+	n.entries[i] = right.entries[0]
+	right.entries = append(right.entries[:0], right.entries[1:]...)
+	if !right.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// merge folds entry i of n and child i+1 into child i.
+func (t *BTree) merge(n *btreeNode, i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.entries = append(child.entries, n.entries[i])
+	child.entries = append(child.entries, right.entries...)
+	if !child.leaf() {
+		child.children = append(child.children, right.children...)
+	}
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Min returns the smallest key and its id; ok is false when empty. This is
+// the sublinear "find min_k(H_k)" primitive used by CHOOSE_REFRESH for MIN.
+func (t *BTree) Min() (key float64, id int64, ok bool) {
+	if t.root == nil {
+		return 0, 0, false
+	}
+	e := t.minEntry(t.root)
+	return e.key, e.id, true
+}
+
+// Max returns the largest key and its id; ok is false when empty.
+func (t *BTree) Max() (key float64, id int64, ok bool) {
+	if t.root == nil {
+		return 0, 0, false
+	}
+	e := t.maxEntry(t.root)
+	return e.key, e.id, true
+}
+
+// AscendLess calls fn for each entry with key < pivot in ascending order,
+// stopping early if fn returns false. This is the sublinear "all tuples
+// with L_i < threshold" scan used by CHOOSE_REFRESH for MIN.
+func (t *BTree) AscendLess(pivot float64, fn func(key float64, id int64) bool) {
+	t.ascend(t.root, func(e btreeEntry) bool {
+		if e.key >= pivot {
+			return false
+		}
+		return fn(e.key, e.id)
+	})
+}
+
+// DescendGreater calls fn for each entry with key > pivot in descending
+// order, stopping early if fn returns false — the MAX counterpart.
+func (t *BTree) DescendGreater(pivot float64, fn func(key float64, id int64) bool) {
+	t.descend(t.root, func(e btreeEntry) bool {
+		if e.key <= pivot {
+			return false
+		}
+		return fn(e.key, e.id)
+	})
+}
+
+// Ascend calls fn for every entry in ascending order, stopping early if fn
+// returns false. Used to take the k cheapest tuples for COUNT refresh.
+func (t *BTree) Ascend(fn func(key float64, id int64) bool) {
+	t.ascend(t.root, func(e btreeEntry) bool { return fn(e.key, e.id) })
+}
+
+func (t *BTree) ascend(n *btreeNode, fn func(btreeEntry) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i, e := range n.entries {
+		if !n.leaf() && !t.ascend(n.children[i], fn) {
+			return false
+		}
+		if !fn(e) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.ascend(n.children[len(n.children)-1], fn)
+	}
+	return true
+}
+
+func (t *BTree) descend(n *btreeNode, fn func(btreeEntry) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !n.leaf() {
+		if !t.descend(n.children[len(n.children)-1], fn) {
+			return false
+		}
+	}
+	for i := len(n.entries) - 1; i >= 0; i-- {
+		if !fn(n.entries[i]) {
+			return false
+		}
+		if !n.leaf() && !t.descend(n.children[i], fn) {
+			return false
+		}
+	}
+	return true
+}

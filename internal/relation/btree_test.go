@@ -1,0 +1,186 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeInsertAscend(t *testing.T) {
+	bt := NewBTree(2)
+	keys := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for i, k := range keys {
+		bt.Insert(k, int64(i))
+	}
+	if bt.Len() != len(keys) {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	var got []float64
+	bt.Ascend(func(k float64, _ int64) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("not sorted: %v", got)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("ascend visited %d entries", len(got))
+	}
+}
+
+func TestBTreeMinMax(t *testing.T) {
+	bt := NewBTree(3)
+	if _, _, ok := bt.Min(); ok {
+		t.Error("Min on empty ok")
+	}
+	for i := 0; i < 100; i++ {
+		bt.Insert(float64((i*37)%100), int64(i))
+	}
+	if k, _, ok := bt.Min(); !ok || k != 0 {
+		t.Errorf("Min = %g, %v", k, ok)
+	}
+	if k, _, ok := bt.Max(); !ok || k != 99 {
+		t.Errorf("Max = %g, %v", k, ok)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree(2)
+	for i := 0; i < 50; i++ {
+		bt.Insert(float64(i), int64(i))
+	}
+	for i := 0; i < 50; i += 2 {
+		if !bt.Delete(float64(i), int64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if bt.Len() != 25 {
+		t.Fatalf("Len after deletes = %d", bt.Len())
+	}
+	if bt.Delete(0, 0) {
+		t.Error("deleting absent entry reported true")
+	}
+	var got []float64
+	bt.Ascend(func(k float64, _ int64) bool { got = append(got, k); return true })
+	for _, k := range got {
+		if int(k)%2 == 0 {
+			t.Fatalf("even key %g survived", k)
+		}
+	}
+}
+
+func TestBTreeDuplicateKeys(t *testing.T) {
+	bt := NewBTree(2)
+	bt.Insert(5, 1)
+	bt.Insert(5, 2)
+	bt.Insert(5, 3)
+	if bt.Len() != 3 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	if !bt.Delete(5, 2) {
+		t.Fatal("Delete(5, 2) failed")
+	}
+	var ids []int64
+	bt.Ascend(func(_ float64, id int64) bool { ids = append(ids, id); return true })
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestBTreeAscendLess(t *testing.T) {
+	bt := NewBTree(4)
+	for i := 0; i < 20; i++ {
+		bt.Insert(float64(i), int64(i))
+	}
+	var got []float64
+	bt.AscendLess(7, func(k float64, _ int64) bool { got = append(got, k); return true })
+	if len(got) != 7 || got[6] != 6 {
+		t.Fatalf("AscendLess(7) = %v", got)
+	}
+	// Early stop.
+	count := 0
+	bt.AscendLess(100, func(_ float64, _ int64) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeDescendGreater(t *testing.T) {
+	bt := NewBTree(4)
+	for i := 0; i < 20; i++ {
+		bt.Insert(float64(i), int64(i))
+	}
+	var got []float64
+	bt.DescendGreater(15, func(k float64, _ int64) bool { got = append(got, k); return true })
+	want := []float64{19, 18, 17, 16}
+	if len(got) != len(want) {
+		t.Fatalf("DescendGreater(15) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DescendGreater(15) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBTreeDegreeFloor(t *testing.T) {
+	bt := NewBTree(0) // raised to 2
+	for i := 0; i < 100; i++ {
+		bt.Insert(float64(i), int64(i))
+	}
+	if bt.Len() != 100 {
+		t.Fatal("degree floor broken")
+	}
+}
+
+// TestQuickBTreeMatchesSortedSlice runs random insert/delete workloads and
+// compares the tree's iteration order with a reference sorted slice.
+func TestQuickBTreeMatchesReference(t *testing.T) {
+	type entry struct {
+		k  float64
+		id int64
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bt := NewBTree(2 + r.Intn(4))
+		var ref []entry
+		for op := 0; op < 300; op++ {
+			if r.Intn(3) > 0 || len(ref) == 0 { // 2/3 inserts
+				e := entry{k: float64(r.Intn(40)), id: int64(r.Intn(1000))}
+				bt.Insert(e.k, e.id)
+				ref = append(ref, e)
+			} else {
+				i := r.Intn(len(ref))
+				e := ref[i]
+				if !bt.Delete(e.k, e.id) {
+					return false
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].k != ref[b].k {
+				return ref[a].k < ref[b].k
+			}
+			return ref[a].id < ref[b].id
+		})
+		i := 0
+		okAll := true
+		bt.Ascend(func(k float64, id int64) bool {
+			if i >= len(ref) || ref[i].k != k || ref[i].id != id {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okAll && i == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

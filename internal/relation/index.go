@@ -1,0 +1,163 @@
+package relation
+
+import (
+	"fmt"
+
+	"trapp/internal/interval"
+)
+
+// EndpointKind selects which quantity of a bounded column an Index orders.
+type EndpointKind int8
+
+const (
+	// LowerEndpoint indexes L_i, used by CHOOSE_REFRESH for MIN.
+	LowerEndpoint EndpointKind = iota
+	// UpperEndpoint indexes H_i, used to find min_k(H_k) and by MAX.
+	UpperEndpoint
+	// BoundWidth indexes H_i − L_i, used by the uniform-cost SUM greedy.
+	BoundWidth
+	// RefreshCost indexes C_i, used by CHOOSE_REFRESH for COUNT.
+	RefreshCost
+)
+
+// String names the endpoint kind.
+func (k EndpointKind) String() string {
+	switch k {
+	case LowerEndpoint:
+		return "lower"
+	case UpperEndpoint:
+		return "upper"
+	case BoundWidth:
+		return "width"
+	default:
+		return "cost"
+	}
+}
+
+// Index is a maintained B-tree over one endpoint quantity of one column of
+// a table, providing the sublinear scans assumed by the paper's complexity
+// analysis (sections 5.1, 6.3, 8.3). The index maps quantity values to
+// tuple keys; after any table mutation the owner must call Update (or
+// Rebuild) to keep it consistent.
+type Index struct {
+	table *Table
+	col   int // -1 for RefreshCost
+	kind  EndpointKind
+	tree  *BTree
+	// current records each indexed tuple's current key so updates can
+	// remove the stale entry.
+	current map[int64]float64
+}
+
+// NewIndex builds an index over the given column and endpoint kind. For
+// RefreshCost the column argument is ignored (pass -1).
+func NewIndex(t *Table, col int, kind EndpointKind) *Index {
+	idx := &Index{table: t, col: col, kind: kind, tree: NewBTree(16),
+		current: make(map[int64]float64)}
+	idx.Rebuild()
+	return idx
+}
+
+// quantity extracts the indexed quantity from a tuple.
+func (idx *Index) quantity(tu *Tuple) float64 {
+	switch idx.kind {
+	case LowerEndpoint:
+		return tu.Bounds[idx.col].Lo
+	case UpperEndpoint:
+		return tu.Bounds[idx.col].Hi
+	case BoundWidth:
+		return tu.Bounds[idx.col].Width()
+	default:
+		return tu.Cost
+	}
+}
+
+// Rebuild reconstructs the index from scratch in O(n log n).
+func (idx *Index) Rebuild() {
+	idx.tree = NewBTree(16)
+	for k := range idx.current {
+		delete(idx.current, k)
+	}
+	for i := range idx.table.Tuples() {
+		tu := idx.table.At(i)
+		q := idx.quantity(tu)
+		idx.tree.Insert(q, tu.Key)
+		idx.current[tu.Key] = q
+	}
+}
+
+// Update refreshes the index entry for the tuple with the given key after
+// its bounds changed, and inserts it if new. It returns an error if the key
+// is not in the table.
+func (idx *Index) Update(key int64) error {
+	i := idx.table.ByKey(key)
+	if i < 0 {
+		return fmt.Errorf("relation: index update for unknown key %d", key)
+	}
+	if old, ok := idx.current[key]; ok {
+		idx.tree.Delete(old, key)
+	}
+	q := idx.quantity(idx.table.At(i))
+	idx.tree.Insert(q, key)
+	idx.current[key] = q
+	return nil
+}
+
+// Remove drops the index entry for a deleted tuple.
+func (idx *Index) Remove(key int64) {
+	if old, ok := idx.current[key]; ok {
+		idx.tree.Delete(old, key)
+		delete(idx.current, key)
+	}
+}
+
+// Len returns the number of indexed tuples.
+func (idx *Index) Len() int { return idx.tree.Len() }
+
+// Min returns the tuple key with the smallest indexed quantity.
+func (idx *Index) Min() (quantity float64, key int64, ok bool) { return idx.tree.Min() }
+
+// Max returns the tuple key with the largest indexed quantity.
+func (idx *Index) Max() (quantity float64, key int64, ok bool) { return idx.tree.Max() }
+
+// KeysLess returns the keys of all tuples whose indexed quantity is
+// strictly less than pivot, in ascending quantity order.
+func (idx *Index) KeysLess(pivot float64) []int64 {
+	var out []int64
+	idx.tree.AscendLess(pivot, func(_ float64, id int64) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// KeysGreater returns the keys of all tuples whose indexed quantity is
+// strictly greater than pivot, in descending quantity order.
+func (idx *Index) KeysGreater(pivot float64) []int64 {
+	var out []int64
+	idx.tree.DescendGreater(pivot, func(_ float64, id int64) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// FirstN returns up to n keys in ascending quantity order — e.g. the n
+// cheapest tuples for the COUNT refresh algorithm.
+func (idx *Index) FirstN(n int) []int64 {
+	out := make([]int64, 0, n)
+	idx.tree.Ascend(func(_ float64, id int64) bool {
+		if len(out) == n {
+			return false
+		}
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// boundOf is a convenience for tests: the indexed column's bound of a key.
+func (idx *Index) boundOf(key int64) interval.Interval {
+	i := idx.table.ByKey(key)
+	return idx.table.At(i).Bounds[idx.col]
+}

@@ -1,0 +1,84 @@
+package relation
+
+import "testing"
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Name: "from", Kind: Exact},
+		Column{Name: "to", Kind: Exact},
+		Column{Name: "latency", Kind: Bounded},
+		Column{Name: "bandwidth", Kind: Bounded},
+		Column{Name: "traffic", Kind: Bounded},
+	)
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema()
+	if s.NumColumns() != 5 {
+		t.Fatalf("NumColumns = %d", s.NumColumns())
+	}
+	i, ok := s.Lookup("latency")
+	if !ok || i != 2 {
+		t.Errorf("Lookup(latency) = %d, %v", i, ok)
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("Lookup(nope) found")
+	}
+	if s.MustLookup("traffic") != 4 {
+		t.Error("MustLookup wrong")
+	}
+}
+
+func TestSchemaMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	testSchema().MustLookup("nope")
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSchema(Column{Name: "a"}, Column{Name: "a"})
+}
+
+func TestSchemaEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSchema(Column{Name: ""})
+}
+
+func TestSchemaBoundedColumns(t *testing.T) {
+	s := testSchema()
+	got := s.BoundedColumns()
+	want := []int{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("BoundedColumns = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BoundedColumns = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchemaColumnNames(t *testing.T) {
+	names := testSchema().ColumnNames()
+	if names[0] != "from" || names[4] != "traffic" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Exact.String() != "exact" || Bounded.String() != "bounded" {
+		t.Error("Kind.String wrong")
+	}
+}

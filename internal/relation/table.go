@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"fmt"
+
+	"trapp/internal/interval"
+)
+
+// Tuple is one cached row: per-column guaranteed bounds plus the cost of
+// refreshing the tuple from its source. Exact columns hold point intervals.
+type Tuple struct {
+	// Key identifies the master data object this tuple replicates.
+	Key int64
+	// Bounds has one interval per schema column.
+	Bounds []interval.Interval
+	// Cost is the (query-initiated) refresh cost C_i for this tuple.
+	Cost float64
+	// SourceID names the data source owning the master copy; empty for
+	// standalone tables used in tests.
+	SourceID string
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	b := make([]interval.Interval, len(t.Bounds))
+	copy(b, t.Bounds)
+	t.Bounds = b
+	return t
+}
+
+// Table is a cached relation: an ordered collection of tuples sharing a
+// schema. Tables are not safe for concurrent mutation; the query processor
+// serializes access per the paper's assumption that value-initiated
+// refreshes do not occur mid-query (section 3).
+type Table struct {
+	schema *Schema
+	tuples []Tuple
+	byKey  map[int64]int
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{schema: schema, byKey: make(map[int64]int)}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of tuples. Because insertions and deletions are
+// propagated to caches immediately (paper section 3), this equals the master
+// cardinality, which is why COUNT without a predicate needs no refreshes.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// At returns a pointer to the i'th tuple for in-place refresh. The pointer
+// is invalidated by Insert/Delete.
+func (t *Table) At(i int) *Tuple { return &t.tuples[i] }
+
+// ByKey returns the index of the tuple with the given key, or -1.
+func (t *Table) ByKey(key int64) int {
+	if i, ok := t.byKey[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// Insert appends a tuple. It returns an error if the bound count does not
+// match the schema, an exact column holds a non-point bound, or the key is
+// already present (keys identify master objects uniquely).
+func (t *Table) Insert(tu Tuple) error {
+	if len(tu.Bounds) != t.schema.NumColumns() {
+		return fmt.Errorf("relation: tuple has %d bounds, schema has %d columns",
+			len(tu.Bounds), t.schema.NumColumns())
+	}
+	for i, b := range tu.Bounds {
+		if b.IsEmpty() {
+			return fmt.Errorf("relation: empty bound for column %q", t.schema.Column(i).Name)
+		}
+		if t.schema.Column(i).Kind == Exact && !b.IsPoint() {
+			return fmt.Errorf("relation: non-point bound %v for exact column %q",
+				b, t.schema.Column(i).Name)
+		}
+	}
+	if tu.Cost < 0 {
+		return fmt.Errorf("relation: negative refresh cost %g", tu.Cost)
+	}
+	if _, dup := t.byKey[tu.Key]; dup {
+		return fmt.Errorf("relation: duplicate key %d", tu.Key)
+	}
+	t.byKey[tu.Key] = len(t.tuples)
+	t.tuples = append(t.tuples, tu.Clone())
+	return nil
+}
+
+// MustInsert inserts the tuple and panics on error; for fixtures and tests.
+func (t *Table) MustInsert(tu Tuple) {
+	if err := t.Insert(tu); err != nil {
+		panic(err)
+	}
+}
+
+// Delete removes the tuple with the given key, modelling an immediately
+// propagated master deletion. It reports whether the key was present.
+func (t *Table) Delete(key int64) bool {
+	i, ok := t.byKey[key]
+	if !ok {
+		return false
+	}
+	last := len(t.tuples) - 1
+	if i != last {
+		t.tuples[i] = t.tuples[last]
+		t.byKey[t.tuples[i].Key] = i
+	}
+	t.tuples = t.tuples[:last]
+	delete(t.byKey, key)
+	return true
+}
+
+// Refresh replaces the bounded columns of tuple i with the given exact
+// master values (one per bounded column, in schema order), collapsing their
+// bounds to points — the cache-side effect of a query-initiated refresh.
+func (t *Table) Refresh(i int, exact []float64) error {
+	bcols := t.schema.BoundedColumns()
+	if len(exact) != len(bcols) {
+		return fmt.Errorf("relation: refresh got %d values, table has %d bounded columns",
+			len(exact), len(bcols))
+	}
+	tu := &t.tuples[i]
+	for j, c := range bcols {
+		tu.Bounds[c] = interval.Point(exact[j])
+	}
+	return nil
+}
+
+// SetBound replaces a single column's bound on tuple i, used when a source
+// pushes a refreshed (value + new bound) for one object attribute.
+func (t *Table) SetBound(i, col int, b interval.Interval) error {
+	if b.IsEmpty() {
+		return fmt.Errorf("relation: empty bound")
+	}
+	if t.schema.Column(col).Kind == Exact && !b.IsPoint() {
+		return fmt.Errorf("relation: non-point bound for exact column %q", t.schema.Column(col).Name)
+	}
+	t.tuples[i].Bounds[col] = b
+	return nil
+}
+
+// Clone returns a deep copy of the table, used by the query processor to
+// evaluate refresh plans without mutating the live cache.
+func (t *Table) Clone() *Table {
+	c := NewTable(t.schema)
+	for _, tu := range t.tuples {
+		c.byKey[tu.Key] = len(c.tuples)
+		c.tuples = append(c.tuples, tu.Clone())
+	}
+	return c
+}
+
+// Tuples returns the underlying tuple slice for read-only iteration.
+// Callers must not append to or reorder it.
+func (t *Table) Tuples() []Tuple { return t.tuples }
+
+// TotalWidth returns the sum of bound widths over the given column, a
+// convenient imprecision measure for experiments.
+func (t *Table) TotalWidth(col int) float64 {
+	var w float64
+	for i := range t.tuples {
+		w += t.tuples[i].Bounds[col].Width()
+	}
+	return w
+}

@@ -1,0 +1,87 @@
+package source
+
+import (
+	"trapp/internal/netsim"
+)
+
+// Piggybacking (paper section 8.3): when a refresh message is already
+// being sent to a cache, the source may ride along ("piggyback") extra
+// refreshes for other objects whose master values are close to the edge of
+// the bound promised to that cache — values likely to escape soon and
+// force a full-price refresh anyway. Piggybacked refreshes are recorded as
+// netsim.Propagation messages with zero cost, modelling the amortization
+// of sharing one network round.
+//
+// EnablePiggyback sets the proximity fraction f ∈ (0, 1]: an object rides
+// along when the distance from its master value to the nearest promised
+// bound endpoint is at most f times the bound's half-width. f = 0 (the
+// default) disables piggybacking.
+func (s *Source) EnablePiggyback(fraction float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	s.piggyback = fraction
+}
+
+// piggybackRefreshesLocked collects extra refreshes for the subscriber:
+// all of its other registered objects whose values are near a bound edge.
+// Caller holds s.mu.
+func (s *Source) piggybackRefreshesLocked(sub Subscriber, excludeKey int64) []Refresh {
+	if s.piggyback <= 0 {
+		return nil
+	}
+	now := s.clock.Now()
+	var out []Refresh
+	for key, regs := range s.regs {
+		if key == excludeKey {
+			continue
+		}
+		o := s.objects[key]
+		for _, reg := range regs {
+			if reg.sub != sub {
+				continue
+			}
+			if !s.nearEdgeLocked(reg, now, o.values) {
+				continue
+			}
+			r := s.makeRefreshLocked(key, o, reg, ValueInitiated)
+			s.net.Send(netsim.Propagation, 0)
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// nearEdgeLocked reports whether any attribute's master value is within
+// the piggyback fraction of its promised bound edge. Zero-width (just
+// refreshed) bounds never qualify.
+func (s *Source) nearEdgeLocked(reg *registration, now int64, values []float64) bool {
+	for i, b := range reg.bounds {
+		iv := b.At(now)
+		half := iv.Width() / 2
+		if half <= 0 {
+			continue
+		}
+		v := values[i]
+		distToEdge := half - absFloat(v-iv.Mid())
+		if distToEdge < 0 {
+			distToEdge = 0 // already escaped; the monitor will catch it
+		}
+		if distToEdge <= s.piggyback*half {
+			return true
+		}
+	}
+	return false
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

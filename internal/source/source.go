@@ -1,0 +1,310 @@
+// Package source implements the data-source side of the TRAPP architecture
+// (paper section 3, Figure 3): each source owns the master copy of its data
+// objects and runs a Refresh Monitor that tracks the bound it has promised
+// to every subscribed cache. When an update moves a master value outside a
+// promised bound, the source immediately pushes a value-initiated refresh;
+// when a cache's query processor needs an exact value, it pulls a
+// query-initiated refresh.
+//
+// Bounds are transmitted in the compressed two-number encoding of
+// Appendix A — the refreshed value V(Tr) and the width parameter W — with
+// the shape function agreed out of band (√T by default). Each object's
+// width parameter is governed by a boundfn.WidthPolicy; the adaptive policy
+// widens bounds after value-initiated refreshes and narrows them after
+// query-initiated ones.
+package source
+
+import (
+	"fmt"
+	"sync"
+
+	"trapp/internal/boundfn"
+	"trapp/internal/netsim"
+)
+
+// RefreshKind distinguishes why a refresh was sent.
+type RefreshKind int8
+
+const (
+	// ValueInitiated refreshes fire when a master value escapes a bound.
+	ValueInitiated RefreshKind = iota
+	// QueryInitiated refreshes are pulled by a cache's query processor.
+	QueryInitiated
+)
+
+// String names the refresh kind.
+func (k RefreshKind) String() string {
+	if k == ValueInitiated {
+		return "value-initiated"
+	}
+	return "query-initiated"
+}
+
+// Refresh is the message a source sends to a cache: the exact values of
+// the object's bounded attributes along with new bound functions.
+type Refresh struct {
+	// SourceID names the sending source.
+	SourceID string
+	// Key identifies the data object.
+	Key int64
+	// Values are the exact attribute values at refresh time, in the
+	// object's attribute order.
+	Values []float64
+	// Bounds are the new time-varying bound functions, one per attribute.
+	Bounds []boundfn.Bound
+	// Kind reports why the refresh was sent.
+	Kind RefreshKind
+}
+
+// Subscriber receives pushed refreshes (value-initiated) from a source.
+type Subscriber interface {
+	// ApplyRefresh installs new bounds for the object. Implementations
+	// must not call back into the source.
+	ApplyRefresh(r Refresh)
+}
+
+// object is one master data object.
+type object struct {
+	values []float64 // master attribute values
+	cost   float64   // query-initiated refresh cost C_i
+	policy boundfn.WidthPolicy
+}
+
+// registration tracks the bound promised to one cache for one object.
+type registration struct {
+	sub    Subscriber
+	bounds []boundfn.Bound
+}
+
+// Source owns master values and runs the refresh monitor. All methods are
+// safe for concurrent use.
+type Source struct {
+	id    string
+	clock *netsim.Clock
+	net   *netsim.Network
+	shape boundfn.Shape
+
+	mu        sync.Mutex
+	objects   map[int64]*object
+	regs      map[int64][]*registration
+	piggyback float64 // see EnablePiggyback
+
+	// Delayed insert/delete propagation (section 8.3); see events.go.
+	watchers []Watcher
+	pending  []TableEvent
+	slack    int
+}
+
+// New creates a source. clock and net must be shared with the caches;
+// shape selects the transmitted bound shape (nil means √T).
+func New(id string, clock *netsim.Clock, net *netsim.Network, shape boundfn.Shape) *Source {
+	return &Source{
+		id:      id,
+		clock:   clock,
+		net:     net,
+		shape:   shape,
+		objects: make(map[int64]*object),
+		regs:    make(map[int64][]*registration),
+	}
+}
+
+// ID returns the source identifier.
+func (s *Source) ID() string { return s.id }
+
+// AddObject registers a master object with its initial attribute values,
+// query-refresh cost, and width policy (nil means a static width of 1).
+func (s *Source) AddObject(key int64, values []float64, cost float64, policy boundfn.WidthPolicy) error {
+	if cost < 0 {
+		return fmt.Errorf("source %s: negative cost for object %d", s.id, key)
+	}
+	if policy == nil {
+		policy = boundfn.StaticWidth(1)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.objects[key]; dup {
+		return fmt.Errorf("source %s: duplicate object %d", s.id, key)
+	}
+	vals := make([]float64, len(values))
+	copy(vals, values)
+	s.objects[key] = &object{values: vals, cost: cost, policy: policy}
+	return nil
+}
+
+// Cost returns the query-refresh cost of an object.
+func (s *Source) Cost(key int64) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[key]
+	if !ok {
+		return 0, false
+	}
+	return o.cost, true
+}
+
+// Values returns a copy of the object's current master values.
+func (s *Source) Values(key int64) ([]float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]float64, len(o.values))
+	copy(out, o.values)
+	return out, true
+}
+
+// Subscribe registers a cache for an object and returns the initial
+// refresh carrying the current values and fresh bounds. The source
+// remembers the promised bounds for its refresh monitor.
+func (s *Source) Subscribe(key int64, sub Subscriber) (Refresh, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[key]
+	if !ok {
+		return Refresh{}, fmt.Errorf("source %s: no object %d", s.id, key)
+	}
+	s.net.Send(netsim.Registration, 0)
+	reg := &registration{sub: sub}
+	r := s.makeRefreshLocked(key, o, reg, QueryInitiated)
+	r.Kind = ValueInitiated // initial push is not charged as a query refresh
+	s.regs[key] = append(s.regs[key], reg)
+	return r, nil
+}
+
+// makeRefreshLocked builds a refresh with fresh bounds for the object and
+// records the promised bounds in the registration.
+func (s *Source) makeRefreshLocked(key int64, o *object, reg *registration, kind RefreshKind) Refresh {
+	now := s.clock.Now()
+	w := o.policy.NextWidth()
+	bounds := make([]boundfn.Bound, len(o.values))
+	values := make([]float64, len(o.values))
+	for i, v := range o.values {
+		values[i] = v
+		bounds[i] = boundfn.Bound{Value: v, Width: w, RefreshedAt: now, Shape: s.shape}
+	}
+	reg.bounds = bounds
+	return Refresh{SourceID: s.id, Key: key, Values: values, Bounds: bounds, Kind: kind}
+}
+
+// SetValue updates one master object's attribute values (an "escrow style"
+// update arriving at the source) and runs the refresh monitor: any cache
+// whose promised bound no longer contains the new values receives an
+// immediate value-initiated refresh, and the object's width policy is
+// notified so the next bound is wider.
+func (s *Source) SetValue(key int64, values []float64) error {
+	s.mu.Lock()
+	o, ok := s.objects[key]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("source %s: no object %d", s.id, key)
+	}
+	copy(o.values, values)
+	now := s.clock.Now()
+	type push struct {
+		sub Subscriber
+		r   Refresh
+	}
+	var pushes []push
+	for _, reg := range s.regs[key] {
+		if regContains(reg, now, o.values) {
+			continue
+		}
+		o.policy.ObserveValueRefresh()
+		r := s.makeRefreshLocked(key, o, reg, ValueInitiated)
+		s.net.Send(netsim.ValueRefresh, o.cost)
+		pushes = append(pushes, push{reg.sub, r})
+		// The message is going out anyway: ride along refreshes for this
+		// cache's other near-edge objects (section 8.3).
+		for _, extra := range s.piggybackRefreshesLocked(reg.sub, key) {
+			pushes = append(pushes, push{reg.sub, extra})
+		}
+	}
+	s.mu.Unlock()
+	// Deliver outside the lock so subscribers may inspect the source.
+	for _, p := range pushes {
+		p.sub.ApplyRefresh(p.r)
+	}
+	return nil
+}
+
+// regContains reports whether every promised bound still contains the
+// corresponding master value at time now.
+func regContains(reg *registration, now int64, values []float64) bool {
+	if len(reg.bounds) != len(values) {
+		return false
+	}
+	for i, b := range reg.bounds {
+		if !b.Contains(now, values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// QueryRefresh serves a query-initiated refresh pulled by a cache: it
+// charges the object's cost, narrows the width policy, installs fresh
+// bounds for that cache, and returns the exact values. If piggybacking is
+// enabled, near-edge sibling objects of the same cache are pushed along
+// with the reply at no extra cost.
+func (s *Source) QueryRefresh(key int64, sub Subscriber) (Refresh, error) {
+	s.mu.Lock()
+	o, ok := s.objects[key]
+	if !ok {
+		s.mu.Unlock()
+		return Refresh{}, fmt.Errorf("source %s: no object %d", s.id, key)
+	}
+	var reg *registration
+	for _, r := range s.regs[key] {
+		if r.sub == sub {
+			reg = r
+			break
+		}
+	}
+	if reg == nil {
+		s.mu.Unlock()
+		return Refresh{}, fmt.Errorf("source %s: cache not subscribed to object %d", s.id, key)
+	}
+	o.policy.ObserveQueryRefresh()
+	s.net.Send(netsim.QueryRefresh, o.cost)
+	main := s.makeRefreshLocked(key, o, reg, QueryInitiated)
+	extras := s.piggybackRefreshesLocked(sub, key)
+	s.mu.Unlock()
+	for _, r := range extras {
+		sub.ApplyRefresh(r)
+	}
+	return main, nil
+}
+
+// CheckBounds runs the refresh monitor sweep at the current time without a
+// value change: as time advances, √T bounds only widen, so this cannot
+// fire for values already inside their bounds; it exists so simulations
+// that mutate values in bulk (e.g. loading a trace) can reconcile, and it
+// returns the number of refreshes pushed.
+func (s *Source) CheckBounds() int {
+	s.mu.Lock()
+	now := s.clock.Now()
+	type push struct {
+		sub Subscriber
+		r   Refresh
+	}
+	var pushes []push
+	for key, regs := range s.regs {
+		o := s.objects[key]
+		for _, reg := range regs {
+			if regContains(reg, now, o.values) {
+				continue
+			}
+			o.policy.ObserveValueRefresh()
+			r := s.makeRefreshLocked(key, o, reg, ValueInitiated)
+			s.net.Send(netsim.ValueRefresh, o.cost)
+			pushes = append(pushes, push{reg.sub, r})
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range pushes {
+		p.sub.ApplyRefresh(p.r)
+	}
+	return len(pushes)
+}

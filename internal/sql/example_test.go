@@ -1,0 +1,25 @@
+package sql_test
+
+import (
+	"fmt"
+
+	"trapp/internal/sql"
+	"trapp/internal/workload"
+)
+
+// Parsing the paper's query form, including the §8.1 extensions.
+func ExampleParse() {
+	cat := sql.MapCatalog{"links": workload.LinkSchema()}
+	q, err := sql.Parse(
+		"SELECT AVG(latency) WITHIN 2 FROM links WHERE traffic > 100", cat)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+
+	q, _ = sql.Parse("SELECT SUM(traffic) WITHIN 5% FROM links GROUP BY from", cat)
+	fmt.Println(q)
+	// Output:
+	// SELECT AVG(links.latency) WITHIN 2 FROM links WHERE traffic > 100
+	// SELECT SUM(links.traffic) WITHIN 5% FROM links GROUP BY from
+}

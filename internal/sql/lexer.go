@@ -1,0 +1,168 @@
+// Package sql provides a small front end for the TRAPP/AG query language
+// of paper section 4:
+//
+//	SELECT AGGREGATE(T.a) WITHIN R FROM T WHERE PREDICATE
+//
+// AGGREGATE is one of COUNT, MIN, MAX, SUM, AVG; WITHIN and WHERE are
+// optional (omitting WITHIN means R = +Inf, pure imprecise mode). The
+// predicate grammar supports binary comparisons between columns and
+// numeric constants combined with AND, OR, NOT, and parentheses — the
+// expression class handled by the Possible/Certain translation of
+// Appendix D. Keywords are case-insensitive; column and table names are
+// case-sensitive identifiers.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokDot
+	tokComma
+	tokPercent
+	tokOp // < <= > >= = <> !=
+)
+
+// token is one lexeme with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer turns a query string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// lex tokenizes the whole input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '%':
+		l.pos++
+		return token{tokPercent, "%", start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{tokOp, l.src[start:l.pos], start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{tokOp, l.src[start:l.pos], start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokOp, "=", start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, "!=", start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected '!' at %d", start)
+	case c == '-' || c == '+' || unicode.IsDigit(rune(c)):
+		return l.number()
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) ||
+			unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+	default:
+		return token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}
+
+// number scans a (possibly signed, possibly fractional or exponent) number.
+func (l *lexer) number() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+		digits++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+			digits++
+		}
+	}
+	if digits == 0 {
+		return token{}, fmt.Errorf("sql: malformed number at %d", start)
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '-' || l.src[l.pos] == '+') {
+			l.pos++
+		}
+		ed := 0
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+			ed++
+		}
+		if ed == 0 {
+			return token{}, fmt.Errorf("sql: malformed exponent at %d", start)
+		}
+	}
+	return token{tokNumber, l.src[start:l.pos], start}, nil
+}
+
+// isKeyword reports whether the token is the given keyword,
+// case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,334 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/predicate"
+	"trapp/internal/query"
+	"trapp/internal/relation"
+)
+
+// Catalog resolves table names to schemas during parsing.
+type Catalog interface {
+	// SchemaOf returns the schema of the named table, or false.
+	SchemaOf(table string) (*relation.Schema, bool)
+}
+
+// MapCatalog is a Catalog backed by a map.
+type MapCatalog map[string]*relation.Schema
+
+// SchemaOf looks up the table's schema.
+func (m MapCatalog) SchemaOf(table string) (*relation.Schema, bool) {
+	s, ok := m[table]
+	return s, ok
+}
+
+// Parse compiles a TRAPP/AG query string against the catalog, producing an
+// executable query.Query with the predicate bound to column indexes.
+func Parse(src string, cat Catalog) (query.Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return query.Query{}, err
+	}
+	p := &parser{toks: toks, cat: cat}
+	q, err := p.parseQuery()
+	if err != nil {
+		return query.Query{}, err
+	}
+	if !p.at(tokEOF) {
+		return query.Query{}, fmt.Errorf("sql: trailing input at %d: %q", p.cur().pos, p.cur().text)
+	}
+	return q, nil
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks   []token
+	i      int
+	cat    Catalog
+	table  string
+	schema *relation.Schema
+}
+
+func (p *parser) cur() token          { return p.toks[p.i] }
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if !p.at(k) {
+		return token{}, fmt.Errorf("sql: expected %s at %d, found %q", what, p.cur().pos, p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur().isKeyword(kw) {
+		return fmt.Errorf("sql: expected %s at %d, found %q", kw, p.cur().pos, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+// parseQuery parses the full statement. The FROM clause is parsed before
+// the aggregate's column is bound, so a two-pass structure records the
+// aggregate tokens first.
+func (p *parser) parseQuery() (query.Query, error) {
+	var q query.Query
+	q.Within = math.Inf(1)
+
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return q, err
+	}
+	aggTok, err := p.expect(tokIdent, "aggregate function")
+	if err != nil {
+		return q, err
+	}
+	fn, err := aggregate.ParseFunc(strings.ToUpper(aggTok.text))
+	if err != nil {
+		return q, fmt.Errorf("sql: %v at %d", err, aggTok.pos)
+	}
+	q.Agg = fn
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return q, err
+	}
+	// Column reference: ident or table.ident.
+	first, err := p.expect(tokIdent, "column name")
+	if err != nil {
+		return q, err
+	}
+	aggTable, aggCol := "", first.text
+	if p.at(tokDot) {
+		p.advance()
+		colTok, err := p.expect(tokIdent, "column name after '.'")
+		if err != nil {
+			return q, err
+		}
+		aggTable, aggCol = first.text, colTok.text
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return q, err
+	}
+
+	if p.cur().isKeyword("WITHIN") {
+		p.advance()
+		numTok, err := p.expect(tokNumber, "precision constraint")
+		if err != nil {
+			return q, err
+		}
+		r, err := strconv.ParseFloat(numTok.text, 64)
+		if err != nil || r < 0 {
+			return q, fmt.Errorf("sql: invalid precision constraint %q at %d", numTok.text, numTok.pos)
+		}
+		if p.at(tokPercent) {
+			// Relative precision constraint (§8.1): WITHIN 5% means the
+			// answer width is at most 2·|A|·0.05 for the true answer A.
+			p.advance()
+			q.RelativeWithin = r / 100
+		} else {
+			q.Within = r
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return q, err
+	}
+	tblTok, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return q, err
+	}
+	q.Table = tblTok.text
+	schema, ok := p.cat.SchemaOf(q.Table)
+	if !ok {
+		return q, fmt.Errorf("sql: unknown table %q at %d", q.Table, tblTok.pos)
+	}
+	p.table, p.schema = q.Table, schema
+
+	if aggTable != "" && aggTable != q.Table {
+		return q, fmt.Errorf("sql: aggregate over table %q but FROM %q", aggTable, q.Table)
+	}
+	if _, ok := schema.Lookup(aggCol); !ok {
+		return q, fmt.Errorf("sql: unknown column %q in table %q", aggCol, q.Table)
+	}
+	q.Column = aggCol
+
+	if p.cur().isKeyword("WHERE") {
+		p.advance()
+		pred, err := p.parseOr()
+		if err != nil {
+			return q, err
+		}
+		q.Where = pred
+	}
+
+	if p.cur().isKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return q, err
+		}
+		for {
+			colTok, err := p.expect(tokIdent, "grouping column")
+			if err != nil {
+				return q, err
+			}
+			ci, ok := schema.Lookup(colTok.text)
+			if !ok {
+				return q, fmt.Errorf("sql: unknown grouping column %q in table %q", colTok.text, q.Table)
+			}
+			if schema.Column(ci).Kind != relation.Exact {
+				return q, fmt.Errorf("sql: grouping column %q must be exact", colTok.text)
+			}
+			q.GroupBy = append(q.GroupBy, colTok.text)
+			if !p.at(tokComma) {
+				break
+			}
+			p.advance()
+		}
+	}
+	return q, nil
+}
+
+// parseOr := parseAnd (OR parseAnd)*
+func (p *parser) parseOr() (predicate.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isKeyword("OR") {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = predicate.NewOr(left, right)
+	}
+	return left, nil
+}
+
+// parseAnd := parseUnary (AND parseUnary)*
+func (p *parser) parseAnd() (predicate.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isKeyword("AND") {
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = predicate.NewAnd(left, right)
+	}
+	return left, nil
+}
+
+// parseUnary := NOT parseUnary | '(' parseOr ')' | comparison
+func (p *parser) parseUnary() (predicate.Expr, error) {
+	if p.cur().isKeyword("NOT") {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return predicate.NewNot(e), nil
+	}
+	if p.at(tokLParen) {
+		// Could be a parenthesized boolean or a parenthesized operand of a
+		// comparison; TRAPP predicates only parenthesize booleans, so
+		// treat it as a boolean group.
+		p.advance()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison := operand op operand
+func (p *parser) parseComparison() (predicate.Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	opTok, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	var op predicate.Op
+	switch opTok.text {
+	case "<":
+		op = predicate.Lt
+	case "<=":
+		op = predicate.Le
+	case ">":
+		op = predicate.Gt
+	case ">=":
+		op = predicate.Ge
+	case "=":
+		op = predicate.Eq
+	case "<>", "!=":
+		op = predicate.Ne
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q at %d", opTok.text, opTok.pos)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return predicate.NewCmp(left, op, right), nil
+}
+
+// parseOperand := number | [table '.'] column
+func (p *parser) parseOperand() (predicate.Operand, error) {
+	if p.at(tokNumber) {
+		t := p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return predicate.Operand{}, fmt.Errorf("sql: bad number %q at %d", t.text, t.pos)
+		}
+		return predicate.Const(v), nil
+	}
+	t, err := p.expect(tokIdent, "column or constant")
+	if err != nil {
+		return predicate.Operand{}, err
+	}
+	name := t.text
+	if p.at(tokDot) {
+		p.advance()
+		colTok, err := p.expect(tokIdent, "column after '.'")
+		if err != nil {
+			return predicate.Operand{}, err
+		}
+		if name != p.table {
+			return predicate.Operand{}, fmt.Errorf("sql: unknown table %q at %d", name, t.pos)
+		}
+		name = colTok.text
+	}
+	// Reject keyword-looking identifiers in operand position to catch
+	// malformed predicates early.
+	for _, kw := range []string{"AND", "OR", "NOT", "WHERE", "FROM", "SELECT", "WITHIN"} {
+		if strings.EqualFold(name, kw) {
+			return predicate.Operand{}, fmt.Errorf("sql: unexpected keyword %q at %d", name, t.pos)
+		}
+	}
+	col, ok := p.schema.Lookup(name)
+	if !ok {
+		return predicate.Operand{}, fmt.Errorf("sql: unknown column %q in table %q", name, p.table)
+	}
+	return predicate.Column(col, name), nil
+}

@@ -1,0 +1,171 @@
+package trapp
+
+import (
+	"testing"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/boundfn"
+	"trapp/internal/interval"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/workload"
+)
+
+// eventSystem builds a system whose cache watches one source with the
+// given propagation slack, pre-populated with the Figure 2 objects.
+func eventSystem(t *testing.T, slack int) (*System, *sourceHandle) {
+	t.Helper()
+	sys := NewSystem(refresh.Options{})
+	src, err := sys.AddSource("nodes", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sys.AddCache("monitor", workload.LinkSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range workload.Figure2() {
+		if err := src.AddObject(row.Key,
+			[]float64{row.LatencyV, row.BandwidthV, row.TrafficV},
+			row.Cost, boundfn.StaticWidth(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Subscribe(src, row.Key, []float64{float64(row.From), float64(row.To)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.WatchSource(src)
+	src.SetPropagationSlack(slack)
+	if err := sys.Mount("links", c); err != nil {
+		t.Fatal(err)
+	}
+	return sys, &sourceHandle{src: src}
+}
+
+// sourceHandle avoids importing the source package's type in every test.
+type sourceHandle struct {
+	src interface {
+		InsertObject(key int64, values []float64, cost float64, policy boundfn.WidthPolicy, meta []float64) error
+		RemoveObject(key int64) error
+		Pending() int
+		FlushEvents()
+	}
+}
+
+func TestDelayedPropagationQueues(t *testing.T) {
+	sys, h := eventSystem(t, 3)
+	c := sys.Cache("monitor")
+	if err := h.src.InsertObject(7, []float64{4, 50, 100}, 2, nil, []float64{6, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.src.RemoveObject(1); err != nil {
+		t.Fatal(err)
+	}
+	// With slack 3 the two events stay queued; the cache still has the
+	// old membership (6 tuples, object 7 absent, object 1 present).
+	if h.src.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", h.src.Pending())
+	}
+	if c.Table().Len() != 6 || c.Table().ByKey(7) >= 0 {
+		t.Errorf("cache changed before flush: len=%d", c.Table().Len())
+	}
+	// Exceeding the slack flushes everything.
+	if err := h.src.RemoveObject(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.src.RemoveObject(3); err != nil {
+		t.Fatal(err)
+	}
+	if h.src.Pending() != 0 {
+		t.Fatalf("pending after overflow = %d", h.src.Pending())
+	}
+	// Final membership: started with 6, +7, −1, −2, −3 → 4 tuples.
+	if c.Table().Len() != 4 {
+		t.Errorf("len after flush = %d, want 4", c.Table().Len())
+	}
+	if c.Table().ByKey(7) < 0 {
+		t.Error("inserted object 7 missing after flush")
+	}
+}
+
+func TestCountWithSlackWidensAnswer(t *testing.T) {
+	sys, h := eventSystem(t, 2)
+	if err := h.src.RemoveObject(1); err != nil {
+		t.Fatal(err)
+	}
+	// COUNT with a tolerant constraint is served from the stale cache,
+	// widened by ±slack; no flush happens.
+	q := query.NewQuery("links", aggregate.Count, workload.ColLatency)
+	q.Within = 10
+	res, err := sys.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatal("tolerant COUNT not met")
+	}
+	// Cached cardinality is still 6 (deletion queued): answer [4, 8].
+	if res.Answer.Lo != 4 || res.Answer.Hi != 8 {
+		t.Errorf("COUNT answer = %v, want [4, 8]", res.Answer)
+	}
+	// True cardinality 5 is inside the widened answer.
+	if !res.Answer.Contains(5) {
+		t.Errorf("answer %v excludes true count 5", res.Answer)
+	}
+	if h.src.Pending() != 1 {
+		t.Errorf("pending = %d; tolerant COUNT should not flush", h.src.Pending())
+	}
+}
+
+func TestTightCountForcesFlush(t *testing.T) {
+	sys, h := eventSystem(t, 2)
+	if err := h.src.RemoveObject(1); err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery("links", aggregate.Count, workload.ColLatency)
+	q.Within = 0
+	res, err := sys.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.src.Pending() != 0 {
+		t.Error("tight COUNT did not flush")
+	}
+	if !res.Answer.Equal(interval.Point(5)) {
+		t.Errorf("COUNT after flush = %v, want [5]", res.Answer)
+	}
+}
+
+func TestOtherAggregatesFlushFirst(t *testing.T) {
+	sys, h := eventSystem(t, 5)
+	if err := h.src.RemoveObject(3); err != nil { // the max-latency link
+		t.Fatal(err)
+	}
+	q := query.NewQuery("links", aggregate.Max, workload.ColLatency)
+	q.Within = 0
+	res, err := sys.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.src.Pending() != 0 {
+		t.Error("MAX query did not flush membership events")
+	}
+	// With link 3 (latency 13) gone, the exact MAX is 11.
+	if res.Answer.Lo != 11 || !res.Answer.IsPoint() {
+		t.Errorf("MAX = %v, want [11]", res.Answer)
+	}
+}
+
+func TestSlackZeroPropagatesImmediately(t *testing.T) {
+	sys, h := eventSystem(t, 0)
+	c := sys.Cache("monitor")
+	if err := h.src.InsertObject(9, []float64{1, 2, 3}, 1, nil, []float64{1, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Table().ByKey(9) < 0 {
+		t.Error("immediate propagation did not insert")
+	}
+	if h.src.Pending() != 0 {
+		t.Error("events queued with zero slack")
+	}
+}

@@ -1,0 +1,74 @@
+package trapp
+
+import (
+	"fmt"
+	"math"
+
+	"trapp/internal/interval"
+	"trapp/internal/query"
+)
+
+// Monitor is a continuous (standing) bounded query, the execution model
+// behind the paper's section 8.1 visualization discussion: a precision
+// constraint is "formulated in the visual domain and upheld by TRAPP" as
+// the underlying data evolves. Each Poll re-establishes the constraint as
+// cheaply as possible: if the current cached bounds still satisfy it —
+// the common case, since value-initiated refreshes keep bounds honest —
+// the poll is free; only when time growth or updates have widened the
+// answer beyond R does the monitor pay for query-initiated refreshes.
+type Monitor struct {
+	sys *System
+	q   query.Query
+
+	// Answer is the latest bounded answer.
+	Answer interval.Interval
+	// Polls counts Poll calls; FreePolls counts those answered from cache
+	// without any refresh.
+	Polls, FreePolls int
+	// TotalCost accumulates the refresh cost paid across polls.
+	TotalCost float64
+}
+
+// NewMonitor registers a standing query. The query must have a finite
+// precision constraint — an unconstrained continuous query never needs a
+// monitor — and must target a mounted table.
+func (s *System) NewMonitor(q query.Query) (*Monitor, error) {
+	if math.IsInf(q.Within, 1) && q.RelativeWithin == 0 {
+		return nil, fmt.Errorf("trapp: continuous query needs a finite precision constraint")
+	}
+	if len(q.GroupBy) > 0 {
+		return nil, fmt.Errorf("trapp: continuous GROUP BY queries are not supported")
+	}
+	if _, ok := s.tables[q.Table]; !ok {
+		return nil, fmt.Errorf("trapp: table %q not mounted", q.Table)
+	}
+	return &Monitor{sys: s, q: q}, nil
+}
+
+// Poll refreshes the standing answer. It first checks whether the cached
+// bounds alone still satisfy the constraint (free); otherwise it runs the
+// full three-step execution and pays for the necessary refreshes.
+func (m *Monitor) Poll() (query.Result, error) {
+	m.Polls++
+	free, err := m.sys.ImpreciseMode(m.q)
+	if err != nil {
+		return free, err
+	}
+	within := m.q.Within
+	if m.q.RelativeWithin > 0 {
+		within = query.RelativeR(free.Answer, m.q.RelativeWithin)
+	}
+	if free.Answer.IsEmpty() || free.Answer.Width() <= within+1e-9 {
+		m.FreePolls++
+		m.Answer = free.Answer
+		free.Met = true
+		return free, nil
+	}
+	res, err := m.sys.Execute(m.q)
+	if err != nil {
+		return res, err
+	}
+	m.Answer = res.Answer
+	m.TotalCost += res.RefreshCost
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package trapp
+
+import (
+	"math"
+	"testing"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/boundfn"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/workload"
+)
+
+// monitorSystem builds a live Figure 2 system with √T bounds.
+func monitorSystem(t *testing.T) *System {
+	t.Helper()
+	sys := NewSystem(refresh.Options{})
+	src, _ := sys.AddSource("nodes", nil)
+	c, _ := sys.AddCache("monitor", workload.LinkSchema())
+	for _, row := range workload.Figure2() {
+		if err := src.AddObject(row.Key,
+			[]float64{row.LatencyV, row.BandwidthV, row.TrafficV},
+			row.Cost, boundfn.StaticWidth(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Subscribe(src, row.Key, []float64{float64(row.From), float64(row.To)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Mount("links", c); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestMonitorValidation(t *testing.T) {
+	sys := monitorSystem(t)
+	q := query.NewQuery("links", aggregate.Sum, workload.ColLatency) // R = +Inf
+	if _, err := sys.NewMonitor(q); err == nil {
+		t.Error("unconstrained monitor accepted")
+	}
+	q.Within = 5
+	q.GroupBy = []string{"from"}
+	if _, err := sys.NewMonitor(q); err == nil {
+		t.Error("GROUP BY monitor accepted")
+	}
+	q.GroupBy = nil
+	q.Table = "missing"
+	if _, err := sys.NewMonitor(q); err == nil {
+		t.Error("unmounted table accepted")
+	}
+}
+
+func TestMonitorFreeWhileBoundsTight(t *testing.T) {
+	sys := monitorSystem(t)
+	q := query.NewQuery("links", aggregate.Sum, workload.ColLatency)
+	q.Within = 5
+	m, err := sys.NewMonitor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Immediately after subscription all bounds are points: polls are free.
+	for i := 0; i < 3; i++ {
+		res, err := m.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Met {
+			t.Fatal("poll not met")
+		}
+	}
+	if m.FreePolls != 3 || m.TotalCost != 0 {
+		t.Errorf("free polls = %d cost = %g, want 3 free at no cost", m.FreePolls, m.TotalCost)
+	}
+}
+
+func TestMonitorPaysWhenBoundsGrow(t *testing.T) {
+	sys := monitorSystem(t)
+	q := query.NewQuery("links", aggregate.Sum, workload.ColLatency)
+	q.Within = 2
+	m, err := sys.NewMonitor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Clock.Advance(400) // width 1, √400 = 20 → each bound ±20
+	res, err := m.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatalf("grown bounds not re-tightened: %v", res.Answer)
+	}
+	if m.TotalCost == 0 || res.Refreshed == 0 {
+		t.Error("poll after growth paid nothing")
+	}
+	if m.Answer.Width() > 2+1e-9 {
+		t.Errorf("monitored answer width %g > 2", m.Answer.Width())
+	}
+	// The immediately following poll is free again.
+	if _, err := m.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreePolls != 1 {
+		t.Errorf("second poll not free (FreePolls=%d)", m.FreePolls)
+	}
+}
+
+func TestMonitorTracksDriftingValues(t *testing.T) {
+	sys := monitorSystem(t)
+	src := sys.Source("nodes")
+	q := query.NewQuery("links", aggregate.Max, workload.ColTraffic)
+	q.Within = 5
+	m, err := sys.NewMonitor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := map[int64]float64{}
+	for _, row := range workload.Figure2() {
+		traffic[row.Key] = row.TrafficV
+	}
+	for round := 0; round < 15; round++ {
+		sys.Clock.Advance(3)
+		for _, row := range workload.Figure2() {
+			traffic[row.Key] += float64(round%3) - 1 // drift −1..+1
+			if err := src.SetValue(row.Key, []float64{row.LatencyV, row.BandwidthV, traffic[row.Key]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := m.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Met {
+			t.Fatalf("round %d: not met", round)
+		}
+		// The monitored answer must contain the true max.
+		trueMax := math.Inf(-1)
+		for _, v := range traffic {
+			trueMax = math.Max(trueMax, v)
+		}
+		if !m.Answer.Expand(1e-9).Contains(trueMax) {
+			t.Fatalf("round %d: answer %v excludes true max %g", round, m.Answer, trueMax)
+		}
+	}
+	if m.Polls != 15 {
+		t.Errorf("polls = %d", m.Polls)
+	}
+}
+
+func TestMonitorRelativeConstraint(t *testing.T) {
+	sys := monitorSystem(t)
+	q := query.NewQuery("links", aggregate.Sum, workload.ColTraffic)
+	q.RelativeWithin = 0.05
+	m, err := sys.NewMonitor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Clock.Advance(10000)
+	res, err := m.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatalf("relative monitor not met: %v", res.Answer)
+	}
+	trueSum := 98.0 + 116 + 105 + 127 + 95 + 103
+	if m.Answer.Width() > 2*trueSum*0.05+1e-6 {
+		t.Errorf("width %g exceeds relative guarantee", m.Answer.Width())
+	}
+}

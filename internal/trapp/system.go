@@ -1,0 +1,147 @@
+// Package trapp assembles the full TRAPP replication system of the paper's
+// Figure 3: data sources with refresh monitors, data caches storing
+// time-varying bounds, a shared logical clock, a traffic-accounting
+// network, and a query processor executing bounded aggregation queries
+// with precision constraints. It is the package examples and experiments
+// program against; the root module package re-exports its API.
+package trapp
+
+import (
+	"fmt"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/boundfn"
+	"trapp/internal/cache"
+	"trapp/internal/netsim"
+	"trapp/internal/predicate"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+	"trapp/internal/source"
+)
+
+// System is a complete simulated TRAPP deployment.
+type System struct {
+	// Clock is the shared logical clock; advance it to let bounds grow.
+	Clock *netsim.Clock
+	// Net records refresh traffic and cost.
+	Net *netsim.Network
+
+	sources map[string]*source.Source
+	caches  map[string]*cache.Cache
+	tables  map[string]*cache.Cache // query table name → backing cache
+	proc    *query.Processor
+}
+
+// NewSystem creates an empty system with the given refresh options.
+func NewSystem(opts refresh.Options) *System {
+	return &System{
+		Clock:   netsim.NewClock(),
+		Net:     netsim.NewNetwork(),
+		sources: make(map[string]*source.Source),
+		caches:  make(map[string]*cache.Cache),
+		tables:  make(map[string]*cache.Cache),
+		proc:    query.NewProcessor(opts),
+	}
+}
+
+// AddSource creates a data source. shape selects the transmitted bound
+// shape (nil means the √T default).
+func (s *System) AddSource(id string, shape boundfn.Shape) (*source.Source, error) {
+	if _, dup := s.sources[id]; dup {
+		return nil, fmt.Errorf("trapp: duplicate source %q", id)
+	}
+	src := source.New(id, s.Clock, s.Net, shape)
+	s.sources[id] = src
+	return src, nil
+}
+
+// Source returns a source by id, or nil.
+func (s *System) Source(id string) *source.Source { return s.sources[id] }
+
+// AddCache creates a data cache with the given table schema.
+func (s *System) AddCache(id string, schema *relation.Schema) (*cache.Cache, error) {
+	if _, dup := s.caches[id]; dup {
+		return nil, fmt.Errorf("trapp: duplicate cache %q", id)
+	}
+	c := cache.New(id, s.Clock, schema)
+	s.caches[id] = c
+	return c, nil
+}
+
+// Cache returns a cache by id, or nil.
+func (s *System) Cache(id string) *cache.Cache { return s.caches[id] }
+
+// MountedCache returns the cache backing a mounted table name, or nil.
+func (s *System) MountedCache(tableName string) *cache.Cache { return s.tables[tableName] }
+
+// Mount exposes a cache's table to the query processor under the given
+// table name, with the cache itself serving query-initiated refreshes.
+func (s *System) Mount(tableName string, c *cache.Cache) error {
+	if _, dup := s.tables[tableName]; dup {
+		return fmt.Errorf("trapp: table %q already mounted", tableName)
+	}
+	s.tables[tableName] = c
+	s.proc.Register(tableName, c.Table(), c)
+	return nil
+}
+
+// Execute synchronizes the backing cache's bounds to the current time and
+// runs the three-step bounded query execution.
+//
+// When the cache watches sources with delayed insert/delete propagation
+// (section 8.3), a predicate-free COUNT whose constraint tolerates the
+// cardinality slack is answered from the cache with the answer widened by
+// ±slack — saving the propagation round — and every other query first
+// flushes the queued events, since missing tuples would make the other
+// aggregates' bounds unsound.
+func (s *System) Execute(q query.Query) (query.Result, error) {
+	c, ok := s.tables[q.Table]
+	if !ok {
+		return query.Result{}, fmt.Errorf("trapp: table %q not mounted", q.Table)
+	}
+	if slack := c.CardinalitySlack(); slack > 0 {
+		countNoPred := q.Agg == aggregate.Count && predicate.IsTrivial(q.Where) &&
+			len(q.GroupBy) == 0 && q.RelativeWithin == 0
+		if countNoPred && q.Within >= 2*float64(slack) {
+			c.Sync()
+			res, err := s.proc.Execute(query.Query{
+				Table: q.Table, Agg: q.Agg, Column: q.Column,
+				Within: q.Within - 2*float64(slack), Where: q.Where,
+			})
+			if err != nil {
+				return res, err
+			}
+			res.Answer = res.Answer.Expand(float64(slack))
+			if res.Answer.Lo < 0 {
+				res.Answer.Lo = 0 // cardinality is nonnegative
+			}
+			res.Met = res.Answer.Width() <= q.Within+1e-9
+			return res, nil
+		}
+		c.FlushWatched()
+	}
+	c.Sync()
+	return s.proc.Execute(q)
+}
+
+// PreciseMode runs the query at R = 0 (the fresh-data extreme of
+// Figure 1(a)).
+func (s *System) PreciseMode(q query.Query) (query.Result, error) {
+	q.Within = 0
+	return s.Execute(q)
+}
+
+// ImpreciseMode runs the query over cached bounds only (the stale-data
+// extreme of Figure 1(a)).
+func (s *System) ImpreciseMode(q query.Query) (query.Result, error) {
+	c, ok := s.tables[q.Table]
+	if !ok {
+		return query.Result{}, fmt.Errorf("trapp: table %q not mounted", q.Table)
+	}
+	c.Sync()
+	return s.proc.ImpreciseMode(q)
+}
+
+// Stats returns a snapshot of network traffic counters.
+func (s *System) Stats() netsim.Stats { return s.Net.Stats() }

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trapp/internal/randomwalk"
+)
+
+// Link is one directed network link with evolving measurements, the unit
+// of the running example's monitoring workload (paper section 1.1).
+type Link struct {
+	// Key is the link's object key.
+	Key int64
+	// From and To are node ids.
+	From, To int
+	// Cost is the query-refresh cost (e.g. proportional to node distance).
+	Cost float64
+
+	latency   *randomwalk.Gaussian
+	bandwidth *randomwalk.Gaussian
+	traffic   *randomwalk.Gaussian
+}
+
+// Values returns the link's current (latency, bandwidth, traffic).
+func (l *Link) Values() []float64 {
+	return []float64{l.latency.Value(), l.bandwidth.Value(), l.traffic.Value()}
+}
+
+// Step advances all three measurements one update.
+func (l *Link) Step() []float64 {
+	l.latency.Next()
+	l.bandwidth.Next()
+	l.traffic.Next()
+	return l.Values()
+}
+
+// Network is a randomly generated monitored network: a set of nodes joined
+// by directed links whose latency/bandwidth/traffic evolve as clamped
+// Gaussian random walks. It substitutes for the paper's "wide-area network
+// linking thousands of computers": the monitoring station caches one tuple
+// per link, and the link-owning node acts as the data source.
+type Network struct {
+	// Nodes is the node count.
+	Nodes int
+	// Links are the generated links, keys 1..len.
+	Links []*Link
+}
+
+// NewNetwork generates a random connected-ish topology with the given
+// number of nodes and links. Link endpoints are sampled uniformly
+// (self-loops excluded); costs are uniform integers in [1, 10].
+// Deterministic in seed.
+func NewNetwork(nodes, links int, seed int64) (*Network, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 nodes, got %d", nodes)
+	}
+	if links < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 link, got %d", links)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net := &Network{Nodes: nodes}
+	for i := 0; i < links; i++ {
+		from := rng.Intn(nodes)
+		to := rng.Intn(nodes - 1)
+		if to >= from {
+			to++
+		}
+		net.Links = append(net.Links, &Link{
+			Key:       int64(i + 1),
+			From:      from,
+			To:        to,
+			Cost:      float64(1 + rng.Intn(10)),
+			latency:   randomwalk.NewGaussian(2+rng.Float64()*18, 0.5, 0.1, rng.Int63()),
+			bandwidth: randomwalk.NewGaussian(40+rng.Float64()*60, 1.0, 1, rng.Int63()),
+			traffic:   randomwalk.NewGaussian(80+rng.Float64()*70, 2.0, 0, rng.Int63()),
+		})
+	}
+	return net, nil
+}
+
+// Step advances every link's measurements one update round.
+func (n *Network) Step() {
+	for _, l := range n.Links {
+		l.Step()
+	}
+}
+
+// Path returns the links forming a random simple walk of the given length
+// for path queries like Q1/Q2; it may repeat links on small topologies.
+func (n *Network) Path(length int, seed int64) []*Link {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Link, 0, length)
+	for len(out) < length {
+		out = append(out, n.Links[rng.Intn(len(n.Links))])
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package trapp is a Go implementation of TRAPP (Tradeoff in Replication
+// Precision and Performance), the replication system of Olston and Widom,
+// "Offering a Precision-Performance Tradeoff for Aggregation Queries over
+// Replicated Data" (VLDB 2000).
+//
+// TRAPP caches store guaranteed bounds [L, H] on remote master values
+// instead of stale exact copies. Aggregation queries carry a quantitative
+// precision constraint R, and the system combines cached bounds with a
+// minimum-cost set of refreshes from remote sources to return an interval
+// answer that is guaranteed to contain the precise answer and is no wider
+// than R — giving each query fine-grained control over the tradeoff
+// between precision and performance.
+//
+// # Quick start
+//
+//	sys := trapp.NewSystem(trapp.Options{})
+//	src, _ := sys.AddSource("sensors", nil)
+//	cache, _ := sys.AddCache("monitor", schema)
+//	src.AddObject(1, []float64{42}, 3 /* refresh cost */, trapp.NewAdaptiveWidth(1))
+//	cache.Subscribe(src, 1, []float64{1})
+//	sys.Mount("readings", cache)
+//
+//	q, _ := trapp.ParseQuery("SELECT AVG(value) WITHIN 5 FROM readings", sys)
+//	res, _ := sys.Execute(q)
+//	fmt.Println(res.Answer) // e.g. [40.5, 45.5], guaranteed to contain the true AVG
+//
+// The package re-exports the user-facing API of the internal packages; see
+// the examples directory for complete programs and DESIGN.md for the
+// architecture.
+package trapp
+
+import (
+	"trapp/internal/aggregate"
+	"trapp/internal/boundfn"
+	"trapp/internal/cache"
+	"trapp/internal/interval"
+	"trapp/internal/netsim"
+	"trapp/internal/predicate"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+	"trapp/internal/source"
+	"trapp/internal/sql"
+	itrapp "trapp/internal/trapp"
+)
+
+// Interval is a closed interval [Lo, Hi]; bounded answers and cached
+// bounds are Intervals.
+type Interval = interval.Interval
+
+// NewInterval returns the interval [lo, hi].
+func NewInterval(lo, hi float64) Interval { return interval.New(lo, hi) }
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return interval.Point(v) }
+
+// Schema describes a cached table's columns.
+type Schema = relation.Schema
+
+// Column describes one attribute.
+type Column = relation.Column
+
+// Exact marks attributes whose values the cache knows precisely.
+const Exact = relation.Exact
+
+// Bounded marks replicated attributes cached as guaranteed bounds.
+const Bounded = relation.Bounded
+
+// NewSchema builds a schema.
+func NewSchema(cols ...Column) *Schema { return relation.NewSchema(cols...) }
+
+// Table is a cached relation of bounded tuples.
+type Table = relation.Table
+
+// Tuple is one cached row.
+type Tuple = relation.Tuple
+
+// NewTable returns an empty table with the given schema.
+func NewTable(s *Schema) *Table { return relation.NewTable(s) }
+
+// Func identifies an aggregation function.
+type Func = aggregate.Func
+
+// Aggregation functions supported by TRAPP/AG.
+const (
+	Min   = aggregate.Min
+	Max   = aggregate.Max
+	Sum   = aggregate.Sum
+	Count = aggregate.Count
+	Avg   = aggregate.Avg
+)
+
+// Expr is a selection predicate over bounded tuples.
+type Expr = predicate.Expr
+
+// PredColumn references a column in a predicate.
+func PredColumn(col int, name string) predicate.Operand { return predicate.Column(col, name) }
+
+// PredConst embeds a constant in a predicate.
+func PredConst(v float64) predicate.Operand { return predicate.Const(v) }
+
+// Comparison operators.
+const (
+	Lt = predicate.Lt
+	Le = predicate.Le
+	Gt = predicate.Gt
+	Ge = predicate.Ge
+	Eq = predicate.Eq
+	Ne = predicate.Ne
+)
+
+// NewCmp builds a comparison predicate.
+func NewCmp(left predicate.Operand, op predicate.Op, right predicate.Operand) Expr {
+	return predicate.NewCmp(left, op, right)
+}
+
+// NewAnd builds a conjunction.
+func NewAnd(l, r Expr) Expr { return predicate.NewAnd(l, r) }
+
+// NewOr builds a disjunction.
+func NewOr(l, r Expr) Expr { return predicate.NewOr(l, r) }
+
+// NewNot builds a negation.
+func NewNot(e Expr) Expr { return predicate.NewNot(e) }
+
+// Query is a TRAPP/AG aggregation query with a precision constraint.
+type Query = query.Query
+
+// Result reports a bounded query execution.
+type Result = query.Result
+
+// NewQuery returns an unconstrained query (R = +Inf).
+func NewQuery(table string, agg Func, column string) Query {
+	return query.NewQuery(table, agg, column)
+}
+
+// Options tunes CHOOSE_REFRESH (knapsack solver and ε).
+type Options = refresh.Options
+
+// Solver selects a knapsack algorithm.
+type Solver = refresh.Solver
+
+// Knapsack solver choices.
+const (
+	Auto                = refresh.Auto
+	SolverExactDP       = refresh.SolverExactDP
+	SolverApprox        = refresh.SolverApprox
+	SolverGreedyUniform = refresh.SolverGreedyUniform
+	SolverGreedyDensity = refresh.SolverGreedyDensity
+)
+
+// System is a complete simulated TRAPP deployment: sources, caches, a
+// shared clock, traffic accounting, and a query processor.
+type System = itrapp.System
+
+// NewSystem creates an empty system.
+func NewSystem(opts Options) *System { return itrapp.NewSystem(opts) }
+
+// Source owns master values and runs the refresh monitor.
+type Source = source.Source
+
+// Cache stores bounds and serves bounded queries.
+type Cache = cache.Cache
+
+// Stats aggregates refresh traffic counters.
+type Stats = netsim.Stats
+
+// WidthPolicy chooses bound width parameters (Appendix A).
+type WidthPolicy = boundfn.WidthPolicy
+
+// StaticWidth is a fixed bound width policy.
+type StaticWidth = boundfn.StaticWidth
+
+// AdaptiveWidth widens bounds on value-initiated refreshes and narrows
+// them on query-initiated refreshes.
+type AdaptiveWidth = boundfn.AdaptiveWidth
+
+// NewAdaptiveWidth returns an adaptive width policy starting at w.
+func NewAdaptiveWidth(w float64) *AdaptiveWidth { return boundfn.NewAdaptiveWidth(w) }
+
+// Bound shapes for time-varying bounds.
+type (
+	// SqrtShape grows bounds like √(T−Tr), the paper's default.
+	SqrtShape = boundfn.SqrtShape
+	// LinearShape grows bounds linearly.
+	LinearShape = boundfn.LinearShape
+	// ConstantShape keeps a fixed width after refresh.
+	ConstantShape = boundfn.ConstantShape
+)
+
+// Monitor is a continuous bounded query whose precision constraint is
+// re-established on every Poll, paying for refreshes only when cached
+// bounds have grown past the constraint (§8.1).
+type Monitor = itrapp.Monitor
+
+// GroupRow is one group's result in a GROUP BY query (§8.1 extension).
+type GroupRow = query.GroupRow
+
+// Processor executes bounded queries over directly registered tables,
+// without the source/cache architecture — useful for embedding TRAPP/AG
+// query processing over an existing store, and for reproducing the
+// paper's worked examples over fixed cached bounds.
+type Processor = query.Processor
+
+// Oracle supplies exact master values during query-initiated refreshes.
+type Oracle = query.Oracle
+
+// NewProcessor returns an empty query processor.
+func NewProcessor(opts Options) *Processor { return query.NewProcessor(opts) }
+
+// ParseQueryWith compiles a query against an explicit table→schema
+// catalog instead of a System's mounted tables.
+func ParseQueryWith(src string, schemas map[string]*Schema) (Query, error) {
+	return sql.Parse(src, sql.MapCatalog(schemas))
+}
+
+// systemCatalog adapts a System to the SQL parser's catalog.
+type systemCatalog struct{ sys *System }
+
+// SchemaOf looks up a mounted table's schema.
+func (c systemCatalog) SchemaOf(table string) (*Schema, bool) {
+	cch := c.sys.MountedCache(table)
+	if cch == nil {
+		return nil, false
+	}
+	return cch.Table().Schema(), true
+}
+
+// ParseQuery compiles the TRAPP/AG SQL dialect
+// (SELECT AGG(col) WITHIN R FROM table WHERE pred) against the tables
+// mounted on the system.
+func ParseQuery(src string, sys *System) (Query, error) {
+	return sql.Parse(src, systemCatalog{sys})
+}
