@@ -11,9 +11,12 @@
 //	trappbench -experiment modes     # E8: imprecise/TRAPP/precise cost per aggregate
 //	trappbench -experiment join      # E9: join refresh planners
 //	trappbench -experiment all       # everything
+//	trappbench -concurrency 8        # E13: closed-loop multi-client throughput
 //
 // Flags -n, -seed, -reps control workload size, reproducibility, and
-// timing repetitions.
+// timing repetitions. The concurrent benchmark additionally honors
+// -duration (measurement window) and compares against a single-client
+// run when -concurrency > 1.
 package main
 
 import (
@@ -26,25 +29,35 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig5, fig6, knapsack, adaptive, avgbound, modes, join, all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig5, fig6, knapsack, adaptive, avgbound, modes, join, concurrent, all)")
 	n := flag.Int("n", 90, "number of data objects (the paper used 90 stocks)")
 	seed := flag.Int64("seed", experiment.DefaultSeed, "workload seed")
 	reps := flag.Int("reps", 25, "timing repetitions per point")
+	concurrency := flag.Int("concurrency", 8, "client goroutines for the concurrent benchmark")
+	duration := flag.Duration("duration", 2*time.Second, "measurement window for the concurrent benchmark")
 	flag.Parse()
 
-	runners := map[string]func(){
-		"fig5":     func() { fig5(*n, *seed, *reps) },
-		"fig6":     func() { fig6(*n, *seed) },
-		"knapsack": func() { solvers(*n, *seed) },
-		"adaptive": func() { adaptive(*seed) },
-		"avgbound": func() { avgBounds(*n, *seed) },
-		"modes":    func() { modes(*n, *seed) },
-		"join":     func() { joins(*seed) },
-		"iter":     func() { iterative(*n, *seed) },
-		"index":    func() { indexSpeedup(*seed, *reps) },
-		"median":   func() { medians(*n, *seed) },
+	// `trappbench -concurrency N` alone runs the concurrent benchmark.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["concurrency"] && !explicit["experiment"] {
+		*exp = "concurrent"
 	}
-	order := []string{"fig5", "fig6", "knapsack", "adaptive", "avgbound", "modes", "join", "iter", "index", "median"}
+
+	runners := map[string]func(){
+		"concurrent": func() { concurrent(*concurrency, *n, *seed, *duration) },
+		"fig5":       func() { fig5(*n, *seed, *reps) },
+		"fig6":       func() { fig6(*n, *seed) },
+		"knapsack":   func() { solvers(*n, *seed) },
+		"adaptive":   func() { adaptive(*seed) },
+		"avgbound":   func() { avgBounds(*n, *seed) },
+		"modes":      func() { modes(*n, *seed) },
+		"join":       func() { joins(*seed) },
+		"iter":       func() { iterative(*n, *seed) },
+		"index":      func() { indexSpeedup(*seed, *reps) },
+		"median":     func() { medians(*n, *seed) },
+	}
+	order := []string{"fig5", "fig6", "knapsack", "adaptive", "avgbound", "modes", "join", "iter", "index", "median", "concurrent"}
 	if *exp == "all" {
 		for _, name := range order {
 			runners[name]()
@@ -207,6 +220,40 @@ func medians(n int, seed int64) {
 		})
 	}
 	experiment.WriteTable(os.Stdout, []string{"R", "initial-width", "refreshed", "cost"}, cells)
+}
+
+func concurrent(clients, n int, seed int64, duration time.Duration) {
+	const sources = 8
+	fmt.Printf("E13 — closed-loop concurrent throughput (links=%d, sources=%d, window=%v)\n",
+		n, sources, duration)
+	runs := []int{clients}
+	if clients > 1 {
+		runs = []int{1, clients} // baseline first so the speedup is visible
+	}
+	var cells [][]string
+	var qps []float64
+	for _, cl := range runs {
+		res, err := experiment.Concurrent(cl, n, sources, seed, duration)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "concurrent benchmark: %v\n", err)
+			os.Exit(1)
+		}
+		qps = append(qps, res.QPS)
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", res.Clients),
+			fmt.Sprintf("%d", res.Queries),
+			fmt.Sprintf("%.0f", res.QPS),
+			res.P50.Round(time.Microsecond).String(),
+			res.P99.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", res.Refreshes),
+			fmt.Sprintf("%.0f", res.RefreshCost),
+		})
+	}
+	experiment.WriteTable(os.Stdout,
+		[]string{"clients", "queries", "qps", "p50", "p99", "refreshes", "refresh-cost"}, cells)
+	if len(qps) == 2 {
+		fmt.Printf("speedup: %.2fx aggregate QPS at %d clients vs 1\n", qps[1]/qps[0], clients)
+	}
 }
 
 func joins(seed int64) {

@@ -1,0 +1,259 @@
+package trapp_test
+
+// Concurrent-execution stress test for the thread-safe query engine:
+// many goroutines issue mixed precise/imprecise/WITHIN queries against
+// one shared System while updater goroutines mutate master values and
+// advance the clock. It is designed to run race-clean under
+// `go test -race`.
+//
+// Soundness assertions come in two strengths:
+//
+//   - During the chaos phase, updaters confine every master value of key
+//     k to a fixed envelope [base_k − D, base_k + D]. Every per-key bound
+//     a query can observe contains SOME value the key actually held, so
+//     any aggregate answer must intersect the aggregate's achievable
+//     envelope (e.g. [Σ(base−D), Σ(base+D)] for SUM). An engine that
+//     reads torn or fabricated bounds fails this.
+//   - After the updaters stop (quiescent phase), the true answer is
+//     computable from the sources' master values, and every returned
+//     interval must strictly contain it — the paper's central guarantee.
+//     Precise-mode answers must equal it exactly.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"trapp"
+)
+
+const (
+	stressSources    = 4
+	stressPerSource  = 20
+	stressD          = 4  // updates stay within base ± D
+	stressWidth      = 10 // promised bound width parameter (> 2D)
+	stressClients    = 8
+	stressQueries    = 150
+	stressUpdaters   = 2
+	stressUpdates    = 1500
+	stressRefreshEps = 1e-6
+)
+
+// stressBase is the anchor value of object key; updaters never move the
+// master value outside [stressBase(key)−D, stressBase(key)+D].
+func stressBase(key int64) float64 { return 100 + float64(key%97) }
+
+// buildStressSystem wires stressSources sources × stressPerSource
+// objects into one cache mounted as "vals", single bounded column
+// "value".
+func buildStressSystem(t *testing.T) (*trapp.System, []int64) {
+	t.Helper()
+	sys := trapp.NewSystem(trapp.Options{})
+	schema := trapp.NewSchema(trapp.Column{Name: "value", Kind: trapp.Bounded})
+	c, err := sys.AddCache("monitor", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []int64
+	for si := 0; si < stressSources; si++ {
+		src, err := sys.AddSource(fmt.Sprintf("s%d", si), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for oi := 0; oi < stressPerSource; oi++ {
+			key := int64(si*1000 + oi)
+			cost := float64(1 + (si+oi)%5)
+			if err := src.AddObject(key, []float64{stressBase(key)}, cost,
+				trapp.NewAdaptiveWidth(stressWidth)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Subscribe(src, key, nil); err != nil {
+				t.Fatal(err)
+			}
+			keys = append(keys, key)
+		}
+	}
+	if err := sys.Mount("vals", c); err != nil {
+		t.Fatal(err)
+	}
+	return sys, keys
+}
+
+// envelope returns the achievable range of the aggregate when every key
+// k holds some value in [base_k−D, base_k+D].
+func envelope(agg trapp.Func, keys []int64) trapp.Interval {
+	minB, maxB, sumB := math.Inf(1), math.Inf(-1), 0.0
+	for _, k := range keys {
+		b := stressBase(k)
+		minB = math.Min(minB, b)
+		maxB = math.Max(maxB, b)
+		sumB += b
+	}
+	n := float64(len(keys))
+	switch agg {
+	case trapp.Min:
+		return trapp.NewInterval(minB-stressD, minB+stressD)
+	case trapp.Max:
+		return trapp.NewInterval(maxB-stressD, maxB+stressD)
+	case trapp.Sum:
+		return trapp.NewInterval(sumB-n*stressD, sumB+n*stressD)
+	case trapp.Avg:
+		return trapp.NewInterval(sumB/n-stressD, sumB/n+stressD)
+	default: // Count: membership never changes
+		return trapp.Point(n)
+	}
+}
+
+// trueAggregate computes the exact answer from the sources' current
+// master values; only meaningful while updaters are quiescent.
+func trueAggregate(t *testing.T, sys *trapp.System, agg trapp.Func, keys []int64) float64 {
+	t.Helper()
+	minV, maxV, sumV := math.Inf(1), math.Inf(-1), 0.0
+	for si := 0; si < stressSources; si++ {
+		src := sys.Source(fmt.Sprintf("s%d", si))
+		for oi := 0; oi < stressPerSource; oi++ {
+			key := int64(si*1000 + oi)
+			v, ok := src.Values(key)
+			if !ok {
+				t.Fatalf("source s%d lost object %d", si, key)
+			}
+			minV = math.Min(minV, v[0])
+			maxV = math.Max(maxV, v[0])
+			sumV += v[0]
+		}
+	}
+	switch agg {
+	case trapp.Min:
+		return minV
+	case trapp.Max:
+		return maxV
+	case trapp.Sum:
+		return sumV
+	case trapp.Avg:
+		return sumV / float64(len(keys))
+	default:
+		return float64(len(keys))
+	}
+}
+
+func TestConcurrentExecuteSoundness(t *testing.T) {
+	sys, keys := buildStressSystem(t)
+	aggs := []trapp.Func{trapp.Sum, trapp.Avg, trapp.Min, trapp.Max, trapp.Count}
+
+	// Updaters: random walks confined to the per-key envelope, with
+	// occasional clock advances so bounds grow and queries must refresh.
+	var updaters sync.WaitGroup
+	for u := 0; u < stressUpdaters; u++ {
+		updaters.Add(1)
+		go func(seed int64) {
+			defer updaters.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < stressUpdates; i++ {
+				key := keys[rng.Intn(len(keys))]
+				src := sys.Source(fmt.Sprintf("s%d", key/1000))
+				v := stressBase(key) + (rng.Float64()*2-1)*stressD
+				if err := src.SetValue(key, []float64{v}); err != nil {
+					t.Errorf("SetValue(%d): %v", key, err)
+					return
+				}
+				if i%50 == 49 {
+					sys.Clock.Advance(1)
+				}
+			}
+		}(int64(u) + 1)
+	}
+
+	// Clients: closed loops of mixed queries. Each asserts the envelope
+	// invariant on every answer.
+	var clients sync.WaitGroup
+	for cl := 0; cl < stressClients; cl++ {
+		clients.Add(1)
+		go func(seed int64) {
+			defer clients.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < stressQueries; i++ {
+				agg := aggs[rng.Intn(len(aggs))]
+				q := trapp.NewQuery("vals", agg, "value")
+				var (
+					res trapp.Result
+					err error
+				)
+				switch mode := rng.Intn(4); mode {
+				case 0:
+					res, err = sys.ImpreciseMode(q)
+				case 1:
+					res, err = sys.PreciseMode(q)
+				case 2:
+					q.Within = []float64{5, 20, 80}[rng.Intn(3)]
+					res, err = sys.Execute(q)
+				default:
+					sql := fmt.Sprintf("SELECT %s(value) WITHIN 60 FROM vals", agg)
+					q, err = trapp.ParseQuery(sql, sys)
+					if err == nil {
+						res, err = sys.Execute(q)
+					}
+				}
+				if err != nil {
+					t.Errorf("query %v: %v", q, err)
+					return
+				}
+				if res.Answer.IsEmpty() {
+					t.Errorf("query %v: empty answer over nonempty table", q)
+					return
+				}
+				env := envelope(agg, keys)
+				if res.Answer.Intersect(env).IsEmpty() {
+					t.Errorf("query %v: answer %v misses achievable envelope %v", q, res.Answer, env)
+					return
+				}
+				if res.Met && !math.IsInf(q.Within, 1) && res.Answer.Width() > q.Within+stressRefreshEps {
+					t.Errorf("query %v: Met but width %g > R=%g", q, res.Answer.Width(), q.Within)
+					return
+				}
+			}
+		}(int64(cl) + 100)
+	}
+
+	updaters.Wait()
+	clients.Wait()
+
+	// Quiescent phase: the true answer is now stable, so the paper's
+	// containment guarantee must hold exactly.
+	sys.Clock.Advance(1)
+	for _, agg := range aggs {
+		truth := trueAggregate(t, sys, agg, keys)
+		q := trapp.NewQuery("vals", agg, "value")
+		q.Within = 10
+		res, err := sys.Execute(q)
+		if err != nil {
+			t.Fatalf("quiescent %v: %v", agg, err)
+		}
+		if !res.Met {
+			t.Errorf("quiescent %v: constraint not met, answer %v", agg, res.Answer)
+		}
+		// Expand by a float-roundoff tolerance: the engine and this test
+		// sum master values in different orders.
+		if !res.Answer.Expand(stressRefreshEps).Contains(truth) {
+			t.Errorf("quiescent %v: answer %v does not contain true %g", agg, res.Answer, truth)
+		}
+		pres, err := sys.PreciseMode(trapp.NewQuery("vals", agg, "value"))
+		if err != nil {
+			t.Fatalf("precise %v: %v", agg, err)
+		}
+		if !pres.Answer.Expand(stressRefreshEps).Contains(truth) || pres.Answer.Width() > stressRefreshEps {
+			t.Errorf("precise %v: answer %v, want point at %g", agg, pres.Answer, truth)
+		}
+	}
+
+	// Traffic accounting survived the chaos: refresh messages were
+	// recorded and counters are internally consistent.
+	st := sys.Stats()
+	if st.Total() <= 0 {
+		t.Error("no traffic recorded despite refreshes")
+	}
+	if st.QueryRefreshCost < 0 || st.ValueRefreshCost < 0 {
+		t.Errorf("negative refresh costs: %+v", st)
+	}
+}

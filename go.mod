@@ -1,0 +1,3 @@
+module trapp
+
+go 1.24

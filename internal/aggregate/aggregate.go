@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"trapp/internal/interval"
+	"trapp/internal/parallel"
 	"trapp/internal/predicate"
 	"trapp/internal/relation"
 )
@@ -93,6 +94,20 @@ type Input struct {
 // bound would be empty are reclassified as T− (their bound cannot satisfy
 // the predicate's restriction on the aggregation column).
 func Collect(t *relation.Table, col int, p predicate.Expr, shrink bool) []Input {
+	return CollectParallel(t, col, p, shrink, 1)
+}
+
+// ParallelThreshold is the table size below which CollectParallel always
+// scans serially: classifying a tuple is tens of nanoseconds, so fanning
+// out goroutines only pays off for tables well beyond this many rows.
+const ParallelThreshold = 4096
+
+// CollectParallel is Collect with the classification scan split across
+// up to workers goroutines (0 means GOMAXPROCS, 1 forces the serial
+// path). Tuple order is preserved, so the result is identical to the
+// serial Collect. The caller must hold the table's read lock (or own the
+// table) for the duration of the call.
+func CollectParallel(t *relation.Table, col int, p predicate.Expr, shrink bool, workers int) []Input {
 	trivial := predicate.IsTrivial(p)
 	var restr interval.Interval
 	if shrink && !trivial {
@@ -100,31 +115,54 @@ func Collect(t *relation.Table, col int, p predicate.Expr, shrink bool) []Input 
 	} else {
 		restr = interval.Unbounded
 	}
-	inputs := make([]Input, 0, t.Len())
-	for i := range t.Tuples() {
-		tu := t.At(i)
-		cls := predicate.Plus
-		if !trivial {
-			cls = predicate.ClassifyTuple(p, tu)
-		}
-		if cls == predicate.Minus {
-			continue
-		}
-		b := tu.Bounds[col]
-		if cls == predicate.Maybe {
-			s := b.Intersect(restr)
-			if s.IsEmpty() {
-				continue // cannot satisfy the restriction: effectively T−
+	n := t.Len()
+	if n < ParallelThreshold {
+		workers = 1
+	}
+	collectRange := func(lo, hi int, out []Input) []Input {
+		for i := lo; i < hi; i++ {
+			tu := t.At(i)
+			cls := predicate.Plus
+			if !trivial {
+				cls = predicate.ClassifyTuple(p, tu)
 			}
-			b = s
+			if cls == predicate.Minus {
+				continue
+			}
+			b := tu.Bounds[col]
+			if cls == predicate.Maybe {
+				s := b.Intersect(restr)
+				if s.IsEmpty() {
+					continue // cannot satisfy the restriction: effectively T−
+				}
+				b = s
+			}
+			out = append(out, Input{
+				Index: i,
+				Key:   tu.Key,
+				Bound: b,
+				Cost:  tu.Cost,
+				Class: cls,
+			})
 		}
-		inputs = append(inputs, Input{
-			Index: i,
-			Key:   tu.Key,
-			Bound: b,
-			Cost:  tu.Cost,
-			Class: cls,
-		})
+		return out
+	}
+	if workers = parallel.Workers(workers); workers <= 1 {
+		return collectRange(0, n, make([]Input, 0, n))
+	}
+	// Each chunk collects into its own slice; chunks are then
+	// concatenated in index order so the output matches the serial scan.
+	parts := make([][]Input, parallel.NumChunks(n, workers))
+	parallel.ForEachChunk(n, workers, func(c, lo, hi int) {
+		parts[c] = collectRange(lo, hi, make([]Input, 0, hi-lo))
+	})
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	inputs := make([]Input, 0, total)
+	for _, part := range parts {
+		inputs = append(inputs, part...)
 	}
 	return inputs
 }
@@ -138,7 +176,14 @@ func Collect(t *relation.Table, col int, p predicate.Expr, shrink bool) []Input 
 // max(∅) = −∞: MIN/MAX/AVG over a certainly empty selection return
 // interval.Empty; SUM returns [0, 0]; COUNT returns [0, 0].
 func Eval(t *relation.Table, col int, fn Func, p predicate.Expr) interval.Interval {
-	inputs := Collect(t, col, p, true)
+	return EvalParallel(t, col, fn, p, 1)
+}
+
+// EvalParallel is Eval with the classification scan parallelized across
+// up to workers goroutines (0 means GOMAXPROCS); see CollectParallel.
+// The answer is identical to Eval's.
+func EvalParallel(t *relation.Table, col int, fn Func, p predicate.Expr, workers int) interval.Interval {
+	inputs := CollectParallel(t, col, p, true, workers)
 	return EvalInputs(inputs, fn, predicate.IsTrivial(p), t.Len())
 }
 

@@ -307,3 +307,45 @@ func TestFuncStringParse(t *testing.T) {
 		t.Error("MEDIAN accepted")
 	}
 }
+
+// TestCollectParallelMatchesSerial builds a table well past the parallel
+// threshold and checks the parallel scan returns exactly the serial
+// result for every aggregate, with and without a predicate.
+func TestCollectParallelMatchesSerial(t *testing.T) {
+	schema := relation.NewSchema(
+		relation.Column{Name: "v", Kind: relation.Bounded},
+		relation.Column{Name: "w", Kind: relation.Bounded},
+	)
+	tab := relation.NewTable(schema)
+	n := ParallelThreshold + 1234
+	for i := 0; i < n; i++ {
+		lo := float64(i%977) - 300
+		tab.MustInsert(relation.Tuple{
+			Key:    int64(i),
+			Cost:   float64(i%7 + 1),
+			Bounds: []interval.Interval{interval.New(lo, lo+float64(i%13)), interval.Point(float64(i % 10))},
+		})
+	}
+	col := schema.MustLookup("v")
+	pred := predicate.NewCmp(predicate.Column(col, "v"), predicate.Gt, predicate.Const(25))
+	for _, p := range []predicate.Expr{nil, pred} {
+		serial := Collect(tab, col, p, true)
+		for _, workers := range []int{0, 2, 3, 8} {
+			par := CollectParallel(tab, col, p, true, workers)
+			if len(par) != len(serial) {
+				t.Fatalf("workers=%d: %d inputs, serial %d", workers, len(par), len(serial))
+			}
+			for i := range par {
+				if par[i] != serial[i] {
+					t.Fatalf("workers=%d: input %d = %+v, serial %+v", workers, i, par[i], serial[i])
+				}
+			}
+		}
+		for _, fn := range []Func{Min, Max, Sum, Count, Avg} {
+			want := Eval(tab, col, fn, p)
+			if got := EvalParallel(tab, col, fn, p, 4); got != want {
+				t.Errorf("%v parallel = %v, serial = %v", fn, got, want)
+			}
+		}
+	}
+}

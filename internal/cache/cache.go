@@ -4,6 +4,22 @@
 // object's source, materializes them into a relational table of interval
 // bounds for the query processor, and pulls query-initiated refreshes when
 // a precision constraint demands exact values.
+//
+// # Concurrency
+//
+// A cache carries two locks with a strict acquisition order (mu before
+// tabMu, never the reverse):
+//
+//   - mu guards the cache's own state: the per-object source and bound
+//     maps, the watched-source list, and the Sync bookkeeping.
+//   - tabMu guards the contents of the cached table. The query processor
+//     shares this lock (via TableLock) so that aggregation scans take it
+//     for reading while refresh installation takes it for writing; many
+//     queries may scan concurrently.
+//
+// Neither lock is ever held while calling into a source, so sources can
+// push value-initiated refreshes from their own goroutines without
+// deadlock: a push simply queues behind in-flight scans on tabMu.
 package cache
 
 import (
@@ -13,33 +29,44 @@ import (
 	"trapp/internal/boundfn"
 	"trapp/internal/interval"
 	"trapp/internal/netsim"
+	"trapp/internal/parallel"
 	"trapp/internal/relation"
 	"trapp/internal/source"
 )
 
 // Cache is one data cache holding a single cached table. It implements
 // source.Subscriber (receiving value-initiated refreshes) and the query
-// processor's Oracle (serving query-initiated refreshes). All methods are
-// safe for concurrent use.
+// processor's Oracle and BatchOracle (serving query-initiated refreshes,
+// fanned out per source). All methods are safe for concurrent use.
 type Cache struct {
 	id    string
 	clock *netsim.Clock
 
 	mu      sync.Mutex
-	table   *relation.Table
 	sources map[int64]*source.Source
 	bounds  map[int64][]boundfn.Bound // per bounded column, schema order
+	lastSeq map[int64]int64           // newest applied Refresh.Seq per key
 	watched []*source.Source          // sources watched for membership events
+	// Sync fast-path bookkeeping: the table's materialized intervals are
+	// exactly bounds[*].At(syncedAt) unless dirty; a Sync at the same
+	// clock tick with a clean cache is a no-op.
+	syncedAt int64
+	dirty    bool
+
+	tabMu sync.RWMutex // guards table contents; shared with the processor
+	table *relation.Table
 }
 
 // New creates a cache around an empty table with the given schema.
 func New(id string, clock *netsim.Clock, schema *relation.Schema) *Cache {
 	return &Cache{
-		id:      id,
-		clock:   clock,
-		table:   relation.NewTable(schema),
-		sources: make(map[int64]*source.Source),
-		bounds:  make(map[int64][]boundfn.Bound),
+		id:       id,
+		clock:    clock,
+		table:    relation.NewTable(schema),
+		sources:  make(map[int64]*source.Source),
+		bounds:   make(map[int64][]boundfn.Bound),
+		lastSeq:  make(map[int64]int64),
+		syncedAt: -1,
 	}
 }
 
@@ -47,8 +74,15 @@ func New(id string, clock *netsim.Clock, schema *relation.Schema) *Cache {
 func (c *Cache) ID() string { return c.id }
 
 // Table exposes the cached table for the query processor. Callers must
-// call Sync first so the interval bounds reflect the current time.
+// call Sync first so the interval bounds reflect the current time, and
+// must hold TableLock when the cache is shared between goroutines.
 func (c *Cache) Table() *relation.Table { return c.table }
+
+// TableLock returns the lock guarding the cached table's contents. The
+// query processor takes it for reading during aggregation scans and for
+// writing when installing refreshed values; the cache itself takes it
+// for writing when sources push refreshes or membership events.
+func (c *Cache) TableLock() *sync.RWMutex { return &c.tabMu }
 
 // Subscribe replicates object key from the source into this cache. The
 // exact columns' values are supplied by the caller (they are propagated
@@ -91,45 +125,87 @@ func (c *Cache) Subscribe(src *source.Source, key int64, exactVals []float64) er
 			bi++
 		}
 	}
-	if err := c.table.Insert(tu); err != nil {
+	c.tabMu.Lock()
+	err = c.table.Insert(tu)
+	c.tabMu.Unlock()
+	if err != nil {
 		return err
 	}
 	c.sources[key] = src
 	c.bounds[key] = r.Bounds
+	c.lastSeq[key] = r.Seq
+	c.dirty = true
 	return nil
 }
 
 // ApplyRefresh installs new bounds for an object; it is invoked by sources
 // for value-initiated refreshes and internally after query-initiated ones.
 func (c *Cache) ApplyRefresh(r source.Refresh) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.applyLocked(r)
+	c.apply(r)
 }
 
-func (c *Cache) applyLocked(r source.Refresh) {
+// apply installs the refresh and reports whether it reached the table
+// (false when the object is gone or a newer refresh was already applied).
+func (c *Cache) apply(r source.Refresh) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applyLocked(r)
+}
+
+// applyLocked records the refreshed bounds and rematerializes the
+// object's table intervals. Refreshes delivered out of order (a batch
+// reply applied after a newer value-initiated push raced past it) are
+// dropped via the per-object sequence number, so the table never moves
+// backwards to stale bounds. Query-initiated refreshes install the
+// exact values as point bounds — the cache-side half of the refresh
+// step, done here so it is atomic with respect to concurrent pushes.
+// Caller holds c.mu; tabMu is taken here. Reports whether the refresh
+// was installed.
+func (c *Cache) applyLocked(r source.Refresh) bool {
+	if r.Seq != 0 && r.Seq <= c.lastSeq[r.Key] {
+		return false // a newer refresh for this object was already applied
+	}
+	c.tabMu.Lock()
+	defer c.tabMu.Unlock()
 	i := c.table.ByKey(r.Key)
 	if i < 0 {
-		return // object was deleted; stale refresh
+		return false // object was deleted; stale refresh
 	}
 	c.bounds[r.Key] = r.Bounds
+	c.lastSeq[r.Key] = r.Seq
+	c.dirty = true
 	now := c.clock.Now()
 	bcols := c.table.Schema().BoundedColumns()
 	for j, col := range bcols {
 		// Best effort: bounds from a source are never empty and exact
 		// columns are not refreshed, so SetBound cannot fail here.
-		_ = c.table.SetBound(i, col, r.Bounds[j].At(now))
+		if r.Kind == source.QueryInitiated {
+			// The query paid for the exact value: collapse the cached
+			// bound to a point until the next Sync re-materializes the
+			// time-varying bound.
+			_ = c.table.SetBound(i, col, interval.Point(r.Values[j]))
+		} else {
+			_ = c.table.SetBound(i, col, r.Bounds[j].At(now))
+		}
 	}
+	return true
 }
 
 // Sync re-evaluates every cached bound function at the current clock time
 // and writes the resulting intervals into the table. The query processor
 // must call this before computing bounded answers so that the √T growth
-// since the last refresh is reflected.
+// since the last refresh is reflected. When the clock has not advanced
+// and no refresh has landed since the previous Sync, the table is already
+// current and Sync returns without touching it — the fast path that lets
+// back-to-back queries share the table read lock.
 func (c *Cache) Sync() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.clock.Now()
+	if !c.dirty && c.syncedAt == now {
+		return
+	}
+	c.tabMu.Lock()
 	bcols := c.table.Schema().BoundedColumns()
 	for key, bs := range c.bounds {
 		i := c.table.ByKey(key)
@@ -140,6 +216,9 @@ func (c *Cache) Sync() {
 			_ = c.table.SetBound(i, col, bs[j].At(now))
 		}
 	}
+	c.tabMu.Unlock()
+	c.syncedAt = now
+	c.dirty = false
 }
 
 // Master implements the query-processor Oracle: it pulls a query-initiated
@@ -160,12 +239,88 @@ func (c *Cache) Master(key int64) ([]float64, bool) {
 	return r.Values, true
 }
 
+// MasterBatch implements the query-processor BatchOracle: the refresh set
+// is grouped per owning source and fanned out as one batched request per
+// source, each on its own goroutine — the parallel refresh phase of the
+// concurrent engine. The refreshed bounds (point intervals for the paid
+// exact values, plus any piggybacked extras riding along on a reply) are
+// installed into the cached table here, atomically with respect to
+// concurrent source pushes, so the processor must not install them
+// again. The returned map holds exactly the keys whose refresh reached
+// the table: keys dropped since the plan was computed (they no longer
+// contribute to any aggregate) and replies that lost the race to an
+// even newer value-initiated push are absent.
+func (c *Cache) MasterBatch(keys []int64) (map[int64][]float64, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	bySrc := make(map[*source.Source][]int64)
+	for _, key := range keys {
+		src := c.sources[key]
+		if src == nil {
+			continue // dropped since the plan was computed
+		}
+		bySrc[src] = append(bySrc[src], key)
+	}
+	c.mu.Unlock()
+
+	vals := make(map[int64][]float64, len(keys))
+	// Apply every reply; only refreshes that actually reached the table
+	// are reported back (a reply can lose to a concurrent newer push or
+	// to a mid-flight drop, in which case its value was never installed).
+	applyAndRecord := func(rs []source.Refresh, record func(key int64, v []float64)) {
+		for _, r := range rs {
+			installed := c.apply(r)
+			if installed && r.Kind == source.QueryInitiated {
+				record(r.Key, r.Values)
+			}
+		}
+	}
+	if len(bySrc) == 1 {
+		// Single source: no fan-out needed, stay on this goroutine.
+		for src, ks := range bySrc {
+			rs, err := src.QueryRefreshBatch(ks, c)
+			if err != nil {
+				return nil, err
+			}
+			applyAndRecord(rs, func(key int64, v []float64) { vals[key] = v })
+		}
+		return vals, nil
+	}
+	var vmu sync.Mutex
+	g := parallel.NewGroup(0)
+	for src, ks := range bySrc {
+		src, ks := src, ks
+		g.Go(func() error {
+			rs, err := src.QueryRefreshBatch(ks, c)
+			if err != nil {
+				return err
+			}
+			applyAndRecord(rs, func(key int64, v []float64) {
+				vmu.Lock()
+				vals[key] = v
+				vmu.Unlock()
+			})
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
 // Drop removes a cached object, modelling a propagated deletion.
 func (c *Cache) Drop(key int64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.sources, key)
 	delete(c.bounds, key)
+	delete(c.lastSeq, key)
+	c.dirty = true
+	c.tabMu.Lock()
+	defer c.tabMu.Unlock()
 	return c.table.Delete(key)
 }
 
@@ -221,8 +376,8 @@ func (c *Cache) FlushWatched() {
 
 // Keys returns the cached object keys in table order.
 func (c *Cache) Keys() []int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.tabMu.RLock()
+	defer c.tabMu.RUnlock()
 	out := make([]int64, 0, c.table.Len())
 	for i := 0; i < c.table.Len(); i++ {
 		out = append(out, c.table.At(i).Key)

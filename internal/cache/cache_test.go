@@ -173,6 +173,128 @@ func TestInvariantMasterAlwaysInsideBound(t *testing.T) {
 	}
 }
 
+// TestMasterBatchFansOutPerSource subscribes one cache to objects on
+// three sources and checks that a batched pull refreshes every requested
+// object, charges each source, and collapses the cached bounds.
+func TestMasterBatchFansOutPerSource(t *testing.T) {
+	clock := netsim.NewClock()
+	net := netsim.NewNetwork()
+	c := New("c1", clock, workload.LinkSchema())
+	var keys []int64
+	for si := 0; si < 3; si++ {
+		src := source.New(string(rune('a'+si)), clock, net, nil)
+		for oi := 0; oi < 4; oi++ {
+			key := int64(si*10 + oi)
+			v := float64(key)
+			if err := src.AddObject(key, []float64{v, v + 1, v + 2}, 2, boundfn.StaticWidth(1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Subscribe(src, key, []float64{0, 0}); err != nil {
+				t.Fatal(err)
+			}
+			keys = append(keys, key)
+		}
+	}
+	clock.Advance(50)
+	c.Sync()
+	net.Reset()
+	vals, err := c.MasterBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(keys) {
+		t.Fatalf("batch returned %d values, want %d", len(vals), len(keys))
+	}
+	for _, key := range keys {
+		if vals[key][0] != float64(key) {
+			t.Errorf("key %d values = %v", key, vals[key])
+		}
+	}
+	st := net.Stats()
+	if st.Messages[netsim.QueryRefresh] != int64(len(keys)) {
+		t.Errorf("query-refresh messages = %d, want %d", st.Messages[netsim.QueryRefresh], len(keys))
+	}
+	if st.QueryRefreshCost != float64(2*len(keys)) {
+		t.Errorf("query refresh cost = %g, want %d", st.QueryRefreshCost, 2*len(keys))
+	}
+	tab := c.Table()
+	lat := tab.Schema().MustLookup(workload.ColLatency)
+	for _, key := range keys {
+		if b := tab.At(tab.ByKey(key)).Bounds[lat]; !b.IsPoint() {
+			t.Errorf("key %d bound after batch refresh = %v", key, b)
+		}
+	}
+	// Keys the cache no longer tracks (dropped mid-plan) are skipped,
+	// not errors: the batch serves the rest and omits them from the map.
+	vals, err = c.MasterBatch([]int64{keys[0], 999})
+	if err != nil {
+		t.Errorf("batch with dropped key: %v", err)
+	}
+	if _, has := vals[999]; has || len(vals) != 1 {
+		t.Errorf("batch with dropped key = %v", vals)
+	}
+	if vals, err := c.MasterBatch(nil); err != nil || vals != nil {
+		t.Errorf("empty batch = %v, %v", vals, err)
+	}
+}
+
+// TestApplyRefreshDropsStaleSeq delivers an old refresh after a newer
+// one and checks the cache keeps the newer bounds (out-of-order batch
+// replies must not resurrect stale values).
+func TestApplyRefreshDropsStaleSeq(t *testing.T) {
+	c, src, clock := newPair(t)
+	tab := c.Table()
+	lat := tab.Schema().MustLookup(workload.ColLatency)
+	clock.Advance(1)
+	// Pull a refresh without applying it, then let a newer push land.
+	r1, err := src.QueryRefresh(1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetValue(1, []float64{500, 61, 98}); err != nil { // escapes → push applies newer refresh
+		t.Fatal(err)
+	}
+	newer := tab.At(tab.ByKey(1)).Bounds[lat]
+	if !newer.Contains(500) {
+		t.Fatalf("push not applied: bound %v", newer)
+	}
+	c.ApplyRefresh(r1) // stale reply arrives late
+	if got := tab.At(tab.ByKey(1)).Bounds[lat]; got != newer {
+		t.Errorf("stale refresh overwrote newer bounds: %v → %v", newer, got)
+	}
+}
+
+// TestSyncFastPath checks that a Sync with an unchanged clock and no
+// intervening refresh leaves the table untouched, while a refresh or a
+// clock advance forces re-materialization.
+func TestSyncFastPath(t *testing.T) {
+	c, _, clock := newPair(t)
+	tab := c.Table()
+	lat := tab.Schema().MustLookup(workload.ColLatency)
+	clock.Advance(9)
+	c.Sync()
+	want := tab.At(tab.ByKey(1)).Bounds[lat]
+	c.Sync() // fast path: no changes
+	if got := tab.At(tab.ByKey(1)).Bounds[lat]; got != want {
+		t.Errorf("fast-path Sync changed bound: %v → %v", want, got)
+	}
+	// A query refresh collapses the bound; the next Sync must restore the
+	// time-varying bound even though the clock did not advance.
+	if _, ok := c.Master(1); !ok {
+		t.Fatal("Master failed")
+	}
+	// Master's ApplyRefresh materializes a fresh bound evaluated at the
+	// current tick; at Δt = 0 the √T shape gives a point.
+	if b := tab.At(tab.ByKey(1)).Bounds[lat]; !b.IsPoint() {
+		t.Fatalf("bound after refresh = %v, want point", b)
+	}
+	clock.Advance(4)
+	c.Sync()
+	if b := tab.At(tab.ByKey(1)).Bounds[lat]; b.IsPoint() {
+		t.Error("Sync after clock advance left refreshed bound a point")
+	}
+}
+
 func TestSubscribeErrors(t *testing.T) {
 	clock := netsim.NewClock()
 	net := netsim.NewNetwork()

@@ -1,0 +1,202 @@
+package experiment
+
+// Closed-loop concurrency benchmark for the thread-safe query engine
+// (E13). N client goroutines issue a mixed stream of bounded aggregation
+// queries against one shared System built from the Figure-2 style
+// network-monitoring workload, while an updater goroutine applies
+// random-walk updates and advances the clock. Each client runs a closed
+// loop (next query issued as soon as the previous answer returns), so
+// aggregate throughput scales with concurrency to the extent the engine
+// allows scans to share the table read lock and refreshes to fan out
+// across sources in parallel.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/boundfn"
+	"trapp/internal/netsim"
+	"trapp/internal/predicate"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+	"trapp/internal/source"
+	"trapp/internal/trapp"
+	"trapp/internal/workload"
+)
+
+// ConcurrentResult reports one closed-loop benchmark run.
+type ConcurrentResult struct {
+	// Clients is the number of closed-loop client goroutines.
+	Clients int
+	// Queries is the total number of queries completed.
+	Queries int64
+	// Elapsed is the wall-clock measurement window.
+	Elapsed time.Duration
+	// QPS is Queries / Elapsed.
+	QPS float64
+	// P50 and P99 are query latency percentiles across all clients.
+	P50, P99 time.Duration
+	// Refreshes and RefreshCost total the query-initiated refresh
+	// traffic paid during the window.
+	Refreshes   int64
+	RefreshCost float64
+}
+
+// concurrentSystem builds a System over a generated monitoring network:
+// links spread round-robin across srcCount sources, one cache mounted as
+// "links". It returns the system, the network (for the updater), and the
+// per-source link assignment.
+func concurrentSystem(links, srcCount int, seed int64) (*trapp.System, *workload.Network, error) {
+	net, err := workload.NewNetwork(max(2, links/8), links, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := trapp.NewSystem(refresh.Options{})
+	c, err := sys.AddCache("monitor", workload.LinkSchema())
+	if err != nil {
+		return nil, nil, err
+	}
+	for si := 0; si < srcCount; si++ {
+		if _, err := sys.AddSource(fmt.Sprintf("s%d", si), nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i, l := range net.Links {
+		src := sys.Source(fmt.Sprintf("s%d", i%srcCount))
+		if err := src.AddObject(l.Key, l.Values(), l.Cost, boundfn.NewAdaptiveWidth(2)); err != nil {
+			return nil, nil, err
+		}
+		if err := c.Subscribe(src, l.Key, []float64{float64(l.From), float64(l.To)}); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := sys.Mount("links", c); err != nil {
+		return nil, nil, err
+	}
+	return sys, net, nil
+}
+
+// concurrentQuery builds one query of the benchmark mix: SUM, AVG,
+// MIN, and MAX with moderate precision constraints (most answered from
+// cache, some paying refreshes), an occasional predicate, and an
+// occasional unconstrained (imprecise) probe.
+func concurrentQuery(rng *rand.Rand, schema *relation.Schema) query.Query {
+	var q query.Query
+	switch rng.Intn(5) {
+	case 0:
+		q = query.NewQuery("links", aggregate.Sum, workload.ColLatency)
+		q.Within = 40 + rng.Float64()*80
+	case 1:
+		q = query.NewQuery("links", aggregate.Avg, workload.ColTraffic)
+		q.Within = 10 + rng.Float64()*30
+	case 2:
+		q = query.NewQuery("links", aggregate.Min, workload.ColBandwidth)
+		q.Within = 15 + rng.Float64()*30
+	case 3:
+		q = query.NewQuery("links", aggregate.Max, workload.ColLatency)
+		q.Within = 10 + rng.Float64()*20
+		q.Where = predicate.NewCmp(
+			predicate.Column(schema.MustLookup(workload.ColTraffic), workload.ColTraffic),
+			predicate.Gt, predicate.Const(120))
+	default:
+		q = query.NewQuery("links", aggregate.Sum, workload.ColTraffic) // imprecise
+	}
+	return q
+}
+
+// Concurrent runs the closed-loop benchmark: clients goroutines querying
+// a links-table System of the given size for the given wall-clock
+// duration, with one updater goroutine driving the workload. It returns
+// aggregate throughput and latency percentiles.
+func Concurrent(clients, links, srcCount int, seed int64, duration time.Duration) (ConcurrentResult, error) {
+	sys, net, err := concurrentSystem(links, srcCount, seed)
+	if err != nil {
+		return ConcurrentResult{}, err
+	}
+	schema := sys.MountedCache("links").Table().Schema()
+	before := sys.Stats()
+
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		latMu   sync.Mutex
+		lats    []time.Duration
+		queries atomic.Int64
+	)
+	// Updater: random-walk every link and push to its source, advancing
+	// the clock each round so bounds keep growing. Sources are resolved
+	// once up front so the tight loop does no registry lookups.
+	srcs := make([]*source.Source, len(net.Links))
+	for i := range net.Links {
+		srcs[i] = sys.Source(fmt.Sprintf("s%d", i%srcCount))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			sys.Clock.Advance(1)
+			for i, l := range net.Links {
+				if err := srcs[i].SetValue(l.Key, l.Step()); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			local := make([]time.Duration, 0, 4096)
+			for !stop.Load() {
+				q := concurrentQuery(rng, schema)
+				t0 := time.Now()
+				if _, err := sys.Execute(q); err != nil {
+					panic(err)
+				}
+				local = append(local, time.Since(t0))
+				queries.Add(1)
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(seed + int64(cl) + 1)
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(math.Ceil(p*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lats[i]
+	}
+	after := sys.Stats()
+	n := queries.Load()
+	return ConcurrentResult{
+		Clients:     clients,
+		Queries:     n,
+		Elapsed:     elapsed,
+		QPS:         float64(n) / elapsed.Seconds(),
+		P50:         pct(0.50),
+		P99:         pct(0.99),
+		Refreshes:   after.Messages[netsim.QueryRefresh] - before.Messages[netsim.QueryRefresh],
+		RefreshCost: after.QueryRefreshCost - before.QueryRefreshCost,
+	}, nil
+}

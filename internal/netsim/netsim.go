@@ -8,7 +8,7 @@
 package netsim
 
 import (
-	"sync"
+	"math"
 	"sync/atomic"
 )
 
@@ -84,49 +84,83 @@ func (s Stats) Total() int64 {
 	return t
 }
 
+// numMsgKinds sizes the counter array; derived from the last MsgKind so
+// adding a kind automatically extends the accounting.
+const numMsgKinds = int(Propagation) + 1
+
 // Network records simulated message traffic. It is safe for concurrent
-// use.
+// use: counters are per-kind atomics so that many goroutines refreshing
+// in parallel do not serialize on a shared lock.
 type Network struct {
-	mu    sync.Mutex
-	stats Stats
+	messages  [numMsgKinds]atomic.Int64
+	queryCost atomicFloat
+	valueCost atomicFloat
 }
+
+// atomicFloat is a float64 accumulator built on CAS over the bit
+// pattern; Add is lock-free and Load is a plain atomic read.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
 
 // NewNetwork returns an empty traffic recorder.
-func NewNetwork() *Network {
-	return &Network{stats: Stats{Messages: make(map[MsgKind]int64)}}
-}
+func NewNetwork() *Network { return &Network{} }
 
 // Send records one message of the given kind and cost.
-func (n *Network) Send(kind MsgKind, cost float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats.Messages[kind]++
+func (n *Network) Send(kind MsgKind, cost float64) { n.SendN(kind, 1, cost) }
+
+// SendN records count messages of the given kind with the given total
+// cost in one accounting step; batched per-source refresh replies use it
+// to charge a whole batch without count round trips through the counters.
+func (n *Network) SendN(kind MsgKind, count int64, totalCost float64) {
+	if count <= 0 || kind < 0 || int(kind) >= numMsgKinds {
+		return
+	}
+	n.messages[kind].Add(count)
 	switch kind {
 	case QueryRefresh:
-		n.stats.QueryRefreshCost += cost
+		n.queryCost.Add(totalCost)
 	case ValueRefresh:
-		n.stats.ValueRefreshCost += cost
+		n.valueCost.Add(totalCost)
 	}
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Counters are read
+// individually, so a snapshot taken while traffic is in flight may tear
+// across kinds but each counter is itself consistent.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	out := Stats{
-		Messages:         make(map[MsgKind]int64, len(n.stats.Messages)),
-		QueryRefreshCost: n.stats.QueryRefreshCost,
-		ValueRefreshCost: n.stats.ValueRefreshCost,
+		Messages:         make(map[MsgKind]int64, numMsgKinds),
+		QueryRefreshCost: n.queryCost.Load(),
+		ValueRefreshCost: n.valueCost.Load(),
 	}
-	for k, v := range n.stats.Messages {
-		out.Messages[k] = v
+	for k := MsgKind(0); int(k) < numMsgKinds; k++ {
+		if v := n.messages[k].Load(); v != 0 {
+			out.Messages[k] = v
+		}
 	}
 	return out
 }
 
 // Reset zeroes all counters.
 func (n *Network) Reset() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats = Stats{Messages: make(map[MsgKind]int64)}
+	for k := range n.messages {
+		n.messages[k].Store(0)
+	}
+	n.queryCost.Store(0)
+	n.valueCost.Store(0)
 }

@@ -101,6 +101,42 @@ func TestNetworkConcurrentSend(t *testing.T) {
 	}
 }
 
+func TestNetworkSendN(t *testing.T) {
+	n := NewNetwork()
+	n.SendN(QueryRefresh, 5, 12.5)
+	n.SendN(ValueRefresh, 2, 3)
+	n.SendN(QueryRefresh, 0, 100) // no-op
+	n.SendN(MsgKind(-1), 3, 100)  // out of range: ignored
+	s := n.Stats()
+	if s.Messages[QueryRefresh] != 5 || s.Messages[ValueRefresh] != 2 {
+		t.Errorf("messages = %v", s.Messages)
+	}
+	if s.QueryRefreshCost != 12.5 || s.ValueRefreshCost != 3 {
+		t.Errorf("costs = %g, %g", s.QueryRefreshCost, s.ValueRefreshCost)
+	}
+	if s.Total() != 7 {
+		t.Errorf("total = %d", s.Total())
+	}
+}
+
+func TestNetworkConcurrentCostAccumulation(t *testing.T) {
+	n := NewNetwork()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				n.Send(ValueRefresh, 0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := n.Stats().ValueRefreshCost; got != 200 {
+		t.Errorf("concurrent cost = %g, want 200", got)
+	}
+}
+
 func TestMsgKindString(t *testing.T) {
 	want := map[MsgKind]string{
 		ValueRefresh: "value-refresh", QueryRefresh: "query-refresh",

@@ -1,0 +1,123 @@
+// Package parallel provides the small, dependency-free concurrency
+// primitives the TRAPP engine builds on: an errgroup-style Group for
+// fanning work out to goroutines and collecting the first error, and a
+// chunked parallel-for over index ranges for data-parallel scans.
+//
+// The package exists so that the refresh fan-out (one goroutine per data
+// source) and the parallel aggregation scans share one tested
+// coordination idiom without pulling in golang.org/x/sync.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Group runs a set of goroutines and waits for them; the first non-nil
+// error returned by any task is reported by Wait. The zero value is
+// ready to use and places no limit on concurrency.
+type Group struct {
+	wg   sync.WaitGroup
+	sem  chan struct{}
+	once sync.Once
+	err  error
+}
+
+// NewGroup returns a group that runs at most limit tasks concurrently;
+// limit <= 0 means no limit.
+func NewGroup(limit int) *Group {
+	g := &Group{}
+	if limit > 0 {
+		g.sem = make(chan struct{}, limit)
+	}
+	return g
+}
+
+// Go starts fn in its own goroutine, blocking first if the group's
+// concurrency limit is reached.
+func (g *Group) Go(fn func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			if g.sem != nil {
+				<-g.sem
+			}
+			g.wg.Done()
+		}()
+		if err := fn(); err != nil {
+			g.once.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until every task started with Go has returned, then
+// reports the first error observed (or nil).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// Workers normalizes a requested worker count: n <= 0 selects
+// GOMAXPROCS, anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// chunkSize returns the per-chunk length ForEachChunk uses for the
+// index range [0, n) across the (normalized) worker count.
+func chunkSize(n, workers int) int {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return (n + workers - 1) / workers
+}
+
+// NumChunks returns how many chunks ForEachChunk will produce for the
+// same arguments — callers use it to size per-chunk result slices.
+func NumChunks(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := chunkSize(n, workers)
+	return (n + c - 1) / c
+}
+
+// ForEachChunk splits the index range [0, n) into NumChunks(n, workers)
+// contiguous chunks and calls fn(chunk, lo, hi) for each on its own
+// goroutine, waiting for all of them. chunk is the 0-based chunk index,
+// so callers can write per-chunk results without sharing. With
+// workers <= 1 (or n small enough to fit one chunk) fn runs inline on
+// the calling goroutine, so callers need no separate serial path.
+func ForEachChunk(n, workers int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	size := chunkSize(n, workers)
+	if size >= n {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for c, lo := 0, 0; lo < n; c, lo = c+1, lo+size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			fn(c, lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupRunsAllTasks(t *testing.T) {
+	var n atomic.Int64
+	g := NewGroup(4)
+	for i := 0; i < 100; i++ {
+		g.Go(func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestGroupReportsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var g Group
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+}
+
+func TestGroupLimitBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	var inFlight, peak atomic.Int64
+	g := NewGroup(limit)
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			inFlight.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if peak.Load() > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", peak.Load(), limit)
+	}
+}
+
+func TestForEachChunkCoversRangeExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {7, 1}, {7, 3}, {100, 8}, {5, 100}, {64, 0},
+	} {
+		seen := make([]atomic.Int32, tc.n)
+		chunks := make([]atomic.Int32, NumChunks(tc.n, tc.workers))
+		ForEachChunk(tc.n, tc.workers, func(c, lo, hi int) {
+			chunks[c].Add(1)
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d workers=%d: index %d visited %d times", tc.n, tc.workers, i, got)
+			}
+		}
+		for c := range chunks {
+			if got := chunks[c].Load(); got != 1 {
+				t.Fatalf("n=%d workers=%d: chunk %d ran %d times", tc.n, tc.workers, c, got)
+			}
+		}
+	}
+}
+
+func TestWorkersDefaultsPositive(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Fatalf("Workers(0) = %d, want >= 1", Workers(0))
+	}
+	if Workers(5) != 5 {
+		t.Fatalf("Workers(5) = %d", Workers(5))
+	}
+}

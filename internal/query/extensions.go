@@ -47,10 +47,11 @@ type GroupRow struct {
 // Grouping columns must be exact (bounded grouping columns would make
 // group membership uncertain, which the paper leaves open).
 func (p *Processor) ExecuteGroupBy(q Query) ([]GroupRow, error) {
-	t, ok := p.tables[q.Table]
-	if !ok {
+	e := p.entry(q.Table)
+	if e == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, q.Table)
 	}
+	t := e.table
 	groupCols := q.GroupBy
 	if len(groupCols) == 0 {
 		return nil, fmt.Errorf("query: ExecuteGroupBy needs at least one grouping column")
@@ -70,10 +71,11 @@ func (p *Processor) ExecuteGroupBy(q Query) ([]GroupRow, error) {
 	}
 
 	// Enumerate distinct group keys from the cached table; exact columns
-	// are points, so this is precise.
+	// are points, so this is precise. The scan shares the table read lock.
 	type groupKey string
 	seen := make(map[groupKey][]float64)
 	var order []groupKey
+	e.lock.RLock()
 	for i := 0; i < t.Len(); i++ {
 		tu := t.At(i)
 		vals := make([]float64, len(colIdx))
@@ -86,6 +88,7 @@ func (p *Processor) ExecuteGroupBy(q Query) ([]GroupRow, error) {
 			order = append(order, k)
 		}
 	}
+	e.lock.RUnlock()
 	sort.Slice(order, func(a, b int) bool {
 		va, vb := seen[order[a]], seen[order[b]]
 		for i := range va {
@@ -157,15 +160,18 @@ func (proc *Processor) ExecuteRelative(q Query, p float64) (Result, error) {
 	if p < 0 || math.IsNaN(p) {
 		return Result{}, fmt.Errorf("query: invalid relative precision %g", p)
 	}
-	t, ok := proc.tables[q.Table]
-	if !ok {
+	e := proc.entry(q.Table)
+	if e == nil {
 		return Result{}, fmt.Errorf("%w: %q", ErrUnknownTable, q.Table)
 	}
+	t := e.table
 	col, ok := t.Schema().Lookup(q.Column)
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, q.Table, q.Column)
 	}
-	initial := aggregate.Eval(t, col, q.Agg, q.Where)
+	e.lock.RLock()
+	initial := aggregate.EvalParallel(t, col, q.Agg, q.Where, proc.opts.Parallelism)
+	e.lock.RUnlock()
 	q.Within = RelativeR(initial, p)
 	res, err := proc.Execute(q)
 	res.Initial = initial
@@ -180,10 +186,11 @@ func (proc *Processor) ExecuteRelative(q Query, p float64) (Result, error) {
 // less. The Result additionally reports the number of refresh rounds via
 // Refreshed (one tuple per round).
 func (proc *Processor) ExecuteIterative(q Query) (Result, error) {
-	t, ok := proc.tables[q.Table]
-	if !ok {
+	e := proc.entry(q.Table)
+	if e == nil {
 		return Result{}, fmt.Errorf("%w: %q", ErrUnknownTable, q.Table)
 	}
+	t := e.table
 	col, ok := t.Schema().Lookup(q.Column)
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, q.Table, q.Column)
@@ -192,16 +199,26 @@ func (proc *Processor) ExecuteIterative(q Query) (Result, error) {
 		return Result{}, fmt.Errorf("query: invalid precision constraint %g", q.Within)
 	}
 	var res Result
-	res.Initial = aggregate.Eval(t, col, q.Agg, q.Where)
-	res.Answer = res.Initial
-	oracle := proc.oracles[q.Table]
+	noPred := predicate.IsTrivial(q.Where)
+	first := true
 	for {
+		// Snapshot the classification under the read lock; evaluation
+		// and refresh selection then run with no lock held.
+		e.lock.RLock()
+		inputs := aggregate.CollectParallel(t, col, q.Where, true, proc.opts.Parallelism)
+		tableLen := t.Len()
+		e.lock.RUnlock()
+		res.Answer = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
+		if first {
+			res.Initial = res.Answer
+			first = false
+		}
 		if satisfies(res.Answer, q.Within) {
 			res.Met = true
 			return res, nil
 		}
 		start := time.Now()
-		plan, err := refresh.Choose(t, col, q.Agg, q.Where, q.Within, proc.opts)
+		plan, err := refresh.ChooseFromInputs(inputs, q.Agg, noPred, q.Within, tableLen, proc.opts)
 		res.ChooseTime += time.Since(start)
 		if err != nil {
 			return res, err
@@ -213,25 +230,45 @@ func (proc *Processor) ExecuteIterative(q Query) (Result, error) {
 		}
 		// Refresh only the cheapest tuple of the plan this round.
 		best := 0
-		bestCost := math.Inf(1)
-		for i, key := range plan.Keys {
-			if c := t.At(t.ByKey(key)).Cost; c < bestCost {
-				best, bestCost = i, c
+		for i := range plan.Costs {
+			if plan.Costs[i] < plan.Costs[best] {
+				best = i
 			}
 		}
-		key := plan.Keys[best]
-		if oracle == nil {
+		key, bestCost := plan.Keys[best], plan.Costs[best]
+		if e.oracle == nil {
 			return res, fmt.Errorf("%w: %q", ErrNoOracle, q.Table)
 		}
-		vals, ok := oracle.Master(key)
-		if !ok {
-			return res, fmt.Errorf("query: oracle has no master values for key %d", key)
-		}
-		if err := t.Refresh(t.ByKey(key), vals); err != nil {
-			return res, err
+		if b, ok := e.oracle.(BatchOracle); ok {
+			// The batch oracle installs the refreshed bound itself; an
+			// empty reply means the key vanished mid-round — replan.
+			vals, err := b.MasterBatch([]int64{key})
+			if err != nil {
+				return res, err
+			}
+			if len(vals) == 0 {
+				continue
+			}
+		} else {
+			vals, ok := e.oracle.Master(key)
+			if !ok {
+				return res, fmt.Errorf("query: oracle has no master values for key %d", key)
+			}
+			installed := false
+			e.lock.Lock()
+			if i := t.ByKey(key); i >= 0 {
+				if err := t.Refresh(i, vals); err != nil {
+					e.lock.Unlock()
+					return res, err
+				}
+				installed = true
+			}
+			e.lock.Unlock()
+			if !installed {
+				continue // key vanished mid-round; nothing was refreshed
+			}
 		}
 		res.Refreshed++
 		res.RefreshCost += bestCost
-		res.Answer = aggregate.Eval(t, col, q.Agg, q.Where)
 	}
 }

@@ -10,12 +10,27 @@
 // The Processor works against any refresh Oracle; the trapp package wires
 // it to simulated remote sources with per-object costs, while tests use
 // in-memory master-value maps.
+//
+// # Concurrency
+//
+// The Processor is safe for concurrent use: any number of goroutines may
+// Execute queries (against the same or different tables) while tables
+// are registered. Each registered table carries an RWMutex — shared with
+// the owning cache via RegisterShared, or private otherwise — and the
+// three-step execution brackets its phases with it: the aggregation
+// scans of steps 1 and 3 and the CHOOSE_REFRESH scan of step 2 hold it
+// for reading (so concurrent queries scan in parallel), while installing
+// refreshed values holds it for writing. Refresh fetches themselves run
+// outside any table lock so that slow sources never block scans; when
+// the oracle implements BatchOracle the whole refresh set is fetched as
+// parallel per-source batches.
 package query
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"trapp/internal/aggregate"
@@ -83,6 +98,26 @@ type Oracle interface {
 	Master(key int64) (vals []float64, ok bool)
 }
 
+// BatchOracle is an Oracle that can serve a whole refresh set at once.
+// Implementations are expected to group the keys by owning source and
+// fetch the groups in parallel (one batched request per source), which
+// is how the cache-backed oracle turns a refresh plan into concurrent
+// network rounds instead of a sequential per-object loop.
+//
+// A BatchOracle additionally owns installation: it writes the refreshed
+// bounds into the registered table itself, atomically with respect to
+// any concurrent mutators it coordinates with (the cache applies them
+// under its table lock, dropping replies that an even newer push has
+// overtaken). The processor therefore never installs values fetched
+// from a BatchOracle — doing so could resurrect a stale value.
+type BatchOracle interface {
+	Oracle
+	// MasterBatch refreshes every requested key and returns the precise
+	// bounded-column values it fetched. Keys that have disappeared since
+	// the plan was computed are skipped, not errors.
+	MasterBatch(keys []int64) (map[int64][]float64, error)
+}
+
 // Result reports a bounded query execution.
 type Result struct {
 	// Answer is the final bounded answer [LA, HA].
@@ -103,32 +138,65 @@ type Result struct {
 	Met bool
 }
 
+// tableEntry is one registered table with its oracle and the RWMutex
+// guarding the table's contents.
+type tableEntry struct {
+	table  *relation.Table
+	oracle Oracle
+	lock   *sync.RWMutex
+}
+
 // Processor executes bounded queries over a set of cached tables, pulling
-// refreshes from per-table oracles.
+// refreshes from per-table oracles. It is safe for concurrent use; see
+// the package comment for the locking protocol.
 type Processor struct {
-	tables  map[string]*relation.Table
-	oracles map[string]Oracle
+	mu      sync.RWMutex
+	entries map[string]*tableEntry
 	opts    refresh.Options
 }
 
 // NewProcessor returns an empty processor with the given refresh options.
 func NewProcessor(opts refresh.Options) *Processor {
 	return &Processor{
-		tables:  make(map[string]*relation.Table),
-		oracles: make(map[string]Oracle),
+		entries: make(map[string]*tableEntry),
 		opts:    opts,
 	}
 }
 
 // Register adds a cached table and its refresh oracle. A nil oracle is
-// allowed for tables queried only in imprecise mode.
+// allowed for tables queried only in imprecise mode. The table gets a
+// private lock; when another component also mutates the table (a cache
+// applying source pushes), use RegisterShared with that component's lock.
 func (p *Processor) Register(name string, t *relation.Table, o Oracle) {
-	p.tables[name] = t
-	p.oracles[name] = o
+	p.RegisterShared(name, t, o, nil)
+}
+
+// RegisterShared adds a cached table whose contents are guarded by the
+// given lock, shared with whatever other component mutates the table; a
+// nil lock allocates a private one.
+func (p *Processor) RegisterShared(name string, t *relation.Table, o Oracle, lock *sync.RWMutex) {
+	if lock == nil {
+		lock = &sync.RWMutex{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries[name] = &tableEntry{table: t, oracle: o, lock: lock}
+}
+
+// entry returns the registration for a table, or nil.
+func (p *Processor) entry(name string) *tableEntry {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.entries[name]
 }
 
 // Table returns a registered table, or nil.
-func (p *Processor) Table(name string) *relation.Table { return p.tables[name] }
+func (p *Processor) Table(name string) *relation.Table {
+	if e := p.entry(name); e != nil {
+		return e.table
+	}
+	return nil
+}
 
 // ErrUnknownTable is returned for queries against unregistered tables.
 var ErrUnknownTable = errors.New("query: unknown table")
@@ -152,10 +220,11 @@ func (p *Processor) Execute(q Query) (Result, error) {
 		q.RelativeWithin = 0
 		return p.ExecuteRelative(q, rel)
 	}
-	t, ok := p.tables[q.Table]
-	if !ok {
+	e := p.entry(q.Table)
+	if e == nil {
 		return Result{}, fmt.Errorf("%w: %q", ErrUnknownTable, q.Table)
 	}
+	t := e.table
 	col, ok := t.Schema().Lookup(q.Column)
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, q.Table, q.Column)
@@ -164,48 +233,100 @@ func (p *Processor) Execute(q Query) (Result, error) {
 		return Result{}, fmt.Errorf("query: invalid precision constraint %g", q.Within)
 	}
 
-	// Step 1: initial bounded answer from cached bounds.
+	// Step 1: initial bounded answer from cached bounds. The scan holds
+	// the table read lock, so concurrent queries evaluate in parallel;
+	// the collected inputs are reused for refresh selection, and the
+	// (possibly slow) knapsack solve runs with no lock held.
 	var res Result
-	res.Initial = aggregate.Eval(t, col, q.Agg, q.Where)
+	noPred := predicate.IsTrivial(q.Where)
+	e.lock.RLock()
+	inputs := aggregate.CollectParallel(t, col, q.Where, true, p.opts.Parallelism)
+	tableLen := t.Len()
+	e.lock.RUnlock()
+	res.Initial = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
 	res.Answer = res.Initial
 	if satisfies(res.Answer, q.Within) {
 		res.Met = true
 		return res, nil
 	}
 
-	// Step 2: choose and perform refreshes.
+	// Step 2: choose refreshes from the snapshot, fetch the exact values
+	// outside any table lock — slow sources must not block other
+	// queries' scans — and install them under the write lock.
 	start := time.Now()
-	plan, err := refresh.Choose(t, col, q.Agg, q.Where, q.Within, p.opts)
+	plan, err := refresh.ChooseFromInputs(inputs, q.Agg, noPred, q.Within, tableLen, p.opts)
 	res.ChooseTime = time.Since(start)
 	if err != nil {
 		return res, err
 	}
 	if plan.Len() > 0 {
-		oracle := p.oracles[q.Table]
-		if oracle == nil {
+		if e.oracle == nil {
 			return res, fmt.Errorf("%w: %q", ErrNoOracle, q.Table)
 		}
-		for _, key := range plan.Keys {
-			vals, ok := oracle.Master(key)
-			if !ok {
-				return res, fmt.Errorf("query: oracle has no master values for key %d", key)
-			}
-			i := t.ByKey(key)
-			if i < 0 {
-				return res, fmt.Errorf("query: planned key %d vanished from table", key)
-			}
-			if err := t.Refresh(i, vals); err != nil {
+		// Report what was actually refreshed: keys dropped mid-flight are
+		// neither served nor charged, so they must not be counted.
+		costOf := make(map[int64]float64, plan.Len())
+		for j, k := range plan.Keys {
+			costOf[k] = plan.Costs[j]
+		}
+		refreshed := func(key int64) {
+			res.Refreshed++
+			res.RefreshCost += costOf[key]
+		}
+		if b, ok := e.oracle.(BatchOracle); ok {
+			// The batch oracle fetches per source in parallel and
+			// installs the refreshed bounds itself (see BatchOracle);
+			// keys dropped mid-flight are absent from the reply.
+			vals, err := b.MasterBatch(plan.Keys)
+			if err != nil {
 				return res, err
 			}
+			for key := range vals {
+				refreshed(key)
+			}
+		} else {
+			vals, err := fetchMaster(e.oracle, plan.Keys)
+			if err != nil {
+				return res, err
+			}
+			e.lock.Lock()
+			for _, key := range plan.Keys {
+				i := t.ByKey(key)
+				if i < 0 {
+					// The object was dropped while we fetched; it no
+					// longer contributes, so nothing to install.
+					continue
+				}
+				if err := t.Refresh(i, vals[key]); err != nil {
+					e.lock.Unlock()
+					return res, err
+				}
+				refreshed(key)
+			}
+			e.lock.Unlock()
 		}
-		res.Refreshed = plan.Len()
-		res.RefreshCost = plan.Cost
 	}
 
 	// Step 3: recompute from the partially refreshed cache.
-	res.Answer = aggregate.Eval(t, col, q.Agg, q.Where)
+	e.lock.RLock()
+	res.Answer = aggregate.EvalParallel(t, col, q.Agg, q.Where, p.opts.Parallelism)
+	e.lock.RUnlock()
 	res.Met = satisfies(res.Answer, q.Within)
 	return res, nil
+}
+
+// fetchMaster pulls exact values per key from a plain (non-batch)
+// Oracle.
+func fetchMaster(o Oracle, keys []int64) (map[int64][]float64, error) {
+	vals := make(map[int64][]float64, len(keys))
+	for _, key := range keys {
+		v, ok := o.Master(key)
+		if !ok {
+			return nil, fmt.Errorf("query: oracle has no master values for key %d", key)
+		}
+		vals[key] = v
+	}
+	return vals, nil
 }
 
 // satisfies reports whether a bounded answer meets the constraint. An

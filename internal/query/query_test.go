@@ -8,6 +8,7 @@ import (
 	"trapp/internal/interval"
 	"trapp/internal/predicate"
 	"trapp/internal/refresh"
+	"trapp/internal/relation"
 	"trapp/internal/workload"
 )
 
@@ -201,5 +202,69 @@ func TestTighteningRMonotonicallyIncreasesCost(t *testing.T) {
 			t.Errorf("R=%g cost %g < previous %g", r, res.RefreshCost, prevCost)
 		}
 		prevCost = res.RefreshCost
+	}
+}
+
+// batchOracle wraps a MapOracle and records whether the batch path ran.
+// Per the BatchOracle contract it installs the refreshed values into the
+// registered table itself.
+type batchOracle struct {
+	m       workload.MapOracle
+	tab     *relation.Table
+	batches int
+	keys    int
+}
+
+func (b *batchOracle) Master(key int64) ([]float64, bool) { return b.m.Master(key) }
+
+func (b *batchOracle) MasterBatch(keys []int64) (map[int64][]float64, error) {
+	b.batches++
+	b.keys += len(keys)
+	out := make(map[int64][]float64, len(keys))
+	for _, key := range keys {
+		v, ok := b.m.Master(key)
+		if !ok {
+			return nil, ErrNoOracle
+		}
+		if i := b.tab.ByKey(key); i >= 0 {
+			if err := b.tab.Refresh(i, v); err != nil {
+				return nil, err
+			}
+		}
+		out[key] = v
+	}
+	return out, nil
+}
+
+// TestExecuteUsesBatchOracle checks that a refreshing execution fetches
+// the whole plan through MasterBatch when the oracle supports it, and
+// that the answer matches the sequential per-key path.
+func TestExecuteUsesBatchOracle(t *testing.T) {
+	tab := workload.Figure2Table()
+	bo := &batchOracle{m: workload.MapOracle(workload.Figure2Master()), tab: tab}
+	p := NewProcessor(refresh.Options{Solver: refresh.SolverExactDP})
+	p.Register("links", tab, bo)
+	q := NewQuery("links", aggregate.Sum, workload.ColLatency)
+	q.Within = 0
+	res, err := p.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || res.Answer.Width() != 0 {
+		t.Fatalf("precise batch execution: met=%v answer=%v", res.Met, res.Answer)
+	}
+	if bo.batches != 1 {
+		t.Errorf("MasterBatch called %d times, want 1", bo.batches)
+	}
+	if bo.keys != res.Refreshed {
+		t.Errorf("batched %d keys, refreshed %d", bo.keys, res.Refreshed)
+	}
+	serial := newFig2Processor()
+	want, err := serial.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answer.Equal(want.Answer) {
+		t.Errorf("batch answer %v != serial answer %v", res.Answer, want.Answer)
 	}
 }

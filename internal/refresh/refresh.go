@@ -69,13 +69,17 @@ func (s Solver) String() string {
 	}
 }
 
-// Options tunes refresh selection.
+// Options tunes refresh selection and query execution.
 type Options struct {
 	// Epsilon is the knapsack approximation parameter ε ∈ (0, 1); zero
 	// means the paper's recommended 0.1 (section 5.2.1).
 	Epsilon float64
 	// Solver selects the knapsack algorithm; zero value is Auto.
 	Solver Solver
+	// Parallelism is the worker count for parallel aggregation and
+	// CHOOSE_REFRESH scans over large tables; 0 means GOMAXPROCS and 1
+	// forces serial scans. Small tables are always scanned serially.
+	Parallelism int
 }
 
 // DefaultEpsilon is the ε the paper recommends: smaller values increase
@@ -95,6 +99,8 @@ type Plan struct {
 	Indexes []int
 	// Keys are the corresponding object keys.
 	Keys []int64
+	// Costs are the per-tuple refresh costs, aligned with Keys.
+	Costs []float64
 	// Cost is the total refresh cost Σ C_i over the plan.
 	Cost float64
 }
@@ -118,34 +124,50 @@ func Choose(t *relation.Table, col int, fn aggregate.Func, p predicate.Expr, r f
 	if math.IsInf(r, 1) {
 		return Plan{}, nil
 	}
-	noPred := predicate.IsTrivial(p)
-	inputs := aggregate.Collect(t, col, p, true)
+	inputs := aggregate.CollectParallel(t, col, p, true, opts.Parallelism)
+	return ChooseFromInputs(inputs, fn, predicate.IsTrivial(p), r, t.Len(), opts)
+}
+
+// ChooseFromInputs runs refresh selection over pre-collected inputs (see
+// aggregate.Collect). Callers that have already classified the table —
+// e.g. the query processor, which snapshots inputs under the table read
+// lock and then solves without holding any lock — use this to avoid a
+// second scan. tableLen is the full table cardinality at collection time.
+func ChooseFromInputs(inputs []aggregate.Input, fn aggregate.Func, noPred bool, r float64, tableLen int, opts Options) (Plan, error) {
+	if r < 0 || math.IsNaN(r) {
+		return Plan{}, fmt.Errorf("refresh: invalid precision constraint %g", r)
+	}
+	if math.IsInf(r, 1) {
+		return Plan{}, nil
+	}
 	switch fn {
 	case aggregate.Min:
-		return planFromInputs(t, chooseMin(inputs, r)), nil
+		return planFromInputs(chooseMin(inputs, r)), nil
 	case aggregate.Max:
-		return planFromInputs(t, chooseMax(inputs, r)), nil
+		return planFromInputs(chooseMax(inputs, r)), nil
 	case aggregate.Sum:
-		return planFromInputs(t, chooseSum(inputs, noPred, r, opts)), nil
+		return planFromInputs(chooseSum(inputs, noPred, r, opts)), nil
 	case aggregate.Count:
-		return planFromInputs(t, chooseCount(inputs, noPred, r)), nil
+		return planFromInputs(chooseCount(inputs, noPred, r)), nil
 	case aggregate.Avg:
-		return planFromInputs(t, chooseAvg(inputs, noPred, r, t.Len(), opts)), nil
+		return planFromInputs(chooseAvg(inputs, noPred, r, tableLen, opts)), nil
 	default:
 		return Plan{}, fmt.Errorf("refresh: unknown aggregate %v", fn)
 	}
 }
 
 // planFromInputs materializes a Plan from chosen inputs.
-func planFromInputs(t *relation.Table, chosen []aggregate.Input) Plan {
+func planFromInputs(chosen []aggregate.Input) Plan {
 	sort.Slice(chosen, func(a, b int) bool { return chosen[a].Index < chosen[b].Index })
 	p := Plan{
 		Indexes: make([]int, len(chosen)),
 		Keys:    make([]int64, len(chosen)),
+		Costs:   make([]float64, len(chosen)),
 	}
 	for i, in := range chosen {
 		p.Indexes[i] = in.Index
 		p.Keys[i] = in.Key
+		p.Costs[i] = in.Cost
 		p.Cost += in.Cost
 	}
 	return p

@@ -29,16 +29,16 @@ func (s *Source) EnablePiggyback(fraction float64) {
 }
 
 // piggybackRefreshesLocked collects extra refreshes for the subscriber:
-// all of its other registered objects whose values are near a bound edge.
-// Caller holds s.mu.
-func (s *Source) piggybackRefreshesLocked(sub Subscriber, excludeKey int64) []Refresh {
+// all of its other registered objects (excluded reports the ones already
+// being refreshed) whose values are near a bound edge. Caller holds s.mu.
+func (s *Source) piggybackRefreshesLocked(sub Subscriber, excluded func(int64) bool) []Refresh {
 	if s.piggyback <= 0 {
 		return nil
 	}
 	now := s.clock.Now()
 	var out []Refresh
 	for key, regs := range s.regs {
-		if key == excludeKey {
+		if excluded(key) {
 			continue
 		}
 		o := s.objects[key]

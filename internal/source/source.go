@@ -54,6 +54,12 @@ type Refresh struct {
 	Bounds []boundfn.Bound
 	// Kind reports why the refresh was sent.
 	Kind RefreshKind
+	// Seq orders refreshes of one object: sources stamp each refresh
+	// with a per-object counter under their lock, so a cache receiving
+	// refreshes on different goroutines can drop one that was generated
+	// before an already-applied newer one. Zero means unordered (tests
+	// building Refresh values by hand).
+	Seq int64
 }
 
 // Subscriber receives pushed refreshes (value-initiated) from a source.
@@ -68,6 +74,7 @@ type object struct {
 	values []float64 // master attribute values
 	cost   float64   // query-initiated refresh cost C_i
 	policy boundfn.WidthPolicy
+	seq    int64 // refresh generation counter; see Refresh.Seq
 }
 
 // registration tracks the bound promised to one cache for one object.
@@ -185,7 +192,8 @@ func (s *Source) makeRefreshLocked(key int64, o *object, reg *registration, kind
 		bounds[i] = boundfn.Bound{Value: v, Width: w, RefreshedAt: now, Shape: s.shape}
 	}
 	reg.bounds = bounds
-	return Refresh{SourceID: s.id, Key: key, Values: values, Bounds: bounds, Kind: kind}
+	o.seq++
+	return Refresh{SourceID: s.id, Key: key, Values: values, Bounds: bounds, Kind: kind, Seq: o.seq}
 }
 
 // SetValue updates one master object's attribute values (an "escrow style"
@@ -217,7 +225,7 @@ func (s *Source) SetValue(key int64, values []float64) error {
 		pushes = append(pushes, push{reg.sub, r})
 		// The message is going out anyway: ride along refreshes for this
 		// cache's other near-edge objects (section 8.3).
-		for _, extra := range s.piggybackRefreshesLocked(reg.sub, key) {
+		for _, extra := range s.piggybackRefreshesLocked(reg.sub, func(k int64) bool { return k == key }) {
 			pushes = append(pushes, push{reg.sub, extra})
 		}
 	}
@@ -249,32 +257,66 @@ func regContains(reg *registration, now int64, values []float64) bool {
 // enabled, near-edge sibling objects of the same cache are pushed along
 // with the reply at no extra cost.
 func (s *Source) QueryRefresh(key int64, sub Subscriber) (Refresh, error) {
-	s.mu.Lock()
-	o, ok := s.objects[key]
-	if !ok {
-		s.mu.Unlock()
-		return Refresh{}, fmt.Errorf("source %s: no object %d", s.id, key)
+	rs, err := s.QueryRefreshBatch([]int64{key}, sub)
+	if err != nil {
+		return Refresh{}, err
 	}
-	var reg *registration
-	for _, r := range s.regs[key] {
-		if r.sub == sub {
-			reg = r
-			break
-		}
-	}
-	if reg == nil {
-		s.mu.Unlock()
-		return Refresh{}, fmt.Errorf("source %s: cache not subscribed to object %d", s.id, key)
-	}
-	o.policy.ObserveQueryRefresh()
-	s.net.Send(netsim.QueryRefresh, o.cost)
-	main := s.makeRefreshLocked(key, o, reg, QueryInitiated)
-	extras := s.piggybackRefreshesLocked(sub, key)
-	s.mu.Unlock()
-	for _, r := range extras {
+	// The batch reply lists requested refreshes first, piggybacked extras
+	// after; deliver the extras and hand back the single requested one.
+	for _, r := range rs[1:] {
 		sub.ApplyRefresh(r)
 	}
-	return main, nil
+	return rs[0], nil
+}
+
+// QueryRefreshBatch serves query-initiated refreshes for a whole set of
+// objects in one locked pass over the source — the batched request a
+// cache's refresh fan-out sends once per source instead of one round
+// trip per object. Every requested object is charged its cost and gets
+// fresh bounds (Kind QueryInitiated); if piggybacking is enabled,
+// near-edge sibling objects outside the batch ride along for free (Kind
+// ValueInitiated). Requested refreshes precede extras in the reply, in
+// request order. The caller applies the refreshes; this method does not
+// call back into the subscriber.
+func (s *Source) QueryRefreshBatch(keys []int64, sub Subscriber) ([]Refresh, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	// Validate the whole batch first so an error leaves no partial charges.
+	objs := make([]*object, len(keys))
+	regs := make([]*registration, len(keys))
+	for i, key := range keys {
+		o, ok := s.objects[key]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("source %s: no object %d", s.id, key)
+		}
+		for _, r := range s.regs[key] {
+			if r.sub == sub {
+				regs[i] = r
+				break
+			}
+		}
+		if regs[i] == nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("source %s: cache not subscribed to object %d", s.id, key)
+		}
+		objs[i] = o
+	}
+	out := make([]Refresh, 0, len(keys))
+	requested := make(map[int64]bool, len(keys))
+	var batchCost float64
+	for i, key := range keys {
+		objs[i].policy.ObserveQueryRefresh()
+		batchCost += objs[i].cost
+		requested[key] = true
+		out = append(out, s.makeRefreshLocked(key, objs[i], regs[i], QueryInitiated))
+	}
+	s.net.SendN(netsim.QueryRefresh, int64(len(keys)), batchCost)
+	out = append(out, s.piggybackRefreshesLocked(sub, func(key int64) bool { return requested[key] })...)
+	s.mu.Unlock()
+	return out, nil
 }
 
 // CheckBounds runs the refresh monitor sweep at the current time without a

@@ -137,6 +137,57 @@ func TestQueryRefresh(t *testing.T) {
 	}
 }
 
+func TestQueryRefreshBatch(t *testing.T) {
+	s, _, net := newTestSource(t)
+	if err := s.AddObject(2, []float64{20, 200}, 5, boundfn.StaticWidth(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddObject(3, []float64{30, 300}, 7, boundfn.StaticWidth(2)); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	for _, key := range []int64{1, 2, 3} {
+		if _, err := s.Subscribe(key, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := s.QueryRefreshBatch([]int64{1, 3}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("batch returned %d refreshes, want 2", len(rs))
+	}
+	if rs[0].Key != 1 || rs[1].Key != 3 {
+		t.Errorf("batch keys = %d, %d; want request order 1, 3", rs[0].Key, rs[1].Key)
+	}
+	for _, r := range rs {
+		if r.Kind != QueryInitiated {
+			t.Errorf("key %d kind = %v", r.Key, r.Kind)
+		}
+	}
+	if rs[1].Values[0] != 30 {
+		t.Errorf("key 3 values = %v", rs[1].Values)
+	}
+	st := net.Stats()
+	if st.Messages[netsim.QueryRefresh] != 2 {
+		t.Errorf("query-refresh messages = %d, want 2", st.Messages[netsim.QueryRefresh])
+	}
+	if st.QueryRefreshCost != 3+7 {
+		t.Errorf("query refresh cost = %g, want 10", st.QueryRefreshCost)
+	}
+	// Errors reject the whole batch without charging.
+	if _, err := s.QueryRefreshBatch([]int64{1, 9}, rec); err == nil {
+		t.Error("batch with missing object accepted")
+	}
+	if _, err := s.QueryRefreshBatch([]int64{2}, &recorder{}); err == nil {
+		t.Error("batch from unsubscribed cache accepted")
+	}
+	if rs, err := s.QueryRefreshBatch(nil, rec); err != nil || rs != nil {
+		t.Errorf("empty batch = %v, %v", rs, err)
+	}
+}
+
 func TestAdaptiveWidthReactsToRefreshKinds(t *testing.T) {
 	clock := netsim.NewClock()
 	net := netsim.NewNetwork()

@@ -39,7 +39,7 @@ func (s *System) NewMonitor(q query.Query) (*Monitor, error) {
 	if len(q.GroupBy) > 0 {
 		return nil, fmt.Errorf("trapp: continuous GROUP BY queries are not supported")
 	}
-	if _, ok := s.tables[q.Table]; !ok {
+	if s.MountedCache(q.Table) == nil {
 		return nil, fmt.Errorf("trapp: table %q not mounted", q.Table)
 	}
 	return &Monitor{sys: s, q: q}, nil

@@ -4,10 +4,18 @@
 // network, and a query processor executing bounded aggregation queries
 // with precision constraints. It is the package examples and experiments
 // program against; the root module package re-exports its API.
+//
+// The System is a concurrent query engine: any number of goroutines may
+// Execute queries against it while sources apply updates and other
+// goroutines add or mount components. Aggregation scans share per-table
+// read locks, the refresh phase fans out to sources as parallel batched
+// requests, and large scans are additionally data-parallel (see
+// Options.Parallelism). DESIGN.md documents the locking protocol.
 package trapp
 
 import (
 	"fmt"
+	"sync"
 
 	"trapp/internal/aggregate"
 	"trapp/internal/boundfn"
@@ -20,13 +28,15 @@ import (
 	"trapp/internal/source"
 )
 
-// System is a complete simulated TRAPP deployment.
+// System is a complete simulated TRAPP deployment. All methods are safe
+// for concurrent use.
 type System struct {
 	// Clock is the shared logical clock; advance it to let bounds grow.
 	Clock *netsim.Clock
 	// Net records refresh traffic and cost.
 	Net *netsim.Network
 
+	mu      sync.RWMutex
 	sources map[string]*source.Source
 	caches  map[string]*cache.Cache
 	tables  map[string]*cache.Cache // query table name → backing cache
@@ -48,6 +58,8 @@ func NewSystem(opts refresh.Options) *System {
 // AddSource creates a data source. shape selects the transmitted bound
 // shape (nil means the √T default).
 func (s *System) AddSource(id string, shape boundfn.Shape) (*source.Source, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.sources[id]; dup {
 		return nil, fmt.Errorf("trapp: duplicate source %q", id)
 	}
@@ -57,10 +69,16 @@ func (s *System) AddSource(id string, shape boundfn.Shape) (*source.Source, erro
 }
 
 // Source returns a source by id, or nil.
-func (s *System) Source(id string) *source.Source { return s.sources[id] }
+func (s *System) Source(id string) *source.Source {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sources[id]
+}
 
 // AddCache creates a data cache with the given table schema.
 func (s *System) AddCache(id string, schema *relation.Schema) (*cache.Cache, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.caches[id]; dup {
 		return nil, fmt.Errorf("trapp: duplicate cache %q", id)
 	}
@@ -70,19 +88,31 @@ func (s *System) AddCache(id string, schema *relation.Schema) (*cache.Cache, err
 }
 
 // Cache returns a cache by id, or nil.
-func (s *System) Cache(id string) *cache.Cache { return s.caches[id] }
+func (s *System) Cache(id string) *cache.Cache {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.caches[id]
+}
 
 // MountedCache returns the cache backing a mounted table name, or nil.
-func (s *System) MountedCache(tableName string) *cache.Cache { return s.tables[tableName] }
+func (s *System) MountedCache(tableName string) *cache.Cache {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[tableName]
+}
 
 // Mount exposes a cache's table to the query processor under the given
 // table name, with the cache itself serving query-initiated refreshes.
+// The processor shares the cache's table lock, so source pushes and
+// query scans coordinate on the same RWMutex.
 func (s *System) Mount(tableName string, c *cache.Cache) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.tables[tableName]; dup {
 		return fmt.Errorf("trapp: table %q already mounted", tableName)
 	}
 	s.tables[tableName] = c
-	s.proc.Register(tableName, c.Table(), c)
+	s.proc.RegisterShared(tableName, c.Table(), c, c.TableLock())
 	return nil
 }
 
@@ -96,8 +126,8 @@ func (s *System) Mount(tableName string, c *cache.Cache) error {
 // flushes the queued events, since missing tuples would make the other
 // aggregates' bounds unsound.
 func (s *System) Execute(q query.Query) (query.Result, error) {
-	c, ok := s.tables[q.Table]
-	if !ok {
+	c := s.MountedCache(q.Table)
+	if c == nil {
 		return query.Result{}, fmt.Errorf("trapp: table %q not mounted", q.Table)
 	}
 	if slack := c.CardinalitySlack(); slack > 0 {
@@ -135,8 +165,8 @@ func (s *System) PreciseMode(q query.Query) (query.Result, error) {
 // ImpreciseMode runs the query over cached bounds only (the stale-data
 // extreme of Figure 1(a)).
 func (s *System) ImpreciseMode(q query.Query) (query.Result, error) {
-	c, ok := s.tables[q.Table]
-	if !ok {
+	c := s.MountedCache(q.Table)
+	if c == nil {
 		return query.Result{}, fmt.Errorf("trapp: table %q not mounted", q.Table)
 	}
 	c.Sync()

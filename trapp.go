@@ -24,9 +24,15 @@
 //	res, _ := sys.Execute(q)
 //	fmt.Println(res.Answer) // e.g. [40.5, 45.5], guaranteed to contain the true AVG
 //
+// A System is safe for concurrent use: any number of goroutines may
+// Execute queries while sources apply updates. Scans share per-table read
+// locks, the refresh phase is fanned out per source as parallel batched
+// requests, and large scans are data-parallel (Options.Parallelism,
+// default GOMAXPROCS).
+//
 // The package re-exports the user-facing API of the internal packages; see
 // the examples directory for complete programs and DESIGN.md for the
-// architecture.
+// architecture and the concurrency model.
 package trapp
 
 import (
@@ -134,7 +140,8 @@ func NewQuery(table string, agg Func, column string) Query {
 	return query.NewQuery(table, agg, column)
 }
 
-// Options tunes CHOOSE_REFRESH (knapsack solver and ε).
+// Options tunes CHOOSE_REFRESH (knapsack solver and ε) and execution
+// parallelism (Parallelism: workers for large aggregation scans).
 type Options = refresh.Options
 
 // Solver selects a knapsack algorithm.
