@@ -12,14 +12,19 @@
 //	trappbench -experiment join      # E9: join refresh planners
 //	trappbench -experiment all       # everything
 //	trappbench -concurrency 8        # E13: closed-loop multi-client throughput
+//	trappbench -subscribers 1000     # E14: push subscriptions vs naive poll loop
 //
 // Flags -n, -seed, -reps control workload size, reproducibility, and
 // timing repetitions. The concurrent benchmark additionally honors
 // -duration (measurement window) and compares against a single-client
-// run when -concurrency > 1.
+// run when -concurrency > 1; the subscription benchmark honors -rounds.
+// -json <path> additionally writes the machine-readable results of the
+// concurrent and subscription benchmarks (QPS, latency percentiles,
+// refresh traffic) for BENCH_*.json perf-trajectory files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,41 +33,66 @@ import (
 	"trapp/internal/experiment"
 )
 
+// benchOutput is the -json payload.
+type benchOutput struct {
+	Name          string                              `json:"name"`
+	GeneratedAt   string                              `json:"generated_at"`
+	Seed          int64                               `json:"seed"`
+	Concurrent    []experiment.ConcurrentResult       `json:"concurrent,omitempty"`
+	Subscriptions *experiment.SubscriptionsComparison `json:"subscriptions,omitempty"`
+}
+
+var out benchOutput
+
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig5, fig6, knapsack, adaptive, avgbound, modes, join, concurrent, all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig5, fig6, knapsack, adaptive, avgbound, modes, join, iter, index, median, concurrent, subscriptions, all)")
 	n := flag.Int("n", 90, "number of data objects (the paper used 90 stocks)")
 	seed := flag.Int64("seed", experiment.DefaultSeed, "workload seed")
 	reps := flag.Int("reps", 25, "timing repetitions per point")
 	concurrency := flag.Int("concurrency", 8, "client goroutines for the concurrent benchmark")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window for the concurrent benchmark")
+	subscribers := flag.Int("subscribers", 1000, "standing queries for the subscription benchmark")
+	rounds := flag.Int("rounds", 60, "update/tick rounds for the subscription benchmark")
+	jsonPath := flag.String("json", "", "write machine-readable results (concurrent + subscription benchmarks) to this file")
 	flag.Parse()
 
-	// `trappbench -concurrency N` alone runs the concurrent benchmark.
+	// `trappbench -concurrency N` / `-subscribers N` alone run the
+	// corresponding benchmark.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if explicit["concurrency"] && !explicit["experiment"] {
-		*exp = "concurrent"
+	if !explicit["experiment"] {
+		switch {
+		case explicit["subscribers"] || explicit["rounds"]:
+			*exp = "subscriptions"
+		case explicit["concurrency"]:
+			*exp = "concurrent"
+		}
 	}
 
 	runners := map[string]func(){
-		"concurrent": func() { concurrent(*concurrency, *n, *seed, *duration) },
-		"fig5":       func() { fig5(*n, *seed, *reps) },
-		"fig6":       func() { fig6(*n, *seed) },
-		"knapsack":   func() { solvers(*n, *seed) },
-		"adaptive":   func() { adaptive(*seed) },
-		"avgbound":   func() { avgBounds(*n, *seed) },
-		"modes":      func() { modes(*n, *seed) },
-		"join":       func() { joins(*seed) },
-		"iter":       func() { iterative(*n, *seed) },
-		"index":      func() { indexSpeedup(*seed, *reps) },
-		"median":     func() { medians(*n, *seed) },
+		"concurrent":    func() { concurrent(*concurrency, *n, *seed, *duration) },
+		"subscriptions": func() { subscriptions(*subscribers, *n, *seed, *rounds) },
+		"fig5":          func() { fig5(*n, *seed, *reps) },
+		"fig6":          func() { fig6(*n, *seed) },
+		"knapsack":      func() { solvers(*n, *seed) },
+		"adaptive":      func() { adaptive(*seed) },
+		"avgbound":      func() { avgBounds(*n, *seed) },
+		"modes":         func() { modes(*n, *seed) },
+		"join":          func() { joins(*seed) },
+		"iter":          func() { iterative(*n, *seed) },
+		"index":         func() { indexSpeedup(*seed, *reps) },
+		"median":        func() { medians(*n, *seed) },
 	}
-	order := []string{"fig5", "fig6", "knapsack", "adaptive", "avgbound", "modes", "join", "iter", "index", "median", "concurrent"}
+	order := []string{"fig5", "fig6", "knapsack", "adaptive", "avgbound", "modes", "join", "iter", "index", "median", "concurrent", "subscriptions"}
+	out.Name = *exp
+	out.Seed = *seed
+	out.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	if *exp == "all" {
 		for _, name := range order {
 			runners[name]()
 			fmt.Println()
 		}
+		writeJSON(*jsonPath)
 		return
 	}
 	run, ok := runners[*exp]
@@ -72,6 +102,25 @@ func main() {
 		os.Exit(2)
 	}
 	run()
+	writeJSON(*jsonPath)
+}
+
+// writeJSON dumps the collected machine-readable results.
+func writeJSON(path string) {
+	if path == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "encode -json results: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write -json results: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func fig5(n int, seed int64, reps int) {
@@ -239,6 +288,7 @@ func concurrent(clients, n int, seed int64, duration time.Duration) {
 			os.Exit(1)
 		}
 		qps = append(qps, res.QPS)
+		out.Concurrent = append(out.Concurrent, res)
 		cells = append(cells, []string{
 			fmt.Sprintf("%d", res.Clients),
 			fmt.Sprintf("%d", res.Queries),
@@ -254,6 +304,40 @@ func concurrent(clients, n int, seed int64, duration time.Duration) {
 	if len(qps) == 2 {
 		fmt.Printf("speedup: %.2fx aggregate QPS at %d clients vs 1\n", qps[1]/qps[0], clients)
 	}
+}
+
+func subscriptions(subscribers, links int, seed int64, rounds int) {
+	const sources = 8
+	fmt.Printf("E14 — push subscriptions vs naive per-subscription poll loop "+
+		"(subscribers=%d, links=%d, sources=%d, rounds=%d, update-fraction=%g)\n",
+		subscribers, links, sources, rounds, experiment.UpdateFraction)
+	cmp, err := experiment.SubscriptionsCompare(subscribers, links, sources, rounds, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subscription benchmark: %v\n", err)
+		os.Exit(1)
+	}
+	out.Subscriptions = &cmp
+	row := func(r experiment.SubscriptionModeResult) []string {
+		return []string{
+			r.Mode,
+			fmt.Sprintf("%d", r.Deliveries),
+			fmt.Sprintf("%.0f", r.DeliveriesPerSec),
+			fmt.Sprintf("%d", r.QueryRefreshes),
+			fmt.Sprintf("%.0f", r.QueryRefreshCost),
+			fmt.Sprintf("%.0f", r.ValueRefreshCost),
+			fmt.Sprintf("%.0f", r.TotalRefreshCost),
+			r.RepairP50.Round(time.Microsecond).String(),
+			r.RepairP99.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", r.Unmet),
+		}
+	}
+	experiment.WriteTable(os.Stdout,
+		[]string{"mode", "deliveries", "deliv/s", "q-refreshes", "q-cost", "v-cost", "total-cost", "repair-p50", "repair-p99", "unmet"},
+		[][]string{row(cmp.Poll), row(cmp.Push)})
+	fmt.Printf("shared refreshes (one payment serving >1 subscription): %d across %d views\n",
+		cmp.Push.SharedRefreshes, cmp.Push.Views)
+	fmt.Printf("refresh-cost ratio (poll/push) for the same delivered precision: %.2fx\n",
+		cmp.RefreshCostRatio)
 }
 
 func joins(seed int64) {

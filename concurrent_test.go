@@ -257,3 +257,241 @@ func TestConcurrentExecuteSoundness(t *testing.T) {
 		t.Errorf("negative refresh costs: %+v", st)
 	}
 }
+
+// --- Subscription stress test ---------------------------------------------
+//
+// The push-based continuous-query engine under chaos: many subscribers
+// (scalar, GROUP BY, unconstrained) over one shared table while updater
+// goroutines push confined random-walk values and advance the clock, with
+// the engine's maintainer goroutine repairing violated constraints in the
+// background. Race-clean under `go test -race`.
+//
+// Assertions mirror TestConcurrentExecuteSoundness:
+//   - every delivered update's answer intersects the achievable envelope
+//     of values the objects actually held (per group for GROUP BY);
+//   - a Met scalar update with an absolute constraint has width ≤ R;
+//   - after the updaters stop and the engine settles, every
+//     subscription's current answer contains the unique true aggregate
+//     and its precision constraint is re-established.
+
+const (
+	subStressGroups   = 4
+	subStressUpdaters = 2
+	subStressUpdates  = 1200
+)
+
+// buildSubscriptionStressSystem wires stressSources×stressPerSource
+// objects into a cache mounted as "vals" with schema (grp Exact, value
+// Bounded); grp = key % subStressGroups.
+func buildSubscriptionStressSystem(t *testing.T) (*trapp.System, []int64) {
+	t.Helper()
+	sys := trapp.NewSystem(trapp.Options{})
+	schema := trapp.NewSchema(
+		trapp.Column{Name: "grp", Kind: trapp.Exact},
+		trapp.Column{Name: "value", Kind: trapp.Bounded},
+	)
+	c, err := sys.AddCache("monitor", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []int64
+	for si := 0; si < stressSources; si++ {
+		src, err := sys.AddSource(fmt.Sprintf("s%d", si), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for oi := 0; oi < stressPerSource; oi++ {
+			key := int64(si*1000 + oi)
+			cost := float64(1 + (si+oi)%5)
+			if err := src.AddObject(key, []float64{stressBase(key)}, cost,
+				trapp.NewAdaptiveWidth(stressWidth)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Subscribe(src, key, []float64{float64(key % subStressGroups)}); err != nil {
+				t.Fatal(err)
+			}
+			keys = append(keys, key)
+		}
+	}
+	if err := sys.Mount("vals", c); err != nil {
+		t.Fatal(err)
+	}
+	return sys, keys
+}
+
+// groupKeys filters keys by group id.
+func groupKeys(keys []int64, g int64) []int64 {
+	var out []int64
+	for _, k := range keys {
+		if k%subStressGroups == g {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// trueAggregateOf computes the exact aggregate over the given keys from
+// the sources' master values; meaningful only while updaters are
+// quiescent.
+func trueAggregateOf(t *testing.T, sys *trapp.System, agg trapp.Func, keys []int64) float64 {
+	t.Helper()
+	minV, maxV, sumV := math.Inf(1), math.Inf(-1), 0.0
+	for _, key := range keys {
+		src := sys.Source(fmt.Sprintf("s%d", key/1000))
+		v, ok := src.Values(key)
+		if !ok {
+			t.Fatalf("source lost object %d", key)
+		}
+		minV = math.Min(minV, v[0])
+		maxV = math.Max(maxV, v[0])
+		sumV += v[0]
+	}
+	switch agg {
+	case trapp.Min:
+		return minV
+	case trapp.Max:
+		return maxV
+	case trapp.Sum:
+		return sumV
+	case trapp.Avg:
+		return sumV / float64(len(keys))
+	default:
+		return float64(len(keys))
+	}
+}
+
+func TestConcurrentSubscriptionSoundness(t *testing.T) {
+	sys, keys := buildSubscriptionStressSystem(t)
+	defer sys.Close()
+	aggs := []trapp.Func{trapp.Sum, trapp.Avg, trapp.Min, trapp.Max, trapp.Count}
+
+	// Register subscriptions: two precision levels per aggregate, one
+	// unconstrained change feed, and one GROUP BY per-group standing
+	// query. Each subscription gets a drainer goroutine validating every
+	// delivered update against the achievable envelope.
+	type subCase struct {
+		sub     *trapp.Subscription
+		agg     trapp.Func
+		within  float64 // 0 means unconstrained
+		grouped bool
+	}
+	var cases []subCase
+	for _, agg := range aggs {
+		for _, r := range []float64{20, 80} {
+			q := trapp.NewQuery("vals", agg, "value")
+			q.Within = r
+			sub, err := sys.Subscribe(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cases = append(cases, subCase{sub, agg, r, false})
+		}
+	}
+	{
+		q := trapp.NewQuery("vals", trapp.Sum, "value") // unconstrained feed
+		sub, err := sys.Subscribe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, subCase{sub, trapp.Sum, 0, false})
+	}
+	{
+		q := trapp.NewQuery("vals", trapp.Sum, "value")
+		q.Within = 40
+		q.GroupBy = []string{"grp"}
+		sub, err := sys.Subscribe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, subCase{sub, trapp.Sum, 40, true})
+	}
+
+	var drainers sync.WaitGroup
+	for _, sc := range cases {
+		drainers.Add(1)
+		go func(sc subCase) {
+			defer drainers.Done()
+			for u := range sc.sub.Updates() {
+				if sc.grouped {
+					for _, ga := range u.Groups {
+						env := envelope(sc.agg, groupKeys(keys, int64(ga.Key[0])))
+						if ga.Answer.Intersect(env).IsEmpty() {
+							t.Errorf("group %v answer %v misses envelope %v", ga.Key, ga.Answer, env)
+							return
+						}
+					}
+					continue
+				}
+				env := envelope(sc.agg, keys)
+				if u.Answer.Intersect(env).IsEmpty() {
+					t.Errorf("%v sub answer %v misses envelope %v", sc.agg, u.Answer, env)
+					return
+				}
+				if u.Met && sc.within > 0 && u.Answer.Width() > sc.within+stressRefreshEps {
+					t.Errorf("%v sub met but width %g > R=%g", sc.agg, u.Answer.Width(), sc.within)
+					return
+				}
+			}
+		}(sc)
+	}
+
+	// Updaters: confined random walks with occasional clock advances,
+	// exactly the chaos of TestConcurrentExecuteSoundness.
+	var updaters sync.WaitGroup
+	for u := 0; u < subStressUpdaters; u++ {
+		updaters.Add(1)
+		go func(seed int64) {
+			defer updaters.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < subStressUpdates; i++ {
+				key := keys[rng.Intn(len(keys))]
+				src := sys.Source(fmt.Sprintf("s%d", key/1000))
+				v := stressBase(key) + (rng.Float64()*2-1)*stressD
+				if err := src.SetValue(key, []float64{v}); err != nil {
+					t.Errorf("SetValue(%d): %v", key, err)
+					return
+				}
+				if i%40 == 39 {
+					sys.Clock.Advance(1)
+				}
+			}
+		}(int64(u) + 7)
+	}
+	updaters.Wait()
+
+	// Quiescent phase: settle and check the paper's guarantee on every
+	// subscription's final maintained answer.
+	sys.Clock.Advance(1)
+	sys.Settle()
+	for _, sc := range cases {
+		cur, ok := sc.sub.Current()
+		if !ok {
+			t.Fatalf("%v sub never produced an answer", sc.agg)
+		}
+		if !cur.Met {
+			t.Errorf("%v sub constraint not re-established: %+v", sc.agg, cur)
+		}
+		if sc.grouped {
+			for _, ga := range cur.Groups {
+				truth := trueAggregateOf(t, sys, sc.agg, groupKeys(keys, int64(ga.Key[0])))
+				if !ga.Answer.Expand(stressRefreshEps).Contains(truth) {
+					t.Errorf("group %v answer %v excludes true %g", ga.Key, ga.Answer, truth)
+				}
+			}
+			continue
+		}
+		truth := trueAggregateOf(t, sys, sc.agg, keys)
+		if !cur.Answer.Expand(stressRefreshEps).Contains(truth) {
+			t.Errorf("%v sub answer %v excludes true %g", sc.agg, cur.Answer, truth)
+		}
+	}
+
+	m := sys.SubscriptionMetrics()
+	if m.Notifications == 0 || m.Rounds == 0 {
+		t.Errorf("engine did no push work: %+v", m)
+	}
+	for _, sc := range cases {
+		sc.sub.Close()
+	}
+	drainers.Wait()
+}

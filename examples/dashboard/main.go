@@ -1,7 +1,18 @@
-// Command dashboard exercises the repository's section 8 extensions on
-// the network monitoring scenario: a per-node GROUP BY report, a relative
-// (percentage) precision constraint, an iterative (online) execution, and
-// a bounded MEDIAN — all over the paper's Figure 2 data.
+// Command dashboard is a live network-operations dashboard built on the
+// push-based continuous-query engine (§8.1): instead of polling, each
+// panel registers a standing query with System.Subscribe and receives a
+// notification only when its bounded answer actually moves or its
+// precision constraint has to be repaired. Three panels run over a
+// simulated link table:
+//
+//   - total latency WITHIN 5 (absolute constraint),
+//   - total traffic WITHIN 2% (relative constraint),
+//   - per-node outgoing latency WITHIN 4 GROUP BY from (one maintained
+//     answer per group — rejected outright by the old poll Monitor).
+//
+// The engine maintains all three incrementally while links drift and the
+// clock ticks, dedupes their refresh demand into shared batches, and
+// stays silent for panels whose answers did not change.
 //
 // Run with:
 //
@@ -11,88 +22,126 @@ package main
 import (
 	"fmt"
 	"log"
+	"math/rand"
 
 	"trapp"
-	"trapp/internal/quantile"
 	"trapp/internal/workload"
 )
 
 func main() {
-	fmt.Println("TRAPP dashboard — §8 extensions over the Figure 2 network")
+	fmt.Println("TRAPP dashboard — push subscriptions over a drifting link table")
 	fmt.Println()
 
-	schemas := map[string]*trapp.Schema{"links": workload.LinkSchema()}
-	master := workload.MapOracle(workload.Figure2Master())
-
-	// 1. GROUP BY: exact per-source-node latency totals.
-	{
-		proc := trapp.NewProcessor(trapp.Options{})
-		proc.Register("links", workload.Figure2Table(), master)
-		q, err := trapp.ParseQueryWith(
-			"SELECT SUM(latency) WITHIN 0 FROM links GROUP BY from", schemas)
+	// One cache replicating 24 links spread across 4 sources.
+	net, err := workload.NewNetwork(6, 24, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := trapp.NewSystem(trapp.Options{})
+	defer sys.Close()
+	cache, err := sys.AddCache("monitor", workload.LinkSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sources []*trapp.Source
+	for si := 0; si < 4; si++ {
+		src, err := sys.AddSource(fmt.Sprintf("s%d", si), nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows, err := proc.ExecuteGroupBy(q)
-		if err != nil {
+		sources = append(sources, src)
+	}
+	for i, l := range net.Links {
+		src := sources[i%len(sources)]
+		if err := src.AddObject(l.Key, l.Values(), l.Cost, trapp.NewAdaptiveWidth(1)); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("per-node outgoing latency (GROUP BY from, WITHIN 0):")
-		for _, row := range rows {
-			fmt.Printf("  node %.0f: %v (cost %.0f)\n",
-				row.Key[0], row.Result.Answer, row.Result.RefreshCost)
+		if err := cache.Subscribe(src, l.Key, []float64{float64(l.From), float64(l.To)}); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Println()
+	}
+	if err := sys.Mount("links", cache); err != nil {
+		log.Fatal(err)
 	}
 
-	// 2. Relative constraint: total traffic within 2%.
-	{
-		proc := trapp.NewProcessor(trapp.Options{})
-		proc.Register("links", workload.Figure2Table(), master)
-		q, err := trapp.ParseQueryWith(
-			"SELECT SUM(traffic) WITHIN 2% FROM links", schemas)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := proc.Execute(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("total traffic WITHIN 2%%: %v (width %.1f, refreshed %d, cost %.0f)\n\n",
-			res.Answer, res.Answer.Width(), res.Refreshed, res.RefreshCost)
+	// Panel 1: total latency, absolute constraint.
+	qLatency, err := trapp.ParseQuery("SELECT SUM(latency) WITHIN 5 FROM links", sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	latency, err := sys.Subscribe(qLatency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Panel 2: total traffic, relative (§8.1 percentage) constraint.
+	qTraffic, err := trapp.ParseQuery("SELECT SUM(traffic) WITHIN 2% FROM links", sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	traffic, err := sys.Subscribe(qTraffic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Panel 3: per-node outgoing latency — a GROUP BY standing query.
+	qPerNode, err := trapp.ParseQuery("SELECT SUM(latency) WITHIN 4 FROM links GROUP BY from", sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perNode, err := sys.Subscribe(qPerNode)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	// 3. Iterative execution: same query as the paper's Q2, paying
-	// refreshes one at a time and stopping early.
-	{
-		proc := trapp.NewProcessor(trapp.Options{})
-		table := workload.Figure2Table()
-		table.Delete(3)
-		table.Delete(4)
-		proc.Register("links", table, master)
-		q, err := trapp.ParseQueryWith(
-			"SELECT SUM(latency) WITHIN 5 FROM links", schemas)
-		if err != nil {
-			log.Fatal(err)
+	// render drains a panel's channel without blocking and prints the
+	// freshest pending notification, if any.
+	render := func(name string, sub *trapp.Subscription) {
+		select {
+		case u, ok := <-sub.Updates():
+			if !ok {
+				return
+			}
+			if len(u.Groups) > 0 {
+				fmt.Printf("  %-12s seq %2d @t=%-3d", name, u.Seq, u.At)
+				for _, g := range u.Groups {
+					fmt.Printf("  node %.0f: %v", g.Key[0], g.Answer)
+				}
+				fmt.Println()
+				return
+			}
+			fmt.Printf("  %-12s seq %2d @t=%-3d %v (width %.2f, met %v)\n",
+				name, u.Seq, u.At, u.Answer, u.Answer.Width(), u.Met)
+		default:
+			fmt.Printf("  %-12s (quiet — answer unchanged)\n", name)
 		}
-		res, err := proc.ExecuteIterative(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("Q2 iterative: %v after %d single-tuple rounds (cost %.0f; batch pays 5)\n\n",
-			res.Answer, res.Refreshed, res.RefreshCost)
 	}
 
-	// 4. Bounded MEDIAN with a precision constraint.
-	{
-		table := workload.Figure2Table()
-		lat := table.Schema().MustLookup(workload.ColLatency)
-		initial := quantile.Median(table, lat)
-		res, err := quantile.ExecuteMedian(table, lat, 1, master)
-		if err != nil {
-			log.Fatal(err)
+	// Drive the world: each round a few links drift and the clock ticks;
+	// Settle makes the rendering deterministic for this example (a real
+	// server would just let the engine's maintainer run).
+	rng := rand.New(rand.NewSource(42))
+	for round := 1; round <= 6; round++ {
+		sys.Clock.Advance(3)
+		for i := 0; i < 4; i++ {
+			l := net.Links[rng.Intn(len(net.Links))]
+			src := sources[int(l.Key-1)%len(sources)]
+			if err := src.SetValue(l.Key, l.Step()); err != nil {
+				log.Fatal(err)
+			}
 		}
-		fmt.Printf("median latency: cached %v → WITHIN 1 gives %v (refreshed %d, cost %.0f)\n",
-			initial, res.Answer, res.Refreshed, res.RefreshCost)
+		sys.Settle()
+		fmt.Printf("round %d:\n", round)
+		render("latency", latency)
+		render("traffic 2%", traffic)
+		render("per-node", perNode)
 	}
+
+	m := sys.SubscriptionMetrics()
+	st := sys.Stats()
+	fmt.Println()
+	fmt.Printf("engine: %d rounds, %d notifications, %d refresh batches "+
+		"(%d objects, cost %.0f, %d shared)\n",
+		m.Rounds, m.Notifications, m.RefreshBatches, m.RefreshedObjects,
+		m.RefreshCost, m.SharedRefreshes)
+	fmt.Printf("network: query-refresh cost %.0f, value-refresh cost %.0f\n",
+		st.QueryRefreshCost, st.ValueRefreshCost)
 }

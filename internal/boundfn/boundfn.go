@@ -157,6 +157,23 @@ type WidthPolicy interface {
 	ObserveQueryRefresh()
 }
 
+// DemandObserver is an optional WidthPolicy extension consumed by the
+// continuous-query engine's shared refresh scheduler. When one paid
+// query-initiated refresh of an object satisfies several standing
+// queries at once, the per-refresh ObserveQueryRefresh signal
+// under-represents how much query demand the object really has: in a
+// per-query world each of those queries would have paid (and narrowed
+// the bound) separately. ObserveDemand passes the number of
+// subscriptions the shared refresh served so the policy can converge the
+// width to the object's aggregate demand rather than to the demand of a
+// single query stream.
+type DemandObserver interface {
+	// ObserveDemand notes that one query-initiated refresh of the object
+	// satisfied subscribers standing queries (subscribers ≥ 1; 1 carries
+	// no extra information beyond ObserveQueryRefresh).
+	ObserveDemand(subscribers int)
+}
+
 // StaticWidth is a WidthPolicy that always returns the same width. It is
 // the Quasi-copies-style baseline in which an administrator fixes bounds
 // statically.
@@ -192,6 +209,7 @@ type AdaptiveWidth struct {
 
 	valueRefreshes int64
 	queryRefreshes int64
+	demandHold     int64 // growth steps suppressed by standing demand
 }
 
 // NewAdaptiveWidth returns an adaptive controller starting at width w with
@@ -233,10 +251,16 @@ func (a *AdaptiveWidth) NextWidth() float64 {
 	return a.W
 }
 
-// ObserveValueRefresh widens the next bound.
+// ObserveValueRefresh widens the next bound — unless standing-query
+// demand is holding the bound narrow (see ObserveDemand), in which case
+// the growth step is consumed from the hold instead.
 func (a *AdaptiveWidth) ObserveValueRefresh() {
 	a.valueRefreshes++
-	a.W *= a.grow()
+	if a.demandHold > 0 {
+		a.demandHold--
+	} else {
+		a.W *= a.grow()
+	}
 	a.clamp()
 }
 
@@ -244,6 +268,48 @@ func (a *AdaptiveWidth) ObserveValueRefresh() {
 func (a *AdaptiveWidth) ObserveQueryRefresh() {
 	a.queryRefreshes++
 	a.W *= a.shrink()
+	a.clamp()
+}
+
+// demandHoldCap bounds how many growth steps a single shared refresh
+// can suppress, so an object whose standing demand disappears regains
+// adaptive width after at most this many value-initiated refreshes.
+// demandShrinkCap likewise bounds the extra shrink steps one shared
+// refresh can apply.
+const (
+	demandHoldCap   = 64
+	demandShrinkCap = 16
+)
+
+// ObserveDemand implements DemandObserver with two effects, both
+// following from the same observation: an object under standing demand
+// from n subscribers is effectively queried every tick, and in a
+// per-query world each of those queries would have paid its own
+// refresh and narrowed the bound. First, the shrink the absent
+// duplicate refreshes would have exerted — one step per additional
+// subscriber, capped at demandShrinkCap — which under sustained demand
+// drives the width toward its floor: the cost-optimal protocol for a
+// continuously watched object is a near-zero-width bound maintained by
+// one source push per real change, instead of repeated query-initiated
+// repairs of √T growth. Second, a growth hold: the next
+// min(n, demandHoldCap) value-initiated refreshes do not widen the
+// bound. The hold decays with each escape, so objects whose demand
+// fades return to the plain Appendix A dynamics.
+func (a *AdaptiveWidth) ObserveDemand(subscribers int) {
+	steps := subscribers - 1
+	if steps > demandShrinkCap {
+		steps = demandShrinkCap
+	}
+	for i := 0; i < steps; i++ {
+		a.W *= a.shrink()
+	}
+	hold := int64(subscribers)
+	if hold > demandHoldCap {
+		hold = demandHoldCap
+	}
+	if hold > a.demandHold {
+		a.demandHold = hold
+	}
 	a.clamp()
 }
 

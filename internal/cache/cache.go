@@ -25,6 +25,7 @@ package cache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"trapp/internal/boundfn"
 	"trapp/internal/interval"
@@ -34,6 +35,32 @@ import (
 	"trapp/internal/source"
 )
 
+// EventKind classifies cache change events delivered to the listener
+// installed with SetListener.
+type EventKind int8
+
+const (
+	// RefreshApplied reports a refresh (value- or query-initiated) that
+	// reached the cached table.
+	RefreshApplied EventKind = iota
+	// ObjectAdded reports a new object subscribed into the cache.
+	ObjectAdded
+	// ObjectDropped reports a cached object removed (propagated delete).
+	ObjectDropped
+)
+
+// Event is one cache change: an applied refresh or a membership change.
+// The continuous-query engine consumes these to maintain standing
+// answers incrementally instead of rescanning.
+type Event struct {
+	// Kind classifies the change.
+	Kind EventKind
+	// Key identifies the affected object.
+	Key int64
+	// Refresh reports why a RefreshApplied event's refresh was sent.
+	Refresh source.RefreshKind
+}
+
 // Cache is one data cache holding a single cached table. It implements
 // source.Subscriber (receiving value-initiated refreshes) and the query
 // processor's Oracle and BatchOracle (serving query-initiated refreshes,
@@ -41,6 +68,11 @@ import (
 type Cache struct {
 	id    string
 	clock *netsim.Clock
+
+	// listener receives change events; set once via SetListener. Stored
+	// as an atomic pointer so the hot apply path never takes an extra
+	// lock when no listener is installed.
+	listener atomic.Pointer[func(Event)]
 
 	mu      sync.Mutex
 	sources map[int64]*source.Source
@@ -84,12 +116,54 @@ func (c *Cache) Table() *relation.Table { return c.table }
 // for writing when sources push refreshes or membership events.
 func (c *Cache) TableLock() *sync.RWMutex { return &c.tabMu }
 
+// SetListener installs fn as the cache's change listener; it is called
+// outside all cache locks after every refresh that reaches the table and
+// after every membership change. At most one listener is supported (the
+// continuous-query engine); installing another replaces the first.
+// Listeners must not call back into methods that mutate this cache.
+func (c *Cache) SetListener(fn func(Event)) {
+	if fn == nil {
+		c.listener.Store(nil)
+		return
+	}
+	c.listener.Store(&fn)
+}
+
+// notify delivers an event to the installed listener, if any. Callers
+// must not hold any cache lock.
+func (c *Cache) notify(ev Event) {
+	if fn := c.listener.Load(); fn != nil {
+		(*fn)(ev)
+	}
+}
+
+// ObserveDemand forwards shared-refresh demand for a cached object to
+// its source's width policy (see source.ObserveDemand).
+func (c *Cache) ObserveDemand(key int64, subscribers int) {
+	c.mu.Lock()
+	src := c.sources[key]
+	c.mu.Unlock()
+	if src != nil {
+		src.ObserveDemand(key, subscribers)
+	}
+}
+
 // Subscribe replicates object key from the source into this cache. The
 // exact columns' values are supplied by the caller (they are propagated
 // precisely, like insertions); bounded columns are initialized from the
 // source's first refresh. The tuple's refresh cost is the source's cost
 // for the object.
 func (c *Cache) Subscribe(src *source.Source, key int64, exactVals []float64) error {
+	if err := c.subscribe(src, key, exactVals); err != nil {
+		return err
+	}
+	c.notify(Event{Kind: ObjectAdded, Key: key})
+	return nil
+}
+
+// subscribe is Subscribe without the listener notification; it returns
+// with no cache lock held.
+func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) error {
 	r, err := src.Subscribe(key, c)
 	if err != nil {
 		return err
@@ -146,10 +220,16 @@ func (c *Cache) ApplyRefresh(r source.Refresh) {
 
 // apply installs the refresh and reports whether it reached the table
 // (false when the object is gone or a newer refresh was already applied).
+// Installed refreshes are reported to the change listener outside the
+// cache locks.
 func (c *Cache) apply(r source.Refresh) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.applyLocked(r)
+	installed := c.applyLocked(r)
+	c.mu.Unlock()
+	if installed {
+		c.notify(Event{Kind: RefreshApplied, Key: r.Key, Refresh: r.Kind})
+	}
+	return installed
 }
 
 // applyLocked records the refreshed bounds and rematerializes the
@@ -314,14 +394,18 @@ func (c *Cache) MasterBatch(keys []int64) (map[int64][]float64, error) {
 // Drop removes a cached object, modelling a propagated deletion.
 func (c *Cache) Drop(key int64) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	delete(c.sources, key)
 	delete(c.bounds, key)
 	delete(c.lastSeq, key)
 	c.dirty = true
 	c.tabMu.Lock()
-	defer c.tabMu.Unlock()
-	return c.table.Delete(key)
+	deleted := c.table.Delete(key)
+	c.tabMu.Unlock()
+	c.mu.Unlock()
+	if deleted {
+		c.notify(Event{Kind: ObjectDropped, Key: key})
+	}
+	return deleted
 }
 
 // WatchSource registers this cache for membership (insert/delete) events

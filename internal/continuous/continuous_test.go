@@ -1,0 +1,337 @@
+package continuous_test
+
+import (
+	"math"
+	"testing"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/boundfn"
+	"trapp/internal/cache"
+	"trapp/internal/continuous"
+	"trapp/internal/netsim"
+	"trapp/internal/query"
+	"trapp/internal/relation"
+	"trapp/internal/source"
+)
+
+// rig is a minimal source→cache→engine assembly: one source, one cache
+// with schema (g Exact, value Bounded), objects keyed 1..n with value
+// 10·key, group key%2, cost 1+key%3, static width 1.
+type rig struct {
+	clock *netsim.Clock
+	net   *netsim.Network
+	src   *source.Source
+	c     *cache.Cache
+	e     *continuous.Engine
+}
+
+func newRig(t *testing.T, n int, cfg continuous.Config) *rig {
+	t.Helper()
+	r := &rig{clock: netsim.NewClock(), net: netsim.NewNetwork()}
+	r.src = source.New("s", r.clock, r.net, nil)
+	schema := relation.NewSchema(
+		relation.Column{Name: "g", Kind: relation.Exact},
+		relation.Column{Name: "value", Kind: relation.Bounded},
+	)
+	r.c = cache.New("c", r.clock, schema)
+	for key := int64(1); key <= int64(n); key++ {
+		if err := r.src.AddObject(key, []float64{float64(10 * key)},
+			float64(1+key%3), boundfn.StaticWidth(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.c.Subscribe(r.src, key, []float64{float64(key % 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.e = continuous.NewEngine(r.clock, cfg)
+	r.e.AddTable("vals", r.c)
+	t.Cleanup(r.e.Close)
+	return r
+}
+
+// drain returns the pending update, if any, without blocking.
+func drain(s *continuous.Subscription) (continuous.Update, bool) {
+	select {
+	case u, ok := <-s.Updates():
+		return u, ok
+	default:
+		return continuous.Update{}, false
+	}
+}
+
+func TestScalarSubscriptionPushAndRepair(t *testing.T) {
+	r := newRig(t, 4, continuous.Config{})
+	q := query.NewQuery("vals", aggregate.Sum, "value")
+	q.Within = 3
+	sub, err := r.e.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial update: all bounds are points at subscription time.
+	u, ok := drain(sub)
+	if !ok {
+		t.Fatal("no initial update")
+	}
+	wantSum := 10.0 + 20 + 30 + 40
+	if !u.Met || !u.Answer.Contains(wantSum) || u.Answer.Width() > 1e-9 {
+		t.Fatalf("initial update %+v, want point at %g", u, wantSum)
+	}
+
+	// A push that escapes the promised bound moves the answer without
+	// any query-initiated refresh.
+	if err := r.src.SetValue(1, []float64{100}); err != nil {
+		t.Fatal(err)
+	}
+	r.e.Settle()
+	u, ok = drain(sub)
+	if !ok {
+		t.Fatal("no update after escaping push")
+	}
+	wantSum = 100.0 + 20 + 30 + 40
+	if !u.Answer.Contains(wantSum) {
+		t.Fatalf("after push answer %v, want to contain %g", u.Answer, wantSum)
+	}
+	if got := r.net.Stats().Messages[netsim.QueryRefresh]; got != 0 {
+		t.Fatalf("push maintenance paid %d query refreshes", got)
+	}
+
+	// Clock growth violates the constraint (4 objects × width 1 × √25 =
+	// width 40 > 3); the engine repairs it with a shared refresh batch.
+	// A quiet in-bound master change rides along: the repair's exact
+	// values move the answer, so the subscriber is notified.
+	r.clock.Advance(25)
+	if err := r.src.SetValue(2, []float64{25}); err != nil {
+		t.Fatal(err) // 25 ∈ [20−√25, 20+√25]: no push, the repair finds it
+	}
+	r.e.Settle()
+	u, ok = drain(sub)
+	if !ok {
+		t.Fatal("no update after violation repair")
+	}
+	wantSum = 100.0 + 25 + 30 + 40
+	if !u.Met || u.Answer.Width() > 3+1e-9 {
+		t.Fatalf("repaired update %+v, want met within 3", u)
+	}
+	if !u.Answer.Contains(wantSum) {
+		t.Fatalf("repaired answer %v excludes true sum %g", u.Answer, wantSum)
+	}
+	st := r.net.Stats()
+	if st.Messages[netsim.QueryRefresh] == 0 || st.QueryRefreshCost == 0 {
+		t.Fatal("repair paid no query refreshes")
+	}
+	if m := r.e.Metrics(); m.RefreshBatches == 0 || m.RefreshedObjects == 0 {
+		t.Fatalf("metrics missed the repair: %+v", m)
+	}
+}
+
+func TestViewSharingDedupesRefreshDemand(t *testing.T) {
+	r := newRig(t, 6, continuous.Config{})
+	mk := func(within float64) *continuous.Subscription {
+		q := query.NewQuery("vals", aggregate.Sum, "value")
+		q.Within = within
+		sub, err := r.e.Subscribe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	loose, strict := mk(50), mk(5)
+	if m := r.e.Metrics(); m.Views != 1 || m.Subscriptions != 2 {
+		t.Fatalf("same-shape subscriptions not shared: %+v", m)
+	}
+
+	r.clock.Advance(100)
+	r.e.Settle()
+	// One repair round must satisfy both; its refreshes served two
+	// subscriptions each.
+	for _, sub := range []*continuous.Subscription{loose, strict} {
+		cur, ok := sub.Current()
+		if !ok || !cur.Met {
+			t.Fatalf("subscription not repaired: %+v", cur)
+		}
+	}
+	if cur, _ := strict.Current(); cur.Answer.Width() > 5+1e-9 {
+		t.Fatalf("strict subscription width %g > 5", cur.Answer.Width())
+	}
+	m := r.e.Metrics()
+	if m.SharedRefreshes == 0 {
+		t.Fatalf("no refreshes recorded as shared: %+v", m)
+	}
+	if m.RefreshBatches != 1 {
+		t.Fatalf("expected one deduped batch, got %d", m.RefreshBatches)
+	}
+}
+
+func TestGroupBySubscriptionTracksMembership(t *testing.T) {
+	r := newRig(t, 4, continuous.Config{})
+	r.c.WatchSource(r.src) // propagate inserts/deletes
+	q := query.NewQuery("vals", aggregate.Sum, "value")
+	q.Within = 4
+	q.GroupBy = []string{"g"}
+	sub, err := r.e.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := drain(sub)
+	if !ok || len(u.Groups) != 2 {
+		t.Fatalf("initial grouped update %+v, want 2 groups", u)
+	}
+	// g=0 holds keys 2,4 (sum 60); g=1 holds keys 1,3 (sum 40).
+	if u.Groups[0].Key[0] != 0 || !u.Groups[0].Answer.Contains(60) {
+		t.Fatalf("group 0 = %+v, want sum 60", u.Groups[0])
+	}
+	if u.Groups[1].Key[0] != 1 || !u.Groups[1].Answer.Contains(40) {
+		t.Fatalf("group 1 = %+v, want sum 40", u.Groups[1])
+	}
+
+	// An inserted object in a brand-new group appears incrementally.
+	if err := r.src.InsertObject(10, []float64{70}, 1, nil, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	r.e.Settle()
+	u, ok = drain(sub)
+	if !ok || len(u.Groups) != 3 {
+		t.Fatalf("after insert %+v, want 3 groups", u)
+	}
+	if u.Groups[2].Key[0] != 5 || !u.Groups[2].Answer.Contains(70) {
+		t.Fatalf("new group = %+v, want sum 70", u.Groups[2])
+	}
+
+	// Deleting its only member removes the group.
+	if err := r.src.RemoveObject(10); err != nil {
+		t.Fatal(err)
+	}
+	r.e.Settle()
+	u, ok = drain(sub)
+	if !ok || len(u.Groups) != 2 {
+		t.Fatalf("after delete %+v, want 2 groups", u)
+	}
+
+	// Growth violates per-group constraints; the repair meets each
+	// group. Master values have not moved, so the repair restores the
+	// previous answers exactly — silently; assert via Current.
+	r.clock.Advance(49)
+	r.e.Settle()
+	cur, ok := sub.Current()
+	if !ok || !cur.Met {
+		t.Fatalf("grouped repair failed: %+v", cur)
+	}
+	for _, g := range cur.Groups {
+		if g.Answer.Width() > 4+1e-9 {
+			t.Fatalf("group %v width %g > 4", g.Key, g.Answer.Width())
+		}
+	}
+	if r.net.Stats().Messages[netsim.QueryRefresh] == 0 {
+		t.Fatal("grouped repair paid no refreshes")
+	}
+}
+
+func TestUnconstrainedSubscriptionNeverPays(t *testing.T) {
+	r := newRig(t, 3, continuous.Config{})
+	q := query.NewQuery("vals", aggregate.Max, "value") // R = +Inf
+	sub, err := r.e.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.clock.Advance(10000)
+	r.e.Settle()
+	cur, ok := sub.Current()
+	if !ok || !cur.Met {
+		t.Fatalf("unconstrained subscription unhappy: %+v", cur)
+	}
+	if got := r.net.Stats().Messages[netsim.QueryRefresh]; got != 0 {
+		t.Fatalf("unconstrained subscription paid %d refreshes", got)
+	}
+	if cur.Answer.Width() == 0 {
+		t.Fatal("bounds did not grow; test is vacuous")
+	}
+}
+
+func TestQuiescentViewIsSilent(t *testing.T) {
+	r := newRig(t, 3, continuous.Config{})
+	q := query.NewQuery("vals", aggregate.Sum, "value")
+	q.Within = 1000 // never violated in this test
+	sub, err := r.e.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := drain(sub); !ok {
+		t.Fatal("no initial update")
+	}
+	// An in-bound update (no push) and a settle produce no notification.
+	if err := r.src.SetValue(1, []float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	r.e.Settle()
+	if u, ok := drain(sub); ok {
+		t.Fatalf("unchanged answer notified: %+v", u)
+	}
+	st := sub.Stats()
+	if st.Notifications != 1 {
+		t.Fatalf("notifications = %d, want 1", st.Notifications)
+	}
+}
+
+func TestSubscriptionClose(t *testing.T) {
+	r := newRig(t, 2, continuous.Config{})
+	q := query.NewQuery("vals", aggregate.Sum, "value")
+	q.Within = math.Inf(1)
+	sub, err := r.e.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+	sub.Close() // idempotent
+	if _, ok := <-sub.Updates(); ok {
+		// drains the buffered initial update first; channel must then be
+		// closed
+		if _, ok := <-sub.Updates(); ok {
+			t.Fatal("channel still open after Close")
+		}
+	}
+	if m := r.e.Metrics(); m.Subscriptions != 0 || m.Views != 0 {
+		t.Fatalf("registration leaked: %+v", m)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	r := newRig(t, 2, continuous.Config{})
+	cases := []query.Query{
+		{Table: "missing", Agg: aggregate.Sum, Column: "value", Within: 1},
+		{Table: "vals", Agg: aggregate.Sum, Column: "nope", Within: 1},
+		{Table: "vals", Agg: aggregate.Sum, Column: "value", Within: -1},
+		{Table: "vals", Agg: aggregate.Sum, Column: "value", Within: 1, GroupBy: []string{"value"}}, // bounded group col
+		{Table: "vals", Agg: aggregate.Sum, Column: "value", Within: 1, GroupBy: []string{"nope"}},
+	}
+	for _, q := range cases {
+		if _, err := r.e.Subscribe(q); err == nil {
+			t.Errorf("Subscribe(%+v) accepted", q)
+		}
+	}
+}
+
+func TestDualMountKeepsBothTablesLive(t *testing.T) {
+	r := newRig(t, 2, continuous.Config{})
+	// The same cache mounted under a second table name must not detach
+	// the first mount's event stream (the cache has a single listener).
+	r.e.AddTable("vals2", r.c)
+	q := query.NewQuery("vals", aggregate.Sum, "value")
+	sub, err := r.e.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := drain(sub); !ok {
+		t.Fatal("no initial update")
+	}
+	if err := r.src.SetValue(1, []float64{75}); err != nil {
+		t.Fatal(err) // escapes the point bound → push event
+	}
+	r.e.Settle()
+	u, ok := drain(sub)
+	if !ok {
+		t.Fatal("first mount's subscription missed a push event after a second mount")
+	}
+	if want := 75.0 + 20; !u.Answer.Contains(want) {
+		t.Fatalf("answer %v does not contain %g", u.Answer, want)
+	}
+}

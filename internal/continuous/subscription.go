@@ -1,0 +1,214 @@
+package continuous
+
+import (
+	"trapp/internal/interval"
+	"trapp/internal/query"
+)
+
+// Update is one pushed notification: the subscription's maintained
+// bounded answer after a change. Updates fire only when the answer
+// interval actually moves or the constraint's met-status flips — a
+// quiescent standing query is silent.
+type Update struct {
+	// Seq numbers this subscription's updates from 1; coalescing can
+	// skip intermediate values but Seq never decreases.
+	Seq int64
+	// At is the logical clock tick at which the answer was computed.
+	At int64
+	// Answer is the bounded answer for scalar queries; for GROUP BY
+	// queries it is empty and Groups carries the per-group answers.
+	Answer interval.Interval
+	// Groups holds per-group answers for GROUP BY subscriptions, ordered
+	// by group key (as in ExecuteGroupBy). Treat as read-only.
+	Groups []GroupAnswer
+	// Met reports whether the precision constraint holds — for GROUP BY,
+	// whether it holds for every group. The engine restores violated
+	// constraints with shared refreshes, so a false Met is transient
+	// (visible only when a notification races the repair round).
+	Met bool
+}
+
+// GroupAnswer is one group's bounded answer in a GROUP BY subscription.
+type GroupAnswer struct {
+	// Key holds the group's values of the grouping columns.
+	Key []float64
+	// Answer is the group's maintained bounded answer.
+	Answer interval.Interval
+	// Met reports the group's constraint status.
+	Met bool
+}
+
+// Stats is a snapshot of a subscription's accounting.
+type Stats struct {
+	// Answer and Met mirror the latest computed update.
+	Answer interval.Interval
+	Met    bool
+	// Notifications counts updates pushed to the channel.
+	Notifications int64
+	// AttributedCost and AttributedRefreshes total the query-initiated
+	// refresh demand the subscription's view has placed on the shared
+	// scheduler (a shared refresh is attributed to every view that asked
+	// for it, so sums across views can exceed the network totals).
+	AttributedCost      float64
+	AttributedRefreshes int64
+}
+
+// Subscription is one registered standing query. Receive maintained
+// answers from Updates; the channel holds the latest pending update
+// (slow consumers observe coalesced state, never stale backlog).
+type Subscription struct {
+	e *Engine
+	v *view
+	q query.Query
+
+	ch     chan Update
+	closed bool
+	seq    int64
+	last   *Update
+
+	notifications int64
+}
+
+// Query returns the subscribed query.
+func (s *Subscription) Query() query.Query { return s.q }
+
+// Updates returns the notification channel. It is closed by Close (and
+// by Engine.Close).
+func (s *Subscription) Updates() <-chan Update { return s.ch }
+
+// Current returns the latest computed update (whether or not it was
+// consumed from the channel) and whether one exists yet.
+func (s *Subscription) Current() (Update, bool) {
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	if s.last == nil {
+		return Update{}, false
+	}
+	return *s.last, true
+}
+
+// Stats returns a snapshot of the subscription's accounting.
+func (s *Subscription) Stats() Stats {
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	st := Stats{
+		Notifications:       s.notifications,
+		AttributedCost:      s.v.attributedCost,
+		AttributedRefreshes: s.v.attributedRefreshes,
+	}
+	if s.last != nil {
+		st.Answer = s.last.Answer
+		st.Met = s.last.Met
+	}
+	return st
+}
+
+// Close unregisters the subscription and closes its channel. Closing an
+// already-closed subscription is a no-op.
+func (s *Subscription) Close() {
+	e := s.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.ch)
+	subs := s.v.subs[:0]
+	for _, other := range s.v.subs {
+		if other != s {
+			subs = append(subs, other)
+		}
+	}
+	s.v.subs = subs
+	if len(subs) == 0 {
+		if ts := e.tables[s.v.table]; ts != nil {
+			delete(ts.views, s.v.sig)
+		}
+	}
+	e.subCount.Add(-1)
+}
+
+// effR returns the subscription's effective absolute precision
+// constraint given the current answer: Within for absolute constraints,
+// the conservative §8.1 conversion for relative ones.
+func (s *Subscription) effR(ans interval.Interval) float64 {
+	if s.q.RelativeWithin > 0 {
+		return query.RelativeR(ans, s.q.RelativeWithin)
+	}
+	return s.q.Within
+}
+
+// met reports whether an answer honors the subscription's constraint.
+func (s *Subscription) met(ans interval.Interval) bool {
+	return query.Satisfies(ans, s.effR(ans))
+}
+
+// push delivers an update with coalescing: when the subscriber has not
+// drained the previous update, it is replaced by the newer one.
+func (s *Subscription) push(u Update) {
+	select {
+	case s.ch <- u:
+		return
+	default:
+	}
+	select {
+	case <-s.ch:
+	default:
+	}
+	select {
+	case s.ch <- u:
+	default:
+	}
+}
+
+// updateFor assembles the subscription's current update from its view.
+// Caller holds the engine lock.
+func (v *view) updateFor(s *Subscription, now int64) Update {
+	u := Update{At: now, Met: true}
+	if v.scalar() {
+		if g := v.groups[""]; g != nil {
+			u.Answer = g.answer
+			u.Met = s.met(g.answer)
+		}
+		return u
+	}
+	for _, g := range v.sortedGroups() {
+		met := s.met(g.answer)
+		if !met {
+			u.Met = false
+		}
+		u.Groups = append(u.Groups, GroupAnswer{
+			Key:    append([]float64(nil), g.vals...),
+			Answer: g.answer,
+			Met:    met,
+		})
+	}
+	return u
+}
+
+// sameUpdate reports whether two updates carry the same answer state
+// (ignoring Seq and At), used to suppress no-op notifications.
+func sameUpdate(a, b *Update) bool {
+	if a.Met != b.Met || !sameInterval(a.Answer, b.Answer) {
+		return false
+	}
+	if len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	for i := range a.Groups {
+		ga, gb := a.Groups[i], b.Groups[i]
+		if ga.Met != gb.Met || !sameInterval(ga.Answer, gb.Answer) {
+			return false
+		}
+		if len(ga.Key) != len(gb.Key) {
+			return false
+		}
+		for j := range ga.Key {
+			if ga.Key[j] != gb.Key[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

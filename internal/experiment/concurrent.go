@@ -34,19 +34,20 @@ import (
 // ConcurrentResult reports one closed-loop benchmark run.
 type ConcurrentResult struct {
 	// Clients is the number of closed-loop client goroutines.
-	Clients int
+	Clients int `json:"clients"`
 	// Queries is the total number of queries completed.
-	Queries int64
+	Queries int64 `json:"queries"`
 	// Elapsed is the wall-clock measurement window.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// QPS is Queries / Elapsed.
-	QPS float64
+	QPS float64 `json:"qps"`
 	// P50 and P99 are query latency percentiles across all clients.
-	P50, P99 time.Duration
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
 	// Refreshes and RefreshCost total the query-initiated refresh
 	// traffic paid during the window.
-	Refreshes   int64
-	RefreshCost float64
+	Refreshes   int64   `json:"refreshes"`
+	RefreshCost float64 `json:"refresh_cost"`
 }
 
 // concurrentSystem builds a System over a generated monitoring network:

@@ -1,0 +1,306 @@
+package experiment
+
+// E14 — push-based subscriptions vs a naive per-subscription poll loop.
+//
+// N standing queries (a handful of distinct dashboard shapes, precision
+// constraints varying per subscriber) watch one links table while every
+// link random-walks and the clock ticks once per round. Two executions
+// of the identical workload are compared:
+//
+//   - poll: each subscriber re-runs its query every round, exactly the
+//     pre-subscription Monitor.Poll strategy — an imprecise probe first,
+//     then the full three-step execution (paying for its own refresh
+//     plan) whenever the cached bounds have outgrown its constraint.
+//   - push: each subscriber registers once with the continuous engine;
+//     the engine maintains answers incrementally and repairs violated
+//     constraints with shared, margin-scaled refresh batches deduped
+//     across all subscriptions.
+//
+// Both executions deliver the same precision (every subscriber's
+// constraint is re-established every round; Unmet counts failures). The
+// headline metric is the total refresh network cost paid for that
+// precision.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/boundfn"
+	"trapp/internal/continuous"
+	"trapp/internal/netsim"
+	"trapp/internal/predicate"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+	"trapp/internal/source"
+	"trapp/internal/trapp"
+	"trapp/internal/workload"
+)
+
+// SubscriptionModeResult reports one mode of the E14 benchmark.
+type SubscriptionModeResult struct {
+	Mode        string `json:"mode"`
+	Subscribers int    `json:"subscribers"`
+	Rounds      int    `json:"rounds"`
+	// Deliveries counts answers delivered to subscribers: one per poll
+	// in poll mode, one per pushed notification in push mode (quiescent
+	// standing queries are silent, so push delivers far fewer for the
+	// same precision).
+	Deliveries       int64   `json:"deliveries"`
+	DeliveriesPerSec float64 `json:"deliveries_per_sec"`
+	// Unmet counts subscriber-rounds whose constraint was not
+	// re-established (0 in a correct run).
+	Unmet int64 `json:"unmet"`
+	// Refresh traffic paid during the run.
+	QueryRefreshes   int64   `json:"query_refreshes"`
+	QueryRefreshCost float64 `json:"query_refresh_cost"`
+	ValueRefreshes   int64   `json:"value_refreshes"`
+	ValueRefreshCost float64 `json:"value_refresh_cost"`
+	TotalRefreshCost float64 `json:"total_refresh_cost"`
+	// SharedRefreshes and Views are engine metrics (push mode only).
+	SharedRefreshes int64 `json:"shared_refreshes,omitempty"`
+	Views           int   `json:"views,omitempty"`
+	// RepairP50/RepairP99 are per-round constraint re-establishment
+	// latencies: the full subscriber sweep in poll mode, the engine
+	// settle in push mode.
+	RepairP50 time.Duration `json:"repair_p50_ns"`
+	RepairP99 time.Duration `json:"repair_p99_ns"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+}
+
+// SubscriptionsComparison pairs the two modes over the identical
+// workload.
+type SubscriptionsComparison struct {
+	Links       int                    `json:"links"`
+	Sources     int                    `json:"sources"`
+	Subscribers int                    `json:"subscribers"`
+	Rounds      int                    `json:"rounds"`
+	Seed        int64                  `json:"seed"`
+	Poll        SubscriptionModeResult `json:"poll"`
+	Push        SubscriptionModeResult `json:"push"`
+	// RefreshCostRatio is poll/push total refresh network cost — the
+	// headline shared-maintenance saving.
+	RefreshCostRatio float64 `json:"refresh_cost_ratio"`
+}
+
+// subscriptionQuery builds subscriber i's standing query: one of a few
+// distinct dashboard shapes (so subscribers share engine views), with
+// the precision constraint loosened per subscriber so views span
+// heterogeneous demands.
+func subscriptionQuery(i int, schema *relation.Schema) query.Query {
+	slack := []float64{1, 1.5, 2.5}[(i/8)%3]
+	var q query.Query
+	switch i % 8 {
+	case 0, 1:
+		q = query.NewQuery("links", aggregate.Sum, workload.ColLatency)
+		q.Within = 25 * slack
+	case 2:
+		q = query.NewQuery("links", aggregate.Avg, workload.ColTraffic)
+		q.Within = 8 * slack
+	case 3:
+		q = query.NewQuery("links", aggregate.Min, workload.ColBandwidth)
+		q.Within = 10 * slack
+	case 4:
+		q = query.NewQuery("links", aggregate.Max, workload.ColLatency)
+		q.Within = 6 * slack
+	case 5:
+		q = query.NewQuery("links", aggregate.Sum, workload.ColTraffic)
+		q.Within = 60 * slack
+	case 6:
+		q = query.NewQuery("links", aggregate.Sum, workload.ColLatency)
+		q.Within = 20 * slack
+		q.Where = predicate.NewCmp(
+			predicate.Column(schema.MustLookup(workload.ColTraffic), workload.ColTraffic),
+			predicate.Gt, predicate.Const(120))
+	default:
+		q = query.NewQuery("links", aggregate.Avg, workload.ColLatency)
+		q.Within = 4 * slack
+	}
+	return q
+}
+
+// UpdateFraction is the fraction of links receiving a random-walk step
+// each benchmark round. Dashboards demand precision every tick while the
+// underlying data drifts more slowly, so a round touches a sample of the
+// links, not all of them.
+var UpdateFraction = 0.02
+
+// subscriptionSystem builds the E14 links system: like concurrentSystem
+// but constructed here so the benchmark owns its width-policy choices.
+func subscriptionSystem(links, srcCount int, seed int64) (*trapp.System, *workload.Network, error) {
+	net, err := workload.NewNetwork(max(2, links/8), links, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := trapp.NewSystem(refresh.Options{})
+	c, err := sys.AddCache("monitor", workload.LinkSchema())
+	if err != nil {
+		return nil, nil, err
+	}
+	for si := 0; si < srcCount; si++ {
+		if _, err := sys.AddSource(fmt.Sprintf("s%d", si), nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i, l := range net.Links {
+		src := sys.Source(fmt.Sprintf("s%d", i%srcCount))
+		if err := src.AddObject(l.Key, l.Values(), l.Cost, boundfn.NewAdaptiveWidth(2)); err != nil {
+			return nil, nil, err
+		}
+		if err := c.Subscribe(src, l.Key, []float64{float64(l.From), float64(l.To)}); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := sys.Mount("links", c); err != nil {
+		return nil, nil, err
+	}
+	return sys, net, nil
+}
+
+// Subscriptions runs one mode ("poll" or "push") of the E14 benchmark.
+func Subscriptions(mode string, subscribers, links, srcCount, rounds int, seed int64) (SubscriptionModeResult, error) {
+	sys, net, err := subscriptionSystem(links, srcCount, seed)
+	if err != nil {
+		return SubscriptionModeResult{}, err
+	}
+	defer sys.Close()
+	schema := sys.MountedCache("links").Table().Schema()
+	queries := make([]query.Query, subscribers)
+	for i := range queries {
+		queries[i] = subscriptionQuery(i, schema)
+	}
+	srcs := make([]*source.Source, len(net.Links))
+	for i := range net.Links {
+		srcs[i] = sys.Source(fmt.Sprintf("s%d", i%srcCount))
+	}
+	// step applies one round of drift to a deterministic sample of the
+	// links; both modes replay the identical sequence.
+	updRng := rand.New(rand.NewSource(seed + 99))
+	pollOrder := rand.New(rand.NewSource(seed + 7))
+	perRound := int(UpdateFraction*float64(len(net.Links))) + 1
+	step := func() error {
+		for u := 0; u < perRound; u++ {
+			i := updRng.Intn(len(net.Links))
+			if err := srcs[i].SetValue(net.Links[i].Key, net.Links[i].Step()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	res := SubscriptionModeResult{Mode: mode, Subscribers: subscribers, Rounds: rounds}
+	before := sys.Stats()
+	mBefore := sys.SubscriptionMetrics()
+	repairs := make([]time.Duration, 0, rounds)
+	start := time.Now()
+
+	switch mode {
+	case "push":
+		subs := make([]*continuous.Subscription, subscribers)
+		for i, q := range queries {
+			s, err := sys.Subscribe(q)
+			if err != nil {
+				return res, err
+			}
+			subs[i] = s
+		}
+		for r := 0; r < rounds; r++ {
+			sys.Clock.Advance(1)
+			if err := step(); err != nil {
+				return res, err
+			}
+			t0 := time.Now()
+			sys.Settle()
+			repairs = append(repairs, time.Since(t0))
+			for _, s := range subs {
+				if cur, ok := s.Current(); !ok || !cur.Met {
+					res.Unmet++
+				}
+			}
+		}
+		m := sys.SubscriptionMetrics()
+		res.Deliveries = m.Notifications - mBefore.Notifications
+		res.SharedRefreshes = m.SharedRefreshes - mBefore.SharedRefreshes
+		res.Views = m.Views
+		for _, s := range subs {
+			s.Close()
+		}
+	case "poll":
+		for r := 0; r < rounds; r++ {
+			sys.Clock.Advance(1)
+			if err := step(); err != nil {
+				return res, err
+			}
+			t0 := time.Now()
+			for _, qi := range pollOrder.Perm(len(queries)) {
+				q := queries[qi]
+				// The pre-subscription Monitor.Poll strategy: free if
+				// cached bounds still satisfy the constraint, otherwise
+				// pay for this query's own refresh plan. Pollers are
+				// uncoordinated, so each round they arrive in arbitrary
+				// order — a loose constraint repaired first is repaired
+				// again (harder) when a stricter sibling polls later,
+				// the ratchet the shared scheduler's cross-subscription
+				// planning removes.
+				free, err := sys.ImpreciseMode(q)
+				if err != nil {
+					return res, err
+				}
+				res.Deliveries++
+				if !free.Answer.IsEmpty() && free.Answer.Width() <= q.Within+1e-9 {
+					continue
+				}
+				full, err := sys.Execute(q)
+				if err != nil {
+					return res, err
+				}
+				if !full.Met {
+					res.Unmet++
+				}
+			}
+			repairs = append(repairs, time.Since(t0))
+		}
+	default:
+		return res, fmt.Errorf("experiment: unknown subscription mode %q", mode)
+	}
+
+	res.Elapsed = time.Since(start)
+	after := sys.Stats()
+	res.QueryRefreshes = after.Messages[netsim.QueryRefresh] - before.Messages[netsim.QueryRefresh]
+	res.QueryRefreshCost = after.QueryRefreshCost - before.QueryRefreshCost
+	res.ValueRefreshes = after.Messages[netsim.ValueRefresh] - before.Messages[netsim.ValueRefresh]
+	res.ValueRefreshCost = after.ValueRefreshCost - before.ValueRefreshCost
+	res.TotalRefreshCost = res.QueryRefreshCost + res.ValueRefreshCost
+	res.DeliveriesPerSec = float64(res.Deliveries) / res.Elapsed.Seconds()
+	sort.Slice(repairs, func(a, b int) bool { return repairs[a] < repairs[b] })
+	if len(repairs) > 0 {
+		res.RepairP50 = repairs[len(repairs)/2]
+		i99 := len(repairs) * 99 / 100
+		if i99 >= len(repairs) {
+			i99 = len(repairs) - 1
+		}
+		res.RepairP99 = repairs[i99]
+	}
+	return res, nil
+}
+
+// SubscriptionsCompare runs both modes over the identical workload and
+// reports the refresh-cost ratio.
+func SubscriptionsCompare(subscribers, links, srcCount, rounds int, seed int64) (SubscriptionsComparison, error) {
+	cmp := SubscriptionsComparison{
+		Links: links, Sources: srcCount, Subscribers: subscribers, Rounds: rounds, Seed: seed,
+	}
+	var err error
+	if cmp.Poll, err = Subscriptions("poll", subscribers, links, srcCount, rounds, seed); err != nil {
+		return cmp, err
+	}
+	if cmp.Push, err = Subscriptions("push", subscribers, links, srcCount, rounds, seed); err != nil {
+		return cmp, err
+	}
+	if cmp.Push.TotalRefreshCost > 0 {
+		cmp.RefreshCostRatio = cmp.Poll.TotalRefreshCost / cmp.Push.TotalRefreshCost
+	}
+	return cmp, nil
+}

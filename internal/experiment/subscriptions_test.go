@@ -1,0 +1,29 @@
+package experiment
+
+import "testing"
+
+// TestSubscriptionsCompareQuick runs a scaled-down E14 and asserts the
+// two hard properties the benchmark's headline depends on: both modes
+// deliver the promised precision (no unmet subscriber-rounds), and the
+// push engine's shared incremental maintenance pays no more refresh
+// traffic than the naive per-subscription poll loop.
+func TestSubscriptionsCompareQuick(t *testing.T) {
+	cmp, err := SubscriptionsCompare(120, 60, 6, 15, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Poll.Unmet != 0 || cmp.Push.Unmet != 0 {
+		t.Fatalf("constraints not re-established: poll unmet=%d push unmet=%d",
+			cmp.Poll.Unmet, cmp.Push.Unmet)
+	}
+	if cmp.Poll.Deliveries != int64(120*15) {
+		t.Fatalf("poll deliveries = %d, want %d", cmp.Poll.Deliveries, 120*15)
+	}
+	if cmp.Push.TotalRefreshCost > cmp.Poll.TotalRefreshCost {
+		t.Fatalf("push cost %.0f exceeds poll cost %.0f",
+			cmp.Push.TotalRefreshCost, cmp.Poll.TotalRefreshCost)
+	}
+	if cmp.Push.SharedRefreshes == 0 {
+		t.Fatal("no refreshes were shared across subscriptions")
+	}
+}

@@ -9,6 +9,7 @@ package netsim
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 )
 
@@ -17,6 +18,9 @@ import (
 // safe for concurrent use.
 type Clock struct {
 	now atomic.Int64
+
+	lmu       sync.Mutex
+	listeners []func(now int64)
 }
 
 // NewClock returns a clock at time 0.
@@ -25,13 +29,31 @@ func NewClock() *Clock { return &Clock{} }
 // Now returns the current tick.
 func (c *Clock) Now() int64 { return c.now.Load() }
 
+// OnAdvance registers fn to be called after every Advance with the new
+// time. Listeners run synchronously on the advancing goroutine, outside
+// the clock's own lock, so they may read the clock but must return
+// quickly (the continuous-query engine uses one to mark tables
+// time-dirty and wake its maintainer).
+func (c *Clock) OnAdvance(fn func(now int64)) {
+	c.lmu.Lock()
+	c.listeners = append(c.listeners, fn)
+	c.lmu.Unlock()
+}
+
 // Advance moves the clock forward by d ticks (d ≤ 0 is ignored) and
 // returns the new time.
 func (c *Clock) Advance(d int64) int64 {
 	if d <= 0 {
 		return c.now.Load()
 	}
-	return c.now.Add(d)
+	now := c.now.Add(d)
+	c.lmu.Lock()
+	listeners := c.listeners
+	c.lmu.Unlock()
+	for _, fn := range listeners {
+		fn(now)
+	}
+	return now
 }
 
 // MsgKind classifies simulated messages.

@@ -213,7 +213,7 @@ func (proc *Processor) ExecuteIterative(q Query) (Result, error) {
 			res.Initial = res.Answer
 			first = false
 		}
-		if satisfies(res.Answer, q.Within) {
+		if Satisfies(res.Answer, q.Within) {
 			res.Met = true
 			return res, nil
 		}

@@ -245,7 +245,7 @@ func (p *Processor) Execute(q Query) (Result, error) {
 	e.lock.RUnlock()
 	res.Initial = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
 	res.Answer = res.Initial
-	if satisfies(res.Answer, q.Within) {
+	if Satisfies(res.Answer, q.Within) {
 		res.Met = true
 		return res, nil
 	}
@@ -311,7 +311,7 @@ func (p *Processor) Execute(q Query) (Result, error) {
 	e.lock.RLock()
 	res.Answer = aggregate.EvalParallel(t, col, q.Agg, q.Where, p.opts.Parallelism)
 	e.lock.RUnlock()
-	res.Met = satisfies(res.Answer, q.Within)
+	res.Met = Satisfies(res.Answer, q.Within)
 	return res, nil
 }
 
@@ -329,9 +329,12 @@ func fetchMaster(o Oracle, keys []int64) (map[int64][]float64, error) {
 	return vals, nil
 }
 
-// satisfies reports whether a bounded answer meets the constraint. An
-// empty answer (exactly undefined aggregate) is trivially precise.
-func satisfies(a interval.Interval, r float64) bool {
+// Satisfies reports whether a bounded answer meets an absolute precision
+// constraint R (with a float tolerance). An empty answer (exactly
+// undefined aggregate) is trivially precise. The continuous-query engine
+// uses it to decide, per subscription, whether a maintained answer still
+// honors its standing constraint.
+func Satisfies(a interval.Interval, r float64) bool {
 	if a.IsEmpty() {
 		return true
 	}

@@ -319,6 +319,25 @@ func (s *Source) QueryRefreshBatch(keys []int64, sub Subscriber) ([]Refresh, err
 	return out, nil
 }
 
+// ObserveDemand forwards shared-refresh demand to the object's width
+// policy: one paid query-initiated refresh of key just satisfied
+// subscribers standing queries at once (see boundfn.DemandObserver).
+// Policies that do not implement DemandObserver ignore the signal.
+func (s *Source) ObserveDemand(key int64, subscribers int) {
+	if subscribers < 2 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[key]
+	if !ok {
+		return
+	}
+	if d, ok := o.policy.(boundfn.DemandObserver); ok {
+		d.ObserveDemand(subscribers)
+	}
+}
+
 // CheckBounds runs the refresh monitor sweep at the current time without a
 // value change: as time advances, √T bounds only widen, so this cannot
 // fire for values already inside their bounds; it exists so simulations

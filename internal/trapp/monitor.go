@@ -4,71 +4,106 @@ import (
 	"fmt"
 	"math"
 
+	"trapp/internal/continuous"
 	"trapp/internal/interval"
 	"trapp/internal/query"
 )
 
-// Monitor is a continuous (standing) bounded query, the execution model
-// behind the paper's section 8.1 visualization discussion: a precision
-// constraint is "formulated in the visual domain and upheld by TRAPP" as
-// the underlying data evolves. Each Poll re-establishes the constraint as
-// cheaply as possible: if the current cached bounds still satisfy it —
-// the common case, since value-initiated refreshes keep bounds honest —
-// the poll is free; only when time growth or updates have widened the
-// answer beyond R does the monitor pay for query-initiated refreshes.
+// Monitor is the poll-style adapter over the push-based continuous-query
+// engine, kept for clients that want the paper's §8.1 standing-query
+// model with a synchronous API: each Poll settles the engine and reports
+// the maintained answer plus the refresh cost the engine paid on the
+// query's behalf since the previous poll. The engine maintains the
+// answer incrementally between polls (reacting to pushes and clock
+// ticks), so a poll whose constraint is still satisfied is free; only
+// when growth or updates violated the constraint has the shared
+// scheduler paid for refreshes — deduped with every other subscription's
+// demand.
+//
+// New code should use System.Subscribe directly and receive push
+// notifications; Subscribe also supports GROUP BY standing queries,
+// which have no scalar poll representation and are therefore rejected
+// here.
 type Monitor struct {
 	sys *System
-	q   query.Query
+	sub *continuous.Subscription
 
 	// Answer is the latest bounded answer.
 	Answer interval.Interval
-	// Polls counts Poll calls; FreePolls counts those answered from cache
-	// without any refresh.
+	// Polls counts Poll calls; FreePolls counts those for which the
+	// engine paid no refresh cost since the previous poll.
 	Polls, FreePolls int
-	// TotalCost accumulates the refresh cost paid across polls.
+	// TotalCost accumulates the refresh cost attributed to this standing
+	// query across polls. A refresh shared with other subscriptions is
+	// attributed to each, so the sum over monitors can exceed the
+	// network's paid total — the saving of shared scheduling.
 	TotalCost float64
+
+	lastCost      float64
+	lastRefreshed int64
 }
 
-// NewMonitor registers a standing query. The query must have a finite
-// precision constraint — an unconstrained continuous query never needs a
-// monitor — and must target a mounted table.
+// NewMonitor registers a scalar standing query. The query must have a
+// finite precision constraint — an unconstrained continuous query never
+// needs a monitor — and must target a mounted table. GROUP BY standing
+// queries are supported by System.Subscribe, whose per-group answers
+// cannot be flattened into a Poll result.
+//
+// Unlike the pre-engine Monitor, which was inert between polls, a
+// monitor now holds a live engine subscription: its constraint is
+// maintained (and refreshes are paid for) even while nobody polls.
+// Call Close on monitors that are no longer needed, or the engine will
+// keep their constraints repaired forever.
 func (s *System) NewMonitor(q query.Query) (*Monitor, error) {
 	if math.IsInf(q.Within, 1) && q.RelativeWithin == 0 {
 		return nil, fmt.Errorf("trapp: continuous query needs a finite precision constraint")
 	}
 	if len(q.GroupBy) > 0 {
-		return nil, fmt.Errorf("trapp: continuous GROUP BY queries are not supported")
+		return nil, fmt.Errorf("trapp: GROUP BY standing queries are push-only; use System.Subscribe")
 	}
 	if s.MountedCache(q.Table) == nil {
 		return nil, fmt.Errorf("trapp: table %q not mounted", q.Table)
 	}
-	return &Monitor{sys: s, q: q}, nil
+	sub, err := s.Subscribe(q)
+	if err != nil {
+		return nil, err
+	}
+	// The subscription may have joined a pre-existing shared view whose
+	// attributed counters already carry other subscribers' history;
+	// polls must report only what was paid after this monitor existed.
+	st := sub.Stats()
+	return &Monitor{
+		sys:           s,
+		sub:           sub,
+		lastCost:      st.AttributedCost,
+		lastRefreshed: st.AttributedRefreshes,
+	}, nil
 }
 
-// Poll refreshes the standing answer. It first checks whether the cached
-// bounds alone still satisfy the constraint (free); otherwise it runs the
-// full three-step execution and pays for the necessary refreshes.
+// Poll settles the engine and reports the maintained standing answer.
+// Result.RefreshCost and Result.Refreshed carry the refresh traffic the
+// engine attributed to this query since the previous poll (zero for the
+// common free poll, where cached bounds still satisfy the constraint).
 func (m *Monitor) Poll() (query.Result, error) {
 	m.Polls++
-	free, err := m.sys.ImpreciseMode(m.q)
-	if err != nil {
-		return free, err
-	}
-	within := m.q.Within
-	if m.q.RelativeWithin > 0 {
-		within = query.RelativeR(free.Answer, m.q.RelativeWithin)
-	}
-	if free.Answer.IsEmpty() || free.Answer.Width() <= within+1e-9 {
+	m.sys.Settle()
+	st := m.sub.Stats()
+	paid := st.AttributedCost - m.lastCost
+	refreshed := st.AttributedRefreshes - m.lastRefreshed
+	m.lastCost, m.lastRefreshed = st.AttributedCost, st.AttributedRefreshes
+	if paid == 0 {
 		m.FreePolls++
-		m.Answer = free.Answer
-		free.Met = true
-		return free, nil
 	}
-	res, err := m.sys.Execute(m.q)
-	if err != nil {
-		return res, err
-	}
-	m.Answer = res.Answer
-	m.TotalCost += res.RefreshCost
-	return res, nil
+	m.TotalCost += paid
+	m.Answer = st.Answer
+	return query.Result{
+		Answer:      st.Answer,
+		Initial:     st.Answer,
+		Refreshed:   int(refreshed),
+		RefreshCost: paid,
+		Met:         st.Met,
+	}, nil
 }
+
+// Close unregisters the standing query from the engine.
+func (m *Monitor) Close() { m.sub.Close() }

@@ -41,9 +41,19 @@ func TestMonitorValidation(t *testing.T) {
 	}
 	q.Within = 5
 	q.GroupBy = []string{"from"}
+	// GROUP BY standing queries have no scalar Poll representation; the
+	// monitor redirects to the push API, which supports them.
 	if _, err := sys.NewMonitor(q); err == nil {
 		t.Error("GROUP BY monitor accepted")
 	}
+	sub, err := sys.Subscribe(q)
+	if err != nil {
+		t.Fatalf("GROUP BY subscription rejected: %v", err)
+	}
+	if cur, ok := sub.Current(); !ok || len(cur.Groups) == 0 {
+		t.Errorf("GROUP BY subscription has no per-group answers: %+v", cur)
+	}
+	sub.Close()
 	q.GroupBy = nil
 	q.Table = "missing"
 	if _, err := sys.NewMonitor(q); err == nil {
@@ -166,5 +176,36 @@ func TestMonitorRelativeConstraint(t *testing.T) {
 	trueSum := 98.0 + 116 + 105 + 127 + 95 + 103
 	if m.Answer.Width() > 2*trueSum*0.05+1e-6 {
 		t.Errorf("width %g exceeds relative guarantee", m.Answer.Width())
+	}
+}
+
+func TestMonitorSharedViewCostAttribution(t *testing.T) {
+	sys := monitorSystem(t)
+	q := query.NewQuery("links", aggregate.Sum, workload.ColLatency)
+	q.Within = 2
+	a, err := sys.NewMonitor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Clock.Advance(400)
+	if _, err := a.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCost == 0 {
+		t.Fatal("first monitor paid nothing; test is vacuous")
+	}
+	// A second monitor with the same query shape shares the engine view;
+	// it must not inherit the view's pre-existing attributed cost.
+	b, err := sys.NewMonitor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RefreshCost != 0 || res.Refreshed != 0 || b.TotalCost != 0 || b.FreePolls != 1 {
+		t.Errorf("second monitor inherited history: res=%+v TotalCost=%g FreePolls=%d",
+			res, b.TotalCost, b.FreePolls)
 	}
 }

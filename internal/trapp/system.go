@@ -20,6 +20,7 @@ import (
 	"trapp/internal/aggregate"
 	"trapp/internal/boundfn"
 	"trapp/internal/cache"
+	"trapp/internal/continuous"
 	"trapp/internal/netsim"
 	"trapp/internal/predicate"
 	"trapp/internal/query"
@@ -41,17 +42,20 @@ type System struct {
 	caches  map[string]*cache.Cache
 	tables  map[string]*cache.Cache // query table name → backing cache
 	proc    *query.Processor
+	engine  *continuous.Engine
 }
 
 // NewSystem creates an empty system with the given refresh options.
 func NewSystem(opts refresh.Options) *System {
+	clock := netsim.NewClock()
 	return &System{
-		Clock:   netsim.NewClock(),
+		Clock:   clock,
 		Net:     netsim.NewNetwork(),
 		sources: make(map[string]*source.Source),
 		caches:  make(map[string]*cache.Cache),
 		tables:  make(map[string]*cache.Cache),
 		proc:    query.NewProcessor(opts),
+		engine:  continuous.NewEngine(clock, continuous.Config{Options: opts}),
 	}
 }
 
@@ -113,8 +117,35 @@ func (s *System) Mount(tableName string, c *cache.Cache) error {
 	}
 	s.tables[tableName] = c
 	s.proc.RegisterShared(tableName, c.Table(), c, c.TableLock())
+	s.engine.AddTable(tableName, c)
 	return nil
 }
+
+// Subscribe registers a push-based standing query with the continuous
+// engine: the bounded answer is maintained incrementally as sources
+// push, queries refresh, and the clock advances, and notifications are
+// delivered on the subscription's channel whenever the answer moves or
+// the constraint's status changes. Violated constraints are repaired by
+// the shared refresh scheduler, which dedupes refresh demand across all
+// live subscriptions. GROUP BY queries maintain one answer per group.
+func (s *System) Subscribe(q query.Query) (*continuous.Subscription, error) {
+	return s.engine.Subscribe(q)
+}
+
+// Settle synchronously drains the continuous engine's pending events:
+// after it returns, every subscription reflects the current cache state
+// and violated constraints have been repaired. The engine's maintainer
+// goroutine does the same work in the background; Settle exists for
+// deterministic observation points (benchmarks, tests, Monitor.Poll).
+func (s *System) Settle() { s.engine.Settle() }
+
+// SubscriptionMetrics returns a snapshot of the continuous engine's
+// counters (rounds, notifications, shared refresh traffic).
+func (s *System) SubscriptionMetrics() continuous.Metrics { return s.engine.Metrics() }
+
+// Close shuts down the continuous engine, closing all subscription
+// channels. The request/response query path remains usable.
+func (s *System) Close() { s.engine.Close() }
 
 // Execute synchronizes the backing cache's bounds to the current time and
 // runs the three-step bounded query execution.

@@ -39,6 +39,7 @@ import (
 	"trapp/internal/aggregate"
 	"trapp/internal/boundfn"
 	"trapp/internal/cache"
+	"trapp/internal/continuous"
 	"trapp/internal/interval"
 	"trapp/internal/netsim"
 	"trapp/internal/predicate"
@@ -197,11 +198,33 @@ type (
 
 // Monitor is a continuous bounded query whose precision constraint is
 // re-established on every Poll, paying for refreshes only when cached
-// bounds have grown past the constraint (§8.1).
+// bounds have grown past the constraint (§8.1). It is a poll-style
+// adapter over the push-based subscription engine; new code should use
+// System.Subscribe.
 type Monitor = itrapp.Monitor
+
+// Subscription is a push-based standing query registered with
+// System.Subscribe: the engine maintains its bounded answer
+// incrementally and delivers Updates when the answer moves or the
+// precision constraint's status changes.
+type Subscription = continuous.Subscription
+
+// Update is one pushed notification from a Subscription.
+type Update = continuous.Update
+
+// SubscriptionStats is a snapshot of one subscription's accounting.
+type SubscriptionStats = continuous.Stats
+
+// SubscriptionMetrics snapshots the continuous engine's counters
+// (maintenance rounds, notifications, shared refresh traffic).
+type SubscriptionMetrics = continuous.Metrics
 
 // GroupRow is one group's result in a GROUP BY query (§8.1 extension).
 type GroupRow = query.GroupRow
+
+// GroupAnswer is one group's maintained answer in a GROUP BY
+// subscription.
+type GroupAnswer = continuous.GroupAnswer
 
 // Processor executes bounded queries over directly registered tables,
 // without the source/cache architecture — useful for embedding TRAPP/AG
