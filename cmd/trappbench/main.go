@@ -12,15 +12,21 @@
 //	trappbench -experiment join      # E9: join refresh planners
 //	trappbench -experiment all       # everything
 //	trappbench -concurrency 8        # E13: closed-loop multi-client throughput
+//	trappbench -updaters 4           # E15: mixed read/write throughput (open-loop pushes)
 //	trappbench -subscribers 1000     # E14: push subscriptions vs naive poll loop
 //
 // Flags -n, -seed, -reps control workload size, reproducibility, and
 // timing repetitions. The concurrent benchmark additionally honors
-// -duration (measurement window) and compares against a single-client
-// run when -concurrency > 1; the subscription benchmark honors -rounds.
+// -duration (measurement window), -warmup (excluded from measurement so
+// adaptive widths converge first), and compares against a single-client
+// run when -concurrency > 1; the mixed mode honors -pushrate (aggregate
+// open-loop pushes/second; 0 = closed-loop) and runs a read-mostly row
+// first for contrast; the subscription benchmark honors -rounds.
 // -json <path> additionally writes the machine-readable results of the
 // concurrent and subscription benchmarks (QPS, latency percentiles,
-// refresh traffic) for BENCH_*.json perf-trajectory files.
+// refresh traffic) for BENCH_*.json perf-trajectory files
+// (BENCH_sharding.json combines a pre-shard baseline run with the
+// sharded engine's run of the same E15 workload).
 package main
 
 import (
@@ -50,7 +56,10 @@ func main() {
 	seed := flag.Int64("seed", experiment.DefaultSeed, "workload seed")
 	reps := flag.Int("reps", 25, "timing repetitions per point")
 	concurrency := flag.Int("concurrency", 8, "client goroutines for the concurrent benchmark")
+	updaters := flag.Int("updaters", 0, "updater goroutines for the mixed read/write concurrent benchmark (0: legacy background sweeper)")
+	pushRate := flag.Float64("pushrate", 250000, "aggregate open-loop push rate for the mixed benchmark, pushes/sec (0: closed-loop)")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window for the concurrent benchmark")
+	warmup := flag.Duration("warmup", time.Second, "warmup before the concurrent benchmark's measurement window")
 	subscribers := flag.Int("subscribers", 1000, "standing queries for the subscription benchmark")
 	rounds := flag.Int("rounds", 60, "update/tick rounds for the subscription benchmark")
 	jsonPath := flag.String("json", "", "write machine-readable results (concurrent + subscription benchmarks) to this file")
@@ -64,13 +73,13 @@ func main() {
 		switch {
 		case explicit["subscribers"] || explicit["rounds"]:
 			*exp = "subscriptions"
-		case explicit["concurrency"]:
+		case explicit["concurrency"] || explicit["updaters"]:
 			*exp = "concurrent"
 		}
 	}
 
 	runners := map[string]func(){
-		"concurrent":    func() { concurrent(*concurrency, *n, *seed, *duration) },
+		"concurrent":    func() { concurrent(*concurrency, *updaters, *n, *seed, *duration, *warmup, *pushRate) },
 		"subscriptions": func() { subscriptions(*subscribers, *n, *seed, *rounds) },
 		"fig5":          func() { fig5(*n, *seed, *reps) },
 		"fig6":          func() { fig6(*n, *seed) },
@@ -271,18 +280,28 @@ func medians(n int, seed int64) {
 	experiment.WriteTable(os.Stdout, []string{"R", "initial-width", "refreshed", "cost"}, cells)
 }
 
-func concurrent(clients, n int, seed int64, duration time.Duration) {
+func concurrent(clients, updaters, n int, seed int64, duration, warmup time.Duration, pushRate float64) {
 	const sources = 8
-	fmt.Printf("E13 — closed-loop concurrent throughput (links=%d, sources=%d, window=%v)\n",
-		n, sources, duration)
-	runs := []int{clients}
-	if clients > 1 {
-		runs = []int{1, clients} // baseline first so the speedup is visible
+	type run struct{ clients, updaters int }
+	var runs []run
+	if updaters > 0 {
+		// Mixed read/write mode: the read-mostly run first so the cost of
+		// concurrent source pushes is visible in the same table.
+		fmt.Printf("E15 — mixed read/write throughput (links=%d, sources=%d, updaters=%d, push-rate=%.0f/s, window=%v)\n",
+			n, sources, updaters, pushRate, duration)
+		runs = []run{{clients, 0}, {clients, updaters}}
+	} else {
+		fmt.Printf("E13 — closed-loop concurrent throughput (links=%d, sources=%d, window=%v)\n",
+			n, sources, duration)
+		runs = []run{{clients, 0}}
+		if clients > 1 {
+			runs = []run{{1, 0}, {clients, 0}} // baseline first so the speedup is visible
+		}
 	}
 	var cells [][]string
 	var qps []float64
-	for _, cl := range runs {
-		res, err := experiment.Concurrent(cl, n, sources, seed, duration)
+	for _, r := range runs {
+		res, err := experiment.ConcurrentWarm(r.clients, r.updaters, n, sources, seed, duration, warmup, pushRate)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "concurrent benchmark: %v\n", err)
 			os.Exit(1)
@@ -291,8 +310,10 @@ func concurrent(clients, n int, seed int64, duration time.Duration) {
 		out.Concurrent = append(out.Concurrent, res)
 		cells = append(cells, []string{
 			fmt.Sprintf("%d", res.Clients),
+			fmt.Sprintf("%d", res.Updaters),
 			fmt.Sprintf("%d", res.Queries),
 			fmt.Sprintf("%.0f", res.QPS),
+			fmt.Sprintf("%.0f", res.PushRate),
 			res.P50.Round(time.Microsecond).String(),
 			res.P99.Round(time.Microsecond).String(),
 			fmt.Sprintf("%d", res.Refreshes),
@@ -300,8 +321,8 @@ func concurrent(clients, n int, seed int64, duration time.Duration) {
 		})
 	}
 	experiment.WriteTable(os.Stdout,
-		[]string{"clients", "queries", "qps", "p50", "p99", "refreshes", "refresh-cost"}, cells)
-	if len(qps) == 2 {
+		[]string{"clients", "updaters", "queries", "qps", "pushes/s", "p50", "p99", "refreshes", "refresh-cost"}, cells)
+	if len(qps) == 2 && updaters == 0 {
 		fmt.Printf("speedup: %.2fx aggregate QPS at %d clients vs 1\n", qps[1]/qps[0], clients)
 	}
 }

@@ -128,7 +128,7 @@ func runQuery(sys *trapp.System, line string) {
 		return
 	}
 	elapsed := time.Since(start)
-	n := sys.MountedCache(q.Table).Table().Len()
+	n := sys.MountedCache(q.Table).Len()
 	fmt.Printf("answer %v  refreshed %d/%d tuples (cost %.0f)  in %s\n",
 		res.Answer, res.Refreshed, n, res.RefreshCost, elapsed.Round(time.Microsecond))
 	if !res.Met {

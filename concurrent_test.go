@@ -27,6 +27,7 @@ import (
 	"testing"
 
 	"trapp"
+	"trapp/internal/relation"
 )
 
 const (
@@ -256,6 +257,226 @@ func TestConcurrentExecuteSoundness(t *testing.T) {
 	if st.QueryRefreshCost < 0 || st.ValueRefreshCost < 0 {
 		t.Errorf("negative refresh costs: %+v", st)
 	}
+}
+
+// --- Hot-shard stress test ------------------------------------------------
+//
+// All updaters hammer keys that hash to ONE store shard while query
+// clients run the usual mixed workload over the whole table plus a
+// cold-only selection (an exact-column predicate matching only keys on
+// other shards), and a standing SUM subscription validates every pushed
+// update. Under -race this exercises the worst case for per-shard
+// locking — a single write-hot shard — and asserts that envelope
+// soundness holds and that queries not needing the hot shard's refreshes
+// still complete their full quota.
+
+// hotShardKeys partitions candidate keys by whether they hash to the
+// same store shard as anchor, using a probe store with the same (default)
+// shard count as the system cache.
+func hotShardKeys(schema *trapp.Schema, anchor int64, nHot, nCold int) (hot, cold []int64) {
+	probe := relation.NewStore(schema, 0)
+	target := probe.ShardOf(anchor)
+	for key := anchor; len(hot) < nHot || len(cold) < nCold; key++ {
+		if probe.ShardOf(key) == target {
+			if len(hot) < nHot {
+				hot = append(hot, key)
+			}
+		} else if len(cold) < nCold {
+			cold = append(cold, key)
+		}
+	}
+	return hot, cold
+}
+
+func TestConcurrentHotShardSoundness(t *testing.T) {
+	const (
+		hotN, coldN = 24, 48
+		hotUpdaters = 4
+		hotUpdates  = 1200
+		hotClients  = 8
+		hotQueries  = 120
+		coldGroup   = 1.0
+	)
+	sys := trapp.NewSystem(trapp.Options{})
+	schema := trapp.NewSchema(
+		trapp.Column{Name: "grp", Kind: trapp.Exact},
+		trapp.Column{Name: "value", Kind: trapp.Bounded},
+	)
+	c, err := sys.AddCache("monitor", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := hotShardKeys(schema, 1, hotN, coldN)
+	// Sanity: the scenario is only meaningful with a truly hot shard.
+	if c.Store().NumShards() < 2 {
+		t.Skip("default store is unsharded")
+	}
+	if want := c.Store().ShardOf(hot[0]); c.Store().ShardOf(hot[len(hot)-1]) != want {
+		t.Fatal("hot keys spread over several shards")
+	}
+	subscribe := func(keys []int64, grp float64, srcName string) {
+		src, err := sys.AddSource(srcName, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range keys {
+			cost := float64(1 + key%5)
+			if err := src.AddObject(key, []float64{stressBase(key)}, cost,
+				trapp.NewAdaptiveWidth(stressWidth)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Subscribe(src, key, []float64{grp}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	subscribe(hot[:hotN/2], 0, "hot0")
+	subscribe(hot[hotN/2:], 0, "hot1")
+	subscribe(cold[:coldN/2], coldGroup, "cold0")
+	subscribe(cold[coldN/2:], coldGroup, "cold1")
+	if err := sys.Mount("vals", c); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	all := append(append([]int64(nil), hot...), cold...)
+
+	// Standing SUM subscription over the whole table: every delivered
+	// update must intersect the achievable envelope.
+	subQ := trapp.NewQuery("vals", trapp.Sum, "value")
+	subQ.Within = 4 * stressD * float64(len(all))
+	sub, err := sys.Subscribe(subQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drainer sync.WaitGroup
+	drainer.Add(1)
+	go func() {
+		defer drainer.Done()
+		env := envelope(trapp.Sum, all)
+		for u := range sub.Updates() {
+			if u.Answer.Intersect(env).IsEmpty() {
+				t.Errorf("subscription answer %v misses envelope %v", u.Answer, env)
+				return
+			}
+		}
+	}()
+
+	srcOf := func(key int64) *trapp.Source {
+		for _, name := range []string{"hot0", "hot1"} {
+			src := sys.Source(name)
+			if _, ok := src.Values(key); ok {
+				return src
+			}
+		}
+		t.Fatalf("no source owns hot key %d", key)
+		return nil
+	}
+	// Updaters: ALL of them hammer only hot-shard keys.
+	var updaters sync.WaitGroup
+	for u := 0; u < hotUpdaters; u++ {
+		updaters.Add(1)
+		go func(seed int64) {
+			defer updaters.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < hotUpdates; i++ {
+				key := hot[rng.Intn(len(hot))]
+				v := stressBase(key) + (rng.Float64()*2-1)*stressD
+				if err := srcOf(key).SetValue(key, []float64{v}); err != nil {
+					t.Errorf("SetValue(%d): %v", key, err)
+					return
+				}
+				if i%60 == 59 {
+					sys.Clock.Advance(1)
+				}
+			}
+		}(int64(u) + 31)
+	}
+
+	// Clients: mixed whole-table queries plus cold-only selections; count
+	// completions so starvation (a query stuck behind the hot shard)
+	// fails the test rather than hanging it.
+	coldPred := trapp.NewCmp(trapp.PredColumn(0, "grp"), trapp.Eq, trapp.PredConst(coldGroup))
+	aggs := []trapp.Func{trapp.Sum, trapp.Avg, trapp.Min, trapp.Max, trapp.Count}
+	var completedCold, completedAll int64
+	var cmu sync.Mutex
+	var clients sync.WaitGroup
+	for cl := 0; cl < hotClients; cl++ {
+		clients.Add(1)
+		go func(seed int64) {
+			defer clients.Done()
+			rng := rand.New(rand.NewSource(seed))
+			nCold, nAll := int64(0), int64(0)
+			for i := 0; i < hotQueries; i++ {
+				agg := aggs[rng.Intn(len(aggs))]
+				q := trapp.NewQuery("vals", agg, "value")
+				coldOnly := i%2 == 0
+				if coldOnly {
+					q.Where = coldPred
+				}
+				q.Within = []float64{20, 80}[rng.Intn(2)]
+				res, err := sys.Execute(q)
+				if err != nil {
+					t.Errorf("query %v: %v", q, err)
+					return
+				}
+				keys := all
+				if coldOnly {
+					keys = cold
+					nCold++
+				} else {
+					nAll++
+				}
+				env := envelope(agg, keys)
+				if res.Answer.IsEmpty() || res.Answer.Intersect(env).IsEmpty() {
+					t.Errorf("query %v: answer %v misses envelope %v", q, res.Answer, env)
+					return
+				}
+			}
+			cmu.Lock()
+			completedCold += nCold
+			completedAll += nAll
+			cmu.Unlock()
+		}(int64(cl) + 900)
+	}
+
+	updaters.Wait()
+	clients.Wait()
+	if want := int64(hotClients * hotQueries / 2); completedCold != want || completedAll != want {
+		t.Errorf("completed %d cold-only and %d whole-table queries, want %d each",
+			completedCold, completedAll, want)
+	}
+
+	// Quiescent phase: containment of the true aggregate, per key subset.
+	sys.Clock.Advance(1)
+	sys.Settle()
+	truth := func(keys []int64) float64 {
+		var sum float64
+		for _, key := range keys {
+			var v []float64
+			var ok bool
+			for _, name := range []string{"hot0", "hot1", "cold0", "cold1"} {
+				if v, ok = sys.Source(name).Values(key); ok {
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("lost key %d", key)
+			}
+			sum += v[0]
+		}
+		return sum
+	}
+	q := trapp.NewQuery("vals", trapp.Sum, "value")
+	q.Within = 10
+	res, err := sys.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || !res.Answer.Expand(stressRefreshEps).Contains(truth(all)) {
+		t.Errorf("quiescent SUM %v (met=%v) does not contain true %g", res.Answer, res.Met, truth(all))
+	}
+	sub.Close()
+	drainer.Wait()
 }
 
 // --- Subscription stress test ---------------------------------------------

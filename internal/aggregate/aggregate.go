@@ -10,6 +10,7 @@ package aggregate
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"trapp/internal/interval"
@@ -86,85 +87,158 @@ type Input struct {
 	Class predicate.Class
 }
 
-// Collect classifies the table's tuples against the predicate and returns
-// the T+ and T? tuples' inputs for aggregation over column col. T− tuples
-// are omitted: they contribute to no aggregate. When shrink is true the
-// Appendix D refinement is applied: T? bounds are intersected with the
-// predicate's restriction on the aggregation column. Tuples whose shrunk
-// bound would be empty are reclassified as T− (their bound cannot satisfy
-// the predicate's restriction on the aggregation column).
-func Collect(t *relation.Table, col int, p predicate.Expr, shrink bool) []Input {
-	return CollectParallel(t, col, p, shrink, 1)
+// collector holds the predicate classification state shared by the flat
+// and sharded scans.
+type collector struct {
+	col     int
+	p       predicate.Expr
+	trivial bool
+	restr   interval.Interval
 }
 
-// ParallelThreshold is the table size below which CollectParallel always
-// scans serially: classifying a tuple is tens of nanoseconds, so fanning
-// out goroutines only pays off for tables well beyond this many rows.
-const ParallelThreshold = 4096
+// newCollector prepares classification over column col under predicate p;
+// shrink enables the Appendix D refinement.
+func newCollector(col int, p predicate.Expr, shrink bool) collector {
+	c := collector{col: col, p: p, trivial: predicate.IsTrivial(p), restr: interval.Unbounded}
+	if shrink && !c.trivial {
+		c.restr = predicate.Restriction(p, col)
+	}
+	return c
+}
 
-// CollectParallel is Collect with the classification scan split across
-// up to workers goroutines (0 means GOMAXPROCS, 1 forces the serial
-// path). Tuple order is preserved, so the result is identical to the
-// serial Collect. The caller must hold the table's read lock (or own the
-// table) for the duration of the call.
-func CollectParallel(t *relation.Table, col int, p predicate.Expr, shrink bool, workers int) []Input {
-	trivial := predicate.IsTrivial(p)
-	var restr interval.Interval
-	if shrink && !trivial {
-		restr = predicate.Restriction(p, col)
-	} else {
-		restr = interval.Unbounded
+// scan appends the T+ and T? inputs of t's tuples to out, with Index set
+// to each tuple's position in t.
+func (c collector) scan(t *relation.Table, out []Input) []Input {
+	for i := 0; i < t.Len(); i++ {
+		tu := t.At(i)
+		cls := predicate.Plus
+		if !c.trivial {
+			cls = predicate.ClassifyTuple(c.p, tu)
+		}
+		if cls == predicate.Minus {
+			continue
+		}
+		b := tu.Bounds[c.col]
+		if cls == predicate.Maybe {
+			s := b.Intersect(c.restr)
+			if s.IsEmpty() {
+				continue // cannot satisfy the restriction: effectively T−
+			}
+			b = s
+		}
+		out = append(out, Input{
+			Index: i,
+			Key:   tu.Key,
+			Bound: b,
+			Cost:  tu.Cost,
+			Class: cls,
+		})
 	}
-	n := t.Len()
-	if n < ParallelThreshold {
-		workers = 1
+	return out
+}
+
+// sortCanonical orders inputs into the canonical order (see
+// relation.CanonicalLess). Keys are unique, so the order — and therefore
+// every order-sensitive fold over the inputs (floating-point summation,
+// cost-tie breaking in CHOOSE_REFRESH) — is fully determined by the
+// tuple set, independent of physical layout. This is what makes answers
+// over any store or table bit-identical to answers over any other layout
+// holding the same tuples. The already-sorted pre-check keeps the call
+// linear for scans that emit canonical order natively (default-sharded
+// stores).
+func sortCanonical(inputs []Input) {
+	sorted := true
+	for i := 1; i < len(inputs); i++ {
+		if relation.CanonicalLess(inputs[i].Key, inputs[i-1].Key) {
+			sorted = false
+			break
+		}
 	}
-	collectRange := func(lo, hi int, out []Input) []Input {
-		for i := lo; i < hi; i++ {
-			tu := t.At(i)
-			cls := predicate.Plus
-			if !trivial {
-				cls = predicate.ClassifyTuple(p, tu)
-			}
-			if cls == predicate.Minus {
-				continue
-			}
-			b := tu.Bounds[col]
-			if cls == predicate.Maybe {
-				s := b.Intersect(restr)
-				if s.IsEmpty() {
-					continue // cannot satisfy the restriction: effectively T−
-				}
-				b = s
-			}
-			out = append(out, Input{
-				Index: i,
-				Key:   tu.Key,
-				Bound: b,
-				Cost:  tu.Cost,
-				Class: cls,
+	if sorted {
+		return
+	}
+	slices.SortFunc(inputs, func(a, b Input) int {
+		switch {
+		case relation.CanonicalLess(a.Key, b.Key):
+			return -1
+		case relation.CanonicalLess(b.Key, a.Key):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// Collect classifies the table's tuples against the predicate and returns
+// the T+ and T? tuples' inputs for aggregation over column col, in the
+// canonical ascending-key order (each Input.Index still records the
+// tuple's physical table position). T− tuples are omitted: they
+// contribute to no aggregate. When shrink is true the Appendix D
+// refinement is applied: T? bounds are intersected with the predicate's
+// restriction on the aggregation column. Tuples whose shrunk bound would
+// be empty are reclassified as T− (their bound cannot satisfy the
+// predicate's restriction on the aggregation column).
+func Collect(t *relation.Table, col int, p predicate.Expr, shrink bool) []Input {
+	c := newCollector(col, p, shrink)
+	inputs := c.scan(t, make([]Input, 0, t.Len()))
+	sortCanonical(inputs)
+	return inputs
+}
+
+// CollectStore is Collect over a sharded store: the classification scan
+// runs shard-natively — up to workers goroutines (0 means GOMAXPROCS),
+// each scanning whole shards under their read locks — and the result is
+// in the canonical order, so the inputs (and every answer or refresh
+// plan computed from them) are bit-identical to a flat-table scan over
+// the same tuples. A default-sharded store's scan emits canonical order
+// natively (shards in index order, key-sorted tuples within each shard —
+// see relation.CanonicalLess), so the common case never sorts.
+// Input.Index holds the input's position in the canonical order, since a
+// sharded store has no global physical positions. The returned tableLen
+// is the store cardinality at scan time, consistent with the scanned
+// shards.
+func CollectStore(st *relation.Store, col int, p predicate.Expr, shrink bool, workers int) (inputs []Input, tableLen int) {
+	c := newCollector(col, p, shrink)
+	ns := st.NumShards()
+	if workers = parallel.Workers(workers); workers > ns {
+		workers = ns
+	}
+	if workers <= 1 {
+		inputs = make([]Input, 0, st.Len())
+		for si := 0; si < ns; si++ {
+			st.ViewShard(si, func(t *relation.Table) {
+				tableLen += t.Len()
+				inputs = c.scan(t, inputs)
 			})
 		}
-		return out
+	} else {
+		parts := make([][]Input, ns)
+		lens := make([]int, ns)
+		parallel.ForEachChunk(ns, workers, func(_, lo, hi int) {
+			for si := lo; si < hi; si++ {
+				st.ViewShard(si, func(t *relation.Table) {
+					lens[si] = t.Len()
+					parts[si] = c.scan(t, make([]Input, 0, t.Len()))
+				})
+			}
+		})
+		total := 0
+		for si := range parts {
+			total += len(parts[si])
+			tableLen += lens[si]
+		}
+		inputs = make([]Input, 0, total)
+		for si := range parts {
+			inputs = append(inputs, parts[si]...)
+		}
 	}
-	if workers = parallel.Workers(workers); workers <= 1 {
-		return collectRange(0, n, make([]Input, 0, n))
+	if !st.Canonical() {
+		sortCanonical(inputs)
 	}
-	// Each chunk collects into its own slice; chunks are then
-	// concatenated in index order so the output matches the serial scan.
-	parts := make([][]Input, parallel.NumChunks(n, workers))
-	parallel.ForEachChunk(n, workers, func(c, lo, hi int) {
-		parts[c] = collectRange(lo, hi, make([]Input, 0, hi-lo))
-	})
-	total := 0
-	for _, part := range parts {
-		total += len(part)
+	for i := range inputs {
+		inputs[i].Index = i
 	}
-	inputs := make([]Input, 0, total)
-	for _, part := range parts {
-		inputs = append(inputs, part...)
-	}
-	return inputs
+	return inputs, tableLen
 }
 
 // Eval computes the bounded answer for the aggregate over column col of
@@ -176,15 +250,16 @@ func CollectParallel(t *relation.Table, col int, p predicate.Expr, shrink bool, 
 // max(∅) = −∞: MIN/MAX/AVG over a certainly empty selection return
 // interval.Empty; SUM returns [0, 0]; COUNT returns [0, 0].
 func Eval(t *relation.Table, col int, fn Func, p predicate.Expr) interval.Interval {
-	return EvalParallel(t, col, fn, p, 1)
+	inputs := Collect(t, col, p, true)
+	return EvalInputs(inputs, fn, predicate.IsTrivial(p), t.Len())
 }
 
-// EvalParallel is Eval with the classification scan parallelized across
-// up to workers goroutines (0 means GOMAXPROCS); see CollectParallel.
-// The answer is identical to Eval's.
-func EvalParallel(t *relation.Table, col int, fn Func, p predicate.Expr, workers int) interval.Interval {
-	inputs := CollectParallel(t, col, p, true, workers)
-	return EvalInputs(inputs, fn, predicate.IsTrivial(p), t.Len())
+// EvalStore is Eval over a sharded store, with the scan shard-parallel
+// across up to workers goroutines (see CollectStore). The answer is
+// bit-identical to Eval over a flat table holding the same tuples.
+func EvalStore(st *relation.Store, col int, fn Func, p predicate.Expr, workers int) interval.Interval {
+	inputs, tableLen := CollectStore(st, col, p, true, workers)
+	return EvalInputs(inputs, fn, predicate.IsTrivial(p), tableLen)
 }
 
 // EvalInputs computes the bounded answer from pre-collected inputs.

@@ -308,43 +308,72 @@ func TestFuncStringParse(t *testing.T) {
 	}
 }
 
-// TestCollectParallelMatchesSerial builds a table well past the parallel
-// threshold and checks the parallel scan returns exactly the serial
-// result for every aggregate, with and without a predicate.
-func TestCollectParallelMatchesSerial(t *testing.T) {
+// TestCollectStoreMatchesFlat builds a large relation twice — once as a
+// flat table, once as sharded stores of several shard counts, inserting
+// in a scrambled order — and checks the shard-parallel scan returns
+// exactly the flat scan's canonical key-ordered inputs and bit-identical
+// answers for every aggregate, with and without a predicate.
+func TestCollectStoreMatchesFlat(t *testing.T) {
 	schema := relation.NewSchema(
 		relation.Column{Name: "v", Kind: relation.Bounded},
 		relation.Column{Name: "w", Kind: relation.Bounded},
 	)
 	tab := relation.NewTable(schema)
-	n := ParallelThreshold + 1234
-	for i := 0; i < n; i++ {
+	const n = 5000
+	mk := func(i int) relation.Tuple {
 		lo := float64(i%977) - 300
-		tab.MustInsert(relation.Tuple{
+		return relation.Tuple{
 			Key:    int64(i),
 			Cost:   float64(i%7 + 1),
 			Bounds: []interval.Interval{interval.New(lo, lo+float64(i%13)), interval.Point(float64(i % 10))},
-		})
+		}
+	}
+	for i := 0; i < n; i++ {
+		tab.MustInsert(mk(i))
 	}
 	col := schema.MustLookup("v")
 	pred := predicate.NewCmp(predicate.Column(col, "v"), predicate.Gt, predicate.Const(25))
-	for _, p := range []predicate.Expr{nil, pred} {
-		serial := Collect(tab, col, p, true)
-		for _, workers := range []int{0, 2, 3, 8} {
-			par := CollectParallel(tab, col, p, true, workers)
-			if len(par) != len(serial) {
-				t.Fatalf("workers=%d: %d inputs, serial %d", workers, len(par), len(serial))
-			}
-			for i := range par {
-				if par[i] != serial[i] {
-					t.Fatalf("workers=%d: input %d = %+v, serial %+v", workers, i, par[i], serial[i])
+	for _, nshards := range []int{1, 4, 16} {
+		st := relation.NewStore(schema, nshards)
+		// Scrambled insertion order: canonical key order must not depend
+		// on physical layout.
+		for i := 0; i < n; i++ {
+			st.MustInsert(mk((i*2654435761 + 17) % n))
+		}
+		for _, p := range []predicate.Expr{nil, pred} {
+			serial := Collect(tab, col, p, true)
+			for _, workers := range []int{0, 1, 3} {
+				par, tableLen := CollectStore(st, col, p, true, workers)
+				if tableLen != n {
+					t.Fatalf("shards=%d workers=%d: tableLen %d, want %d", nshards, workers, tableLen, n)
+				}
+				if len(par) != len(serial) {
+					t.Fatalf("shards=%d workers=%d: %d inputs, flat %d", nshards, workers, len(par), len(serial))
+				}
+				for i := range par {
+					// Index differs by design (canonical vs physical
+					// position); everything else must match exactly.
+					got, want := par[i], serial[i]
+					got.Index, want.Index = 0, 0
+					if got != want {
+						t.Fatalf("shards=%d workers=%d: input %d = %+v, flat %+v", nshards, workers, i, par[i], serial[i])
+					}
 				}
 			}
-		}
-		for _, fn := range []Func{Min, Max, Sum, Count, Avg} {
-			want := Eval(tab, col, fn, p)
-			if got := EvalParallel(tab, col, fn, p, 4); got != want {
-				t.Errorf("%v parallel = %v, serial = %v", fn, got, want)
+			for _, fn := range []Func{Min, Max, Sum, Count, Avg} {
+				want := Eval(tab, col, fn, p)
+				if got := EvalStore(st, col, fn, p, 4); got != want {
+					t.Errorf("shards=%d %v store = %v, flat = %v", nshards, fn, got, want)
+				}
+				// The streaming fold must replay the same arithmetic in
+				// the same canonical order — bit-identical, repeatedly
+				// (pooled buffers must not leak state between calls).
+				for rep := 0; rep < 2; rep++ {
+					got, gotLen := EvalStoreStream(st, col, fn, p)
+					if got != want || gotLen != n {
+						t.Errorf("shards=%d %v stream = %v (len %d), flat = %v", nshards, fn, got, gotLen, want)
+					}
+				}
 			}
 		}
 	}

@@ -126,10 +126,16 @@ func (b Bound) shape() Shape {
 }
 
 // At evaluates the bound at time now, returning the interval
-// [V − W·f(now−Tr), V + W·f(now−Tr)].
+// [V − W·f(now−Tr), V + W·f(now−Tr)]. A non-finite half-width (an
+// overflowed width parameter times a zero shape value is NaN) degrades to
+// Unbounded — complete ignorance — which is sound: the master value is
+// certainly inside it.
 func (b Bound) At(now int64) interval.Interval {
 	dt := float64(now - b.RefreshedAt)
 	d := b.Width * b.shape().Eval(dt)
+	if math.IsNaN(d) {
+		return interval.Unbounded
+	}
 	return interval.Interval{Lo: b.Value - d, Hi: b.Value + d}
 }
 
@@ -240,8 +246,14 @@ func (a *AdaptiveWidth) clamp() {
 	if a.W < min {
 		a.W = min
 	}
-	if a.Max > 0 && a.W > a.Max {
-		a.W = a.Max
+	max := a.Max
+	if max <= 0 {
+		// No configured upper clamp still guards against float overflow: a
+		// width that reached +Inf would evaluate to NaN bounds at dt = 0.
+		max = math.MaxFloat64 / 4
+	}
+	if a.W > max {
+		a.W = max
 	}
 }
 

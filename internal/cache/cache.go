@@ -7,19 +7,27 @@
 //
 // # Concurrency
 //
-// A cache carries two locks with a strict acquisition order (mu before
-// tabMu, never the reverse):
+// The cached relation is a sharded store (relation.Store): tuples are
+// partitioned by a hash of their key, and every shard carries two locks
+// with a strict acquisition order (the shard's state mutex before the
+// shard's table lock, never the reverse):
 //
-//   - mu guards the cache's own state: the per-object source and bound
-//     maps, the watched-source list, and the Sync bookkeeping.
-//   - tabMu guards the contents of the cached table. The query processor
-//     shares this lock (via TableLock) so that aggregation scans take it
-//     for reading while refresh installation takes it for writing; many
-//     queries may scan concurrently.
+//   - the state mutex guards the shard's slice of the cache's own state:
+//     the per-object source, bound-function and sequence maps, plus the
+//     shard's Sync bookkeeping;
+//   - the store's shard RWMutex guards the shard's table contents. The
+//     query processor shares it (via Store) so that aggregation scans
+//     take shard read locks while refresh installation takes the owning
+//     shard's write lock; queries scan all shards in parallel, and a
+//     source push blocks only scans of the one shard owning the pushed
+//     key.
 //
-// Neither lock is ever held while calling into a source, so sources can
-// push value-initiated refreshes from their own goroutines without
-// deadlock: a push simply queues behind in-flight scans on tabMu.
+// A goroutine holding one shard's locks never acquires another shard's
+// (multi-shard walks like Sync and Keys visit shards one at a time, in
+// ascending index order), and no shard lock is ever held while calling
+// into a source, so sources can push value-initiated refreshes from their
+// own goroutines without deadlock: a push simply queues behind in-flight
+// scans of its one shard.
 package cache
 
 import (
@@ -57,14 +65,33 @@ type Event struct {
 	Kind EventKind
 	// Key identifies the affected object.
 	Key int64
+	// Shard is the index of the store shard owning Key, so consumers
+	// (the continuous engine's dirty tracking) can group work per shard
+	// without rehashing.
+	Shard int
 	// Refresh reports why a RefreshApplied event's refresh was sent.
 	Refresh source.RefreshKind
 }
 
-// Cache is one data cache holding a single cached table. It implements
-// source.Subscriber (receiving value-initiated refreshes) and the query
-// processor's Oracle and BatchOracle (serving query-initiated refreshes,
-// fanned out per source). All methods are safe for concurrent use.
+// cacheShard is one shard's slice of the cache's own state, guarded by
+// its mu. The shard's table contents live in the store's matching shard.
+type cacheShard struct {
+	mu      sync.Mutex
+	sources map[int64]*source.Source
+	bounds  map[int64][]boundfn.Bound // per bounded column, schema order
+	lastSeq map[int64]int64           // newest applied Refresh.Seq per key
+	// Sync fast-path bookkeeping: the shard's materialized intervals are
+	// exactly bounds[*].At(syncedAt) unless dirty; a Sync at the same
+	// clock tick with a clean shard skips the shard entirely.
+	syncedAt int64
+	dirty    bool
+}
+
+// Cache is one data cache holding a single cached (sharded) table. It
+// implements source.Subscriber (receiving value-initiated refreshes) and
+// the query processor's Oracle and BatchOracle (serving query-initiated
+// refreshes, fanned out per source). All methods are safe for concurrent
+// use.
 type Cache struct {
 	id    string
 	clock *netsim.Clock
@@ -74,47 +101,62 @@ type Cache struct {
 	// lock when no listener is installed.
 	listener atomic.Pointer[func(Event)]
 
-	mu      sync.Mutex
-	sources map[int64]*source.Source
-	bounds  map[int64][]boundfn.Bound // per bounded column, schema order
-	lastSeq map[int64]int64           // newest applied Refresh.Seq per key
-	watched []*source.Source          // sources watched for membership events
-	// Sync fast-path bookkeeping: the table's materialized intervals are
-	// exactly bounds[*].At(syncedAt) unless dirty; a Sync at the same
-	// clock tick with a clean cache is a no-op.
-	syncedAt int64
-	dirty    bool
+	store  *relation.Store
+	shards []cacheShard // aligned with store shards
 
-	tabMu sync.RWMutex // guards table contents; shared with the processor
-	table *relation.Table
+	wmu     sync.Mutex
+	watched []*source.Source // sources watched for membership events
 }
 
-// New creates a cache around an empty table with the given schema.
+// New creates a cache around an empty sharded table with the given schema
+// and the default shard count.
 func New(id string, clock *netsim.Clock, schema *relation.Schema) *Cache {
-	return &Cache{
-		id:       id,
-		clock:    clock,
-		table:    relation.NewTable(schema),
-		sources:  make(map[int64]*source.Source),
-		bounds:   make(map[int64][]boundfn.Bound),
-		lastSeq:  make(map[int64]int64),
-		syncedAt: -1,
+	return NewSharded(id, clock, schema, 0)
+}
+
+// NewSharded is New with an explicit shard count (rounded up to a power
+// of two; ≤ 0 selects relation.DefaultShards). A single shard degrades
+// to the flat store layout — one tuple slice, one key index, one lock —
+// which the differential tests use as the reference.
+func NewSharded(id string, clock *netsim.Clock, schema *relation.Schema, nshards int) *Cache {
+	st := relation.NewStore(schema, nshards)
+	c := &Cache{
+		id:     id,
+		clock:  clock,
+		store:  st,
+		shards: make([]cacheShard, st.NumShards()),
 	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			sources:  make(map[int64]*source.Source),
+			bounds:   make(map[int64][]boundfn.Bound),
+			lastSeq:  make(map[int64]int64),
+			syncedAt: -1,
+		}
+	}
+	return c
 }
 
 // ID returns the cache identifier.
 func (c *Cache) ID() string { return c.id }
 
-// Table exposes the cached table for the query processor. Callers must
-// call Sync first so the interval bounds reflect the current time, and
-// must hold TableLock when the cache is shared between goroutines.
-func (c *Cache) Table() *relation.Table { return c.table }
+// Store exposes the sharded cached relation for the query processor and
+// the continuous engine. Callers must call Sync first so the interval
+// bounds reflect the current time, and must hold the relevant shard
+// locks when the cache is shared between goroutines.
+func (c *Cache) Store() *relation.Store { return c.store }
 
-// TableLock returns the lock guarding the cached table's contents. The
-// query processor takes it for reading during aggregation scans and for
-// writing when installing refreshed values; the cache itself takes it
-// for writing when sources push refreshes or membership events.
-func (c *Cache) TableLock() *sync.RWMutex { return &c.tabMu }
+// Schema returns the cached table's schema.
+func (c *Cache) Schema() *relation.Schema { return c.store.Schema() }
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int { return c.store.Len() }
+
+// shardFor returns the state shard owning the key and its index.
+func (c *Cache) shardFor(key int64) (*cacheShard, int) {
+	si := c.store.ShardOf(key)
+	return &c.shards[si], si
+}
 
 // SetListener installs fn as the cache's change listener; it is called
 // outside all cache locks after every refresh that reaches the table and
@@ -140,9 +182,10 @@ func (c *Cache) notify(ev Event) {
 // ObserveDemand forwards shared-refresh demand for a cached object to
 // its source's width policy (see source.ObserveDemand).
 func (c *Cache) ObserveDemand(key int64, subscribers int) {
-	c.mu.Lock()
-	src := c.sources[key]
-	c.mu.Unlock()
+	sh, _ := c.shardFor(key)
+	sh.mu.Lock()
+	src := sh.sources[key]
+	sh.mu.Unlock()
 	if src != nil {
 		src.ObserveDemand(key, subscribers)
 	}
@@ -154,30 +197,32 @@ func (c *Cache) ObserveDemand(key int64, subscribers int) {
 // source's first refresh. The tuple's refresh cost is the source's cost
 // for the object.
 func (c *Cache) Subscribe(src *source.Source, key int64, exactVals []float64) error {
-	if err := c.subscribe(src, key, exactVals); err != nil {
+	si, err := c.subscribe(src, key, exactVals)
+	if err != nil {
 		return err
 	}
-	c.notify(Event{Kind: ObjectAdded, Key: key})
+	c.notify(Event{Kind: ObjectAdded, Key: key, Shard: si})
 	return nil
 }
 
 // subscribe is Subscribe without the listener notification; it returns
 // with no cache lock held.
-func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) error {
+func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) (int, error) {
 	r, err := src.Subscribe(key, c)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	cost, _ := src.Cost(key)
-	schema := c.table.Schema()
+	schema := c.store.Schema()
 	bcols := schema.BoundedColumns()
 	if len(r.Values) != len(bcols) {
-		return fmt.Errorf("cache %s: source sent %d values, schema has %d bounded columns",
+		return 0, fmt.Errorf("cache %s: source sent %d values, schema has %d bounded columns",
 			c.id, len(r.Values), len(bcols))
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh, si := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := c.clock.Now()
 	tu := relation.Tuple{
 		Key:      key,
@@ -189,7 +234,7 @@ func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) er
 	for col := 0; col < schema.NumColumns(); col++ {
 		if schema.Column(col).Kind == relation.Exact {
 			if ei >= len(exactVals) {
-				return fmt.Errorf("cache %s: missing exact value for column %q",
+				return 0, fmt.Errorf("cache %s: missing exact value for column %q",
 					c.id, schema.Column(col).Name)
 			}
 			tu.Bounds[col] = interval.Point(exactVals[ei])
@@ -199,17 +244,14 @@ func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) er
 			bi++
 		}
 	}
-	c.tabMu.Lock()
-	err = c.table.Insert(tu)
-	c.tabMu.Unlock()
-	if err != nil {
-		return err
+	if err := c.store.Insert(tu); err != nil {
+		return 0, err
 	}
-	c.sources[key] = src
-	c.bounds[key] = r.Bounds
-	c.lastSeq[key] = r.Seq
-	c.dirty = true
-	return nil
+	sh.sources[key] = src
+	sh.bounds[key] = r.Bounds
+	sh.lastSeq[key] = r.Seq
+	sh.dirty = true
+	return si, nil
 }
 
 // ApplyRefresh installs new bounds for an object; it is invoked by sources
@@ -221,13 +263,15 @@ func (c *Cache) ApplyRefresh(r source.Refresh) {
 // apply installs the refresh and reports whether it reached the table
 // (false when the object is gone or a newer refresh was already applied).
 // Installed refreshes are reported to the change listener outside the
-// cache locks.
+// cache locks. Only the key's owning shard is locked, so a push contends
+// only with scans and writers of that one shard.
 func (c *Cache) apply(r source.Refresh) bool {
-	c.mu.Lock()
-	installed := c.applyLocked(r)
-	c.mu.Unlock()
+	sh, si := c.shardFor(r.Key)
+	sh.mu.Lock()
+	installed := c.applyLocked(sh, r)
+	sh.mu.Unlock()
 	if installed {
-		c.notify(Event{Kind: RefreshApplied, Key: r.Key, Refresh: r.Kind})
+		c.notify(Event{Kind: RefreshApplied, Key: r.Key, Shard: si, Refresh: r.Kind})
 	}
 	return installed
 }
@@ -239,34 +283,42 @@ func (c *Cache) apply(r source.Refresh) bool {
 // backwards to stale bounds. Query-initiated refreshes install the
 // exact values as point bounds — the cache-side half of the refresh
 // step, done here so it is atomic with respect to concurrent pushes.
-// Caller holds c.mu; tabMu is taken here. Reports whether the refresh
-// was installed.
-func (c *Cache) applyLocked(r source.Refresh) bool {
-	if r.Seq != 0 && r.Seq <= c.lastSeq[r.Key] {
+// Caller holds sh.mu; the shard's table write lock is taken here.
+// Reports whether the refresh was installed.
+func (c *Cache) applyLocked(sh *cacheShard, r source.Refresh) bool {
+	if r.Seq != 0 && r.Seq <= sh.lastSeq[r.Key] {
 		return false // a newer refresh for this object was already applied
 	}
-	c.tabMu.Lock()
-	defer c.tabMu.Unlock()
-	i := c.table.ByKey(r.Key)
-	if i < 0 {
+	now := c.clock.Now()
+	installed := c.store.Update(r.Key, func(t *relation.Table, i int) {
+		bcols := t.Schema().BoundedColumns()
+		for j, col := range bcols {
+			// Best effort: bounds from a source are never empty and exact
+			// columns are not refreshed, so SetBound cannot fail here.
+			if r.Kind == source.QueryInitiated {
+				// The query paid for the exact value: collapse the cached
+				// bound to a point until the next Sync re-materializes the
+				// time-varying bound.
+				_ = t.SetBound(i, col, interval.Point(r.Values[j]))
+			} else {
+				_ = t.SetBound(i, col, r.Bounds[j].At(now))
+			}
+		}
+	})
+	if !installed {
 		return false // object was deleted; stale refresh
 	}
-	c.bounds[r.Key] = r.Bounds
-	c.lastSeq[r.Key] = r.Seq
-	c.dirty = true
-	now := c.clock.Now()
-	bcols := c.table.Schema().BoundedColumns()
-	for j, col := range bcols {
-		// Best effort: bounds from a source are never empty and exact
-		// columns are not refreshed, so SetBound cannot fail here.
-		if r.Kind == source.QueryInitiated {
-			// The query paid for the exact value: collapse the cached
-			// bound to a point until the next Sync re-materializes the
-			// time-varying bound.
-			_ = c.table.SetBound(i, col, interval.Point(r.Values[j]))
-		} else {
-			_ = c.table.SetBound(i, col, r.Bounds[j].At(now))
-		}
+	sh.bounds[r.Key] = r.Bounds
+	sh.lastSeq[r.Key] = r.Seq
+	// A value-initiated apply wrote exactly bounds.At(now), so a shard
+	// synced at the current tick is still fully materialized — it stays
+	// clean and the next Sync skips it. This is what keeps scans cheap
+	// under heavy push load: a push never forces queries to re-Sync the
+	// shard, let alone the table. Only the query-initiated point
+	// collapse (table bound ≠ bound function at now) must dirty the
+	// shard so the next Sync restores the time-varying bound.
+	if r.Kind == source.QueryInitiated {
+		sh.dirty = true
 	}
 	return true
 }
@@ -274,40 +326,47 @@ func (c *Cache) applyLocked(r source.Refresh) bool {
 // Sync re-evaluates every cached bound function at the current clock time
 // and writes the resulting intervals into the table. The query processor
 // must call this before computing bounded answers so that the √T growth
-// since the last refresh is reflected. When the clock has not advanced
-// and no refresh has landed since the previous Sync, the table is already
-// current and Sync returns without touching it — the fast path that lets
-// back-to-back queries share the table read lock.
+// since the last refresh is reflected. Shards are visited one at a time
+// in ascending index order, each under its own locks; a shard where the
+// clock has not advanced and no refresh has landed since its previous
+// Sync is skipped without touching its table — the fast path that lets
+// back-to-back queries share the shard read locks, now per shard, so a
+// push dirties only its own shard's fast path.
 func (c *Cache) Sync() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := c.clock.Now()
-	if !c.dirty && c.syncedAt == now {
-		return
-	}
-	c.tabMu.Lock()
-	bcols := c.table.Schema().BoundedColumns()
-	for key, bs := range c.bounds {
-		i := c.table.ByKey(key)
-		if i < 0 {
+	for si := range c.shards {
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		now := c.clock.Now()
+		if !sh.dirty && sh.syncedAt == now {
+			sh.mu.Unlock()
 			continue
 		}
-		for j, col := range bcols {
-			_ = c.table.SetBound(i, col, bs[j].At(now))
-		}
+		c.store.UpdateShard(si, func(t *relation.Table) {
+			bcols := t.Schema().BoundedColumns()
+			for key, bs := range sh.bounds {
+				i := t.ByKey(key)
+				if i < 0 {
+					continue
+				}
+				for j, col := range bcols {
+					_ = t.SetBound(i, col, bs[j].At(now))
+				}
+			}
+		})
+		sh.syncedAt = now
+		sh.dirty = false
+		sh.mu.Unlock()
 	}
-	c.tabMu.Unlock()
-	c.syncedAt = now
-	c.dirty = false
 }
 
 // Master implements the query-processor Oracle: it pulls a query-initiated
 // refresh for the object from its source, installs the new bounds, and
 // returns the exact values.
 func (c *Cache) Master(key int64) ([]float64, bool) {
-	c.mu.Lock()
-	src := c.sources[key]
-	c.mu.Unlock()
+	sh, _ := c.shardFor(key)
+	sh.mu.Lock()
+	src := sh.sources[key]
+	sh.mu.Unlock()
 	if src == nil {
 		return nil, false
 	}
@@ -320,30 +379,40 @@ func (c *Cache) Master(key int64) ([]float64, bool) {
 }
 
 // MasterBatch implements the query-processor BatchOracle: the refresh set
-// is grouped per owning source and fanned out as one batched request per
-// source, each on its own goroutine — the parallel refresh phase of the
-// concurrent engine. The refreshed bounds (point intervals for the paid
-// exact values, plus any piggybacked extras riding along on a reply) are
-// installed into the cached table here, atomically with respect to
-// concurrent source pushes, so the processor must not install them
-// again. The returned map holds exactly the keys whose refresh reached
-// the table: keys dropped since the plan was computed (they no longer
-// contribute to any aggregate) and replies that lost the race to an
-// even newer value-initiated push are absent.
+// is grouped first by owning shard (one state-lock acquisition per shard
+// to resolve sources) and then by owning source, and fanned out as one
+// batched request per source, each on its own goroutine — the parallel
+// refresh phase of the concurrent engine. The refreshed bounds (point
+// intervals for the paid exact values, plus any piggybacked extras riding
+// along on a reply) are installed into the cached table here, atomically
+// with respect to concurrent source pushes and write-locking only each
+// key's owning shard, so the processor must not install them again. The
+// returned map holds exactly the keys whose refresh reached the table:
+// keys dropped since the plan was computed (they no longer contribute to
+// any aggregate) and replies that lost the race to an even newer
+// value-initiated push are absent.
 func (c *Cache) MasterBatch(keys []int64) (map[int64][]float64, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
-	c.mu.Lock()
-	bySrc := make(map[*source.Source][]int64)
+	byShard := make(map[int][]int64)
 	for _, key := range keys {
-		src := c.sources[key]
-		if src == nil {
-			continue // dropped since the plan was computed
-		}
-		bySrc[src] = append(bySrc[src], key)
+		si := c.store.ShardOf(key)
+		byShard[si] = append(byShard[si], key)
 	}
-	c.mu.Unlock()
+	bySrc := make(map[*source.Source][]int64)
+	for si, ks := range byShard {
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		for _, key := range ks {
+			src := sh.sources[key]
+			if src == nil {
+				continue // dropped since the plan was computed
+			}
+			bySrc[src] = append(bySrc[src], key)
+		}
+		sh.mu.Unlock()
+	}
 
 	vals := make(map[int64][]float64, len(keys))
 	// Apply every reply; only refreshes that actually reached the table
@@ -391,19 +460,19 @@ func (c *Cache) MasterBatch(keys []int64) (map[int64][]float64, error) {
 	return vals, nil
 }
 
-// Drop removes a cached object, modelling a propagated deletion.
+// Drop removes a cached object, modelling a propagated deletion. Only the
+// owning shard is locked.
 func (c *Cache) Drop(key int64) bool {
-	c.mu.Lock()
-	delete(c.sources, key)
-	delete(c.bounds, key)
-	delete(c.lastSeq, key)
-	c.dirty = true
-	c.tabMu.Lock()
-	deleted := c.table.Delete(key)
-	c.tabMu.Unlock()
-	c.mu.Unlock()
+	sh, si := c.shardFor(key)
+	sh.mu.Lock()
+	delete(sh.sources, key)
+	delete(sh.bounds, key)
+	delete(sh.lastSeq, key)
+	sh.dirty = true
+	deleted := c.store.Delete(key)
+	sh.mu.Unlock()
 	if deleted {
-		c.notify(Event{Kind: ObjectDropped, Key: key})
+		c.notify(Event{Kind: ObjectDropped, Key: key, Shard: si})
 	}
 	return deleted
 }
@@ -414,9 +483,9 @@ func (c *Cache) Drop(key int64) bool {
 // cardinality answers widen accordingly (see CardinalitySlack).
 func (c *Cache) WatchSource(src *source.Source) {
 	src.Watch(c)
-	c.mu.Lock()
+	c.wmu.Lock()
 	c.watched = append(c.watched, src)
-	c.mu.Unlock()
+	c.wmu.Unlock()
 }
 
 // OnTableEvent implements source.Watcher: insertions subscribe to the new
@@ -437,9 +506,9 @@ func (c *Cache) OnTableEvent(src *source.Source, ev source.TableEvent) {
 // true master cardinality by at most this many tuples in either
 // direction. Zero when no watched source delays propagation.
 func (c *Cache) CardinalitySlack() int {
-	c.mu.Lock()
+	c.wmu.Lock()
 	watched := append([]*source.Source(nil), c.watched...)
-	c.mu.Unlock()
+	c.wmu.Unlock()
 	total := 0
 	for _, src := range watched {
 		total += src.Slack()
@@ -450,21 +519,17 @@ func (c *Cache) CardinalitySlack() int {
 // FlushWatched forces every watched source to propagate its queued
 // membership events, restoring an exact cached cardinality.
 func (c *Cache) FlushWatched() {
-	c.mu.Lock()
+	c.wmu.Lock()
 	watched := append([]*source.Source(nil), c.watched...)
-	c.mu.Unlock()
+	c.wmu.Unlock()
 	for _, src := range watched {
 		src.FlushEvents()
 	}
 }
 
-// Keys returns the cached object keys in table order.
+// Keys returns the cached object keys in ascending order — a documented
+// guarantee, so callers that iterate keys to build plans or views stay
+// deterministic regardless of the shard layout.
 func (c *Cache) Keys() []int64 {
-	c.tabMu.RLock()
-	defer c.tabMu.RUnlock()
-	out := make([]int64, 0, c.table.Len())
-	for i := 0; i < c.table.Len(); i++ {
-		out = append(out, c.table.At(i).Key)
-	}
-	return out
+	return c.store.SortedKeys()
 }

@@ -1,10 +1,12 @@
 package cache
 
 import (
+	"sort"
 	"testing"
 
 	"trapp/internal/boundfn"
 	"trapp/internal/netsim"
+	"trapp/internal/relation"
 	"trapp/internal/source"
 	"trapp/internal/workload"
 )
@@ -28,22 +30,31 @@ func newPair(t *testing.T) (*Cache, *source.Source, *netsim.Clock) {
 	return c, src, clock
 }
 
+// tupleOf fetches a copy of the keyed tuple for assertions.
+func tupleOf(t *testing.T, c *Cache, key int64) relation.Tuple {
+	t.Helper()
+	tu, ok := c.Store().Get(key)
+	if !ok {
+		t.Fatalf("key %d not cached", key)
+	}
+	return tu
+}
+
 func TestSubscribePopulatesTable(t *testing.T) {
 	c, _, _ := newPair(t)
-	tab := c.Table()
-	if tab.Len() != 6 {
-		t.Fatalf("table len = %d", tab.Len())
+	if c.Len() != 6 {
+		t.Fatalf("cache len = %d", c.Len())
 	}
 	if c.ID() != "c1" {
 		t.Errorf("ID = %q", c.ID())
 	}
-	tu := tab.At(tab.ByKey(1))
+	tu := tupleOf(t, c, 1)
 	// Exact columns.
 	if tu.Bounds[0].Lo != 1 || tu.Bounds[1].Lo != 2 {
 		t.Errorf("exact columns = %v, %v", tu.Bounds[0], tu.Bounds[1])
 	}
 	// Fresh bounds are points at the master values.
-	lat := tab.Schema().MustLookup(workload.ColLatency)
+	lat := c.Schema().MustLookup(workload.ColLatency)
 	if !tu.Bounds[lat].IsPoint() || tu.Bounds[lat].Lo != 3 {
 		t.Errorf("latency bound = %v, want [3]", tu.Bounds[lat])
 	}
@@ -57,11 +68,10 @@ func TestSubscribePopulatesTable(t *testing.T) {
 
 func TestSyncGrowsBoundsWithTime(t *testing.T) {
 	c, _, clock := newPair(t)
-	tab := c.Table()
-	lat := tab.Schema().MustLookup(workload.ColLatency)
+	lat := c.Schema().MustLookup(workload.ColLatency)
 	clock.Advance(9) // width 2, sqrt(9) = 3 → ±6
 	c.Sync()
-	b := tab.At(tab.ByKey(1)).Bounds[lat]
+	b := tupleOf(t, c, 1).Bounds[lat]
 	if b.Width() != 12 {
 		t.Errorf("bound width after 9 ticks = %g, want 12", b.Width())
 	}
@@ -82,9 +92,8 @@ func TestMasterPullsQueryRefresh(t *testing.T) {
 		t.Errorf("master values = %v", vals)
 	}
 	// After the refresh the cached bound collapses to a point.
-	tab := c.Table()
-	lat := tab.Schema().MustLookup(workload.ColLatency)
-	if b := tab.At(tab.ByKey(1)).Bounds[lat]; !b.IsPoint() {
+	lat := c.Schema().MustLookup(workload.ColLatency)
+	if b := tupleOf(t, c, 1).Bounds[lat]; !b.IsPoint() {
 		t.Errorf("bound after refresh = %v", b)
 	}
 	if _, ok := c.Master(999); ok {
@@ -100,9 +109,8 @@ func TestValuePushUpdatesCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Sync()
-	tab := c.Table()
-	lat := tab.Schema().MustLookup(workload.ColLatency)
-	b := tab.At(tab.ByKey(1)).Bounds[lat]
+	lat := c.Schema().MustLookup(workload.ColLatency)
+	b := tupleOf(t, c, 1).Bounds[lat]
 	if !b.Contains(100) {
 		t.Errorf("cache bound %v does not contain pushed value 100", b)
 	}
@@ -113,8 +121,8 @@ func TestDrop(t *testing.T) {
 	if !c.Drop(1) {
 		t.Fatal("Drop(1) failed")
 	}
-	if c.Table().Len() != 5 {
-		t.Errorf("len after drop = %d", c.Table().Len())
+	if c.Len() != 5 {
+		t.Errorf("len after drop = %d", c.Len())
 	}
 	if c.Drop(1) {
 		t.Error("double drop succeeded")
@@ -126,11 +134,35 @@ func TestDrop(t *testing.T) {
 	c.ApplyRefresh(source.Refresh{Key: 1, Bounds: []boundfn.Bound{{}, {}, {}}})
 }
 
-func TestKeys(t *testing.T) {
-	c, _, _ := newPair(t)
-	keys := c.Keys()
-	if len(keys) != 6 {
-		t.Fatalf("keys = %v", keys)
+// TestKeysSorted checks the documented guarantee: Keys returns the cached
+// keys in ascending order regardless of insertion order or shard layout.
+func TestKeysSorted(t *testing.T) {
+	clock := netsim.NewClock()
+	net := netsim.NewNetwork()
+	for _, nshards := range []int{1, 4, 16} {
+		src := source.New("s1", clock, net, nil)
+		c := NewSharded("c1", clock, workload.LinkSchema(), nshards)
+		// Subscribe in a scrambled, non-ascending key order.
+		rows := workload.Figure2()
+		for i := len(rows) - 1; i >= 0; i-- {
+			row := rows[i]
+			if err := src.AddObject(row.Key,
+				[]float64{row.LatencyV, row.BandwidthV, row.TrafficV},
+				row.Cost, boundfn.StaticWidth(2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Subscribe(src, row.Key, []float64{float64(row.From), float64(row.To)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		keys := c.Keys()
+		if len(keys) != len(rows) {
+			t.Fatalf("shards=%d: keys = %v", nshards, keys)
+		}
+		if !sort.SliceIsSorted(keys, func(a, b int) bool { return keys[a] < keys[b] }) {
+			t.Errorf("shards=%d: keys not sorted: %v", nshards, keys)
+		}
+		net.Reset()
 	}
 }
 
@@ -139,8 +171,7 @@ func TestKeys(t *testing.T) {
 // bound contains the current master value (invariant 6 of DESIGN.md).
 func TestInvariantMasterAlwaysInsideBound(t *testing.T) {
 	c, src, clock := newPair(t)
-	tab := c.Table()
-	bcols := tab.Schema().BoundedColumns()
+	bcols := c.Schema().BoundedColumns()
 	vals := map[int64][]float64{}
 	for _, row := range workload.Figure2() {
 		vals[row.Key] = []float64{row.LatencyV, row.BandwidthV, row.TrafficV}
@@ -162,7 +193,7 @@ func TestInvariantMasterAlwaysInsideBound(t *testing.T) {
 		}
 		c.Sync()
 		for _, row := range workload.Figure2() {
-			tu := tab.At(tab.ByKey(row.Key))
+			tu := tupleOf(t, c, row.Key)
 			for j, col := range bcols {
 				if !tu.Bounds[col].Contains(vals[row.Key][j]) {
 					t.Fatalf("step %d: key %d col %d bound %v missing master %g",
@@ -217,10 +248,9 @@ func TestMasterBatchFansOutPerSource(t *testing.T) {
 	if st.QueryRefreshCost != float64(2*len(keys)) {
 		t.Errorf("query refresh cost = %g, want %d", st.QueryRefreshCost, 2*len(keys))
 	}
-	tab := c.Table()
-	lat := tab.Schema().MustLookup(workload.ColLatency)
+	lat := c.Schema().MustLookup(workload.ColLatency)
 	for _, key := range keys {
-		if b := tab.At(tab.ByKey(key)).Bounds[lat]; !b.IsPoint() {
+		if b := tupleOf(t, c, key).Bounds[lat]; !b.IsPoint() {
 			t.Errorf("key %d bound after batch refresh = %v", key, b)
 		}
 	}
@@ -243,8 +273,7 @@ func TestMasterBatchFansOutPerSource(t *testing.T) {
 // replies must not resurrect stale values).
 func TestApplyRefreshDropsStaleSeq(t *testing.T) {
 	c, src, clock := newPair(t)
-	tab := c.Table()
-	lat := tab.Schema().MustLookup(workload.ColLatency)
+	lat := c.Schema().MustLookup(workload.ColLatency)
 	clock.Advance(1)
 	// Pull a refresh without applying it, then let a newer push land.
 	r1, err := src.QueryRefresh(1, c)
@@ -254,28 +283,28 @@ func TestApplyRefreshDropsStaleSeq(t *testing.T) {
 	if err := src.SetValue(1, []float64{500, 61, 98}); err != nil { // escapes → push applies newer refresh
 		t.Fatal(err)
 	}
-	newer := tab.At(tab.ByKey(1)).Bounds[lat]
+	newer := tupleOf(t, c, 1).Bounds[lat]
 	if !newer.Contains(500) {
 		t.Fatalf("push not applied: bound %v", newer)
 	}
 	c.ApplyRefresh(r1) // stale reply arrives late
-	if got := tab.At(tab.ByKey(1)).Bounds[lat]; got != newer {
+	if got := tupleOf(t, c, 1).Bounds[lat]; got != newer {
 		t.Errorf("stale refresh overwrote newer bounds: %v → %v", newer, got)
 	}
 }
 
 // TestSyncFastPath checks that a Sync with an unchanged clock and no
 // intervening refresh leaves the table untouched, while a refresh or a
-// clock advance forces re-materialization.
+// clock advance forces re-materialization — per shard: a refresh dirties
+// only its own shard's fast path.
 func TestSyncFastPath(t *testing.T) {
 	c, _, clock := newPair(t)
-	tab := c.Table()
-	lat := tab.Schema().MustLookup(workload.ColLatency)
+	lat := c.Schema().MustLookup(workload.ColLatency)
 	clock.Advance(9)
 	c.Sync()
-	want := tab.At(tab.ByKey(1)).Bounds[lat]
+	want := tupleOf(t, c, 1).Bounds[lat]
 	c.Sync() // fast path: no changes
-	if got := tab.At(tab.ByKey(1)).Bounds[lat]; got != want {
+	if got := tupleOf(t, c, 1).Bounds[lat]; got != want {
 		t.Errorf("fast-path Sync changed bound: %v → %v", want, got)
 	}
 	// A query refresh collapses the bound; the next Sync must restore the
@@ -285,13 +314,47 @@ func TestSyncFastPath(t *testing.T) {
 	}
 	// Master's ApplyRefresh materializes a fresh bound evaluated at the
 	// current tick; at Δt = 0 the √T shape gives a point.
-	if b := tab.At(tab.ByKey(1)).Bounds[lat]; !b.IsPoint() {
+	if b := tupleOf(t, c, 1).Bounds[lat]; !b.IsPoint() {
 		t.Fatalf("bound after refresh = %v, want point", b)
 	}
 	clock.Advance(4)
 	c.Sync()
-	if b := tab.At(tab.ByKey(1)).Bounds[lat]; b.IsPoint() {
+	if b := tupleOf(t, c, 1).Bounds[lat]; b.IsPoint() {
 		t.Error("Sync after clock advance left refreshed bound a point")
+	}
+}
+
+// TestEventsCarryShardIDs checks that change events report the store
+// shard owning the key, matching Store.ShardOf.
+func TestEventsCarryShardIDs(t *testing.T) {
+	clock := netsim.NewClock()
+	net := netsim.NewNetwork()
+	src := source.New("s1", clock, net, nil)
+	c := New("c1", clock, workload.LinkSchema())
+	var events []Event
+	c.SetListener(func(ev Event) { events = append(events, ev) })
+	for _, row := range workload.Figure2() {
+		if err := src.AddObject(row.Key,
+			[]float64{row.LatencyV, row.BandwidthV, row.TrafficV},
+			row.Cost, boundfn.StaticWidth(2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Subscribe(src, row.Key, []float64{float64(row.From), float64(row.To)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Advance(4)
+	if _, ok := c.Master(3); !ok {
+		t.Fatal("Master failed")
+	}
+	c.Drop(5)
+	if len(events) == 0 {
+		t.Fatal("no events delivered")
+	}
+	for _, ev := range events {
+		if want := c.Store().ShardOf(ev.Key); ev.Shard != want {
+			t.Errorf("event %+v: shard = %d, want %d", ev, ev.Shard, want)
+		}
 	}
 }
 

@@ -116,12 +116,15 @@ type tableState struct {
 	views map[string]*view
 }
 
-// dirtySet accumulates pending events for one table between rounds. An
-// entry with no time flag and no keys is a bare poke: it triggers a
-// round (which builds any not-yet-built views) without dirtying state.
+// dirtySet accumulates pending events for one table between rounds,
+// keyed by owning store shard so a maintenance round touches only the
+// shards that actually changed — view recomputation after a push
+// contends only with writers of the same shard. An entry with no time
+// flag and no keys is a bare poke: it triggers a round (which builds any
+// not-yet-built views) without dirtying state.
 type dirtySet struct {
-	time bool // a clock tick widened every bound
-	keys map[int64]struct{}
+	time   bool // a clock tick widened every bound
+	shards map[int]map[int64]struct{}
 }
 
 // Engine maintains all subscriptions of one System. All methods are safe
@@ -183,7 +186,7 @@ func (e *Engine) AddTable(name string, c *cache.Cache) {
 	e.dirtyMu.Unlock()
 	c.SetListener(func(ev cache.Event) {
 		for _, n := range mounts {
-			e.markKey(n, ev.Key)
+			e.markKey(n, ev.Shard, ev.Key)
 		}
 	})
 }
@@ -220,7 +223,7 @@ func (e *Engine) Subscribe(q query.Query) (*Subscription, error) {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("continuous: table %q not registered", q.Table)
 	}
-	schema := ts.c.Table().Schema()
+	schema := ts.c.Schema()
 	col, ok := schema.Lookup(q.Column)
 	if !ok {
 		e.mu.Unlock()
@@ -348,18 +351,24 @@ func (e *Engine) Settle() {
 	}
 }
 
-// markKey records a changed object (push, refresh, insert or delete).
-func (e *Engine) markKey(table string, key int64) {
+// markKey records a changed object (push, refresh, insert or delete)
+// under its owning shard.
+func (e *Engine) markKey(table string, shard int, key int64) {
 	if e.subCount.Load() == 0 {
 		return
 	}
 	e.dirtyMu.Lock()
 	ds := e.dirtyFor(table)
 	if !ds.time {
-		if ds.keys == nil {
-			ds.keys = make(map[int64]struct{})
+		if ds.shards == nil {
+			ds.shards = make(map[int]map[int64]struct{})
 		}
-		ds.keys[key] = struct{}{}
+		keys := ds.shards[shard]
+		if keys == nil {
+			keys = make(map[int64]struct{})
+			ds.shards[shard] = keys
+		}
+		keys[key] = struct{}{}
 	}
 	e.dirtyMu.Unlock()
 	e.kick()
@@ -374,7 +383,7 @@ func (e *Engine) markTime() {
 	for _, name := range e.names {
 		ds := e.dirtyFor(name)
 		ds.time = true
-		ds.keys = nil
+		ds.shards = nil
 	}
 	e.dirtyMu.Unlock()
 	e.kick()
@@ -435,24 +444,47 @@ func (e *Engine) processTableLocked(ts *tableState, ds *dirtySet) {
 		ts.c.FlushWatched()
 	}
 	ts.c.Sync()
-	t := ts.c.Table()
-	lk := ts.c.TableLock()
+	st := ts.c.Store()
 
-	// 1. Update per-view contributions from the table. A tick widened
-	// every bound, so time-dirty rounds rebuild; push rounds touch only
-	// the changed keys.
-	lk.RLock()
+	// 1. Update per-view contributions from the store, shard by shard
+	// under each shard's read lock — so this round contends only with
+	// writers of the shards it actually reads. A tick widened every
+	// bound, so time-dirty rounds rebuild every view from all shards;
+	// push rounds touch only the shards holding changed keys.
+	var rebuilding []*view
 	for _, v := range ts.views {
-		switch {
-		case ds.time || !v.built:
-			v.rebuild(t)
-		default:
-			for key := range ds.keys {
-				v.updateKey(t, key)
-			}
+		if ds.time || !v.built {
+			v.reset(st.Len())
+			rebuilding = append(rebuilding, v)
 		}
 	}
-	lk.RUnlock()
+	for si := 0; si < st.NumShards(); si++ {
+		keys := ds.shards[si]
+		if len(rebuilding) == 0 && len(keys) == 0 {
+			continue
+		}
+		st.ViewShard(si, func(t *relation.Table) {
+			for _, v := range rebuilding {
+				for i := 0; i < t.Len(); i++ {
+					v.applyTuple(t.At(i))
+				}
+			}
+			if len(keys) == 0 {
+				return
+			}
+			for _, v := range ts.views {
+				if ds.time || !v.built {
+					continue // rebuilt above from the full shard scan
+				}
+				for key := range keys {
+					v.updateKey(t, key)
+				}
+			}
+		})
+	}
+	for _, v := range rebuilding {
+		v.finishRebuild()
+	}
 
 	// 2. Re-fold answers of dirty groups.
 	for _, v := range ts.views {
@@ -460,7 +492,7 @@ func (e *Engine) processTableLocked(ts *tableState, ds *dirtySet) {
 	}
 
 	// 3. Shared refresh scheduling across all violated views/groups.
-	e.repairLocked(ts, t, lk)
+	e.repairLocked(ts, st)
 
 	// 4. Notifications: push to each subscription whose visible state
 	// changed.
@@ -490,8 +522,10 @@ func (e *Engine) processTableLocked(ts *tableState, ds *dirtySet) {
 // CHOOSE_REFRESH per violated view/group against the strictest
 // subscriber constraint (scaled by the refresh margin), plans deduped
 // into a single batched refresh, demand fed back to width policies, and
-// contributions re-read for the refreshed keys. Caller holds e.mu.
-func (e *Engine) repairLocked(ts *tableState, t *relation.Table, lk *sync.RWMutex) {
+// contributions re-read for the refreshed keys (shard by shard, under
+// shard read locks). No shard lock is held across the oracle fetch.
+// Caller holds e.mu.
+func (e *Engine) repairLocked(ts *tableState, st *relation.Store) {
 	type viewPlan struct {
 		v    *view
 		plan refresh.Plan
@@ -585,14 +619,21 @@ func (e *Engine) repairLocked(ts *tableState, t *relation.Table, lk *sync.RWMute
 	}
 
 	// Re-read the refreshed keys and re-fold, so this round's
-	// notifications already reflect the repaired answers.
-	lk.RLock()
-	for _, v := range ts.views {
-		for key := range vals {
-			v.updateKey(t, key)
-		}
+	// notifications already reflect the repaired answers. Keys are
+	// grouped by owning shard, one read lock per touched shard.
+	byShard := make(map[int][]int64)
+	for key := range vals {
+		byShard[st.ShardOf(key)] = append(byShard[st.ShardOf(key)], key)
 	}
-	lk.RUnlock()
+	for si, ks := range byShard {
+		st.ViewShard(si, func(t *relation.Table) {
+			for _, v := range ts.views {
+				for _, key := range ks {
+					v.updateKey(t, key)
+				}
+			}
+		})
+	}
 	for _, v := range ts.views {
 		v.recompute()
 	}

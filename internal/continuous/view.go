@@ -123,26 +123,31 @@ func (v *view) classify(tu *relation.Tuple) (predicate.Class, interval.Interval)
 	return cls, b
 }
 
-// rebuild reconstructs the whole contribution state from the table.
-// Used on first build and on clock ticks, when every bound has widened.
-// The caller holds the table's read lock.
-func (v *view) rebuild(t *relation.Table) {
-	v.contrib = make(map[int64]*contrib, t.Len())
+// reset clears the contribution state ahead of a rebuild. The engine
+// then feeds every tuple through applyTuple, shard by shard, and calls
+// finishRebuild. Used on first build and on clock ticks, when every
+// bound has widened.
+func (v *view) reset(capacity int) {
+	v.contrib = make(map[int64]*contrib, capacity)
 	v.groups = make(map[string]*group)
 	if v.scalar() {
 		v.groups[""] = &group{gkey: "", inputs: make(map[int64]aggregate.Input)}
 	}
-	for i := 0; i < t.Len(); i++ {
-		v.applyTuple(t.At(i))
-	}
+	v.built = false
+}
+
+// finishRebuild marks every group dirty (a rebuild recomputes all
+// answers) and the view built.
+func (v *view) finishRebuild() {
 	for _, g := range v.groups {
 		g.dirty = true
 	}
 	v.built = true
 }
 
-// updateKey refreshes one object's contribution from the table (removing
-// it if the object is gone). The caller holds the table's read lock.
+// updateKey refreshes one object's contribution from its shard table
+// (removing it if the object is gone). The caller holds the shard's read
+// lock; the table must be the shard owning the key.
 func (v *view) updateKey(t *relation.Table, key int64) {
 	i := t.ByKey(key)
 	if i < 0 {

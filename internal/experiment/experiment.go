@@ -274,9 +274,8 @@ func Adaptive(objects, rounds int, seed int64) []AdaptiveRow {
 			// precision constraint, triggering query-initiated refreshes.
 			if round%5 == 4 {
 				c.Sync()
-				tab := c.Table()
-				v := tab.Schema().MustLookup("v")
-				plan, err := refresh.Choose(tab, v, aggregate.Sum, nil, float64(objects)/2, refresh.Options{})
+				v := c.Schema().MustLookup("v")
+				plan, err := refresh.ChooseStore(c.Store(), v, aggregate.Sum, nil, float64(objects)/2, refresh.Options{})
 				if err != nil {
 					panic(err)
 				}

@@ -157,7 +157,7 @@ func TestWriteTable(t *testing.T) {
 }
 
 func TestConcurrentBenchmarkRuns(t *testing.T) {
-	res, err := Concurrent(2, 40, 4, DefaultSeed, 100*time.Millisecond)
+	res, err := Concurrent(2, 0, 40, 4, DefaultSeed, 100*time.Millisecond, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,5 +166,18 @@ func TestConcurrentBenchmarkRuns(t *testing.T) {
 	}
 	if res.P50 < 0 || res.P99 < res.P50 {
 		t.Errorf("latency percentiles = %v, %v", res.P50, res.P99)
+	}
+}
+
+func TestConcurrentMixedModeRuns(t *testing.T) {
+	res, err := Concurrent(2, 2, 40, 4, DefaultSeed, 100*time.Millisecond, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updaters != 2 || res.Pushes <= 0 || res.PushRate <= 0 {
+		t.Errorf("mixed-mode result = %+v", res)
+	}
+	if res.Queries <= 0 || res.QPS <= 0 {
+		t.Errorf("mixed-mode result = %+v", res)
 	}
 }

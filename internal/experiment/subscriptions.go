@@ -167,7 +167,7 @@ func Subscriptions(mode string, subscribers, links, srcCount, rounds int, seed i
 		return SubscriptionModeResult{}, err
 	}
 	defer sys.Close()
-	schema := sys.MountedCache("links").Table().Schema()
+	schema := sys.MountedCache("links").Schema()
 	queries := make([]query.Query, subscribers)
 	for i := range queries {
 		queries[i] = subscriptionQuery(i, schema)

@@ -51,13 +51,12 @@ func (p *Processor) ExecuteGroupBy(q Query) ([]GroupRow, error) {
 	if e == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, q.Table)
 	}
-	t := e.table
 	groupCols := q.GroupBy
 	if len(groupCols) == 0 {
 		return nil, fmt.Errorf("query: ExecuteGroupBy needs at least one grouping column")
 	}
 	q.GroupBy = nil // subqueries are scalar
-	schema := t.Schema()
+	schema := e.schema()
 	colIdx := make([]int, len(groupCols))
 	for i, name := range groupCols {
 		ci, ok := schema.Lookup(name)
@@ -71,13 +70,11 @@ func (p *Processor) ExecuteGroupBy(q Query) ([]GroupRow, error) {
 	}
 
 	// Enumerate distinct group keys from the cached table; exact columns
-	// are points, so this is precise. The scan shares the table read lock.
+	// are points, so this is precise. The scan shares the read lock(s).
 	type groupKey string
 	seen := make(map[groupKey][]float64)
 	var order []groupKey
-	e.lock.RLock()
-	for i := 0; i < t.Len(); i++ {
-		tu := t.At(i)
+	e.forEachTuple(func(tu *relation.Tuple) {
 		vals := make([]float64, len(colIdx))
 		for j, ci := range colIdx {
 			vals[j] = tu.Bounds[ci].Lo
@@ -87,8 +84,7 @@ func (p *Processor) ExecuteGroupBy(q Query) ([]GroupRow, error) {
 			seen[k] = vals
 			order = append(order, k)
 		}
-	}
-	e.lock.RUnlock()
+	})
 	sort.Slice(order, func(a, b int) bool {
 		va, vb := seen[order[a]], seen[order[b]]
 		for i := range va {
@@ -164,14 +160,12 @@ func (proc *Processor) ExecuteRelative(q Query, p float64) (Result, error) {
 	if e == nil {
 		return Result{}, fmt.Errorf("%w: %q", ErrUnknownTable, q.Table)
 	}
-	t := e.table
-	col, ok := t.Schema().Lookup(q.Column)
+	col, ok := e.schema().Lookup(q.Column)
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, q.Table, q.Column)
 	}
-	e.lock.RLock()
-	initial := aggregate.EvalParallel(t, col, q.Agg, q.Where, proc.opts.Parallelism)
-	e.lock.RUnlock()
+	inputs, tableLen := e.snapshot(col, q.Where, proc.opts.Parallelism)
+	initial := aggregate.EvalInputs(inputs, q.Agg, predicate.IsTrivial(q.Where), tableLen)
 	q.Within = RelativeR(initial, p)
 	res, err := proc.Execute(q)
 	res.Initial = initial
@@ -190,8 +184,7 @@ func (proc *Processor) ExecuteIterative(q Query) (Result, error) {
 	if e == nil {
 		return Result{}, fmt.Errorf("%w: %q", ErrUnknownTable, q.Table)
 	}
-	t := e.table
-	col, ok := t.Schema().Lookup(q.Column)
+	col, ok := e.schema().Lookup(q.Column)
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, q.Table, q.Column)
 	}
@@ -202,12 +195,9 @@ func (proc *Processor) ExecuteIterative(q Query) (Result, error) {
 	noPred := predicate.IsTrivial(q.Where)
 	first := true
 	for {
-		// Snapshot the classification under the read lock; evaluation
+		// Snapshot the classification under the read lock(s); evaluation
 		// and refresh selection then run with no lock held.
-		e.lock.RLock()
-		inputs := aggregate.CollectParallel(t, col, q.Where, true, proc.opts.Parallelism)
-		tableLen := t.Len()
-		e.lock.RUnlock()
+		inputs, tableLen := e.snapshot(col, q.Where, proc.opts.Parallelism)
 		res.Answer = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
 		if first {
 			res.Initial = res.Answer
@@ -254,16 +244,10 @@ func (proc *Processor) ExecuteIterative(q Query) (Result, error) {
 			if !ok {
 				return res, fmt.Errorf("query: oracle has no master values for key %d", key)
 			}
-			installed := false
-			e.lock.Lock()
-			if i := t.ByKey(key); i >= 0 {
-				if err := t.Refresh(i, vals); err != nil {
-					e.lock.Unlock()
-					return res, err
-				}
-				installed = true
+			installed, err := e.install(key, vals)
+			if err != nil {
+				return res, err
 			}
-			e.lock.Unlock()
 			if !installed {
 				continue // key vanished mid-round; nothing was refreshed
 			}

@@ -14,16 +14,19 @@
 // # Concurrency
 //
 // The Processor is safe for concurrent use: any number of goroutines may
-// Execute queries (against the same or different tables) while tables
-// are registered. Each registered table carries an RWMutex — shared with
-// the owning cache via RegisterShared, or private otherwise — and the
-// three-step execution brackets its phases with it: the aggregation
-// scans of steps 1 and 3 and the CHOOSE_REFRESH scan of step 2 hold it
-// for reading (so concurrent queries scan in parallel), while installing
-// refreshed values holds it for writing. Refresh fetches themselves run
-// outside any table lock so that slow sources never block scans; when
-// the oracle implements BatchOracle the whole refresh set is fetched as
-// parallel per-source batches.
+// Execute queries (against the same or different relations) while
+// registrations happen. A registration is either a sharded store
+// (RegisterStore — the cache path) whose per-shard RWMutexes are shared
+// with the owning cache, or a flat table (Register/RegisterShared) with
+// a single lock. The three-step execution brackets its phases with
+// those locks: the aggregation scans of steps 1 and 3 and the
+// CHOOSE_REFRESH scan of step 2 hold shard read locks one shard at a
+// time (so concurrent queries scan in parallel and a source push blocks
+// only scans of the shard owning the pushed key), while installing
+// refreshed values write-locks only the shards owning keys in the plan.
+// Refresh fetches themselves run outside all locks so that slow sources
+// never block scans; when the oracle implements BatchOracle the whole
+// refresh set is fetched as parallel per-source batches.
 package query
 
 import (
@@ -138,12 +141,78 @@ type Result struct {
 	Met bool
 }
 
-// tableEntry is one registered table with its oracle and the RWMutex
-// guarding the table's contents.
+// tableEntry is one registered table with its oracle. A registration is
+// either flat — a relation.Table plus the RWMutex guarding it — or
+// sharded — a relation.Store carrying its own per-shard locks. The
+// execution methods below hide the difference: scans take the read
+// lock(s), installs take only the write lock(s) covering the mutated
+// keys.
 type tableEntry struct {
-	table  *relation.Table
+	table  *relation.Table // flat registration; nil when store is set
+	store  *relation.Store // sharded registration
 	oracle Oracle
-	lock   *sync.RWMutex
+	lock   *sync.RWMutex // guards table; unused for sharded registrations
+}
+
+// schema returns the registered relation's schema.
+func (e *tableEntry) schema() *relation.Schema {
+	if e.store != nil {
+		return e.store.Schema()
+	}
+	return e.table.Schema()
+}
+
+// snapshot classifies the relation's tuples over column col under the
+// predicate, returning the canonical key-ordered inputs and the
+// cardinality at scan time. Flat tables are scanned serially under the
+// table read lock; sharded stores scan shard-parallel, each worker
+// holding only its shard's read lock.
+func (e *tableEntry) snapshot(col int, where predicate.Expr, workers int) ([]aggregate.Input, int) {
+	if e.store != nil {
+		return aggregate.CollectStore(e.store, col, where, true, workers)
+	}
+	e.lock.RLock()
+	defer e.lock.RUnlock()
+	return aggregate.Collect(e.table, col, where, true), e.table.Len()
+}
+
+// install writes refreshed exact values for one key, write-locking only
+// the owning shard (sharded) or the whole table (flat). It reports
+// whether the key was still present — a dropped key no longer
+// contributes and installs nothing.
+func (e *tableEntry) install(key int64, vals []float64) (bool, error) {
+	if e.store != nil {
+		return e.store.Refresh(key, vals)
+	}
+	e.lock.Lock()
+	defer e.lock.Unlock()
+	i := e.table.ByKey(key)
+	if i < 0 {
+		return false, nil
+	}
+	return true, e.table.Refresh(i, vals)
+}
+
+// forEachTuple visits every tuple under the appropriate read lock(s):
+// the whole table for flat registrations, shard by shard in ascending
+// index order for sharded ones. The tuple pointer is only valid during
+// the callback.
+func (e *tableEntry) forEachTuple(fn func(tu *relation.Tuple)) {
+	if e.store != nil {
+		for si := 0; si < e.store.NumShards(); si++ {
+			e.store.ViewShard(si, func(t *relation.Table) {
+				for i := 0; i < t.Len(); i++ {
+					fn(t.At(i))
+				}
+			})
+		}
+		return
+	}
+	e.lock.RLock()
+	defer e.lock.RUnlock()
+	for i := 0; i < e.table.Len(); i++ {
+		fn(e.table.At(i))
+	}
 }
 
 // Processor executes bounded queries over a set of cached tables, pulling
@@ -183,6 +252,16 @@ func (p *Processor) RegisterShared(name string, t *relation.Table, o Oracle, loc
 	p.entries[name] = &tableEntry{table: t, oracle: o, lock: lock}
 }
 
+// RegisterStore adds a sharded cached relation. The store's per-shard
+// locks are shared with whatever other component mutates it (the cache
+// applying source pushes): scans take shard read locks, installs
+// write-lock only the shards owning refreshed keys.
+func (p *Processor) RegisterStore(name string, st *relation.Store, o Oracle) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries[name] = &tableEntry{store: st, oracle: o}
+}
+
 // entry returns the registration for a table, or nil.
 func (p *Processor) entry(name string) *tableEntry {
 	p.mu.RLock()
@@ -190,10 +269,20 @@ func (p *Processor) entry(name string) *tableEntry {
 	return p.entries[name]
 }
 
-// Table returns a registered table, or nil.
+// Table returns a registered flat table, or nil (also nil for sharded
+// registrations; see Store).
 func (p *Processor) Table(name string) *relation.Table {
 	if e := p.entry(name); e != nil {
 		return e.table
+	}
+	return nil
+}
+
+// Store returns a registered sharded store, or nil for flat
+// registrations and unknown names.
+func (p *Processor) Store(name string) *relation.Store {
+	if e := p.entry(name); e != nil {
+		return e.store
 	}
 	return nil
 }
@@ -224,8 +313,7 @@ func (p *Processor) Execute(q Query) (Result, error) {
 	if e == nil {
 		return Result{}, fmt.Errorf("%w: %q", ErrUnknownTable, q.Table)
 	}
-	t := e.table
-	col, ok := t.Schema().Lookup(q.Column)
+	col, ok := e.schema().Lookup(q.Column)
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, q.Table, q.Column)
 	}
@@ -234,25 +322,36 @@ func (p *Processor) Execute(q Query) (Result, error) {
 	}
 
 	// Step 1: initial bounded answer from cached bounds. The scan holds
-	// the table read lock, so concurrent queries evaluate in parallel;
-	// the collected inputs are reused for refresh selection, and the
-	// (possibly slow) knapsack solve runs with no lock held.
+	// read locks, so concurrent queries evaluate in parallel. Over a
+	// sharded store the answer is folded in one streaming pass (pooled
+	// buffers, no Input materialization) — the hot path for queries
+	// answered from cache; the Input snapshot is materialized only when
+	// refresh selection actually needs it. Flat tables snapshot once and
+	// reuse the inputs. The (possibly slow) knapsack solve runs with no
+	// lock held.
 	var res Result
 	noPred := predicate.IsTrivial(q.Where)
-	e.lock.RLock()
-	inputs := aggregate.CollectParallel(t, col, q.Where, true, p.opts.Parallelism)
-	tableLen := t.Len()
-	e.lock.RUnlock()
-	res.Initial = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
+	var inputs []aggregate.Input
+	var tableLen int
+	if e.store != nil {
+		res.Initial, tableLen = aggregate.EvalStoreStream(e.store, col, q.Agg, q.Where)
+	} else {
+		inputs, tableLen = e.snapshot(col, q.Where, p.opts.Parallelism)
+		res.Initial = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
+	}
 	res.Answer = res.Initial
 	if Satisfies(res.Answer, q.Within) {
 		res.Met = true
 		return res, nil
 	}
 
-	// Step 2: choose refreshes from the snapshot, fetch the exact values
+	// Step 2: choose refreshes from a snapshot, fetch the exact values
 	// outside any table lock — slow sources must not block other
-	// queries' scans — and install them under the write lock.
+	// queries' scans — and install them write-locking only the shards
+	// owning keys in the plan.
+	if inputs == nil {
+		inputs, tableLen = e.snapshot(col, q.Where, p.opts.Parallelism)
+	}
 	start := time.Now()
 	plan, err := refresh.ChooseFromInputs(inputs, q.Agg, noPred, q.Within, tableLen, p.opts)
 	res.ChooseTime = time.Since(start)
@@ -289,28 +388,26 @@ func (p *Processor) Execute(q Query) (Result, error) {
 			if err != nil {
 				return res, err
 			}
-			e.lock.Lock()
 			for _, key := range plan.Keys {
-				i := t.ByKey(key)
-				if i < 0 {
-					// The object was dropped while we fetched; it no
-					// longer contributes, so nothing to install.
-					continue
-				}
-				if err := t.Refresh(i, vals[key]); err != nil {
-					e.lock.Unlock()
+				// A dropped key no longer contributes; nothing to install.
+				installed, err := e.install(key, vals[key])
+				if err != nil {
 					return res, err
 				}
-				refreshed(key)
+				if installed {
+					refreshed(key)
+				}
 			}
-			e.lock.Unlock()
 		}
 	}
 
 	// Step 3: recompute from the partially refreshed cache.
-	e.lock.RLock()
-	res.Answer = aggregate.EvalParallel(t, col, q.Agg, q.Where, p.opts.Parallelism)
-	e.lock.RUnlock()
+	if e.store != nil {
+		res.Answer, _ = aggregate.EvalStoreStream(e.store, col, q.Agg, q.Where)
+	} else {
+		inputs, tableLen = e.snapshot(col, q.Where, p.opts.Parallelism)
+		res.Answer = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
+	}
 	res.Met = Satisfies(res.Answer, q.Within)
 	return res, nil
 }

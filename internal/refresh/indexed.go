@@ -86,6 +86,43 @@ func ChooseUniformSumIndexed(t *relation.Table, col int, width *relation.Index, 
 	return planFromKeys(t, keys), nil
 }
 
+// ChooseMinIndexedStore is ChooseMinIndexed over a sharded store with a
+// ShardedIndex pair: one minimum probe per shard tree plus per-shard
+// range scans, touching only the selected tuples. The caller must not
+// hold any shard lock (plan materialization takes each key's shard read
+// lock internally) and must coordinate index maintenance with store
+// mutations, as with the flat Index. The returned plan's key set equals
+// ChooseMinIndexed's over a flat table with the same tuples; keys are
+// in ascending key order.
+func ChooseMinIndexedStore(st *relation.Store, lower, upper *relation.ShardedIndex, r float64) (Plan, error) {
+	if r < 0 || math.IsNaN(r) {
+		return Plan{}, fmt.Errorf("refresh: invalid precision constraint %g", r)
+	}
+	if math.IsInf(r, 1) {
+		return Plan{}, nil
+	}
+	minH, _, ok := upper.Min()
+	if !ok {
+		return Plan{}, nil // empty store
+	}
+	return planFromStoreKeys(st, lower.KeysLess(minH-r)), nil
+}
+
+// ChooseMaxIndexedStore is the symmetric MAX plan over a sharded store.
+func ChooseMaxIndexedStore(st *relation.Store, lower, upper *relation.ShardedIndex, r float64) (Plan, error) {
+	if r < 0 || math.IsNaN(r) {
+		return Plan{}, fmt.Errorf("refresh: invalid precision constraint %g", r)
+	}
+	if math.IsInf(r, 1) {
+		return Plan{}, nil
+	}
+	maxL, _, ok := lower.Max()
+	if !ok {
+		return Plan{}, nil
+	}
+	return planFromStoreKeys(st, upper.KeysGreater(maxL+r)), nil
+}
+
 // planFromKeys materializes a plan from tuple keys.
 func planFromKeys(t *relation.Table, keys []int64) Plan {
 	p := Plan{Keys: make([]int64, 0, len(keys)), Indexes: make([]int, 0, len(keys))}
@@ -97,6 +134,24 @@ func planFromKeys(t *relation.Table, keys []int64) Plan {
 		p.Keys = append(p.Keys, key)
 		p.Indexes = append(p.Indexes, i)
 		p.Cost += t.At(i).Cost
+	}
+	return p
+}
+
+// planFromStoreKeys materializes a plan from tuple keys of a sharded
+// store. Indexes hold positions in the plan's own key order (a sharded
+// store has no global physical positions).
+func planFromStoreKeys(st *relation.Store, keys []int64) Plan {
+	p := Plan{Keys: make([]int64, 0, len(keys)), Indexes: make([]int, 0, len(keys))}
+	for _, key := range keys {
+		tu, ok := st.Get(key)
+		if !ok {
+			continue
+		}
+		p.Indexes = append(p.Indexes, len(p.Keys))
+		p.Keys = append(p.Keys, key)
+		p.Costs = append(p.Costs, tu.Cost)
+		p.Cost += tu.Cost
 	}
 	return p
 }

@@ -1,0 +1,103 @@
+package refresh
+
+import (
+	"math"
+	"testing"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/relation"
+	"trapp/internal/workload"
+)
+
+// stockStoreWithIndexes mirrors stockWithIndexes over a sharded store.
+func stockStoreWithIndexes(n int, nshards int, seed int64) (*relation.Store, *relation.ShardedIndex, *relation.ShardedIndex, int) {
+	quotes := workload.StockDay(n, seed)
+	st := relation.NewStore(workload.StockSchema(), nshards)
+	price := st.Schema().MustLookup("price")
+	flat := workload.StockTable(quotes)
+	for i := 0; i < flat.Len(); i++ {
+		st.MustInsert(flat.At(i).Clone())
+	}
+	lower := relation.NewShardedIndex(st, price, relation.LowerEndpoint)
+	upper := relation.NewShardedIndex(st, price, relation.UpperEndpoint)
+	return st, lower, upper, price
+}
+
+// TestChooseIndexedStoreMatchesFlat checks the sharded indexed MIN/MAX
+// planners select exactly the flat planners' key sets at equal cost.
+func TestChooseIndexedStoreMatchesFlat(t *testing.T) {
+	tab, flatLower, flatUpper, _, price := stockWithIndexes(90, 7)
+	for _, nshards := range []int{1, 8} {
+		st, lower, upper, sprice := stockStoreWithIndexes(90, nshards, 7)
+		if sprice != price {
+			t.Fatal("column mismatch")
+		}
+		for _, r := range []float64{0, 5, 20, 100, math.Inf(1)} {
+			flatMin, err := ChooseMinIndexed(tab, flatLower, flatUpper, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shMin, err := ChooseMinIndexedStore(st, lower, upper, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := sortedKeys(flatMin.Keys), sortedKeys(shMin.Keys); len(a) != len(b) {
+				t.Fatalf("shards=%d R=%g MIN: %d keys vs %d", nshards, r, len(a), len(b))
+			} else {
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("shards=%d R=%g MIN key sets differ: %v vs %v", nshards, r, a, b)
+					}
+				}
+			}
+			if math.Abs(flatMin.Cost-shMin.Cost) > 1e-9 {
+				t.Errorf("shards=%d R=%g MIN cost %g vs %g", nshards, r, flatMin.Cost, shMin.Cost)
+			}
+			flatMax, err := ChooseMaxIndexed(tab, flatLower, flatUpper, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shMax, err := ChooseMaxIndexedStore(st, lower, upper, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := sortedKeys(flatMax.Keys), sortedKeys(shMax.Keys); len(a) != len(b) {
+				t.Fatalf("shards=%d R=%g MAX: %d keys vs %d", nshards, r, len(a), len(b))
+			} else {
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("shards=%d R=%g MAX key sets differ: %v vs %v", nshards, r, a, b)
+					}
+				}
+			}
+		}
+		// Invalid constraints are rejected like the flat planners.
+		if _, err := ChooseMinIndexedStore(st, lower, upper, -1); err == nil {
+			t.Error("negative R accepted")
+		}
+		if _, err := ChooseMaxIndexedStore(st, lower, upper, math.NaN()); err == nil {
+			t.Error("NaN R accepted")
+		}
+	}
+	// The sharded planners also agree with the plain scans.
+	st, lower, upper, sprice := stockStoreWithIndexes(90, 8, 7)
+	for _, r := range []float64{0, 5, 20} {
+		scan, err := ChooseStore(st, sprice, aggregate.Min, nil, r, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := ChooseMinIndexedStore(st, lower, upper, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := sortedKeys(scan.Keys), sortedKeys(idx.Keys); len(a) != len(b) {
+			t.Fatalf("R=%g: scan %d keys, indexed %d", r, len(a), len(b))
+		} else {
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("R=%g: scan vs indexed key sets differ", r)
+				}
+			}
+		}
+	}
+}

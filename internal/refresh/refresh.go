@@ -76,9 +76,10 @@ type Options struct {
 	Epsilon float64
 	// Solver selects the knapsack algorithm; zero value is Auto.
 	Solver Solver
-	// Parallelism is the worker count for parallel aggregation and
-	// CHOOSE_REFRESH scans over large tables; 0 means GOMAXPROCS and 1
-	// forces serial scans. Small tables are always scanned serially.
+	// Parallelism is the worker count for shard-parallel aggregation and
+	// CHOOSE_REFRESH scans over sharded stores; 0 means GOMAXPROCS and 1
+	// forces serial scans. Flat (unsharded) tables are always scanned
+	// serially.
 	Parallelism int
 }
 
@@ -124,8 +125,24 @@ func Choose(t *relation.Table, col int, fn aggregate.Func, p predicate.Expr, r f
 	if math.IsInf(r, 1) {
 		return Plan{}, nil
 	}
-	inputs := aggregate.CollectParallel(t, col, p, true, opts.Parallelism)
+	inputs := aggregate.Collect(t, col, p, true)
 	return ChooseFromInputs(inputs, fn, predicate.IsTrivial(p), r, t.Len(), opts)
+}
+
+// ChooseStore is Choose over a sharded store: the classification scan is
+// shard-parallel (one worker per shard up to Options.Parallelism, each
+// holding only its shard's read lock) and the collected inputs are in the
+// canonical ascending-key order, so the selected plan is identical to
+// Choose's over a flat table holding the same tuples.
+func ChooseStore(st *relation.Store, col int, fn aggregate.Func, p predicate.Expr, r float64, opts Options) (Plan, error) {
+	if r < 0 || math.IsNaN(r) {
+		return Plan{}, fmt.Errorf("refresh: invalid precision constraint %g", r)
+	}
+	if math.IsInf(r, 1) {
+		return Plan{}, nil
+	}
+	inputs, tableLen := aggregate.CollectStore(st, col, p, true, opts.Parallelism)
+	return ChooseFromInputs(inputs, fn, predicate.IsTrivial(p), r, tableLen, opts)
 }
 
 // ChooseFromInputs runs refresh selection over pre-collected inputs (see

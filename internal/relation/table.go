@@ -29,12 +29,12 @@ func (t Tuple) Clone() Tuple {
 }
 
 // Table is a cached relation: an ordered collection of tuples sharing a
-// schema. A Table performs no locking of its own: concurrent access is
-// coordinated by the RWMutex owned by the cache holding the table (see
-// cache.Cache.TableLock), which the query processor shares — scans hold
-// it for reading, refresh installation and source pushes for writing.
-// Standalone tables (tests, direct Processor registration) get a private
-// lock from the processor, or may be used unlocked single-threaded.
+// schema. A Table performs no locking of its own: as a shard of a Store
+// it is guarded by that shard's RWMutex (see Store), which the query
+// processor shares — scans hold it for reading, refresh installation and
+// source pushes for writing. Standalone tables (tests, direct Processor
+// registration) get a private lock from the processor, or may be used
+// unlocked single-threaded.
 type Table struct {
 	schema *Schema
 	tuples []Tuple

@@ -219,7 +219,15 @@ func (s *Source) SetValue(key int64, values []float64) error {
 		if regContains(reg, now, o.values) {
 			continue
 		}
-		o.policy.ObserveValueRefresh()
+		// An escape at the tick the bound was promised (dt = 0, where every
+		// shape yields a zero-width bound) says nothing about the width
+		// parameter — any movement at all escapes a point. Push the refresh
+		// but only feed the "too narrow" signal to the policy when time has
+		// actually passed; otherwise rapid same-tick updates would double
+		// the width without bound.
+		if len(reg.bounds) == 0 || reg.bounds[0].RefreshedAt < now {
+			o.policy.ObserveValueRefresh()
+		}
 		r := s.makeRefreshLocked(key, o, reg, ValueInitiated)
 		s.net.Send(netsim.ValueRefresh, o.cost)
 		pushes = append(pushes, push{reg.sub, r})

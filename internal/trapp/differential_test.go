@@ -1,0 +1,264 @@
+package trapp
+
+// Differential property test for the sharded storage layer: a randomized
+// workload of inserts, deletes, source pushes, clock advances, refreshes
+// and mixed queries is replayed, operation for operation, against two
+// Systems that differ only in their cache's shard count — one shard (the
+// flat reference layout: a single tuple slice, key index and lock,
+// exactly the seed's store) versus the default sharded layout. Every
+// bounded answer must be bit-identical between the two, and every
+// CHOOSE_REFRESH plan must select the identical key set — the guarantee
+// that sharding changes only the locking granularity, never the
+// semantics.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/boundfn"
+	"trapp/internal/cache"
+	"trapp/internal/predicate"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+	"trapp/internal/source"
+)
+
+// diffSystem is one side of the differential pair.
+type diffSystem struct {
+	sys  *System
+	c    *cache.Cache
+	srcs []*source.Source
+}
+
+const (
+	diffSources = 4
+	diffObjects = 24 // initial objects per source
+)
+
+func newDiffSystem(t *testing.T, nshards int) *diffSystem {
+	t.Helper()
+	sys := NewSystem(refresh.Options{})
+	schema := relation.NewSchema(
+		relation.Column{Name: "grp", Kind: relation.Exact},
+		relation.Column{Name: "value", Kind: relation.Bounded},
+	)
+	c, err := sys.AddCacheSharded("monitor", schema, nshards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &diffSystem{sys: sys, c: c}
+	for si := 0; si < diffSources; si++ {
+		src, err := sys.AddSource(fmt.Sprintf("s%d", si), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.srcs = append(d.srcs, src)
+	}
+	for si := 0; si < diffSources; si++ {
+		for oi := 0; oi < diffObjects; oi++ {
+			key := int64(si*1000 + oi)
+			d.addObject(t, key, 100+float64(key%97))
+		}
+	}
+	if err := sys.Mount("vals", c); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// addObject registers and subscribes one object (deterministic cost and
+// group derived from the key).
+func (d *diffSystem) addObject(t *testing.T, key int64, value float64) {
+	t.Helper()
+	src := d.srcs[int(key/1000)%diffSources]
+	cost := float64(1 + key%5)
+	if err := src.AddObject(key, []float64{value}, cost, boundfn.NewAdaptiveWidth(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.c.Subscribe(src, key, []float64{float64(key % 3)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// diffQuery builds the i'th random query; the rng drives both systems
+// identically.
+func diffQuery(rng *rand.Rand) query.Query {
+	aggs := []aggregate.Func{aggregate.Sum, aggregate.Avg, aggregate.Min, aggregate.Max, aggregate.Count}
+	q := query.NewQuery("vals", aggs[rng.Intn(len(aggs))], "value")
+	switch rng.Intn(4) {
+	case 0: // imprecise: keep +Inf
+	case 1:
+		q.Within = 0 // precise
+	default:
+		q.Within = []float64{5, 25, 100, 400}[rng.Intn(4)]
+	}
+	if rng.Intn(3) == 0 {
+		q.Where = predicate.NewCmp(predicate.Column(1, "value"), predicate.Gt, predicate.Const(100+rng.Float64()*60))
+	}
+	if rng.Intn(5) == 0 {
+		q.GroupBy = []string{"grp"}
+	}
+	return q
+}
+
+func TestDifferentialShardedVsFlat(t *testing.T) {
+	ref := newDiffSystem(t, 1)                     // flat reference
+	sh := newDiffSystem(t, relation.DefaultShards) // sharded store
+	if got := sh.c.Store().NumShards(); got <= 1 {
+		t.Fatalf("sharded side has %d shards", got)
+	}
+	rng := rand.New(rand.NewSource(20260730))
+	nextKey := int64(9000)
+	live := sh.c.Keys()
+
+	checkQuery := func(step int, q query.Query) {
+		t.Helper()
+		if len(q.GroupBy) > 0 {
+			// GROUP BY: every group row must match key-for-key (the
+			// processor is reached directly; System has no group-by
+			// entry point beyond subscriptions).
+			ref.c.Sync()
+			sh.c.Sync()
+			refRows, err1 := ref.sys.proc.ExecuteGroupBy(q)
+			shRows, err2 := sh.sys.proc.ExecuteGroupBy(q)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("step %d %v: errors differ: %v vs %v", step, q, err1, err2)
+			}
+			if err1 != nil {
+				return
+			}
+			if len(refRows) != len(shRows) {
+				t.Fatalf("step %d %v: %d groups vs %d", step, q, len(refRows), len(shRows))
+			}
+			for i := range refRows {
+				if fmt.Sprint(refRows[i].Key) != fmt.Sprint(shRows[i].Key) {
+					t.Fatalf("step %d %v: group order differs: %v vs %v", step, q, refRows[i].Key, shRows[i].Key)
+				}
+				if !sameAnswer(refRows[i].Result, shRows[i].Result) {
+					t.Fatalf("step %d %v group %v: answers differ:\nflat    %+v\nsharded %+v",
+						step, q, refRows[i].Key, refRows[i].Result, shRows[i].Result)
+				}
+			}
+			return
+		}
+		// Plan key sets must be identical for constrained scalar queries:
+		// compute CHOOSE_REFRESH over both stores' current state.
+		if !math.IsInf(q.Within, 1) {
+			col := ref.c.Schema().MustLookup(q.Column)
+			ref.c.Sync()
+			sh.c.Sync()
+			refPlan, err1 := refresh.ChooseStore(ref.c.Store(), col, q.Agg, q.Where, q.Within, refresh.Options{})
+			shPlan, err2 := refresh.ChooseStore(sh.c.Store(), col, q.Agg, q.Where, q.Within, refresh.Options{})
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("step %d %v: plan errors differ: %v vs %v", step, q, err1, err2)
+			}
+			if err1 == nil {
+				if len(refPlan.Keys) != len(shPlan.Keys) {
+					t.Fatalf("step %d %v: plan sizes differ: %v vs %v", step, q, refPlan.Keys, shPlan.Keys)
+				}
+				for i := range refPlan.Keys {
+					if refPlan.Keys[i] != shPlan.Keys[i] {
+						t.Fatalf("step %d %v: plan key sets differ:\nflat    %v\nsharded %v",
+							step, q, refPlan.Keys, shPlan.Keys)
+					}
+				}
+			}
+		}
+		refRes, err1 := ref.sys.Execute(q)
+		shRes, err2 := sh.sys.Execute(q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("step %d %v: errors differ: %v vs %v", step, q, err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if !sameAnswer(refRes, shRes) {
+			t.Fatalf("step %d %v: results differ:\nflat    %+v\nsharded %+v", step, q, refRes, shRes)
+		}
+	}
+
+	const steps = 1500
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3: // source push (may or may not escape the bound)
+			if len(live) == 0 {
+				continue
+			}
+			key := live[rng.Intn(len(live))]
+			v := 100 + float64(key%97) + (rng.Float64()*2-1)*12
+			si := int(key/1000) % diffSources
+			if err := ref.srcs[si].SetValue(key, []float64{v}); err != nil {
+				t.Fatal(err)
+			}
+			if err := sh.srcs[si].SetValue(key, []float64{v}); err != nil {
+				t.Fatal(err)
+			}
+		case op == 3: // clock tick (bounds widen on both sides)
+			ref.sys.Clock.Advance(1)
+			sh.sys.Clock.Advance(1)
+		case op == 4 && len(live) > 40: // propagated delete
+			i := rng.Intn(len(live))
+			key := live[i]
+			if !ref.c.Drop(key) || !sh.c.Drop(key) {
+				t.Fatalf("step %d: drop %d failed", step, key)
+			}
+			live = append(live[:i], live[i+1:]...)
+		case op == 5 && rng.Intn(2) == 0: // insert a fresh object
+			nextKey++
+			v := 100 + float64(nextKey%97)
+			ref.addObject(t, nextKey, v)
+			sh.addObject(t, nextKey, v)
+			live = append(live, nextKey)
+		case op == 6: // direct single-object refresh (Oracle path)
+			if len(live) == 0 {
+				continue
+			}
+			key := live[rng.Intn(len(live))]
+			_, ok1 := ref.c.Master(key)
+			_, ok2 := sh.c.Master(key)
+			if ok1 != ok2 {
+				t.Fatalf("step %d: Master(%d) diverged: %v vs %v", step, key, ok1, ok2)
+			}
+		default: // mixed query
+			checkQuery(step, diffQuery(rng))
+		}
+		if step%250 == 249 {
+			// Cached key sets stay identical (Keys is documented sorted).
+			rk, sk := ref.c.Keys(), sh.c.Keys()
+			if len(rk) != len(sk) {
+				t.Fatalf("step %d: key sets differ in size: %d vs %d", step, len(rk), len(sk))
+			}
+			for i := range rk {
+				if rk[i] != sk[i] {
+					t.Fatalf("step %d: sorted key sets differ at %d: %d vs %d", step, i, rk[i], sk[i])
+				}
+			}
+		}
+	}
+}
+
+// sameAnswer compares the observable parts of two results bit-for-bit:
+// the final and initial bounded answers, the refresh accounting, and the
+// constraint outcome. ChooseTime is wall-clock and excluded.
+func sameAnswer(a, b query.Result) bool {
+	eq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	if a.Answer.IsEmpty() != b.Answer.IsEmpty() {
+		return false
+	}
+	if !a.Answer.IsEmpty() && (!eq(a.Answer.Lo, b.Answer.Lo) || !eq(a.Answer.Hi, b.Answer.Hi)) {
+		return false
+	}
+	if a.Initial.IsEmpty() != b.Initial.IsEmpty() {
+		return false
+	}
+	if !a.Initial.IsEmpty() && (!eq(a.Initial.Lo, b.Initial.Lo) || !eq(a.Initial.Hi, b.Initial.Hi)) {
+		return false
+	}
+	return a.Refreshed == b.Refreshed && a.RefreshCost == b.RefreshCost && a.Met == b.Met
+}

@@ -66,8 +66,8 @@ func TestDelayedPropagationQueues(t *testing.T) {
 	if h.src.Pending() != 2 {
 		t.Fatalf("pending = %d, want 2", h.src.Pending())
 	}
-	if c.Table().Len() != 6 || c.Table().ByKey(7) >= 0 {
-		t.Errorf("cache changed before flush: len=%d", c.Table().Len())
+	if _, has := c.Store().Get(7); c.Len() != 6 || has {
+		t.Errorf("cache changed before flush: len=%d", c.Len())
 	}
 	// Exceeding the slack flushes everything.
 	if err := h.src.RemoveObject(2); err != nil {
@@ -80,10 +80,10 @@ func TestDelayedPropagationQueues(t *testing.T) {
 		t.Fatalf("pending after overflow = %d", h.src.Pending())
 	}
 	// Final membership: started with 6, +7, −1, −2, −3 → 4 tuples.
-	if c.Table().Len() != 4 {
-		t.Errorf("len after flush = %d, want 4", c.Table().Len())
+	if c.Len() != 4 {
+		t.Errorf("len after flush = %d, want 4", c.Len())
 	}
-	if c.Table().ByKey(7) < 0 {
+	if _, has := c.Store().Get(7); !has {
 		t.Error("inserted object 7 missing after flush")
 	}
 }
@@ -162,7 +162,7 @@ func TestSlackZeroPropagatesImmediately(t *testing.T) {
 	if err := h.src.InsertObject(9, []float64{1, 2, 3}, 1, nil, []float64{1, 6}); err != nil {
 		t.Fatal(err)
 	}
-	if c.Table().ByKey(9) < 0 {
+	if _, has := c.Store().Get(9); !has {
 		t.Error("immediate propagation did not insert")
 	}
 	if h.src.Pending() != 0 {

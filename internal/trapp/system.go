@@ -7,10 +7,11 @@
 //
 // The System is a concurrent query engine: any number of goroutines may
 // Execute queries against it while sources apply updates and other
-// goroutines add or mount components. Aggregation scans share per-table
-// read locks, the refresh phase fans out to sources as parallel batched
-// requests, and large scans are additionally data-parallel (see
-// Options.Parallelism). DESIGN.md documents the locking protocol.
+// goroutines add or mount components. Cached relations are sharded
+// stores with per-shard locks: aggregation scans share shard read locks
+// (a push blocks only scans of the shard owning the pushed key) and the
+// refresh phase fans out to sources as parallel batched requests.
+// DESIGN.md documents the shard locking protocol.
 package trapp
 
 import (
@@ -79,14 +80,23 @@ func (s *System) Source(id string) *source.Source {
 	return s.sources[id]
 }
 
-// AddCache creates a data cache with the given table schema.
+// AddCache creates a data cache with the given table schema and the
+// default shard count.
 func (s *System) AddCache(id string, schema *relation.Schema) (*cache.Cache, error) {
+	return s.AddCacheSharded(id, schema, 0)
+}
+
+// AddCacheSharded is AddCache with an explicit store shard count
+// (rounded up to a power of two; ≤ 0 selects the default). One shard
+// yields the flat single-lock layout, used as the reference in
+// differential tests.
+func (s *System) AddCacheSharded(id string, schema *relation.Schema, nshards int) (*cache.Cache, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.caches[id]; dup {
 		return nil, fmt.Errorf("trapp: duplicate cache %q", id)
 	}
-	c := cache.New(id, s.Clock, schema)
+	c := cache.NewSharded(id, s.Clock, schema, nshards)
 	s.caches[id] = c
 	return c, nil
 }
@@ -105,10 +115,11 @@ func (s *System) MountedCache(tableName string) *cache.Cache {
 	return s.tables[tableName]
 }
 
-// Mount exposes a cache's table to the query processor under the given
-// table name, with the cache itself serving query-initiated refreshes.
-// The processor shares the cache's table lock, so source pushes and
-// query scans coordinate on the same RWMutex.
+// Mount exposes a cache's sharded table to the query processor under the
+// given table name, with the cache itself serving query-initiated
+// refreshes. The processor shares the cache's per-shard locks, so source
+// pushes and query scans coordinate shard by shard: a push blocks only
+// scans of the shard owning the pushed key.
 func (s *System) Mount(tableName string, c *cache.Cache) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -116,7 +127,7 @@ func (s *System) Mount(tableName string, c *cache.Cache) error {
 		return fmt.Errorf("trapp: table %q already mounted", tableName)
 	}
 	s.tables[tableName] = c
-	s.proc.RegisterShared(tableName, c.Table(), c, c.TableLock())
+	s.proc.RegisterStore(tableName, c.Store(), c)
 	s.engine.AddTable(tableName, c)
 	return nil
 }

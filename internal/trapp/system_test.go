@@ -182,7 +182,7 @@ func TestPredicateQueryThroughSystem(t *testing.T) {
 	}
 	sys.Clock.Advance(25) // ±15 bounds
 
-	s := c.Table().Schema()
+	s := c.Schema()
 	q := query.NewQuery("links", aggregate.Count, workload.ColLatency)
 	q.Where = predicate.NewCmp(
 		predicate.Column(s.MustLookup(workload.ColTraffic), "traffic"),

@@ -25,10 +25,11 @@
 //	fmt.Println(res.Answer) // e.g. [40.5, 45.5], guaranteed to contain the true AVG
 //
 // A System is safe for concurrent use: any number of goroutines may
-// Execute queries while sources apply updates. Scans share per-table read
-// locks, the refresh phase is fanned out per source as parallel batched
-// requests, and large scans are data-parallel (Options.Parallelism,
-// default GOMAXPROCS).
+// Execute queries while sources apply updates. Cached relations are
+// sharded with per-shard locks: scans share shard read locks (a source
+// push blocks only scans of the shard owning the pushed key), answers are
+// folded in streaming passes with no per-query materialization, and the
+// refresh phase is fanned out per source as parallel batched requests.
 //
 // The package re-exports the user-facing API of the internal packages; see
 // the examples directory for complete programs and DESIGN.md for the
@@ -253,7 +254,7 @@ func (c systemCatalog) SchemaOf(table string) (*Schema, bool) {
 	if cch == nil {
 		return nil, false
 	}
-	return cch.Table().Schema(), true
+	return cch.Schema(), true
 }
 
 // ParseQuery compiles the TRAPP/AG SQL dialect

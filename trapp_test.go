@@ -75,7 +75,7 @@ func TestPublicAPIParseErrors(t *testing.T) {
 func TestPublicAPIHandBuiltQuery(t *testing.T) {
 	sys := buildMonitor(t)
 	sys.Clock.Advance(100)
-	schema := sys.MountedCache("links").Table().Schema()
+	schema := sys.MountedCache("links").Schema()
 	bw := schema.MustLookup(workload.ColBandwidth)
 
 	q := trapp.NewQuery("links", trapp.Min, workload.ColBandwidth)
