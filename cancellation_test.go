@@ -1,0 +1,157 @@
+package trapp_test
+
+// Cancellation-consistency stress test: clients execute refresh-heavy
+// queries under aggressive deadlines while updaters mutate master
+// values, with simulated network latency so deadlines genuinely expire
+// mid-refresh-fan-out. A cut-off request must return the best interval
+// achieved so far (typed ErrPrecisionUnmet when the constraint is
+// unmet), the refreshes that beat the cutoff must be charged exactly
+// once, and — the core invariant — the cache must stay consistent: after
+// the chaos, a quiescent precise query still returns exactly the true
+// answer, proving no canceled fan-out left a torn bound or a stale
+// value resurrected in the cached table. Runs race-clean under -race.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"trapp"
+)
+
+func TestCancellationMidRefreshCacheConsistency(t *testing.T) {
+	sys, keys := buildStressSystem(t)
+	defer sys.Close()
+	// Simulated wire time: refresh batches now take real time, so short
+	// deadlines hit mid-fan-out (some per-source batches land, some are
+	// cut) rather than before the first fetch.
+	sys.Net.SetLatency(100 * time.Microsecond)
+	aggs := []trapp.Func{trapp.Sum, trapp.Avg, trapp.Min, trapp.Max}
+
+	var updaters sync.WaitGroup
+	stop := make(chan struct{})
+	for u := 0; u < 2; u++ {
+		updaters.Add(1)
+		go func(seed int64) {
+			defer updaters.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := keys[rng.Intn(len(keys))]
+				src := sys.Source(fmt.Sprintf("s%d", key/1000))
+				v := stressBase(key) + (rng.Float64()*2-1)*stressD
+				if err := src.SetValue(key, []float64{v}); err != nil {
+					t.Errorf("SetValue(%d): %v", key, err)
+					return
+				}
+				if i%25 == 24 {
+					sys.Clock.Advance(1)
+				}
+			}
+		}(int64(u) + 1)
+	}
+
+	var clients sync.WaitGroup
+	var unmetSeen, cleanSeen int64
+	var counterMu sync.Mutex
+	for cl := 0; cl < 6; cl++ {
+		clients.Add(1)
+		go func(seed int64) {
+			defer clients.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 120; i++ {
+				agg := aggs[rng.Intn(len(aggs))]
+				q := trapp.NewQuery("vals", agg, "value")
+				q.Within = []float64{0, 2, 5}[rng.Intn(3)] // refresh-heavy
+				// Deadlines from "expires immediately" to "usually enough
+				// for the full fan-out".
+				dl := time.Now().Add(time.Duration(rng.Intn(600)) * time.Microsecond)
+				res, err := sys.ExecuteCtx(context.Background(), q, trapp.WithDeadline(dl))
+				env := envelope(agg, keys)
+				var unmet trapp.ErrPrecisionUnmet
+				switch {
+				case err == nil:
+					counterMu.Lock()
+					cleanSeen++
+					counterMu.Unlock()
+				case errors.As(err, &unmet):
+					if !errors.Is(err, context.DeadlineExceeded) {
+						t.Errorf("ErrPrecisionUnmet without deadline cause: %v", err)
+						return
+					}
+					if unmet.Achieved != res.Answer {
+						t.Errorf("Achieved %v != returned answer %v", unmet.Achieved, res.Answer)
+						return
+					}
+					if unmet.Spent != res.RefreshCost {
+						t.Errorf("Spent %g != RefreshCost %g", unmet.Spent, res.RefreshCost)
+						return
+					}
+					counterMu.Lock()
+					unmetSeen++
+					counterMu.Unlock()
+				case errors.Is(err, context.DeadlineExceeded):
+					// Expired before the scan (zero result) or after the
+					// constraint already held; no answer to check.
+					continue
+				default:
+					t.Errorf("query %v: %v", q, err)
+					return
+				}
+				// Best-effort answers are still sound: they must intersect
+				// the achievable envelope.
+				if !res.Answer.IsEmpty() && res.Answer.Intersect(env).IsEmpty() {
+					t.Errorf("query %v: best-effort answer %v misses envelope %v", q, res.Answer, env)
+					return
+				}
+			}
+		}(int64(cl) + 500)
+	}
+	clients.Wait()
+	close(stop)
+	updaters.Wait()
+
+	if unmetSeen == 0 || cleanSeen == 0 {
+		t.Logf("coverage note: unmet=%d clean=%d (both sides exercised is ideal)", unmetSeen, cleanSeen)
+	}
+
+	// Quiescent phase: canceled fan-outs must not have corrupted the
+	// cache. A precise query (no deadline) recovers the exact truth, and
+	// bounded answers contain it.
+	sys.Net.SetLatency(0)
+	sys.Clock.Advance(1)
+	for _, agg := range aggs {
+		truth := trueAggregate(t, sys, agg, keys)
+		res, err := sys.ExecuteCtx(context.Background(),
+			trapp.NewQuery("vals", agg, "value"), trapp.WithMode(trapp.ModePrecise))
+		if err != nil {
+			t.Fatalf("quiescent precise %v: %v", agg, err)
+		}
+		if !res.Answer.Expand(stressRefreshEps).Contains(truth) || res.Answer.Width() > stressRefreshEps {
+			t.Errorf("quiescent precise %v: answer %v, want point at %g", agg, res.Answer, truth)
+		}
+		bounded, err := sys.ExecuteCtx(context.Background(), func() trapp.Query {
+			q := trapp.NewQuery("vals", agg, "value")
+			q.Within = 10
+			return q
+		}())
+		if err != nil {
+			t.Fatalf("quiescent bounded %v: %v", agg, err)
+		}
+		if !bounded.Answer.Expand(stressRefreshEps).Contains(truth) {
+			t.Errorf("quiescent bounded %v: %v does not contain %g", agg, bounded.Answer, truth)
+		}
+	}
+	if st := sys.Stats(); st.QueryRefreshCost < 0 || math.IsNaN(st.QueryRefreshCost) {
+		t.Errorf("accounting corrupted: %+v", st)
+	}
+}

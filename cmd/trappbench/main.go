@@ -14,6 +14,8 @@
 //	trappbench -concurrency 8        # E13: closed-loop multi-client throughput
 //	trappbench -updaters 4           # E15: mixed read/write throughput (open-loop pushes)
 //	trappbench -subscribers 1000     # E14: push subscriptions vs naive poll loop
+//	trappbench -budget 20            # E13 with cost-budgeted clients (WithCostBudget)
+//	trappbench -batch 64             # E16: one ExecuteBatch vs N sequential ExecuteCtx
 //
 // Flags -n, -seed, -reps control workload size, reproducibility, and
 // timing repetitions. The concurrent benchmark additionally honors
@@ -46,6 +48,7 @@ type benchOutput struct {
 	Seed          int64                               `json:"seed"`
 	Concurrent    []experiment.ConcurrentResult       `json:"concurrent,omitempty"`
 	Subscriptions *experiment.SubscriptionsComparison `json:"subscriptions,omitempty"`
+	Batch         *experiment.BatchComparison         `json:"batch,omitempty"`
 }
 
 var out benchOutput
@@ -61,6 +64,8 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "measurement window for the concurrent benchmark")
 	warmup := flag.Duration("warmup", time.Second, "warmup before the concurrent benchmark's measurement window")
 	subscribers := flag.Int("subscribers", 1000, "standing queries for the subscription benchmark")
+	budget := flag.Float64("budget", 0, "per-request cost budget for the concurrent benchmark's clients (0: off)")
+	batchN := flag.Int("batch", 64, "queries per batch for the batch-execution benchmark")
 	rounds := flag.Int("rounds", 60, "update/tick rounds for the subscription benchmark")
 	jsonPath := flag.String("json", "", "write machine-readable results (concurrent + subscription benchmarks) to this file")
 	flag.Parse()
@@ -71,16 +76,19 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if !explicit["experiment"] {
 		switch {
+		case explicit["batch"]:
+			*exp = "batch"
 		case explicit["subscribers"] || explicit["rounds"]:
 			*exp = "subscriptions"
-		case explicit["concurrency"] || explicit["updaters"]:
+		case explicit["concurrency"] || explicit["updaters"] || explicit["budget"]:
 			*exp = "concurrent"
 		}
 	}
 
 	runners := map[string]func(){
-		"concurrent":    func() { concurrent(*concurrency, *updaters, *n, *seed, *duration, *warmup, *pushRate) },
+		"concurrent":    func() { concurrent(*concurrency, *updaters, *n, *seed, *duration, *warmup, *pushRate, *budget) },
 		"subscriptions": func() { subscriptions(*subscribers, *n, *seed, *rounds) },
+		"batch":         func() { batch(*batchN, *n, *seed) },
 		"fig5":          func() { fig5(*n, *seed, *reps) },
 		"fig6":          func() { fig6(*n, *seed) },
 		"knapsack":      func() { solvers(*n, *seed) },
@@ -92,7 +100,7 @@ func main() {
 		"index":         func() { indexSpeedup(*seed, *reps) },
 		"median":        func() { medians(*n, *seed) },
 	}
-	order := []string{"fig5", "fig6", "knapsack", "adaptive", "avgbound", "modes", "join", "iter", "index", "median", "concurrent", "subscriptions"}
+	order := []string{"fig5", "fig6", "knapsack", "adaptive", "avgbound", "modes", "join", "iter", "index", "median", "concurrent", "subscriptions", "batch"}
 	out.Name = *exp
 	out.Seed = *seed
 	out.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
@@ -280,7 +288,7 @@ func medians(n int, seed int64) {
 	experiment.WriteTable(os.Stdout, []string{"R", "initial-width", "refreshed", "cost"}, cells)
 }
 
-func concurrent(clients, updaters, n int, seed int64, duration, warmup time.Duration, pushRate float64) {
+func concurrent(clients, updaters, n int, seed int64, duration, warmup time.Duration, pushRate, budget float64) {
 	const sources = 8
 	type run struct{ clients, updaters int }
 	var runs []run
@@ -290,6 +298,10 @@ func concurrent(clients, updaters, n int, seed int64, duration, warmup time.Dura
 		fmt.Printf("E15 — mixed read/write throughput (links=%d, sources=%d, updaters=%d, push-rate=%.0f/s, window=%v)\n",
 			n, sources, updaters, pushRate, duration)
 		runs = []run{{clients, 0}, {clients, updaters}}
+	} else if budget > 0 {
+		fmt.Printf("E13b — cost-budgeted concurrent throughput (links=%d, sources=%d, budget=%g, window=%v)\n",
+			n, sources, budget, duration)
+		runs = []run{{clients, 0}}
 	} else {
 		fmt.Printf("E13 — closed-loop concurrent throughput (links=%d, sources=%d, window=%v)\n",
 			n, sources, duration)
@@ -301,7 +313,7 @@ func concurrent(clients, updaters, n int, seed int64, duration, warmup time.Dura
 	var cells [][]string
 	var qps []float64
 	for _, r := range runs {
-		res, err := experiment.ConcurrentWarm(r.clients, r.updaters, n, sources, seed, duration, warmup, pushRate)
+		res, err := experiment.ConcurrentWarm(r.clients, r.updaters, n, sources, seed, duration, warmup, pushRate, budget)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "concurrent benchmark: %v\n", err)
 			os.Exit(1)
@@ -318,10 +330,11 @@ func concurrent(clients, updaters, n int, seed int64, duration, warmup time.Dura
 			res.P99.Round(time.Microsecond).String(),
 			fmt.Sprintf("%d", res.Refreshes),
 			fmt.Sprintf("%.0f", res.RefreshCost),
+			fmt.Sprintf("%d", res.BudgetExhausted),
 		})
 	}
 	experiment.WriteTable(os.Stdout,
-		[]string{"clients", "updaters", "queries", "qps", "pushes/s", "p50", "p99", "refreshes", "refresh-cost"}, cells)
+		[]string{"clients", "updaters", "queries", "qps", "pushes/s", "p50", "p99", "refreshes", "refresh-cost", "budget-exh"}, cells)
 	if len(qps) == 2 && updaters == 0 {
 		fmt.Printf("speedup: %.2fx aggregate QPS at %d clients vs 1\n", qps[1]/qps[0], clients)
 	}
@@ -359,6 +372,34 @@ func subscriptions(subscribers, links int, seed int64, rounds int) {
 		cmp.Push.SharedRefreshes, cmp.Push.Views)
 	fmt.Printf("refresh-cost ratio (poll/push) for the same delivered precision: %.2fx\n",
 		cmp.RefreshCostRatio)
+}
+
+func batch(batchN, links int, seed int64) {
+	const sources = 8
+	fmt.Printf("E16 — one ExecuteBatch vs %d sequential ExecuteCtx with E13 drift between queries "+
+		"(links=%d, sources=%d)\n", batchN, links, sources)
+	cmp, err := experiment.BatchCompare(batchN, links, sources, seed, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batch benchmark: %v\n", err)
+		os.Exit(1)
+	}
+	out.Batch = &cmp
+	row := func(r experiment.BatchModeResult) []string {
+		return []string{
+			r.Mode,
+			fmt.Sprintf("%d", r.QueryRefreshes),
+			fmt.Sprintf("%.0f", r.QueryRefreshCost),
+			fmt.Sprintf("%.0f", r.ValueRefreshCost),
+			r.Elapsed.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", r.Unmet),
+		}
+	}
+	experiment.WriteTable(os.Stdout,
+		[]string{"mode", "q-refreshes", "q-cost", "v-cost", "exec-time", "unmet"},
+		[][]string{row(cmp.Sequential), row(cmp.Batch)})
+	fmt.Printf("refresh-cost ratio (sequential/batch): %.2fx; message ratio: %.2fx\n",
+		cmp.CostRatio, cmp.MessageRatio)
+	fmt.Printf("per-query answers verified bit-identical to standalone execution: %v\n", cmp.Verified)
 }
 
 func joins(seed int64) {

@@ -17,6 +17,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -114,24 +115,42 @@ func tick(sys *trapp.System, src *trapp.Source, net *workload.Network, rounds in
 	}
 }
 
-// runQuery parses and executes one query line.
+// runQuery parses and executes one statement line. A multi-aggregate
+// select list executes as one batch: a shared scan and a single deduped
+// refresh round across its queries.
 func runQuery(sys *trapp.System, line string) {
-	q, err := trapp.ParseQuery(line, sys)
+	qs, err := trapp.ParseQueries(line, sys)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	start := time.Now()
-	res, err := sys.Execute(q)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
+	var results []trapp.Result
+	if len(qs) == 1 {
+		res, err := sys.ExecuteCtx(context.Background(), qs[0])
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		results = []trapp.Result{res}
+	} else {
+		results, err = sys.ExecuteBatch(context.Background(), qs)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
 	}
 	elapsed := time.Since(start)
-	n := sys.MountedCache(q.Table).Len()
-	fmt.Printf("answer %v  refreshed %d/%d tuples (cost %.0f)  in %s\n",
-		res.Answer, res.Refreshed, n, res.RefreshCost, elapsed.Round(time.Microsecond))
-	if !res.Met {
-		fmt.Println("warning: precision constraint not met")
+	n := sys.MountedCache(qs[0].Table).Len()
+	for i, res := range results {
+		label := "answer"
+		if len(results) > 1 {
+			label = fmt.Sprintf("%s(%s)", qs[i].Agg, qs[i].Column)
+		}
+		fmt.Printf("%s %v  refreshed %d/%d tuples (cost %.0f)  in %s\n",
+			label, res.Answer, res.Refreshed, n, res.RefreshCost, elapsed.Round(time.Microsecond))
+		if !res.Met {
+			fmt.Println("warning: precision constraint not met")
+		}
 	}
 }

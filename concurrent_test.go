@@ -20,6 +20,8 @@ package trapp_test
 //     Precise-mode answers must equal it exactly.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -181,19 +183,27 @@ func TestConcurrentExecuteSoundness(t *testing.T) {
 					res trapp.Result
 					err error
 				)
-				switch mode := rng.Intn(4); mode {
+				switch mode := rng.Intn(5); mode {
 				case 0:
-					res, err = sys.ImpreciseMode(q)
+					res, err = sys.ExecuteCtx(context.Background(), q, trapp.WithMode(trapp.ModeImprecise))
 				case 1:
-					res, err = sys.PreciseMode(q)
+					res, err = sys.ExecuteCtx(context.Background(), q, trapp.WithMode(trapp.ModePrecise))
 				case 2:
 					q.Within = []float64{5, 20, 80}[rng.Intn(3)]
-					res, err = sys.Execute(q)
+					res, err = sys.ExecuteCtx(context.Background(), q)
+				case 3:
+					// Cost-budgeted dual under chaos; budget exhaustion is
+					// an expected outcome, not a failure.
+					q.Within = []float64{5, 20}[rng.Intn(2)]
+					res, err = sys.ExecuteCtx(context.Background(), q, trapp.WithCostBudget(float64(5+rng.Intn(40))))
+					if errors.Is(err, trapp.ErrBudgetExhausted{}) {
+						err = nil
+					}
 				default:
 					sql := fmt.Sprintf("SELECT %s(value) WITHIN 60 FROM vals", agg)
 					q, err = trapp.ParseQuery(sql, sys)
 					if err == nil {
-						res, err = sys.Execute(q)
+						res, err = sys.ExecuteCtx(context.Background(), q)
 					}
 				}
 				if err != nil {
@@ -227,7 +237,7 @@ func TestConcurrentExecuteSoundness(t *testing.T) {
 		truth := trueAggregate(t, sys, agg, keys)
 		q := trapp.NewQuery("vals", agg, "value")
 		q.Within = 10
-		res, err := sys.Execute(q)
+		res, err := sys.ExecuteCtx(context.Background(), q)
 		if err != nil {
 			t.Fatalf("quiescent %v: %v", agg, err)
 		}
@@ -239,7 +249,7 @@ func TestConcurrentExecuteSoundness(t *testing.T) {
 		if !res.Answer.Expand(stressRefreshEps).Contains(truth) {
 			t.Errorf("quiescent %v: answer %v does not contain true %g", agg, res.Answer, truth)
 		}
-		pres, err := sys.PreciseMode(trapp.NewQuery("vals", agg, "value"))
+		pres, err := sys.ExecuteCtx(context.Background(), trapp.NewQuery("vals", agg, "value"), trapp.WithMode(trapp.ModePrecise))
 		if err != nil {
 			t.Fatalf("precise %v: %v", agg, err)
 		}
@@ -414,7 +424,7 @@ func TestConcurrentHotShardSoundness(t *testing.T) {
 					q.Where = coldPred
 				}
 				q.Within = []float64{20, 80}[rng.Intn(2)]
-				res, err := sys.Execute(q)
+				res, err := sys.ExecuteCtx(context.Background(), q)
 				if err != nil {
 					t.Errorf("query %v: %v", q, err)
 					return
@@ -468,7 +478,7 @@ func TestConcurrentHotShardSoundness(t *testing.T) {
 	}
 	q := trapp.NewQuery("vals", trapp.Sum, "value")
 	q.Within = 10
-	res, err := sys.Execute(q)
+	res, err := sys.ExecuteCtx(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

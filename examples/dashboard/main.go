@@ -14,12 +14,17 @@
 // clock ticks, dedupes their refresh demand into shared batches, and
 // stays silent for panels whose answers did not change.
 //
+// Each panel's subscription is bound to a context (SubscribeCtx), so a
+// canceled dashboard tears its standing queries down without explicit
+// Close calls.
+//
 // Run with:
 //
 //	go run ./examples/dashboard
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -64,12 +69,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// All three panels live exactly as long as this context.
+	ctx, cancelPanels := context.WithCancel(context.Background())
+	defer cancelPanels()
+
 	// Panel 1: total latency, absolute constraint.
 	qLatency, err := trapp.ParseQuery("SELECT SUM(latency) WITHIN 5 FROM links", sys)
 	if err != nil {
 		log.Fatal(err)
 	}
-	latency, err := sys.Subscribe(qLatency)
+	latency, err := sys.SubscribeCtx(ctx, qLatency)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +87,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	traffic, err := sys.Subscribe(qTraffic)
+	traffic, err := sys.SubscribeCtx(ctx, qTraffic)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +96,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	perNode, err := sys.Subscribe(qPerNode)
+	perNode, err := sys.SubscribeCtx(ctx, qPerNode)
 	if err != nil {
 		log.Fatal(err)
 	}

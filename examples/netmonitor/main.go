@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,7 +62,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", s.label, err)
 		}
-		res, err := proc.Execute(q)
+		res, err := proc.ExecuteCtx(context.Background(), q)
 		if err != nil {
 			log.Fatalf("%s: %v", s.label, err)
 		}

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -67,7 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.Execute(q)
+	res, err := sys.ExecuteCtx(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,4 +79,23 @@ func main() {
 	fmt.Printf("final answer:     %v (width %.2f <= 2 guaranteed)\n", res.Answer, res.Answer.Width())
 	fmt.Printf("tuples refreshed: %d (cost %.1f)\n", res.Refreshed, res.RefreshCost)
 	fmt.Printf("network traffic:  %+v\n", sys.Stats().Messages)
+
+	// The cost-bounded dual: "the narrowest answer you can give me for
+	// at most 1 unit of refresh cost". Time passes, bounds regrow, and
+	// the budget buys back as much precision as it can; if the WITHIN
+	// constraint is out of reach the typed ErrBudgetExhausted reports
+	// the best achieved interval instead of an opaque failure.
+	sys.Clock.Advance(100)
+	cheap, err := sys.ExecuteCtx(context.Background(), q, trapp.WithCostBudget(1))
+	var exhausted trapp.ErrBudgetExhausted
+	switch {
+	case errors.As(err, &exhausted):
+		fmt.Printf("budget 1:         %v (width %.2f — budget bought cost %.1f, constraint out of reach)\n",
+			cheap.Answer, cheap.Answer.Width(), cheap.RefreshCost)
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Printf("budget 1:         %v (width %.2f for cost %.1f)\n",
+			cheap.Answer, cheap.Answer.Width(), cheap.RefreshCost)
+	}
 }

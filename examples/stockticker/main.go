@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := proc.Execute(query)
+		res, err := proc.ExecuteCtx(context.Background(), query)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -137,6 +137,33 @@ func (c collector) scan(t *relation.Table, out []Input) []Input {
 	return out
 }
 
+// CollectOne classifies a single tuple exactly as Collect's scan would:
+// it returns the tuple's Input (with Index left zero — the caller knows
+// the tuple's position) and whether the tuple contributes at all (false
+// for T−, including T? tuples whose shrunk bound is empty). The batch
+// executor uses it to patch a pre-refresh input snapshot with the
+// refreshed tuples of one query's own plan, reproducing bit-identically
+// the inputs a full post-refresh rescan would collect.
+func CollectOne(tu *relation.Tuple, col int, p predicate.Expr, shrink bool) (Input, bool) {
+	c := newCollector(col, p, shrink)
+	cls := predicate.Plus
+	if !c.trivial {
+		cls = predicate.ClassifyTuple(c.p, tu)
+	}
+	if cls == predicate.Minus {
+		return Input{}, false
+	}
+	b := tu.Bounds[c.col]
+	if cls == predicate.Maybe {
+		s := b.Intersect(c.restr)
+		if s.IsEmpty() {
+			return Input{}, false
+		}
+		b = s
+	}
+	return Input{Key: tu.Key, Bound: b, Cost: tu.Cost, Class: cls}, true
+}
+
 // sortCanonical orders inputs into the canonical order (see
 // relation.CanonicalLess). Keys are unique, so the order — and therefore
 // every order-sensitive fold over the inputs (floating-point summation,

@@ -31,6 +31,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -392,6 +393,20 @@ func (c *Cache) Master(key int64) ([]float64, bool) {
 // any aggregate) and replies that lost the race to an even newer
 // value-initiated push are absent.
 func (c *Cache) MasterBatch(keys []int64) (map[int64][]float64, error) {
+	return c.MasterBatchCtx(context.Background(), keys)
+}
+
+// MasterBatchCtx is MasterBatch honoring a context at the refresh
+// fan-out: each per-source batch checks the context before transmitting
+// (and the simulated wire wait itself is interruptible), so a deadline
+// expiring mid-fan-out stops further batches. Batches that completed
+// before the cutoff are installed and reported normally — the returned
+// map then holds the partial refresh set alongside the context error, so
+// the query processor can fold the partial progress into a best-effort
+// answer instead of discarding paid refreshes. Cache state stays
+// consistent at every cutoff point: installation is per-key atomic and a
+// batch is either fully charged and applied or not sent at all.
+func (c *Cache) MasterBatchCtx(ctx context.Context, keys []int64) (map[int64][]float64, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
@@ -429,8 +444,11 @@ func (c *Cache) MasterBatch(keys []int64) (map[int64][]float64, error) {
 	if len(bySrc) == 1 {
 		// Single source: no fan-out needed, stay on this goroutine.
 		for src, ks := range bySrc {
-			rs, err := src.QueryRefreshBatch(ks, c)
+			rs, err := src.QueryRefreshBatchCtx(ctx, ks, c)
 			if err != nil {
+				if parallel.IsContextError(err) {
+					return vals, err
+				}
 				return nil, err
 			}
 			applyAndRecord(rs, func(key int64, v []float64) { vals[key] = v })
@@ -442,7 +460,7 @@ func (c *Cache) MasterBatch(keys []int64) (map[int64][]float64, error) {
 	for src, ks := range bySrc {
 		src, ks := src, ks
 		g.Go(func() error {
-			rs, err := src.QueryRefreshBatch(ks, c)
+			rs, err := src.QueryRefreshBatchCtx(ctx, ks, c)
 			if err != nil {
 				return err
 			}
@@ -455,6 +473,11 @@ func (c *Cache) MasterBatch(keys []int64) (map[int64][]float64, error) {
 		})
 	}
 	if err := g.Wait(); err != nil {
+		if parallel.IsContextError(err) {
+			// Batches that beat the cutoff are installed; report them so
+			// the caller can finish with a best-effort answer.
+			return vals, err
+		}
 		return nil, err
 	}
 	return vals, nil

@@ -44,6 +44,7 @@
 package continuous
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -216,7 +217,7 @@ func (e *Engine) Subscribe(q query.Query) (*Subscription, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("continuous: engine closed")
+		return nil, query.ErrClosed
 	}
 	ts := e.tables[q.Table]
 	if ts == nil {
@@ -248,7 +249,7 @@ func (e *Engine) Subscribe(q query.Query) (*Subscription, error) {
 		v = newView(sig, q, col, groupIdx)
 		ts.views[sig] = v
 	}
-	s := &Subscription{e: e, v: v, q: q, ch: make(chan Update, 1)}
+	s := &Subscription{e: e, v: v, q: q, ch: make(chan Update, 1), done: make(chan struct{})}
 	v.subs = append(v.subs, s)
 	e.subCount.Add(1)
 	e.mu.Unlock()
@@ -256,6 +257,35 @@ func (e *Engine) Subscribe(q query.Query) (*Subscription, error) {
 	e.markPoke(q.Table)
 	e.ensureLoop()
 	e.Settle()
+	return s, nil
+}
+
+// SubscribeCtx is Subscribe bound to a context: when the context is
+// canceled or its deadline expires, the subscription is closed (its
+// channel closes and its standing constraint stops being repaired), so
+// callers can tie a standing query's lifetime to a request or session
+// context instead of arranging their own Close call.
+func (e *Engine) SubscribeCtx(ctx context.Context, q query.Query) (*Subscription, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, err := e.Subscribe(q)
+	if err != nil {
+		return nil, err
+	}
+	if done := ctx.Done(); done != nil {
+		go func() {
+			select {
+			case <-done:
+				s.Close()
+			case <-s.done:
+				// Closed manually (or by engine shutdown); nothing to do,
+				// and the watcher must not outlive the subscription.
+			case <-e.done:
+				// Engine shutdown already closed every subscription.
+			}
+		}()
+	}
 	return s, nil
 }
 
@@ -298,6 +328,7 @@ func (e *Engine) Close() {
 				if !s.closed {
 					s.closed = true
 					close(s.ch)
+					close(s.done)
 				}
 			}
 			v.subs = nil

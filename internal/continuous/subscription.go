@@ -62,6 +62,7 @@ type Subscription struct {
 	q query.Query
 
 	ch     chan Update
+	done   chan struct{} // closed exactly when the subscription closes
 	closed bool
 	seq    int64
 	last   *Update
@@ -114,6 +115,7 @@ func (s *Subscription) Close() {
 	}
 	s.closed = true
 	close(s.ch)
+	close(s.done)
 	subs := s.v.subs[:0]
 	for _, other := range s.v.subs {
 		if other != s {

@@ -1,0 +1,282 @@
+package experiment
+
+// E16: cross-query batch execution. N queries of the E13 mix are
+// executed (a) sequentially — one ExecuteCtx per query with the E13
+// drift (clock tick + random-walk pushes) between queries, the load a
+// live serving system sees — and (b) as one ExecuteBatch at the start of
+// the window, with the identical drift applied afterwards so both
+// systems process the same external load. Sequential execution re-pays
+// for tuples whose bounds regrow or move between queries; the batch
+// plans every query against one snapshot and pays each tuple of the
+// merged plan once. Optionally every batch answer is verified
+// bit-identical to executing the same query alone on a fresh identical
+// system — the batch's answer-semantics guarantee.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/netsim"
+	"trapp/internal/predicate"
+	"trapp/internal/query"
+	"trapp/internal/source"
+	itrapp "trapp/internal/trapp"
+	"trapp/internal/workload"
+)
+
+// BatchModeResult reports one side of the comparison.
+type BatchModeResult struct {
+	Mode string `json:"mode"`
+	// QueryRefreshes / QueryRefreshCost total the query-initiated
+	// refresh traffic the N queries paid.
+	QueryRefreshes   int64   `json:"query_refreshes"`
+	QueryRefreshCost float64 `json:"query_refresh_cost"`
+	// ValueRefreshCost totals the value-initiated traffic the drift
+	// triggered during the window.
+	ValueRefreshCost float64 `json:"value_refresh_cost"`
+	// Elapsed is the wall-clock time spent executing the queries
+	// (excluding the drift).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Unmet counts queries whose final answer missed their constraint.
+	Unmet int `json:"unmet"`
+}
+
+// BatchComparison is the E16 result.
+type BatchComparison struct {
+	Queries    int             `json:"queries"`
+	Links      int             `json:"links"`
+	Sequential BatchModeResult `json:"sequential"`
+	Batch      BatchModeResult `json:"batch"`
+	// CostRatio is sequential/batch query-refresh cost (> 1: the batch
+	// pays less for the same answers).
+	CostRatio float64 `json:"cost_ratio"`
+	// MessageRatio is the same ratio over refresh message counts.
+	MessageRatio float64 `json:"message_ratio"`
+	// Verified reports whether every batch answer was checked
+	// bit-identical to a standalone execution on a fresh identical
+	// system (skipped when false was requested).
+	Verified bool `json:"verified"`
+}
+
+// batchDrift advances one E13 drift round: a clock tick plus a
+// random-walk step of every ~10th link pushed to its source.
+func batchDrift(sys *itrapp.System, net *workload.Network, srcs []*source.Source, rng *rand.Rand) error {
+	sys.Clock.Advance(1)
+	for i, l := range net.Links {
+		if rng.Intn(10) != 0 {
+			continue
+		}
+		if err := srcs[i].SetValue(l.Key, l.Step()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchSystem builds one E13 system plus its per-link source slice.
+func batchSystem(links, srcCount int, seed int64) (*itrapp.System, *workload.Network, []*source.Source, error) {
+	sys, net, err := concurrentSystem(links, srcCount, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srcs := make([]*source.Source, len(net.Links))
+	for i := range net.Links {
+		srcs[i] = sys.Source(fmt.Sprintf("s%d", i%srcCount))
+	}
+	return sys, net, srcs, nil
+}
+
+// batchQueries generates the N-query mix deterministically: the E13
+// aggregates with constraints tight enough that most queries must pay
+// refreshes once bounds have grown — the regime where refresh sharing
+// matters. Shapes repeat across the batch (several queries per
+// aggregate/column pair), so the merged plan dedupes heavily.
+func batchQueries(n, links int, seed int64, schemaSys *itrapp.System) []query.Query {
+	rng := rand.New(rand.NewSource(seed + 7))
+	schema := schemaSys.MountedCache("links").Schema()
+	qs := make([]query.Query, n)
+	for i := range qs {
+		var q query.Query
+		switch rng.Intn(5) {
+		case 0:
+			q = query.NewQuery("links", aggregate.Sum, workload.ColLatency)
+			q.Within = (0.2 + rng.Float64()*0.3) * float64(links)
+		case 1:
+			q = query.NewQuery("links", aggregate.Avg, workload.ColTraffic)
+			q.Within = 0.3 + rng.Float64()*0.5
+		case 2:
+			q = query.NewQuery("links", aggregate.Min, workload.ColBandwidth)
+			q.Within = 1 + rng.Float64()*2
+		case 3:
+			q = query.NewQuery("links", aggregate.Max, workload.ColLatency)
+			q.Within = 1 + rng.Float64()*2
+		default:
+			q = query.NewQuery("links", aggregate.Min, workload.ColTraffic)
+			q.Within = 1 + rng.Float64()*2
+			q.Where = predicate.NewCmp(
+				predicate.Column(schema.MustLookup(workload.ColBandwidth), workload.ColBandwidth),
+				predicate.Gt, predicate.Const(80))
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// batchWarmupRounds pre-drifts both systems identically so the batch
+// and the first sequential query start from grown bounds, and
+// batchDriftPerQuery spaces sequential queries apart in drift rounds —
+// the live-traffic regime where bounds regrow between requests.
+const (
+	batchWarmupRounds  = 24
+	batchDriftPerQuery = 4
+)
+
+// BatchCompare runs E16: nq queries sequentially-with-drift versus one
+// ExecuteBatch, on identically-built and identically-loaded systems.
+// With verify set, each batch answer is additionally compared
+// bit-for-bit against a standalone execution of the same query on a
+// fresh identical system.
+func BatchCompare(nq, links, srcCount int, seed int64, verify bool) (BatchComparison, error) {
+	cmp := BatchComparison{Queries: nq, Links: links}
+	ctx := context.Background()
+
+	// Sequential side: warmup drift, then query / drift / query / ...
+	seqSys, seqNet, seqSrcs, err := batchSystem(links, srcCount, seed)
+	if err != nil {
+		return cmp, err
+	}
+	qs := batchQueries(nq, links, seed, seqSys)
+	driftRng := rand.New(rand.NewSource(seed + 13))
+	for r := 0; r < batchWarmupRounds; r++ {
+		if err := batchDrift(seqSys, seqNet, seqSrcs, driftRng); err != nil {
+			return cmp, err
+		}
+	}
+	before := seqSys.Stats()
+	var seqElapsed time.Duration
+	seqUnmet := 0
+	for _, q := range qs {
+		t0 := time.Now()
+		res, err := seqSys.ExecuteCtx(ctx, q)
+		seqElapsed += time.Since(t0)
+		if err != nil {
+			return cmp, err
+		}
+		if !res.Met {
+			seqUnmet++
+		}
+		for r := 0; r < batchDriftPerQuery; r++ {
+			if err := batchDrift(seqSys, seqNet, seqSrcs, driftRng); err != nil {
+				return cmp, err
+			}
+		}
+	}
+	after := seqSys.Stats()
+	cmp.Sequential = BatchModeResult{
+		Mode:             "sequential",
+		QueryRefreshes:   after.Messages[netsim.QueryRefresh] - before.Messages[netsim.QueryRefresh],
+		QueryRefreshCost: after.QueryRefreshCost - before.QueryRefreshCost,
+		ValueRefreshCost: after.ValueRefreshCost - before.ValueRefreshCost,
+		Elapsed:          seqElapsed,
+		Unmet:            seqUnmet,
+	}
+
+	// Batch side: identical warmup drift, the whole batch at once, then
+	// the identical remaining drift.
+	batSys, batNet, batSrcs, err := batchSystem(links, srcCount, seed)
+	if err != nil {
+		return cmp, err
+	}
+	driftRng = rand.New(rand.NewSource(seed + 13))
+	for r := 0; r < batchWarmupRounds; r++ {
+		if err := batchDrift(batSys, batNet, batSrcs, driftRng); err != nil {
+			return cmp, err
+		}
+	}
+	before = batSys.Stats()
+	t0 := time.Now()
+	results, err := batSys.ExecuteBatch(ctx, qs)
+	batElapsed := time.Since(t0)
+	if err != nil && !errors.Is(err, query.ErrBudgetExhausted{}) {
+		return cmp, err
+	}
+	after = batSys.Stats()
+	for r := 0; r < len(qs)*batchDriftPerQuery; r++ {
+		if err := batchDrift(batSys, batNet, batSrcs, driftRng); err != nil {
+			return cmp, err
+		}
+	}
+	unmet := 0
+	for _, r := range results {
+		if !r.Met {
+			unmet++
+		}
+	}
+	cmp.Batch = BatchModeResult{
+		Mode:             "batch",
+		QueryRefreshes:   after.Messages[netsim.QueryRefresh] - before.Messages[netsim.QueryRefresh],
+		QueryRefreshCost: after.QueryRefreshCost - before.QueryRefreshCost,
+		ValueRefreshCost: after.ValueRefreshCost - before.ValueRefreshCost,
+		Elapsed:          batElapsed,
+		Unmet:            unmet,
+	}
+	if cmp.Batch.QueryRefreshCost > 0 {
+		cmp.CostRatio = cmp.Sequential.QueryRefreshCost / cmp.Batch.QueryRefreshCost
+	}
+	if cmp.Batch.QueryRefreshes > 0 {
+		cmp.MessageRatio = float64(cmp.Sequential.QueryRefreshes) / float64(cmp.Batch.QueryRefreshes)
+	}
+
+	// Answer identity: each batch answer must be bit-identical to the
+	// same query executed alone on a fresh identical system (warmed
+	// through the identical drift prefix, so its state matches the
+	// instant the batch ran).
+	if verify {
+		for i, q := range qs {
+			fresh, freshNet, freshSrcs, err := batchSystem(links, srcCount, seed)
+			if err != nil {
+				return cmp, err
+			}
+			freshRng := rand.New(rand.NewSource(seed + 13))
+			for r := 0; r < batchWarmupRounds; r++ {
+				if err := batchDrift(fresh, freshNet, freshSrcs, freshRng); err != nil {
+					return cmp, err
+				}
+			}
+			solo, err := fresh.ExecuteCtx(ctx, q)
+			if err != nil {
+				return cmp, err
+			}
+			if !SameResult(solo, results[i]) {
+				return cmp, fmt.Errorf("batch answer %d (%v) diverges from standalone execution:\nbatch %+v\nsolo  %+v",
+					i, q, results[i], solo)
+			}
+		}
+		cmp.Verified = true
+	}
+	return cmp, nil
+}
+
+// SameResult compares the observable parts of two results bit-for-bit
+// (answers, accounting, constraint outcome; ChooseTime is wall-clock
+// and excluded).
+func SameResult(a, b query.Result) bool {
+	eq := func(x, y float64) bool { return x == y || (x != x && y != y) }
+	if a.Answer.IsEmpty() != b.Answer.IsEmpty() {
+		return false
+	}
+	if !a.Answer.IsEmpty() && (!eq(a.Answer.Lo, b.Answer.Lo) || !eq(a.Answer.Hi, b.Answer.Hi)) {
+		return false
+	}
+	if a.Initial.IsEmpty() != b.Initial.IsEmpty() {
+		return false
+	}
+	if !a.Initial.IsEmpty() && (!eq(a.Initial.Lo, b.Initial.Lo) || !eq(a.Initial.Hi, b.Initial.Hi)) {
+		return false
+	}
+	return a.Refreshed == b.Refreshed && a.RefreshCost == b.RefreshCost && a.Met == b.Met
+}

@@ -1,0 +1,25 @@
+package experiment
+
+import "testing"
+
+// TestBatchCompare enforces the E16 acceptance criteria: one
+// ExecuteBatch of the mixed workload pays measurably less query-refresh
+// cost than the same queries executed sequentially under drift, and
+// every per-query answer is bit-identical to standalone execution on an
+// identical system.
+func TestBatchCompare(t *testing.T) {
+	cmp, err := BatchCompare(24, 60, 4, DefaultSeed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Verified {
+		t.Fatal("answer identity not verified")
+	}
+	if cmp.Batch.QueryRefreshCost <= 0 {
+		t.Fatalf("batch paid nothing — workload not exercising refreshes: %+v", cmp)
+	}
+	if cmp.CostRatio < 1.5 {
+		t.Errorf("batch saving too small: sequential %.0f vs batch %.0f (ratio %.2f)",
+			cmp.Sequential.QueryRefreshCost, cmp.Batch.QueryRefreshCost, cmp.CostRatio)
+	}
+}

@@ -15,6 +15,8 @@ package experiment
 // proceed while pushes write other shards.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -65,6 +67,11 @@ type ConcurrentResult struct {
 	// traffic paid during the window.
 	Refreshes   int64   `json:"refreshes"`
 	RefreshCost float64 `json:"refresh_cost"`
+	// Budget, when positive, is the per-request cost budget the clients
+	// attached (WithCostBudget); BudgetExhausted counts queries whose
+	// budget ran out before their precision constraint.
+	Budget          float64 `json:"budget,omitempty"`
+	BudgetExhausted int64   `json:"budget_exhausted,omitempty"`
 }
 
 // concurrentSystem builds a System over a generated monitoring network:
@@ -157,14 +164,17 @@ func concurrentQuery(rng *rand.Rand, schema *relation.Schema, links int) query.Q
 // write load instead of under whatever load each one's locking happens
 // to admit. It returns aggregate throughput and latency percentiles.
 func Concurrent(clients, updaters, links, srcCount int, seed int64, duration time.Duration, pushRate float64) (ConcurrentResult, error) {
-	return ConcurrentWarm(clients, updaters, links, srcCount, seed, duration, 0, pushRate)
+	return ConcurrentWarm(clients, updaters, links, srcCount, seed, duration, 0, pushRate, 0)
 }
 
 // ConcurrentWarm is Concurrent with an explicit warmup phase: the full
 // workload runs for warmup first — letting the adaptive width policies
 // converge and the caches reach steady state — and only then does the
 // measurement window open (stats and latencies exclude the warmup).
-func ConcurrentWarm(clients, updaters, links, srcCount int, seed int64, duration, warmup time.Duration, pushRate float64) (ConcurrentResult, error) {
+// With budget > 0 every client attaches WithCostBudget(budget) — the
+// cost-budgeted dual mode — and queries whose budget runs out before
+// their constraint count as BudgetExhausted instead of failing.
+func ConcurrentWarm(clients, updaters, links, srcCount int, seed int64, duration, warmup time.Duration, pushRate, budget float64) (ConcurrentResult, error) {
 	sys, net, err := concurrentSystem(links, srcCount, seed)
 	if err != nil {
 		return ConcurrentResult{}, err
@@ -179,6 +189,7 @@ func ConcurrentWarm(clients, updaters, links, srcCount int, seed int64, duration
 		lats      []time.Duration
 		queries   atomic.Int64
 		pushes    atomic.Int64
+		exhausted atomic.Int64
 	)
 	// Updaters random-walk links and push to their sources, advancing the
 	// clock once per sweep so bounds keep growing. Sources are resolved
@@ -250,11 +261,24 @@ func ConcurrentWarm(clients, updaters, links, srcCount int, seed int64, duration
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			local := make([]time.Duration, 0, 4096)
+			ctx := context.Background()
+			var opts []query.ExecOption
+			if budget > 0 {
+				opts = append(opts, query.WithCostBudget(budget))
+			}
 			for !stop.Load() {
 				q := concurrentQuery(rng, schema, links)
 				t0 := time.Now()
-				if _, err := sys.Execute(q); err != nil {
+				res, err := sys.ExecuteCtx(ctx, q, opts...)
+				switch {
+				case err == nil:
+				case errors.Is(err, query.ErrBudgetExhausted{}):
+					exhausted.Add(1)
+				default:
 					panic(err)
+				}
+				if budget > 0 && res.RefreshCost > budget+1e-9 {
+					panic(fmt.Sprintf("budget %g exceeded: paid %g", budget, res.RefreshCost))
 				}
 				if !measuring.Load() {
 					continue // warmup: converge, record nothing
@@ -298,17 +322,19 @@ func ConcurrentWarm(clients, updaters, links, srcCount int, seed int64, duration
 		target = pushRate
 	}
 	return ConcurrentResult{
-		Clients:        clients,
-		Updaters:       updaters,
-		TargetPushRate: target,
-		Queries:        n,
-		Pushes:         pushed,
-		Elapsed:        elapsed,
-		QPS:            float64(n) / elapsed.Seconds(),
-		PushRate:       float64(pushed) / elapsed.Seconds(),
-		P50:            pct(0.50),
-		P99:            pct(0.99),
-		Refreshes:      after.Messages[netsim.QueryRefresh] - before.Messages[netsim.QueryRefresh],
-		RefreshCost:    after.QueryRefreshCost - before.QueryRefreshCost,
+		Clients:         clients,
+		Budget:          budget,
+		BudgetExhausted: exhausted.Load(),
+		Updaters:        updaters,
+		TargetPushRate:  target,
+		Queries:         n,
+		Pushes:          pushed,
+		Elapsed:         elapsed,
+		QPS:             float64(n) / elapsed.Seconds(),
+		PushRate:        float64(pushed) / elapsed.Seconds(),
+		P50:             pct(0.50),
+		P99:             pct(0.99),
+		Refreshes:       after.Messages[netsim.QueryRefresh] - before.Messages[netsim.QueryRefresh],
+		RefreshCost:     after.QueryRefreshCost - before.QueryRefreshCost,
 	}, nil
 }

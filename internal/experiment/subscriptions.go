@@ -22,6 +22,7 @@ package experiment
 // precision.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -244,7 +245,7 @@ func Subscriptions(mode string, subscribers, links, srcCount, rounds int, seed i
 				// again (harder) when a stricter sibling polls later,
 				// the ratchet the shared scheduler's cross-subscription
 				// planning removes.
-				free, err := sys.ImpreciseMode(q)
+				free, err := sys.ExecuteCtx(context.Background(), q, query.WithMode(query.ModeImprecise))
 				if err != nil {
 					return res, err
 				}
@@ -252,7 +253,7 @@ func Subscriptions(mode string, subscribers, links, srcCount, rounds int, seed i
 				if !free.Answer.IsEmpty() && free.Answer.Width() <= q.Within+1e-9 {
 					continue
 				}
-				full, err := sys.Execute(q)
+				full, err := sys.ExecuteCtx(context.Background(), q)
 				if err != nil {
 					return res, err
 				}

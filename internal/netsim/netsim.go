@@ -8,9 +8,11 @@
 package netsim
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Clock is a shared discrete logical clock. Bound functions are evaluated
@@ -117,6 +119,7 @@ type Network struct {
 	messages  [numMsgKinds]atomic.Int64
 	queryCost atomicFloat
 	valueCost atomicFloat
+	latency   atomic.Int64 // simulated wire time per transmission, ns
 }
 
 // atomicFloat is a float64 accumulator built on CAS over the bit
@@ -159,6 +162,39 @@ func (n *Network) SendN(kind MsgKind, count int64, totalCost float64) {
 	case ValueRefresh:
 		n.valueCost.Add(totalCost)
 	}
+}
+
+// SetLatency installs a simulated wire time per transmission. The
+// default (zero) keeps every message instantaneous, preserving the
+// paper's cost-only network model; a positive latency makes Transmit
+// block for that long — interruptibly — so request deadlines and
+// cancellation have something real to race against in simulations and
+// tests.
+func (n *Network) SetLatency(d time.Duration) { n.latency.Store(int64(d)) }
+
+// Latency returns the configured simulated wire time.
+func (n *Network) Latency() time.Duration { return time.Duration(n.latency.Load()) }
+
+// Wait blocks for the simulated wire time, or until ctx is canceled or
+// its deadline expires, in which case the context error is returned. A
+// transmission cut short this way must not be charged: callers wait
+// first with no locks held and record the traffic (SendN) only after a
+// successful wait, so request deadlines and cancellation have something
+// real to race against without ever corrupting the accounting.
+func (n *Network) Wait(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d := n.Latency(); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the counters. Counters are read

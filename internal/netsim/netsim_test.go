@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestClockAdvance(t *testing.T) {
@@ -146,5 +148,30 @@ func TestMsgKindString(t *testing.T) {
 		if k.String() != w {
 			t.Errorf("%d.String() = %q", k, k.String())
 		}
+	}
+}
+
+func TestNetworkWaitHonorsContext(t *testing.T) {
+	n := NewNetwork()
+	// Zero latency: Wait returns immediately with a live context.
+	if err := n.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A canceled context fails the wait even at zero latency.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.Wait(ctx); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// With latency, an expiring deadline cuts the wait short and the
+	// caller records nothing — counters stay untouched.
+	n.SetLatency(time.Hour)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	if err := n.Wait(ctx2); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if n.Stats().Total() != 0 {
+		t.Error("canceled wait charged the network")
 	}
 }

@@ -9,9 +9,19 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 )
+
+// IsContextError reports whether err is a context cancellation or
+// deadline expiry (possibly wrapped). Fan-out callers use it to
+// distinguish a caller-requested cutoff — whose partial results are
+// kept — from hard failures.
+func IsContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Group runs a set of goroutines and waits for them; the first non-nil
 // error returned by any task is reported by Wait. The zero value is

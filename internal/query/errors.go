@@ -1,0 +1,92 @@
+package query
+
+// This file defines the typed error taxonomy of the request path. Every
+// failure mode a caller may want to react to programmatically is either
+// a sentinel (ErrUnknownTable, ErrClosed, ...) or a struct error
+// carrying the machine-readable detail (ErrPrecisionUnmet,
+// ErrBudgetExhausted), all usable with errors.Is / errors.As:
+//
+//	res, err := sys.ExecuteCtx(ctx, q, trapp.WithDeadline(dl))
+//	var unmet trapp.ErrPrecisionUnmet
+//	switch {
+//	case errors.As(err, &unmet):
+//	        // deadline hit mid-refresh: unmet.Achieved is the best
+//	        // guaranteed interval, unmet.Spent the cost already paid.
+//	case errors.Is(err, trapp.ErrClosed):
+//	        // system shut down
+//	}
+//
+// Struct errors implement Is so that errors.Is(err, ErrPrecisionUnmet{})
+// matches any value of the type regardless of its fields, and Unwrap so
+// that a deadline-induced ErrPrecisionUnmet still satisfies
+// errors.Is(err, context.DeadlineExceeded).
+
+import (
+	"errors"
+	"fmt"
+
+	"trapp/internal/interval"
+)
+
+// ErrClosed is returned by every execution and subscription entry point
+// of a System after Close.
+var ErrClosed = errors.New("trapp: system closed")
+
+// ErrPrecisionUnmet reports an execution cut short by context
+// cancellation or deadline expiry before the precision constraint was
+// reached. The Result returned alongside it carries the same best
+// achieved answer; the error exists so the failure is inspectable
+// without convention ("Met == false means...").
+type ErrPrecisionUnmet struct {
+	// Achieved is the narrowest guaranteed interval reached before the
+	// cutoff. It is always sound: the true answer lies inside it.
+	Achieved interval.Interval
+	// Spent is the refresh cost paid before the cutoff.
+	Spent float64
+	// Cause is the context error (context.Canceled or
+	// context.DeadlineExceeded) that cut the execution short.
+	Cause error
+}
+
+// Error formats the achieved interval and spend.
+func (e ErrPrecisionUnmet) Error() string {
+	return fmt.Sprintf("query: precision constraint unmet at cutoff (achieved %v after spending %g): %v",
+		e.Achieved, e.Spent, e.Cause)
+}
+
+// Unwrap exposes the context error, so errors.Is(err,
+// context.DeadlineExceeded) works.
+func (e ErrPrecisionUnmet) Unwrap() error { return e.Cause }
+
+// Is matches any ErrPrecisionUnmet regardless of field values, so
+// errors.Is(err, ErrPrecisionUnmet{}) tests for the kind.
+func (e ErrPrecisionUnmet) Is(target error) bool {
+	_, ok := target.(ErrPrecisionUnmet)
+	return ok
+}
+
+// ErrBudgetExhausted reports a cost-budgeted execution (WithCostBudget)
+// that spent its budget without reaching the query's finite precision
+// constraint. The Result returned alongside it carries the narrowest
+// answer the budget could buy; budgeted queries with no constraint
+// (R = +Inf) never produce this error.
+type ErrBudgetExhausted struct {
+	// Achieved is the narrowest guaranteed interval the budget bought.
+	Achieved interval.Interval
+	// Spent is the refresh cost actually paid (≤ Budget).
+	Spent float64
+	// Budget is the cost ceiling the request carried.
+	Budget float64
+}
+
+// Error formats the budget and the achieved interval.
+func (e ErrBudgetExhausted) Error() string {
+	return fmt.Sprintf("query: cost budget %g exhausted before precision constraint (achieved %v after spending %g)",
+		e.Budget, e.Achieved, e.Spent)
+}
+
+// Is matches any ErrBudgetExhausted regardless of field values.
+func (e ErrBudgetExhausted) Is(target error) bool {
+	_, ok := target.(ErrBudgetExhausted)
+	return ok
+}

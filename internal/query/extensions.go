@@ -19,6 +19,7 @@ package query
 //     often pays less total cost at the price of sequential rounds.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -153,6 +154,15 @@ func RelativeR(initial interval.Interval, p float64) float64 {
 // the final answer [LA, HA] satisfies HA − LA ≤ 2·|A|·p for the true
 // answer A. The query's own Within field is ignored.
 func (proc *Processor) ExecuteRelative(q Query, p float64) (Result, error) {
+	return proc.executeRelative(context.Background(), q, p, ExecConfig{}, proc.opts)
+}
+
+// executeRelative is the relative-constraint path of the configured
+// execution: a first scan derives the conservative absolute constraint
+// from the initial bounded answer (§8.1), then the standard configured
+// execution runs against it — inheriting the request's context,
+// deadline, budget and solver.
+func (proc *Processor) executeRelative(ctx context.Context, q Query, p float64, cfg ExecConfig, ropts refresh.Options) (Result, error) {
 	if p < 0 || math.IsNaN(p) {
 		return Result{}, fmt.Errorf("query: invalid relative precision %g", p)
 	}
@@ -164,10 +174,13 @@ func (proc *Processor) ExecuteRelative(q Query, p float64) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, q.Table, q.Column)
 	}
-	inputs, tableLen := e.snapshot(col, q.Where, proc.opts.Parallelism)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	inputs, tableLen := e.snapshot(col, q.Where, ropts.Parallelism)
 	initial := aggregate.EvalInputs(inputs, q.Agg, predicate.IsTrivial(q.Where), tableLen)
 	q.Within = RelativeR(initial, p)
-	res, err := proc.Execute(q)
+	res, err := proc.ExecuteConfig(ctx, q, cfg)
 	res.Initial = initial
 	return res, err
 }

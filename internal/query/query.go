@@ -30,6 +30,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -38,6 +39,7 @@ import (
 
 	"trapp/internal/aggregate"
 	"trapp/internal/interval"
+	"trapp/internal/parallel"
 	"trapp/internal/predicate"
 	"trapp/internal/refresh"
 	"trapp/internal/relation"
@@ -119,6 +121,18 @@ type BatchOracle interface {
 	// bounded-column values it fetched. Keys that have disappeared since
 	// the plan was computed are skipped, not errors.
 	MasterBatch(keys []int64) (map[int64][]float64, error)
+}
+
+// BatchOracleCtx is a BatchOracle whose batched fetch honors a context:
+// a cancellation or deadline expiry mid-fan-out stops further per-source
+// batches. On a context error the returned map holds the partial refresh
+// set that beat the cutoff (installed and charged normally) alongside
+// the context error, so the processor can fold partial progress into a
+// best-effort answer. The cache implements it.
+type BatchOracleCtx interface {
+	BatchOracle
+	// MasterBatchCtx is MasterBatch under a context; see above.
+	MasterBatchCtx(ctx context.Context, keys []int64) (map[int64][]float64, error)
 }
 
 // Result reports a bounded query execution.
@@ -297,17 +311,51 @@ var ErrUnknownColumn = errors.New("query: unknown column")
 // no oracle.
 var ErrNoOracle = errors.New("query: table has no refresh oracle")
 
-// Execute runs the three-step bounded execution for the query. Queries
-// with a relative precision constraint are delegated to ExecuteRelative;
+// Execute runs the three-step bounded execution for the query with a
+// background context and default per-request options. Queries with a
+// relative precision constraint are delegated to ExecuteRelative;
 // queries with GROUP BY must be run with ExecuteGroupBy.
 func (p *Processor) Execute(q Query) (Result, error) {
+	return p.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx runs the three-step bounded execution under a context with
+// per-request options. The context (and WithDeadline) is honored at the
+// phase boundaries — before the scan, before CHOOSE_REFRESH, before the
+// refresh fan-out, and between refresh batches inside it. An execution
+// cut short mid-refresh keeps the refreshes that beat the cutoff and
+// returns the best guaranteed interval achieved from them; if that
+// answer still misses the precision constraint, the error is a typed
+// ErrPrecisionUnmet wrapping the context error. Cost-budgeted requests
+// (WithCostBudget) that end wider than a finite constraint return the
+// narrowest achieved answer with a typed ErrBudgetExhausted.
+func (p *Processor) ExecuteCtx(ctx context.Context, q Query, opts ...ExecOption) (Result, error) {
+	return p.ExecuteConfig(ctx, q, BuildExecConfig(opts...))
+}
+
+// ExecuteConfig is ExecuteCtx over an already-resolved option set; the
+// System façade builds the config once and reuses it across phases.
+func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) (Result, error) {
 	if len(q.GroupBy) > 0 {
 		return Result{}, fmt.Errorf("query: GROUP BY query requires ExecuteGroupBy")
+	}
+	q, ropts := cfg.apply(q, p.opts)
+	if cfg.HasBudget && (cfg.Budget < 0 || math.IsNaN(cfg.Budget)) {
+		return Result{}, fmt.Errorf("query: invalid cost budget %g", cfg.Budget)
+	}
+	// The deadline is attached before any dispatch so every path —
+	// including the relative-constraint pre-scan — sees it; the config
+	// passed onward is cleared to avoid re-deriving the context.
+	if !cfg.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, cfg.Deadline)
+		defer cancel()
+		cfg.Deadline = time.Time{}
 	}
 	if q.RelativeWithin > 0 {
 		rel := q.RelativeWithin
 		q.RelativeWithin = 0
-		return p.ExecuteRelative(q, rel)
+		return p.executeRelative(ctx, q, rel, cfg, ropts)
 	}
 	e := p.entry(q.Table)
 	if e == nil {
@@ -319,6 +367,11 @@ func (p *Processor) Execute(q Query) (Result, error) {
 	}
 	if q.Within < 0 || math.IsNaN(q.Within) {
 		return Result{}, fmt.Errorf("query: invalid precision constraint %g", q.Within)
+	}
+
+	// Scan boundary: a request that arrives already expired does no work.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 
 	// Step 1: initial bounded answer from cached bounds. The scan holds
@@ -336,13 +389,22 @@ func (p *Processor) Execute(q Query) (Result, error) {
 	if e.store != nil {
 		res.Initial, tableLen = aggregate.EvalStoreStream(e.store, col, q.Agg, q.Where)
 	} else {
-		inputs, tableLen = e.snapshot(col, q.Where, p.opts.Parallelism)
+		inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
 		res.Initial = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
 	}
 	res.Answer = res.Initial
-	if Satisfies(res.Answer, q.Within) {
-		res.Met = true
+	res.Met = Satisfies(res.Answer, q.Within)
+	// A budgeted request with no finite constraint always proceeds to
+	// spend its budget (Satisfies against R = +Inf is vacuous); every
+	// other request is done once the constraint holds from cache alone.
+	budgetDual := cfg.HasBudget && cfg.Mode != ModeImprecise
+	if res.Met && !(budgetDual && math.IsInf(q.Within, 1)) {
 		return res, nil
+	}
+
+	// Plan boundary.
+	if err := ctx.Err(); err != nil {
+		return cutoff(res, q, err)
 	}
 
 	// Step 2: choose refreshes from a snapshot, fetch the exact values
@@ -350,80 +412,160 @@ func (p *Processor) Execute(q Query) (Result, error) {
 	// queries' scans — and install them write-locking only the shards
 	// owning keys in the plan.
 	if inputs == nil {
-		inputs, tableLen = e.snapshot(col, q.Where, p.opts.Parallelism)
+		inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
 	}
 	start := time.Now()
-	plan, err := refresh.ChooseFromInputs(inputs, q.Agg, noPred, q.Within, tableLen, p.opts)
+	plan, err := choosePlan(inputs, q, noPred, tableLen, cfg, ropts)
 	res.ChooseTime = time.Since(start)
 	if err != nil {
 		return res, err
 	}
+	var ctxErr error
 	if plan.Len() > 0 {
 		if e.oracle == nil {
 			return res, fmt.Errorf("%w: %q", ErrNoOracle, q.Table)
 		}
-		// Report what was actually refreshed: keys dropped mid-flight are
-		// neither served nor charged, so they must not be counted.
-		costOf := make(map[int64]float64, plan.Len())
-		for j, k := range plan.Keys {
-			costOf[k] = plan.Costs[j]
+		// Fan-out boundary.
+		if err := ctx.Err(); err != nil {
+			return cutoff(res, q, err)
 		}
-		refreshed := func(key int64) {
-			res.Refreshed++
-			res.RefreshCost += costOf[key]
+		var hardErr error
+		ctxErr, hardErr = runPlan(ctx, e, plan, &res)
+		if hardErr != nil {
+			return res, hardErr
 		}
-		if b, ok := e.oracle.(BatchOracle); ok {
-			// The batch oracle fetches per source in parallel and
-			// installs the refreshed bounds itself (see BatchOracle);
-			// keys dropped mid-flight are absent from the reply.
-			vals, err := b.MasterBatch(plan.Keys)
-			if err != nil {
-				return res, err
-			}
-			for key := range vals {
-				refreshed(key)
-			}
-		} else {
-			vals, err := fetchMaster(e.oracle, plan.Keys)
-			if err != nil {
-				return res, err
-			}
-			for _, key := range plan.Keys {
-				// A dropped key no longer contributes; nothing to install.
-				installed, err := e.install(key, vals[key])
-				if err != nil {
-					return res, err
-				}
-				if installed {
-					refreshed(key)
-				}
-			}
-		}
-	}
 
-	// Step 3: recompute from the partially refreshed cache.
-	if e.store != nil {
-		res.Answer, _ = aggregate.EvalStoreStream(e.store, col, q.Agg, q.Where)
-	} else {
-		inputs, tableLen = e.snapshot(col, q.Where, p.opts.Parallelism)
-		res.Answer = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
+		// Step 3: recompute from the (possibly partially) refreshed
+		// cache. A cutoff mid-fan-out still recomputes: the refreshes
+		// that beat it are paid and installed, and the best-effort answer
+		// must reflect them.
+		if e.store != nil {
+			res.Answer, _ = aggregate.EvalStoreStream(e.store, col, q.Agg, q.Where)
+		} else {
+			inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
+			res.Answer = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
+		}
+		res.Met = Satisfies(res.Answer, q.Within)
 	}
-	res.Met = Satisfies(res.Answer, q.Within)
+	if ctxErr != nil && !res.Met {
+		return res, ErrPrecisionUnmet{Achieved: res.Answer, Spent: res.RefreshCost, Cause: ctxErr}
+	}
+	if ctxErr != nil {
+		return res, nil // cut short, but the constraint held anyway
+	}
+	if budgetDual && !res.Met && !math.IsInf(q.Within, 1) {
+		return res, ErrBudgetExhausted{Achieved: res.Answer, Spent: res.RefreshCost, Budget: cfg.Budget}
+	}
 	return res, nil
 }
 
-// fetchMaster pulls exact values per key from a plain (non-batch)
-// Oracle.
-func fetchMaster(o Oracle, keys []int64) (map[int64][]float64, error) {
-	vals := make(map[int64][]float64, len(keys))
-	for _, key := range keys {
-		v, ok := o.Master(key)
-		if !ok {
-			return nil, fmt.Errorf("query: oracle has no master values for key %d", key)
+// choosePlan selects the refresh plan for one request. Cost-budgeted
+// requests with a finite constraint R first try the classic minimum-cost
+// plan for R and keep it when it fits the budget (meeting R as cheaply
+// as possible); otherwise — and always for budgeted requests with
+// R = +Inf — the cost-bounded dual maximizes width reduction within the
+// budget.
+func choosePlan(inputs []aggregate.Input, q Query, noPred bool, tableLen int, cfg ExecConfig, opts refresh.Options) (refresh.Plan, error) {
+	if cfg.HasBudget && cfg.Mode != ModeImprecise {
+		if !math.IsInf(q.Within, 1) {
+			classic, err := refresh.ChooseFromInputs(inputs, q.Agg, noPred, q.Within, tableLen, opts)
+			if err != nil {
+				return classic, err
+			}
+			if classic.Cost <= cfg.Budget {
+				return classic, nil
+			}
 		}
-		vals[key] = v
+		return refresh.ChooseBudget(inputs, q.Agg, noPred, cfg.Budget, tableLen, opts)
 	}
-	return vals, nil
+	return refresh.ChooseFromInputs(inputs, q.Agg, noPred, q.Within, tableLen, opts)
+}
+
+// cutoff shapes the result of a request stopped by context cancellation
+// or deadline expiry before its constraint was reached: the best
+// guaranteed interval achieved so far is returned, with a typed
+// ErrPrecisionUnmet when the constraint is still unmet and the bare
+// context error when it already held (so callers never mistake a
+// satisfied answer for a failed one).
+func cutoff(res Result, q Query, cause error) (Result, error) {
+	if Satisfies(res.Answer, q.Within) {
+		return res, cause
+	}
+	return res, ErrPrecisionUnmet{Achieved: res.Answer, Spent: res.RefreshCost, Cause: cause}
+}
+
+// runPlan executes the refresh phase of a chosen plan against the
+// entry's oracle, accumulating the per-key accounting of what actually
+// reached the table into res. It returns a context error separately from
+// hard errors: on a cutoff the refreshes that beat it are already
+// installed and counted, and the caller folds them into a best-effort
+// answer.
+func runPlan(ctx context.Context, e *tableEntry, plan refresh.Plan, res *Result) (ctxErr, hardErr error) {
+	// Report what was actually refreshed: keys dropped mid-flight are
+	// neither served nor charged, so they must not be counted.
+	costOf := make(map[int64]float64, plan.Len())
+	for j, k := range plan.Keys {
+		costOf[k] = plan.Costs[j]
+	}
+	vals, ctxErr, hardErr := fetchKeys(ctx, e, plan.Keys)
+	for key := range vals {
+		res.Refreshed++
+		res.RefreshCost += costOf[key]
+	}
+	return ctxErr, hardErr
+}
+
+// fetchKeys runs one refresh round for the given keys through the
+// entry's oracle — the shared oracle protocol of both the single-query
+// refresh phase (runPlan) and the batch executor's per-table union
+// rounds. The returned map holds exactly the keys whose refresh reached
+// the table (dropped keys and replies that lost to newer pushes are
+// absent). A context cutoff is returned separately from hard errors: on
+// a cutoff the refreshes that beat it are already installed, charged,
+// and present in the map.
+func fetchKeys(ctx context.Context, e *tableEntry, keys []int64) (vals map[int64][]float64, ctxErr, hardErr error) {
+	switch b := e.oracle.(type) {
+	case BatchOracleCtx:
+		// The batch oracle fetches per source in parallel and installs
+		// the refreshed bounds itself (see BatchOracle); on a context
+		// error the reply holds the partial set that beat the cutoff.
+		vals, err := b.MasterBatchCtx(ctx, keys)
+		if err != nil {
+			if parallel.IsContextError(err) {
+				return vals, err, nil
+			}
+			return vals, nil, err
+		}
+		return vals, nil, nil
+	case BatchOracle:
+		vals, err := b.MasterBatch(keys)
+		if err != nil {
+			return nil, nil, err
+		}
+		return vals, nil, nil
+	default:
+		// Plain per-key oracle: the context is honored between keys, so
+		// a cutoff keeps the keys already fetched and installed.
+		vals := make(map[int64][]float64, len(keys))
+		for _, key := range keys {
+			if err := ctx.Err(); err != nil {
+				return vals, err, nil
+			}
+			v, ok := e.oracle.Master(key)
+			if !ok {
+				return vals, nil, fmt.Errorf("query: oracle has no master values for key %d", key)
+			}
+			// A dropped key no longer contributes; nothing to install.
+			installed, err := e.install(key, v)
+			if err != nil {
+				return vals, nil, err
+			}
+			if installed {
+				vals[key] = v
+			}
+		}
+		return vals, nil, nil
+	}
 }
 
 // Satisfies reports whether a bounded answer meets an absolute precision
@@ -441,14 +583,16 @@ func Satisfies(a interval.Interval, r float64) bool {
 // PreciseMode executes the query by refreshing every tuple that might
 // contribute, the "query the sources" extreme of Figure 1(a). It is the
 // baseline for the precision-performance experiments.
+//
+// Deprecated: use ExecuteCtx with WithMode(ModePrecise).
 func (p *Processor) PreciseMode(q Query) (Result, error) {
-	q.Within = 0
-	return p.Execute(q)
+	return p.ExecuteCtx(context.Background(), q, WithMode(ModePrecise))
 }
 
 // ImpreciseMode executes the query over cached bounds only, the "query the
 // cache" extreme of Figure 1(a): no refreshes, no guarantees about width.
+//
+// Deprecated: use ExecuteCtx with WithMode(ModeImprecise).
 func (p *Processor) ImpreciseMode(q Query) (Result, error) {
-	q.Within = math.Inf(1)
-	return p.Execute(q)
+	return p.ExecuteCtx(context.Background(), q, WithMode(ModeImprecise))
 }

@@ -15,6 +15,7 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -287,30 +288,49 @@ func (s *Source) QueryRefresh(key int64, sub Subscriber) (Refresh, error) {
 // request order. The caller applies the refreshes; this method does not
 // call back into the subscriber.
 func (s *Source) QueryRefreshBatch(keys []int64, sub Subscriber) ([]Refresh, error) {
+	return s.QueryRefreshBatchCtx(context.Background(), keys, sub)
+}
+
+// QueryRefreshBatchCtx is QueryRefreshBatch honoring a context: the
+// request first validates the batch, then waits out the network's
+// simulated wire time with no lock held, and only then commits — charges
+// the cost, narrows the width policies, and installs the fresh promised
+// bounds — atomically under the source lock. A context canceled (or a
+// deadline expired) during the wait aborts the request before anything
+// is committed: no charge, no policy movement, no new promise, so the
+// refresh monitor's soundness invariant (the source pushes whenever a
+// value escapes its *promised* bound) is unaffected by abandoned
+// requests.
+func (s *Source) QueryRefreshBatchCtx(ctx context.Context, keys []int64, sub Subscriber) ([]Refresh, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
+	// Phase 1: validate, so a bad batch fails before paying wire time —
+	// skipped on the hot path (zero latency), where there is no wire
+	// time to waste and the commit phase's own resolution rejects bad
+	// batches before anything is charged.
+	if s.net.Latency() > 0 {
+		if err := s.validateBatch(keys, sub); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: simulated wire time, interruptible, no lock held.
+	if err := s.net.Wait(ctx); err != nil {
+		return nil, err
+	}
+	// Phase 3: re-resolve and commit atomically. Objects that vanished
+	// during the wait fail the batch exactly as they would have failed
+	// validation; nothing is charged on that path either.
 	s.mu.Lock()
-	// Validate the whole batch first so an error leaves no partial charges.
 	objs := make([]*object, len(keys))
 	regs := make([]*registration, len(keys))
 	for i, key := range keys {
-		o, ok := s.objects[key]
-		if !ok {
+		o, reg, err := s.resolveLocked(key, sub)
+		if err != nil {
 			s.mu.Unlock()
-			return nil, fmt.Errorf("source %s: no object %d", s.id, key)
+			return nil, err
 		}
-		for _, r := range s.regs[key] {
-			if r.sub == sub {
-				regs[i] = r
-				break
-			}
-		}
-		if regs[i] == nil {
-			s.mu.Unlock()
-			return nil, fmt.Errorf("source %s: cache not subscribed to object %d", s.id, key)
-		}
-		objs[i] = o
+		objs[i], regs[i] = o, reg
 	}
 	out := make([]Refresh, 0, len(keys))
 	requested := make(map[int64]bool, len(keys))
@@ -325,6 +345,34 @@ func (s *Source) QueryRefreshBatch(keys []int64, sub Subscriber) ([]Refresh, err
 	out = append(out, s.piggybackRefreshesLocked(sub, func(key int64) bool { return requested[key] })...)
 	s.mu.Unlock()
 	return out, nil
+}
+
+// validateBatch checks every key exists and the subscriber is
+// registered for it, without committing anything.
+func (s *Source) validateBatch(keys []int64, sub Subscriber) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, key := range keys {
+		if _, _, err := s.resolveLocked(key, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveLocked finds the object and the subscriber's registration for
+// one key. Caller holds s.mu.
+func (s *Source) resolveLocked(key int64, sub Subscriber) (*object, *registration, error) {
+	o, ok := s.objects[key]
+	if !ok {
+		return nil, nil, fmt.Errorf("source %s: no object %d", s.id, key)
+	}
+	for _, r := range s.regs[key] {
+		if r.sub == sub {
+			return o, r, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("source %s: cache not subscribed to object %d", s.id, key)
 }
 
 // ObserveDemand forwards shared-refresh demand to the object's width

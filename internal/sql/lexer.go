@@ -1,19 +1,22 @@
 // Package sql provides a small front end for the TRAPP/AG query language
 // of paper section 4:
 //
-//	SELECT AGGREGATE(T.a) WITHIN R FROM T WHERE PREDICATE
+//	SELECT AGGREGATE(T.a) [, AGGREGATE(T.b) ...] WITHIN R FROM T WHERE PREDICATE
 //
 // AGGREGATE is one of COUNT, MIN, MAX, SUM, AVG; WITHIN and WHERE are
-// optional (omitting WITHIN means R = +Inf, pure imprecise mode). The
-// predicate grammar supports binary comparisons between columns and
-// numeric constants combined with AND, OR, NOT, and parentheses — the
-// expression class handled by the Possible/Certain translation of
-// Appendix D. Keywords are case-insensitive; column and table names are
-// case-sensitive identifiers.
+// optional (omitting WITHIN means R = +Inf, pure imprecise mode). A
+// statement may select several aggregates in one list (ParseAll); they
+// share the WITHIN constraint, table and predicate, and compile to a
+// batch that ExecuteBatch answers with one shared scan and one deduped
+// refresh round. The predicate grammar supports binary comparisons
+// between columns and numeric constants combined with AND, OR, NOT, and
+// parentheses — the expression class handled by the Possible/Certain
+// translation of Appendix D. Keywords are case-insensitive; column and
+// table names are case-sensitive identifiers. Every lexer and parser
+// error is a positioned *Error.
 package sql
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -109,7 +112,7 @@ func (l *lexer) next() (token, error) {
 			l.pos++
 			return token{tokOp, "!=", start}, nil
 		}
-		return token{}, fmt.Errorf("sql: unexpected '!' at %d", start)
+		return token{}, errAt(start, "unexpected '!'")
 	case c == '-' || c == '+' || unicode.IsDigit(rune(c)):
 		return l.number()
 	case unicode.IsLetter(rune(c)) || c == '_':
@@ -119,7 +122,7 @@ func (l *lexer) next() (token, error) {
 		}
 		return token{tokIdent, l.src[start:l.pos], start}, nil
 	default:
-		return token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+		return token{}, errAt(start, "unexpected character %q", c)
 	}
 }
 
@@ -142,7 +145,7 @@ func (l *lexer) number() (token, error) {
 		}
 	}
 	if digits == 0 {
-		return token{}, fmt.Errorf("sql: malformed number at %d", start)
+		return token{}, errAt(start, "malformed number")
 	}
 	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
 		l.pos++
@@ -155,7 +158,7 @@ func (l *lexer) number() (token, error) {
 			ed++
 		}
 		if ed == 0 {
-			return token{}, fmt.Errorf("sql: malformed exponent at %d", start)
+			return token{}, errAt(start, "malformed exponent")
 		}
 	}
 	return token{tokNumber, l.src[start:l.pos], start}, nil

@@ -1,0 +1,111 @@
+package sql
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/relation"
+)
+
+func multiCatalog() Catalog {
+	return MapCatalog{"t": relation.NewSchema(
+		relation.Column{Name: "grp", Kind: relation.Exact},
+		relation.Column{Name: "v", Kind: relation.Bounded},
+		relation.Column{Name: "w", Kind: relation.Bounded},
+	)}
+}
+
+func TestParseAllMultiAggregate(t *testing.T) {
+	qs, err := ParseAll("SELECT MIN(v), MAX(v), SUM(w) WITHIN 5 FROM t WHERE w > 3", multiCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("got %d queries, want 3", len(qs))
+	}
+	wantAggs := []aggregate.Func{aggregate.Min, aggregate.Max, aggregate.Sum}
+	wantCols := []string{"v", "v", "w"}
+	for i, q := range qs {
+		if q.Agg != wantAggs[i] || q.Column != wantCols[i] {
+			t.Errorf("query %d = %s(%s), want %s(%s)", i, q.Agg, q.Column, wantAggs[i], wantCols[i])
+		}
+		if q.Within != 5 || q.Table != "t" {
+			t.Errorf("query %d: Within %g Table %q", i, q.Within, q.Table)
+		}
+		if q.Where == nil {
+			t.Errorf("query %d lost the shared predicate", i)
+		}
+	}
+}
+
+func TestParseAllSingleAggregate(t *testing.T) {
+	qs, err := ParseAll("SELECT AVG(v) FROM t", multiCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || qs[0].Agg != aggregate.Avg || !math.IsInf(qs[0].Within, 1) {
+		t.Fatalf("got %+v", qs)
+	}
+}
+
+func TestParseRejectsMultiAggregate(t *testing.T) {
+	_, err := Parse("SELECT MIN(v), MAX(v) WITHIN 5 FROM t", multiCatalog())
+	if err == nil {
+		t.Fatal("Parse accepted a multi-aggregate statement")
+	}
+	if !strings.Contains(err.Error(), "2 aggregates") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestParseAllRelativeConstraintShared(t *testing.T) {
+	qs, err := ParseAll("SELECT MIN(v), MAX(w) WITHIN 5% FROM t", multiCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if q.RelativeWithin != 0.05 {
+			t.Errorf("query %d: RelativeWithin = %g, want 0.05", i, q.RelativeWithin)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantPos int
+		wantMsg string
+	}{
+		// pos:     0123456789...
+		{"SELECT MIN(v) FROM missing", 19, "unknown table"},
+		{"SELECT MIN(nope) FROM t", 11, "unknown column"},
+		{"SELECT MIN(v) FROM t WHERE bogus > 1", 27, "unknown column"},
+		{"SELECT MIN(v) FROM t WHERE v >", 30, "column or constant"},
+		{"SELECT MIN(v), MAX(nope) WITHIN 2 FROM t", 19, "unknown column"},
+		{"SELECT MIN(v) WITHIN -3 FROM t", 21, "precision constraint"},
+		{"SELECT MIN(v) FROM t GROUP BY v", 30, "must be exact"},
+		{"SELECT MIN(v) FROM t trailing", 21, "trailing input"},
+		{"SELECT MIN(v) FROM t WHERE v ! 3", 29, "unexpected '!'"},
+	}
+	for _, tc := range cases {
+		_, err := ParseAll(tc.src, multiCatalog())
+		if err == nil {
+			t.Errorf("%q: no error", tc.src)
+			continue
+		}
+		var perr *Error
+		if !errors.As(err, &perr) {
+			t.Errorf("%q: error %v is not a positioned *sql.Error", tc.src, err)
+			continue
+		}
+		if perr.Pos != tc.wantPos {
+			t.Errorf("%q: position %d, want %d (%v)", tc.src, perr.Pos, tc.wantPos, err)
+		}
+		if !strings.Contains(perr.Msg, tc.wantMsg) {
+			t.Errorf("%q: message %q does not mention %q", tc.src, perr.Msg, tc.wantMsg)
+		}
+	}
+}

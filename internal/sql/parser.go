@@ -27,22 +27,67 @@ func (m MapCatalog) SchemaOf(table string) (*relation.Schema, bool) {
 	return s, ok
 }
 
-// Parse compiles a TRAPP/AG query string against the catalog, producing an
-// executable query.Query with the predicate bound to column indexes.
+// Error is a parse error with the byte offset of the offending token in
+// the statement, so front ends can point at the problem. Every error the
+// lexer and parser produce is an *Error; use errors.As to recover the
+// position.
+type Error struct {
+	// Pos is the 0-based byte offset into the statement.
+	Pos int
+	// Msg describes the problem, without position or "sql:" prefix.
+	Msg string
+}
+
+// Error formats the message with its position.
+func (e *Error) Error() string {
+	return fmt.Sprintf("sql: %s at position %d", e.Msg, e.Pos)
+}
+
+// errAt builds a positioned parse error.
+func errAt(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse compiles a single-aggregate TRAPP/AG query string against the
+// catalog, producing an executable query.Query with the predicate bound
+// to column indexes. Statements selecting several aggregates are
+// rejected; use ParseAll, which compiles them into a batch sharing one
+// scan and refresh round (trapp.ExecuteBatch).
 func Parse(src string, cat Catalog) (query.Query, error) {
+	qs, err := ParseAll(src, cat)
+	if err != nil {
+		return query.Query{}, err
+	}
+	if len(qs) != 1 {
+		return query.Query{}, errAt(0, "statement selects %d aggregates; use the multi-aggregate entry point (ParseAll)", len(qs))
+	}
+	return qs[0], nil
+}
+
+// ParseAll compiles a TRAPP/AG statement that may select several
+// aggregates in one SELECT list:
+//
+//	SELECT MIN(v), MAX(v) WITHIN 5 FROM t WHERE pred
+//
+// One query.Query is produced per select item; WITHIN, FROM, WHERE and
+// GROUP BY are shared by all of them. The resulting queries are intended
+// for ExecuteBatch, which shares one classification scan per (table,
+// column, predicate) shape and one deduped refresh round across the
+// statement.
+func ParseAll(src string, cat Catalog) ([]query.Query, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return query.Query{}, err
+		return nil, err
 	}
 	p := &parser{toks: toks, cat: cat}
-	q, err := p.parseQuery()
+	qs, err := p.parseStatement()
 	if err != nil {
-		return query.Query{}, err
+		return nil, err
 	}
 	if !p.at(tokEOF) {
-		return query.Query{}, fmt.Errorf("sql: trailing input at %d: %q", p.cur().pos, p.cur().text)
+		return nil, errAt(p.cur().pos, "trailing input %q", p.cur().text)
 	}
-	return q, nil
+	return qs, nil
 }
 
 // parser is a recursive-descent parser over the token stream.
@@ -67,135 +112,173 @@ func (p *parser) advance() token {
 
 func (p *parser) expect(k tokenKind, what string) (token, error) {
 	if !p.at(k) {
-		return token{}, fmt.Errorf("sql: expected %s at %d, found %q", what, p.cur().pos, p.cur().text)
+		return token{}, errAt(p.cur().pos, "expected %s, found %q", what, p.cur().text)
 	}
 	return p.advance(), nil
 }
 
 func (p *parser) expectKeyword(kw string) error {
 	if !p.cur().isKeyword(kw) {
-		return fmt.Errorf("sql: expected %s at %d, found %q", kw, p.cur().pos, p.cur().text)
+		return errAt(p.cur().pos, "expected %s, found %q", kw, p.cur().text)
 	}
 	p.advance()
 	return nil
 }
 
-// parseQuery parses the full statement. The FROM clause is parsed before
-// the aggregate's column is bound, so a two-pass structure records the
-// aggregate tokens first.
-func (p *parser) parseQuery() (query.Query, error) {
-	var q query.Query
-	q.Within = math.Inf(1)
+// selectItem is one AGG(col) of the select list, recorded before the
+// FROM clause binds its column.
+type selectItem struct {
+	fn       aggregate.Func
+	aggTable string // optional table qualifier
+	col      string
+	colPos   int
+	tablePos int
+}
 
+// parseStatement parses the full statement. The FROM clause is parsed
+// after the select list, so a two-pass structure records the aggregate
+// tokens first and binds columns once the schema is known.
+func (p *parser) parseStatement() ([]query.Query, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
-		return q, err
+		return nil, err
 	}
-	aggTok, err := p.expect(tokIdent, "aggregate function")
-	if err != nil {
-		return q, err
-	}
-	fn, err := aggregate.ParseFunc(strings.ToUpper(aggTok.text))
-	if err != nil {
-		return q, fmt.Errorf("sql: %v at %d", err, aggTok.pos)
-	}
-	q.Agg = fn
-	if _, err := p.expect(tokLParen, "("); err != nil {
-		return q, err
-	}
-	// Column reference: ident or table.ident.
-	first, err := p.expect(tokIdent, "column name")
-	if err != nil {
-		return q, err
-	}
-	aggTable, aggCol := "", first.text
-	if p.at(tokDot) {
-		p.advance()
-		colTok, err := p.expect(tokIdent, "column name after '.'")
+	var items []selectItem
+	for {
+		item, err := p.parseSelectItem()
 		if err != nil {
-			return q, err
+			return nil, err
 		}
-		aggTable, aggCol = first.text, colTok.text
-	}
-	if _, err := p.expect(tokRParen, ")"); err != nil {
-		return q, err
+		items = append(items, item)
+		if !p.at(tokComma) {
+			break
+		}
+		p.advance()
 	}
 
+	within := math.Inf(1)
+	relative := 0.0
 	if p.cur().isKeyword("WITHIN") {
 		p.advance()
 		numTok, err := p.expect(tokNumber, "precision constraint")
 		if err != nil {
-			return q, err
+			return nil, err
 		}
 		r, err := strconv.ParseFloat(numTok.text, 64)
 		if err != nil || r < 0 {
-			return q, fmt.Errorf("sql: invalid precision constraint %q at %d", numTok.text, numTok.pos)
+			return nil, errAt(numTok.pos, "invalid precision constraint %q", numTok.text)
 		}
 		if p.at(tokPercent) {
 			// Relative precision constraint (§8.1): WITHIN 5% means the
 			// answer width is at most 2·|A|·0.05 for the true answer A.
 			p.advance()
-			q.RelativeWithin = r / 100
+			relative = r / 100
 		} else {
-			q.Within = r
+			within = r
 		}
 	}
 
 	if err := p.expectKeyword("FROM"); err != nil {
-		return q, err
+		return nil, err
 	}
 	tblTok, err := p.expect(tokIdent, "table name")
 	if err != nil {
-		return q, err
+		return nil, err
 	}
-	q.Table = tblTok.text
-	schema, ok := p.cat.SchemaOf(q.Table)
+	schema, ok := p.cat.SchemaOf(tblTok.text)
 	if !ok {
-		return q, fmt.Errorf("sql: unknown table %q at %d", q.Table, tblTok.pos)
+		return nil, errAt(tblTok.pos, "unknown table %q", tblTok.text)
 	}
-	p.table, p.schema = q.Table, schema
+	p.table, p.schema = tblTok.text, schema
 
-	if aggTable != "" && aggTable != q.Table {
-		return q, fmt.Errorf("sql: aggregate over table %q but FROM %q", aggTable, q.Table)
-	}
-	if _, ok := schema.Lookup(aggCol); !ok {
-		return q, fmt.Errorf("sql: unknown column %q in table %q", aggCol, q.Table)
-	}
-	q.Column = aggCol
-
+	var where predicate.Expr
 	if p.cur().isKeyword("WHERE") {
 		p.advance()
-		pred, err := p.parseOr()
+		where, err = p.parseOr()
 		if err != nil {
-			return q, err
+			return nil, err
 		}
-		q.Where = pred
 	}
 
+	var groupBy []string
 	if p.cur().isKeyword("GROUP") {
 		p.advance()
 		if err := p.expectKeyword("BY"); err != nil {
-			return q, err
+			return nil, err
 		}
 		for {
 			colTok, err := p.expect(tokIdent, "grouping column")
 			if err != nil {
-				return q, err
+				return nil, err
 			}
 			ci, ok := schema.Lookup(colTok.text)
 			if !ok {
-				return q, fmt.Errorf("sql: unknown grouping column %q in table %q", colTok.text, q.Table)
+				return nil, errAt(colTok.pos, "unknown grouping column %q in table %q", colTok.text, p.table)
 			}
 			if schema.Column(ci).Kind != relation.Exact {
-				return q, fmt.Errorf("sql: grouping column %q must be exact", colTok.text)
+				return nil, errAt(colTok.pos, "grouping column %q must be exact", colTok.text)
 			}
-			q.GroupBy = append(q.GroupBy, colTok.text)
+			groupBy = append(groupBy, colTok.text)
 			if !p.at(tokComma) {
 				break
 			}
 			p.advance()
 		}
 	}
-	return q, nil
+
+	qs := make([]query.Query, 0, len(items))
+	for _, item := range items {
+		if item.aggTable != "" && item.aggTable != p.table {
+			return nil, errAt(item.tablePos, "aggregate over table %q but FROM %q", item.aggTable, p.table)
+		}
+		if _, ok := schema.Lookup(item.col); !ok {
+			return nil, errAt(item.colPos, "unknown column %q in table %q", item.col, p.table)
+		}
+		qs = append(qs, query.Query{
+			Table:          p.table,
+			Agg:            item.fn,
+			Column:         item.col,
+			Within:         within,
+			RelativeWithin: relative,
+			Where:          where,
+			GroupBy:        groupBy,
+		})
+	}
+	return qs, nil
+}
+
+// parseSelectItem parses one AGG(col) or AGG(table.col).
+func (p *parser) parseSelectItem() (selectItem, error) {
+	var item selectItem
+	aggTok, err := p.expect(tokIdent, "aggregate function")
+	if err != nil {
+		return item, err
+	}
+	fn, err := aggregate.ParseFunc(strings.ToUpper(aggTok.text))
+	if err != nil {
+		return item, errAt(aggTok.pos, "%v", err)
+	}
+	item.fn = fn
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return item, err
+	}
+	first, err := p.expect(tokIdent, "column name")
+	if err != nil {
+		return item, err
+	}
+	item.col, item.colPos = first.text, first.pos
+	if p.at(tokDot) {
+		p.advance()
+		colTok, err := p.expect(tokIdent, "column name after '.'")
+		if err != nil {
+			return item, err
+		}
+		item.aggTable, item.tablePos = first.text, first.pos
+		item.col, item.colPos = colTok.text, colTok.pos
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return item, err
+	}
+	return item, nil
 }
 
 // parseOr := parseAnd (OR parseAnd)*
@@ -284,7 +367,7 @@ func (p *parser) parseComparison() (predicate.Expr, error) {
 	case "<>", "!=":
 		op = predicate.Ne
 	default:
-		return nil, fmt.Errorf("sql: unknown operator %q at %d", opTok.text, opTok.pos)
+		return nil, errAt(opTok.pos, "unknown operator %q", opTok.text)
 	}
 	right, err := p.parseOperand()
 	if err != nil {
@@ -299,7 +382,7 @@ func (p *parser) parseOperand() (predicate.Operand, error) {
 		t := p.advance()
 		v, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return predicate.Operand{}, fmt.Errorf("sql: bad number %q at %d", t.text, t.pos)
+			return predicate.Operand{}, errAt(t.pos, "bad number %q", t.text)
 		}
 		return predicate.Const(v), nil
 	}
@@ -307,7 +390,7 @@ func (p *parser) parseOperand() (predicate.Operand, error) {
 	if err != nil {
 		return predicate.Operand{}, err
 	}
-	name := t.text
+	name, pos := t.text, t.pos
 	if p.at(tokDot) {
 		p.advance()
 		colTok, err := p.expect(tokIdent, "column after '.'")
@@ -315,20 +398,20 @@ func (p *parser) parseOperand() (predicate.Operand, error) {
 			return predicate.Operand{}, err
 		}
 		if name != p.table {
-			return predicate.Operand{}, fmt.Errorf("sql: unknown table %q at %d", name, t.pos)
+			return predicate.Operand{}, errAt(t.pos, "unknown table %q", name)
 		}
-		name = colTok.text
+		name, pos = colTok.text, colTok.pos
 	}
 	// Reject keyword-looking identifiers in operand position to catch
 	// malformed predicates early.
-	for _, kw := range []string{"AND", "OR", "NOT", "WHERE", "FROM", "SELECT", "WITHIN"} {
+	for _, kw := range []string{"AND", "OR", "NOT", "WHERE", "FROM", "SELECT", "WITHIN", "GROUP"} {
 		if strings.EqualFold(name, kw) {
-			return predicate.Operand{}, fmt.Errorf("sql: unexpected keyword %q at %d", name, t.pos)
+			return predicate.Operand{}, errAt(pos, "unexpected keyword %q", name)
 		}
 	}
 	col, ok := p.schema.Lookup(name)
 	if !ok {
-		return predicate.Operand{}, fmt.Errorf("sql: unknown column %q in table %q", name, p.table)
+		return predicate.Operand{}, errAt(pos, "unknown column %q in table %q", name, p.table)
 	}
 	return predicate.Column(col, name), nil
 }

@@ -12,6 +12,8 @@ package trapp
 // semantics.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -168,8 +170,8 @@ func TestDifferentialShardedVsFlat(t *testing.T) {
 				}
 			}
 		}
-		refRes, err1 := ref.sys.Execute(q)
-		shRes, err2 := sh.sys.Execute(q)
+		refRes, err1 := ref.sys.ExecuteCtx(context.Background(), q)
+		shRes, err2 := sh.sys.ExecuteCtx(context.Background(), q)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("step %d %v: errors differ: %v vs %v", step, q, err1, err2)
 		}
@@ -178,6 +180,72 @@ func TestDifferentialShardedVsFlat(t *testing.T) {
 		}
 		if !sameAnswer(refRes, shRes) {
 			t.Fatalf("step %d %v: results differ:\nflat    %+v\nsharded %+v", step, q, refRes, shRes)
+		}
+	}
+
+	// checkBudget runs the cost-bounded dual on both layouts: the chosen
+	// budget plans, the spend, the answers, and the typed-error outcome
+	// must all be bit-identical. Both executions mutate their systems
+	// identically (the paid refreshes install the same exact values).
+	checkBudget := func(step int, q query.Query, budget float64) {
+		t.Helper()
+		if len(q.GroupBy) > 0 {
+			return
+		}
+		col := ref.c.Schema().MustLookup(q.Column)
+		ref.c.Sync()
+		sh.c.Sync()
+		refIn, refLen := aggregate.CollectStore(ref.c.Store(), col, q.Where, true, 1)
+		shIn, shLen := aggregate.CollectStore(sh.c.Store(), col, q.Where, true, 1)
+		refPlan, err1 := refresh.ChooseBudget(refIn, q.Agg, predicate.IsTrivial(q.Where), budget, refLen, refresh.Options{})
+		shPlan, err2 := refresh.ChooseBudget(shIn, q.Agg, predicate.IsTrivial(q.Where), budget, shLen, refresh.Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("step %d %v budget %g: plan errors differ: %v vs %v", step, q, budget, err1, err2)
+		}
+		if err1 == nil {
+			if fmt.Sprint(refPlan.Keys) != fmt.Sprint(shPlan.Keys) {
+				t.Fatalf("step %d %v budget %g: budget plans differ:\nflat    %v\nsharded %v",
+					step, q, budget, refPlan.Keys, shPlan.Keys)
+			}
+			if refPlan.Cost > budget {
+				t.Fatalf("step %d %v: budget plan cost %g over budget %g", step, q, refPlan.Cost, budget)
+			}
+		}
+		refRes, err1 := ref.sys.ExecuteCtx(context.Background(), q, query.WithCostBudget(budget))
+		shRes, err2 := sh.sys.ExecuteCtx(context.Background(), q, query.WithCostBudget(budget))
+		if errors.Is(err1, query.ErrBudgetExhausted{}) != errors.Is(err2, query.ErrBudgetExhausted{}) ||
+			(err1 == nil) != (err2 == nil) {
+			t.Fatalf("step %d %v budget %g: outcomes differ: %v vs %v", step, q, budget, err1, err2)
+		}
+		if err1 != nil && !errors.Is(err1, query.ErrBudgetExhausted{}) {
+			return
+		}
+		if !sameAnswer(refRes, shRes) {
+			t.Fatalf("step %d %v budget %g: budget results differ:\nflat    %+v\nsharded %+v",
+				step, q, budget, refRes, shRes)
+		}
+		if refRes.RefreshCost > budget+1e-9 {
+			t.Fatalf("step %d %v: paid %g over budget %g", step, q, refRes.RefreshCost, budget)
+		}
+	}
+
+	// checkBatch executes a small mixed batch on both layouts and
+	// compares every per-query result bit-for-bit.
+	checkBatch := func(step int, qs []query.Query) {
+		t.Helper()
+		refRes, err1 := ref.sys.ExecuteBatch(context.Background(), qs)
+		shRes, err2 := sh.sys.ExecuteBatch(context.Background(), qs)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("step %d batch: errors differ: %v vs %v", step, err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		for i := range refRes {
+			if !sameAnswer(refRes[i], shRes[i]) {
+				t.Fatalf("step %d batch query %d (%v): results differ:\nflat    %+v\nsharded %+v",
+					step, i, qs[i], refRes[i], shRes[i])
+			}
 		}
 	}
 
@@ -223,6 +291,19 @@ func TestDifferentialShardedVsFlat(t *testing.T) {
 			if ok1 != ok2 {
 				t.Fatalf("step %d: Master(%d) diverged: %v vs %v", step, key, ok1, ok2)
 			}
+		case op == 7 && rng.Intn(2) == 0: // cost-bounded dual
+			q := diffQuery(rng)
+			q.GroupBy = nil
+			checkBudget(step, q, []float64{0, 2, 7, 20, 60}[rng.Intn(5)])
+		case op == 8 && rng.Intn(4) == 0: // cross-query batch
+			n := 2 + rng.Intn(4)
+			qs := make([]query.Query, 0, n)
+			for len(qs) < n {
+				q := diffQuery(rng)
+				q.GroupBy = nil
+				qs = append(qs, q)
+			}
+			checkBatch(step, qs)
 		default: // mixed query
 			checkQuery(step, diffQuery(rng))
 		}

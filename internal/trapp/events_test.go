@@ -1,6 +1,7 @@
 package trapp
 
 import (
+	"context"
 	"testing"
 
 	"trapp/internal/aggregate"
@@ -167,5 +168,68 @@ func TestSlackZeroPropagatesImmediately(t *testing.T) {
 	}
 	if h.src.Pending() != 0 {
 		t.Error("events queued with zero slack")
+	}
+}
+
+// TestBatchSlackParity pins the §8.3 special paths of ExecuteBatch to
+// standalone ExecuteCtx behavior: an all-COUNT slack-tolerant batch is
+// answered widened without forcing the propagation round, and an
+// imprecise-mode batch never flushes queued membership events.
+func TestBatchSlackParity(t *testing.T) {
+	ctx := context.Background()
+
+	countQ := query.Query{Table: "links", Agg: aggregate.Count, Column: workload.ColLatency, Within: 10}
+
+	// Side A: standalone execution. Side B: the same query via a batch.
+	sysA, hA := eventSystem(t, 3)
+	sysB, hB := eventSystem(t, 3)
+	for _, h := range []*sourceHandle{hA, hB} {
+		if err := h.src.InsertObject(7, []float64{4, 50, 100}, 2, nil, []float64{6, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solo, err := sysA.ExecuteCtx(ctx, countQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := sysB.ExecuteBatch(ctx, []query.Query{countQ, countQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range batch {
+		if res.Answer != solo.Answer || res.Met != solo.Met {
+			t.Errorf("batch COUNT %d = %+v, standalone %+v", i, res, solo)
+		}
+	}
+	if hB.src.Pending() == 0 {
+		t.Error("slack-tolerant COUNT batch flushed the queued insert")
+	}
+
+	// Imprecise-mode batches answer from the unflushed cache for free.
+	sumQ := query.Query{Table: "links", Agg: aggregate.Sum, Column: workload.ColLatency}
+	soloImp, err := sysA.ExecuteCtx(ctx, sumQ, query.WithMode(query.ModeImprecise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchImp, err := sysB.ExecuteBatch(ctx, []query.Query{sumQ}, query.WithMode(query.ModeImprecise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchImp[0].Answer != soloImp.Answer || batchImp[0].RefreshCost != 0 {
+		t.Errorf("imprecise batch %+v, standalone %+v", batchImp[0], soloImp)
+	}
+	if hB.src.Pending() == 0 {
+		t.Error("imprecise batch flushed the queued insert")
+	}
+
+	// A mixed batch (a SUM needs exact membership) flushes, exactly as a
+	// standalone bounded SUM would.
+	bSum := sumQ
+	bSum.Within = 1000
+	if _, err := sysB.ExecuteBatch(ctx, []query.Query{bSum, countQ}); err != nil {
+		t.Fatal(err)
+	}
+	if hB.src.Pending() != 0 {
+		t.Error("mixed batch did not flush queued membership events")
 	}
 }

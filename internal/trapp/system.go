@@ -15,8 +15,11 @@
 package trapp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"trapp/internal/aggregate"
 	"trapp/internal/boundfn"
@@ -37,6 +40,8 @@ type System struct {
 	Clock *netsim.Clock
 	// Net records refresh traffic and cost.
 	Net *netsim.Network
+
+	closed atomic.Bool
 
 	mu      sync.RWMutex
 	sources map[string]*source.Source
@@ -139,8 +144,22 @@ func (s *System) Mount(tableName string, c *cache.Cache) error {
 // the constraint's status changes. Violated constraints are repaired by
 // the shared refresh scheduler, which dedupes refresh demand across all
 // live subscriptions. GROUP BY queries maintain one answer per group.
+// After Close it returns ErrClosed.
 func (s *System) Subscribe(q query.Query) (*continuous.Subscription, error) {
+	if s.closed.Load() {
+		return nil, query.ErrClosed
+	}
 	return s.engine.Subscribe(q)
+}
+
+// SubscribeCtx is Subscribe bound to a context: the subscription is
+// closed automatically — channel closed, standing constraint no longer
+// repaired — when the context is canceled or its deadline expires.
+func (s *System) SubscribeCtx(ctx context.Context, q query.Query) (*continuous.Subscription, error) {
+	if s.closed.Load() {
+		return nil, query.ErrClosed
+	}
+	return s.engine.SubscribeCtx(ctx, q)
 }
 
 // Settle synchronously drains the continuous engine's pending events:
@@ -154,65 +173,198 @@ func (s *System) Settle() { s.engine.Settle() }
 // counters (rounds, notifications, shared refresh traffic).
 func (s *System) SubscriptionMetrics() continuous.Metrics { return s.engine.Metrics() }
 
-// Close shuts down the continuous engine, closing all subscription
-// channels. The request/response query path remains usable.
-func (s *System) Close() { s.engine.Close() }
+// Close shuts the system down: the continuous engine stops and closes
+// all subscription channels, and every subsequent ExecuteCtx /
+// ExecuteBatch / Subscribe call returns the typed ErrClosed instead of
+// racing the engine's teardown. Executions already in flight complete
+// normally. Idempotent.
+func (s *System) Close() {
+	s.closed.Store(true)
+	s.engine.Close()
+}
 
-// Execute synchronizes the backing cache's bounds to the current time and
-// runs the three-step bounded query execution.
+// ExecuteCtx synchronizes the backing cache's bounds to the current time
+// and runs the three-step bounded query execution under the request
+// context and options. The context (plus WithDeadline) is honored at
+// every phase boundary — scan, plan, refresh fan-out — and a request cut
+// off mid-refresh returns the best guaranteed interval achieved from the
+// refreshes that beat the cutoff, with a typed ErrPrecisionUnmet when
+// the constraint is still unmet. WithCostBudget switches the request to
+// the cost-bounded dual (narrowest answer for ≤ B units of refresh
+// cost); WithMode positions it on the precision-performance dial;
+// WithSolver overrides the knapsack solver. After Close it returns
+// ErrClosed.
 //
 // When the cache watches sources with delayed insert/delete propagation
 // (section 8.3), a predicate-free COUNT whose constraint tolerates the
 // cardinality slack is answered from the cache with the answer widened by
-// ±slack — saving the propagation round — and every other query first
-// flushes the queued events, since missing tuples would make the other
-// aggregates' bounds unsound.
-func (s *System) Execute(q query.Query) (query.Result, error) {
+// ±slack — saving the propagation round — and every other bounded-mode
+// query first flushes the queued events, since missing tuples would make
+// the other aggregates' bounds unsound.
+func (s *System) ExecuteCtx(ctx context.Context, q query.Query, opts ...query.ExecOption) (query.Result, error) {
+	return s.executeConfig(ctx, q, query.BuildExecConfig(opts...))
+}
+
+// executeConfig is ExecuteCtx over a resolved option set.
+func (s *System) executeConfig(ctx context.Context, q query.Query, cfg query.ExecConfig) (query.Result, error) {
+	if s.closed.Load() {
+		return query.Result{}, query.ErrClosed
+	}
 	c := s.MountedCache(q.Table)
 	if c == nil {
-		return query.Result{}, fmt.Errorf("trapp: table %q not mounted", q.Table)
+		return query.Result{}, fmt.Errorf("trapp: %w: %q not mounted", query.ErrUnknownTable, q.Table)
+	}
+	if cfg.Mode == query.ModeImprecise {
+		// The stale-data extreme never refreshes, so queued membership
+		// events cannot make it pay a propagation round either.
+		c.Sync()
+		return s.proc.ExecuteConfig(ctx, q, cfg)
 	}
 	if slack := c.CardinalitySlack(); slack > 0 {
 		countNoPred := q.Agg == aggregate.Count && predicate.IsTrivial(q.Where) &&
-			len(q.GroupBy) == 0 && q.RelativeWithin == 0
+			len(q.GroupBy) == 0 && q.RelativeWithin == 0 && cfg.Mode == query.ModeBounded && !cfg.HasBudget
 		if countNoPred && q.Within >= 2*float64(slack) {
 			c.Sync()
-			res, err := s.proc.Execute(query.Query{
+			res, err := s.proc.ExecuteConfig(ctx, query.Query{
 				Table: q.Table, Agg: q.Agg, Column: q.Column,
 				Within: q.Within - 2*float64(slack), Where: q.Where,
-			})
-			if err != nil {
-				return res, err
-			}
-			res.Answer = res.Answer.Expand(float64(slack))
-			if res.Answer.Lo < 0 {
-				res.Answer.Lo = 0 // cardinality is nonnegative
-			}
-			res.Met = res.Answer.Width() <= q.Within+1e-9
-			return res, nil
+			}, cfg)
+			return widenSlackCount(res, err, float64(slack), q.Within)
 		}
 		c.FlushWatched()
 	}
 	c.Sync()
-	return s.proc.Execute(q)
+	return s.proc.ExecuteConfig(ctx, q, cfg)
+}
+
+// widenSlackCount post-processes a §8.3 slack-COUNT execution: the
+// answer computed against the narrowed constraint is widened by ±slack
+// (clamped at zero — cardinality is nonnegative) and Met is recomputed
+// against the caller's original constraint. A deadline's typed
+// ErrPrecisionUnmet is rebuilt so its Achieved/Spent match the widened
+// result exactly — a widened interval that now meets the constraint
+// clears the error, and a computed-but-unmet one stays sound (the
+// widened interval contains the true count). Results without an answer
+// (a request expired before the scan) pass through untouched.
+func widenSlackCount(res query.Result, err error, slack, within float64) (query.Result, error) {
+	var unmet query.ErrPrecisionUnmet
+	isUnmet := errors.As(err, &unmet)
+	if err != nil && !isUnmet {
+		return res, err
+	}
+	res.Answer = res.Answer.Expand(slack)
+	if res.Answer.Lo < 0 {
+		res.Answer.Lo = 0
+	}
+	res.Met = res.Answer.Width() <= within+1e-9
+	if !isUnmet {
+		return res, nil
+	}
+	if res.Met {
+		return res, nil
+	}
+	return res, query.ErrPrecisionUnmet{Achieved: res.Answer, Spent: res.RefreshCost, Cause: unmet.Cause}
+}
+
+// ExecuteBatch executes a set of scalar bounded queries as one batch:
+// every query is planned first, the refresh plans are merged into one
+// deduped batched refresh per table (fanned out per source in parallel —
+// the same machinery the continuous scheduler's shared rounds use), and
+// each query is answered from its own plan, bit-identical to standalone
+// execution on an identical system. Tuples needed by several queries are
+// paid for once. The returned slice aligns index-for-index with qs;
+// per-query execution outcomes (ErrBudgetExhausted, a deadline's
+// ErrPrecisionUnmet) are joined into the returned error. After Close it
+// returns ErrClosed.
+func (s *System) ExecuteBatch(ctx context.Context, qs []query.Query, opts ...query.ExecOption) ([]query.Result, error) {
+	if s.closed.Load() {
+		return nil, query.ErrClosed
+	}
+	cfg := query.BuildExecConfig(opts...)
+	// Mirror the single-query special paths for delayed-propagation
+	// caches (§8.3) so batch answers match standalone execution:
+	// imprecise-mode batches never flush (they never refresh, so queued
+	// membership events cannot make them unsound), and a predicate-free
+	// COUNT whose constraint tolerates the slack is answered widened by
+	// ±slack instead of forcing the propagation round — the flush runs
+	// only when some query in the batch actually needs exact membership.
+	type slackFix struct {
+		idx    int
+		slack  float64
+		within float64 // the original constraint
+	}
+	var fixes []slackFix
+	caches := make(map[*cache.Cache]bool) // cache → needs flush
+	for i, q := range qs {
+		c := s.MountedCache(q.Table)
+		if c == nil {
+			return nil, fmt.Errorf("trapp: %w: %q not mounted", query.ErrUnknownTable, q.Table)
+		}
+		if _, seen := caches[c]; !seen {
+			caches[c] = false
+		}
+		if cfg.Mode == query.ModeImprecise {
+			continue
+		}
+		slack := c.CardinalitySlack()
+		if slack == 0 {
+			continue
+		}
+		countNoPred := q.Agg == aggregate.Count && predicate.IsTrivial(q.Where) &&
+			len(q.GroupBy) == 0 && q.RelativeWithin == 0 && cfg.Mode == query.ModeBounded && !cfg.HasBudget
+		if countNoPred && q.Within >= 2*float64(slack) {
+			fixes = append(fixes, slackFix{idx: i, slack: float64(slack), within: q.Within})
+		} else {
+			caches[c] = true
+		}
+	}
+	for c, flush := range caches {
+		if flush {
+			c.FlushWatched()
+		}
+		c.Sync()
+	}
+	if len(fixes) > 0 {
+		qs = append([]query.Query(nil), qs...)
+		for _, f := range fixes {
+			qs[f.idx].Within -= 2 * f.slack
+		}
+	}
+	results, perQuery, err := s.proc.ExecuteBatchDetailed(ctx, qs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fixes {
+		if f.idx >= len(results) {
+			break
+		}
+		results[f.idx], perQuery[f.idx] = widenSlackCount(results[f.idx], perQuery[f.idx], f.slack, f.within)
+	}
+	return results, query.JoinBatchErrors(perQuery)
+}
+
+// Execute runs the query with a background context and default options.
+//
+// Deprecated: use ExecuteCtx, which adds cancellation, deadlines, cost
+// budgets, per-request solvers and typed errors.
+func (s *System) Execute(q query.Query) (query.Result, error) {
+	return s.ExecuteCtx(context.Background(), q)
 }
 
 // PreciseMode runs the query at R = 0 (the fresh-data extreme of
 // Figure 1(a)).
+//
+// Deprecated: use ExecuteCtx with WithMode(ModePrecise).
 func (s *System) PreciseMode(q query.Query) (query.Result, error) {
-	q.Within = 0
-	return s.Execute(q)
+	return s.ExecuteCtx(context.Background(), q, query.WithMode(query.ModePrecise))
 }
 
 // ImpreciseMode runs the query over cached bounds only (the stale-data
 // extreme of Figure 1(a)).
+//
+// Deprecated: use ExecuteCtx with WithMode(ModeImprecise).
 func (s *System) ImpreciseMode(q query.Query) (query.Result, error) {
-	c := s.MountedCache(q.Table)
-	if c == nil {
-		return query.Result{}, fmt.Errorf("trapp: table %q not mounted", q.Table)
-	}
-	c.Sync()
-	return s.proc.ImpreciseMode(q)
+	return s.ExecuteCtx(context.Background(), q, query.WithMode(query.ModeImprecise))
 }
 
 // Stats returns a snapshot of network traffic counters.

@@ -21,8 +21,18 @@
 //	sys.Mount("readings", cache)
 //
 //	q, _ := trapp.ParseQuery("SELECT AVG(value) WITHIN 5 FROM readings", sys)
-//	res, _ := sys.Execute(q)
+//	res, _ := sys.ExecuteCtx(ctx, q)
 //	fmt.Println(res.Answer) // e.g. [40.5, 45.5], guaranteed to contain the true AVG
+//
+// ExecuteCtx honors cancellation and deadlines at every phase boundary
+// and takes per-request options: WithDeadline, WithCostBudget (the
+// cost-bounded dual — "the narrowest answer for ≤ B units of refresh
+// cost"), WithSolver, and WithMode (the precise/imprecise extremes as
+// options over one path). Failures are typed: ErrUnknownTable,
+// ErrPrecisionUnmet{Achieved, Spent}, ErrBudgetExhausted, ErrClosed —
+// all usable with errors.Is / errors.As. ExecuteBatch executes many
+// queries with one deduped refresh round per table, paying for shared
+// tuples once.
 //
 // A System is safe for concurrent use: any number of goroutines may
 // Execute queries while sources apply updates. Cached relations are
@@ -37,6 +47,8 @@
 package trapp
 
 import (
+	"time"
+
 	"trapp/internal/aggregate"
 	"trapp/internal/boundfn"
 	"trapp/internal/cache"
@@ -141,6 +153,70 @@ type Result = query.Result
 func NewQuery(table string, agg Func, column string) Query {
 	return query.NewQuery(table, agg, column)
 }
+
+// ExecOption customizes one ExecuteCtx / ExecuteBatch / SubscribeCtx
+// request: deadline, cost budget, solver, mode.
+type ExecOption = query.ExecOption
+
+// Mode positions a request on the precision-performance dial of
+// Figure 1(a); see WithMode.
+type Mode = query.Mode
+
+// Request modes.
+const (
+	// ModeBounded honors the query's own precision constraint (default).
+	ModeBounded = query.ModeBounded
+	// ModePrecise forces R = 0: refresh until the answer is exact.
+	ModePrecise = query.ModePrecise
+	// ModeImprecise forces R = +Inf: answer from cached bounds only.
+	ModeImprecise = query.ModeImprecise
+)
+
+// WithDeadline bounds a request's wall-clock time; past it, the request
+// returns the best interval achieved so far (with ErrPrecisionUnmet if
+// the constraint is still unmet) instead of blocking.
+func WithDeadline(t time.Time) ExecOption { return query.WithDeadline(t) }
+
+// WithCostBudget switches the request to the cost-bounded dual of
+// CHOOSE_REFRESH: spend at most b units of refresh cost, maximizing the
+// guaranteed width reduction — "the narrowest answer you can give me
+// for ≤ b".
+func WithCostBudget(b float64) ExecOption { return query.WithCostBudget(b) }
+
+// WithSolver overrides the knapsack solver for one request.
+func WithSolver(s Solver) ExecOption { return query.WithSolver(s) }
+
+// WithMode positions one request on the precision-performance dial,
+// subsuming the deprecated PreciseMode/ImpreciseMode entry points.
+func WithMode(m Mode) ExecOption { return query.WithMode(m) }
+
+// Typed errors of the request path, usable with errors.Is / errors.As.
+var (
+	// ErrClosed is returned by ExecuteCtx/ExecuteBatch/Subscribe after
+	// System.Close.
+	ErrClosed = query.ErrClosed
+	// ErrUnknownTable is returned for queries against unmounted tables.
+	ErrUnknownTable = query.ErrUnknownTable
+	// ErrUnknownColumn is returned for unknown aggregation columns.
+	ErrUnknownColumn = query.ErrUnknownColumn
+	// ErrNoOracle is returned when a query needs refreshes but the table
+	// has no refresh oracle.
+	ErrNoOracle = query.ErrNoOracle
+)
+
+// ErrPrecisionUnmet reports a request cut short by cancellation or
+// deadline expiry before its precision constraint was reached; it
+// carries the best achieved interval and the cost spent, and unwraps to
+// the context error.
+type ErrPrecisionUnmet = query.ErrPrecisionUnmet
+
+// ErrBudgetExhausted reports a cost-budgeted request that spent its
+// budget without reaching the query's finite precision constraint.
+type ErrBudgetExhausted = query.ErrBudgetExhausted
+
+// SQLError is a positioned SQL parse error; every ParseQuery /
+// ParseQueries failure is one (use errors.As to recover the position).
+type SQLError = sql.Error
 
 // Options tunes CHOOSE_REFRESH (knapsack solver and ε) and execution
 // parallelism (Parallelism: workers for large aggregation scans).
@@ -259,7 +335,24 @@ func (c systemCatalog) SchemaOf(table string) (*Schema, bool) {
 
 // ParseQuery compiles the TRAPP/AG SQL dialect
 // (SELECT AGG(col) WITHIN R FROM table WHERE pred) against the tables
-// mounted on the system.
+// mounted on the system. Statements selecting several aggregates are
+// rejected; use ParseQueries.
 func ParseQuery(src string, sys *System) (Query, error) {
 	return sql.Parse(src, systemCatalog{sys})
+}
+
+// ParseQueries compiles a statement that may select several aggregates
+// in one SELECT list (SELECT MIN(v), MAX(v) WITHIN 5 FROM t), producing
+// one query per select item sharing the constraint, table, predicate
+// and grouping. Execute the result with System.ExecuteBatch, which
+// shares one classification scan per shape and one deduped refresh
+// round across the statement.
+func ParseQueries(src string, sys *System) ([]Query, error) {
+	return sql.ParseAll(src, systemCatalog{sys})
+}
+
+// ParseQueriesWith is ParseQueries against an explicit table→schema
+// catalog.
+func ParseQueriesWith(src string, schemas map[string]*Schema) ([]Query, error) {
+	return sql.ParseAll(src, sql.MapCatalog(schemas))
 }

@@ -1,6 +1,8 @@
 package trapp_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -45,7 +47,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Execute(q)
+	res, err := sys.ExecuteCtx(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestPublicAPIHandBuiltQuery(t *testing.T) {
 	q := trapp.NewQuery("links", trapp.Min, workload.ColBandwidth)
 	q.Within = 5
 	q.Where = trapp.NewCmp(trapp.PredColumn(bw, "bandwidth"), trapp.Gt, trapp.PredConst(0))
-	res, err := sys.Execute(q)
+	res, err := sys.ExecuteCtx(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,6 +92,44 @@ func TestPublicAPIHandBuiltQuery(t *testing.T) {
 	}
 	if !res.Answer.Contains(45) {
 		t.Errorf("answer %v does not contain true MIN 45", res.Answer)
+	}
+}
+
+func TestPublicAPIMultiAggregateBatch(t *testing.T) {
+	sys := buildMonitor(t)
+	sys.Clock.Advance(25)
+
+	// A multi-aggregate statement compiles to a batch sharing one scan
+	// and one deduped refresh round.
+	qs, err := trapp.ParseQueries("SELECT MIN(latency), MAX(latency), AVG(latency) WITHIN 2 FROM links", sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("parsed %d queries, want 3", len(qs))
+	}
+	results, err := sys.ExecuteBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if !res.Met {
+			t.Errorf("query %d (%v) unmet: %+v", i, qs[i], res)
+		}
+		if res.Answer.Width() > 2+1e-9 {
+			t.Errorf("query %d: width %g > 2", i, res.Answer.Width())
+		}
+	}
+	if results[0].Answer.Lo > results[2].Answer.Hi || results[2].Answer.Lo > results[1].Answer.Hi {
+		t.Errorf("MIN %v, AVG %v, MAX %v are not ordered", results[0].Answer, results[2].Answer, results[1].Answer)
+	}
+
+	// The single-query parser rejects the multi-aggregate statement with
+	// a positioned SQL error.
+	_, err = trapp.ParseQuery("SELECT MIN(latency), MAX(latency) FROM links", sys)
+	var perr *trapp.SQLError
+	if err == nil || !errors.As(err, &perr) {
+		t.Errorf("ParseQuery multi-agg: err = %v, want *SQLError", err)
 	}
 }
 
@@ -108,14 +148,22 @@ func TestPublicAPIModes(t *testing.T) {
 	sys.Clock.Advance(10000)
 	q := trapp.NewQuery("links", trapp.Sum, workload.ColTraffic)
 
-	imp, err := sys.ImpreciseMode(q)
+	imp, err := sys.ExecuteCtx(context.Background(), q, trapp.WithMode(trapp.ModeImprecise))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if imp.RefreshCost != 0 {
 		t.Error("imprecise mode paid refresh cost")
 	}
-	prec, err := sys.PreciseMode(q)
+	//lint:ignore SA1019 the deprecated wrapper must keep matching the option
+	wrapper, err := sys.ImpreciseMode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapper.Answer != imp.Answer {
+		t.Error("deprecated ImpreciseMode diverges from WithMode(ModeImprecise)")
+	}
+	prec, err := sys.ExecuteCtx(context.Background(), q, trapp.WithMode(trapp.ModePrecise))
 	if err != nil {
 		t.Fatal(err)
 	}
