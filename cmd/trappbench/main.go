@@ -16,6 +16,8 @@
 //	trappbench -subscribers 1000     # E14: push subscriptions vs naive poll loop
 //	trappbench -budget 20            # E13 with cost-budgeted clients (WithCostBudget)
 //	trappbench -batch 64             # E16: one ExecuteBatch vs N sequential ExecuteCtx
+//	trappbench -remote host:7090     # E17: E13 clients over HTTP against a live trappserver,
+//	                                 # verifying wire answers bit-identical to in-process first
 //
 // Flags -n, -seed, -reps control workload size, reproducibility, and
 // timing repetitions. The concurrent benchmark additionally honors
@@ -49,6 +51,7 @@ type benchOutput struct {
 	Concurrent    []experiment.ConcurrentResult       `json:"concurrent,omitempty"`
 	Subscriptions *experiment.SubscriptionsComparison `json:"subscriptions,omitempty"`
 	Batch         *experiment.BatchComparison         `json:"batch,omitempty"`
+	Remote        *experiment.RemoteResult            `json:"remote,omitempty"`
 }
 
 var out benchOutput
@@ -67,6 +70,8 @@ func main() {
 	budget := flag.Float64("budget", 0, "per-request cost budget for the concurrent benchmark's clients (0: off)")
 	batchN := flag.Int("batch", 64, "queries per batch for the batch-execution benchmark")
 	rounds := flag.Int("rounds", 60, "update/tick rounds for the subscription benchmark")
+	remoteAddr := flag.String("remote", "", "drive a live trappserver at this address (E13 over HTTP) instead of an in-process system")
+	verifyN := flag.Int("verify", 200, "queries to verify bit-identical against a local mirror before the -remote window (0: skip; needs a static server)")
 	jsonPath := flag.String("json", "", "write machine-readable results (concurrent + subscription benchmarks) to this file")
 	flag.Parse()
 
@@ -76,6 +81,8 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if !explicit["experiment"] {
 		switch {
+		case explicit["remote"]:
+			*exp = "remote"
 		case explicit["batch"]:
 			*exp = "batch"
 		case explicit["subscribers"] || explicit["rounds"]:
@@ -86,6 +93,7 @@ func main() {
 	}
 
 	runners := map[string]func(){
+		"remote":        func() { remote(*remoteAddr, *concurrency, *verifyN, *duration, *warmup) },
 		"concurrent":    func() { concurrent(*concurrency, *updaters, *n, *seed, *duration, *warmup, *pushRate, *budget) },
 		"subscriptions": func() { subscriptions(*subscribers, *n, *seed, *rounds) },
 		"batch":         func() { batch(*batchN, *n, *seed) },
@@ -400,6 +408,36 @@ func batch(batchN, links int, seed int64) {
 	fmt.Printf("refresh-cost ratio (sequential/batch): %.2fx; message ratio: %.2fx\n",
 		cmp.CostRatio, cmp.MessageRatio)
 	fmt.Printf("per-query answers verified bit-identical to standalone execution: %v\n", cmp.Verified)
+}
+
+func remote(addr string, clients, verifyN int, duration, warmup time.Duration) {
+	if addr == "" {
+		fmt.Fprintln(os.Stderr, "remote mode needs -remote <addr> (a live trappserver)")
+		os.Exit(2)
+	}
+	fmt.Printf("E17 — closed-loop throughput over HTTP against %s (clients=%d, verify=%d, window=%v)\n",
+		addr, clients, verifyN, duration)
+	res, err := experiment.Remote(addr, clients, verifyN, duration, warmup)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remote benchmark: %v\n", err)
+		os.Exit(1)
+	}
+	out.Remote = &res
+	if verifyN > 0 {
+		fmt.Printf("verified %d wire answers bit-identical to in-process execution\n", res.Verified)
+	}
+	experiment.WriteTable(os.Stdout,
+		[]string{"clients", "queries", "qps", "p50", "p99", "refresh-cost", "partial", "rejected"},
+		[][]string{{
+			fmt.Sprintf("%d", res.Clients),
+			fmt.Sprintf("%d", res.Queries),
+			fmt.Sprintf("%.0f", res.QPS),
+			res.P50.Round(time.Microsecond).String(),
+			res.P99.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", res.RefreshCost),
+			fmt.Sprintf("%d", res.PartialOutcomes),
+			fmt.Sprintf("%d", res.Rejected),
+		}})
 }
 
 func joins(seed int64) {

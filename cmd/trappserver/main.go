@@ -1,0 +1,120 @@
+// Command trappserver serves a TRAPP system over HTTP — the network
+// service layer of the client/server scenario the paper assumes (many
+// clients, many replicated sources, one precision-performance engine in
+// between). It builds the benchmarks' link-monitoring workload
+// (experiment.BuildLinkSystem) and exposes:
+//
+//	POST /query      execute SQL (single or ';'-separated batch); body
+//	                 {"sql": ..., "deadline_ms", "budget", "mode", "solver"}
+//	GET  /subscribe  server-sent-events stream of a standing query
+//	GET  /metrics    QPS, refresh traffic (incl. per-source), admission
+//	GET  /healthz    liveness + workload descriptor
+//
+// Admission control: -maxinflight caps concurrent queries (429 past
+// it), -clientbudget meters each client's cumulative refresh cost
+// (budget-exhausted semantics once spent). -drive animates the workload
+// (random-walk pushes + clock ticks); leave it off to serve a static
+// system, which is what `trappbench -remote ... -verify N` requires to
+// check wire answers bit-identical against a local mirror.
+//
+// SIGINT/SIGTERM drain gracefully: streams are closed, in-flight
+// requests finish, then the engine shuts down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"trapp/internal/experiment"
+	"trapp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7090", "listen address")
+	links := flag.Int("links", 90, "number of monitored links (objects)")
+	sources := flag.Int("sources", 8, "number of data sources")
+	seed := flag.Int64("seed", experiment.DefaultSeed, "workload seed")
+	maxInFlight := flag.Int("maxinflight", 0, "max concurrent /query requests (0: unlimited)")
+	maxSubs := flag.Int("maxsubs", 0, "max concurrent /subscribe streams (0: unlimited)")
+	clientBudget := flag.Float64("clientbudget", 0, "per-client cumulative refresh-cost ceiling (0: unlimited)")
+	drive := flag.Duration("drive", 0, "animate the workload: random-walk pushes + a clock tick every interval (0: static)")
+	latency := flag.Duration("latency", 0, "simulated wire latency per refresh transmission")
+	flag.Parse()
+
+	sys, net, err := experiment.BuildLinkSystem(*links, *sources, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trappserver: build workload: %v\n", err)
+		os.Exit(1)
+	}
+	if *latency > 0 {
+		sys.Net.SetLatency(*latency)
+	}
+
+	srv := server.New(sys, server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxSubscribers: *maxSubs,
+		ClientBudget:   *clientBudget,
+		Info: map[string]any{
+			"links":   *links,
+			"sources": *sources,
+			"seed":    *seed,
+			"driven":  *drive > 0,
+		},
+	})
+
+	// The driver animates the sources so subscriptions have something to
+	// stream: every interval each link takes one random-walk step and the
+	// logical clock advances one tick (bounds grow, constraints can
+	// violate, the continuous engine repairs them).
+	driveCtx, stopDrive := context.WithCancel(context.Background())
+	defer stopDrive()
+	if *drive > 0 {
+		go func() {
+			ticker := time.NewTicker(*drive)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-driveCtx.Done():
+					return
+				case <-ticker.C:
+					for i, l := range net.Links {
+						src := sys.Source(fmt.Sprintf("s%d", i%*sources))
+						if err := src.SetValue(l.Key, l.Step()); err != nil {
+							fmt.Fprintf(os.Stderr, "trappserver: drive: %v\n", err)
+							return
+						}
+					}
+					sys.Clock.Advance(1)
+				}
+			}
+		}()
+	}
+
+	hs, ln, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trappserver: listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trappserver: serving %d links from %d sources on http://%s (drive=%v)\n",
+		*links, *sources, ln.Addr(), *drive)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("trappserver: draining")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	stopDrive()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "trappserver: drain: %v\n", err)
+	}
+	_ = hs.Shutdown(ctx)
+	sys.Close()
+	fmt.Println("trappserver: bye")
+}

@@ -1,0 +1,122 @@
+// Command service demonstrates the TRAPP network service layer: it
+// embeds an HTTP server over a small sensor system, executes a bounded
+// query and a multi-statement batch over the wire, streams a standing
+// query as server-sent events while the sensors move, and drains the
+// server gracefully.
+//
+// Run with:
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"trapp"
+)
+
+func main() {
+	// One source, three temperature sensors, one cached table "sensors".
+	sys := trapp.NewSystem(trapp.Options{})
+	src, err := sys.AddSource("hall", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := trapp.NewSchema(
+		trapp.Column{Name: "room", Kind: trapp.Exact},
+		trapp.Column{Name: "temp", Kind: trapp.Bounded},
+	)
+	cache, err := sys.AddCache("monitor", schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range []float64{21.5, 19.0, 23.4} {
+		if err := src.AddObject(int64(i+1), []float64{v}, 1, trapp.NewAdaptiveWidth(0.5)); err != nil {
+			log.Fatal(err)
+		}
+		if err := cache.Subscribe(src, int64(i+1), []float64{float64(i + 1)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Mount("sensors", cache); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve it over HTTP on an ephemeral port.
+	srv := trapp.NewServer(sys, trapp.ServerConfig{MaxInFlight: 16})
+	hs, ln, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// A single statement and a batch, over the wire. The response mirrors
+	// ExecuteCtx bit for bit: bounded answers, refresh accounting, typed
+	// outcomes as structured error codes.
+	post := func(sql string) {
+		body, _ := json.Marshal(map[string]any{"sql": sql})
+		resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Results []struct {
+				Answer      struct{ Lo, Hi float64 }
+				Met         bool
+				RefreshCost float64 `json:"refresh_cost"`
+			}
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range out.Results {
+			fmt.Printf("  %-52s → [%.2f, %.2f] met=%v cost=%g\n", sql, r.Answer.Lo, r.Answer.Hi, r.Met, r.RefreshCost)
+		}
+	}
+	fmt.Println("queries over HTTP:")
+	post("SELECT AVG(temp) WITHIN 0.5 FROM sensors")
+	post("SELECT MIN(temp) FROM sensors; SELECT MAX(temp) FROM sensors")
+
+	// A standing query as a server-sent-events stream: the engine pushes
+	// a new bounded answer whenever it moves.
+	resp, err := http.Get(base + "/subscribe?sql=" + url.QueryEscape("SELECT AVG(temp) FROM sensors"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := bufio.NewScanner(resp.Body)
+	readUpdate := func() {
+		for events.Scan() {
+			line := events.Text()
+			if strings.HasPrefix(line, "data:") && strings.Contains(line, "answer") {
+				fmt.Println("  update:", strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+				return
+			}
+		}
+	}
+	fmt.Println("subscription stream:")
+	readUpdate() // initial answer
+	if err := src.SetValue(2, []float64{25.0}); err != nil {
+		log.Fatal(err)
+	}
+	sys.Settle()
+	readUpdate() // pushed after the sensor moved
+
+	// Graceful drain: the stream closes, in-flight requests finish.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	_ = hs.Shutdown(context.Background())
+	sys.Close()
+	fmt.Println("drained cleanly")
+}

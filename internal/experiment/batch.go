@@ -79,7 +79,7 @@ func batchDrift(sys *itrapp.System, net *workload.Network, srcs []*source.Source
 
 // batchSystem builds one E13 system plus its per-link source slice.
 func batchSystem(links, srcCount int, seed int64) (*itrapp.System, *workload.Network, []*source.Source, error) {
-	sys, net, err := concurrentSystem(links, srcCount, seed)
+	sys, net, err := BuildLinkSystem(links, srcCount, seed)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -74,11 +74,14 @@ type ConcurrentResult struct {
 	BudgetExhausted int64   `json:"budget_exhausted,omitempty"`
 }
 
-// concurrentSystem builds a System over a generated monitoring network:
+// BuildLinkSystem builds a System over a generated monitoring network:
 // links spread round-robin across srcCount sources, one cache mounted as
-// "links". It returns the system, the network (for the updater), and the
-// per-source link assignment.
-func concurrentSystem(links, srcCount int, seed int64) (*trapp.System, *workload.Network, error) {
+// "links". It returns the system and the generated network (whose Links
+// drive updates). It is the workload the closed-loop benchmarks run
+// against, exported so cmd/trappserver can serve the identical system —
+// trappbench -remote rebuilds it from the same parameters to verify
+// wire answers bit-identical to in-process execution.
+func BuildLinkSystem(links, srcCount int, seed int64) (*trapp.System, *workload.Network, error) {
 	net, err := workload.NewNetwork(max(2, links/8), links, seed)
 	if err != nil {
 		return nil, nil, err
@@ -175,7 +178,7 @@ func Concurrent(clients, updaters, links, srcCount int, seed int64, duration tim
 // cost-budgeted dual mode — and queries whose budget runs out before
 // their constraint count as BudgetExhausted instead of failing.
 func ConcurrentWarm(clients, updaters, links, srcCount int, seed int64, duration, warmup time.Duration, pushRate, budget float64) (ConcurrentResult, error) {
-	sys, net, err := concurrentSystem(links, srcCount, seed)
+	sys, net, err := BuildLinkSystem(links, srcCount, seed)
 	if err != nil {
 		return ConcurrentResult{}, err
 	}

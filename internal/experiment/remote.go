@@ -1,0 +1,354 @@
+package experiment
+
+// Remote drives a live trappserver over HTTP with the E13 closed-loop
+// client workload — the first wire-protocol QPS/latency datapoint — and,
+// before opening the measurement window, verifies the wire protocol:
+// a single client replays a deterministic query stream against both the
+// remote server and a local mirror system rebuilt from the server's
+// published workload descriptor (same links/sources/seed ⇒ bit-identical
+// initial state), asserting every answer and typed error received over
+// HTTP equals in-process execution bit for bit. Verification requires a
+// static server (trappserver without -drive): any background drift would
+// fork the two systems.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trapp/internal/query"
+	"trapp/internal/relation"
+	"trapp/internal/server"
+	"trapp/internal/sql"
+	itrapp "trapp/internal/trapp"
+)
+
+// RemoteResult reports one -remote run.
+type RemoteResult struct {
+	// Addr is the server base URL.
+	Addr string `json:"addr"`
+	// Links, Sources, Seed echo the server's workload descriptor.
+	Links   int   `json:"links"`
+	Sources int   `json:"sources"`
+	Seed    int64 `json:"seed"`
+	// Verified counts lockstep-verified queries (0 when verification was
+	// skipped); a mismatch fails the run instead of being counted.
+	Verified int `json:"verified"`
+	// Clients, Queries, Elapsed, QPS, P50, P99 mirror ConcurrentResult
+	// for the HTTP window.
+	Clients int           `json:"clients"`
+	Queries int64         `json:"queries"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	QPS     float64       `json:"qps"`
+	P50     time.Duration `json:"p50_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	// RefreshCost is the server-side query-refresh cost paid during the
+	// window (from /metrics deltas); PartialOutcomes counts 206 replies
+	// (precision_unmet / budget_exhausted), Rejected 429s.
+	RefreshCost     float64 `json:"refresh_cost"`
+	PartialOutcomes int64   `json:"partial_outcomes"`
+	Rejected        int64   `json:"rejected"`
+}
+
+// remoteClient is a minimal JSON client for the trappserver wire
+// protocol.
+type remoteClient struct {
+	base string
+	hc   *http.Client
+}
+
+// do posts one QueryRequest and decodes the reply.
+func (c *remoteClient) do(req server.QueryRequest) (int, server.QueryResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, server.QueryResponse{}, err
+	}
+	resp, err := c.hc.Post(c.base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, server.QueryResponse{}, err
+	}
+	defer resp.Body.Close()
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return resp.StatusCode, server.QueryResponse{}, fmt.Errorf("decode /query reply: %w", err)
+	}
+	return resp.StatusCode, qr, nil
+}
+
+// health is the /healthz payload.
+type health struct {
+	Status   string         `json:"status"`
+	Workload map[string]any `json:"workload"`
+}
+
+// Remote runs the E13 window against a live trappserver at addr,
+// verifying verifyN queries in lockstep against a local mirror first.
+func Remote(addr string, clients, verifyN int, duration, warmup time.Duration) (RemoteResult, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	addr = strings.TrimRight(addr, "/")
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients + 4}}
+
+	// Discover the server's workload so the mirror matches it exactly.
+	hres, err := hc.Get(addr + "/healthz")
+	if err != nil {
+		return RemoteResult{}, fmt.Errorf("reach server: %w", err)
+	}
+	var h health
+	err = json.NewDecoder(hres.Body).Decode(&h)
+	hres.Body.Close()
+	if err != nil {
+		return RemoteResult{}, fmt.Errorf("decode /healthz: %w", err)
+	}
+	num := func(k string) (int64, error) {
+		v, ok := h.Workload[k].(float64)
+		if !ok {
+			return 0, fmt.Errorf("server /healthz lacks workload %q (is it a trappserver?)", k)
+		}
+		return int64(v), nil
+	}
+	links, err := num("links")
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	sources, err := num("sources")
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	seed, err := num("seed")
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	driven, _ := h.Workload["driven"].(bool)
+
+	out := RemoteResult{Addr: addr, Links: int(links), Sources: int(sources), Seed: seed, Clients: clients}
+
+	// The mirror: the identical system, in process.
+	mirror, _, err := BuildLinkSystem(int(links), int(sources), seed)
+	if err != nil {
+		return RemoteResult{}, fmt.Errorf("build mirror: %w", err)
+	}
+	defer mirror.Close()
+	schema := mirror.MountedCache("links").Schema()
+
+	if verifyN > 0 {
+		if driven {
+			return RemoteResult{}, fmt.Errorf("server is driven (-drive): bit-identical verification needs a static workload; rerun trappserver without -drive or pass -verify 0")
+		}
+		if err := verifyLockstep(&remoteClient{base: addr, hc: hc}, mirror, schema, int(links), seed, verifyN); err != nil {
+			return RemoteResult{}, err
+		}
+		out.Verified = verifyN
+	}
+
+	// Measurement window: closed-loop clients over HTTP.
+	before, err := fetchMetrics(hc, addr)
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	var (
+		stop      atomic.Bool
+		measuring atomic.Bool
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		lats      []time.Duration
+		queries   atomic.Int64
+		partials  atomic.Int64
+		rejected  atomic.Int64
+	)
+	errCh := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(clientSeed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(clientSeed))
+			c := &remoteClient{base: addr, hc: hc}
+			local := make([]time.Duration, 0, 4096)
+			for !stop.Load() {
+				q := concurrentQuery(rng, schema, int(links))
+				t0 := time.Now()
+				status, _, err := c.do(server.QueryRequest{SQL: q.String()})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				switch {
+				case status == 200:
+				case status == 206:
+					partials.Add(1)
+				case status == 429:
+					rejected.Add(1)
+				default:
+					errCh <- fmt.Errorf("unexpected status %d", status)
+					return
+				}
+				if !measuring.Load() {
+					continue
+				}
+				local = append(local, time.Since(t0))
+				queries.Add(1)
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(seed + 7000 + int64(cl))
+	}
+	if warmup > 0 {
+		time.Sleep(warmup)
+	}
+	start := time.Now()
+	measuring.Store(true)
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return RemoteResult{}, fmt.Errorf("remote client: %w", err)
+	default:
+	}
+	elapsed := time.Since(start)
+	after, err := fetchMetrics(hc, addr)
+	if err != nil {
+		return RemoteResult{}, err
+	}
+
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(lats))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lats[i]
+	}
+	out.Queries = queries.Load()
+	out.Elapsed = elapsed
+	out.QPS = float64(out.Queries) / elapsed.Seconds()
+	out.P50, out.P99 = pct(0.50), pct(0.99)
+	out.RefreshCost = after.Network.QueryRefreshCost - before.Network.QueryRefreshCost
+	out.PartialOutcomes = partials.Load()
+	out.Rejected = rejected.Load()
+	return out, nil
+}
+
+// fetchMetrics reads /metrics.
+func fetchMetrics(hc *http.Client, addr string) (server.Metrics, error) {
+	resp, err := hc.Get(addr + "/metrics")
+	if err != nil {
+		return server.Metrics{}, fmt.Errorf("fetch /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	var m server.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return server.Metrics{}, fmt.Errorf("decode /metrics: %w", err)
+	}
+	return m, nil
+}
+
+// verifyLockstep replays a deterministic query stream against the
+// remote server and the in-process mirror, applying the same mutations
+// in the same order to both (each refresh a query pays installs the
+// same exact values on both sides), and asserts wire results equal
+// in-process results bit for bit — answers, initial intervals, refresh
+// accounting, and typed error fields. ChooseTime is wall-clock noise
+// and is excluded.
+func verifyLockstep(c *remoteClient, mirror *itrapp.System, schema *relation.Schema, links int, seed int64, n int) error {
+	rng := rand.New(rand.NewSource(seed + 4242))
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		q := concurrentQuery(rng, schema, links)
+		req := server.QueryRequest{SQL: q.String()}
+		var opts []query.ExecOption
+		switch i % 4 {
+		case 1: // the cost-bounded dual
+			b := server.Float(2 + rng.Float64()*8)
+			req.Budget = &b
+			opts = append(opts, query.WithCostBudget(float64(b)))
+		case 2: // the fresh-data extreme
+			req.Mode = "precise"
+			opts = append(opts, query.WithMode(query.ModePrecise))
+		case 3: // an already-expired deadline: deterministic best-effort
+			req.DeadlineMillis = -1
+			opts = append(opts, query.WithDeadline(time.Now().Add(-time.Millisecond)))
+		}
+
+		status, qr, err := c.do(req)
+		if err != nil {
+			return fmt.Errorf("verify %d: %w", i, err)
+		}
+
+		// The mirror executes the identically parsed statement.
+		qs, err := sql.ParseAll(q.String(), mirror.Catalog())
+		if err != nil {
+			return fmt.Errorf("verify %d: mirror parse: %w", i, err)
+		}
+		res, execErr := mirror.ExecuteCtx(ctx, qs[0], opts...)
+		want := server.ToWireResult(res, execErr)
+
+		if execErr != nil && want.Error == nil {
+			return fmt.Errorf("verify %d: mirror failed outright: %v", i, execErr)
+		}
+		if wantTop := topLevelError(execErr); wantTop != "" {
+			if qr.Error == nil || qr.Error.Code != wantTop {
+				return fmt.Errorf("verify %d (%s): remote error %+v, mirror %v", i, q, qr.Error, execErr)
+			}
+			continue
+		}
+		if qr.Error != nil {
+			return fmt.Errorf("verify %d (%s): remote failed %+v, mirror ok", i, q, qr.Error)
+		}
+		if len(qr.Results) != 1 {
+			return fmt.Errorf("verify %d (%s): %d results", i, q, len(qr.Results))
+		}
+		got := qr.Results[0]
+		got.ChooseTimeNS, want.ChooseTimeNS = 0, 0
+		normalizeMessages(got.Error, want.Error)
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("verify %d (%s): wire result %+v != in-process %+v", i, q, got, want)
+		}
+		wantStatus := 200
+		if got.Error != nil {
+			wantStatus = server.HTTPStatus(got.Error.Code)
+		}
+		if status != wantStatus {
+			return fmt.Errorf("verify %d (%s): status %d, want %d", i, q, status, wantStatus)
+		}
+	}
+	return nil
+}
+
+// topLevelError returns the wire code an error surfaces as a
+// request-level failure, or "" for per-result outcomes.
+func topLevelError(err error) string {
+	if err == nil {
+		return ""
+	}
+	we := server.EncodeError(err)
+	switch we.Code {
+	case server.CodePrecisionUnmet, server.CodeBudgetExhausted:
+		return "" // carried per-result
+	}
+	return we.Code
+}
+
+// normalizeMessages blanks error messages when both sides carry the
+// same code: the typed fields (achieved/spent/budget/cause) are the
+// parity contract; message text may legitimately differ in prefixing
+// between the wire path and local wrapping.
+func normalizeMessages(a, b *server.WireError) {
+	if a != nil && b != nil && a.Code == b.Code {
+		a.Message, b.Message = "", ""
+	}
+}

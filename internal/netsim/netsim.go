@@ -97,6 +97,21 @@ type Stats struct {
 	// ValueRefreshCost is the total cost attributed to value-initiated
 	// refreshes (the source pays to push).
 	ValueRefreshCost float64
+	// PerSource breaks the same counters down by originating source id,
+	// for traffic labeled with SendFrom (unlabeled Send/SendN traffic
+	// appears only in the totals above). The trappserver /metrics
+	// endpoint publishes this map.
+	PerSource map[string]SourceStats
+}
+
+// SourceStats is one source's share of the traffic counters.
+type SourceStats struct {
+	// Messages counts the source's messages by kind.
+	Messages map[MsgKind]int64
+	// QueryRefreshCost and ValueRefreshCost split the source's cost by
+	// who initiated the traffic.
+	QueryRefreshCost float64
+	ValueRefreshCost float64
 }
 
 // Total returns the total message count.
@@ -120,6 +135,19 @@ type Network struct {
 	queryCost atomicFloat
 	valueCost atomicFloat
 	latency   atomic.Int64 // simulated wire time per transmission, ns
+
+	// perSource maps source id → *sourceCounters. Entries are created
+	// once per source on its first labeled send and then mutated with
+	// the same lock-free atomics as the totals, so labeling costs one
+	// sync.Map load on the hot path.
+	perSource sync.Map
+}
+
+// sourceCounters is the per-source mirror of the global counters.
+type sourceCounters struct {
+	messages  [numMsgKinds]atomic.Int64
+	queryCost atomicFloat
+	valueCost atomicFloat
 }
 
 // atomicFloat is a float64 accumulator built on CAS over the bit
@@ -161,6 +189,29 @@ func (n *Network) SendN(kind MsgKind, count int64, totalCost float64) {
 		n.queryCost.Add(totalCost)
 	case ValueRefresh:
 		n.valueCost.Add(totalCost)
+	}
+}
+
+// SendFrom is SendN with the originating source labeled: the traffic is
+// recorded in the global totals and in the per-source breakdown
+// published by Stats.PerSource. Sources label their own refresh
+// traffic; unlabeled components keep using Send/SendN.
+func (n *Network) SendFrom(id string, kind MsgKind, count int64, totalCost float64) {
+	if count <= 0 || kind < 0 || int(kind) >= numMsgKinds {
+		return
+	}
+	n.SendN(kind, count, totalCost)
+	v, ok := n.perSource.Load(id)
+	if !ok {
+		v, _ = n.perSource.LoadOrStore(id, &sourceCounters{})
+	}
+	sc := v.(*sourceCounters)
+	sc.messages[kind].Add(count)
+	switch kind {
+	case QueryRefresh:
+		sc.queryCost.Add(totalCost)
+	case ValueRefresh:
+		sc.valueCost.Add(totalCost)
 	}
 }
 
@@ -211,14 +262,41 @@ func (n *Network) Stats() Stats {
 			out.Messages[k] = v
 		}
 	}
+	n.perSource.Range(func(id, v any) bool {
+		sc := v.(*sourceCounters)
+		ss := SourceStats{
+			Messages:         make(map[MsgKind]int64, numMsgKinds),
+			QueryRefreshCost: sc.queryCost.Load(),
+			ValueRefreshCost: sc.valueCost.Load(),
+		}
+		for k := MsgKind(0); int(k) < numMsgKinds; k++ {
+			if c := sc.messages[k].Load(); c != 0 {
+				ss.Messages[k] = c
+			}
+		}
+		if out.PerSource == nil {
+			out.PerSource = make(map[string]SourceStats)
+		}
+		out.PerSource[id.(string)] = ss
+		return true
+	})
 	return out
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters, including the per-source breakdown. Like
+// Stats, it is not atomic with respect to in-flight traffic: a SendFrom
+// racing Reset may land its count in the totals but not the per-source
+// map (or vice versa). Callers that need the per-source breakdown to
+// decompose the totals exactly should quiesce senders first — the
+// benchmarks reset only between phases.
 func (n *Network) Reset() {
 	for k := range n.messages {
 		n.messages[k].Store(0)
 	}
 	n.queryCost.Store(0)
 	n.valueCost.Store(0)
+	n.perSource.Range(func(id, _ any) bool {
+		n.perSource.Delete(id)
+		return true
+	})
 }

@@ -175,3 +175,29 @@ func TestNetworkWaitHonorsContext(t *testing.T) {
 		t.Error("canceled wait charged the network")
 	}
 }
+
+func TestPerSourceCounters(t *testing.T) {
+	n := NewNetwork()
+	n.SendFrom("s0", QueryRefresh, 3, 9)
+	n.SendFrom("s1", ValueRefresh, 1, 2)
+	n.SendFrom("s0", ValueRefresh, 2, 4)
+	n.Send(Propagation, 0) // unlabeled: totals only
+	st := n.Stats()
+	if st.Messages[QueryRefresh] != 3 || st.Messages[ValueRefresh] != 3 || st.Messages[Propagation] != 1 {
+		t.Fatalf("totals = %v", st.Messages)
+	}
+	s0 := st.PerSource["s0"]
+	if s0.Messages[QueryRefresh] != 3 || s0.QueryRefreshCost != 9 || s0.Messages[ValueRefresh] != 2 || s0.ValueRefreshCost != 4 {
+		t.Errorf("s0 = %+v", s0)
+	}
+	if s1 := st.PerSource["s1"]; s1.Messages[ValueRefresh] != 1 || s1.ValueRefreshCost != 2 {
+		t.Errorf("s1 = %+v", s1)
+	}
+	if _, ok := st.PerSource[""]; ok {
+		t.Error("unlabeled traffic leaked into PerSource")
+	}
+	n.Reset()
+	if st := n.Stats(); len(st.PerSource) != 0 || st.Total() != 0 {
+		t.Errorf("after Reset: %+v", st)
+	}
+}

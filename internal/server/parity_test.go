@@ -1,0 +1,249 @@
+package server
+
+// Round-trip parity: every answer and typed error received over HTTP
+// must be bit-identical to calling ExecuteCtx in process. Two systems
+// are built identically; one serves HTTP (httptest), the other executes
+// locally. The same statements run against both in lockstep — refreshes
+// mutate both caches identically, so the systems stay bit-equal through
+// the whole table — across MIN/MAX/SUM/AVG/COUNT × bounded / precise /
+// imprecise × {plain, expired deadline, cost budget}, with drift applied
+// between cases. A second test asserts SSE subscription updates match a
+// local Subscribe update for update.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"testing"
+	"time"
+
+	"trapp/internal/query"
+	"trapp/internal/sql"
+	itrapp "trapp/internal/trapp"
+)
+
+// lockstep executes one wire request against the server and the
+// equivalent ExecuteCtx against the mirror, and compares outcomes bit
+// for bit.
+func lockstep(t *testing.T, tsURL string, mirror *itrapp.System, name string, req QueryRequest, opts []query.ExecOption) {
+	t.Helper()
+	status, qr := postQuery(t, tsURL, req)
+
+	qs, err := sql.ParseAll(req.SQL, mirror.Catalog())
+	if err != nil {
+		t.Fatalf("%s: mirror parse: %v", name, err)
+	}
+	res, execErr := mirror.ExecuteCtx(context.Background(), qs[0], opts...)
+	want := ToWireResult(res, execErr)
+
+	// Bare failures (an expired context before any scan) surface as
+	// request-level errors over the wire.
+	if execErr != nil && want.Error != nil &&
+		want.Error.Code != CodePrecisionUnmet && want.Error.Code != CodeBudgetExhausted {
+		if qr.Error == nil || qr.Error.Code != want.Error.Code {
+			t.Fatalf("%s: remote error %+v, want code %s", name, qr.Error, want.Error.Code)
+		}
+		if status != HTTPStatus(want.Error.Code) {
+			t.Fatalf("%s: status %d, want %d", name, status, HTTPStatus(want.Error.Code))
+		}
+		return
+	}
+	if qr.Error != nil {
+		t.Fatalf("%s: remote failed %+v, mirror ok (%+v)", name, qr.Error, res)
+	}
+	if len(qr.Results) != 1 {
+		t.Fatalf("%s: %d results", name, len(qr.Results))
+	}
+	got := qr.Results[0]
+	got.ChooseTimeNS, want.ChooseTimeNS = 0, 0
+	if got.Error != nil && want.Error != nil && got.Error.Code == want.Error.Code {
+		got.Error.Message, want.Error.Message = "", ""
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: wire result\n  %+v\n!= in-process\n  %+v", name, got, want)
+	}
+	wantStatus := 200
+	if want.Error != nil {
+		wantStatus = HTTPStatus(want.Error.Code)
+	}
+	if status != wantStatus {
+		t.Fatalf("%s: status %d, want %d", name, status, wantStatus)
+	}
+}
+
+func TestRoundTripParity(t *testing.T) {
+	served := buildSystem(t, 2, 6)
+	mirror := buildSystem(t, 2, 6)
+	srv := New(served, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// drift advances both systems identically so later cases run over
+	// grown bounds and partially refreshed caches.
+	step := 0
+	drift := func() {
+		step++
+		for _, sys := range []*itrapp.System{served, mirror} {
+			if err := sys.Source("s0").SetValue(int64(step%6), []float64{100 + float64(step*3%40)}); err != nil {
+				t.Fatal(err)
+			}
+			sys.Clock.Advance(2)
+		}
+	}
+
+	aggs := []string{"MIN", "MAX", "SUM", "AVG", "COUNT"}
+	modes := []struct {
+		name string
+		mode string
+		sql  string // WITHIN clause for bounded mode
+	}{
+		{"bounded", "", " WITHIN 4"},
+		{"precise", "precise", ""},
+		{"imprecise", "imprecise", ""},
+	}
+	options := []struct {
+		name  string
+		wire  func(*QueryRequest)
+		local func() []query.ExecOption
+	}{
+		{"plain", func(*QueryRequest) {}, func() []query.ExecOption { return nil }},
+		{"deadline-expired", func(r *QueryRequest) { r.DeadlineMillis = -1 },
+			func() []query.ExecOption {
+				return []query.ExecOption{query.WithDeadline(time.Now().Add(-time.Millisecond))}
+			}},
+		{"budget-2", func(r *QueryRequest) { b := Float(2); r.Budget = &b },
+			func() []query.ExecOption { return []query.ExecOption{query.WithCostBudget(2)} }},
+	}
+
+	for _, agg := range aggs {
+		for _, m := range modes {
+			for _, opt := range options {
+				name := fmt.Sprintf("%s/%s/%s", agg, m.name, opt.name)
+				req := QueryRequest{
+					SQL:  fmt.Sprintf("SELECT %s(value)%s FROM vals", agg, m.sql),
+					Mode: m.mode,
+				}
+				opt.wire(&req)
+				opts := opt.local()
+				if m.mode != "" {
+					mode, err := ParseMode(m.mode)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts = append(opts, query.WithMode(mode))
+				}
+				lockstep(t, ts.URL, mirror, name, req, opts)
+				drift()
+			}
+		}
+	}
+
+	// Batch statements stay aligned too: a multi-statement request's
+	// results match an in-process ExecuteBatch index for index.
+	sqlText := "SELECT MIN(value) WITHIN 3 FROM vals; SELECT MAX(value), SUM(value) WITHIN 30 FROM vals"
+	status, qr := postQuery(t, ts.URL, QueryRequest{SQL: sqlText})
+	if status != 200 {
+		t.Fatalf("batch status %d (%+v)", status, qr.Error)
+	}
+	var qs []query.Query
+	for _, stmt := range []string{"SELECT MIN(value) WITHIN 3 FROM vals", "SELECT MAX(value), SUM(value) WITHIN 30 FROM vals"} {
+		part, err := sql.ParseAll(stmt, mirror.Catalog())
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, part...)
+	}
+	results, perQuery, err := mirror.ExecuteBatchDetailed(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Results) != len(results) {
+		t.Fatalf("batch: %d wire results, %d local", len(qr.Results), len(results))
+	}
+	for i := range results {
+		got, want := qr.Results[i], ToWireResult(results[i], perQuery[i])
+		got.ChooseTimeNS, want.ChooseTimeNS = 0, 0
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("batch %d: wire %+v != local %+v", i, got, want)
+		}
+	}
+}
+
+func TestSubscriptionParity(t *testing.T) {
+	sys := buildSystem(t, 1, 4)
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const stmt = "SELECT SUM(value) WITHIN 200 FROM vals"
+	qs, err := sql.ParseAll(stmt, sys.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sys.Subscribe(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/subscribe?sql=" + url.QueryEscape(stmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := NewSSEReader(resp.Body)
+	if ev, err := r.Next(); err != nil || ev.Name != "subscribed" {
+		t.Fatalf("first event %q (%v)", ev.Name, err)
+	}
+
+	// Both subscriptions share the maintained view, so step by step —
+	// one answer-moving push, one Settle, one read on each side — their
+	// update streams must match answer for answer.
+	readRemote := func() WireUpdate {
+		t.Helper()
+		ev, err := r.Next()
+		if err != nil || ev.Name != "update" {
+			t.Fatalf("remote event %q (%v)", ev.Name, err)
+		}
+		var u WireUpdate
+		if err := json.Unmarshal(ev.Data, &u); err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	readLocal := func() (int64, WireUpdate) {
+		t.Helper()
+		select {
+		case u, ok := <-local.Updates():
+			if !ok {
+				t.Fatal("local subscription closed")
+			}
+			wu := WireUpdate{Seq: u.Seq, At: u.At, Answer: ToWire(u.Answer), Met: u.Met}
+			return u.Seq, wu
+		case <-time.After(5 * time.Second):
+			t.Fatal("no local update")
+			return 0, WireUpdate{}
+		}
+	}
+
+	// Drain the initial primed update on both sides.
+	readRemote()
+	readLocal()
+
+	for round := 1; round <= 10; round++ {
+		if err := sys.Source("s0").SetValue(int64(round%4), []float64{200 + float64(round*7)}); err != nil {
+			t.Fatal(err)
+		}
+		sys.Settle()
+		ru := readRemote()
+		_, lu := readLocal()
+		// Seq is per-subscription bookkeeping; the maintained state —
+		// answer, met flag, computation tick — is the parity contract.
+		if !ru.Answer.Interval().Equal(lu.Answer.Interval()) || ru.Met != lu.Met || ru.At != lu.At {
+			t.Fatalf("round %d: remote update %+v != local %+v", round, ru, lu)
+		}
+	}
+}

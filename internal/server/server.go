@@ -1,0 +1,714 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trapp/internal/query"
+	"trapp/internal/sql"
+	itrapp "trapp/internal/trapp"
+)
+
+// Config tunes the service layer.
+type Config struct {
+	// MaxInFlight caps concurrently executing /query requests; one past
+	// the cap is rejected with 429 over_capacity. 0 means unlimited.
+	MaxInFlight int
+	// MaxSubscribers caps concurrently open /subscribe streams the same
+	// way. 0 means unlimited.
+	MaxSubscribers int
+	// ClientBudget, when positive, is each client's cumulative
+	// refresh-cost ceiling: the refresh cost of a client's requests is
+	// metered against it, and once spent, further requests execute with
+	// a zero cost budget — they still answer from cache, but anything
+	// needing paid refreshes returns budget_exhausted semantics over
+	// the wire (the typed ErrBudgetExhausted, encoded). Clients are
+	// keyed by the X-Trapp-Client header, falling back to the remote
+	// host. The ceiling is enforced pessimistically: a request reserves
+	// min(its requested budget, the client's remainder) up front and
+	// refunds what it did not spend, so concurrent requests from one
+	// client can never jointly overrun the ceiling — at the price that
+	// simultaneous requests may see a temporarily drained ledger.
+	ClientBudget float64
+	// MaxClients caps the number of distinct client ledgers kept when
+	// ClientBudget is active (the client key is untrusted input, so
+	// the map must not grow without bound). Past the cap, unseen
+	// clients share one overflow ledger. 0 means DefaultMaxClients.
+	MaxClients int
+	// Info is an arbitrary workload descriptor published by /healthz and
+	// /metrics (trappserver records links/sources/seed here so
+	// trappbench -remote can rebuild the identical system for parity
+	// verification).
+	Info map[string]any
+}
+
+// Server serves a System over HTTP. Create with New, mount Handler (or
+// ListenAndServe), stop with Shutdown.
+type Server struct {
+	sys *itrapp.System
+	cfg Config
+	mux *http.ServeMux
+
+	// baseCtx is canceled by Shutdown; every streaming handler derives
+	// its context from both the request and baseCtx, so draining closes
+	// subscriptions promptly.
+	baseCtx context.Context
+	drain   context.CancelFunc
+
+	draining atomic.Bool
+	// drainMu makes the draining check and handler registration atomic:
+	// track() holds it while flipping handlers from zero, Shutdown holds
+	// it while setting draining, so no handler can slip in after
+	// handlers.Wait has started (the WaitGroup zero-Add/Wait race).
+	drainMu  sync.Mutex
+	handlers sync.WaitGroup // in-flight /query and /subscribe handlers
+
+	start time.Time
+
+	// Gauges and counters for /metrics and the admission-control tests.
+	inflight      atomic.Int64
+	inflightPeak  atomic.Int64
+	subscribers   atomic.Int64
+	requests      atomic.Int64
+	statements    atomic.Int64
+	rejected      atomic.Int64
+	updatesSent   atomic.Int64
+	errorsByCode  sync.Map // code string → *atomic.Int64
+	clientLedgers sync.Map // client key → *ledger
+	clientCount   atomic.Int64
+	overflow      ledger // shared by clients past MaxClients
+}
+
+// DefaultMaxClients bounds the per-client ledger map when Config leaves
+// MaxClients zero.
+const DefaultMaxClients = 10000
+
+// ledger meters one client's cumulative refresh-cost spend. Budget is
+// reserved before execution and the unspent remainder refunded after,
+// so concurrent requests from one client can never jointly overrun the
+// ceiling.
+type ledger struct {
+	mu    sync.Mutex
+	spent float64
+}
+
+// New wraps a System. The server does not own the system: Shutdown
+// drains HTTP work but leaves the engine running (callers close it
+// afterwards if they own it).
+func New(sys *itrapp.System, cfg Config) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{sys: sys, cfg: cfg, baseCtx: ctx, drain: cancel, start: time.Now()}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the root handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new requests are rejected with 503
+// draining, streaming subscriptions are closed (their contexts cancel,
+// so SubscribeCtx tears each one down without leaking its watcher
+// goroutine), and Shutdown blocks until every in-flight handler has
+// returned or ctx expires. The engine itself is left running. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	s.drain()
+	done := make(chan struct{})
+	go func() { s.handlers.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ListenAndServe serves on addr until Shutdown; the returned *http.Server
+// is already running when ListenAndServe returns. It exists for
+// cmd/trappserver; tests mount Handler directly.
+func (s *Server) ListenAndServe(addr string) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: s.mux}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Printf("trappserver: serve: %v\n", err)
+		}
+	}()
+	return hs, ln, nil
+}
+
+// track registers an in-flight handler, returning false when the
+// server is draining. Registration is atomic with the draining check
+// (drainMu), so Shutdown's handlers.Wait always accounts every
+// admitted handler.
+func (s *Server) track() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.handlers.Add(1)
+	return true
+}
+
+// admit takes one slot of a capped gauge (max 0 = unlimited),
+// returning false when the gauge is full. On success the gauge has been
+// incremented (the caller must decrement) and the corresponding peak is
+// updated; the CAS loop guarantees the gauge never exceeds max.
+func (s *Server) admit(gauge *atomic.Int64, max int) bool {
+	for {
+		cur := gauge.Load()
+		if max > 0 && cur >= int64(max) {
+			return false
+		}
+		if gauge.CompareAndSwap(cur, cur+1) {
+			if gauge == &s.inflight {
+				for peak := s.inflightPeak.Load(); cur+1 > peak; peak = s.inflightPeak.Load() {
+					if s.inflightPeak.CompareAndSwap(peak, cur+1) {
+						break
+					}
+				}
+			}
+			return true
+		}
+	}
+}
+
+// counter returns the per-code error counter, creating it on first use.
+func (s *Server) counter(code string) *atomic.Int64 {
+	v, ok := s.errorsByCode.Load(code)
+	if !ok {
+		v, _ = s.errorsByCode.LoadOrStore(code, &atomic.Int64{})
+	}
+	return v.(*atomic.Int64)
+}
+
+// fail writes a request-level error response.
+func (s *Server) fail(w http.ResponseWriter, we *WireError) {
+	s.counter(we.Code).Add(1)
+	writeJSON(w, HTTPStatus(we.Code), QueryResponse{Error: we})
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+// clientKey identifies the requesting client for admission control.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-Trapp-Client"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// ledgerFor returns the client's spend ledger, creating it on first
+// use. The map is bounded: once MaxClients distinct keys exist, unseen
+// clients share the overflow ledger instead of allocating (the key is
+// client-controlled, so an adversary must not be able to grow the map
+// without bound).
+func (s *Server) ledgerFor(key string) *ledger {
+	if v, ok := s.clientLedgers.Load(key); ok {
+		return v.(*ledger)
+	}
+	max := s.cfg.MaxClients
+	if max <= 0 {
+		max = DefaultMaxClients
+	}
+	if s.clientCount.Load() >= int64(max) {
+		return &s.overflow
+	}
+	v, loaded := s.clientLedgers.LoadOrStore(key, &ledger{})
+	if !loaded {
+		s.clientCount.Add(1)
+	}
+	return v.(*ledger)
+}
+
+// reserve carves the effective cost budget for one request out of the
+// client's remaining admission budget (and the request's own budget,
+// whichever is smaller). The reservation is pessimistic; refund returns
+// what the request did not actually spend.
+func (l *ledger) reserve(ceiling float64, requested *Float) (eff float64, reserved float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	remaining := ceiling - l.spent
+	if remaining < 0 {
+		remaining = 0
+	}
+	eff = remaining
+	// The request's own budget can only lower the reservation, never
+	// credit the ledger (requests with a negative budget are rejected
+	// before reaching here; the clamp is defense in depth).
+	if requested != nil && float64(*requested) < eff && float64(*requested) >= 0 {
+		eff = float64(*requested)
+	}
+	l.spent += eff
+	return eff, eff
+}
+
+// refund returns the unspent part of a reservation.
+func (l *ledger) refund(reserved, actual float64) {
+	if reserved <= actual {
+		return
+	}
+	l.mu.Lock()
+	l.spent -= reserved - actual
+	if l.spent < 0 {
+		l.spent = 0
+	}
+	l.mu.Unlock()
+}
+
+// remaining reports the client's unreserved budget.
+func (l *ledger) remaining(ceiling float64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := ceiling - l.spent
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// parseRequest compiles a request's SQL into executable queries.
+// Multi-statement requests (';'-separated) concatenate their queries
+// into one batch; parse errors are positioned against the full request
+// text. GROUP BY is only servable on /subscribe (allowGroupBy).
+func (s *Server) parseRequest(src string, allowGroupBy bool) ([]query.Query, *WireError) {
+	stmts, offsets := SplitStatements(src)
+	if len(stmts) == 0 {
+		return nil, &WireError{Code: CodeInvalid, Message: "empty sql"}
+	}
+	var qs []query.Query
+	for i, stmt := range stmts {
+		part, err := sql.ParseAll(stmt, s.sys.Catalog())
+		if err != nil {
+			we := EncodeError(err)
+			if we.Pos != nil {
+				pos := *we.Pos + offsets[i]
+				we.Pos = &pos
+			}
+			return nil, we
+		}
+		qs = append(qs, part...)
+	}
+	if !allowGroupBy {
+		for _, q := range qs {
+			if len(q.GroupBy) > 0 {
+				return nil, &WireError{Code: CodeUnsupported,
+					Message: "GROUP BY is not supported on /query; subscribe to it on /subscribe"}
+			}
+		}
+	}
+	return qs, nil
+}
+
+// buildOptions resolves the request's execution options (mode, solver,
+// deadline). The cost budget is resolved separately against the
+// client's ledger.
+func buildOptions(req QueryRequest) ([]query.ExecOption, *WireError) {
+	var opts []query.ExecOption
+	if b := req.Budget; b != nil && (float64(*b) < 0 || math.IsNaN(float64(*b))) {
+		// A negative budget must never reach the ledger (it would
+		// credit the client) or the engine (a 500 for bad input).
+		return nil, &WireError{Code: CodeInvalid, Message: fmt.Sprintf("invalid cost budget %g", float64(*b))}
+	}
+	mode, err := ParseMode(req.Mode)
+	if err != nil {
+		return nil, &WireError{Code: CodeInvalid, Message: err.Error()}
+	}
+	if mode != query.ModeBounded {
+		opts = append(opts, query.WithMode(mode))
+	}
+	if req.Solver != "" {
+		solver, err := ParseSolver(req.Solver)
+		if err != nil {
+			return nil, &WireError{Code: CodeInvalid, Message: err.Error()}
+		}
+		opts = append(opts, query.WithSolver(solver))
+	}
+	if req.DeadlineMillis != 0 {
+		opts = append(opts, query.WithDeadline(time.Now().Add(time.Duration(req.DeadlineMillis)*time.Millisecond)))
+	}
+	return opts, nil
+}
+
+// handleQuery is POST /query: parse → admission → execute → encode.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, &WireError{Code: CodeInvalid, Message: "POST required"})
+		return
+	}
+	if s.draining.Load() {
+		s.fail(w, &WireError{Code: CodeDraining, Message: "server draining"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.fail(w, &WireError{Code: CodeInvalid, Message: "bad request body: " + err.Error()})
+		return
+	}
+
+	// Admission: cap in-flight executions. The slot is taken with a CAS
+	// so the cap is strict — the in-flight gauge never exceeds
+	// MaxInFlight, even transiently, which the stress test asserts.
+	if !s.admit(&s.inflight, s.cfg.MaxInFlight) {
+		s.rejected.Add(1)
+		s.fail(w, &WireError{Code: CodeOverCapacity,
+			Message: fmt.Sprintf("over capacity: %d requests in flight (max %d)", s.inflight.Load(), s.cfg.MaxInFlight)})
+		return
+	}
+	defer s.inflight.Add(-1)
+	if !s.track() {
+		s.fail(w, &WireError{Code: CodeDraining, Message: "server draining"})
+		return
+	}
+	defer s.handlers.Done()
+
+	qs, we := s.parseRequest(req.SQL, false)
+	if we == nil {
+		var opts []query.ExecOption
+		opts, we = buildOptions(req)
+		if we == nil {
+			s.execute(w, r, req, qs, opts)
+			return
+		}
+	}
+	s.fail(w, we)
+}
+
+// execute runs the parsed statements and writes the response.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryRequest, qs []query.Query, opts []query.ExecOption) {
+	// Admission: meter the client's cumulative refresh-cost budget. The
+	// effective budget is reserved up front and the unspent remainder
+	// refunded, so concurrent requests cannot jointly overrun the
+	// ceiling.
+	var (
+		led      *ledger
+		reserved float64
+	)
+	if s.cfg.ClientBudget > 0 {
+		led = s.ledgerFor(clientKey(r))
+		var eff float64
+		eff, reserved = led.reserve(s.cfg.ClientBudget, req.Budget)
+		opts = append(opts, query.WithCostBudget(eff))
+	} else if req.Budget != nil {
+		opts = append(opts, query.WithCostBudget(float64(*req.Budget)))
+	}
+
+	// The execution context dies with the client connection or with
+	// Shutdown, whichever comes first, so an abandoned request stops
+	// refreshing mid-fan-out.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	var (
+		results  []query.Result
+		perQuery []error
+		err      error
+	)
+	if len(qs) == 1 {
+		var res query.Result
+		res, err = s.sys.ExecuteCtx(ctx, qs[0], opts...)
+		if err == nil || errors.Is(err, query.ErrPrecisionUnmet{}) || errors.Is(err, query.ErrBudgetExhausted{}) {
+			// Partial outcomes still carry a sound result; report them
+			// per-statement like the batch path does.
+			results, perQuery, err = []query.Result{res}, []error{err}, nil
+		}
+	} else {
+		results, perQuery, err = s.sys.ExecuteBatchDetailed(ctx, qs, opts...)
+	}
+	if err != nil {
+		// A whole-request failure may have paid refresh cost that no
+		// Result attributes (a batch cut down mid-fan-out); the
+		// reservation is forfeited rather than refunded, so metering
+		// errs against the client, never against the ceiling.
+		s.fail(w, EncodeError(err))
+		return
+	}
+	var spent float64
+	for _, res := range results {
+		spent += res.RefreshCost
+	}
+	if led != nil {
+		led.refund(reserved, spent)
+	}
+
+	resp := QueryResponse{Results: make([]WireResult, len(results))}
+	status := 200
+	for i := range results {
+		resp.Results[i] = ToWireResult(results[i], perQuery[i])
+		if e := resp.Results[i].Error; e != nil {
+			s.counter(e.Code).Add(1)
+			if st := HTTPStatus(e.Code); st > status {
+				status = st
+			}
+		}
+	}
+	if led != nil {
+		rem := Float(led.remaining(s.cfg.ClientBudget))
+		resp.BudgetRemaining = &rem
+	}
+	s.statements.Add(int64(len(results)))
+	writeJSON(w, status, resp)
+}
+
+// handleSubscribe is GET /subscribe?sql=...: a server-sent-events stream
+// of the standing query's maintained answer, backed by SubscribeCtx.
+// Updates are coalesced by the engine (a slow client observes the latest
+// state, never stale backlog); the stream ends when the client
+// disconnects, the server drains, or the engine closes.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		s.fail(w, &WireError{Code: CodeInvalid, Message: "GET required"})
+		return
+	}
+	if s.draining.Load() {
+		s.fail(w, &WireError{Code: CodeDraining, Message: "server draining"})
+		return
+	}
+	// /subscribe accepts GROUP BY: the engine maintains per-group
+	// answers and the stream carries them in update.groups.
+	qs, we := s.parseRequest(r.URL.Query().Get("sql"), true)
+	if we != nil {
+		s.fail(w, we)
+		return
+	}
+	if len(qs) != 1 {
+		s.fail(w, &WireError{Code: CodeUnsupported, Message: "subscribe takes exactly one query"})
+		return
+	}
+
+	if !s.admit(&s.subscribers, s.cfg.MaxSubscribers) {
+		s.rejected.Add(1)
+		s.fail(w, &WireError{Code: CodeOverCapacity,
+			Message: fmt.Sprintf("over capacity: %d subscriptions open (max %d)", s.subscribers.Load(), s.cfg.MaxSubscribers)})
+		return
+	}
+	defer s.subscribers.Add(-1)
+	if !s.track() {
+		s.fail(w, &WireError{Code: CodeDraining, Message: "server draining"})
+		return
+	}
+	defer s.handlers.Done()
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, &WireError{Code: CodeInternal, Message: "streaming unsupported by connection"})
+		return
+	}
+
+	// The subscription lives exactly as long as this context: client
+	// disconnect or Shutdown cancels it, and SubscribeCtx then closes
+	// the subscription — constraint repair stops and no watcher
+	// goroutine outlives the stream.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	sub, err := s.sys.SubscribeCtx(ctx, qs[0])
+	if err != nil {
+		s.fail(w, EncodeError(err))
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(200)
+	writeSSE(w, "subscribed", map[string]string{"query": qs[0].String()})
+	flusher.Flush()
+
+	for u := range sub.Updates() {
+		wu := WireUpdate{Seq: u.Seq, At: u.At, Answer: ToWire(u.Answer), Met: u.Met}
+		for _, g := range u.Groups {
+			key := make([]Float, len(g.Key))
+			for i, v := range g.Key {
+				key[i] = Float(v)
+			}
+			wu.Groups = append(wu.Groups, WireGroup{Key: key, Answer: ToWire(g.Answer), Met: g.Met})
+		}
+		if err := writeSSE(w, "update", wu); err != nil {
+			return // client gone; ctx cancel tears the subscription down
+		}
+		flusher.Flush()
+		s.updatesSent.Add(1)
+	}
+	// Channel closed: context canceled or engine shut down.
+	writeSSE(w, "bye", map[string]string{"reason": "subscription closed"})
+	flusher.Flush()
+}
+
+// writeSSE writes one server-sent event with a JSON data payload.
+func writeSSE(w http.ResponseWriter, event string, data any) error {
+	buf, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, buf)
+	return err
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts HTTP requests; Statements counts executed
+	// statements (a batch request counts each of its statements).
+	Requests   int64 `json:"requests"`
+	Statements int64 `json:"statements"`
+	// StatementsPerSecond is Statements over uptime — the wire-level QPS.
+	StatementsPerSecond float64 `json:"statements_per_second"`
+	// Rejected counts admission-control rejections; InFlight,
+	// InFlightPeak and Subscribers are the live gauges.
+	Rejected     int64 `json:"rejected"`
+	InFlight     int64 `json:"in_flight"`
+	InFlightPeak int64 `json:"in_flight_peak"`
+	Subscribers  int64 `json:"subscribers"`
+	UpdatesSent  int64 `json:"updates_sent"`
+	// ErrorsByCode counts statement and request outcomes by error code.
+	ErrorsByCode map[string]int64 `json:"errors_by_code,omitempty"`
+	// Network is the engine's refresh-traffic snapshot: message counts
+	// by kind, refresh costs, and the per-source breakdown.
+	Network NetworkMetrics `json:"network"`
+	// Continuous mirrors the subscription engine's counters.
+	Continuous ContinuousMetrics `json:"continuous"`
+	// Workload echoes Config.Info.
+	Workload map[string]any `json:"workload,omitempty"`
+}
+
+// NetworkMetrics is the JSON form of netsim.Stats.
+type NetworkMetrics struct {
+	Messages         map[string]int64         `json:"messages,omitempty"`
+	QueryRefreshCost float64                  `json:"query_refresh_cost"`
+	ValueRefreshCost float64                  `json:"value_refresh_cost"`
+	PerSource        map[string]SourceMetrics `json:"per_source,omitempty"`
+}
+
+// SourceMetrics is one source's traffic share.
+type SourceMetrics struct {
+	Messages         map[string]int64 `json:"messages,omitempty"`
+	QueryRefreshCost float64          `json:"query_refresh_cost"`
+	ValueRefreshCost float64          `json:"value_refresh_cost"`
+}
+
+// ContinuousMetrics is the JSON form of continuous.Metrics.
+type ContinuousMetrics struct {
+	Rounds           int64   `json:"rounds"`
+	Notifications    int64   `json:"notifications"`
+	RefreshBatches   int64   `json:"refresh_batches"`
+	RefreshedObjects int64   `json:"refreshed_objects"`
+	RefreshCost      float64 `json:"refresh_cost"`
+	SharedRefreshes  int64   `json:"shared_refreshes"`
+	Views            int     `json:"views"`
+	Subscriptions    int     `json:"subscriptions"`
+}
+
+// SnapshotMetrics assembles the current metrics (also used by tests).
+func (s *Server) SnapshotMetrics() Metrics {
+	up := time.Since(s.start).Seconds()
+	m := Metrics{
+		UptimeSeconds: up,
+		Requests:      s.requests.Load(),
+		Statements:    s.statements.Load(),
+		Rejected:      s.rejected.Load(),
+		InFlight:      s.inflight.Load(),
+		InFlightPeak:  s.inflightPeak.Load(),
+		Subscribers:   s.subscribers.Load(),
+		UpdatesSent:   s.updatesSent.Load(),
+		Workload:      s.cfg.Info,
+	}
+	if up > 0 {
+		m.StatementsPerSecond = float64(m.Statements) / up
+	}
+	s.errorsByCode.Range(func(code, v any) bool {
+		if m.ErrorsByCode == nil {
+			m.ErrorsByCode = make(map[string]int64)
+		}
+		m.ErrorsByCode[code.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	st := s.sys.Stats()
+	m.Network = NetworkMetrics{
+		QueryRefreshCost: st.QueryRefreshCost,
+		ValueRefreshCost: st.ValueRefreshCost,
+	}
+	for k, n := range st.Messages {
+		if m.Network.Messages == nil {
+			m.Network.Messages = make(map[string]int64)
+		}
+		m.Network.Messages[k.String()] = n
+	}
+	for id, ss := range st.PerSource {
+		if m.Network.PerSource == nil {
+			m.Network.PerSource = make(map[string]SourceMetrics)
+		}
+		sm := SourceMetrics{QueryRefreshCost: ss.QueryRefreshCost, ValueRefreshCost: ss.ValueRefreshCost}
+		for k, n := range ss.Messages {
+			if sm.Messages == nil {
+				sm.Messages = make(map[string]int64)
+			}
+			sm.Messages[k.String()] = n
+		}
+		m.Network.PerSource[id] = sm
+	}
+	cm := s.sys.SubscriptionMetrics()
+	m.Continuous = ContinuousMetrics{
+		Rounds:           cm.Rounds,
+		Notifications:    cm.Notifications,
+		RefreshBatches:   cm.RefreshBatches,
+		RefreshedObjects: cm.RefreshedObjects,
+		RefreshCost:      cm.RefreshCost,
+		SharedRefreshes:  cm.SharedRefreshes,
+		Views:            cm.Views,
+		Subscriptions:    cm.Subscriptions,
+	}
+	return m
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, 200, s.SnapshotMetrics())
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, state := 200, "ok"
+	if s.draining.Load() {
+		status, state = 503, "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"uptime_s": time.Since(s.start).Seconds(),
+		"workload": s.cfg.Info,
+	})
+}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// SSEEvent is one parsed server-sent event.
+type SSEEvent struct {
+	// Name is the event: field ("subscribed", "update", "bye").
+	Name string
+	// Data is the event's data payload (JSON for this server).
+	Data []byte
+}
+
+// SSEReader incrementally parses a server-sent-events stream — the
+// client half of GET /subscribe, used by the parity tests and example
+// clients.
+type SSEReader struct {
+	br *bufio.Reader
+}
+
+// NewSSEReader wraps a response body.
+func NewSSEReader(r io.Reader) *SSEReader {
+	return &SSEReader{br: bufio.NewReader(r)}
+}
+
+// Next blocks for the next event. It returns io.EOF when the stream
+// ends cleanly.
+func (r *SSEReader) Next() (SSEEvent, error) {
+	var ev SSEEvent
+	var data strings.Builder
+	for {
+		line, err := r.br.ReadString('\n')
+		if err != nil {
+			return SSEEvent{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if ev.Name != "" || data.Len() > 0 {
+				ev.Data = []byte(data.String())
+				return ev, nil
+			}
+		case strings.HasPrefix(line, "event:"):
+			ev.Name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+		// Comments and unknown fields are ignored per the SSE spec.
+	}
+}

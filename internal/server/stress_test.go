@@ -1,0 +1,286 @@
+package server
+
+// Race-clean stress test for the service layer: concurrent HTTP
+// clients, SSE subscribers and source updaters against one server.
+// Soundness follows the engine stress tests' envelope argument —
+// updaters confine every master value of key k to [base_k−D, base_k+D],
+// so every answer must intersect the aggregate's achievable envelope —
+// while the service layer adds its own invariants: the in-flight
+// admission cap is never exceeded (strict CAS gauge), rejected requests
+// are reported as 429 over_capacity, and after Shutdown + engine Close
+// no goroutine survives (HTTP handlers, SSE streams, subscription
+// watchers, the continuous maintainer).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/interval"
+	itrapp "trapp/internal/trapp"
+
+	"context"
+)
+
+const (
+	stressSources = 2
+	stressPerSrc  = 10
+	stressD       = 4 // updates stay within base ± D
+)
+
+// stressBase mirrors buildSystem's master values.
+func stressBase(key int64) float64 { return 100 + float64(key) }
+
+// stressKeys lists the object keys buildSystem creates.
+func stressKeys() []int64 {
+	var keys []int64
+	for si := 0; si < stressSources; si++ {
+		for oi := 0; oi < stressPerSrc; oi++ {
+			keys = append(keys, int64(si*100+oi))
+		}
+	}
+	return keys
+}
+
+// stressEnvelope is the achievable range of the aggregate while every
+// key k holds some value in [base_k−D, base_k+D].
+func stressEnvelope(agg aggregate.Func, keys []int64) interval.Interval {
+	minB, maxB, sumB := math.Inf(1), math.Inf(-1), 0.0
+	for _, k := range keys {
+		b := stressBase(k)
+		minB, maxB, sumB = math.Min(minB, b), math.Max(maxB, b), sumB+b
+	}
+	n := float64(len(keys))
+	switch agg {
+	case aggregate.Min:
+		return interval.New(minB-stressD, minB+stressD)
+	case aggregate.Max:
+		return interval.New(maxB-stressD, maxB+stressD)
+	case aggregate.Sum:
+		return interval.New(sumB-n*stressD, sumB+n*stressD)
+	case aggregate.Avg:
+		return interval.New(sumB/n-stressD, sumB/n+stressD)
+	default:
+		return interval.Point(n)
+	}
+}
+
+// trueSum reads the current exact SUM from the sources (quiescent only).
+func trueSum(t *testing.T, sys *itrapp.System, keys []int64) float64 {
+	t.Helper()
+	var sum float64
+	for _, k := range keys {
+		src := sys.Source(fmt.Sprintf("s%d", k/100))
+		v, ok := src.Values(k)
+		if !ok {
+			t.Fatalf("source lost object %d", k)
+		}
+		sum += v[0]
+	}
+	return sum
+}
+
+func TestServerStressRaceAndDrain(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	sys := buildSystem(t, stressSources, stressPerSrc)
+	keys := stressKeys()
+	const maxInFlight = 4
+	srv := New(sys, Config{MaxInFlight: maxInFlight, MaxSubscribers: 8})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	aggNames := map[aggregate.Func]string{
+		aggregate.Sum: "SUM", aggregate.Avg: "AVG", aggregate.Min: "MIN",
+		aggregate.Max: "MAX", aggregate.Count: "COUNT",
+	}
+	aggs := []aggregate.Func{aggregate.Sum, aggregate.Avg, aggregate.Min, aggregate.Max, aggregate.Count}
+
+	// Updaters: confined random walks with occasional clock ticks.
+	var updaters sync.WaitGroup
+	for u := 0; u < 2; u++ {
+		updaters.Add(1)
+		go func(seed int64) {
+			defer updaters.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 800; i++ {
+				key := keys[rng.Intn(len(keys))]
+				src := sys.Source(fmt.Sprintf("s%d", key/100))
+				v := stressBase(key) + (rng.Float64()*2-1)*stressD
+				if err := src.SetValue(key, []float64{v}); err != nil {
+					t.Errorf("SetValue(%d): %v", key, err)
+					return
+				}
+				if i%50 == 49 {
+					sys.Clock.Advance(1)
+				}
+			}
+		}(int64(u) + 1)
+	}
+
+	// SSE subscribers: unconstrained change feeds, every delivered
+	// answer envelope-checked, stream drained until the server says bye.
+	var subscribers sync.WaitGroup
+	for si := 0; si < 4; si++ {
+		subscribers.Add(1)
+		go func(agg aggregate.Func) {
+			defer subscribers.Done()
+			stmt := fmt.Sprintf("SELECT %s(value) FROM vals", aggNames[agg])
+			resp, err := client.Get(ts.URL + "/subscribe?sql=" + url.QueryEscape(stmt))
+			if err != nil {
+				t.Errorf("subscribe: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("subscribe status %d", resp.StatusCode)
+				return
+			}
+			r := NewSSEReader(resp.Body)
+			env := stressEnvelope(agg, keys)
+			for {
+				ev, err := r.Next()
+				if err != nil {
+					return // stream ended (drain)
+				}
+				if ev.Name != "update" {
+					continue
+				}
+				var u WireUpdate
+				if err := json.Unmarshal(ev.Data, &u); err != nil {
+					t.Errorf("bad update payload: %v", err)
+					return
+				}
+				if u.Answer.Interval().Intersect(env).IsEmpty() {
+					t.Errorf("%s subscription answer %v misses envelope %v", aggNames[agg], u.Answer, env)
+					return
+				}
+			}
+		}(aggs[si%len(aggs)])
+	}
+
+	// HTTP clients: closed loops of mixed wire queries; 429s are
+	// retried (and counted), every answer envelope-checked.
+	var rejected atomic.Int64
+	var clients sync.WaitGroup
+	for cl := 0; cl < 8; cl++ {
+		clients.Add(1)
+		go func(seed int64) {
+			defer clients.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				agg := aggs[rng.Intn(len(aggs))]
+				req := QueryRequest{SQL: fmt.Sprintf("SELECT %s(value) FROM vals", aggNames[agg])}
+				within := math.Inf(1)
+				switch rng.Intn(4) {
+				case 0:
+					req.Mode = "imprecise"
+				case 1:
+					req.Mode = "precise"
+				case 2:
+					within = []float64{5, 20, 80}[rng.Intn(3)]
+					req.SQL = fmt.Sprintf("SELECT %s(value) WITHIN %g FROM vals", aggNames[agg], within)
+				default:
+					within = 20
+					b := Float(5 + rng.Float64()*40)
+					req.SQL = fmt.Sprintf("SELECT %s(value) WITHIN %g FROM vals", aggNames[agg], within)
+					req.Budget = &b
+				}
+				status, qr := postQuery(t, ts.URL, req)
+				if status == http.StatusTooManyRequests {
+					rejected.Add(1)
+					i--
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if status != 200 && status != 206 {
+					t.Errorf("status %d: %+v", status, qr.Error)
+					return
+				}
+				if len(qr.Results) != 1 {
+					t.Errorf("%d results", len(qr.Results))
+					return
+				}
+				res := qr.Results[0]
+				if e := res.Error; e != nil && e.Code != CodeBudgetExhausted {
+					t.Errorf("unexpected outcome %+v", e)
+					return
+				}
+				ans := res.Answer.Interval()
+				if ans.IsEmpty() {
+					t.Errorf("empty answer for %s", req.SQL)
+					return
+				}
+				env := stressEnvelope(agg, keys)
+				if ans.Intersect(env).IsEmpty() {
+					t.Errorf("answer %v misses achievable envelope %v (%s)", ans, env, req.SQL)
+					return
+				}
+				if res.Met && !math.IsInf(within, 1) && ans.Width() > within+1e-6 {
+					t.Errorf("Met but width %g > R=%g", ans.Width(), within)
+					return
+				}
+			}
+		}(int64(cl) + 100)
+	}
+
+	clients.Wait()
+	updaters.Wait()
+
+	// The strict admission gauge must never have exceeded the cap, and
+	// any 429 a client saw must be accounted.
+	m := srv.SnapshotMetrics()
+	if m.InFlightPeak > maxInFlight {
+		t.Errorf("in-flight peak %d exceeded cap %d", m.InFlightPeak, maxInFlight)
+	}
+	if r := rejected.Load(); r > 0 && m.Rejected < r {
+		t.Errorf("clients saw %d rejections, server recorded %d", r, m.Rejected)
+	}
+
+	// Quiescent soundness: with updaters stopped, a precise query over
+	// the wire returns the exact SUM of the sources' master values.
+	status, qr := postQuery(t, ts.URL, QueryRequest{SQL: "SELECT SUM(value) FROM vals", Mode: "precise"})
+	if status != 200 || len(qr.Results) != 1 {
+		t.Fatalf("precise status %d (%+v)", status, qr.Error)
+	}
+	got := qr.Results[0].Answer.Interval()
+	want := trueSum(t, sys, keys)
+	if got.Width() > 1e-9 || math.Abs(got.Lo-want) > 1e-6 {
+		t.Errorf("quiescent precise SUM %v, want exactly %g", got, want)
+	}
+
+	// Drain: streams close, handlers finish, the engine shuts down, and
+	// no goroutine survives.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	subscribers.Wait()
+	ts.Close()
+	client.CloseIdleConnections()
+	sys.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseGoroutines+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak after drain: %d now vs %d at start\n%s",
+				runtime.NumGoroutine(), baseGoroutines, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -143,7 +143,7 @@ func (s *Source) takePendingLocked() []TableEvent {
 func deliver(s *Source, watchers []Watcher, events []TableEvent) {
 	for _, ev := range events {
 		for _, w := range watchers {
-			s.net.Send(netsim.Propagation, 0)
+			s.net.SendFrom(s.id, netsim.Propagation, 1, 0)
 			w.OnTableEvent(s, ev)
 		}
 	}

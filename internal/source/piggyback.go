@@ -50,7 +50,7 @@ func (s *Source) piggybackRefreshesLocked(sub Subscriber, excluded func(int64) b
 				continue
 			}
 			r := s.makeRefreshLocked(key, o, reg, ValueInitiated)
-			s.net.Send(netsim.Propagation, 0)
+			s.net.SendFrom(s.id, netsim.Propagation, 1, 0)
 			out = append(out, r)
 		}
 	}

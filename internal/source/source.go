@@ -173,7 +173,7 @@ func (s *Source) Subscribe(key int64, sub Subscriber) (Refresh, error) {
 	if !ok {
 		return Refresh{}, fmt.Errorf("source %s: no object %d", s.id, key)
 	}
-	s.net.Send(netsim.Registration, 0)
+	s.net.SendFrom(s.id, netsim.Registration, 1, 0)
 	reg := &registration{sub: sub}
 	r := s.makeRefreshLocked(key, o, reg, QueryInitiated)
 	r.Kind = ValueInitiated // initial push is not charged as a query refresh
@@ -230,7 +230,7 @@ func (s *Source) SetValue(key int64, values []float64) error {
 			o.policy.ObserveValueRefresh()
 		}
 		r := s.makeRefreshLocked(key, o, reg, ValueInitiated)
-		s.net.Send(netsim.ValueRefresh, o.cost)
+		s.net.SendFrom(s.id, netsim.ValueRefresh, 1, o.cost)
 		pushes = append(pushes, push{reg.sub, r})
 		// The message is going out anyway: ride along refreshes for this
 		// cache's other near-edge objects (section 8.3).
@@ -341,7 +341,7 @@ func (s *Source) QueryRefreshBatchCtx(ctx context.Context, keys []int64, sub Sub
 		requested[key] = true
 		out = append(out, s.makeRefreshLocked(key, objs[i], regs[i], QueryInitiated))
 	}
-	s.net.SendN(netsim.QueryRefresh, int64(len(keys)), batchCost)
+	s.net.SendFrom(s.id, netsim.QueryRefresh, int64(len(keys)), batchCost)
 	out = append(out, s.piggybackRefreshesLocked(sub, func(key int64) bool { return requested[key] })...)
 	s.mu.Unlock()
 	return out, nil
@@ -415,7 +415,7 @@ func (s *Source) CheckBounds() int {
 			}
 			o.policy.ObserveValueRefresh()
 			r := s.makeRefreshLocked(key, o, reg, ValueInitiated)
-			s.net.Send(netsim.ValueRefresh, o.cost)
+			s.net.SendFrom(s.id, netsim.ValueRefresh, 1, o.cost)
 			pushes = append(pushes, push{reg.sub, r})
 		}
 	}

@@ -31,6 +31,7 @@ import (
 	"trapp/internal/refresh"
 	"trapp/internal/relation"
 	"trapp/internal/source"
+	"trapp/internal/sql"
 )
 
 // System is a complete simulated TRAPP deployment. All methods are safe
@@ -119,6 +120,24 @@ func (s *System) MountedCache(tableName string) *cache.Cache {
 	defer s.mu.RUnlock()
 	return s.tables[tableName]
 }
+
+// sysCatalog adapts mounted tables to the SQL parser's catalog.
+type sysCatalog struct{ sys *System }
+
+// SchemaOf resolves a mounted table's schema.
+func (c sysCatalog) SchemaOf(table string) (*relation.Schema, bool) {
+	cch := c.sys.MountedCache(table)
+	if cch == nil {
+		return nil, false
+	}
+	return cch.Schema(), true
+}
+
+// Catalog exposes the system's mounted tables to the SQL parser — the
+// single name-resolution authority shared by the root ParseQuery
+// helpers, the HTTP service layer and the remote bench's mirror, so
+// the wire parser can never diverge from the embedded one.
+func (s *System) Catalog() sql.Catalog { return sysCatalog{s} }
 
 // Mount exposes a cache's sharded table to the query processor under the
 // given table name, with the cache itself serving query-initiated
@@ -277,8 +296,23 @@ func widenSlackCount(res query.Result, err error, slack, within float64) (query.
 // ErrPrecisionUnmet) are joined into the returned error. After Close it
 // returns ErrClosed.
 func (s *System) ExecuteBatch(ctx context.Context, qs []query.Query, opts ...query.ExecOption) ([]query.Result, error) {
+	results, perQuery, err := s.ExecuteBatchDetailed(ctx, qs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return results, query.JoinBatchErrors(perQuery)
+}
+
+// ExecuteBatchDetailed is ExecuteBatch with per-query outcomes kept
+// separate instead of joined: the second return aligns index-for-index
+// with qs (nil for clean executions, ErrBudgetExhausted /
+// ErrPrecisionUnmet otherwise), while the final error reports
+// whole-batch failures (unknown tables, ErrClosed, validation). The
+// service layer uses it to report each statement's outcome to the
+// client it belongs to.
+func (s *System) ExecuteBatchDetailed(ctx context.Context, qs []query.Query, opts ...query.ExecOption) ([]query.Result, []error, error) {
 	if s.closed.Load() {
-		return nil, query.ErrClosed
+		return nil, nil, query.ErrClosed
 	}
 	cfg := query.BuildExecConfig(opts...)
 	// Mirror the single-query special paths for delayed-propagation
@@ -298,7 +332,7 @@ func (s *System) ExecuteBatch(ctx context.Context, qs []query.Query, opts ...que
 	for i, q := range qs {
 		c := s.MountedCache(q.Table)
 		if c == nil {
-			return nil, fmt.Errorf("trapp: %w: %q not mounted", query.ErrUnknownTable, q.Table)
+			return nil, nil, fmt.Errorf("trapp: %w: %q not mounted", query.ErrUnknownTable, q.Table)
 		}
 		if _, seen := caches[c]; !seen {
 			caches[c] = false
@@ -332,7 +366,7 @@ func (s *System) ExecuteBatch(ctx context.Context, qs []query.Query, opts ...que
 	}
 	results, perQuery, err := s.proc.ExecuteBatchDetailed(ctx, qs, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, f := range fixes {
 		if f.idx >= len(results) {
@@ -340,7 +374,7 @@ func (s *System) ExecuteBatch(ctx context.Context, qs []query.Query, opts ...que
 		}
 		results[f.idx], perQuery[f.idx] = widenSlackCount(results[f.idx], perQuery[f.idx], f.slack, f.within)
 	}
-	return results, query.JoinBatchErrors(perQuery)
+	return results, perQuery, nil
 }
 
 // Execute runs the query with a background context and default options.

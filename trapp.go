@@ -59,6 +59,7 @@ import (
 	"trapp/internal/query"
 	"trapp/internal/refresh"
 	"trapp/internal/relation"
+	"trapp/internal/server"
 	"trapp/internal/source"
 	"trapp/internal/sql"
 	itrapp "trapp/internal/trapp"
@@ -321,24 +322,12 @@ func ParseQueryWith(src string, schemas map[string]*Schema) (Query, error) {
 	return sql.Parse(src, sql.MapCatalog(schemas))
 }
 
-// systemCatalog adapts a System to the SQL parser's catalog.
-type systemCatalog struct{ sys *System }
-
-// SchemaOf looks up a mounted table's schema.
-func (c systemCatalog) SchemaOf(table string) (*Schema, bool) {
-	cch := c.sys.MountedCache(table)
-	if cch == nil {
-		return nil, false
-	}
-	return cch.Schema(), true
-}
-
 // ParseQuery compiles the TRAPP/AG SQL dialect
 // (SELECT AGG(col) WITHIN R FROM table WHERE pred) against the tables
 // mounted on the system. Statements selecting several aggregates are
 // rejected; use ParseQueries.
 func ParseQuery(src string, sys *System) (Query, error) {
-	return sql.Parse(src, systemCatalog{sys})
+	return sql.Parse(src, sys.Catalog())
 }
 
 // ParseQueries compiles a statement that may select several aggregates
@@ -348,7 +337,7 @@ func ParseQuery(src string, sys *System) (Query, error) {
 // shares one classification scan per shape and one deduped refresh
 // round across the statement.
 func ParseQueries(src string, sys *System) ([]Query, error) {
-	return sql.ParseAll(src, systemCatalog{sys})
+	return sql.ParseAll(src, sys.Catalog())
 }
 
 // ParseQueriesWith is ParseQueries against an explicit table→schema
@@ -356,3 +345,21 @@ func ParseQueries(src string, sys *System) ([]Query, error) {
 func ParseQueriesWith(src string, schemas map[string]*Schema) ([]Query, error) {
 	return sql.ParseAll(src, sql.MapCatalog(schemas))
 }
+
+// Server is the HTTP/JSON service layer over a System: POST /query
+// (single statements and ';'-separated batches with per-request
+// deadline/budget/mode/solver), GET /subscribe (server-sent-events
+// streams backed by SubscribeCtx), /metrics and /healthz, with
+// admission control and graceful drain. cmd/trappserver is the
+// standalone binary; embed a Server to serve an existing System.
+// DESIGN.md §10 documents the wire protocol.
+type Server = server.Server
+
+// ServerConfig tunes a Server's admission control (max in-flight
+// requests, max subscribers, per-client refresh-cost budget).
+type ServerConfig = server.Config
+
+// NewServer wraps a System with the HTTP service layer. The server does
+// not own the system: Shutdown drains HTTP work; close the system
+// separately.
+func NewServer(sys *System, cfg ServerConfig) *Server { return server.New(sys, cfg) }
