@@ -1,0 +1,182 @@
+// Command benchdiff compares a freshly generated trappbench JSON report
+// against a committed baseline and fails (exit 1) when a gated metric
+// regresses past the threshold — the CI tripwire that keeps the numbers
+// in BENCH_*.json honest as the engine evolves.
+//
+//	benchdiff [-threshold 0.15] [-gate qps,p99_ns] [-strict] baseline.json fresh.json
+//
+// Both files are walked recursively; every numeric leaf whose key is in
+// the gate set and that exists at the same path in both files is
+// compared. Direction is inferred from the metric name: qps and
+// pushes_per_sec regress by dropping, latency metrics (…_ns) regress by
+// rising. Metrics present only in the baseline are warnings by default
+// (phases can legitimately change shape) and failures under -strict.
+// Non-gated leaves are ignored, so timestamps, seeds, and commentary
+// never trip the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// higherBetter lists the gate metrics that regress by dropping; every
+// other gated metric (the _ns latency family) regresses by rising.
+var higherBetter = map[string]bool{
+	"qps":            true,
+	"pushes_per_sec": true,
+}
+
+// flatten walks a decoded JSON value and collects every numeric leaf
+// keyed by its dotted path (arrays contribute [i] segments).
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, sub, out)
+		}
+	case []any:
+		for i, sub := range x {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), sub, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+// leafKey returns the final key segment of a dotted path, without any
+// array index suffix.
+func leafKey(path string) string {
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		path = path[i+1:]
+	}
+	if i := strings.Index(path, "["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// finding is one gated comparison.
+type finding struct {
+	path       string
+	base, cur  float64
+	regression float64 // fraction; positive = worse
+	missing    bool    // gated metric absent from the fresh report
+}
+
+// compare gates the baseline's metrics against the fresh report.
+func compare(base, fresh map[string]float64, gates map[string]bool) []finding {
+	paths := make([]string, 0, len(base))
+	for p := range base {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var out []finding
+	for _, p := range paths {
+		key := leafKey(p)
+		if !gates[key] {
+			continue
+		}
+		b := base[p]
+		c, ok := fresh[p]
+		if !ok {
+			out = append(out, finding{path: p, base: b, missing: true})
+			continue
+		}
+		if b == 0 {
+			continue // no meaningful ratio; zero baselines are not gated
+		}
+		var reg float64
+		if higherBetter[key] {
+			reg = (b - c) / b
+		} else {
+			reg = (c - b) / b
+		}
+		out = append(out, finding{path: p, base: b, cur: c, regression: reg})
+	}
+	return out
+}
+
+func loadFlat(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(buf, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	flatten("", v, out)
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "max tolerated fractional regression")
+	gate := flag.String("gate", "qps,p99_ns", "comma-separated metric names to gate")
+	strict := flag.Bool("strict", false, "fail when a gated baseline metric is missing from the fresh report")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json fresh.json")
+		os.Exit(2)
+	}
+
+	gates := make(map[string]bool)
+	for _, g := range strings.Split(*gate, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gates[g] = true
+		}
+	}
+	base, err := loadFlat(flag.Arg(0))
+	if err == nil {
+		var fresh map[string]float64
+		fresh, err = loadFlat(flag.Arg(1))
+		if err == nil {
+			os.Exit(run(base, fresh, gates, *threshold, *strict, os.Stdout))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}
+
+// run prints the comparison and returns the process exit code.
+func run(base, fresh map[string]float64, gates map[string]bool, threshold float64, strict bool, w *os.File) int {
+	findings := compare(base, fresh, gates)
+	if len(findings) == 0 {
+		fmt.Fprintln(w, "benchdiff: no gated metrics in baseline")
+		return 0
+	}
+	failed := 0
+	for _, f := range findings {
+		switch {
+		case f.missing:
+			verdict := "WARN missing"
+			if strict {
+				verdict = "FAIL missing"
+				failed++
+			}
+			fmt.Fprintf(w, "%-60s baseline %.6g  %s\n", f.path, f.base, verdict)
+		case f.regression > threshold:
+			failed++
+			fmt.Fprintf(w, "%-60s baseline %.6g  fresh %.6g  %+.1f%%  FAIL (>±%.0f%%)\n",
+				f.path, f.base, f.cur, -100*f.regression, 100*threshold)
+		default:
+			fmt.Fprintf(w, "%-60s baseline %.6g  fresh %.6g  %+.1f%%  ok\n",
+				f.path, f.base, f.cur, -100*f.regression)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(w, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", failed, 100*threshold)
+		return 1
+	}
+	fmt.Fprintf(w, "benchdiff: %d gated metric(s) within %.0f%%\n", len(findings), 100*threshold)
+	return 0
+}

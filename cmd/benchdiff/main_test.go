@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func flat(t *testing.T, src string) map[string]float64 {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal([]byte(src), &v); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	flatten("", v, out)
+	return out
+}
+
+var defaultGates = map[string]bool{"qps": true, "p99_ns": true}
+
+func TestFlattenPaths(t *testing.T) {
+	f := flat(t, `{"scale":{"phases":[{"qps":100,"p99_ns":5000},{"qps":50}],"build_ns":7},"name":"x"}`)
+	want := map[string]float64{
+		"scale.phases[0].qps":    100,
+		"scale.phases[0].p99_ns": 5000,
+		"scale.phases[1].qps":    50,
+		"scale.build_ns":         7,
+	}
+	if len(f) != len(want) {
+		t.Fatalf("flattened %v, want %v", f, want)
+	}
+	for p, v := range want {
+		if f[p] != v {
+			t.Errorf("%s = %g, want %g", p, f[p], v)
+		}
+	}
+}
+
+func TestQPSRegressionDetected(t *testing.T) {
+	base := flat(t, `{"phases":[{"qps":100}]}`)
+	fresh := flat(t, `{"phases":[{"qps":80}]}`) // −20% QPS
+	fs := compare(base, fresh, defaultGates)
+	if len(fs) != 1 || fs[0].regression < 0.19 || fs[0].regression > 0.21 {
+		t.Fatalf("findings %+v", fs)
+	}
+	if fs[0].regression <= 0.15 {
+		t.Error("a 20% QPS drop must exceed the 15% threshold")
+	}
+}
+
+func TestP99RegressionDetected(t *testing.T) {
+	base := flat(t, `{"p99_ns":1000,"p50_ns":10}`)
+	fresh := flat(t, `{"p99_ns":1300,"p50_ns":500}`) // p99 +30%; p50 not gated
+	fs := compare(base, fresh, defaultGates)
+	if len(fs) != 1 {
+		t.Fatalf("findings %+v, want only the gated p99", fs)
+	}
+	if fs[0].regression < 0.29 || fs[0].regression > 0.31 {
+		t.Errorf("p99 regression = %g, want ~0.30", fs[0].regression)
+	}
+}
+
+func TestImprovementsAndNoisePass(t *testing.T) {
+	base := flat(t, `{"qps":100,"p99_ns":1000}`)
+	fresh := flat(t, `{"qps":95,"p99_ns":1100}`) // −5% qps, +10% p99: within 15%
+	for _, f := range compare(base, fresh, defaultGates) {
+		if f.regression > 0.15 {
+			t.Errorf("%s regression %g should pass at 15%%", f.path, f.regression)
+		}
+	}
+	fresh = flat(t, `{"qps":500,"p99_ns":10}`) // strict improvement
+	for _, f := range compare(base, fresh, defaultGates) {
+		if f.regression > 0 {
+			t.Errorf("%s: improvement reported as regression %g", f.path, f.regression)
+		}
+	}
+}
+
+func TestMissingMetricFlagged(t *testing.T) {
+	base := flat(t, `{"phases":[{"qps":100},{"qps":90}]}`)
+	fresh := flat(t, `{"phases":[{"qps":100}]}`)
+	fs := compare(base, fresh, defaultGates)
+	missing := 0
+	for _, f := range fs {
+		if f.missing {
+			missing++
+		}
+	}
+	if missing != 1 {
+		t.Fatalf("findings %+v, want one missing", fs)
+	}
+}
+
+func TestZeroBaselineSkipped(t *testing.T) {
+	base := flat(t, `{"qps":0}`)
+	fresh := flat(t, `{"qps":0}`)
+	if fs := compare(base, fresh, defaultGates); len(fs) != 0 {
+		t.Fatalf("zero baseline should not be gated: %+v", fs)
+	}
+}
+
+func TestHigherVsLowerBetterDirections(t *testing.T) {
+	base := flat(t, `{"qps":100,"p99_ns":100}`)
+	fresh := flat(t, `{"qps":200,"p99_ns":200}`)
+	for _, f := range compare(base, fresh, defaultGates) {
+		switch leafKey(f.path) {
+		case "qps":
+			if f.regression >= 0 {
+				t.Errorf("qps doubling must be an improvement, got %g", f.regression)
+			}
+		case "p99_ns":
+			if f.regression < 0.99 {
+				t.Errorf("p99 doubling must be a ~100%% regression, got %g", f.regression)
+			}
+		}
+	}
+}

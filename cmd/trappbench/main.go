@@ -18,6 +18,10 @@
 //	trappbench -batch 64             # E16: one ExecuteBatch vs N sequential ExecuteCtx
 //	trappbench -remote host:7090     # E17: E13 clients over HTTP against a live trappserver,
 //	                                 # verifying wire answers bit-identical to in-process first
+//	trappbench -scale 100000         # E18: adversarial scale workload — Zipf-sized tenants,
+//	                                 # Zipfian query/update skew, regime switches (warm →
+//	                                 # steady → hot burst → drift) with per-phase reporting;
+//	                                 # add -remote to drive a trappserver -objects N instead
 //
 // Flags -n, -seed, -reps control workload size, reproducibility, and
 // timing repetitions. The concurrent benchmark additionally honors
@@ -52,6 +56,7 @@ type benchOutput struct {
 	Subscriptions *experiment.SubscriptionsComparison `json:"subscriptions,omitempty"`
 	Batch         *experiment.BatchComparison         `json:"batch,omitempty"`
 	Remote        *experiment.RemoteResult            `json:"remote,omitempty"`
+	Scale         *experiment.ScaleResult             `json:"scale,omitempty"`
 }
 
 var out benchOutput
@@ -72,6 +77,13 @@ func main() {
 	rounds := flag.Int("rounds", 60, "update/tick rounds for the subscription benchmark")
 	remoteAddr := flag.String("remote", "", "drive a live trappserver at this address (E13 over HTTP) instead of an in-process system")
 	verifyN := flag.Int("verify", 200, "queries to verify bit-identical against a local mirror before the -remote window (0: skip; needs a static server)")
+	scaleN := flag.Int("scale", 100000, "object population for the adversarial scale benchmark")
+	tenants := flag.Int("tenants", 32, "tenant tables for the scale benchmark (Zipf-sized)")
+	scaleSubs := flag.Int("scalesubs", 200, "standing queries registered during the scale benchmark")
+	zipfQ := flag.Float64("zipfq", 1.1, "steady-phase Zipf exponent for query tenant selection")
+	zipfU := flag.Float64("zipfu", 1.2, "steady-phase Zipf exponent for update object selection")
+	phaseTicks := flag.Int64("phaseticks", 300, "logical-clock ticks per regime phase (100 ticks/s)")
+	scalePush := flag.Float64("scalepush", 20000, "baseline aggregate push rate for the scale benchmark, pushes/sec")
 	jsonPath := flag.String("json", "", "write machine-readable results (concurrent + subscription benchmarks) to this file")
 	flag.Parse()
 
@@ -81,6 +93,8 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if !explicit["experiment"] {
 		switch {
+		case explicit["scale"] || explicit["tenants"] || explicit["zipfq"] || explicit["zipfu"] || explicit["phaseticks"]:
+			*exp = "scale"
 		case explicit["remote"]:
 			*exp = "remote"
 		case explicit["batch"]:
@@ -93,7 +107,21 @@ func main() {
 	}
 
 	runners := map[string]func(){
-		"remote":        func() { remote(*remoteAddr, *concurrency, *verifyN, *duration, *warmup) },
+		"remote": func() { remote(*remoteAddr, *concurrency, *verifyN, *duration, *warmup) },
+		"scale": func() {
+			scale(*remoteAddr, experiment.ScaleOptions{
+				Objects:       *scaleN,
+				Tenants:       *tenants,
+				Clients:       *concurrency,
+				Updaters:      4,
+				Subscribers:   *scaleSubs,
+				QueryS:        *zipfQ,
+				UpdateS:       *zipfU,
+				TicksPerPhase: *phaseTicks,
+				PushRate:      *scalePush,
+				Seed:          *seed,
+			})
+		},
 		"concurrent":    func() { concurrent(*concurrency, *updaters, *n, *seed, *duration, *warmup, *pushRate, *budget) },
 		"subscriptions": func() { subscriptions(*subscribers, *n, *seed, *rounds) },
 		"batch":         func() { batch(*batchN, *n, *seed) },
@@ -438,6 +466,49 @@ func remote(addr string, clients, verifyN int, duration, warmup time.Duration) {
 			fmt.Sprintf("%d", res.PartialOutcomes),
 			fmt.Sprintf("%d", res.Rejected),
 		}})
+}
+
+func scale(remoteAddr string, opts experiment.ScaleOptions) {
+	var res experiment.ScaleResult
+	var err error
+	if remoteAddr != "" {
+		fmt.Printf("E18r — adversarial scale workload over HTTP against %s (clients=%d, phase=%d ticks)\n",
+			remoteAddr, opts.Clients, opts.TicksPerPhase)
+		res, err = experiment.ScaleRemote(remoteAddr, opts)
+	} else {
+		fmt.Printf("E18 — adversarial scale workload (objects=%d, tenants=%d, clients=%d, updaters=%d, subs=%d, zipf q/u=%.1f/%.1f, phase=%d ticks)\n",
+			opts.Objects, opts.Tenants, opts.Clients, opts.Updaters, opts.Subscribers,
+			opts.QueryS, opts.UpdateS, opts.TicksPerPhase)
+		res, err = experiment.Scale(opts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale benchmark: %v\n", err)
+		os.Exit(1)
+	}
+	out.Scale = &res
+	var cells [][]string
+	for _, p := range res.Phases {
+		cells = append(cells, []string{
+			p.Name,
+			fmt.Sprintf("%.1f", p.QueryS),
+			fmt.Sprintf("%d", p.Queries),
+			fmt.Sprintf("%.0f", p.QPS),
+			p.P50.Round(time.Microsecond).String(),
+			p.P99.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", p.Unmet),
+			fmt.Sprintf("%.0f", p.PushRate),
+			fmt.Sprintf("%.2f", p.HotShardPushShare),
+			p.RepairP50.Round(time.Microsecond).String(),
+			p.RepairP99.Round(time.Microsecond).String(),
+		})
+	}
+	experiment.WriteTable(os.Stdout,
+		[]string{"phase", "zipf-q", "queries", "qps", "p50", "p99", "unmet", "pushes/s", "hot-shard", "repair-p50", "repair-p99"}, cells)
+	if remoteAddr == "" {
+		fmt.Printf("build: %v for %d objects; max shard occupancy share %.3f (ideal %.3f); sched refresh cost %.0f; query refresh cost %.0f\n",
+			res.Build.Round(time.Millisecond), res.Objects, res.MaxShardLenShare, 1.0/8,
+			res.SchedRefreshCost, res.RefreshCost)
+	}
 }
 
 func joins(seed int64) {

@@ -2,7 +2,9 @@
 // service layer of the client/server scenario the paper assumes (many
 // clients, many replicated sources, one precision-performance engine in
 // between). It builds the benchmarks' link-monitoring workload
-// (experiment.BuildLinkSystem) and exposes:
+// (experiment.BuildLinkSystem) — or, with -objects, the adversarial
+// multi-tenant scale workload (experiment.BuildScaleSystem) that
+// `trappbench -scale -remote` drives — and exposes:
 //
 //	POST /query      execute SQL (single or ';'-separated batch); body
 //	                 {"sql": ..., "deadline_ms", "budget", "mode", "solver"}
@@ -25,6 +27,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,12 +35,17 @@ import (
 
 	"trapp/internal/experiment"
 	"trapp/internal/server"
+	itrapp "trapp/internal/trapp"
+	"trapp/internal/workload"
 )
 
 func main() {
 	addr := flag.String("addr", ":7090", "listen address")
 	links := flag.Int("links", 90, "number of monitored links (objects)")
 	sources := flag.Int("sources", 8, "number of data sources")
+	objects := flag.Int("objects", 0, "serve the adversarial scale workload with this many objects across -tenants tables instead of the link workload")
+	tenants := flag.Int("tenants", 32, "tenant tables for the -objects scale workload")
+	zipfu := flag.Float64("zipfu", 1.2, "Zipf exponent of the -drive update skew in scale mode")
 	seed := flag.Int64("seed", experiment.DefaultSeed, "workload seed")
 	maxInFlight := flag.Int("maxinflight", 0, "max concurrent /query requests (0: unlimited)")
 	maxSubs := flag.Int("maxsubs", 0, "max concurrent /subscribe streams (0: unlimited)")
@@ -46,7 +54,17 @@ func main() {
 	latency := flag.Duration("latency", 0, "simulated wire latency per refresh transmission")
 	flag.Parse()
 
-	sys, net, err := experiment.BuildLinkSystem(*links, *sources, *seed)
+	var (
+		sys *itrapp.System
+		sc  *workload.Scale
+		net *workload.Network
+		err error
+	)
+	if *objects > 0 {
+		sys, sc, err = experiment.BuildScaleSystem(*objects, *tenants, *seed)
+	} else {
+		sys, net, err = experiment.BuildLinkSystem(*links, *sources, *seed)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trappserver: build workload: %v\n", err)
 		os.Exit(1)
@@ -55,25 +73,38 @@ func main() {
 		sys.Net.SetLatency(*latency)
 	}
 
+	info := map[string]any{
+		"links":   *links,
+		"sources": *sources,
+		"seed":    *seed,
+		"driven":  *drive > 0,
+	}
+	if sc != nil {
+		// The scale descriptor trappbench -scale -remote discovers via
+		// /healthz to rebuild matching samplers and SQL shapes.
+		info = map[string]any{
+			"objects": *objects,
+			"tenants": *tenants,
+			"seed":    *seed,
+			"driven":  *drive > 0,
+		}
+	}
 	srv := server.New(sys, server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxSubscribers: *maxSubs,
 		ClientBudget:   *clientBudget,
-		Info: map[string]any{
-			"links":   *links,
-			"sources": *sources,
-			"seed":    *seed,
-			"driven":  *drive > 0,
-		},
+		Info:           info,
 	})
 
 	// The driver animates the sources so subscriptions have something to
-	// stream: every interval each link takes one random-walk step and the
-	// logical clock advances one tick (bounds grow, constraints can
-	// violate, the continuous engine repairs them).
+	// stream: every interval the logical clock advances one tick (bounds
+	// grow, constraints can violate, the continuous engine repairs them)
+	// and values take random-walk steps — every link in link mode, a
+	// Zipfian-sampled batch of objects in scale mode (stepping the whole
+	// 10⁵–10⁶ population each tick would outrun the tick).
 	driveCtx, stopDrive := context.WithCancel(context.Background())
 	defer stopDrive()
-	if *drive > 0 {
+	if *drive > 0 && sc == nil {
 		go func() {
 			ticker := time.NewTicker(*drive)
 			defer ticker.Stop()
@@ -94,14 +125,51 @@ func main() {
 			}
 		}()
 	}
+	if *drive > 0 && sc != nil {
+		go func() {
+			zu, err := workload.NewZipf(*objects, *zipfu)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trappserver: drive: %v\n", err)
+				return
+			}
+			rng := rand.New(rand.NewSource(*seed + 1))
+			batch := 2048
+			if batch > *objects {
+				batch = *objects
+			}
+			ticker := time.NewTicker(*drive)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-driveCtx.Done():
+					return
+				case <-ticker.C:
+					for b := 0; b < batch; b++ {
+						o := &sc.Objects[zu.Rank(rng)]
+						src := sys.Source(experiment.ScaleSourceFor(o.Key))
+						if err := src.SetValue(o.Key, o.Step(rng, 1)); err != nil {
+							fmt.Fprintf(os.Stderr, "trappserver: drive: %v\n", err)
+							return
+						}
+					}
+					sys.Clock.Advance(1)
+				}
+			}
+		}()
+	}
 
 	hs, ln, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trappserver: listen %s: %v\n", *addr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("trappserver: serving %d links from %d sources on http://%s (drive=%v)\n",
-		*links, *sources, ln.Addr(), *drive)
+	if sc != nil {
+		fmt.Printf("trappserver: serving %d objects in %d tenants on http://%s (drive=%v)\n",
+			*objects, *tenants, ln.Addr(), *drive)
+	} else {
+		fmt.Printf("trappserver: serving %d links from %d sources on http://%s (drive=%v)\n",
+			*links, *sources, ln.Addr(), *drive)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

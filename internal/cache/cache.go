@@ -23,8 +23,10 @@
 //     key.
 //
 // A goroutine holding one shard's locks never acquires another shard's
-// (multi-shard walks like Sync and Keys visit shards one at a time, in
-// ascending index order), and no shard lock is ever held while calling
+// (multi-shard walks hold at most one shard's locks at a time: Keys
+// visits shards sequentially, and a stale Sync over a large table fans
+// out one goroutine per stale shard, each owning a single shard's
+// locks), and no shard lock is ever held while calling
 // into a source, so sources can push value-initiated refreshes from their
 // own goroutines without deadlock: a push simply queues behind in-flight
 // scans of its one shard.
@@ -33,6 +35,7 @@ package cache
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -82,10 +85,16 @@ type cacheShard struct {
 	bounds  map[int64][]boundfn.Bound // per bounded column, schema order
 	lastSeq map[int64]int64           // newest applied Refresh.Seq per key
 	// Sync fast-path bookkeeping: the shard's materialized intervals are
-	// exactly bounds[*].At(syncedAt) unless dirty; a Sync at the same
-	// clock tick with a clean shard skips the shard entirely.
-	syncedAt int64
-	dirty    bool
+	// exactly bounds[*].At(syncedAt) except for the keys in dirtyKeys
+	// (query-initiated point collapses since that Sync). A Sync at the
+	// same clock tick skips a shard with no dirty keys entirely, and
+	// re-materializes only the dirty keys otherwise — never the whole
+	// shard. Tracking dirtiness per key instead of per shard is what
+	// keeps Zipfian query-refresh traffic from amplifying: one paid
+	// refresh on a hot key costs one re-materialization at the next
+	// Sync, not a rewrite of the ~n/nshards tuples sharing its shard.
+	syncedAt  int64
+	dirtyKeys map[int64]struct{}
 }
 
 // Cache is one data cache holding a single cached (sharded) table. It
@@ -129,10 +138,11 @@ func NewSharded(id string, clock *netsim.Clock, schema *relation.Schema, nshards
 	}
 	for i := range c.shards {
 		c.shards[i] = cacheShard{
-			sources:  make(map[int64]*source.Source),
-			bounds:   make(map[int64][]boundfn.Bound),
-			lastSeq:  make(map[int64]int64),
-			syncedAt: -1,
+			sources:   make(map[int64]*source.Source),
+			bounds:    make(map[int64][]boundfn.Bound),
+			lastSeq:   make(map[int64]int64),
+			syncedAt:  -1,
+			dirtyKeys: make(map[int64]struct{}),
 		}
 	}
 	return c
@@ -251,7 +261,10 @@ func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) (i
 	sh.sources[key] = src
 	sh.bounds[key] = r.Bounds
 	sh.lastSeq[key] = r.Seq
-	sh.dirty = true
+	// The tuple was materialized at now, which may postdate the shard's
+	// last Sync; mark just this key so the next same-tick Sync settles it
+	// without rewriting the shard.
+	sh.dirtyKeys[key] = struct{}{}
 	return si, nil
 }
 
@@ -316,35 +329,98 @@ func (c *Cache) applyLocked(sh *cacheShard, r source.Refresh) bool {
 	// clean and the next Sync skips it. This is what keeps scans cheap
 	// under heavy push load: a push never forces queries to re-Sync the
 	// shard, let alone the table. Only the query-initiated point
-	// collapse (table bound ≠ bound function at now) must dirty the
-	// shard so the next Sync restores the time-varying bound.
+	// collapse (table bound ≠ bound function at now) must dirty its
+	// key so the next Sync restores the time-varying bound.
 	if r.Kind == source.QueryInitiated {
-		sh.dirty = true
+		sh.dirtyKeys[r.Key] = struct{}{}
+	} else {
+		// The push re-materialized the key at now; a pending point
+		// collapse for it is settled.
+		delete(sh.dirtyKeys, r.Key)
 	}
 	return true
 }
 
+// parallelSyncMin is the cached-table size at which Sync fans stale-shard
+// rewrites out across goroutines. Below it the whole rewrite is cheaper
+// than spawning workers (the few-hundred-object experiment tables); above
+// it a clock tick means re-materializing every tuple, and the shards are
+// independent, so the wall cost drops to the slowest single shard. A
+// single-GOMAXPROCS process always stays serial: fan-out cannot help.
+const parallelSyncMin = 4096
+
 // Sync re-evaluates every cached bound function at the current clock time
 // and writes the resulting intervals into the table. The query processor
 // must call this before computing bounded answers so that the √T growth
-// since the last refresh is reflected. Shards are visited one at a time
-// in ascending index order, each under its own locks; a shard where the
-// clock has not advanced and no refresh has landed since its previous
-// Sync is skipped without touching its table — the fast path that lets
-// back-to-back queries share the shard read locks, now per shard, so a
-// push dirties only its own shard's fast path.
+// since the last refresh is reflected. A cheap serial probe first finds
+// the shards that need work; a shard where the clock has not advanced and
+// no point collapse has landed since its previous Sync is skipped without
+// touching its table — the fast path that lets back-to-back queries share
+// the shard read locks, per shard, so a push dirties only its own shard's
+// fast path. When the clock has not advanced, only the keys collapsed by
+// query-initiated refreshes since the previous Sync are re-materialized:
+// under skewed query traffic one hot refresh costs one bound rewrite, not
+// a rewrite of every tuple sharing the hot key's shard. When the clock
+// HAS advanced the full per-shard rewrite is unavoidable (the bounds grow
+// with time), so it walks the shard's tuple slice sequentially — one
+// bounds-map lookup per tuple, bounds written in place — and, for large
+// tables, runs the stale shards on parallel goroutines, each holding only
+// its own shard's locks (the lock-order rule in the package comment).
 func (c *Cache) Sync() {
+	// Probe: lock, check, unlock — same cost as the previous all-clean
+	// walk, so back-to-back queries within one tick pay nothing extra.
+	var stale []int
 	for si := range c.shards {
 		sh := &c.shards[si]
 		sh.mu.Lock()
-		now := c.clock.Now()
-		if !sh.dirty && sh.syncedAt == now {
-			sh.mu.Unlock()
-			continue
+		clean := sh.syncedAt == c.clock.Now() && len(sh.dirtyKeys) == 0
+		sh.mu.Unlock()
+		if !clean {
+			stale = append(stale, si)
 		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	if len(stale) == 1 || c.store.Len() < parallelSyncMin || runtime.GOMAXPROCS(0) == 1 {
+		for _, si := range stale {
+			c.syncShard(si)
+		}
+		return
+	}
+	g := parallel.NewGroup(0)
+	for _, si := range stale {
+		si := si
+		g.Go(func() error {
+			c.syncShard(si)
+			return nil
+		})
+	}
+	_ = g.Wait()
+}
+
+// syncShard settles one shard: nothing if another Sync already settled it
+// at the current tick, a dirty-keys-only rewrite if only point collapses
+// landed since, a sequential full rewrite if the clock advanced. Holds
+// only this shard's locks, in state-mutex-before-table-lock order.
+func (c *Cache) syncShard(si int) {
+	sh := &c.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	now := c.clock.Now()
+	if sh.syncedAt == now {
+		if len(sh.dirtyKeys) == 0 {
+			return // a concurrent Sync settled the shard after the probe
+		}
+		// Same tick: the shard is materialized at now except for the
+		// point-collapsed keys; restore just those.
 		c.store.UpdateShard(si, func(t *relation.Table) {
 			bcols := t.Schema().BoundedColumns()
-			for key, bs := range sh.bounds {
+			for key := range sh.dirtyKeys {
+				bs, ok := sh.bounds[key]
+				if !ok {
+					continue // dropped since the collapse
+				}
 				i := t.ByKey(key)
 				if i < 0 {
 					continue
@@ -354,10 +430,27 @@ func (c *Cache) Sync() {
 				}
 			}
 		})
-		sh.syncedAt = now
-		sh.dirty = false
-		sh.mu.Unlock()
+		clear(sh.dirtyKeys)
+		return
 	}
+	c.store.UpdateShard(si, func(t *relation.Table) {
+		bcols := t.Schema().BoundedColumns()
+		for i, n := 0, t.Len(); i < n; i++ {
+			tu := t.At(i)
+			bs, ok := sh.bounds[tu.Key]
+			if !ok {
+				continue // not owned by this cache's bound map
+			}
+			// In-place write; bound functions evaluate to non-empty
+			// intervals and bcols are bounded columns, so SetBound's
+			// validation is vacuous here and skipped.
+			for j, col := range bcols {
+				tu.Bounds[col] = bs[j].At(now)
+			}
+		}
+	})
+	sh.syncedAt = now
+	clear(sh.dirtyKeys)
 }
 
 // Master implements the query-processor Oracle: it pulls a query-initiated
@@ -491,7 +584,7 @@ func (c *Cache) Drop(key int64) bool {
 	delete(sh.sources, key)
 	delete(sh.bounds, key)
 	delete(sh.lastSeq, key)
-	sh.dirty = true
+	delete(sh.dirtyKeys, key)
 	deleted := c.store.Delete(key)
 	sh.mu.Unlock()
 	if deleted {

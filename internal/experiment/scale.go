@@ -1,0 +1,749 @@
+package experiment
+
+// The adversarial scale benchmark (-scale): 10⁵–10⁶ objects spread over
+// Zipf-sized tenant tables, queried and updated with Zipfian key skew
+// that switches regime on the logical clock (warm → steady → hot burst
+// → drift, workload.DefaultSchedule). Unlike the benign closed-loop
+// benchmarks, this one is built to hit the engine where skew hurts:
+// all query mass on a megatenant (hot shards in its store), a burst
+// regime multiplying push rate 8× (scheduler repair convoys), and
+// per-tenant client identities churning the server's admission ledgers.
+// Reported per phase: QPS/p50/p99, push throughput, the hottest shard's
+// share of pushes, and repair (Settle) latency percentiles.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/boundfn"
+	"trapp/internal/predicate"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+	"trapp/internal/server"
+	"trapp/internal/source"
+	"trapp/internal/trapp"
+	"trapp/internal/workload"
+)
+
+// scaleSources is the fixed data-source count of the scale system;
+// objects are spread round-robin by key.
+const scaleSources = 16
+
+// ScaleSourceFor returns the id of the source owning a scale object key,
+// so external drivers (trappserver's -drive loop) can push updates into
+// the same system BuildScaleSystem wires.
+func ScaleSourceFor(key int64) string {
+	return fmt.Sprintf("s%d", int(key)%scaleSources)
+}
+
+// ScaleOptions parameterizes the -scale benchmark.
+type ScaleOptions struct {
+	// Objects and Tenants size the population (workload.ScaleConfig).
+	Objects, Tenants int
+	// Clients, Updaters, Subscribers set the concurrent load shape.
+	Clients, Updaters, Subscribers int
+	// QueryS and UpdateS are the steady-phase Zipf exponents; the
+	// burst phase sharpens both by +0.3.
+	QueryS, UpdateS float64
+	// TicksPerPhase is each regime's length on the logical clock.
+	TicksPerPhase int64
+	// TickEvery is the wall-clock period of one tick (default 10ms,
+	// the 100 ticks/second cap the other benchmarks use).
+	TickEvery time.Duration
+	// PushRate is the baseline aggregate push rate in pushes/second,
+	// scaled per phase by the regime's UpdateRate.
+	PushRate float64
+	// Seed makes the generated population and all samplers deterministic.
+	Seed int64
+}
+
+func (o ScaleOptions) withDefaults() ScaleOptions {
+	if o.Objects == 0 {
+		o.Objects = 100000
+	}
+	if o.Tenants == 0 {
+		o.Tenants = 32
+	}
+	if o.Clients == 0 {
+		o.Clients = 8
+	}
+	if o.Updaters == 0 {
+		o.Updaters = 4
+	}
+	if o.Subscribers == 0 {
+		o.Subscribers = 200
+	}
+	if o.QueryS == 0 {
+		o.QueryS = 1.1
+	}
+	if o.UpdateS == 0 {
+		o.UpdateS = 1.2
+	}
+	if o.TicksPerPhase == 0 {
+		o.TicksPerPhase = 300
+	}
+	if o.TickEvery == 0 {
+		o.TickEvery = 10 * time.Millisecond
+	}
+	if o.PushRate == 0 {
+		o.PushRate = 20000
+	}
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	return o
+}
+
+// ScalePhase reports one regime's measurement window.
+type ScalePhase struct {
+	Name       string  `json:"name"`
+	QueryS     float64 `json:"query_s"`
+	UpdateS    float64 `json:"update_s"`
+	UpdateRate float64 `json:"update_rate"`
+	HotOffset  int     `json:"hot_offset,omitempty"`
+
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Queries int64         `json:"queries"`
+	QPS     float64       `json:"qps"`
+	P50     time.Duration `json:"p50_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	// Unmet counts queries whose precision constraint could not be met.
+	Unmet int64 `json:"unmet,omitempty"`
+
+	Pushes   int64   `json:"pushes"`
+	PushRate float64 `json:"pushes_per_sec"`
+	// HotShardPushShare is the hottest shard's fraction of the phase's
+	// pushes (shard indices aggregated across tenant stores; 1/nshards
+	// is perfectly balanced).
+	HotShardPushShare float64 `json:"hot_shard_push_share"`
+
+	// Repairs are timed Settle() passes — the scheduler's repair
+	// latency under this regime's violation load.
+	Repairs   int           `json:"repairs"`
+	RepairP50 time.Duration `json:"repair_p50_ns"`
+	RepairP99 time.Duration `json:"repair_p99_ns"`
+}
+
+// ScaleResult reports one -scale run.
+type ScaleResult struct {
+	Objects       int     `json:"objects"`
+	Tenants       int     `json:"tenants"`
+	Sources       int     `json:"sources"`
+	Clients       int     `json:"clients"`
+	Updaters      int     `json:"updaters"`
+	Subscribers   int     `json:"subscribers"`
+	QueryS        float64 `json:"query_s"`
+	UpdateS       float64 `json:"update_s"`
+	TicksPerPhase int64   `json:"ticks_per_phase"`
+	Seed          int64   `json:"seed"`
+
+	// Build is the time to generate and load the population.
+	Build time.Duration `json:"build_ns"`
+	// MaxShardLenShare is the fullest shard's share of all tuples
+	// (shard indices aggregated across tenant stores; 1/nshards is
+	// perfectly balanced).
+	MaxShardLenShare float64 `json:"max_shard_len_share"`
+	// Notifications and SchedRefreshCost are continuous-engine deltas
+	// over the whole run; RefreshCost is the query-initiated total.
+	Notifications    int64   `json:"notifications"`
+	SchedRefreshCost float64 `json:"sched_refresh_cost"`
+	RefreshCost      float64 `json:"refresh_cost"`
+
+	Phases []ScalePhase `json:"phases"`
+}
+
+// BuildScaleSystem builds the multi-tenant scale system: one sharded
+// cache/table per tenant (tenant_0 .. tenant_{n-1}, Zipf-sized), every
+// object promised converged static-width bounds like BuildLinkSystem,
+// spread round-robin over scaleSources sources. Exported so
+// cmd/trappserver can serve the identical system for -scale -remote.
+func BuildScaleSystem(objects, tenants int, seed int64) (*trapp.System, *workload.Scale, error) {
+	sc, err := workload.NewScale(workload.ScaleConfig{Objects: objects, Tenants: tenants, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := trapp.NewSystem(refresh.Options{Solver: refresh.SolverGreedyDensity})
+	srcs := make([]*source.Source, scaleSources)
+	for si := 0; si < scaleSources; si++ {
+		s, err := sys.AddSource(fmt.Sprintf("s%d", si), nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		srcs[si] = s
+	}
+	for t := 0; t < tenants; t++ {
+		name := workload.TenantName(t)
+		c, err := sys.AddCache(name, workload.ScaleSchema())
+		if err != nil {
+			return nil, nil, err
+		}
+		objs := sc.TenantObjects(t)
+		for i := range objs {
+			o := &objs[i]
+			src := srcs[int(o.Key)%scaleSources]
+			if err := src.AddObject(o.Key, o.Values(), o.Cost, boundfn.StaticWidth(0.5)); err != nil {
+				return nil, nil, err
+			}
+			if err := c.Subscribe(src, o.Key, []float64{float64(o.Region)}); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := sys.Mount(name, c); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sys, sc, nil
+}
+
+// scaleQuery builds one query of the scale mix against the given
+// tenant — the in-process mirror of workload.Scale.QuerySQL's shapes.
+// SUM constraints scale with the tenant's cardinality (mostly answered
+// from cache); tight MIN/MAX constraints below the converged 0.5 bound
+// width force occasional paid refreshes, the query-initiated traffic
+// that dirties hot shards.
+func scaleQuery(rng *rand.Rand, sc *workload.Scale, tenant int, schema *relation.Schema) query.Query {
+	name := workload.TenantName(tenant)
+	sz := float64(sc.TenantSize(tenant))
+	var q query.Query
+	switch rng.Intn(5) {
+	case 0:
+		q = query.NewQuery(name, aggregate.Sum, "value")
+		q.Within = (1 + rng.Float64()*4) * sz
+	case 1:
+		q = query.NewQuery(name, aggregate.Avg, "load")
+		q.RelativeWithin = 0.02 + rng.Float64()*0.18
+	case 2:
+		// Tight: below the 0.5 converged width about half the time, so
+		// the engine pays a small refresh batch over the extreme's
+		// candidate set.
+		q = query.NewQuery(name, aggregate.Min, "value")
+		q.Within = 0.2 + rng.Float64()*0.6
+	case 3:
+		q = query.NewQuery(name, aggregate.Count, "value")
+		q.Within = float64(rng.Intn(4))
+		q.Where = predicate.NewCmp(
+			predicate.Column(schema.MustLookup("load"), "load"),
+			predicate.Gt, predicate.Const(20+rng.Float64()*60))
+	default:
+		q = query.NewQuery(name, aggregate.Max, "load")
+		q.Within = 0.2 + rng.Float64()*0.6
+		q.Where = predicate.NewCmp(
+			predicate.Column(schema.MustLookup("region"), "region"),
+			predicate.Eq, predicate.Const(float64(rng.Intn(sc.Config.Regions))))
+	}
+	return q
+}
+
+// scaleSubscription builds one standing query: grouped SUM/AVG over
+// region (loose constraints — exercised by notification traffic) and a
+// minority of tight MAX constraints that stay violated under load,
+// giving the repair scheduler steady work.
+func scaleSubscription(rng *rand.Rand, sc *workload.Scale, tenant int) query.Query {
+	name := workload.TenantName(tenant)
+	sz := float64(sc.TenantSize(tenant))
+	regions := float64(sc.Config.Regions)
+	var q query.Query
+	switch rng.Intn(4) {
+	case 0:
+		q = query.NewQuery(name, aggregate.Sum, "value")
+		q.Within = (1.2 + rng.Float64()) * 0.5 * sz / regions
+		q.GroupBy = []string{"region"}
+	case 1:
+		q = query.NewQuery(name, aggregate.Avg, "load")
+		q.RelativeWithin = 0.05 + rng.Float64()*0.15
+		q.GroupBy = []string{"region"}
+	case 2:
+		q = query.NewQuery(name, aggregate.Count, "value")
+		q.Within = 1 + rng.Float64()*4
+	default:
+		q = query.NewQuery(name, aggregate.Max, "load")
+		q.Within = 0.3 + rng.Float64()*0.4
+	}
+	return q
+}
+
+// Scale runs the embedded adversarial benchmark: build the population,
+// register Subscribers standing queries, then run Clients closed-loop
+// query goroutines and Updaters open-loop push goroutines through the
+// full regime schedule, advancing the logical clock at TickEvery. Each
+// phase is measured separately; the run ends when the schedule does.
+func Scale(opts ScaleOptions) (ScaleResult, error) {
+	opts = opts.withDefaults()
+	t0 := time.Now()
+	sys, sc, err := BuildScaleSystem(opts.Objects, opts.Tenants, opts.Seed)
+	if err != nil {
+		return ScaleResult{}, err
+	}
+	defer sys.Close()
+	build := time.Since(t0)
+
+	sched := workload.DefaultSchedule(opts.TicksPerPhase, opts.QueryS, opts.UpdateS, opts.Objects)
+	regimes := sched.Regimes()
+	nph := len(regimes)
+
+	// Per-regime samplers, built once: tenant-ranked for queries
+	// (tenant 0 is the largest), object-ranked for updates.
+	qZipf := make([]*workload.Zipf, nph)
+	uZipf := make([]*workload.Zipf, nph)
+	for i, r := range regimes {
+		if qZipf[i], err = workload.NewZipf(opts.Tenants, r.QueryS); err != nil {
+			return ScaleResult{}, err
+		}
+		if uZipf[i], err = workload.NewZipf(opts.Objects, r.UpdateS); err != nil {
+			return ScaleResult{}, err
+		}
+	}
+
+	// Standing queries, spread Zipf over tenants like the query load.
+	subRng := rand.New(rand.NewSource(opts.Seed + 101))
+	subTenant := workload.MustZipf(opts.Tenants, 1.0)
+	subCtx, cancelSubs := context.WithCancel(context.Background())
+	defer cancelSubs()
+	for i := 0; i < opts.Subscribers; i++ {
+		q := scaleSubscription(subRng, sc, subTenant.Rank(subRng))
+		if _, err := sys.SubscribeCtx(subCtx, q); err != nil {
+			return ScaleResult{}, fmt.Errorf("subscribe %d: %w", i, err)
+		}
+	}
+
+	stores := make([]*relation.Store, opts.Tenants)
+	for t := 0; t < opts.Tenants; t++ {
+		stores[t] = sys.MountedCache(workload.TenantName(t)).Store()
+	}
+	schema := stores[0].Schema()
+	srcs := make([]*source.Source, scaleSources)
+	for si := 0; si < scaleSources; si++ {
+		srcs[si] = sys.Source(fmt.Sprintf("s%d", si))
+	}
+
+	var (
+		stop     atomic.Bool
+		phaseIdx atomic.Int64
+		wg       sync.WaitGroup
+
+		queries = make([]atomic.Int64, nph)
+		unmet   = make([]atomic.Int64, nph)
+		pushes  = make([]atomic.Int64, nph)
+
+		latMu sync.Mutex
+		lats  = make([][]time.Duration, nph)
+
+		repairMu sync.Mutex
+		repairs  = make([][]time.Duration, nph)
+	)
+	nshards := stores[0].NumShards()
+	pushShard := make([][]atomic.Int64, nph)
+	for i := range pushShard {
+		pushShard[i] = make([]atomic.Int64, nshards)
+	}
+
+	// Phase wall-clock boundaries, written by the clock goroutine.
+	phaseStart := make([]time.Time, nph)
+	phaseEnd := make([]time.Time, nph)
+	phaseStart[0] = time.Now()
+
+	// Clock: advance one tick per TickEvery, flip the phase on regime
+	// boundaries, stop everything when the schedule ends.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(opts.TickEvery)
+		defer ticker.Stop()
+		cur, tick := 0, int64(0)
+		for range ticker.C {
+			if stop.Load() {
+				return
+			}
+			sys.Clock.Advance(1)
+			tick++
+			if tick >= sched.TotalTicks() {
+				phaseEnd[cur] = time.Now()
+				stop.Store(true)
+				return
+			}
+			if idx := sched.Index(tick); idx != cur {
+				now := time.Now()
+				phaseEnd[cur] = now
+				phaseStart[idx] = now
+				cur = idx
+				phaseIdx.Store(int64(idx))
+			}
+		}
+	}()
+
+	// Closed-loop clients: Zipf-pick a tenant (rotated by the regime's
+	// hot offset), run one query of the mix, record into the phase the
+	// query started in.
+	for cl := 0; cl < opts.Clients; cl++ {
+		wg.Add(1)
+		go func(clientSeed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(clientSeed))
+			local := make([][]time.Duration, nph)
+			ctx := context.Background()
+			for !stop.Load() {
+				ph := int(phaseIdx.Load())
+				reg := regimes[ph]
+				ten := qZipf[ph].Rank(rng)
+				if reg.HotOffset > 0 {
+					ten = (ten + reg.HotOffset) % opts.Tenants
+				}
+				q := scaleQuery(rng, sc, ten, schema)
+				qt0 := time.Now()
+				_, err := sys.ExecuteCtx(ctx, q)
+				switch {
+				case err == nil:
+				case errors.Is(err, query.ErrPrecisionUnmet{}):
+					unmet[ph].Add(1)
+				default:
+					panic(err)
+				}
+				local[ph] = append(local[ph], time.Since(qt0))
+				queries[ph].Add(1)
+			}
+			latMu.Lock()
+			for ph := range local {
+				lats[ph] = append(lats[ph], local[ph]...)
+			}
+			latMu.Unlock()
+		}(opts.Seed + 500 + int64(cl))
+	}
+
+	// Open-loop updaters: Zipf-pick an object (rotated by hot offset),
+	// remap into this updater's ownership stride (walk state is
+	// single-owner), push, pace to the regime's rate.
+	for u := 0; u < opts.Updaters; u++ {
+		wg.Add(1)
+		go func(u int, updSeed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(updSeed))
+			next := time.Now()
+			const batch = 32
+			for !stop.Load() {
+				ph := int(phaseIdx.Load())
+				reg := regimes[ph]
+				for i := 0; i < batch; i++ {
+					idx := uZipf[ph].Rank(rng)
+					if reg.HotOffset > 0 {
+						idx = (idx + reg.HotOffset) % opts.Objects
+					}
+					idx = idx - idx%opts.Updaters + u
+					if idx >= opts.Objects {
+						idx -= opts.Updaters
+					}
+					o := &sc.Objects[idx]
+					if err := srcs[int(o.Key)%scaleSources].SetValue(o.Key, o.Step(rng, 1)); err != nil {
+						panic(err)
+					}
+					pushes[ph].Add(1)
+					pushShard[ph][stores[o.Tenant].ShardOf(o.Key)].Add(1)
+				}
+				rate := opts.PushRate * reg.UpdateRate / float64(opts.Updaters)
+				if rate > 0 {
+					next = next.Add(time.Duration(float64(batch) / rate * float64(time.Second)))
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					} else if d < -100*time.Millisecond {
+						next = time.Now().Add(-100 * time.Millisecond)
+					}
+				}
+			}
+		}(u, opts.Seed+900+int64(u))
+	}
+
+	// Settler: timed synchronous repair passes — the scheduler's
+	// convoy-sensitive path, measured per phase.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			ph := int(phaseIdx.Load())
+			st0 := time.Now()
+			sys.Settle()
+			d := time.Since(st0)
+			repairMu.Lock()
+			repairs[ph] = append(repairs[ph], d)
+			repairMu.Unlock()
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	smBefore := sys.SubscriptionMetrics()
+	statsBefore := sys.Stats()
+	wg.Wait()
+	smAfter := sys.SubscriptionMetrics()
+	statsAfter := sys.Stats()
+	cancelSubs()
+
+	out := ScaleResult{
+		Objects:       opts.Objects,
+		Tenants:       opts.Tenants,
+		Sources:       scaleSources,
+		Clients:       opts.Clients,
+		Updaters:      opts.Updaters,
+		Subscribers:   opts.Subscribers,
+		QueryS:        opts.QueryS,
+		UpdateS:       opts.UpdateS,
+		TicksPerPhase: opts.TicksPerPhase,
+		Seed:          opts.Seed,
+		Build:         build,
+		Notifications: smAfter.Notifications - smBefore.Notifications,
+		SchedRefreshCost: smAfter.RefreshCost - smBefore.RefreshCost,
+		RefreshCost:      statsAfter.QueryRefreshCost - statsBefore.QueryRefreshCost,
+	}
+
+	// Occupancy: aggregate shard lengths across tenant stores by index.
+	total := 0
+	shardLens := make([]int, nshards)
+	for _, st := range stores {
+		for i, l := range st.ShardLens() {
+			shardLens[i] += l
+			total += l
+		}
+	}
+	maxLen := 0
+	for _, l := range shardLens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if total > 0 {
+		out.MaxShardLenShare = float64(maxLen) / float64(total)
+	}
+
+	for ph, reg := range regimes {
+		elapsed := phaseEnd[ph].Sub(phaseStart[ph])
+		if elapsed <= 0 {
+			elapsed = time.Nanosecond
+		}
+		p := ScalePhase{
+			Name:       reg.Name,
+			QueryS:     reg.QueryS,
+			UpdateS:    reg.UpdateS,
+			UpdateRate: reg.UpdateRate,
+			HotOffset:  reg.HotOffset,
+			Elapsed:    elapsed,
+			Queries:    queries[ph].Load(),
+			Unmet:      unmet[ph].Load(),
+			Pushes:     pushes[ph].Load(),
+		}
+		p.QPS = float64(p.Queries) / elapsed.Seconds()
+		p.PushRate = float64(p.Pushes) / elapsed.Seconds()
+		var hot int64
+		for i := range pushShard[ph] {
+			if n := pushShard[ph][i].Load(); n > hot {
+				hot = n
+			}
+		}
+		if p.Pushes > 0 {
+			p.HotShardPushShare = float64(hot) / float64(p.Pushes)
+		}
+		p.P50, p.P99 = durationPercentiles(lats[ph])
+		rp50, rp99 := durationPercentiles(repairs[ph])
+		p.Repairs = len(repairs[ph])
+		p.RepairP50, p.RepairP99 = rp50, rp99
+		out.Phases = append(out.Phases, p)
+	}
+	return out, nil
+}
+
+// durationPercentiles returns the p50 and p99 of a sample (sorting it
+// in place).
+func durationPercentiles(d []time.Duration) (p50, p99 time.Duration) {
+	if len(d) == 0 {
+		return 0, 0
+	}
+	sort.Slice(d, func(a, b int) bool { return d[a] < d[b] })
+	at := func(p float64) time.Duration {
+		i := int(p*float64(len(d))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return d[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+// ScaleRemote drives a live trappserver serving the scale workload
+// (trappserver -objects N -tenants T -drive ...) through the same
+// regime schedule over HTTP. The server owns the population and
+// animates it (-drive), so only the query side of each regime applies:
+// clients sweep the schedule's QueryS/HotOffset phases on wall-clock
+// (one phase per TicksPerPhase × TickEvery), sending the generated SQL
+// shapes with per-tenant X-Trapp-Client identities — the many-tenant
+// churn the admission ledgers see. Statement strings come from
+// workload.Scale.QuerySQL, so the wire path parses exactly what the
+// fuzz corpus seeds.
+func ScaleRemote(addr string, opts ScaleOptions) (ScaleResult, error) {
+	opts = opts.withDefaults()
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	addr = strings.TrimRight(addr, "/")
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: opts.Clients + 4}}
+
+	// Discover the server's population so samplers and SQL shapes match.
+	hres, err := hc.Get(addr + "/healthz")
+	if err != nil {
+		return ScaleResult{}, fmt.Errorf("reach server: %w", err)
+	}
+	var h health
+	err = json.NewDecoder(hres.Body).Decode(&h)
+	hres.Body.Close()
+	if err != nil {
+		return ScaleResult{}, fmt.Errorf("decode /healthz: %w", err)
+	}
+	num := func(k string) (int64, bool) {
+		v, ok := h.Workload[k].(float64)
+		return int64(v), ok
+	}
+	objects, ok := num("objects")
+	if !ok {
+		return ScaleResult{}, fmt.Errorf("server /healthz lacks workload \"objects\" (start trappserver with -objects)")
+	}
+	tenants, _ := num("tenants")
+	seed, _ := num("seed")
+	opts.Objects, opts.Tenants, opts.Seed = int(objects), int(tenants), seed
+
+	sc, err := workload.NewScale(workload.ScaleConfig{Objects: opts.Objects, Tenants: opts.Tenants, Seed: opts.Seed})
+	if err != nil {
+		return ScaleResult{}, fmt.Errorf("mirror population: %w", err)
+	}
+	sched := workload.DefaultSchedule(opts.TicksPerPhase, opts.QueryS, opts.UpdateS, opts.Objects)
+	regimes := sched.Regimes()
+	nph := len(regimes)
+	qZipf := make([]*workload.Zipf, nph)
+	for i, r := range regimes {
+		if qZipf[i], err = workload.NewZipf(opts.Tenants, r.QueryS); err != nil {
+			return ScaleResult{}, err
+		}
+	}
+	phaseLen := time.Duration(opts.TicksPerPhase) * opts.TickEvery
+
+	var (
+		stop     atomic.Bool
+		phaseIdx atomic.Int64
+		wg       sync.WaitGroup
+		queries  = make([]atomic.Int64, nph)
+		unmet    = make([]atomic.Int64, nph)
+		rejected = make([]atomic.Int64, nph)
+		latMu    sync.Mutex
+		lats     = make([][]time.Duration, nph)
+	)
+	errCh := make(chan error, opts.Clients)
+	before, err := fetchMetrics(hc, addr)
+	if err != nil {
+		return ScaleResult{}, err
+	}
+
+	phaseStart := make([]time.Time, nph)
+	phaseEnd := make([]time.Time, nph)
+
+	for cl := 0; cl < opts.Clients; cl++ {
+		wg.Add(1)
+		go func(clientSeed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(clientSeed))
+			for !stop.Load() {
+				ph := int(phaseIdx.Load())
+				reg := regimes[ph]
+				ten := qZipf[ph].Rank(rng)
+				if reg.HotOffset > 0 {
+					ten = (ten + reg.HotOffset) % opts.Tenants
+				}
+				sqlText := sc.QuerySQL(rng, ten)
+				body, _ := json.Marshal(server.QueryRequest{SQL: sqlText})
+				req, err := http.NewRequest("POST", addr+"/query", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Trapp-Client", workload.TenantName(ten))
+				qt0 := time.Now()
+				resp, err := hc.Do(req)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == 200:
+				case resp.StatusCode == 206:
+					unmet[ph].Add(1)
+				case resp.StatusCode == 429:
+					rejected[ph].Add(1)
+				default:
+					errCh <- fmt.Errorf("unexpected status %d for %q", resp.StatusCode, sqlText)
+					return
+				}
+				latMu.Lock()
+				lats[ph] = append(lats[ph], time.Since(qt0))
+				latMu.Unlock()
+				queries[ph].Add(1)
+			}
+		}(opts.Seed + 700 + int64(cl))
+	}
+
+	for ph := range regimes {
+		phaseStart[ph] = time.Now()
+		phaseIdx.Store(int64(ph))
+		time.Sleep(phaseLen)
+		phaseEnd[ph] = time.Now()
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return ScaleResult{}, fmt.Errorf("scale remote client: %w", err)
+	default:
+	}
+	after, err := fetchMetrics(hc, addr)
+	if err != nil {
+		return ScaleResult{}, err
+	}
+
+	out := ScaleResult{
+		Objects:       opts.Objects,
+		Tenants:       opts.Tenants,
+		Sources:       scaleSources,
+		Clients:       opts.Clients,
+		QueryS:        opts.QueryS,
+		UpdateS:       opts.UpdateS,
+		TicksPerPhase: opts.TicksPerPhase,
+		Seed:          opts.Seed,
+		RefreshCost:   after.Network.QueryRefreshCost - before.Network.QueryRefreshCost,
+	}
+	for ph, reg := range regimes {
+		elapsed := phaseEnd[ph].Sub(phaseStart[ph])
+		if elapsed <= 0 {
+			elapsed = time.Nanosecond
+		}
+		p := ScalePhase{
+			Name:      reg.Name,
+			QueryS:    reg.QueryS,
+			HotOffset: reg.HotOffset,
+			Elapsed:   elapsed,
+			Queries:   queries[ph].Load(),
+			Unmet:     unmet[ph].Load() + rejected[ph].Load(),
+		}
+		p.QPS = float64(p.Queries) / elapsed.Seconds()
+		p.P50, p.P99 = durationPercentiles(lats[ph])
+		out.Phases = append(out.Phases, p)
+	}
+	return out, nil
+}

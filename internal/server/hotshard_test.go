@@ -1,0 +1,217 @@
+package server
+
+// Soak race test for Zipfian hot-shard traffic through the full service
+// stack: updaters sample keys from a sharp Zipf, so a handful of hot
+// keys — and therefore the one or two store shards owning them — absorb
+// most of the push load while query clients and SSE subscribers read the
+// same shared table. Soundness is the envelope argument of the stress
+// test (updates confined to base ± D, so every answer must intersect the
+// achievable envelope), now under maximally skewed contention: the
+// per-key dirty tracking in cache.Sync and the per-shard locking both
+// get hammered on exactly one shard. After the clients stop, the server
+// drains and no goroutine may survive.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/workload"
+
+	"context"
+)
+
+func TestHotShardZipfSoundness(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	// One shared table, enough keys that the default 8 shards all hold
+	// tuples while the Zipf head concentrates on a few of them.
+	const nsrc, perSrc = 4, 64
+	sys := buildSystem(t, nsrc, perSrc)
+	var keys []int64
+	for si := 0; si < nsrc; si++ {
+		for oi := 0; oi < perSrc; oi++ {
+			keys = append(keys, int64(si*100+oi))
+		}
+	}
+	srv := New(sys, Config{MaxSubscribers: 8})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	aggNames := map[aggregate.Func]string{
+		aggregate.Sum: "SUM", aggregate.Avg: "AVG", aggregate.Min: "MIN",
+		aggregate.Max: "MAX", aggregate.Count: "COUNT",
+	}
+	aggs := []aggregate.Func{aggregate.Sum, aggregate.Avg, aggregate.Min, aggregate.Max, aggregate.Count}
+
+	// Zipfian updaters: rank 0 is hottest; updates stay inside the
+	// envelope. Clock ticks keep the bounds growing so queries must
+	// refresh the hot keys, driving query-initiated collapses into the
+	// same shard the pushes hammer.
+	zu := workload.MustZipf(len(keys), 1.3)
+	var updaters sync.WaitGroup
+	for u := 0; u < 3; u++ {
+		updaters.Add(1)
+		go func(seed int64) {
+			defer updaters.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1200; i++ {
+				key := keys[zu.Rank(rng)]
+				src := sys.Source(fmt.Sprintf("s%d", key/100))
+				v := stressBase(key) + (rng.Float64()*2-1)*stressD
+				if err := src.SetValue(key, []float64{v}); err != nil {
+					t.Errorf("SetValue(%d): %v", key, err)
+					return
+				}
+				if i%60 == 59 {
+					sys.Clock.Advance(1)
+				}
+			}
+		}(int64(u) + 7)
+	}
+
+	// SSE subscribers over the same table, every delivered answer
+	// envelope-checked until the drain closes the stream.
+	var subscribers sync.WaitGroup
+	for si := 0; si < 4; si++ {
+		subscribers.Add(1)
+		go func(agg aggregate.Func) {
+			defer subscribers.Done()
+			stmt := fmt.Sprintf("SELECT %s(value) FROM vals", aggNames[agg])
+			resp, err := client.Get(ts.URL + "/subscribe?sql=" + url.QueryEscape(stmt))
+			if err != nil {
+				t.Errorf("subscribe: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("subscribe status %d", resp.StatusCode)
+				return
+			}
+			r := NewSSEReader(resp.Body)
+			env := stressEnvelope(agg, keys)
+			for {
+				ev, err := r.Next()
+				if err != nil {
+					return // stream ended (drain)
+				}
+				if ev.Name != "update" {
+					continue
+				}
+				var u WireUpdate
+				if err := json.Unmarshal(ev.Data, &u); err != nil {
+					t.Errorf("bad update payload: %v", err)
+					return
+				}
+				if u.Answer.Interval().Intersect(env).IsEmpty() {
+					t.Errorf("%s subscription answer %v misses envelope %v", aggNames[agg], u.Answer, env)
+					return
+				}
+			}
+		}(aggs[si%len(aggs)])
+	}
+
+	// Query clients: mixed precision constraints; every answer must
+	// intersect the achievable envelope. Distinct X-Trapp-Client keys
+	// exercise the per-client ledger map alongside the query path.
+	var clients sync.WaitGroup
+	for cl := 0; cl < 6; cl++ {
+		clients.Add(1)
+		go func(id int, seed int64) {
+			defer clients.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				agg := aggs[rng.Intn(len(aggs))]
+				within := math.Inf(1)
+				sql := fmt.Sprintf("SELECT %s(value) FROM vals", aggNames[agg])
+				if rng.Intn(2) == 0 {
+					within = []float64{10, 40, 160}[rng.Intn(3)]
+					sql = fmt.Sprintf("SELECT %s(value) WITHIN %g FROM vals", aggNames[agg], within)
+				}
+				body, _ := json.Marshal(QueryRequest{SQL: sql})
+				req, _ := http.NewRequest("POST", ts.URL+"/query", bytes.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Trapp-Client", fmt.Sprintf("hot-client-%d", id))
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				var qr QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("decode: %v", err)
+					return
+				}
+				if resp.StatusCode != 200 && resp.StatusCode != 206 {
+					t.Errorf("status %d: %+v", resp.StatusCode, qr.Error)
+					return
+				}
+				if len(qr.Results) != 1 || qr.Results[0].Error != nil {
+					t.Errorf("results %+v", qr.Results)
+					return
+				}
+				ans := qr.Results[0].Answer.Interval()
+				env := stressEnvelope(agg, keys)
+				if ans.IsEmpty() || ans.Intersect(env).IsEmpty() {
+					t.Errorf("answer %v misses achievable envelope %v (%s)", ans, env, sql)
+					return
+				}
+				if qr.Results[0].Met && !math.IsInf(within, 1) && ans.Width() > within+1e-6 {
+					t.Errorf("Met but width %g > R=%g", ans.Width(), within)
+					return
+				}
+			}
+		}(cl, int64(cl)+300)
+	}
+
+	clients.Wait()
+	updaters.Wait()
+
+	// Quiescent soundness after the skewed churn: a precise SUM over the
+	// wire equals the sources' current exact values.
+	status, qr := postQuery(t, ts.URL, QueryRequest{SQL: "SELECT SUM(value) FROM vals", Mode: "precise"})
+	if status != 200 || len(qr.Results) != 1 {
+		t.Fatalf("precise status %d (%+v)", status, qr.Error)
+	}
+	got := qr.Results[0].Answer.Interval()
+	want := trueSum(t, sys, keys)
+	if got.Width() > 1e-9 || math.Abs(got.Lo-want) > 1e-6 {
+		t.Errorf("quiescent precise SUM %v, want exactly %g", got, want)
+	}
+
+	// Drain and verify zero leaked goroutines.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	subscribers.Wait()
+	ts.Close()
+	client.CloseIdleConnections()
+	sys.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseGoroutines+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak after drain: %d now vs %d at start\n%s",
+				runtime.NumGoroutine(), baseGoroutines, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

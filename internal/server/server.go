@@ -41,7 +41,8 @@ type Config struct {
 	// MaxClients caps the number of distinct client ledgers kept when
 	// ClientBudget is active (the client key is untrusted input, so
 	// the map must not grow without bound). Past the cap, unseen
-	// clients share one overflow ledger. 0 means DefaultMaxClients.
+	// clients share a fixed array of hashed overflow ledgers. 0 means
+	// DefaultMaxClients.
 	MaxClients int
 	// Info is an arbitrary workload descriptor published by /healthz and
 	// /metrics (trappserver records links/sources/seed here so
@@ -84,7 +85,30 @@ type Server struct {
 	errorsByCode  sync.Map // code string → *atomic.Int64
 	clientLedgers sync.Map // client key → *ledger
 	clientCount   atomic.Int64
-	overflow      ledger // shared by clients past MaxClients
+	// overflow holds the ledgers shared by clients past MaxClients,
+	// hashed by client key. A single shared ledger serializes every
+	// overflow request on one mutex — and, worse, pools their budgets —
+	// so overflow traffic is spread over a fixed array of ledgers:
+	// memory stays bounded no matter how many keys an adversary mints,
+	// while honest clients that land past the cap contend (and share a
+	// budget) only with the ~1/overflowShards of overflow keys hashing
+	// to the same slot.
+	overflow [overflowShards]ledger
+}
+
+// overflowShards is the size of the shared overflow-ledger array; a
+// power of two, sized so that overflow contention is negligible next to
+// the query work itself.
+const overflowShards = 64
+
+// fnv32a is FNV-1a over the client key, used to pick an overflow slot.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
 // DefaultMaxClients bounds the per-client ledger map when Config leaves
@@ -228,9 +252,9 @@ func clientKey(r *http.Request) string {
 
 // ledgerFor returns the client's spend ledger, creating it on first
 // use. The map is bounded: once MaxClients distinct keys exist, unseen
-// clients share the overflow ledger instead of allocating (the key is
-// client-controlled, so an adversary must not be able to grow the map
-// without bound).
+// clients share a hashed overflow ledger instead of allocating (the key
+// is client-controlled, so an adversary must not be able to grow the
+// map without bound).
 func (s *Server) ledgerFor(key string) *ledger {
 	if v, ok := s.clientLedgers.Load(key); ok {
 		return v.(*ledger)
@@ -240,7 +264,7 @@ func (s *Server) ledgerFor(key string) *ledger {
 		max = DefaultMaxClients
 	}
 	if s.clientCount.Load() >= int64(max) {
-		return &s.overflow
+		return &s.overflow[fnv32a(key)%overflowShards]
 	}
 	v, loaded := s.clientLedgers.LoadOrStore(key, &ledger{})
 	if !loaded {

@@ -16,6 +16,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -350,21 +351,50 @@ func TestClientLedgerMapIsBounded(t *testing.T) {
 	}
 
 	// Client A takes the one ledger slot and spends from it; B and C
-	// arrive past the cap and share the overflow ledger — C observes
-	// B's spend, proving no per-key allocation happened for them. The
-	// clock advances between requests so each precise query finds
-	// regrown bounds to pay for.
+	// arrive past the cap and land in the hashed overflow array without
+	// allocating. Pick B and C so they collide on one overflow slot —
+	// then C observes B's spend, proving they share a ledger rather
+	// than getting per-key state. The clock advances between requests
+	// so each precise query finds regrown bounds to pay for.
+	keyB := "ovf-0"
+	keyC := ""
+	for i := 1; keyC == ""; i++ {
+		k := fmt.Sprintf("ovf-%d", i)
+		if fnv32a(k)%overflowShards == fnv32a(keyB)%overflowShards {
+			keyC = k
+		}
+	}
 	remaining("A")
 	sys.Clock.Advance(50)
-	afterB := remaining("B")
+	afterB := remaining(keyB)
 	sys.Clock.Advance(50)
-	afterC := remaining("C")
+	afterC := remaining(keyC)
 	if afterC > afterB+1e-9 {
-		t.Errorf("overflow clients do not share a ledger: B left %g, C then saw %g", afterB, afterC)
+		t.Errorf("colliding overflow clients do not share a ledger: %s left %g, %s then saw %g",
+			keyB, afterB, keyC, afterC)
 	}
 	if afterB >= 100 {
-		t.Errorf("client B spent nothing (remaining %g) — precise query should cost", afterB)
+		t.Errorf("client %s spent nothing (remaining %g) — precise query should cost", keyB, afterB)
 	}
+}
+
+// BenchmarkOverflowLedger hammers ledgerFor+reserve/refund with distinct
+// client keys past the MaxClients cap — the admission path every request
+// from an unseen client takes on a saturated server. Before the overflow
+// array, all of them serialized on a single ledger mutex.
+func BenchmarkOverflowLedger(b *testing.B) {
+	s := &Server{cfg: Config{ClientBudget: 1e18, MaxClients: 1}}
+	s.ledgerFor("pinned") // take the one real slot
+	b.SetParallelism(32)
+	var ctr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		key := fmt.Sprintf("client-%d", ctr.Add(1))
+		for pb.Next() {
+			led := s.ledgerFor(key)
+			_, reserved := led.reserve(1e18, nil)
+			led.refund(reserved, 1)
+		}
+	})
 }
 
 func TestSubscribeSSE(t *testing.T) {

@@ -30,6 +30,7 @@ import (
 
 	"trapp/internal/query"
 	"trapp/internal/relation"
+	"trapp/internal/workload"
 )
 
 // fuzzCatalog is the fixed schema fuzz inputs parse against: bounded
@@ -46,6 +47,22 @@ var fuzzCatalog = MapCatalog{
 		relation.Column{Name: "latency", Kind: relation.Bounded},
 	),
 }
+
+// The -scale harness generates SQL against multi-tenant tables
+// (tenant_0, tenant_1, …) with the shared scale schema; register the
+// ones its corpus sample references so those shapes parse instead of
+// failing on table resolution.
+func init() {
+	for t := 0; t < 4; t++ {
+		fuzzCatalog[workload.TenantName(t)] = workload.ScaleSchema()
+	}
+}
+
+// scaleCorpus is the deterministic sample of generated -scale SQL
+// shapes (underscored tenant names, tight and relative WITHIN, GROUP BY
+// over the exact region column) seeded alongside the hand-written
+// corpus.
+var scaleCorpus = workload.ScaleCorpus()
 
 // corpus seeds cover every production of the grammar plus error shapes.
 var corpus = []string{
@@ -189,6 +206,9 @@ func FuzzParseAll(f *testing.F) {
 	for _, s := range corpus {
 		f.Add(s)
 	}
+	for _, s := range scaleCorpus {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		qs, err := ParseAll(src, fuzzCatalog)
 		checkParseInvariants(t, src, qs, err)
@@ -197,6 +217,9 @@ func FuzzParseAll(f *testing.F) {
 
 func FuzzParseQuery(f *testing.F) {
 	for _, s := range corpus {
+		f.Add(s)
+	}
+	for _, s := range scaleCorpus {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
@@ -213,7 +236,7 @@ func FuzzParseQuery(f *testing.F) {
 // plain `go test` run, so the corpus invariants hold even where -fuzz
 // is unavailable.
 func TestCorpusSeeds(t *testing.T) {
-	for _, src := range corpus {
+	for _, src := range append(append([]string{}, corpus...), scaleCorpus...) {
 		qs, err := ParseAll(src, fuzzCatalog)
 		checkParseInvariants(t, src, qs, err)
 		q, err := Parse(src, fuzzCatalog)

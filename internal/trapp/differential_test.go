@@ -27,6 +27,7 @@ import (
 	"trapp/internal/refresh"
 	"trapp/internal/relation"
 	"trapp/internal/source"
+	"trapp/internal/workload"
 )
 
 // diffSystem is one side of the differential pair.
@@ -108,12 +109,40 @@ func diffQuery(rng *rand.Rand) query.Query {
 }
 
 func TestDifferentialShardedVsFlat(t *testing.T) {
+	runDifferentialShardedVsFlat(t, 20260730, func(rng *rand.Rand, n int) int {
+		return rng.Intn(n)
+	})
+}
+
+// TestDifferentialShardedVsFlatZipf is the same differential replay with
+// keys sampled Zipfian instead of uniformly — the -scale harness's skew,
+// so pushes, deletes, and Oracle refreshes hammer a few hot keys (and
+// therefore a few hot shards) while queries still cover the whole table.
+// Divergence that only shows when one shard's state churns far faster
+// than the others (dirty-key bookkeeping, plan ties broken by refresh
+// recency) is invisible to the uniform test.
+func TestDifferentialShardedVsFlatZipf(t *testing.T) {
+	zipfs := map[int]*workload.Zipf{} // per live-set size, built on demand
+	runDifferentialShardedVsFlat(t, 20260808, func(rng *rand.Rand, n int) int {
+		z, ok := zipfs[n]
+		if !ok {
+			z = workload.MustZipf(n, 1.3)
+			zipfs[n] = z
+		}
+		return z.Rank(rng)
+	})
+}
+
+// runDifferentialShardedVsFlat replays the randomized workload against
+// the flat and sharded layouts; pick selects the index of the key an
+// operation targets from the live set (uniform or skewed).
+func runDifferentialShardedVsFlat(t *testing.T, seed int64, pick func(*rand.Rand, int) int) {
 	ref := newDiffSystem(t, 1)                     // flat reference
 	sh := newDiffSystem(t, relation.DefaultShards) // sharded store
 	if got := sh.c.Store().NumShards(); got <= 1 {
 		t.Fatalf("sharded side has %d shards", got)
 	}
-	rng := rand.New(rand.NewSource(20260730))
+	rng := rand.New(rand.NewSource(seed))
 	nextKey := int64(9000)
 	live := sh.c.Keys()
 
@@ -256,7 +285,7 @@ func TestDifferentialShardedVsFlat(t *testing.T) {
 			if len(live) == 0 {
 				continue
 			}
-			key := live[rng.Intn(len(live))]
+			key := live[pick(rng, len(live))]
 			v := 100 + float64(key%97) + (rng.Float64()*2-1)*12
 			si := int(key/1000) % diffSources
 			if err := ref.srcs[si].SetValue(key, []float64{v}); err != nil {
@@ -269,7 +298,7 @@ func TestDifferentialShardedVsFlat(t *testing.T) {
 			ref.sys.Clock.Advance(1)
 			sh.sys.Clock.Advance(1)
 		case op == 4 && len(live) > 40: // propagated delete
-			i := rng.Intn(len(live))
+			i := pick(rng, len(live))
 			key := live[i]
 			if !ref.c.Drop(key) || !sh.c.Drop(key) {
 				t.Fatalf("step %d: drop %d failed", step, key)
@@ -285,7 +314,7 @@ func TestDifferentialShardedVsFlat(t *testing.T) {
 			if len(live) == 0 {
 				continue
 			}
-			key := live[rng.Intn(len(live))]
+			key := live[pick(rng, len(live))]
 			_, ok1 := ref.c.Master(key)
 			_, ok2 := sh.c.Master(key)
 			if ok1 != ok2 {

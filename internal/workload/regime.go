@@ -1,0 +1,99 @@
+package workload
+
+import "fmt"
+
+// Regime is one phase of an adversarial workload: for Ticks logical
+// clock ticks, queries pick their target tenant with skew QueryS,
+// updates pick their target object with skew UpdateS, and the hot end
+// of both distributions is rotated by HotOffset ranks (drift). UpdateRate
+// scales how many source pushes land per tick relative to the harness
+// baseline (burst).
+type Regime struct {
+	// Name labels the phase in reports ("warm", "hot-burst", ...).
+	Name string
+	// Ticks is the phase length on the logical clock; must be > 0.
+	Ticks int64
+	// QueryS is the Zipf exponent for query key/tenant selection.
+	QueryS float64
+	// UpdateS is the Zipf exponent for update key selection.
+	UpdateS float64
+	// UpdateRate multiplies the baseline pushes-per-tick (1.0 = baseline).
+	UpdateRate float64
+	// HotOffset rotates the popularity ranking: rank r maps to object
+	// (r + HotOffset) mod n, shifting which keys are hot without
+	// changing the distribution's shape.
+	HotOffset int
+}
+
+// Schedule is an ordered sequence of regimes laid end to end on the
+// logical clock starting at tick 0. Regime i occupies ticks
+// [sum(Ticks[:i]), sum(Ticks[:i+1])): boundaries land on exact ticks,
+// which the generator tests pin down so a regime switch is observable
+// on the tick it is scheduled for, not one later.
+type Schedule struct {
+	regimes []Regime
+	starts  []int64 // starts[i] = first tick of regime i
+	total   int64
+}
+
+// NewSchedule validates and lays out the regimes.
+func NewSchedule(regimes []Regime) (*Schedule, error) {
+	if len(regimes) == 0 {
+		return nil, fmt.Errorf("workload: schedule needs at least one regime")
+	}
+	s := &Schedule{regimes: regimes, starts: make([]int64, len(regimes))}
+	for i, r := range regimes {
+		if r.Ticks <= 0 {
+			return nil, fmt.Errorf("workload: regime %q has non-positive ticks %d", r.Name, r.Ticks)
+		}
+		if r.UpdateRate < 0 {
+			return nil, fmt.Errorf("workload: regime %q has negative update rate", r.Name)
+		}
+		s.starts[i] = s.total
+		s.total += r.Ticks
+	}
+	return s, nil
+}
+
+// Regimes returns the laid-out regimes in order.
+func (s *Schedule) Regimes() []Regime { return s.regimes }
+
+// TotalTicks is the schedule length; ticks at or past it clamp to the
+// last regime.
+func (s *Schedule) TotalTicks() int64 { return s.total }
+
+// Start returns the first tick of regime i.
+func (s *Schedule) Start(i int) int64 { return s.starts[i] }
+
+// Index returns which regime owns the given tick. Ticks before 0 clamp
+// to the first regime, ticks past the end to the last.
+func (s *Schedule) Index(tick int64) int {
+	for i := len(s.starts) - 1; i > 0; i-- {
+		if tick >= s.starts[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// At returns the regime owning the given tick.
+func (s *Schedule) At(tick int64) Regime { return s.regimes[s.Index(tick)] }
+
+// DefaultSchedule is the harness's standard four-phase adversarial
+// sweep: a uniform warm phase, a steady Zipfian phase, a hot burst
+// (sharper skew, 8× update rate), then a drift phase that rotates the
+// hot set halfway around the keyspace while the burst cools off. Each
+// phase runs ticksPerPhase ticks; queryS/updateS set the steady-phase
+// skews, with the burst phase sharpened beyond them.
+func DefaultSchedule(ticksPerPhase int64, queryS, updateS float64, objects int) *Schedule {
+	s, err := NewSchedule([]Regime{
+		{Name: "warm", Ticks: ticksPerPhase, QueryS: 0, UpdateS: 0, UpdateRate: 1},
+		{Name: "zipf-steady", Ticks: ticksPerPhase, QueryS: queryS, UpdateS: updateS, UpdateRate: 1},
+		{Name: "hot-burst", Ticks: ticksPerPhase, QueryS: queryS + 0.3, UpdateS: updateS + 0.3, UpdateRate: 8},
+		{Name: "drift", Ticks: ticksPerPhase, QueryS: queryS, UpdateS: updateS, UpdateRate: 2, HotOffset: objects / 2},
+	})
+	if err != nil {
+		panic(err) // static parameters; cannot fail for ticksPerPhase > 0
+	}
+	return s
+}

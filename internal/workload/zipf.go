@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with P(rank k) ∝ 1/(k+1)^s. Unlike
+// math/rand's Zipf it accepts any skew s ≥ 0 — s = 0 is the uniform
+// distribution, s ≈ 1 is classic web/object popularity, s > 1 puts most
+// of the mass on a handful of hot ranks — which matters because the
+// adversarial harness sweeps the skew across exactly that boundary.
+// Sampling is by binary search over the precomputed CDF: O(n) setup,
+// O(log n) per draw, deterministic for a fixed rng stream.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: zipf needs n >= 1, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("workload: zipf skew must be finite and >= 0, got %g", s)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding leaving the tail unreachable
+	return &Zipf{cdf: cdf}, nil
+}
+
+// MustZipf is NewZipf for static parameters known to be valid.
+func MustZipf(n int, s float64) *Zipf {
+	z, err := NewZipf(n, s)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Rank draws a rank in [0, n) using the given rng. Rank 0 is the most
+// popular.
+func (z *Zipf) Rank(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// P returns the probability of drawing the given rank (for tests and
+// sizing, not the sampling hot path).
+func (z *Zipf) P(rank int) float64 {
+	if rank < 0 || rank >= len(z.cdf) {
+		return 0
+	}
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}
+
+// SplitByRank partitions a total count over n ranks proportionally to
+// the Zipf mass, guaranteeing each rank at least min and the parts
+// summing exactly to total (assuming total >= n*min). The harness uses
+// it to size multi-tenant tables: tenant 0 is the megatenant, the tail
+// tenants stay small but non-empty.
+func (z *Zipf) SplitByRank(total, min int) []int {
+	n := len(z.cdf)
+	parts := make([]int, n)
+	rem := total - n*min
+	if rem < 0 {
+		rem = 0
+	}
+	assigned := 0
+	for k := 0; k < n; k++ {
+		p := int(math.Floor(z.P(k) * float64(rem)))
+		parts[k] = min + p
+		assigned += p
+	}
+	// Leftover from flooring goes to the hottest ranks, one unit each.
+	for i := 0; assigned < rem; i = (i + 1) % n {
+		parts[i]++
+		assigned++
+	}
+	return parts
+}
