@@ -5,6 +5,9 @@
 //
 //	benchdiff [-threshold 0.15] [-gate qps,p99_ns] [-strict] baseline.json fresh.json
 //
+// Output is a per-metric delta table (metric, baseline, current,
+// %change, verdict), one row per gated comparison.
+//
 // Both files are walked recursively; every numeric leaf whose key is in
 // the gate set and that exists at the same path in both files is
 // compared. Direction is inferred from the metric name: qps and
@@ -19,9 +22,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
+	"text/tabwriter"
 )
 
 // higherBetter lists the gate metrics that regress by dropping; every
@@ -147,32 +152,38 @@ func main() {
 	os.Exit(2)
 }
 
-// run prints the comparison and returns the process exit code.
-func run(base, fresh map[string]float64, gates map[string]bool, threshold float64, strict bool, w *os.File) int {
+// run prints the comparison as a per-metric delta table and returns the
+// process exit code. CHANGE is the raw value change (current vs
+// baseline); VERDICT applies the metric's regression direction, so a
+// +30% latency rise and a −30% QPS drop both read FAIL.
+func run(base, fresh map[string]float64, gates map[string]bool, threshold float64, strict bool, w io.Writer) int {
 	findings := compare(base, fresh, gates)
 	if len(findings) == 0 {
 		fmt.Fprintln(w, "benchdiff: no gated metrics in baseline")
 		return 0
 	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "METRIC\tBASELINE\tCURRENT\tCHANGE\tVERDICT")
 	failed := 0
 	for _, f := range findings {
 		switch {
 		case f.missing:
-			verdict := "WARN missing"
+			verdict := "warn (missing)"
 			if strict {
-				verdict = "FAIL missing"
+				verdict = "FAIL (missing)"
 				failed++
 			}
-			fmt.Fprintf(w, "%-60s baseline %.6g  %s\n", f.path, f.base, verdict)
+			fmt.Fprintf(tw, "%s\t%.6g\t-\t-\t%s\n", f.path, f.base, verdict)
 		case f.regression > threshold:
 			failed++
-			fmt.Fprintf(w, "%-60s baseline %.6g  fresh %.6g  %+.1f%%  FAIL (>±%.0f%%)\n",
-				f.path, f.base, f.cur, -100*f.regression, 100*threshold)
+			fmt.Fprintf(tw, "%s\t%.6g\t%.6g\t%+.1f%%\tFAIL (regressed >%.0f%%)\n",
+				f.path, f.base, f.cur, 100*(f.cur-f.base)/f.base, 100*threshold)
 		default:
-			fmt.Fprintf(w, "%-60s baseline %.6g  fresh %.6g  %+.1f%%  ok\n",
-				f.path, f.base, f.cur, -100*f.regression)
+			fmt.Fprintf(tw, "%s\t%.6g\t%.6g\t%+.1f%%\tok\n",
+				f.path, f.base, f.cur, 100*(f.cur-f.base)/f.base)
 		}
 	}
+	tw.Flush()
 	if failed > 0 {
 		fmt.Fprintf(w, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", failed, 100*threshold)
 		return 1

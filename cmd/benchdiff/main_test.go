@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -96,6 +97,38 @@ func TestZeroBaselineSkipped(t *testing.T) {
 	fresh := flat(t, `{"qps":0}`)
 	if fs := compare(base, fresh, defaultGates); len(fs) != 0 {
 		t.Fatalf("zero baseline should not be gated: %+v", fs)
+	}
+}
+
+func TestRunPrintsDeltaTable(t *testing.T) {
+	base := flat(t, `{"qps":100,"p99_ns":1000,"gone":{"qps":5}}`)
+	fresh := flat(t, `{"qps":50,"p99_ns":1010}`) // qps −50%: FAIL; p99 +1%: ok
+	var b strings.Builder
+	code := run(base, fresh, defaultGates, 0.15, false, &b)
+	out := b.String()
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\n%s", code, out)
+	}
+	var header, failRow, okRow, missingRow bool
+	for _, line := range strings.Split(out, "\n") {
+		cols := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, "METRIC"):
+			header = len(cols) == 5 && cols[1] == "BASELINE" && cols[2] == "CURRENT" && cols[3] == "CHANGE" && cols[4] == "VERDICT"
+		case strings.HasPrefix(line, "qps"):
+			failRow = len(cols) >= 5 && cols[1] == "100" && cols[2] == "50" && cols[3] == "-50.0%" && strings.Contains(line, "FAIL")
+		case strings.HasPrefix(line, "p99_ns"):
+			okRow = len(cols) >= 5 && cols[1] == "1000" && cols[2] == "1010" && cols[3] == "+1.0%" && cols[4] == "ok"
+		case strings.HasPrefix(line, "gone.qps"):
+			missingRow = strings.Contains(line, "warn (missing)")
+		}
+	}
+	if !header || !failRow || !okRow || !missingRow {
+		t.Errorf("table missing rows (header=%v fail=%v ok=%v missing=%v):\n%s",
+			header, failRow, okRow, missingRow, out)
+	}
+	if !strings.Contains(out, "1 metric(s) regressed") {
+		t.Errorf("missing summary line:\n%s", out)
 	}
 }
 

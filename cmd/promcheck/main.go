@@ -1,0 +1,52 @@
+// Command promcheck validates a Prometheus text-format exposition —
+// the CI gate for trappserver's /metrics.prom. It reads the exposition
+// from stdin, or fetches it when given an http(s) URL argument, and
+// exits non-zero on the first violation: samples without a preceding
+// TYPE declaration, malformed names or labels, histogram families
+// whose buckets are not cumulative or whose +Inf bucket disagrees with
+// _count.
+//
+//	trappserver -addr :7090 &
+//	promcheck http://localhost:7090/metrics.prom
+//	curl -s http://localhost:7090/metrics.prom | promcheck
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"trapp/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if len(os.Args) > 1 {
+		arg := os.Args[1]
+		if !strings.HasPrefix(arg, "http://") && !strings.HasPrefix(arg, "https://") {
+			fmt.Fprintf(os.Stderr, "usage: promcheck [url]   (or pipe the exposition to stdin)\n")
+			os.Exit(2)
+		}
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: fetch %s: %v\n", arg, err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			fmt.Fprintf(os.Stderr, "promcheck: fetch %s: status %d\n", arg, resp.StatusCode)
+			os.Exit(1)
+		}
+		in, src = resp.Body, arg
+	}
+	if err := obs.ValidateProm(in); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: ok\n", src)
+}

@@ -7,8 +7,10 @@
 //	> SELECT AVG(latency) WITHIN 2 FROM links WHERE traffic > 100
 //	answer [7.8, 9.2]  refreshed 12/200 tuples (cost 41)  in 1.2ms
 //
-// Meta commands: .tick N advances the clock and applies N update rounds;
-// .stats prints network counters; .quit exits.
+// EXPLAIN ANALYZE before a SELECT prints the request's span tree (sync,
+// scan, choose, per-source refresh, fold) with per-span wall time and
+// refresh cost. Meta commands: .tick N advances the clock and applies N
+// update rounds; .stats prints network counters; .quit exits.
 //
 // Usage:
 //
@@ -80,6 +82,7 @@ func main() {
 		case line == ".help":
 			fmt.Println("queries:  SELECT <MIN|MAX|SUM|COUNT|AVG>(col) [WITHIN r] FROM links [WHERE pred]")
 			fmt.Println("columns:  latency, bandwidth, traffic (bounded); from, to (exact)")
+			fmt.Println("explain:  EXPLAIN ANALYZE SELECT ... prints the request's span tree")
 			fmt.Println("meta:     .tick N | .stats | .quit")
 		case line == ".stats":
 			st := sys.Stats()
@@ -119,22 +122,27 @@ func tick(sys *trapp.System, src *trapp.Source, net *workload.Network, rounds in
 // select list executes as one batch: a shared scan and a single deduped
 // refresh round across its queries.
 func runQuery(sys *trapp.System, line string) {
-	qs, err := trapp.ParseQueries(line, sys)
+	st, err := trapp.ParseStatement(line, sys)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
+	qs := st.Queries
+	var opts []trapp.ExecOption
+	if st.Explain {
+		opts = append(opts, trapp.WithTrace())
+	}
 	start := time.Now()
 	var results []trapp.Result
 	if len(qs) == 1 {
-		res, err := sys.ExecuteCtx(context.Background(), qs[0])
+		res, err := sys.ExecuteCtx(context.Background(), qs[0], opts...)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
 		results = []trapp.Result{res}
 	} else {
-		results, err = sys.ExecuteBatch(context.Background(), qs)
+		results, err = sys.ExecuteBatch(context.Background(), qs, opts...)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -152,5 +160,25 @@ func runQuery(sys *trapp.System, line string) {
 		if !res.Met {
 			fmt.Println("warning: precision constraint not met")
 		}
+		if st.Explain && res.Trace != nil {
+			printSpan(res.Trace.Snapshot().Root, 1)
+		}
+	}
+}
+
+// printSpan renders one span of an EXPLAIN ANALYZE trace indented by
+// depth: name, wall time, refresh cost charged, detail, then children.
+func printSpan(sp trapp.SpanSnapshot, depth int) {
+	fmt.Printf("%s%s  %s", strings.Repeat("  ", depth), sp.Name,
+		time.Duration(sp.DurationNS).Round(time.Microsecond))
+	if sp.Cost > 0 {
+		fmt.Printf("  cost=%.0f", sp.Cost)
+	}
+	if sp.Detail != "" {
+		fmt.Printf("  %s", sp.Detail)
+	}
+	fmt.Println()
+	for _, c := range sp.Children {
+		printSpan(c, depth+1)
 	}
 }

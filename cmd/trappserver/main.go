@@ -7,10 +7,14 @@
 // `trappbench -scale -remote` drives — and exposes:
 //
 //	POST /query      execute SQL (single or ';'-separated batch); body
-//	                 {"sql": ..., "deadline_ms", "budget", "mode", "solver"}
+//	                 {"sql": ..., "deadline_ms", "budget", "mode",
+//	                 "solver", "trace"}; EXPLAIN ANALYZE SELECT ...
+//	                 attaches the execution trace to the result
 //	GET  /subscribe  server-sent-events stream of a standing query
-//	GET  /metrics    QPS, refresh traffic (incl. per-source), admission
-//	GET  /healthz    liveness + workload descriptor
+//	GET  /metrics    QPS, refresh traffic (incl. per-source), admission,
+//	                 engine phase histograms, precision–cost telemetry
+//	GET  /metrics.prom  the same in Prometheus text format
+//	GET  /healthz    liveness + build info + workload descriptor
 //
 // Admission control: -maxinflight caps concurrent queries (429 past
 // it), -clientbudget meters each client's cumulative refresh cost
@@ -18,6 +22,9 @@
 // (random-walk pushes + clock ticks); leave it off to serve a static
 // system, which is what `trappbench -remote ... -verify N` requires to
 // check wire answers bit-identical against a local mirror.
+//
+// Observability: -slowquery enables the structured slow-query log on
+// stderr, -pprof mounts /debug/pprof for live profiling.
 //
 // SIGINT/SIGTERM drain gracefully: streams are closed, in-flight
 // requests finish, then the engine shuts down.
@@ -27,6 +34,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -52,6 +60,8 @@ func main() {
 	clientBudget := flag.Float64("clientbudget", 0, "per-client cumulative refresh-cost ceiling (0: unlimited)")
 	drive := flag.Duration("drive", 0, "animate the workload: random-walk pushes + a clock tick every interval (0: static)")
 	latency := flag.Duration("latency", 0, "simulated wire latency per refresh transmission")
+	slowQuery := flag.Duration("slowquery", 0, "log /query requests slower than this (0: disabled)")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof profiling endpoints")
 	flag.Parse()
 
 	var (
@@ -94,6 +104,9 @@ func main() {
 		MaxSubscribers: *maxSubs,
 		ClientBudget:   *clientBudget,
 		Info:           info,
+		SlowQuery:      *slowQuery,
+		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		EnablePprof:    *pprofOn,
 	})
 
 	// The driver animates the sources so subscriptions have something to

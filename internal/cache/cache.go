@@ -42,6 +42,7 @@ import (
 	"trapp/internal/boundfn"
 	"trapp/internal/interval"
 	"trapp/internal/netsim"
+	"trapp/internal/obs"
 	"trapp/internal/parallel"
 	"trapp/internal/relation"
 	"trapp/internal/source"
@@ -114,8 +115,20 @@ type Cache struct {
 	store  *relation.Store
 	shards []cacheShard // aligned with store shards
 
+	// metrics, when set (by the System façade), receives refresh batch
+	// size observations; atomic so the refresh path never locks for it.
+	metrics atomic.Pointer[obs.EngineMetrics]
+
 	wmu     sync.Mutex
 	watched []*source.Source // sources watched for membership events
+}
+
+// SetMetrics points the cache at the engine-wide histogram set; batch
+// sizes of every per-source refresh round are recorded into it.
+func (c *Cache) SetMetrics(m *obs.EngineMetrics) {
+	if m != nil {
+		c.metrics.Store(m)
+	}
 }
 
 // New creates a cache around an empty sharded table with the given schema
@@ -523,28 +536,54 @@ func (c *Cache) MasterBatchCtx(ctx context.Context, keys []int64) (map[int64][]f
 	}
 
 	vals := make(map[int64][]float64, len(keys))
-	// Apply every reply; only refreshes that actually reached the table
-	// are reported back (a reply can lose to a concurrent newer push or
-	// to a mid-flight drop, in which case its value was never installed).
-	applyAndRecord := func(rs []source.Refresh, record func(key int64, v []float64)) {
+	metrics := c.metrics.Load()
+	parent := obs.SpanFromContext(ctx)
+	// runBatch sends one per-source batch and applies every reply; only
+	// refreshes that actually reached the table are reported back (a
+	// reply can lose to a concurrent newer push or to a mid-flight drop,
+	// in which case its value was never installed). When the request is
+	// traced, the batch gets its own child span carrying the keys whose
+	// refresh was installed — the per-source cost attribution.
+	runBatch := func(src *source.Source, ks []int64, record func(key int64, v []float64)) error {
+		if metrics != nil {
+			metrics.RefreshBatch.Observe(uint64(len(ks)))
+		}
+		var sp *obs.Span
+		bctx := ctx
+		if parent != nil {
+			sp = parent.StartSpan("source:" + src.ID())
+			bctx = obs.ContextWithSpan(ctx, sp)
+		}
+		rs, err := src.QueryRefreshBatchCtx(bctx, ks, c)
+		if err != nil {
+			sp.End()
+			return err
+		}
+		var installed []int64
 		for _, r := range rs {
-			installed := c.apply(r)
-			if installed && r.Kind == source.QueryInitiated {
+			if c.apply(r) && r.Kind == source.QueryInitiated {
 				record(r.Key, r.Values)
+				if sp != nil {
+					installed = append(installed, r.Key)
+				}
 			}
 		}
+		if sp != nil {
+			sp.RecordKeys(installed)
+			sp.SetDetail("requested=%d installed=%d", len(ks), len(installed))
+			sp.End()
+		}
+		return nil
 	}
 	if len(bySrc) == 1 {
 		// Single source: no fan-out needed, stay on this goroutine.
 		for src, ks := range bySrc {
-			rs, err := src.QueryRefreshBatchCtx(ctx, ks, c)
-			if err != nil {
+			if err := runBatch(src, ks, func(key int64, v []float64) { vals[key] = v }); err != nil {
 				if parallel.IsContextError(err) {
 					return vals, err
 				}
 				return nil, err
 			}
-			applyAndRecord(rs, func(key int64, v []float64) { vals[key] = v })
 		}
 		return vals, nil
 	}
@@ -553,16 +592,11 @@ func (c *Cache) MasterBatchCtx(ctx context.Context, keys []int64) (map[int64][]f
 	for src, ks := range bySrc {
 		src, ks := src, ks
 		g.Go(func() error {
-			rs, err := src.QueryRefreshBatchCtx(ctx, ks, c)
-			if err != nil {
-				return err
-			}
-			applyAndRecord(rs, func(key int64, v []float64) {
+			return runBatch(src, ks, func(key int64, v []float64) {
 				vmu.Lock()
 				vals[key] = v
 				vmu.Unlock()
 			})
-			return nil
 		})
 	}
 	if err := g.Wait(); err != nil {

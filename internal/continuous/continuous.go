@@ -50,9 +50,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"trapp/internal/cache"
 	"trapp/internal/netsim"
+	"trapp/internal/obs"
 	"trapp/internal/query"
 	"trapp/internal/refresh"
 	"trapp/internal/relation"
@@ -80,6 +82,10 @@ type Config struct {
 	RefreshMargin float64
 	// Options are the CHOOSE_REFRESH options (solver, ε, parallelism).
 	Options refresh.Options
+	// Metrics, when set, receives per-round maintenance and repair
+	// latency observations — the System façade passes the histogram set
+	// shared with the query processor.
+	Metrics *obs.EngineMetrics
 }
 
 // margin returns the configured refresh margin with its default.
@@ -469,6 +475,9 @@ func (e *Engine) processTableLocked(ts *tableState, ds *dirtySet) {
 	if ts == nil || len(ts.views) == 0 {
 		return
 	}
+	if m := e.cfg.Metrics; m != nil {
+		defer func(t0 time.Time) { m.Maintain.ObserveDuration(time.Since(t0)) }(time.Now())
+	}
 	// Delayed insert/delete propagation (§8.3) would leave maintained
 	// non-COUNT answers unsound; flush queued membership events first.
 	if ts.c.CardinalitySlack() > 0 {
@@ -557,6 +566,9 @@ func (e *Engine) processTableLocked(ts *tableState, ds *dirtySet) {
 // shard read locks). No shard lock is held across the oracle fetch.
 // Caller holds e.mu.
 func (e *Engine) repairLocked(ts *tableState, st *relation.Store) {
+	if m := e.cfg.Metrics; m != nil {
+		defer func(t0 time.Time) { m.Repair.ObserveDuration(time.Since(t0)) }(time.Now())
+	}
 	type viewPlan struct {
 		v    *view
 		plan refresh.Plan

@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"trapp/internal/aggregate"
 	"trapp/internal/boundfn"
 	"trapp/internal/netsim"
+	"trapp/internal/obs"
 	"trapp/internal/predicate"
 	"trapp/internal/query"
 	"trapp/internal/refresh"
@@ -72,6 +74,45 @@ type ConcurrentResult struct {
 	// budget ran out before their precision constraint.
 	Budget          float64 `json:"budget,omitempty"`
 	BudgetExhausted int64   `json:"budget_exhausted,omitempty"`
+	// EnginePhases breaks the engine's always-on latency histograms down
+	// by phase over the measurement window (scan, choose, refresh, fold,
+	// plus the whole request). Counts reflect the engine's 1-in-N
+	// fast-path sampling (obs.SampleRate), so they undercount raw query
+	// totals; distributions are unbiased. Quantile fields are named
+	// q50/q99 — they are log-bucket estimates (≤12.5% relative error),
+	// deliberately distinct from the sampled p50_ns/p99_ns the bench
+	// gate compares.
+	EnginePhases map[string]PhaseStats `json:"engine_phases,omitempty"`
+}
+
+// PhaseStats summarizes one engine phase's latency histogram over the
+// measurement window.
+type PhaseStats struct {
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	Q50NS  uint64  `json:"q50_ns"`
+	Q99NS  uint64  `json:"q99_ns"`
+	// Histogram carries the non-empty log buckets for replotting.
+	Histogram obs.HistogramSnapshot `json:"histogram"`
+}
+
+// phaseStats diffs two engine metric snapshots into per-phase stats.
+func phaseStats(before, after obs.MetricsSnapshot) map[string]PhaseStats {
+	out := make(map[string]PhaseStats)
+	for _, key := range []string{"request_ns", "scan_ns", "choose_ns", "refresh_ns", "fold_ns"} {
+		win := after[key].Sub(before[key])
+		if win.Count == 0 {
+			continue
+		}
+		out[strings.TrimSuffix(key, "_ns")] = PhaseStats{
+			Count:     win.Count,
+			MeanNS:    win.Mean(),
+			Q50NS:     win.Quantile(0.50),
+			Q99NS:     win.Quantile(0.99),
+			Histogram: win,
+		}
+	}
+	return out
 }
 
 // BuildLinkSystem builds a System over a generated monitoring network:
@@ -298,6 +339,7 @@ func ConcurrentWarm(clients, updaters, links, srcCount int, seed int64, duration
 		time.Sleep(warmup)
 	}
 	before := sys.Stats()
+	mBefore := sys.Metrics().Snapshot()
 	pushStart := pushes.Load()
 	start := time.Now()
 	measuring.Store(true)
@@ -306,6 +348,7 @@ func ConcurrentWarm(clients, updaters, links, srcCount int, seed int64, duration
 	wg.Wait()
 	elapsed := time.Since(start)
 	pushed := pushes.Load() - pushStart
+	mAfter := sys.Metrics().Snapshot()
 
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
 	pct := func(p float64) time.Duration {
@@ -339,5 +382,6 @@ func ConcurrentWarm(clients, updaters, links, srcCount int, seed int64, duration
 		P99:             pct(0.99),
 		Refreshes:       after.Messages[netsim.QueryRefresh] - before.Messages[netsim.QueryRefresh],
 		RefreshCost:     after.QueryRefreshCost - before.QueryRefreshCost,
+		EnginePhases:    phaseStats(mBefore, mAfter),
 	}, nil
 }

@@ -1,0 +1,82 @@
+package obs
+
+import "sync/atomic"
+
+// SampleRate is the latency-sampling period for the request fast path:
+// the engine takes clock reads (and records the request/scan latency
+// and width-ratio telemetry) for one in every SampleRate cache-answered
+// requests. Cache-answered requests run in about a microsecond, so
+// timing each one costs two clock reads against almost no work — more
+// than the whole observability budget. Uniform 1-in-N sampling leaves
+// every recorded distribution unbiased while shrinking the per-request
+// cost to a single atomic add. Requests that pay refreshes, and traced
+// requests, are always timed in full: they run for microseconds to
+// milliseconds, where clock reads are noise, and they are the ones
+// worth explaining. Must be a power of two.
+const SampleRate = 8
+
+// EngineMetrics is the always-on histogram set shared by the query
+// processor, the caches, and the continuous engine. One instance is
+// allocated per processor and injected everywhere at wiring time; all
+// fields are lock-free histograms, so recording from any number of
+// goroutines is wait-free.
+//
+// Units are chosen so every histogram stores nonnegative integers:
+// latencies in nanoseconds, the width ratio in permille
+// (1000 × achieved width / requested bound; 1000 means the answer
+// exactly met the bound, smaller is tighter), and cost-per-width in
+// milli-cost-units per unit of interval-width reduction
+// (1000 × refresh cost / (initial width − final width)).
+type EngineMetrics struct {
+	// Request path, end to end and per phase.
+	Request Histogram // whole ExecuteConfig call, ns
+	Scan    Histogram // step 1: scan + classify against cached bounds, ns
+	Choose  Histogram // CHOOSE_REFRESH planning, ns
+	Refresh Histogram // per-source refresh fan-out, ns
+	Fold    Histogram // step 3: recompute over refreshed bounds, ns
+
+	// Refresh shape.
+	RefreshBatch Histogram // keys per single-source refresh batch
+
+	// Paper telemetry: what precision did we deliver, at what cost.
+	WidthRatio   Histogram // permille achieved width / requested bound
+	CostPerWidth Histogram // milli cost units per unit width reduction
+
+	// Continuous engine.
+	Repair   Histogram // scheduler repair pass latency, ns
+	Maintain Histogram // per-view incremental maintenance, ns
+
+	sampleCtr atomic.Uint64 // fast-path sampling clock, see Sample
+}
+
+// Sample reports whether the current fast-path request should be timed,
+// true for one in every SampleRate calls. Nil-safe (false on nil).
+func (m *EngineMetrics) Sample() bool {
+	if m == nil {
+		return false
+	}
+	return m.sampleCtr.Add(1)&(SampleRate-1) == 0
+}
+
+// MetricsSnapshot maps metric name → histogram snapshot; the key set is
+// fixed (see EngineMetrics field docs) so exporters can iterate it.
+type MetricsSnapshot map[string]HistogramSnapshot
+
+// Snapshot copies every histogram.
+func (m *EngineMetrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return nil
+	}
+	return MetricsSnapshot{
+		"request_ns":           m.Request.Snapshot(),
+		"scan_ns":              m.Scan.Snapshot(),
+		"choose_ns":            m.Choose.Snapshot(),
+		"refresh_ns":           m.Refresh.Snapshot(),
+		"fold_ns":              m.Fold.Snapshot(),
+		"refresh_batch_keys":   m.RefreshBatch.Snapshot(),
+		"width_ratio_permille": m.WidthRatio.Snapshot(),
+		"cost_per_width_milli": m.CostPerWidth.Snapshot(),
+		"repair_ns":            m.Repair.Snapshot(),
+		"maintain_ns":          m.Maintain.Snapshot(),
+	}
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter assembles a Prometheus text-exposition (version 0.0.4)
+// payload by hand — the service layer stays dependency-free. Families
+// must be written one at a time: Counter/Gauge/Histo emit the # HELP
+// and # TYPE header on a family's first sample.
+type PromWriter struct {
+	b        strings.Builder
+	declared map[string]bool
+}
+
+// NewPromWriter returns an empty writer.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{declared: make(map[string]bool)}
+}
+
+func (w *PromWriter) header(name, help, typ string) {
+	if w.declared[name] {
+		return
+	}
+	w.declared[name] = true
+	fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promFloat formats a sample value; Prometheus accepts Go's 'g' format
+// plus +Inf/-Inf/NaN spellings.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders a label set as {k="v",...} with keys sorted, or
+// "" when empty. Values are escaped per the exposition format.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(labels[k])
+		fmt.Fprintf(&b, "%s=%q", k, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter writes one counter sample.
+func (w *PromWriter) Counter(name, help string, labels map[string]string, v float64) {
+	w.header(name, help, "counter")
+	fmt.Fprintf(&w.b, "%s%s %s\n", name, labelString(labels), promFloat(v))
+}
+
+// Gauge writes one gauge sample.
+func (w *PromWriter) Gauge(name, help string, labels map[string]string, v float64) {
+	w.header(name, help, "gauge")
+	fmt.Fprintf(&w.b, "%s%s %s\n", name, labelString(labels), promFloat(v))
+}
+
+// Histo writes a HistogramSnapshot as a Prometheus histogram: one
+// cumulative _bucket series per non-empty bucket (le = the bucket's
+// exclusive upper bound, scaled by 1/scale) plus le="+Inf", _sum, and
+// _count. Latency histograms pass scale=1e9 to export seconds.
+func (w *PromWriter) Histo(name, help string, labels map[string]string, s HistogramSnapshot, scale float64) {
+	w.header(name, help, "histogram")
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		ls := make(map[string]string, len(labels)+1)
+		for k, v := range labels {
+			ls[k] = v
+		}
+		ls["le"] = promFloat(float64(b.Hi) / scale)
+		fmt.Fprintf(&w.b, "%s_bucket%s %d\n", name, labelString(ls), cum)
+	}
+	ls := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		ls[k] = v
+	}
+	ls["le"] = "+Inf"
+	// Concurrent snapshots may have Count ahead of the bucket sum;
+	// +Inf must be the largest cumulative value to stay well-formed.
+	if s.Count > cum {
+		cum = s.Count
+	}
+	fmt.Fprintf(&w.b, "%s_bucket%s %d\n", name, labelString(ls), cum)
+	fmt.Fprintf(&w.b, "%s_sum%s %s\n", name, labelString(labels), promFloat(float64(s.Sum)/scale))
+	fmt.Fprintf(&w.b, "%s_count%s %d\n", name, labelString(labels), cum)
+}
+
+// String returns the assembled payload.
+func (w *PromWriter) String() string { return w.b.String() }
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+\S+)?$`)
+	promLabelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// ValidateProm parses a Prometheus text-format payload and returns an
+// error describing the first violation: malformed lines, samples for
+// undeclared families, unparsable values, histogram buckets without an
+// le label, non-cumulative buckets, or histograms whose +Inf bucket
+// disagrees with _count. CI uses this (via cmd/promcheck) to keep
+// /metrics.prom scrapeable.
+func ValidateProm(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	types := make(map[string]string)
+	type histState struct {
+		lastCum  map[string]float64 // label-set (minus le) → last cumulative count
+		infCount map[string]float64
+		count    map[string]float64
+	}
+	hists := make(map[string]*histState)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 3 || !promNameRe.MatchString(fields[2]) {
+					return fmt.Errorf("line %d: malformed %s comment: %q", lineNo, fields[1], line)
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return fmt.Errorf("line %d: TYPE comment missing type: %q", lineNo, line)
+					}
+					types[fields[2]] = fields[3]
+				}
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name, labelBody, valStr := m[1], m[3], m[4]
+		val, err := parsePromValue(valStr)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		labels, err := parsePromLabels(labelBody)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		family := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		if suffix == "" {
+			return fmt.Errorf("line %d: histogram family %q sample must end in _bucket/_sum/_count", lineNo, family)
+		}
+		h := hists[family]
+		if h == nil {
+			h = &histState{lastCum: map[string]float64{}, infCount: map[string]float64{}, count: map[string]float64{}}
+			hists[family] = h
+		}
+		le, hasLe := labels["le"]
+		delete(labels, "le")
+		series := labelString(labels)
+		switch suffix {
+		case "_bucket":
+			if !hasLe {
+				return fmt.Errorf("line %d: %s_bucket without le label", lineNo, family)
+			}
+			if val < h.lastCum[series] {
+				return fmt.Errorf("line %d: %s bucket counts not cumulative (le=%s: %g < %g)",
+					lineNo, family, le, val, h.lastCum[series])
+			}
+			h.lastCum[series] = val
+			if le == "+Inf" {
+				h.infCount[series] = val
+			}
+		case "_count":
+			h.count[series] = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for family, h := range hists {
+		for series, n := range h.count {
+			inf, ok := h.infCount[series]
+			if !ok {
+				return fmt.Errorf("histogram %s%s: missing le=\"+Inf\" bucket", family, series)
+			}
+			if inf != n {
+				return fmt.Errorf("histogram %s%s: +Inf bucket %g != count %g", family, series, inf, n)
+			}
+		}
+	}
+	return nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parsePromLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	body = strings.TrimSuffix(strings.TrimSpace(body), ",")
+	if body == "" {
+		return labels, nil
+	}
+	// Split on commas outside quotes.
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, body[start:])
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		m := promLabelRe.FindStringSubmatch(p)
+		if m == nil {
+			return nil, fmt.Errorf("malformed label %q", p)
+		}
+		labels[m[1]] = m[2]
+	}
+	return labels, nil
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is the per-request span tree recorded when a query runs with
+// tracing enabled. A Trace owns a Root span covering the whole request;
+// engine phases and per-source refresh batches hang off it as children.
+//
+// Cost attribution is exact by construction: the query processor hands
+// the trace the chosen refresh plan's (key, cost) pairs in plan order
+// via SetPlanCosts, and each per-source span records which of those
+// keys were actually installed. TotalCost replays the engine's own
+// accounting loop — same keys, same order, same float additions — so
+// Trace.TotalCost() equals Result.RefreshCost bit-for-bit.
+type Trace struct {
+	Root *Span
+
+	start time.Time
+
+	mu        sync.Mutex
+	planKeys  []int64
+	planCosts []float64
+}
+
+// NewTrace starts a trace whose Root span begins now.
+func NewTrace(name string) *Trace {
+	t := &Trace{start: time.Now()}
+	t.Root = &Span{trace: t, Name: name, start: t.start}
+	return t
+}
+
+// Finish ends the root span. Nil-safe.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.Root.End()
+}
+
+// SetPlanCosts records the refresh plan's keys and per-key costs in
+// plan order; installed keys reported by spans are charged from this
+// table. Nil-safe.
+func (t *Trace) SetPlanCosts(keys []int64, costs []float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.planKeys = append(t.planKeys[:0], keys...)
+	t.planCosts = append(t.planCosts[:0], costs...)
+	t.mu.Unlock()
+}
+
+// installedSet collects every key recorded as installed by any span.
+func (t *Trace) installedSet() map[int64]bool {
+	set := make(map[int64]bool)
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		s.mu.Lock()
+		for _, k := range s.keys {
+			set[k] = true
+		}
+		children := append([]*Span(nil), s.children...)
+		s.mu.Unlock()
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+	return set
+}
+
+// TotalCost folds the plan's per-key costs over the keys the spans
+// recorded as installed, in plan order — the identical float addition
+// sequence the engine used for Result.RefreshCost. Nil-safe.
+func (t *Trace) TotalCost() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	keys := append([]int64(nil), t.planKeys...)
+	costs := append([]float64(nil), t.planCosts...)
+	t.mu.Unlock()
+	installed := t.installedSet()
+	var total float64
+	for i, k := range keys {
+		if installed[k] {
+			total += costs[i]
+		}
+	}
+	return total
+}
+
+// costTable returns the plan's key→cost map.
+func (t *Trace) costTable() map[int64]float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := make(map[int64]float64, len(t.planKeys))
+	for i, k := range t.planKeys {
+		m[k] = t.planCosts[i]
+	}
+	return m
+}
+
+// Span is one timed region of a traced request. All methods are safe on
+// a nil receiver, so instrumentation points can call unconditionally:
+// with tracing off every hook is a nil check.
+type Span struct {
+	Name   string
+	Detail string
+
+	trace *Trace
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	keys     []int64
+	children []*Span
+}
+
+// StartSpan opens a child span named name under s. Returns nil when s
+// is nil.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{trace: s.trace, Name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its duration. Idempotent; nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = d
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetDetail attaches a human-readable annotation (plan description,
+// source id, key count). Nil-safe.
+func (s *Span) SetDetail(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	d := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	s.Detail = d
+	s.mu.Unlock()
+}
+
+// RecordKeys marks keys as installed by this span; their plan costs are
+// charged to it. Nil-safe.
+func (s *Span) RecordKeys(keys []int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.keys = append(s.keys, keys...)
+	s.mu.Unlock()
+}
+
+// spanKey is the context key for the active refresh span.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span for
+// downstream instrumentation points.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the active span, or nil when the request is
+// not being traced.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// SpanSnapshot is the immutable, wire-ready form of a span. StartNS is
+// the offset from the trace root's start.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	Detail     string         `json:"detail,omitempty"`
+	StartNS    int64          `json:"start_ns"`
+	DurationNS int64          `json:"duration_ns"`
+	Keys       []int64        `json:"keys,omitempty"`
+	Cost       float64        `json:"cost,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// TraceSnapshot is the immutable, wire-ready form of a trace. TotalCost
+// is Trace.TotalCost() at snapshot time and, for a completed request,
+// equals the result's RefreshCost bit-exactly.
+type TraceSnapshot struct {
+	Root      SpanSnapshot `json:"root"`
+	TotalCost float64      `json:"total_cost"`
+}
+
+// Snapshot freezes the trace into a serializable value. Sibling spans
+// are ordered by start offset, breaking ties by name, so sequential
+// phases render in execution order. Returns the zero value on nil.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil || t.Root == nil {
+		return TraceSnapshot{}
+	}
+	return TraceSnapshot{Root: t.snapshotSpan(t.Root, t.costTable()), TotalCost: t.TotalCost()}
+}
+
+func (t *Trace) snapshotSpan(s *Span, costs map[int64]float64) SpanSnapshot {
+	s.mu.Lock()
+	out := SpanSnapshot{
+		Name:       s.Name,
+		Detail:     s.Detail,
+		StartNS:    s.start.Sub(t.start).Nanoseconds(),
+		DurationNS: s.dur.Nanoseconds(),
+	}
+	if len(s.keys) > 0 {
+		out.Keys = append([]int64(nil), s.keys...)
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	sort.Slice(out.Keys, func(i, j int) bool { return out.Keys[i] < out.Keys[j] })
+	for _, k := range out.Keys {
+		out.Cost += costs[k]
+	}
+	for _, c := range children {
+		out.Children = append(out.Children, t.snapshotSpan(c, costs))
+	}
+	sort.Slice(out.Children, func(i, j int) bool {
+		a, b := out.Children[i], out.Children[j]
+		if a.StartNS != b.StartNS {
+			return a.StartNS < b.StartNS
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// String renders the trace as an indented tree — the EXPLAIN ANALYZE
+// output format.
+func (t TraceSnapshot) String() string {
+	var b strings.Builder
+	var walk func(s SpanSnapshot, depth int)
+	walk = func(s SpanSnapshot, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s  %.3fms", s.Name, float64(s.DurationNS)/1e6)
+		if s.Cost > 0 {
+			fmt.Fprintf(&b, "  cost=%g", s.Cost)
+		}
+		if len(s.Keys) > 0 {
+			fmt.Fprintf(&b, "  keys=%d", len(s.Keys))
+		}
+		if s.Detail != "" {
+			fmt.Fprintf(&b, "  (%s)", s.Detail)
+		}
+		b.WriteByte('\n')
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	fmt.Fprintf(&b, "total refresh cost: %g\n", t.TotalCost)
+	return b.String()
+}

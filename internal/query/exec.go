@@ -20,6 +20,7 @@ import (
 	"math"
 	"time"
 
+	"trapp/internal/obs"
 	"trapp/internal/refresh"
 )
 
@@ -70,6 +71,14 @@ type ExecConfig struct {
 	HasSolver bool
 	// Mode positions the request on the precision-performance dial.
 	Mode Mode
+	// Trace enables per-request span tracing; the span tree is returned
+	// on Result.Trace.
+	Trace bool
+	// TraceRoot, when set (by the System façade), is the pre-created
+	// trace the execution should record into — it lets callers wrap
+	// phases that happen before the processor runs (the cache sync) in
+	// the same tree. Implies Trace.
+	TraceRoot *obs.Trace
 }
 
 // ExecOption customizes one request.
@@ -114,6 +123,17 @@ func WithSolver(s refresh.Solver) ExecOption {
 // subsuming the deprecated PreciseMode/ImpreciseMode entry points.
 func WithMode(m Mode) ExecOption {
 	return func(c *ExecConfig) { c.Mode = m }
+}
+
+// WithTrace records a span tree through the request's phases — scan,
+// CHOOSE_REFRESH, the per-source refresh fan-out (wire wait vs commit),
+// and the final fold — each span carrying wall time and the refresh
+// cost it charged. The trace is returned on Result.Trace; its
+// TotalCost() equals the result's RefreshCost bit-exactly. Tracing a
+// request costs a handful of small allocations and clock reads; leave
+// it off on hot paths.
+func WithTrace() ExecOption {
+	return func(c *ExecConfig) { c.Trace = true }
 }
 
 // apply rewrites a query for the configured mode and returns the

@@ -39,6 +39,7 @@ import (
 
 	"trapp/internal/aggregate"
 	"trapp/internal/interval"
+	"trapp/internal/obs"
 	"trapp/internal/parallel"
 	"trapp/internal/predicate"
 	"trapp/internal/refresh"
@@ -153,6 +154,10 @@ type Result struct {
 	// constraint (always true for supported queries unless the answer is
 	// exactly undefined, which counts as met).
 	Met bool
+	// Trace is the span tree recorded when the request ran with
+	// WithTrace; nil otherwise. Trace.TotalCost() equals RefreshCost
+	// bit-exactly.
+	Trace *obs.Trace
 }
 
 // tableEntry is one registered table with its oracle. A registration is
@@ -236,6 +241,7 @@ type Processor struct {
 	mu      sync.RWMutex
 	entries map[string]*tableEntry
 	opts    refresh.Options
+	metrics *obs.EngineMetrics
 }
 
 // NewProcessor returns an empty processor with the given refresh options.
@@ -243,8 +249,14 @@ func NewProcessor(opts refresh.Options) *Processor {
 	return &Processor{
 		entries: make(map[string]*tableEntry),
 		opts:    opts,
+		metrics: &obs.EngineMetrics{},
 	}
 }
+
+// Metrics returns the processor's always-on histogram set. The System
+// façade shares this instance with the caches and the continuous engine
+// so the whole request path records into one place.
+func (p *Processor) Metrics() *obs.EngineMetrics { return p.metrics }
 
 // Register adds a cached table and its refresh oracle. A nil oracle is
 // allowed for tables queried only in imprecise mode. The table gets a
@@ -374,6 +386,28 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 		return Result{}, err
 	}
 
+	// Observability: on the cache-answered fast path a clock read costs
+	// more than the scan it would measure, so request/scan latency and
+	// width-ratio telemetry are recorded for a uniform 1-in-SampleRate
+	// sample of requests (an unbiased estimate of the same
+	// distributions, at the price of one atomic add per request).
+	// Requests that go on to pay refreshes, and traced requests, are
+	// always timed in full.
+	m := p.metrics
+	tr := cfg.TraceRoot
+	if tr == nil && cfg.Trace {
+		tr = obs.NewTrace(q.String())
+	}
+	var root *obs.Span
+	if tr != nil {
+		root = tr.Root
+	}
+	sampled := tr != nil || m.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
+
 	// Step 1: initial bounded answer from cached bounds. The scan holds
 	// read locks, so concurrent queries evaluate in parallel. Over a
 	// sharded store the answer is folded in one streaming pass (pooled
@@ -383,6 +417,8 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 	// reuse the inputs. The (possibly slow) knapsack solve runs with no
 	// lock held.
 	var res Result
+	res.Trace = tr
+	scanSp := root.StartSpan("scan")
 	noPred := predicate.IsTrivial(q.Where)
 	var inputs []aggregate.Input
 	var tableLen int
@@ -392,6 +428,15 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 		inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
 		res.Initial = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
 	}
+	var tScan time.Time
+	if sampled {
+		tScan = time.Now()
+		m.Scan.ObserveDuration(tScan.Sub(t0))
+	}
+	if scanSp != nil {
+		scanSp.SetDetail("rows=%d width=%g", tableLen, res.Initial.Width())
+		scanSp.End()
+	}
 	res.Answer = res.Initial
 	res.Met = Satisfies(res.Answer, q.Within)
 	// A budgeted request with no finite constraint always proceeds to
@@ -399,8 +444,26 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 	// other request is done once the constraint holds from cache alone.
 	budgetDual := cfg.HasBudget && cfg.Mode != ModeImprecise
 	if res.Met && !(budgetDual && math.IsInf(q.Within, 1)) {
+		if sampled {
+			m.Request.ObserveDuration(tScan.Sub(t0))
+			recordTelemetry(m, &res, q)
+		}
+		tr.Finish()
 		return res, nil
 	}
+	// Slow path from here: every refresh-paying request is timed and
+	// counted in the telemetry, whatever its outcome. A request that
+	// skipped the sampled fast-path clocks starts its clock here, at the
+	// plan boundary — undercounting only the ~µs scan against work that
+	// runs for orders of magnitude longer.
+	if !sampled {
+		t0 = time.Now()
+	}
+	defer func() {
+		m.Request.ObserveDuration(time.Since(t0))
+		recordTelemetry(m, &res, q)
+		tr.Finish()
+	}()
 
 	// Plan boundary.
 	if err := ctx.Err(); err != nil {
@@ -414,9 +477,15 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 	if inputs == nil {
 		inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
 	}
+	chooseSp := root.StartSpan("choose")
 	start := time.Now()
 	plan, err := choosePlan(inputs, q, noPred, tableLen, cfg, ropts)
 	res.ChooseTime = time.Since(start)
+	m.Choose.ObserveDuration(res.ChooseTime)
+	if chooseSp != nil {
+		chooseSp.SetDetail("%s", plan.Describe())
+		chooseSp.End()
+	}
 	if err != nil {
 		return res, err
 	}
@@ -429,8 +498,12 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 		if err := ctx.Err(); err != nil {
 			return cutoff(res, q, err)
 		}
+		refreshSp := root.StartSpan("refresh")
+		tRef := time.Now()
 		var hardErr error
-		ctxErr, hardErr = runPlan(ctx, e, plan, &res)
+		ctxErr, hardErr = runPlan(obs.ContextWithSpan(ctx, refreshSp), e, plan, &res, tr)
+		m.Refresh.ObserveDuration(time.Since(tRef))
+		refreshSp.End()
 		if hardErr != nil {
 			return res, hardErr
 		}
@@ -439,11 +512,18 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 		// cache. A cutoff mid-fan-out still recomputes: the refreshes
 		// that beat it are paid and installed, and the best-effort answer
 		// must reflect them.
+		foldSp := root.StartSpan("fold")
+		tFold := time.Now()
 		if e.store != nil {
 			res.Answer, _ = aggregate.EvalStoreStream(e.store, col, q.Agg, q.Where)
 		} else {
 			inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
 			res.Answer = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
+		}
+		m.Fold.ObserveDuration(time.Since(tFold))
+		if foldSp != nil {
+			foldSp.SetDetail("width=%g", res.Answer.Width())
+			foldSp.End()
 		}
 		res.Met = Satisfies(res.Answer, q.Within)
 	}
@@ -500,19 +580,62 @@ func cutoff(res Result, q Query, cause error) (Result, error) {
 // hard errors: on a cutoff the refreshes that beat it are already
 // installed and counted, and the caller folds them into a best-effort
 // answer.
-func runPlan(ctx context.Context, e *tableEntry, plan refresh.Plan, res *Result) (ctxErr, hardErr error) {
+func runPlan(ctx context.Context, e *tableEntry, plan refresh.Plan, res *Result, tr *obs.Trace) (ctxErr, hardErr error) {
+	tr.SetPlanCosts(plan.Keys, plan.Costs)
 	// Report what was actually refreshed: keys dropped mid-flight are
 	// neither served nor charged, so they must not be counted.
-	costOf := make(map[int64]float64, plan.Len())
-	for j, k := range plan.Keys {
-		costOf[k] = plan.Costs[j]
-	}
 	vals, ctxErr, hardErr := fetchKeys(ctx, e, plan.Keys)
-	for key := range vals {
-		res.Refreshed++
-		res.RefreshCost += costOf[key]
+	// The paid costs fold in plan order — a deterministic float addition
+	// sequence the trace replays, so Trace.TotalCost() matches
+	// res.RefreshCost bit-exactly.
+	sp := obs.SpanFromContext(ctx)
+	var installed []int64
+	if sp != nil {
+		installed = make([]int64, 0, len(vals))
 	}
+	for j, key := range plan.Keys {
+		if _, ok := vals[key]; !ok {
+			continue
+		}
+		res.Refreshed++
+		res.RefreshCost += plan.Costs[j]
+		if sp != nil {
+			installed = append(installed, key)
+		}
+	}
+	sp.RecordKeys(installed)
 	return ctxErr, hardErr
+}
+
+// recordTelemetry records the paper's precision–cost telemetry for one
+// completed request: the achieved interval width relative to the
+// requested bound (permille; 1000 = exactly at the bound) and the
+// refresh cost paid per unit of width reduction (milli units).
+func recordTelemetry(m *obs.EngineMetrics, res *Result, q Query) {
+	if q.Within > 0 && !math.IsInf(q.Within, 1) && !res.Answer.IsEmpty() {
+		if w := res.Answer.Width(); w >= 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+			m.WidthRatio.Observe(clampCounter(1000 * w / q.Within))
+		}
+	}
+	if res.RefreshCost > 0 {
+		red := res.Initial.Width() - res.Answer.Width()
+		if red > 0 && !math.IsInf(red, 1) && !math.IsNaN(red) {
+			m.CostPerWidth.Observe(clampCounter(1000 * res.RefreshCost / red))
+		}
+	}
+}
+
+// clampCounter converts a nonnegative telemetry ratio to a histogram
+// value, clamping pathological magnitudes so the conversion stays
+// defined.
+func clampCounter(v float64) uint64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1e15 {
+		return 1e15
+	}
+	return uint64(v)
 }
 
 // fetchKeys runs one refresh round for the given keys through the

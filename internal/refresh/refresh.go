@@ -109,6 +109,24 @@ type Plan struct {
 // Len returns the number of tuples to refresh.
 func (p Plan) Len() int { return len(p.Indexes) }
 
+// Describe renders a one-line plan summary for trace and EXPLAIN ANALYZE
+// output.
+func (p Plan) Describe() string {
+	if p.Len() == 0 {
+		return "empty plan"
+	}
+	lo, hi := p.Costs[0], p.Costs[0]
+	for _, c := range p.Costs[1:] {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return fmt.Sprintf("%d keys, planned cost %g (per-key %g..%g)", p.Len(), p.Cost, lo, hi)
+}
+
 // ErrInfeasible is returned when no refresh set can guarantee the
 // constraint (cannot occur for the supported aggregates, but guards future
 // extensions such as joins).

@@ -1,0 +1,503 @@
+package server
+
+// Observability tests: EXPLAIN ANALYZE wire/in-process parity with
+// bit-exact cost attribution, the trace request flag, /metrics.prom
+// text-format validity, /healthz build info, request IDs and the
+// slow-query log, gated pprof, and a race/leak hammer over concurrent
+// traced clients and metrics scrapers.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trapp/internal/obs"
+	"trapp/internal/query"
+	"trapp/internal/sql"
+)
+
+// normalizeSpan strips wall-clock noise from a span tree so two traces
+// of the same execution on identical systems compare equal: times zero
+// out and siblings re-sort by name (the refresh fan-out's source spans
+// start in nondeterministic order).
+func normalizeSpan(s *obs.SpanSnapshot) {
+	s.StartNS, s.DurationNS = 0, 0
+	for i := range s.Children {
+		normalizeSpan(&s.Children[i])
+	}
+	sort.Slice(s.Children, func(a, b int) bool { return s.Children[a].Name < s.Children[b].Name })
+}
+
+func TestExplainAnalyzeWireParity(t *testing.T) {
+	// Two identical static systems: one served over HTTP, one embedded.
+	// Bounds widen over ticks, so the WITHIN 20 constraint pays refreshes.
+	sys := buildSystem(t, 2, 4)
+	mirror := buildSystem(t, 2, 4)
+	sys.Clock.Advance(10)
+	mirror.Clock.Advance(10)
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const stmt = "SELECT SUM(value) WITHIN 20 FROM vals"
+	status, qr := postQuery(t, ts.URL, QueryRequest{SQL: "EXPLAIN ANALYZE " + stmt})
+	if status != 200 || qr.Error != nil {
+		t.Fatalf("status %d, err %+v", status, qr.Error)
+	}
+	if len(qr.Results) != 1 {
+		t.Fatalf("%d results", len(qr.Results))
+	}
+	wire := qr.Results[0]
+	if wire.Trace == nil {
+		t.Fatal("EXPLAIN ANALYZE result carries no trace")
+	}
+	if wire.Refreshed == 0 {
+		t.Fatal("workload did not pay refreshes; parity would be vacuous")
+	}
+
+	// Cost attribution is exact over the wire: the trace's replayed total
+	// equals the reported refresh cost bit-for-bit, surviving the JSON
+	// round trip.
+	if wire.Trace.TotalCost != float64(wire.RefreshCost) {
+		t.Errorf("wire trace TotalCost %v != RefreshCost %v",
+			wire.Trace.TotalCost, float64(wire.RefreshCost))
+	}
+
+	// The same statement traced in process on the mirror.
+	qs, err := sql.ParseAll(stmt, mirror.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mirror.ExecuteCtx(context.Background(), qs[0], query.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("WithTrace produced no trace")
+	}
+	if got := res.Trace.TotalCost(); got != res.RefreshCost {
+		t.Errorf("in-process TotalCost %v != RefreshCost %v", got, res.RefreshCost)
+	}
+	if res.RefreshCost != float64(wire.RefreshCost) {
+		t.Fatalf("wire paid %v, in-process paid %v", float64(wire.RefreshCost), res.RefreshCost)
+	}
+
+	// Normalized span trees match: same phases, same per-source fan-out,
+	// same installed keys, same per-span costs and details.
+	local := res.Trace.Snapshot()
+	w, l := *wire.Trace, local
+	normalizeSpan(&w.Root)
+	normalizeSpan(&l.Root)
+	if !reflect.DeepEqual(w, l) {
+		wj, _ := json.MarshalIndent(w, "", " ")
+		lj, _ := json.MarshalIndent(l, "", " ")
+		t.Errorf("normalized traces differ:\nwire: %s\nlocal: %s", wj, lj)
+	}
+}
+
+func TestTraceFlagTracesEveryStatement(t *testing.T) {
+	sys := buildSystem(t, 2, 4)
+	sys.Clock.Advance(10)
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, qr := postQuery(t, ts.URL, QueryRequest{
+		SQL:   "SELECT SUM(value) WITHIN 20 FROM vals; SELECT MIN(value) FROM vals",
+		Trace: true,
+	})
+	if status != 200 || qr.Error != nil {
+		t.Fatalf("status %d, err %+v", status, qr.Error)
+	}
+	if len(qr.Results) != 2 {
+		t.Fatalf("%d results", len(qr.Results))
+	}
+	for i, r := range qr.Results {
+		if r.Trace == nil {
+			t.Errorf("result %d: no trace", i)
+			continue
+		}
+		if r.Trace.TotalCost != float64(r.RefreshCost) {
+			t.Errorf("result %d: TotalCost %v != RefreshCost %v",
+				i, r.Trace.TotalCost, float64(r.RefreshCost))
+		}
+		if r.Trace.Root.DurationNS <= 0 {
+			t.Errorf("result %d: root span has no duration", i)
+		}
+	}
+	// Untraced requests stay clean.
+	_, qr = postQuery(t, ts.URL, QueryRequest{SQL: "SELECT MIN(value) FROM vals"})
+	if len(qr.Results) != 1 || qr.Results[0].Trace != nil {
+		t.Errorf("untraced request got a trace: %+v", qr.Results)
+	}
+}
+
+func TestExplainAnalyzeRejectedOnSubscribe(t *testing.T) {
+	sys := buildSystem(t, 1, 2)
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/subscribe?sql=EXPLAIN%20ANALYZE%20SELECT%20SUM(value)%20FROM%20vals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("status %d, want 400", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Error == nil || qr.Error.Code != CodeUnsupported {
+		t.Errorf("error %+v, want %s", qr.Error, CodeUnsupported)
+	}
+}
+
+func TestMetricsPromWellFormed(t *testing.T) {
+	sys := buildSystem(t, 2, 4)
+	sys.Clock.Advance(10)
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Generate traffic across phases, including one bad statement for the
+	// errors family.
+	for i := 0; i < 5; i++ {
+		postQuery(t, ts.URL, QueryRequest{SQL: "SELECT SUM(value) WITHIN 20 FROM vals"})
+	}
+	postQuery(t, ts.URL, QueryRequest{SQL: "SELECT SUM(value) FROM nosuch"})
+
+	resp, err := http.Get(ts.URL + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateProm(strings.NewReader(string(body))); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"trapp_requests_total", "trapp_query_latency_seconds_bucket",
+		`trapp_phase_duration_seconds_bucket{le=`, `phase="scan"`,
+		"trapp_width_ratio", "trapp_cost_per_width",
+		`trapp_errors_total{code="parse_error"}`,
+		`trapp_source_query_refreshes_total{source="s0"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestHealthzBuildInfoAndUptime(t *testing.T) {
+	sys := buildSystem(t, 1, 2)
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status  string         `json:"status"`
+		UptimeS float64        `json:"uptime_s"`
+		Build   map[string]any `json:"build"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.UptimeS < 0 {
+		t.Errorf("status %q uptime %g", h.Status, h.UptimeS)
+	}
+	if h.Build == nil {
+		t.Fatal("no build info")
+	}
+	gv, _ := h.Build["go_version"].(string)
+	if !strings.HasPrefix(gv, "go") {
+		t.Errorf("go_version = %q", gv)
+	}
+	if mod, _ := h.Build["module"].(string); mod != "trapp" {
+		t.Errorf("module = %q", mod)
+	}
+}
+
+// syncWriter serializes the slow-query log for concurrent inspection.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func TestRequestIDAndSlowQueryLog(t *testing.T) {
+	sys := buildSystem(t, 1, 4)
+	var logBuf syncWriter
+	srv := New(sys, Config{
+		SlowQuery: time.Nanosecond, // everything is slow
+		Logger:    slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT SUM(value) WITHIN 20 FROM vals"})
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rid := resp.Header.Get("X-Trapp-Request-Id")
+	if rid == "" {
+		t.Fatal("no X-Trapp-Request-Id header")
+	}
+
+	// The slow-query log line lands after the response is written; poll.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		out := logBuf.String()
+		if strings.Contains(out, "slow query") && strings.Contains(out, rid) {
+			if !strings.Contains(out, "SELECT SUM(value)") {
+				t.Errorf("slow-query log lacks the SQL: %q", out)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow-query log for %s never appeared: %q", rid, out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Distinct requests get distinct IDs.
+	resp2, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if rid2 := resp2.Header.Get("X-Trapp-Request-Id"); rid2 == "" || rid2 == rid {
+		t.Errorf("second request id %q, first %q", rid2, rid)
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	sys := buildSystem(t, 1, 2)
+
+	off := httptest.NewServer(New(sys, Config{}).Handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("pprof served without EnablePprof")
+	}
+
+	on := httptest.NewServer(New(sys, Config{EnablePprof: true}).Handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof index status %d with EnablePprof", resp.StatusCode)
+	}
+}
+
+// TestObservabilityRaceAndLeak hammers the observability surface from
+// concurrent clients — traced queries, metric scrapes, prom scrapes —
+// and asserts counters stay monotone, histograms stay well-formed, and
+// no goroutine survives the drain. Run under -race this is the data-race
+// proof for the lock-free recording paths.
+func TestObservabilityRaceAndLeak(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	sys := buildSystem(t, 2, 6)
+	srv := New(sys, Config{
+		SlowQuery: time.Nanosecond,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	var wg, clientsWg sync.WaitGroup
+	// Traced clients: every answer's trace must attribute costs exactly.
+	for cl := 0; cl < 6; cl++ {
+		clientsWg.Add(1)
+		go func(seed int64) {
+			defer clientsWg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				req := QueryRequest{SQL: "SELECT SUM(value) WITHIN 20 FROM vals"}
+				switch rng.Intn(3) {
+				case 0:
+					req.Trace = true
+				case 1:
+					req.SQL = "EXPLAIN ANALYZE " + req.SQL
+				}
+				status, qr := postQuery(t, ts.URL, req)
+				if status != 200 && status != 206 {
+					t.Errorf("status %d: %+v", status, qr.Error)
+					return
+				}
+				for _, r := range qr.Results {
+					if r.Trace != nil && r.Trace.TotalCost != float64(r.RefreshCost) {
+						t.Errorf("trace TotalCost %v != RefreshCost %v",
+							r.Trace.TotalCost, float64(r.RefreshCost))
+						return
+					}
+				}
+			}
+		}(int64(cl) + 1)
+	}
+	// Scrapers: counters must be monotone across successive snapshots and
+	// every prom exposition must parse clean mid-hammer.
+	stopScrape := make(chan struct{})
+	for sc := 0; sc < 2; sc++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastRequests, lastStatements int64
+			for {
+				select {
+				case <-stopScrape:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Errorf("metrics: %v", err)
+					return
+				}
+				var m Metrics
+				if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+					t.Errorf("metrics decode: %v", err)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+				if m.Requests < lastRequests || m.Statements < lastStatements {
+					t.Errorf("counters went backwards: requests %d→%d statements %d→%d",
+						lastRequests, m.Requests, lastStatements, m.Statements)
+					return
+				}
+				lastRequests, lastStatements = m.Requests, m.Statements
+
+				resp, err = client.Get(ts.URL + "/metrics.prom")
+				if err != nil {
+					t.Errorf("metrics.prom: %v", err)
+					return
+				}
+				if err := obs.ValidateProm(resp.Body); err != nil {
+					t.Errorf("mid-hammer exposition invalid: %v", err)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Updaters keep the refresh path busy so histograms record under
+	// concurrent writes.
+	stopUpdate := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; ; i++ {
+			select {
+			case <-stopUpdate:
+				return
+			default:
+			}
+			key := int64(rng.Intn(6))
+			src := sys.Source("s0")
+			if err := src.SetValue(key, []float64{100 + float64(key) + rng.Float64()}); err != nil {
+				t.Errorf("SetValue: %v", err)
+				return
+			}
+			if i%64 == 63 {
+				sys.Clock.Advance(1)
+			}
+		}
+	}()
+
+	// Wait for the clients, then stop the background load.
+	clientsWg.Wait()
+	close(stopScrape)
+	close(stopUpdate)
+	wg.Wait()
+
+	// Quiescent histograms are exactly consistent: Count == Σ buckets.
+	for name, h := range sys.Metrics().Snapshot() {
+		var sum uint64
+		for _, b := range h.Buckets {
+			sum += b.Count
+		}
+		if sum != h.Count {
+			t.Errorf("%s: bucket sum %d != count %d", name, sum, h.Count)
+		}
+	}
+	if h := srv.SnapshotMetrics().QueryLatency; h.Count == 0 {
+		t.Error("query latency histogram recorded nothing")
+	}
+
+	// Drain and prove no goroutine outlives the server.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts.Close()
+	client.CloseIdleConnections()
+	sys.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseGoroutines+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak after drain: %d now vs %d at start\n%s",
+				runtime.NumGoroutine(), baseGoroutines, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

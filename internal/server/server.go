@@ -5,14 +5,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"trapp/internal/obs"
 	"trapp/internal/query"
+	"trapp/internal/source"
 	"trapp/internal/sql"
 	itrapp "trapp/internal/trapp"
 )
@@ -49,6 +54,16 @@ type Config struct {
 	// trappbench -remote can rebuild the identical system for parity
 	// verification).
 	Info map[string]any
+	// SlowQuery, when positive, is the slow-query log threshold: any
+	// /query request taking at least this long is logged (request id,
+	// SQL, duration, refresh cost) through Logger. 0 disables the log.
+	SlowQuery time.Duration
+	// Logger receives structured server logs (the slow-query log).
+	// Nil falls back to slog.Default().
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — off by
+	// default since profiling endpoints should not be public.
+	EnablePprof bool
 }
 
 // Server serves a System over HTTP. Create with New, mount Handler (or
@@ -85,6 +100,12 @@ type Server struct {
 	errorsByCode  sync.Map // code string → *atomic.Int64
 	clientLedgers sync.Map // client key → *ledger
 	clientCount   atomic.Int64
+	// queryLatency is the server-side /query handler latency histogram
+	// (admission to response write), exported by /metrics and
+	// /metrics.prom alongside the engine's phase histograms.
+	queryLatency obs.Histogram
+	// reqSeq numbers requests for X-Trapp-Request-Id.
+	reqSeq atomic.Int64
 	// overflow holds the ledgers shared by clients past MaxClients,
 	// hashed by client key. A single shared ledger serializes every
 	// overflow request on one mutex — and, worse, pools their budgets —
@@ -134,8 +155,30 @@ func New(sys *itrapp.System, cfg Config) *Server {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.prom", s.handleMetricsProm)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// logger returns the configured structured logger.
+func (s *Server) logger() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
+	}
+	return slog.Default()
+}
+
+// nextRequestID mints the X-Trapp-Request-Id value: the server start
+// time (distinguishing restarts) plus a per-server sequence number.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%x-%d", uint64(s.start.UnixNano()), s.reqSeq.Add(1))
 }
 
 // Handler returns the root handler (also usable under httptest).
@@ -322,34 +365,47 @@ func (l *ledger) remaining(ceiling float64) float64 {
 // parseRequest compiles a request's SQL into executable queries.
 // Multi-statement requests (';'-separated) concatenate their queries
 // into one batch; parse errors are positioned against the full request
-// text. GROUP BY is only servable on /subscribe (allowGroupBy).
-func (s *Server) parseRequest(src string, allowGroupBy bool) ([]query.Query, *WireError) {
+// text. GROUP BY is only servable on /subscribe (allowGroupBy), and
+// EXPLAIN ANALYZE only on /query (allowExplain). The returned explain
+// slice aligns with the queries: explain[i] marks queries compiled from
+// an EXPLAIN ANALYZE statement.
+func (s *Server) parseRequest(src string, allowGroupBy, allowExplain bool) ([]query.Query, []bool, *WireError) {
 	stmts, offsets := SplitStatements(src)
 	if len(stmts) == 0 {
-		return nil, &WireError{Code: CodeInvalid, Message: "empty sql"}
+		return nil, nil, &WireError{Code: CodeInvalid, Message: "empty sql"}
 	}
-	var qs []query.Query
+	var (
+		qs      []query.Query
+		explain []bool
+	)
 	for i, stmt := range stmts {
-		part, err := sql.ParseAll(stmt, s.sys.Catalog())
+		st, err := sql.ParseStatement(stmt, s.sys.Catalog())
 		if err != nil {
 			we := EncodeError(err)
 			if we.Pos != nil {
 				pos := *we.Pos + offsets[i]
 				we.Pos = &pos
 			}
-			return nil, we
+			return nil, nil, we
 		}
-		qs = append(qs, part...)
+		if st.Explain && !allowExplain {
+			return nil, nil, &WireError{Code: CodeUnsupported,
+				Message: "EXPLAIN ANALYZE is only supported on /query"}
+		}
+		for range st.Queries {
+			explain = append(explain, st.Explain)
+		}
+		qs = append(qs, st.Queries...)
 	}
 	if !allowGroupBy {
 		for _, q := range qs {
 			if len(q.GroupBy) > 0 {
-				return nil, &WireError{Code: CodeUnsupported,
+				return nil, nil, &WireError{Code: CodeUnsupported,
 					Message: "GROUP BY is not supported on /query; subscribe to it on /subscribe"}
 			}
 		}
 	}
-	return qs, nil
+	return qs, explain, nil
 }
 
 // buildOptions resolves the request's execution options (mode, solver,
@@ -383,8 +439,12 @@ func buildOptions(req QueryRequest) ([]query.ExecOption, *WireError) {
 }
 
 // handleQuery is POST /query: parse → admission → execute → encode.
+// Every request gets an X-Trapp-Request-Id, its latency lands in the
+// server histogram, and requests past Config.SlowQuery are logged.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	rid := s.nextRequestID()
+	w.Header().Set("X-Trapp-Request-Id", rid)
 	if r.Method != http.MethodPost {
 		s.fail(w, &WireError{Code: CodeInvalid, Message: "POST required"})
 		return
@@ -398,6 +458,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, &WireError{Code: CodeInvalid, Message: "bad request body: " + err.Error()})
 		return
 	}
+	t0 := time.Now()
+	var spent float64
+	defer func() {
+		d := time.Since(t0)
+		s.queryLatency.ObserveDuration(d)
+		if s.cfg.SlowQuery > 0 && d >= s.cfg.SlowQuery {
+			s.logger().Warn("slow query",
+				"request_id", rid, "sql", req.SQL, "duration", d, "refresh_cost", spent)
+		}
+	}()
 
 	// Admission: cap in-flight executions. The slot is taken with a CAS
 	// so the cap is strict — the in-flight gauge never exceeds
@@ -415,35 +485,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.handlers.Done()
 
-	qs, we := s.parseRequest(req.SQL, false)
+	qs, explain, we := s.parseRequest(req.SQL, false, true)
 	if we == nil {
 		var opts []query.ExecOption
 		opts, we = buildOptions(req)
 		if we == nil {
-			s.execute(w, r, req, qs, opts)
+			spent = s.execute(w, r, req, qs, explain, opts)
 			return
 		}
 	}
 	s.fail(w, we)
 }
 
-// execute runs the parsed statements and writes the response.
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryRequest, qs []query.Query, opts []query.ExecOption) {
+// execute runs the parsed statements and writes the response. It
+// returns the refresh cost the request actually spent (the slow-query
+// log reports it).
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryRequest, qs []query.Query, explain []bool, opts []query.ExecOption) (spent float64) {
+	traced := req.Trace
+	for _, e := range explain {
+		if e {
+			traced = true
+		}
+	}
+
 	// Admission: meter the client's cumulative refresh-cost budget. The
 	// effective budget is reserved up front and the unspent remainder
 	// refunded, so concurrent requests cannot jointly overrun the
 	// ceiling.
 	var (
-		led      *ledger
-		reserved float64
+		led       *ledger
+		reserved  float64
+		hasBudget bool
+		budget    float64
 	)
 	if s.cfg.ClientBudget > 0 {
 		led = s.ledgerFor(clientKey(r))
 		var eff float64
 		eff, reserved = led.reserve(s.cfg.ClientBudget, req.Budget)
-		opts = append(opts, query.WithCostBudget(eff))
+		hasBudget, budget = true, eff
 	} else if req.Budget != nil {
-		opts = append(opts, query.WithCostBudget(float64(*req.Budget)))
+		hasBudget, budget = true, float64(*req.Budget)
 	}
 
 	// The execution context dies with the client connection or with
@@ -459,7 +540,37 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryReques
 		perQuery []error
 		err      error
 	)
-	if len(qs) == 1 {
+	switch {
+	case traced:
+		// Traced statements execute individually so each gets its own
+		// span tree, at the price of cross-statement refresh sharing.
+		// The cost budget still covers the request as a whole: each
+		// statement runs under whatever its predecessors left.
+		remaining := budget
+		for i := range qs {
+			qopts := append([]query.ExecOption(nil), opts...)
+			if hasBudget {
+				qopts = append(qopts, query.WithCostBudget(remaining))
+			}
+			if req.Trace || explain[i] {
+				qopts = append(qopts, query.WithTrace())
+			}
+			var res query.Result
+			var qerr error
+			res, qerr = s.sys.ExecuteCtx(ctx, qs[i], qopts...)
+			if qerr != nil && !errors.Is(qerr, query.ErrPrecisionUnmet{}) && !errors.Is(qerr, query.ErrBudgetExhausted{}) {
+				err = qerr
+				break
+			}
+			results, perQuery = append(results, res), append(perQuery, qerr)
+			if remaining -= res.RefreshCost; remaining < 0 {
+				remaining = 0
+			}
+		}
+	case len(qs) == 1:
+		if hasBudget {
+			opts = append(opts, query.WithCostBudget(budget))
+		}
 		var res query.Result
 		res, err = s.sys.ExecuteCtx(ctx, qs[0], opts...)
 		if err == nil || errors.Is(err, query.ErrPrecisionUnmet{}) || errors.Is(err, query.ErrBudgetExhausted{}) {
@@ -467,8 +578,14 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryReques
 			// per-statement like the batch path does.
 			results, perQuery, err = []query.Result{res}, []error{err}, nil
 		}
-	} else {
+	default:
+		if hasBudget {
+			opts = append(opts, query.WithCostBudget(budget))
+		}
 		results, perQuery, err = s.sys.ExecuteBatchDetailed(ctx, qs, opts...)
+	}
+	for _, res := range results {
+		spent += res.RefreshCost
 	}
 	if err != nil {
 		// A whole-request failure may have paid refresh cost that no
@@ -476,11 +593,7 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryReques
 		// reservation is forfeited rather than refunded, so metering
 		// errs against the client, never against the ceiling.
 		s.fail(w, EncodeError(err))
-		return
-	}
-	var spent float64
-	for _, res := range results {
-		spent += res.RefreshCost
+		return spent
 	}
 	if led != nil {
 		led.refund(reserved, spent)
@@ -503,6 +616,7 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryReques
 	}
 	s.statements.Add(int64(len(results)))
 	writeJSON(w, status, resp)
+	return spent
 }
 
 // handleSubscribe is GET /subscribe?sql=...: a server-sent-events stream
@@ -522,7 +636,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	// /subscribe accepts GROUP BY: the engine maintains per-group
 	// answers and the stream carries them in update.groups.
-	qs, we := s.parseRequest(r.URL.Query().Get("sql"), true)
+	qs, _, we := s.parseRequest(r.URL.Query().Get("sql"), true, false)
 	if we != nil {
 		s.fail(w, we)
 		return
@@ -626,6 +740,16 @@ type Metrics struct {
 	Network NetworkMetrics `json:"network"`
 	// Continuous mirrors the subscription engine's counters.
 	Continuous ContinuousMetrics `json:"continuous"`
+	// QueryLatency is the server-side /query handler latency histogram
+	// (nanoseconds, log-bucketed).
+	QueryLatency obs.HistogramSnapshot `json:"query_latency"`
+	// Engine is the engine's always-on histogram set: per-phase request
+	// latency, refresh batch sizes, and the paper's precision–cost
+	// telemetry (width ratio, cost per unit width). Keys are fixed; see
+	// obs.EngineMetrics.
+	Engine obs.MetricsSnapshot `json:"engine,omitempty"`
+	// Sources reports each source's adaptive-width controller state.
+	Sources map[string]source.WidthTelemetry `json:"sources,omitempty"`
 	// Workload echoes Config.Info.
 	Workload map[string]any `json:"workload,omitempty"`
 }
@@ -716,6 +840,9 @@ func (s *Server) SnapshotMetrics() Metrics {
 		Views:            cm.Views,
 		Subscriptions:    cm.Subscriptions,
 	}
+	m.QueryLatency = s.queryLatency.Snapshot()
+	m.Engine = s.sys.Metrics().Snapshot()
+	m.Sources = s.sys.WidthTelemetry()
 	return m
 }
 
@@ -724,7 +851,97 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, 200, s.SnapshotMetrics())
 }
 
-// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+// promPhases orders the engine's nanosecond histograms for the
+// trapp_phase_duration_seconds family; the remaining EngineMetrics keys
+// export as their own families in their native units.
+var promPhases = []struct{ key, phase string }{
+	{"request_ns", "request"},
+	{"scan_ns", "scan"},
+	{"choose_ns", "choose"},
+	{"refresh_ns", "refresh"},
+	{"fold_ns", "fold"},
+	{"repair_ns", "repair"},
+	{"maintain_ns", "maintain"},
+}
+
+// handleMetricsProm is GET /metrics.prom: the Prometheus text-format
+// twin of /metrics. Durations export in seconds; the width ratio and
+// cost-per-width telemetry export in their natural units (the stored
+// permille/milli fixed-point scaling is divided back out).
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	m := s.SnapshotMetrics()
+	pw := obs.NewPromWriter()
+	pw.Gauge("trapp_uptime_seconds", "Seconds since server start.", nil, m.UptimeSeconds)
+	pw.Counter("trapp_requests_total", "HTTP requests received.", nil, float64(m.Requests))
+	pw.Counter("trapp_statements_total", "Statements executed.", nil, float64(m.Statements))
+	pw.Counter("trapp_rejected_total", "Admission-control rejections.", nil, float64(m.Rejected))
+	pw.Counter("trapp_updates_sent_total", "Subscription updates sent.", nil, float64(m.UpdatesSent))
+	pw.Gauge("trapp_in_flight", "Requests currently executing.", nil, float64(m.InFlight))
+	pw.Gauge("trapp_subscribers", "Open subscription streams.", nil, float64(m.Subscribers))
+	for code, n := range m.ErrorsByCode {
+		pw.Counter("trapp_errors_total", "Request and statement outcomes by error code.",
+			map[string]string{"code": code}, float64(n))
+	}
+	pw.Counter("trapp_query_refresh_cost_total", "Cumulative query-initiated refresh cost.",
+		nil, m.Network.QueryRefreshCost)
+	pw.Counter("trapp_value_refresh_cost_total", "Cumulative value-initiated refresh cost.",
+		nil, m.Network.ValueRefreshCost)
+
+	pw.Histo("trapp_query_latency_seconds", "Server-side /query handler latency.",
+		nil, m.QueryLatency, 1e9)
+	for _, p := range promPhases {
+		pw.Histo("trapp_phase_duration_seconds", "Engine phase latency by phase.",
+			map[string]string{"phase": p.phase}, m.Engine[p.key], 1e9)
+	}
+	pw.Histo("trapp_refresh_batch_keys", "Keys per single-source refresh batch.",
+		nil, m.Engine["refresh_batch_keys"], 1)
+	pw.Histo("trapp_width_ratio", "Achieved interval width over requested bound.",
+		nil, m.Engine["width_ratio_permille"], 1000)
+	pw.Histo("trapp_cost_per_width", "Refresh cost per unit of interval-width reduction.",
+		nil, m.Engine["cost_per_width_milli"], 1000)
+
+	for id, t := range m.Sources {
+		lbl := map[string]string{"source": id}
+		pw.Gauge("trapp_source_objects", "Objects held by the source.", lbl, float64(t.Objects))
+		pw.Gauge("trapp_source_adaptive_objects", "Objects under adaptive-width control.", lbl, float64(t.Adaptive))
+		if t.Adaptive > 0 {
+			pw.Gauge("trapp_source_width_min", "Smallest adaptive bound width.", lbl, t.WMin)
+			pw.Gauge("trapp_source_width_max", "Largest adaptive bound width.", lbl, t.WMax)
+			pw.Gauge("trapp_source_width_mean", "Mean adaptive bound width.", lbl, t.WMean)
+		}
+		pw.Counter("trapp_source_value_refreshes_total", "Value-initiated refreshes (bound escapes).", lbl, float64(t.ValueRefreshes))
+		pw.Counter("trapp_source_query_refreshes_total", "Query-initiated refreshes.", lbl, float64(t.QueryRefreshes))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(200)
+	fmt.Fprint(w, pw.String())
+}
+
+// buildInfo summarizes runtime/debug.ReadBuildInfo for /healthz.
+func buildInfo() map[string]any {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return nil
+	}
+	out := map[string]any{
+		"go_version": bi.GoVersion,
+		"module":     bi.Main.Path,
+	}
+	if bi.Main.Version != "" {
+		out["version"] = bi.Main.Version
+	}
+	for _, st := range bi.Settings {
+		switch st.Key {
+		case "vcs.revision", "vcs.time", "vcs.modified":
+			out[st.Key] = st.Value
+		}
+	}
+	return out
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 while draining,
+// with build/version info and process uptime.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, state := 200, "ok"
 	if s.draining.Load() {
@@ -733,6 +950,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, map[string]any{
 		"status":   state,
 		"uptime_s": time.Since(s.start).Seconds(),
+		"build":    buildInfo(),
 		"workload": s.cfg.Info,
 	})
 }

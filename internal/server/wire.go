@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"trapp/internal/interval"
+	"trapp/internal/obs"
 	"trapp/internal/query"
 	"trapp/internal/refresh"
 	"trapp/internal/sql"
@@ -112,6 +113,13 @@ type QueryRequest struct {
 	// Solver optionally overrides the knapsack solver for this request:
 	// "auto", "exact-dp", "approx", "greedy-uniform", "greedy-density".
 	Solver string `json:"solver,omitempty"`
+	// Trace requests a per-statement execution trace: each result carries
+	// a span tree (scan → choose → refresh fan-out per source → fold)
+	// with wall times and exact refresh-cost attribution. Equivalent to
+	// prefixing every statement with EXPLAIN ANALYZE. Traced statements
+	// execute individually rather than as a shared batch, so a
+	// multi-statement request loses cross-statement refresh sharing.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // WireResult is one executed statement's result.
@@ -130,11 +138,16 @@ type WireResult struct {
 	// Error carries this statement's typed outcome (precision_unmet,
 	// budget_exhausted); the result fields alongside it are still sound.
 	Error *WireError `json:"error,omitempty"`
+	// Trace is the execution trace, present when the statement ran under
+	// EXPLAIN ANALYZE or the request set Trace. Its TotalCost equals
+	// RefreshCost bit-exactly (wall times are, of course, wall-clock
+	// noise).
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // ToWireResult converts an engine result.
 func ToWireResult(res query.Result, err error) WireResult {
-	return WireResult{
+	wr := WireResult{
 		Answer:       ToWire(res.Answer),
 		Initial:      ToWire(res.Initial),
 		Refreshed:    res.Refreshed,
@@ -143,6 +156,11 @@ func ToWireResult(res query.Result, err error) WireResult {
 		ChooseTimeNS: int64(res.ChooseTime),
 		Error:        EncodeError(err),
 	}
+	if res.Trace != nil {
+		snap := res.Trace.Snapshot()
+		wr.Trace = &snap
+	}
+	return wr
 }
 
 // Result converts back to the engine representation.

@@ -21,6 +21,7 @@ import (
 
 	"trapp/internal/boundfn"
 	"trapp/internal/netsim"
+	"trapp/internal/obs"
 )
 
 // RefreshKind distinguishes why a refresh was sent.
@@ -314,13 +315,20 @@ func (s *Source) QueryRefreshBatchCtx(ctx context.Context, keys []int64, sub Sub
 			return nil, err
 		}
 	}
-	// Phase 2: simulated wire time, interruptible, no lock held.
+	// Phase 2: simulated wire time, interruptible, no lock held. A traced
+	// request separates the time a batch sat on the wire from the time
+	// committing it (the span in ctx is the per-source batch span).
+	sp := obs.SpanFromContext(ctx)
+	wireSp := sp.StartSpan("wire_wait")
 	if err := s.net.Wait(ctx); err != nil {
+		wireSp.End()
 		return nil, err
 	}
+	wireSp.End()
 	// Phase 3: re-resolve and commit atomically. Objects that vanished
 	// during the wait fail the batch exactly as they would have failed
 	// validation; nothing is charged on that path either.
+	commitSp := sp.StartSpan("commit")
 	s.mu.Lock()
 	objs := make([]*object, len(keys))
 	regs := make([]*registration, len(keys))
@@ -328,6 +336,7 @@ func (s *Source) QueryRefreshBatchCtx(ctx context.Context, keys []int64, sub Sub
 		o, reg, err := s.resolveLocked(key, sub)
 		if err != nil {
 			s.mu.Unlock()
+			commitSp.End()
 			return nil, err
 		}
 		objs[i], regs[i] = o, reg
@@ -344,7 +353,57 @@ func (s *Source) QueryRefreshBatchCtx(ctx context.Context, keys []int64, sub Sub
 	s.net.SendFrom(s.id, netsim.QueryRefresh, int64(len(keys)), batchCost)
 	out = append(out, s.piggybackRefreshesLocked(sub, func(key int64) bool { return requested[key] })...)
 	s.mu.Unlock()
+	if commitSp != nil {
+		commitSp.SetDetail("keys=%d cost=%g", len(keys), batchCost)
+		commitSp.End()
+	}
 	return out, nil
+}
+
+// WidthTelemetry summarizes the adaptive-width controller state across
+// the source's objects: how many objects run an adaptive policy, the
+// spread of their current width parameter W, and the escape
+// (value-initiated) vs shrink (query-initiated) refresh counts their
+// controllers have observed. Objects on static policies count toward
+// Objects only.
+type WidthTelemetry struct {
+	Objects        int     `json:"objects"`
+	Adaptive       int     `json:"adaptive"`
+	WMin           float64 `json:"w_min"`
+	WMax           float64 `json:"w_max"`
+	WMean          float64 `json:"w_mean"`
+	ValueRefreshes int64   `json:"value_refreshes"`
+	QueryRefreshes int64   `json:"query_refreshes"`
+}
+
+// WidthTelemetry aggregates the controller state under the source lock;
+// it is a metrics-scrape helper, not a hot-path call.
+func (s *Source) WidthTelemetry() WidthTelemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := WidthTelemetry{Objects: len(s.objects)}
+	var sum float64
+	for _, o := range s.objects {
+		aw, ok := o.policy.(*boundfn.AdaptiveWidth)
+		if !ok {
+			continue
+		}
+		if t.Adaptive == 0 || aw.W < t.WMin {
+			t.WMin = aw.W
+		}
+		if t.Adaptive == 0 || aw.W > t.WMax {
+			t.WMax = aw.W
+		}
+		t.Adaptive++
+		sum += aw.W
+		v, q := aw.Counts()
+		t.ValueRefreshes += v
+		t.QueryRefreshes += q
+	}
+	if t.Adaptive > 0 {
+		t.WMean = sum / float64(t.Adaptive)
+	}
+	return t
 }
 
 // validateBatch checks every key exists and the subscriber is

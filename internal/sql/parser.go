@@ -75,19 +75,56 @@ func Parse(src string, cat Catalog) (query.Query, error) {
 // column, predicate) shape and one deduped refresh round across the
 // statement.
 func ParseAll(src string, cat Catalog) ([]query.Query, error) {
+	st, err := parseWith(src, cat, false)
+	return st.Queries, err
+}
+
+// Statement is one fully parsed statement: the compiled queries plus
+// statement-level modifiers.
+type Statement struct {
+	// Queries are the compiled queries, one per select item.
+	Queries []query.Query
+	// Explain reports an EXPLAIN ANALYZE prefix: execute the statement
+	// and return its span trace alongside the answer.
+	Explain bool
+}
+
+// ParseStatement compiles a statement like ParseAll but also accepts the
+// EXPLAIN ANALYZE prefix:
+//
+//	EXPLAIN ANALYZE SELECT SUM(v) WITHIN 10 FROM t
+//
+// which asks the executor to run the query with tracing enabled and
+// return the span tree. The service layer parses with this entry point;
+// ParseAll (and the embedded helpers built on it) keep rejecting
+// EXPLAIN, since they have no way to return a trace.
+func ParseStatement(src string, cat Catalog) (Statement, error) {
+	return parseWith(src, cat, true)
+}
+
+// parseWith is the shared statement entry point.
+func parseWith(src string, cat Catalog, allowExplain bool) (Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return Statement{}, err
 	}
 	p := &parser{toks: toks, cat: cat}
-	qs, err := p.parseStatement()
+	var st Statement
+	if allowExplain && p.cur().isKeyword("EXPLAIN") {
+		p.advance()
+		if err := p.expectKeyword("ANALYZE"); err != nil {
+			return Statement{}, err
+		}
+		st.Explain = true
+	}
+	st.Queries, err = p.parseStatement()
 	if err != nil {
-		return nil, err
+		return Statement{}, err
 	}
 	if !p.at(tokEOF) {
-		return nil, errAt(p.cur().pos, "trailing input %q", p.cur().text)
+		return Statement{}, errAt(p.cur().pos, "trailing input %q", p.cur().text)
 	}
-	return qs, nil
+	return st, nil
 }
 
 // parser is a recursive-descent parser over the token stream.

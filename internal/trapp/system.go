@@ -26,6 +26,7 @@ import (
 	"trapp/internal/cache"
 	"trapp/internal/continuous"
 	"trapp/internal/netsim"
+	"trapp/internal/obs"
 	"trapp/internal/predicate"
 	"trapp/internal/query"
 	"trapp/internal/refresh"
@@ -55,15 +56,42 @@ type System struct {
 // NewSystem creates an empty system with the given refresh options.
 func NewSystem(opts refresh.Options) *System {
 	clock := netsim.NewClock()
+	proc := query.NewProcessor(opts)
 	return &System{
 		Clock:   clock,
 		Net:     netsim.NewNetwork(),
 		sources: make(map[string]*source.Source),
 		caches:  make(map[string]*cache.Cache),
 		tables:  make(map[string]*cache.Cache),
-		proc:    query.NewProcessor(opts),
-		engine:  continuous.NewEngine(clock, continuous.Config{Options: opts}),
+		proc:    proc,
+		// The continuous engine records its repair/maintenance latency
+		// into the same histogram set as the request path.
+		engine: continuous.NewEngine(clock, continuous.Config{Options: opts, Metrics: proc.Metrics()}),
 	}
+}
+
+// Metrics returns the engine-wide observability histogram set: per-phase
+// request latency, refresh batch sizes, the paper's precision–cost
+// telemetry, and continuous-engine repair/maintenance latency. Always
+// on; snapshot it with Metrics().Snapshot().
+func (s *System) Metrics() *obs.EngineMetrics { return s.proc.Metrics() }
+
+// WidthTelemetry reports each source's adaptive-width controller state
+// (current W spread, escape/shrink counts), keyed by source id.
+func (s *System) WidthTelemetry() map[string]source.WidthTelemetry {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.sources))
+	srcs := make([]*source.Source, 0, len(s.sources))
+	for id, src := range s.sources {
+		ids = append(ids, id)
+		srcs = append(srcs, src)
+	}
+	s.mu.RUnlock()
+	out := make(map[string]source.WidthTelemetry, len(ids))
+	for i, src := range srcs {
+		out[ids[i]] = src.WidthTelemetry()
+	}
+	return out
 }
 
 // AddSource creates a data source. shape selects the transmitted bound
@@ -151,6 +179,7 @@ func (s *System) Mount(tableName string, c *cache.Cache) error {
 		return fmt.Errorf("trapp: table %q already mounted", tableName)
 	}
 	s.tables[tableName] = c
+	c.SetMetrics(s.proc.Metrics())
 	s.proc.RegisterStore(tableName, c.Store(), c)
 	s.engine.AddTable(tableName, c)
 	return nil
@@ -233,17 +262,31 @@ func (s *System) executeConfig(ctx context.Context, q query.Query, cfg query.Exe
 	if c == nil {
 		return query.Result{}, fmt.Errorf("trapp: %w: %q not mounted", query.ErrUnknownTable, q.Table)
 	}
+	// A traced request gets its trace created here so the cache bound
+	// synchronization — work done before the processor runs — appears in
+	// the same span tree as the execution phases.
+	if cfg.Trace && cfg.TraceRoot == nil {
+		cfg.TraceRoot = obs.NewTrace(q.String())
+	}
+	sync := func() {
+		var sp *obs.Span
+		if cfg.TraceRoot != nil {
+			sp = cfg.TraceRoot.Root.StartSpan("sync")
+		}
+		c.Sync()
+		sp.End()
+	}
 	if cfg.Mode == query.ModeImprecise {
 		// The stale-data extreme never refreshes, so queued membership
 		// events cannot make it pay a propagation round either.
-		c.Sync()
+		sync()
 		return s.proc.ExecuteConfig(ctx, q, cfg)
 	}
 	if slack := c.CardinalitySlack(); slack > 0 {
 		countNoPred := q.Agg == aggregate.Count && predicate.IsTrivial(q.Where) &&
 			len(q.GroupBy) == 0 && q.RelativeWithin == 0 && cfg.Mode == query.ModeBounded && !cfg.HasBudget
 		if countNoPred && q.Within >= 2*float64(slack) {
-			c.Sync()
+			sync()
 			res, err := s.proc.ExecuteConfig(ctx, query.Query{
 				Table: q.Table, Agg: q.Agg, Column: q.Column,
 				Within: q.Within - 2*float64(slack), Where: q.Where,
@@ -252,7 +295,7 @@ func (s *System) executeConfig(ctx context.Context, q query.Query, cfg query.Exe
 		}
 		c.FlushWatched()
 	}
-	c.Sync()
+	sync()
 	return s.proc.ExecuteConfig(ctx, q, cfg)
 }
 

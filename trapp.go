@@ -55,6 +55,7 @@ import (
 	"trapp/internal/continuous"
 	"trapp/internal/interval"
 	"trapp/internal/netsim"
+	"trapp/internal/obs"
 	"trapp/internal/predicate"
 	"trapp/internal/query"
 	"trapp/internal/refresh"
@@ -190,6 +191,37 @@ func WithSolver(s Solver) ExecOption { return query.WithSolver(s) }
 // WithMode positions one request on the precision-performance dial,
 // subsuming the deprecated PreciseMode/ImpreciseMode entry points.
 func WithMode(m Mode) ExecOption { return query.WithMode(m) }
+
+// WithTrace records a span tree through the request's phases (cache
+// sync, scan, CHOOSE_REFRESH, per-source refresh fan-out with wire wait
+// vs commit, final fold), returned on Result.Trace. Each span carries
+// wall time and the refresh cost it charged; Trace.TotalCost() equals
+// Result.RefreshCost bit-exactly. The SQL dialect exposes the same
+// trace as EXPLAIN ANALYZE SELECT ... over the HTTP server.
+func WithTrace() ExecOption { return query.WithTrace() }
+
+// Trace is the per-request span tree recorded by WithTrace.
+type Trace = obs.Trace
+
+// TraceSnapshot is the immutable, wire-ready form of a Trace; its
+// String method renders the EXPLAIN ANALYZE tree.
+type TraceSnapshot = obs.TraceSnapshot
+
+// SpanSnapshot is one node of a TraceSnapshot's span tree.
+type SpanSnapshot = obs.SpanSnapshot
+
+// EngineMetrics is the always-on histogram set of the engine: per-phase
+// request latency, refresh batch sizes, achieved-width and
+// cost-per-precision telemetry, continuous-engine repair latency.
+// Access it with System.Metrics().
+type EngineMetrics = obs.EngineMetrics
+
+// HistogramSnapshot is a point-in-time copy of one lock-free histogram.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// WidthTelemetry summarizes one source's adaptive-width controller
+// state; see System.WidthTelemetry.
+type WidthTelemetry = source.WidthTelemetry
 
 // Typed errors of the request path, usable with errors.Is / errors.As.
 var (
@@ -328,6 +360,18 @@ func ParseQueryWith(src string, schemas map[string]*Schema) (Query, error) {
 // rejected; use ParseQueries.
 func ParseQuery(src string, sys *System) (Query, error) {
 	return sql.Parse(src, sys.Catalog())
+}
+
+// Statement is one parsed SQL statement: the queries of its SELECT
+// list plus whether it carried an EXPLAIN ANALYZE prefix.
+type Statement = sql.Statement
+
+// ParseStatement compiles one statement against the tables mounted on
+// the system, accepting an optional EXPLAIN ANALYZE prefix. Execute an
+// explained statement's queries with WithTrace and render or serialize
+// Result.Trace; plain statements behave exactly like ParseQueries.
+func ParseStatement(src string, sys *System) (Statement, error) {
+	return sql.ParseStatement(src, sys.Catalog())
 }
 
 // ParseQueries compiles a statement that may select several aggregates
