@@ -3,10 +3,17 @@
 // regresses past the threshold — the CI tripwire that keeps the numbers
 // in BENCH_*.json honest as the engine evolves.
 //
-//	benchdiff [-threshold 0.15] [-gate qps,p99_ns] [-strict] baseline.json fresh.json
+//	benchdiff [-threshold 0.15] [-gate qps,p99_ns] [-strict] \
+//	          [-require remote.verified>=200] baseline.json fresh.json
 //
 // Output is a per-metric delta table (metric, baseline, current,
 // %change, verdict), one row per gated comparison.
+//
+// -require adds absolute assertions on the fresh report, independent of
+// the baseline: a comma-separated list of path>=value or path<=value
+// clauses over dotted leaf paths (e.g. remote.verified>=200 demands the
+// wire-verification count, remote.qps>=40000 a throughput floor). A
+// missing path fails the assertion — silence never passes a gate.
 //
 // Both files are walked recursively; every numeric leaf whose key is in
 // the gate set and that exists at the same path in both files is
@@ -110,6 +117,59 @@ func compare(base, fresh map[string]float64, gates map[string]bool) []finding {
 	return out
 }
 
+// requirement is one absolute assertion on the fresh report.
+type requirement struct {
+	path  string
+	op    string // ">=" or "<="
+	bound float64
+}
+
+// parseRequires parses the -require clause list.
+func parseRequires(spec string) ([]requirement, error) {
+	var out []requirement
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		op := ">="
+		i := strings.Index(clause, op)
+		if i < 0 {
+			op = "<="
+			i = strings.Index(clause, op)
+		}
+		if i <= 0 {
+			return nil, fmt.Errorf("require clause %q: want path>=value or path<=value", clause)
+		}
+		var bound float64
+		if _, err := fmt.Sscanf(clause[i+2:], "%g", &bound); err != nil {
+			return nil, fmt.Errorf("require clause %q: bad bound: %w", clause, err)
+		}
+		out = append(out, requirement{path: strings.TrimSpace(clause[:i]), op: op, bound: bound})
+	}
+	return out, nil
+}
+
+// checkRequires evaluates the absolute assertions against the fresh
+// report, printing one verdict line each; it returns the failure count.
+func checkRequires(fresh map[string]float64, reqs []requirement, w io.Writer) int {
+	failed := 0
+	for _, r := range reqs {
+		v, ok := fresh[r.path]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "require %s %s %g: FAIL (path missing)\n", r.path, r.op, r.bound)
+			failed++
+		case (r.op == ">=" && v < r.bound) || (r.op == "<=" && v > r.bound):
+			fmt.Fprintf(w, "require %s %s %g: FAIL (got %.6g)\n", r.path, r.op, r.bound, v)
+			failed++
+		default:
+			fmt.Fprintf(w, "require %s %s %g: ok (got %.6g)\n", r.path, r.op, r.bound, v)
+		}
+	}
+	return failed
+}
+
 func loadFlat(path string) (map[string]float64, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -128,6 +188,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.15, "max tolerated fractional regression")
 	gate := flag.String("gate", "qps,p99_ns", "comma-separated metric names to gate")
 	strict := flag.Bool("strict", false, "fail when a gated baseline metric is missing from the fresh report")
+	require := flag.String("require", "", "comma-separated absolute assertions on the fresh report (path>=value or path<=value)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json fresh.json")
@@ -140,12 +201,19 @@ func main() {
 			gates[g] = true
 		}
 	}
-	base, err := loadFlat(flag.Arg(0))
+	reqs, err := parseRequires(*require)
 	if err == nil {
-		var fresh map[string]float64
-		fresh, err = loadFlat(flag.Arg(1))
+		var base, fresh map[string]float64
+		base, err = loadFlat(flag.Arg(0))
 		if err == nil {
-			os.Exit(run(base, fresh, gates, *threshold, *strict, os.Stdout))
+			fresh, err = loadFlat(flag.Arg(1))
+			if err == nil {
+				code := run(base, fresh, gates, *threshold, *strict, os.Stdout)
+				if checkRequires(fresh, reqs, os.Stdout) > 0 {
+					code = 1
+				}
+				os.Exit(code)
+			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)

@@ -148,3 +148,48 @@ func TestHigherVsLowerBetterDirections(t *testing.T) {
 		}
 	}
 }
+
+func TestParseRequires(t *testing.T) {
+	reqs, err := parseRequires(" remote.verified>=200 , remote.p99_ns<=5e6 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []requirement{
+		{path: "remote.verified", op: ">=", bound: 200},
+		{path: "remote.p99_ns", op: "<=", bound: 5e6},
+	}
+	if len(reqs) != len(want) {
+		t.Fatalf("parsed %d clauses, want %d", len(reqs), len(want))
+	}
+	for i := range want {
+		if reqs[i] != want[i] {
+			t.Errorf("clause %d = %+v, want %+v", i, reqs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"nonsense", ">=5", "a>b", "x>=notanumber"} {
+		if _, err := parseRequires(bad); err == nil {
+			t.Errorf("clause %q accepted", bad)
+		}
+	}
+	if reqs, err := parseRequires(""); err != nil || len(reqs) != 0 {
+		t.Errorf("empty spec: %v, %d clauses", err, len(reqs))
+	}
+}
+
+func TestCheckRequires(t *testing.T) {
+	fresh := flat(t, `{"remote":{"verified":200,"qps":50000}}`)
+	var buf strings.Builder
+	reqs := []requirement{
+		{path: "remote.verified", op: ">=", bound: 200}, // ok (boundary)
+		{path: "remote.qps", op: ">=", bound: 60000},    // fail
+		{path: "remote.absent", op: ">=", bound: 1},     // fail (missing)
+		{path: "remote.qps", op: "<=", bound: 60000},    // ok
+	}
+	if failed := checkRequires(fresh, reqs, &buf); failed != 2 {
+		t.Fatalf("failed = %d, want 2\n%s", failed, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "path missing") {
+		t.Errorf("missing-path verdict absent:\n%s", out)
+	}
+}

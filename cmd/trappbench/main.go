@@ -77,6 +77,8 @@ func main() {
 	rounds := flag.Int("rounds", 60, "update/tick rounds for the subscription benchmark")
 	remoteAddr := flag.String("remote", "", "drive a live trappserver at this address (E13 over HTTP) instead of an in-process system")
 	verifyN := flag.Int("verify", 200, "queries to verify bit-identical against a local mirror before the -remote window (0: skip; needs a static server)")
+	wire := flag.String("wire", "http", "transport for the -remote window: http (JSON over POST /query) or framed (persistent binary protocol)")
+	pipeline := flag.Int("pipeline", 32, "requests in flight per connection on the framed wire")
 	scaleN := flag.Int("scale", 100000, "object population for the adversarial scale benchmark")
 	tenants := flag.Int("tenants", 32, "tenant tables for the scale benchmark (Zipf-sized)")
 	scaleSubs := flag.Int("scalesubs", 200, "standing queries registered during the scale benchmark")
@@ -107,7 +109,7 @@ func main() {
 	}
 
 	runners := map[string]func(){
-		"remote": func() { remote(*remoteAddr, *concurrency, *verifyN, *duration, *warmup) },
+		"remote": func() { remote(*remoteAddr, *concurrency, *verifyN, *duration, *warmup, *wire, *pipeline) },
 		"scale": func() {
 			scale(*remoteAddr, experiment.ScaleOptions{
 				Objects:       *scaleN,
@@ -438,25 +440,27 @@ func batch(batchN, links int, seed int64) {
 	fmt.Printf("per-query answers verified bit-identical to standalone execution: %v\n", cmp.Verified)
 }
 
-func remote(addr string, clients, verifyN int, duration, warmup time.Duration) {
+func remote(addr string, clients, verifyN int, duration, warmup time.Duration, wire string, pipeline int) {
 	if addr == "" {
 		fmt.Fprintln(os.Stderr, "remote mode needs -remote <addr> (a live trappserver)")
 		os.Exit(2)
 	}
-	fmt.Printf("E17 — closed-loop throughput over HTTP against %s (clients=%d, verify=%d, window=%v)\n",
-		addr, clients, verifyN, duration)
-	res, err := experiment.Remote(addr, clients, verifyN, duration, warmup)
+	fmt.Printf("E17 — closed-loop throughput over the %s wire against %s (clients=%d, pipeline=%d, verify=%d, window=%v)\n",
+		wire, addr, clients, pipeline, verifyN, duration)
+	res, err := experiment.Remote(addr, clients, verifyN, duration, warmup, wire, pipeline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "remote benchmark: %v\n", err)
 		os.Exit(1)
 	}
 	out.Remote = &res
 	if verifyN > 0 {
-		fmt.Printf("verified %d wire answers bit-identical to in-process execution\n", res.Verified)
+		fmt.Printf("verified %d wire answers bit-identical to in-process execution (over the %s wire)\n",
+			res.Verified, res.Wire)
 	}
 	experiment.WriteTable(os.Stdout,
-		[]string{"clients", "queries", "qps", "p50", "p99", "refresh-cost", "partial", "rejected"},
+		[]string{"wire", "clients", "queries", "qps", "p50", "p99", "refresh-cost", "partial", "rejected", "allocs/op c|s", "plan-hit"},
 		[][]string{{
+			res.Wire,
 			fmt.Sprintf("%d", res.Clients),
 			fmt.Sprintf("%d", res.Queries),
 			fmt.Sprintf("%.0f", res.QPS),
@@ -465,6 +469,8 @@ func remote(addr string, clients, verifyN int, duration, warmup time.Duration) {
 			fmt.Sprintf("%.0f", res.RefreshCost),
 			fmt.Sprintf("%d", res.PartialOutcomes),
 			fmt.Sprintf("%d", res.Rejected),
+			fmt.Sprintf("%.0f|%.0f", res.ClientAllocsPerOp, res.ServerAllocsPerOp),
+			fmt.Sprintf("%.2f", res.PlanCacheHitRate),
 		}})
 }
 

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	gonet "net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +50,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7090", "listen address")
+	framedAddr := flag.String("framed", ":7091", "framed binary-protocol listen address (empty: disabled); the bound port is published as framed_port in /healthz")
 	links := flag.Int("links", 90, "number of monitored links (objects)")
 	sources := flag.Int("sources", 8, "number of data sources")
 	objects := flag.Int("objects", 0, "serve the adversarial scale workload with this many objects across -tenants tables instead of the link workload")
@@ -169,6 +171,20 @@ func main() {
 				}
 			}
 		}()
+	}
+
+	// The framed listener starts before HTTP so /healthz can publish the
+	// bound framed port (trappbench -wire framed discovers it there).
+	if *framedAddr != "" {
+		fln, err := srv.ListenAndServeFramed(*framedAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trappserver: listen framed %s: %v\n", *framedAddr, err)
+			os.Exit(1)
+		}
+		if tcp, ok := fln.Addr().(*gonet.TCPAddr); ok {
+			info["framed_port"] = tcp.Port
+		}
+		fmt.Printf("trappserver: framed protocol on %s\n", fln.Addr())
 	}
 
 	hs, ln, err := srv.ListenAndServe(*addr)

@@ -12,13 +12,17 @@ package experiment
 // fork the two systems.
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
+	"net/url"
 	"reflect"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -36,6 +40,11 @@ import (
 type RemoteResult struct {
 	// Addr is the server base URL.
 	Addr string `json:"addr"`
+	// Wire is the transport the measurement window used: "http" (JSON
+	// over POST /query) or "framed" (the persistent binary protocol).
+	Wire string `json:"wire"`
+	// Pipeline is the per-connection pipeline depth (framed wire only).
+	Pipeline int `json:"pipeline,omitempty"`
 	// Links, Sources, Seed echo the server's workload descriptor.
 	Links   int   `json:"links"`
 	Sources int   `json:"sources"`
@@ -57,6 +66,21 @@ type RemoteResult struct {
 	RefreshCost     float64 `json:"refresh_cost"`
 	PartialOutcomes int64   `json:"partial_outcomes"`
 	Rejected        int64   `json:"rejected"`
+	// ClientAllocsPerOp and ServerAllocsPerOp are heap allocations per
+	// measured query on each side of the wire (runtime.MemStats deltas
+	// over the window; the server side comes from /metrics runtime
+	// counters over its statements counter).
+	ClientAllocsPerOp float64 `json:"client_allocs_per_op"`
+	ServerAllocsPerOp float64 `json:"server_allocs_per_op"`
+	// PlanCacheHitRate is the server's plan-cache hit rate over the
+	// window: hits/(hits+misses+invalidations) from /metrics deltas.
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+}
+
+// wireClient abstracts the two transports for the lockstep verifier:
+// one request in, status + decoded response out.
+type wireClient interface {
+	do(req server.QueryRequest) (int, server.QueryResponse, error)
 }
 
 // remoteClient is a minimal JSON client for the trappserver wire
@@ -84,6 +108,99 @@ func (c *remoteClient) do(req server.QueryRequest) (int, server.QueryResponse, e
 	return resp.StatusCode, qr, nil
 }
 
+// framedClient is a client for the persistent framed protocol. It is
+// not safe for concurrent use; the benchmark opens one per goroutine.
+// send/flush/recv expose the pipelined path, do the sequential one.
+type framedClient struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	id       uint32
+	readBuf  []byte
+	writeBuf []byte
+}
+
+func dialFramed(addr string) (*framedClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial framed %s: %w", addr, err)
+	}
+	return &framedClient{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+func (c *framedClient) close() { _ = c.conn.Close() }
+
+// send encodes one request into the connection's write buffer (reused
+// across requests — the encoder allocates nothing once warmed up) and
+// queues it; the caller flushes when the burst is assembled.
+func (c *framedClient) send(req server.QueryRequest) (uint32, error) {
+	c.id++
+	out, err := server.AppendRequest(c.writeBuf[:0], c.id, req)
+	if err != nil {
+		return 0, err
+	}
+	c.writeBuf = out
+	if _, err := c.bw.Write(out); err != nil {
+		return 0, err
+	}
+	return c.id, nil
+}
+
+func (c *framedClient) flush() error { return c.bw.Flush() }
+
+// recv reads and decodes one response frame.
+func (c *framedClient) recv() (uint32, server.QueryResponse, error) {
+	payload, err := server.ReadFrame(c.br, &c.readBuf)
+	if err != nil {
+		return 0, server.QueryResponse{}, err
+	}
+	id, resp, ferr := server.DecodeResponse(payload)
+	if ferr != nil {
+		return id, resp, ferr
+	}
+	return id, resp, nil
+}
+
+// do is the sequential request–response path (the verifier uses it).
+func (c *framedClient) do(req server.QueryRequest) (int, server.QueryResponse, error) {
+	id, err := c.send(req)
+	if err != nil {
+		return 0, server.QueryResponse{}, err
+	}
+	if err := c.flush(); err != nil {
+		return 0, server.QueryResponse{}, err
+	}
+	rid, resp, err := c.recv()
+	if err != nil {
+		return 0, server.QueryResponse{}, err
+	}
+	if rid != id {
+		return 0, resp, fmt.Errorf("framed: response id %d for request %d", rid, id)
+	}
+	return statusOf(resp), resp, nil
+}
+
+// statusOf maps a decoded response to the HTTP status the JSON path
+// would have carried, so both wires classify outcomes identically.
+func statusOf(resp server.QueryResponse) int {
+	if resp.Error != nil {
+		return server.HTTPStatus(resp.Error.Code)
+	}
+	status := 200
+	for i := range resp.Results {
+		if e := resp.Results[i].Error; e != nil {
+			if st := server.HTTPStatus(e.Code); st > status {
+				status = st
+			}
+		}
+	}
+	return status
+}
+
 // health is the /healthz payload.
 type health struct {
 	Status   string         `json:"status"`
@@ -92,11 +209,25 @@ type health struct {
 
 // Remote runs the E13 window against a live trappserver at addr,
 // verifying verifyN queries in lockstep against a local mirror first.
-func Remote(addr string, clients, verifyN int, duration, warmup time.Duration) (RemoteResult, error) {
+// wire selects the transport for both verification and measurement:
+// "http" (JSON over POST /query) or "framed" (the persistent binary
+// protocol; the framed port is discovered via /healthz). pipeline is
+// the per-connection pipeline depth on the framed wire (values < 1
+// mean no pipelining).
+func Remote(addr string, clients, verifyN int, duration, warmup time.Duration, wire string, pipeline int) (RemoteResult, error) {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
 	addr = strings.TrimRight(addr, "/")
+	if wire == "" {
+		wire = "http"
+	}
+	if wire != "http" && wire != "framed" {
+		return RemoteResult{}, fmt.Errorf("unknown wire %q (want http or framed)", wire)
+	}
+	if pipeline < 1 {
+		pipeline = 1
+	}
 	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients + 4}}
 
 	// Discover the server's workload so the mirror matches it exactly.
@@ -131,7 +262,22 @@ func Remote(addr string, clients, verifyN int, duration, warmup time.Duration) (
 	}
 	driven, _ := h.Workload["driven"].(bool)
 
-	out := RemoteResult{Addr: addr, Links: int(links), Sources: int(sources), Seed: seed, Clients: clients}
+	out := RemoteResult{Addr: addr, Wire: wire, Links: int(links), Sources: int(sources), Seed: seed, Clients: clients}
+
+	// The framed endpoint lives on its own port, published via /healthz.
+	var framedAddr string
+	if wire == "framed" {
+		out.Pipeline = pipeline
+		fp, ok := h.Workload["framed_port"].(float64)
+		if !ok || fp <= 0 {
+			return RemoteResult{}, fmt.Errorf("server publishes no framed_port (run trappserver with -framed)")
+		}
+		u, err := url.Parse(addr)
+		if err != nil {
+			return RemoteResult{}, fmt.Errorf("parse addr: %w", err)
+		}
+		framedAddr = net.JoinHostPort(u.Hostname(), fmt.Sprintf("%d", int(fp)))
+	}
 
 	// The mirror: the identical system, in process.
 	mirror, _, err := BuildLinkSystem(int(links), int(sources), seed)
@@ -145,7 +291,18 @@ func Remote(addr string, clients, verifyN int, duration, warmup time.Duration) (
 		if driven {
 			return RemoteResult{}, fmt.Errorf("server is driven (-drive): bit-identical verification needs a static workload; rerun trappserver without -drive or pass -verify 0")
 		}
-		if err := verifyLockstep(&remoteClient{base: addr, hc: hc}, mirror, schema, int(links), seed, verifyN); err != nil {
+		// Verification runs over the same wire the window measures, so a
+		// framed run certifies the framed codec end to end.
+		var vc wireClient = &remoteClient{base: addr, hc: hc}
+		if wire == "framed" {
+			fc, err := dialFramed(framedAddr)
+			if err != nil {
+				return RemoteResult{}, err
+			}
+			defer fc.close()
+			vc = fc
+		}
+		if err := verifyLockstep(vc, mirror, schema, int(links), seed, verifyN); err != nil {
 			return RemoteResult{}, err
 		}
 		out.Verified = verifyN
@@ -172,8 +329,35 @@ func Remote(addr string, clients, verifyN int, duration, warmup time.Duration) (
 		go func(clientSeed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(clientSeed))
-			c := &remoteClient{base: addr, hc: hc}
 			local := make([]time.Duration, 0, 4096)
+			defer func() {
+				latMu.Lock()
+				lats = append(lats, local...)
+				latMu.Unlock()
+			}()
+			record := func(status int, t0 time.Time) error {
+				switch {
+				case status == 200:
+				case status == 206:
+					partials.Add(1)
+				case status == 429:
+					rejected.Add(1)
+				default:
+					return fmt.Errorf("unexpected status %d", status)
+				}
+				if measuring.Load() {
+					local = append(local, time.Since(t0))
+					queries.Add(1)
+				}
+				return nil
+			}
+			if wire == "framed" {
+				if err := framedLoop(framedAddr, rng, schema, int(links), pipeline, &stop, record); err != nil {
+					errCh <- err
+				}
+				return
+			}
+			c := &remoteClient{base: addr, hc: hc}
 			for !stop.Load() {
 				q := concurrentQuery(rng, schema, int(links))
 				t0 := time.Now()
@@ -182,35 +366,25 @@ func Remote(addr string, clients, verifyN int, duration, warmup time.Duration) (
 					errCh <- err
 					return
 				}
-				switch {
-				case status == 200:
-				case status == 206:
-					partials.Add(1)
-				case status == 429:
-					rejected.Add(1)
-				default:
-					errCh <- fmt.Errorf("unexpected status %d", status)
+				if err := record(status, t0); err != nil {
+					errCh <- err
 					return
 				}
-				if !measuring.Load() {
-					continue
-				}
-				local = append(local, time.Since(t0))
-				queries.Add(1)
 			}
-			latMu.Lock()
-			lats = append(lats, local...)
-			latMu.Unlock()
 		}(seed + 7000 + int64(cl))
 	}
 	if warmup > 0 {
 		time.Sleep(warmup)
 	}
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	measuring.Store(true)
 	time.Sleep(duration)
 	stop.Store(true)
 	wg.Wait()
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	select {
 	case err := <-errCh:
 		return RemoteResult{}, fmt.Errorf("remote client: %w", err)
@@ -240,7 +414,72 @@ func Remote(addr string, clients, verifyN int, duration, warmup time.Duration) (
 	out.RefreshCost = after.Network.QueryRefreshCost - before.Network.QueryRefreshCost
 	out.PartialOutcomes = partials.Load()
 	out.Rejected = rejected.Load()
+	if out.Queries > 0 {
+		out.ClientAllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(out.Queries)
+	}
+	if dst := after.Statements - before.Statements; dst > 0 {
+		out.ServerAllocsPerOp = float64(after.Runtime.Mallocs-before.Runtime.Mallocs) / float64(dst)
+	}
+	dh := after.PlanCache.Hits - before.PlanCache.Hits
+	dm := after.PlanCache.Misses - before.PlanCache.Misses
+	di := after.PlanCache.Invalidations - before.PlanCache.Invalidations
+	if tot := dh + dm + di; tot > 0 {
+		out.PlanCacheHitRate = float64(dh) / float64(tot)
+	}
 	return out, nil
+}
+
+// framedLoop is one benchmark client on the framed wire: a private
+// connection driven with up to `pipeline` requests in flight. Each
+// round tops the window up in one burst (a single flush → one write
+// syscall per burst), then drains half of it, so both directions batch.
+// Send time is recorded per request, so the measured latency includes
+// pipeline queue wait — what a pipelined caller actually experiences.
+func framedLoop(addr string, rng *rand.Rand, schema *relation.Schema, links, pipeline int,
+	stop *atomic.Bool, record func(status int, t0 time.Time) error) error {
+	fc, err := dialFramed(addr)
+	if err != nil {
+		return err
+	}
+	defer fc.close()
+	t0s := make([]time.Time, 0, pipeline)
+	head := 0
+	recvOne := func() error {
+		_, resp, err := fc.recv()
+		if err != nil {
+			return err
+		}
+		err = record(statusOf(resp), t0s[head])
+		head++
+		return err
+	}
+	for !stop.Load() {
+		if head > 0 {
+			n := copy(t0s, t0s[head:])
+			t0s, head = t0s[:n], 0
+		}
+		for len(t0s) < pipeline {
+			q := concurrentQuery(rng, schema, links)
+			if _, err := fc.send(server.QueryRequest{SQL: q.String()}); err != nil {
+				return err
+			}
+			t0s = append(t0s, time.Now())
+		}
+		if err := fc.flush(); err != nil {
+			return err
+		}
+		for len(t0s)-head > pipeline/2 {
+			if err := recvOne(); err != nil {
+				return err
+			}
+		}
+	}
+	for head < len(t0s) {
+		if err := recvOne(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // fetchMetrics reads /metrics.
@@ -264,7 +503,7 @@ func fetchMetrics(hc *http.Client, addr string) (server.Metrics, error) {
 // in-process results bit for bit — answers, initial intervals, refresh
 // accounting, and typed error fields. ChooseTime is wall-clock noise
 // and is excluded.
-func verifyLockstep(c *remoteClient, mirror *itrapp.System, schema *relation.Schema, links int, seed int64, n int) error {
+func verifyLockstep(c wireClient, mirror *itrapp.System, schema *relation.Schema, links int, seed int64, n int) error {
 	rng := rand.New(rand.NewSource(seed + 4242))
 	ctx := context.Background()
 	for i := 0; i < n; i++ {

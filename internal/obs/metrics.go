@@ -46,6 +46,16 @@ type EngineMetrics struct {
 	Repair   Histogram // scheduler repair pass latency, ns
 	Maintain Histogram // per-view incremental maintenance, ns
 
+	// Plan-cache outcome counters (see query.Processor's shape-keyed
+	// plan cache): a lookup is a hit when a memoized scan-and-classify
+	// result is still valid, a miss when the shape was never seen, and
+	// an invalidation when a memoized entry was found but the relation
+	// mutated since it was stamped. hits/(hits+misses+invalidations) is
+	// the hit rate exported by the server.
+	PlanHits          atomic.Int64
+	PlanMisses        atomic.Int64
+	PlanInvalidations atomic.Int64
+
 	sampleCtr atomic.Uint64 // fast-path sampling clock, see Sample
 }
 
@@ -78,5 +88,21 @@ func (m *EngineMetrics) Snapshot() MetricsSnapshot {
 		"cost_per_width_milli": m.CostPerWidth.Snapshot(),
 		"repair_ns":            m.Repair.Snapshot(),
 		"maintain_ns":          m.Maintain.Snapshot(),
+	}
+}
+
+// CounterSnapshot maps counter name → value; like MetricsSnapshot the
+// key set is fixed so exporters can iterate it.
+type CounterSnapshot map[string]int64
+
+// Counters copies every monotonic counter.
+func (m *EngineMetrics) Counters() CounterSnapshot {
+	if m == nil {
+		return nil
+	}
+	return CounterSnapshot{
+		"plan_cache_hits":          m.PlanHits.Load(),
+		"plan_cache_misses":        m.PlanMisses.Load(),
+		"plan_cache_invalidations": m.PlanInvalidations.Load(),
 	}
 }

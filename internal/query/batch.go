@@ -154,8 +154,25 @@ func (p *Processor) ExecuteBatchDetailed(ctx context.Context, qs []Query, cfg Ex
 		key := snapshotKey(q, col)
 		snap := snaps[key]
 		if snap == nil {
-			inputs, tableLen := e.snapshot(col, q.Where, ropts.Parallelism)
-			snap = &batchSnapshot{inputs: inputs, tableLen: tableLen}
+			// Share classified snapshots with the plan cache: a memoized
+			// snapshot certified by the relation's mutation counter
+			// replaces the collection pass, and fresh collections are
+			// memoized for later requests (see plancache.go).
+			usePlans := !p.plansOff.Load()
+			scKey := scanKey{col: col, pred: predKey(q.Where)}
+			if usePlans {
+				if sc, ok := e.plans.scan(scKey, e.version()); ok {
+					snap = &batchSnapshot{inputs: sc.inputs, tableLen: sc.n}
+				}
+			}
+			if snap == nil {
+				v := e.version()
+				inputs, tableLen := e.snapshot(col, q.Where, ropts.Parallelism)
+				snap = &batchSnapshot{inputs: inputs, tableLen: tableLen}
+				if usePlans && inputs != nil {
+					e.plans.storeScan(scKey, v, inputs, tableLen)
+				}
+			}
 			snaps[key] = snap
 		}
 		items[i] = batchItem{q: q, e: e, col: col, noPred: predicate.IsTrivial(q.Where), snap: snap}

@@ -302,3 +302,59 @@ func TestMetamorphicLayoutsAgreeBitForBit(t *testing.T) {
 		}
 	}
 }
+
+// TestMetamorphicCachedVsColdLockstep replays identical query sequences
+// against two identically-built processors — one with the shape-keyed
+// plan cache enabled, one with it disabled — and demands bit-identical
+// results at every step. Repeats of the same query hit the cache on the
+// warm side (and only there), while refreshes mutate both systems in
+// lockstep, so the comparison covers hit-after-prime, invalidation
+// after refresh installs, and the cold baseline all at once.
+func TestMetamorphicCachedVsColdLockstep(t *testing.T) {
+	const trials = 40
+	opts := refresh.Options{Solver: refresh.SolverGreedyDensity}
+	for _, layout := range layouts {
+		t.Run(layout.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(80808 + int64(len(layout.name))))
+			var warmHits int64
+			for trial := 0; trial < trials; trial++ {
+				rows := genRows(rng)
+				warm := layout.build(rows, opts)
+				cold := layout.build(rows, opts)
+				cold.SetPlanCache(false)
+
+				q := genQuery(rng)
+				base, err := warm.Execute(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w := base.Answer.Width(); !math.IsInf(w, 1) && !math.IsNaN(w) {
+					q.Within = w * 0.4 // forces refresh planning on most trials
+				}
+				// Each repeat re-primes or hits the warm cache; refreshes
+				// installed by constrained runs invalidate it in between.
+				for rep := 0; rep < 3; rep++ {
+					wres, werr := warm.Execute(q)
+					cres, cerr := cold.Execute(q)
+					if (werr == nil) != (cerr == nil) {
+						t.Fatalf("trial %d rep %d (%s): errors differ: warm %v, cold %v", trial, rep, q, werr, cerr)
+					}
+					if werr != nil {
+						break
+					}
+					wres.ChooseTime, cres.ChooseTime = 0, 0
+					if wres != cres {
+						t.Fatalf("trial %d rep %d (%s):\nwarm %+v\ncold %+v", trial, rep, q, wres, cres)
+					}
+				}
+				warmHits += warm.Metrics().PlanHits.Load()
+				if cold.Metrics().PlanHits.Load() != 0 {
+					t.Fatal("cold processor served from its plan cache")
+				}
+			}
+			if warmHits == 0 {
+				t.Fatal("warm side never hit the plan cache; lockstep exercised nothing")
+			}
+		})
+	}
+}

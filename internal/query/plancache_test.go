@@ -1,0 +1,128 @@
+package query
+
+// Unit tests for the shape-keyed plan cache: disjoint hit/miss/
+// invalidation accounting, version-token staleness, bounded growth with
+// clear-on-overflow, canonical predicate keying, and concurrent access.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/interval"
+	"trapp/internal/obs"
+	"trapp/internal/predicate"
+)
+
+func TestPlanCacheFoldCounters(t *testing.T) {
+	pc := newPlanCache()
+	var m obs.EngineMetrics
+	k := foldKey{col: 1, agg: aggregate.Sum, mode: ModeBounded}
+
+	// Absent shape: miss.
+	if _, ok := pc.fold(&m, k, 7); ok {
+		t.Fatal("hit on empty cache")
+	}
+	pc.storeFold(k, 7, interval.New(1, 3), 42)
+
+	// Same version: hit with the stored payload.
+	e, ok := pc.fold(&m, k, 7)
+	if !ok || e.initial != interval.New(1, 3) || e.n != 42 {
+		t.Fatalf("hit = %+v ok=%v", e, ok)
+	}
+	// Bumped version: invalidation, not a miss.
+	if _, ok := pc.fold(&m, k, 8); ok {
+		t.Fatal("stale entry served")
+	}
+	// A different shape with the same version: miss again.
+	if _, ok := pc.fold(&m, foldKey{col: 1, agg: aggregate.Min, mode: ModeBounded}, 7); ok {
+		t.Fatal("hit on unseen shape")
+	}
+
+	h, mi, inv := m.PlanHits.Load(), m.PlanMisses.Load(), m.PlanInvalidations.Load()
+	if h != 1 || mi != 2 || inv != 1 {
+		t.Fatalf("counters hits=%d misses=%d invalidations=%d, want 1/2/1", h, mi, inv)
+	}
+}
+
+func TestPlanCacheScanVersioning(t *testing.T) {
+	pc := newPlanCache()
+	k := scanKey{col: 2, pred: "v > 10"}
+	inputs := []aggregate.Input{{Bound: interval.New(0, 5), Cost: 1}}
+
+	if _, ok := pc.scan(k, 3); ok {
+		t.Fatal("hit on empty scan cache")
+	}
+	pc.storeScan(k, 3, inputs, len(inputs))
+	e, ok := pc.scan(k, 3)
+	if !ok || len(e.inputs) != 1 || e.n != 1 {
+		t.Fatalf("scan hit = %+v ok=%v", e, ok)
+	}
+	if _, ok := pc.scan(k, 4); ok {
+		t.Fatal("stale snapshot served")
+	}
+}
+
+func TestPlanCacheOverflowClears(t *testing.T) {
+	pc := newPlanCache()
+	var m obs.EngineMetrics
+	for i := 0; i <= maxFoldEntries; i++ {
+		pc.storeFold(foldKey{col: i, agg: aggregate.Sum, mode: ModeBounded}, 1, interval.Point(0), 0)
+	}
+	for i := 0; i <= maxScanEntries; i++ {
+		pc.storeScan(scanKey{col: i}, 1, nil, 0)
+	}
+	folds, scans := pc.sizes()
+	if folds > maxFoldEntries || scans > maxScanEntries {
+		t.Fatalf("cache grew past bounds: folds=%d scans=%d", folds, scans)
+	}
+	// The most recent store survives the clear and still serves.
+	if _, ok := pc.fold(&m, foldKey{col: maxFoldEntries, agg: aggregate.Sum, mode: ModeBounded}, 1); !ok {
+		t.Fatal("entry stored after clear not served")
+	}
+}
+
+func TestPredKeyCanonical(t *testing.T) {
+	if got := predKey(nil); got != "" {
+		t.Fatalf("trivial predicate key = %q, want empty", got)
+	}
+	p1 := predicate.NewCmp(predicate.Column(1, "v"), predicate.Gt, predicate.Const(10))
+	p2 := predicate.NewCmp(predicate.Column(1, "v"), predicate.Gt, predicate.Const(10.0))
+	if predKey(p1) == "" || predKey(p1) != predKey(p2) {
+		t.Fatalf("equivalent predicates key differently: %q vs %q", predKey(p1), predKey(p2))
+	}
+	p3 := predicate.NewCmp(predicate.Column(1, "v"), predicate.Gt, predicate.Const(10.5))
+	if predKey(p1) == predKey(p3) {
+		t.Fatalf("distinct constants collide on key %q", predKey(p1))
+	}
+	// %g is shortest-round-trip: nearby floats never collide.
+	p4 := predicate.NewCmp(predicate.Column(1, "v"), predicate.Gt,
+		predicate.Const(10.000000000000002))
+	if predKey(p1) == predKey(p4) {
+		t.Fatalf("adjacent floats collide on key %q", predKey(p1))
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	pc := newPlanCache()
+	var m obs.EngineMetrics
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := foldKey{col: i % 7, agg: aggregate.Sum, mode: ModeBounded, pred: fmt.Sprint(i % 3)}
+				if e, ok := pc.fold(&m, k, uint64(i%5)); ok && e.n != int(e.version) {
+					t.Errorf("goroutine %d: torn entry %+v", g, e)
+					return
+				}
+				pc.storeFold(k, uint64(i%5), interval.Point(float64(i%5)), i%5)
+				pc.storeScan(scanKey{col: i % 7}, uint64(i%5), nil, i%5)
+				pc.scan(scanKey{col: i % 7}, uint64(i%5))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

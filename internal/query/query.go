@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trapp/internal/aggregate"
@@ -171,6 +172,16 @@ type tableEntry struct {
 	store  *relation.Store // sharded registration
 	oracle Oracle
 	lock   *sync.RWMutex // guards table; unused for sharded registrations
+	plans  *planCache    // shape-keyed scan/classify memo, see plancache.go
+}
+
+// version returns the relation's mutation counter — the plan cache's
+// invalidation token (see plancache.go).
+func (e *tableEntry) version() uint64 {
+	if e.store != nil {
+		return e.store.Version()
+	}
+	return e.table.Version()
 }
 
 // schema returns the registered relation's schema.
@@ -242,6 +253,10 @@ type Processor struct {
 	entries map[string]*tableEntry
 	opts    refresh.Options
 	metrics *obs.EngineMetrics
+	// plansOff disables the shape-keyed plan cache when set; the cold
+	// path is the differential reference the cached path must match
+	// bit-for-bit (see plancache.go and the trapp differential suite).
+	plansOff atomic.Bool
 }
 
 // NewProcessor returns an empty processor with the given refresh options.
@@ -275,7 +290,7 @@ func (p *Processor) RegisterShared(name string, t *relation.Table, o Oracle, loc
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.entries[name] = &tableEntry{table: t, oracle: o, lock: lock}
+	p.entries[name] = &tableEntry{table: t, oracle: o, lock: lock, plans: newPlanCache()}
 }
 
 // RegisterStore adds a sharded cached relation. The store's per-shard
@@ -285,7 +300,29 @@ func (p *Processor) RegisterShared(name string, t *relation.Table, o Oracle, loc
 func (p *Processor) RegisterStore(name string, st *relation.Store, o Oracle) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.entries[name] = &tableEntry{store: st, oracle: o}
+	p.entries[name] = &tableEntry{store: st, oracle: o, plans: newPlanCache()}
+}
+
+// SetPlanCache enables or disables the shape-keyed plan cache (enabled
+// by default). Disabling forces every request down the cold
+// scan-and-classify path; the differential suites run cached-vs-cold in
+// lockstep to prove bit-identical answers.
+func (p *Processor) SetPlanCache(enabled bool) { p.plansOff.Store(!enabled) }
+
+// PlanCacheEnabled reports whether the shape-keyed plan cache is active.
+func (p *Processor) PlanCacheEnabled() bool { return !p.plansOff.Load() }
+
+// PlanCacheSizes returns the total memoized fold and scan entry counts
+// across all registered tables.
+func (p *Processor) PlanCacheSizes() (folds, scans int) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, e := range p.entries {
+		f, s := e.plans.sizes()
+		folds += f
+		scans += s
+	}
+	return folds, scans
 }
 
 // entry returns the registration for a table, or nil.
@@ -418,15 +455,51 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 	// lock held.
 	var res Result
 	res.Trace = tr
-	scanSp := root.StartSpan("scan")
 	noPred := predicate.IsTrivial(q.Where)
+
+	// Plan-cache lookup: the step-1 answer depends only on the query
+	// shape and the relation state, so a memoized fold certified by the
+	// relation's mutation counter replaces the scan outright (see
+	// plancache.go for the bit-identical argument). The version is read
+	// before the scan so a racing mutation can only leave a
+	// conservatively stale stamp.
+	usePlans := !p.plansOff.Load()
+	var pcKey foldKey
+	var pcVer uint64
+	pcHit := false
+	if usePlans {
+		pcVer = e.version()
+		pcKey = foldKey{col: col, agg: q.Agg, mode: cfg.Mode, pred: predKey(q.Where)}
+	}
+	pcSp := root.StartSpan("plancache")
 	var inputs []aggregate.Input
 	var tableLen int
-	if e.store != nil {
-		res.Initial, tableLen = aggregate.EvalStoreStream(e.store, col, q.Agg, q.Where)
-	} else {
-		inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
-		res.Initial = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
+	if usePlans {
+		if ent, ok := e.plans.fold(m, pcKey, pcVer); ok {
+			pcHit = true
+			res.Initial = ent.initial
+			tableLen = ent.n
+		}
+	}
+	if pcSp != nil {
+		pcSp.SetDetail("hit=%t", pcHit)
+		pcSp.End()
+	}
+	var scanSp *obs.Span
+	if !pcHit {
+		scanSp = root.StartSpan("scan")
+		if e.store != nil {
+			res.Initial, tableLen = aggregate.EvalStoreStream(e.store, col, q.Agg, q.Where)
+		} else {
+			inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
+			res.Initial = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
+		}
+		if usePlans {
+			e.plans.storeFold(pcKey, pcVer, res.Initial, tableLen)
+			if inputs != nil {
+				e.plans.storeScan(scanKey{col: col, pred: pcKey.pred}, pcVer, inputs, tableLen)
+			}
+		}
 	}
 	var tScan time.Time
 	if sampled {
@@ -473,9 +546,23 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 	// Step 2: choose refreshes from a snapshot, fetch the exact values
 	// outside any table lock — slow sources must not block other
 	// queries' scans — and install them write-locking only the shards
-	// owning keys in the plan.
+	// owning keys in the plan. A memoized classified snapshot (stamped
+	// with an unchanged mutation counter) replaces the collection pass:
+	// the planners treat inputs as read-only, so sharing is safe.
 	if inputs == nil {
-		inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
+		scKey := scanKey{col: col, pred: predKey(q.Where)}
+		if usePlans {
+			if sc, ok := e.plans.scan(scKey, e.version()); ok {
+				inputs, tableLen = sc.inputs, sc.n
+			}
+		}
+		if inputs == nil {
+			v := e.version()
+			inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
+			if usePlans && inputs != nil {
+				e.plans.storeScan(scKey, v, inputs, tableLen)
+			}
+		}
 	}
 	chooseSp := root.StartSpan("choose")
 	start := time.Now()
@@ -514,11 +601,21 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 		// must reflect them.
 		foldSp := root.StartSpan("fold")
 		tFold := time.Now()
+		// The post-refresh state is what the next same-shape request will
+		// scan, so memoize the refold under the version read before it —
+		// repeat constrained shapes then hit on their initial scan.
+		var vFold uint64
+		if usePlans {
+			vFold = e.version()
+		}
 		if e.store != nil {
-			res.Answer, _ = aggregate.EvalStoreStream(e.store, col, q.Agg, q.Where)
+			res.Answer, tableLen = aggregate.EvalStoreStream(e.store, col, q.Agg, q.Where)
 		} else {
 			inputs, tableLen = e.snapshot(col, q.Where, ropts.Parallelism)
 			res.Answer = aggregate.EvalInputs(inputs, q.Agg, noPred, tableLen)
+		}
+		if usePlans {
+			e.plans.storeFold(pcKey, vFold, res.Answer, tableLen)
 		}
 		m.Fold.ObserveDuration(time.Since(tFold))
 		if foldSp != nil {

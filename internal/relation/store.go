@@ -36,6 +36,12 @@ type Store struct {
 	shift  uint // 64 − log2(len(shards))
 	shards []storeShard
 	length atomic.Int64
+	// version counts completed mutations through any of the store's
+	// write entry points (Insert/Delete/Update/UpdateShard/Refresh). The
+	// bump happens after the shard write, so a reader that observes an
+	// unchanged version across two scans saw identical store contents —
+	// the invalidation token validated by the query layer's plan cache.
+	version atomic.Uint64
 }
 
 // storeShard is one shard: a flat Table plus its lock.
@@ -154,7 +160,13 @@ func (s *Store) UpdateShard(i int, fn func(t *Table)) {
 	s.shards[i].mu.Lock()
 	defer s.shards[i].mu.Unlock()
 	fn(s.shards[i].tab)
+	s.version.Add(1)
 }
+
+// Version returns the store's mutation counter. Two equal reads
+// bracketing a scan certify the scan saw a single, unmutated store state;
+// any completed mutation in between is guaranteed to change the value.
+func (s *Store) Version() uint64 { return s.version.Load() }
 
 // View runs fn with the owning shard's table and the key's position
 // under the shard read lock; it reports whether the key was present (fn
@@ -182,6 +194,7 @@ func (s *Store) Update(key int64, fn func(t *Table, i int)) bool {
 		return false
 	}
 	fn(sh.tab, i)
+	s.version.Add(1)
 	return true
 }
 
@@ -213,6 +226,7 @@ func (s *Store) Insert(tu Tuple) error {
 		t.byKey[t.tuples[i-1].Key] = i - 1
 	}
 	s.length.Add(1)
+	s.version.Add(1)
 	return nil
 }
 
@@ -242,6 +256,7 @@ func (s *Store) Delete(key int64) bool {
 	}
 	delete(t.byKey, key)
 	s.length.Add(-1)
+	s.version.Add(1)
 	return true
 }
 

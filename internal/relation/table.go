@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"trapp/internal/interval"
 )
@@ -39,6 +40,13 @@ type Table struct {
 	schema *Schema
 	tuples []Tuple
 	byKey  map[int64]int
+	// version counts completed mutations (Insert/Delete/Refresh/SetBound).
+	// Every mutating method bumps it after the write, so a reader that
+	// observes an unchanged version across two scans saw the same table
+	// state both times — the invalidation token for the query layer's
+	// plan cache. Reading it is lock-free; bumping happens under whatever
+	// lock already guards the mutation.
+	version atomic.Uint64
 }
 
 // NewTable returns an empty table with the given schema.
@@ -91,6 +99,7 @@ func (t *Table) Insert(tu Tuple) error {
 	}
 	t.byKey[tu.Key] = len(t.tuples)
 	t.tuples = append(t.tuples, tu.Clone())
+	t.version.Add(1)
 	return nil
 }
 
@@ -115,6 +124,7 @@ func (t *Table) Delete(key int64) bool {
 	}
 	t.tuples = t.tuples[:last]
 	delete(t.byKey, key)
+	t.version.Add(1)
 	return true
 }
 
@@ -131,6 +141,7 @@ func (t *Table) Refresh(i int, exact []float64) error {
 	for j, c := range bcols {
 		tu.Bounds[c] = interval.Point(exact[j])
 	}
+	t.version.Add(1)
 	return nil
 }
 
@@ -144,8 +155,14 @@ func (t *Table) SetBound(i, col int, b interval.Interval) error {
 		return fmt.Errorf("relation: non-point bound for exact column %q", t.schema.Column(col).Name)
 	}
 	t.tuples[i].Bounds[col] = b
+	t.version.Add(1)
 	return nil
 }
+
+// Version returns the table's mutation counter. Two equal reads bracketing
+// a scan certify the scan saw a single, unmutated table state; any
+// completed mutation in between is guaranteed to change the value.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // Clone returns a deep copy of the table, used by the query processor to
 // evaluate refresh plans without mutating the live cache.

@@ -1,0 +1,188 @@
+package server
+
+// Persistent framed-protocol server: the wire-gap half of DESIGN.md §13.
+//
+// The HTTP path pays, per query, header parsing, two JSON codec passes,
+// and a string round-trip for every float. The framed path amortizes
+// the connection (clients hold it open), replaces JSON with the
+// fixed-layout binary codec in frame.go, and lets clients pipeline:
+// a connection may have many requests in flight. Within one connection,
+// requests are served sequentially in arrival order — pipelining's win
+// is removing the per-request round-trip wait, not reordering — and the
+// response stream is flushed only when the read buffer drains, so a
+// deep pipeline costs one write syscall per batch of responses, not per
+// response. Concurrency comes from connections, matching how the
+// benchmark (and any real client pool) drives the server. Buffers are
+// pooled per connection; a warmed-up connection serves queries without
+// allocating on the framing layer at all.
+//
+// Admission control is shared with HTTP: the same requests/statements
+// counters, the same MaxInFlight gauge, the same draining gate and
+// handler tracking, and the same per-client budget ledgers (framed
+// clients are keyed by remote host — there is no header to carry
+// X-Trapp-Client). EXPLAIN ANALYZE and traces are HTTP-only; a framed
+// request carrying one is answered with an unsupported error, not a
+// dropped connection.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// ListenAndServeFramed serves the framed protocol on addr until
+// Shutdown. The accept loop runs on its own goroutine; the returned
+// listener reports the bound address (for addr ":0").
+func (s *Server) ListenAndServeFramed(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.framedListeners.Store(ln, struct{}{})
+	go func() {
+		defer s.framedListeners.Delete(ln)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed by Shutdown
+			}
+			go s.ServeFramed(conn)
+		}
+	}()
+	return ln, nil
+}
+
+// ServeFramed serves one framed-protocol connection until the peer
+// closes it, a framing violation makes the stream undelimitable, or the
+// server shuts down. Exported so tests can drive it over a raw pipe.
+func (s *Server) ServeFramed(conn net.Conn) {
+	defer conn.Close()
+	s.framedConns.Add(1)
+	defer s.framedConns.Add(-1)
+
+	// Tie the connection to Shutdown: baseCtx cancellation closes the
+	// conn, which unblocks the read loop.
+	stop := context.AfterFunc(s.baseCtx, func() { _ = conn.Close() })
+	defer stop()
+
+	client := framedClientKey(conn)
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	var readBuf, writeBuf []byte
+
+	// writeResp encodes one response into the reused buffer and queues
+	// it on the buffered writer, flushing only when asked (i.e. when no
+	// more pipelined requests are already buffered).
+	writeResp := func(id uint32, resp QueryResponse, flush bool) bool {
+		out, err := AppendResponse(writeBuf[:0], id, resp)
+		if err != nil {
+			// Unencodable response — cannot happen for framed-path
+			// responses (traces are rejected at request time), kept as
+			// defense in depth.
+			out, _ = AppendResponse(writeBuf[:0], id, QueryResponse{
+				Error: &WireError{Code: CodeInternal, Message: err.Error()},
+			})
+		}
+		writeBuf = out
+		if _, werr := bw.Write(out); werr != nil {
+			return false
+		}
+		if flush {
+			return bw.Flush() == nil
+		}
+		return true
+	}
+
+	for {
+		payload, err := ReadFrame(br, &readBuf)
+		if err != nil {
+			var fe *FrameError
+			if errors.As(err, &fe) {
+				// The stream can no longer be delimited; answer with a
+				// final error frame (id 0 — the offending frame's id is
+				// unknowable) and close.
+				writeResp(0, QueryResponse{Error: &WireError{
+					Code: CodeInvalid, Message: fe.Error(),
+				}}, true)
+			}
+			return
+		}
+		s.requests.Add(1)
+		flush := br.Buffered() == 0
+		id, req, ferr := DecodeRequest(payload)
+		if ferr != nil {
+			if !writeResp(id, QueryResponse{Error: &WireError{
+				Code: CodeInvalid, Message: ferr.Error(),
+			}}, true) {
+				return
+			}
+			if payload[0] != FrameRequest {
+				// Not a request frame: the peer has lost protocol state;
+				// close rather than guess.
+				return
+			}
+			continue
+		}
+		resp, _ := s.runFramed(client, req)
+		if !writeResp(id, resp, flush) {
+			return
+		}
+	}
+}
+
+// runFramed executes one framed request through the shared
+// transport-agnostic pipeline: same admission gates, same parse cache,
+// same budget ledgers, same error accounting as POST /query.
+func (s *Server) runFramed(client string, req QueryRequest) (QueryResponse, float64) {
+	if s.draining.Load() {
+		s.counter(CodeDraining).Add(1)
+		return QueryResponse{Error: &WireError{Code: CodeDraining, Message: "server draining"}}, 0
+	}
+	if req.Trace {
+		s.counter(CodeUnsupported).Add(1)
+		return QueryResponse{Error: &WireError{Code: CodeUnsupported,
+			Message: "traces are not supported over the framed protocol"}}, 0
+	}
+	if !s.admit(&s.inflight, s.cfg.MaxInFlight) {
+		s.rejected.Add(1)
+		s.counter(CodeOverCapacity).Add(1)
+		return QueryResponse{Error: &WireError{Code: CodeOverCapacity,
+			Message: fmt.Sprintf("over capacity: %d requests in flight (max %d)",
+				s.inflight.Load(), s.cfg.MaxInFlight)}}, 0
+	}
+	defer s.inflight.Add(-1)
+	if !s.track() {
+		s.counter(CodeDraining).Add(1)
+		return QueryResponse{Error: &WireError{Code: CodeDraining, Message: "server draining"}}, 0
+	}
+	defer s.handlers.Done()
+
+	qs, explain, we := s.parseRequest(req.SQL, false, false)
+	if we != nil {
+		s.counter(we.Code).Add(1)
+		return QueryResponse{Error: we}, 0
+	}
+	opts, we := buildOptions(req)
+	if we != nil {
+		s.counter(we.Code).Add(1)
+		return QueryResponse{Error: we}, 0
+	}
+	resp, _, spent := s.run(s.baseCtx, client, req, qs, explain, opts)
+	return resp, spent
+}
+
+// framedClientKey keys budget ledgers for a framed connection by remote
+// host (the framed protocol has no client header).
+func framedClientKey(conn net.Conn) string {
+	addr := conn.RemoteAddr()
+	if addr == nil {
+		return "framed"
+	}
+	host, _, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return addr.String()
+	}
+	return host
+}

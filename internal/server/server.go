@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -106,6 +107,14 @@ type Server struct {
 	queryLatency obs.Histogram
 	// reqSeq numbers requests for X-Trapp-Request-Id.
 	reqSeq atomic.Int64
+	// parsed memoizes statement compilation (one cache per server, bound
+	// to the system's catalog); at framed-wire rates the parse costs
+	// more than a cache-answered execution.
+	parsed *sql.ParseCache
+	// framedConns gauges live framed-protocol connections; framed
+	// listeners are tracked for Shutdown teardown.
+	framedConns     atomic.Int64
+	framedListeners sync.Map // net.Listener → struct{}
 	// overflow holds the ledgers shared by clients past MaxClients,
 	// hashed by client key. A single shared ledger serializes every
 	// overflow request on one mutex — and, worse, pools their budgets —
@@ -150,7 +159,8 @@ type ledger struct {
 // afterwards if they own it).
 func New(sys *itrapp.System, cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{sys: sys, cfg: cfg, baseCtx: ctx, drain: cancel, start: time.Now()}
+	s := &Server{sys: sys, cfg: cfg, baseCtx: ctx, drain: cancel, start: time.Now(),
+		parsed: sql.NewParseCache()}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/subscribe", s.handleSubscribe)
@@ -194,6 +204,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.drainMu.Unlock()
 	s.drain()
+	// Framed listeners stop accepting; live framed connections observe
+	// baseCtx and close via their per-connection AfterFunc.
+	s.framedListeners.Range(func(k, _ any) bool {
+		_ = k.(net.Listener).Close()
+		return true
+	})
 	done := make(chan struct{})
 	go func() { s.handlers.Wait(); close(done) }()
 	select {
@@ -212,7 +228,15 @@ func (s *Server) ListenAndServe(addr string) (*http.Server, net.Listener, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	hs := &http.Server{Handler: s.mux}
+	// Slowloris hardening: a client trickling header bytes (or holding
+	// idle keep-alive sockets) must not pin handler resources forever.
+	// Request bodies are already capped by MaxBytesReader in the
+	// handlers; no WriteTimeout since /subscribe streams indefinitely.
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Printf("trappserver: serve: %v\n", err)
@@ -379,7 +403,7 @@ func (s *Server) parseRequest(src string, allowGroupBy, allowExplain bool) ([]qu
 		explain []bool
 	)
 	for i, stmt := range stmts {
-		st, err := sql.ParseStatement(stmt, s.sys.Catalog())
+		st, err := s.parsed.Parse(stmt, s.sys.Catalog())
 		if err != nil {
 			we := EncodeError(err)
 			if we.Pos != nil {
@@ -490,17 +514,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var opts []query.ExecOption
 		opts, we = buildOptions(req)
 		if we == nil {
-			spent = s.execute(w, r, req, qs, explain, opts)
+			var resp QueryResponse
+			var status int
+			resp, status, spent = s.run(r.Context(), clientKey(r), req, qs, explain, opts)
+			writeJSON(w, status, resp)
 			return
 		}
 	}
 	s.fail(w, we)
 }
 
-// execute runs the parsed statements and writes the response. It
-// returns the refresh cost the request actually spent (the slow-query
-// log reports it).
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryRequest, qs []query.Query, explain []bool, opts []query.ExecOption) (spent float64) {
+// run executes the parsed statements and builds the response. It is
+// transport-agnostic — the HTTP handler and the framed-protocol loop
+// both feed it — and it owns all error accounting for the execution
+// phase (per-code counters, the statements counter), so callers must
+// encode the returned response as-is rather than re-counting through
+// fail. It also returns the HTTP status the response maps to (framed
+// transport ignores it) and the refresh cost actually spent (the
+// slow-query log reports it).
+func (s *Server) run(ctx context.Context, client string, req QueryRequest, qs []query.Query, explain []bool, opts []query.ExecOption) (_ QueryResponse, status int, spent float64) {
 	traced := req.Trace
 	for _, e := range explain {
 		if e {
@@ -519,7 +551,7 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryReques
 		budget    float64
 	)
 	if s.cfg.ClientBudget > 0 {
-		led = s.ledgerFor(clientKey(r))
+		led = s.ledgerFor(client)
 		var eff float64
 		eff, reserved = led.reserve(s.cfg.ClientBudget, req.Budget)
 		hasBudget, budget = true, eff
@@ -530,7 +562,7 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryReques
 	// The execution context dies with the client connection or with
 	// Shutdown, whichever comes first, so an abandoned request stops
 	// refreshing mid-fan-out.
-	ctx, cancel := context.WithCancel(r.Context())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
@@ -592,15 +624,16 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryReques
 		// Result attributes (a batch cut down mid-fan-out); the
 		// reservation is forfeited rather than refunded, so metering
 		// errs against the client, never against the ceiling.
-		s.fail(w, EncodeError(err))
-		return spent
+		we := EncodeError(err)
+		s.counter(we.Code).Add(1)
+		return QueryResponse{Error: we}, HTTPStatus(we.Code), spent
 	}
 	if led != nil {
 		led.refund(reserved, spent)
 	}
 
 	resp := QueryResponse{Results: make([]WireResult, len(results))}
-	status := 200
+	status = 200
 	for i := range results {
 		resp.Results[i] = ToWireResult(results[i], perQuery[i])
 		if e := resp.Results[i].Error; e != nil {
@@ -615,8 +648,7 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, req QueryReques
 		resp.BudgetRemaining = &rem
 	}
 	s.statements.Add(int64(len(results)))
-	writeJSON(w, status, resp)
-	return spent
+	return resp, status, spent
 }
 
 // handleSubscribe is GET /subscribe?sql=...: a server-sent-events stream
@@ -750,8 +782,49 @@ type Metrics struct {
 	Engine obs.MetricsSnapshot `json:"engine,omitempty"`
 	// Sources reports each source's adaptive-width controller state.
 	Sources map[string]source.WidthTelemetry `json:"sources,omitempty"`
+	// PlanCache reports the shape-keyed plan/classification cache:
+	// cumulative hit/miss/invalidation counts and current occupancy.
+	PlanCache PlanCacheMetrics `json:"plan_cache"`
+	// ParseCache reports the statement-compilation memo.
+	ParseCache ParseCacheMetrics `json:"parse_cache"`
+	// Runtime reports process-wide allocation counters; paired with the
+	// Statements counter it yields server-side allocs per statement,
+	// which the wire benchmark reports alongside client-side allocs.
+	Runtime RuntimeMetrics `json:"runtime"`
+	// FramedConnections gauges live framed-protocol connections.
+	FramedConnections int64 `json:"framed_connections"`
 	// Workload echoes Config.Info.
 	Workload map[string]any `json:"workload,omitempty"`
+}
+
+// PlanCacheMetrics is the plan cache's /metrics section. HitRate is
+// hits/(hits+misses+invalidations) — the share of executions that
+// skipped the classification scan entirely.
+type PlanCacheMetrics struct {
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Invalidations int64   `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
+	FoldEntries   int     `json:"fold_entries"`
+	ScanEntries   int     `json:"scan_entries"`
+}
+
+// ParseCacheMetrics is the statement-cache /metrics section.
+type ParseCacheMetrics struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// RuntimeMetrics is a minimal runtime.MemStats excerpt: enough to
+// compute allocation deltas across a benchmark window without the full
+// (and expensive to encode) MemStats dump.
+type RuntimeMetrics struct {
+	Mallocs    uint64 `json:"mallocs"`
+	TotalAlloc uint64 `json:"total_alloc"`
+	HeapAlloc  uint64 `json:"heap_alloc"`
+	NumGC      uint32 `json:"num_gc"`
+	Goroutines int    `json:"goroutines"`
 }
 
 // NetworkMetrics is the JSON form of netsim.Stats.
@@ -843,6 +916,27 @@ func (s *Server) SnapshotMetrics() Metrics {
 	m.QueryLatency = s.queryLatency.Snapshot()
 	m.Engine = s.sys.Metrics().Snapshot()
 	m.Sources = s.sys.WidthTelemetry()
+	counters := s.sys.Metrics().Counters()
+	m.PlanCache = PlanCacheMetrics{
+		Hits:          counters["plan_cache_hits"],
+		Misses:        counters["plan_cache_misses"],
+		Invalidations: counters["plan_cache_invalidations"],
+	}
+	if total := m.PlanCache.Hits + m.PlanCache.Misses + m.PlanCache.Invalidations; total > 0 {
+		m.PlanCache.HitRate = float64(m.PlanCache.Hits) / float64(total)
+	}
+	m.PlanCache.FoldEntries, m.PlanCache.ScanEntries = s.sys.Processor().PlanCacheSizes()
+	m.ParseCache.Hits, m.ParseCache.Misses, m.ParseCache.Entries = s.parsed.Stats()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Runtime = RuntimeMetrics{
+		Mallocs:    ms.Mallocs,
+		TotalAlloc: ms.TotalAlloc,
+		HeapAlloc:  ms.HeapAlloc,
+		NumGC:      ms.NumGC,
+		Goroutines: runtime.NumGoroutine(),
+	}
+	m.FramedConnections = s.framedConns.Load()
 	return m
 }
 
@@ -878,6 +972,18 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	pw.Counter("trapp_updates_sent_total", "Subscription updates sent.", nil, float64(m.UpdatesSent))
 	pw.Gauge("trapp_in_flight", "Requests currently executing.", nil, float64(m.InFlight))
 	pw.Gauge("trapp_subscribers", "Open subscription streams.", nil, float64(m.Subscribers))
+	pw.Gauge("trapp_framed_connections", "Live framed-protocol connections.", nil, float64(m.FramedConnections))
+	pw.Counter("trapp_plan_cache_hits_total", "Plan-cache hits (classification scan skipped).",
+		nil, float64(m.PlanCache.Hits))
+	pw.Counter("trapp_plan_cache_misses_total", "Plan-cache misses (shape not yet cached).",
+		nil, float64(m.PlanCache.Misses))
+	pw.Counter("trapp_plan_cache_invalidations_total", "Plan-cache entries discarded by relation mutations.",
+		nil, float64(m.PlanCache.Invalidations))
+	pw.Gauge("trapp_plan_cache_hit_rate", "Plan-cache hits over all lookups.", nil, m.PlanCache.HitRate)
+	pw.Counter("trapp_parse_cache_hits_total", "Statement-cache hits (parse skipped).",
+		nil, float64(m.ParseCache.Hits))
+	pw.Counter("trapp_parse_cache_misses_total", "Statement-cache misses.",
+		nil, float64(m.ParseCache.Misses))
 	for code, n := range m.ErrorsByCode {
 		pw.Counter("trapp_errors_total", "Request and statement outcomes by error code.",
 			map[string]string{"code": code}, float64(n))

@@ -1,0 +1,71 @@
+package sql
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParseCache memoizes successful ParseStatement compilations by exact
+// statement text. On a serving tier the statement stream is highly
+// repetitive (few shapes, many callers), and at wire rates the parse —
+// lexing, catalog resolution, predicate construction — costs more than
+// the cache-answered execution it feeds; memoizing it removes that cost
+// and, because repeated text yields the *same* compiled Statement value,
+// lets downstream shape-keyed caches key on cheap identity.
+//
+// A cache is bound to one catalog: compilation resolves column names
+// against it, so callers must use one ParseCache per catalog instance
+// (the server owns one per System). Only successful parses are cached —
+// errors stay cheap to recompute and a statement that fails against a
+// growing catalog (an unmounted table) must not fail forever. Cached
+// Statements are shared: callers may append-copy Queries but must not
+// mutate them in place.
+//
+// The size is bounded; on overflow the map is cleared (rare — it takes
+// maxParseEntries distinct statement texts — and self-healing).
+type ParseCache struct {
+	mu     sync.RWMutex
+	m      map[string]Statement
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// maxParseEntries bounds the cache; adversarial unique-text request
+// streams degrade to parse-per-request, never to unbounded memory.
+const maxParseEntries = 4096
+
+// NewParseCache returns an empty statement cache.
+func NewParseCache() *ParseCache {
+	return &ParseCache{m: make(map[string]Statement)}
+}
+
+// Parse compiles src against cat, serving repeats from the cache.
+func (c *ParseCache) Parse(src string, cat Catalog) (Statement, error) {
+	c.mu.RLock()
+	st, ok := c.m[src]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return st, nil
+	}
+	c.misses.Add(1)
+	st, err := ParseStatement(src, cat)
+	if err != nil {
+		return st, err
+	}
+	c.mu.Lock()
+	if len(c.m) >= maxParseEntries {
+		clear(c.m)
+	}
+	c.m[src] = st
+	c.mu.Unlock()
+	return st, nil
+}
+
+// Stats reports cumulative hits and misses and the current entry count.
+func (c *ParseCache) Stats() (hits, misses int64, size int) {
+	c.mu.RLock()
+	size = len(c.m)
+	c.mu.RUnlock()
+	return c.hits.Load(), c.misses.Load(), size
+}

@@ -1,0 +1,92 @@
+package sql
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestParseCacheHitsAndSharing(t *testing.T) {
+	c := NewParseCache()
+	const src = "SELECT SUM(latency), MIN(traffic) WITHIN 5 FROM links"
+
+	st1, err := c.Parse(src, cat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Parse(src, cat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatal("cached statement differs from parsed")
+	}
+	// The cached hit must return the same compiled predicate values, and
+	// agree with a fresh uncached parse.
+	fresh, err := ParseStatement(src, cat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st2, fresh) {
+		t.Fatal("cached statement differs from uncached parse")
+	}
+	hits, misses, size := c.Stats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Fatalf("stats hits=%d misses=%d size=%d, want 1/1/1", hits, misses, size)
+	}
+}
+
+func TestParseCacheErrorsNotCached(t *testing.T) {
+	c := NewParseCache()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Parse("SELECT BOGUS(latency) FROM links", cat()); err == nil {
+			t.Fatal("bogus statement parsed")
+		}
+	}
+	hits, misses, size := c.Stats()
+	if hits != 0 || size != 0 {
+		t.Fatalf("errors were cached: hits=%d size=%d", hits, size)
+	}
+	if misses != 3 {
+		t.Fatalf("misses = %d, want 3", misses)
+	}
+}
+
+func TestParseCacheOverflowClears(t *testing.T) {
+	c := NewParseCache()
+	for i := 0; i <= maxParseEntries; i++ {
+		src := fmt.Sprintf("SELECT SUM(latency) WITHIN %d FROM links", i+1)
+		if _, err := c.Parse(src, cat()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, size := c.Stats()
+	if size > maxParseEntries {
+		t.Fatalf("cache grew past bound: %d entries", size)
+	}
+	// Still serves correctly after the clear.
+	if _, err := c.Parse("SELECT SUM(latency) WITHIN 1 FROM links", cat()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCacheConcurrent(t *testing.T) {
+	c := NewParseCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				src := fmt.Sprintf("SELECT SUM(latency) WITHIN %d FROM links", i%10)
+				st, err := c.Parse(src, cat())
+				if err != nil || len(st.Queries) != 1 {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

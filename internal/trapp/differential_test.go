@@ -142,6 +142,11 @@ func runDifferentialShardedVsFlat(t *testing.T, seed int64, pick func(*rand.Rand
 	if got := sh.c.Store().NumShards(); got <= 1 {
 		t.Fatalf("sharded side has %d shards", got)
 	}
+	// The reference side runs every query cold while the sharded side
+	// keeps its shape-keyed plan cache: every comparison below is then
+	// also a cached-vs-cold bit-identity check across the full mutation
+	// mix (pushes, ticks, deletes, inserts, refreshes).
+	ref.sys.proc.SetPlanCache(false)
 	rng := rand.New(rand.NewSource(seed))
 	nextKey := int64(9000)
 	live := sh.c.Keys()
@@ -348,6 +353,14 @@ func runDifferentialShardedVsFlat(t *testing.T, seed int64, pick func(*rand.Rand
 				}
 			}
 		}
+	}
+	// The cached-vs-cold property is vacuous if the warm side never
+	// actually served from its cache.
+	if m := sh.sys.Metrics(); m.PlanHits.Load() == 0 {
+		t.Fatal("sharded side recorded no plan-cache hits; cached-vs-cold check exercised nothing")
+	}
+	if m := ref.sys.Metrics(); m.PlanHits.Load() != 0 {
+		t.Fatalf("reference side served %d plan-cache hits despite SetPlanCache(false)", m.PlanHits.Load())
 	}
 }
 

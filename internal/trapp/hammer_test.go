@@ -1,0 +1,79 @@
+package trapp
+
+// Plan-cache race hammer: concurrent queries (which populate and serve
+// from the shape-keyed plan cache) against concurrent mutations (source
+// pushes and clock ticks) on one shared system. The inline assertions
+// are deliberately weak — no errors and no torn intervals — because the
+// real check is the race detector: CI runs this under -race, where any
+// unsynchronized access between the cache's readers and the mutators
+// fails the build.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPlanCacheHammer(t *testing.T) {
+	d := newDiffSystem(t, 0) // default sharding
+	const (
+		queriers = 4
+		mutators = 2
+		rounds   = 300
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// A tiny seed space keeps the shape population small, so
+				// queriers collide on cache entries constantly.
+				rng := rand.New(rand.NewSource(int64(g*3+i%9) + 1))
+				q := diffQuery(rng)
+				q.GroupBy = nil
+				res, err := d.sys.ExecuteCtx(context.Background(), q)
+				if err != nil {
+					t.Errorf("querier %d round %d (%v): %v", g, i, q, err)
+					return
+				}
+				if !res.Answer.IsEmpty() && res.Answer.Lo > res.Answer.Hi {
+					t.Errorf("querier %d round %d: torn interval %+v", g, i, res.Answer)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < mutators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds && !stop.Load(); i++ {
+				key := int64((g*37+i)%diffObjects) + int64(g%diffSources)*1000
+				v := 100 + float64(key%97) + float64(i%25) - 12
+				src := d.srcs[int(key/1000)%diffSources]
+				if err := src.SetValue(key, []float64{v}); err != nil {
+					t.Errorf("mutator %d round %d: %v", g, i, err)
+					return
+				}
+				if i%50 == 49 {
+					d.sys.Clock.Advance(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	stop.Store(true)
+
+	m := d.sys.Metrics()
+	hits := m.PlanHits.Load()
+	if hits == 0 {
+		t.Error("hammer never hit the plan cache; nothing raced")
+	}
+	t.Logf("plan cache under contention: %d hits, %d misses, %d invalidations",
+		hits, m.PlanMisses.Load(), m.PlanInvalidations.Load())
+}

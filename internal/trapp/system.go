@@ -76,6 +76,11 @@ func NewSystem(opts refresh.Options) *System {
 // on; snapshot it with Metrics().Snapshot().
 func (s *System) Metrics() *obs.EngineMetrics { return s.proc.Metrics() }
 
+// Processor exposes the underlying query processor for introspection
+// (the server reports its plan-cache occupancy) and for tests that
+// toggle the plan cache.
+func (s *System) Processor() *query.Processor { return s.proc }
+
 // WidthTelemetry reports each source's adaptive-width controller state
 // (current W spread, escape/shrink counts), keyed by source id.
 func (s *System) WidthTelemetry() map[string]source.WidthTelemetry {
