@@ -16,11 +16,13 @@
 // missing path fails the assertion — silence never passes a gate.
 //
 // Both files are walked recursively; every numeric leaf whose key is in
-// the gate set and that exists at the same path in both files is
-// compared. Direction is inferred from the metric name: qps and
-// pushes_per_sec regress by dropping, latency metrics (…_ns) regress by
-// rising. Metrics present only in the baseline are warnings by default
-// (phases can legitimately change shape) and failures under -strict.
+// the gate set is considered, over the union of both files' paths.
+// Direction is inferred from the metric name: qps and pushes_per_sec
+// regress by dropping, latency metrics (…_ns) regress by rising. A
+// gated metric present on only one side gets an explicit "missing in
+// baseline" / "missing in candidate" row — a warning by default (phases
+// can legitimately change shape), a failure under -strict — so metric
+// sets drifting apart never silently shrink the comparison.
 // Non-gated leaves are ignored, so timestamps, seeds, and commentary
 // never trip the gate.
 package main
@@ -81,13 +83,23 @@ type finding struct {
 	path       string
 	base, cur  float64
 	regression float64 // fraction; positive = worse
-	missing    bool    // gated metric absent from the fresh report
+	missingIn  string  // "" (both present), "baseline", or "candidate"
 }
 
-// compare gates the baseline's metrics against the fresh report.
+// compare gates the union of both reports' metric paths: a gated metric
+// present on only one side yields an explicit missing-in row rather
+// than silently vanishing from the table (a baseline generated before a
+// metric existed, or a candidate that dropped one, must be visible).
 func compare(base, fresh map[string]float64, gates map[string]bool) []finding {
-	paths := make([]string, 0, len(base))
+	union := make(map[string]bool, len(base)+len(fresh))
 	for p := range base {
+		union[p] = true
+	}
+	for p := range fresh {
+		union[p] = true
+	}
+	paths := make([]string, 0, len(union))
+	for p := range union {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
@@ -97,10 +109,14 @@ func compare(base, fresh map[string]float64, gates map[string]bool) []finding {
 		if !gates[key] {
 			continue
 		}
-		b := base[p]
-		c, ok := fresh[p]
-		if !ok {
-			out = append(out, finding{path: p, base: b, missing: true})
+		b, inBase := base[p]
+		c, inFresh := fresh[p]
+		switch {
+		case !inFresh:
+			out = append(out, finding{path: p, base: b, missingIn: "candidate"})
+			continue
+		case !inBase:
+			out = append(out, finding{path: p, cur: c, missingIn: "baseline"})
 			continue
 		}
 		if b == 0 {
@@ -235,13 +251,20 @@ func run(base, fresh map[string]float64, gates map[string]bool, threshold float6
 	failed := 0
 	for _, f := range findings {
 		switch {
-		case f.missing:
-			verdict := "warn (missing)"
+		case f.missingIn == "candidate":
+			verdict := "warn (missing in candidate)"
 			if strict {
-				verdict = "FAIL (missing)"
+				verdict = "FAIL (missing in candidate)"
 				failed++
 			}
 			fmt.Fprintf(tw, "%s\t%.6g\t-\t-\t%s\n", f.path, f.base, verdict)
+		case f.missingIn == "baseline":
+			verdict := "warn (missing in baseline)"
+			if strict {
+				verdict = "FAIL (missing in baseline)"
+				failed++
+			}
+			fmt.Fprintf(tw, "%s\t-\t%.6g\t-\t%s\n", f.path, f.cur, verdict)
 		case f.regression > threshold:
 			failed++
 			fmt.Fprintf(tw, "%s\t%.6g\t%.6g\t%+.1f%%\tFAIL (regressed >%.0f%%)\n",

@@ -83,12 +83,53 @@ func TestMissingMetricFlagged(t *testing.T) {
 	fs := compare(base, fresh, defaultGates)
 	missing := 0
 	for _, f := range fs {
-		if f.missing {
+		if f.missingIn == "candidate" {
 			missing++
 		}
 	}
 	if missing != 1 {
-		t.Fatalf("findings %+v, want one missing", fs)
+		t.Fatalf("findings %+v, want one missing in candidate", fs)
+	}
+}
+
+func TestCompareUnionEmitsBothMissingDirections(t *testing.T) {
+	base := flat(t, `{"legacy":{"qps":500},"concurrent":[{"qps":1000,"p99_ns":9000}]}`)
+	fresh := flat(t, `{"cluster":[{"qps":700}],"concurrent":[{"qps":950,"p99_ns":9100}]}`)
+	fs := compare(base, fresh, defaultGates)
+	got := make(map[string]finding)
+	for _, f := range fs {
+		got[f.path] = f
+	}
+	if len(fs) != 4 {
+		t.Fatalf("want 4 findings over the union, got %d: %+v", len(fs), fs)
+	}
+	if f := got["legacy.qps"]; f.missingIn != "candidate" || f.base != 500 {
+		t.Fatalf("dropped metric not reported missing in candidate: %+v", f)
+	}
+	if f := got["cluster[0].qps"]; f.missingIn != "baseline" || f.cur != 700 {
+		t.Fatalf("new metric not reported missing in baseline: %+v", f)
+	}
+	if f := got["concurrent[0].qps"]; f.missingIn != "" || f.regression <= 0 {
+		t.Fatalf("qps drop should be a plain positive regression: %+v", f)
+	}
+}
+
+func TestRunMissingRowsWarnThenFailStrict(t *testing.T) {
+	base := flat(t, `{"old":{"qps":100}}`)
+	fresh := flat(t, `{"new":{"qps":100}}`)
+
+	var relaxed strings.Builder
+	if code := run(base, fresh, defaultGates, 0.15, false, &relaxed); code != 0 {
+		t.Fatalf("missing rows should warn, not fail, without -strict:\n%s", relaxed.String())
+	}
+	out := relaxed.String()
+	if !strings.Contains(out, "missing in candidate") || !strings.Contains(out, "missing in baseline") {
+		t.Fatalf("missing rows absent from output:\n%s", out)
+	}
+
+	var strict strings.Builder
+	if code := run(base, fresh, defaultGates, 0.15, true, &strict); code != 1 {
+		t.Fatalf("-strict should fail on missing rows:\n%s", strict.String())
 	}
 }
 
@@ -120,7 +161,7 @@ func TestRunPrintsDeltaTable(t *testing.T) {
 		case strings.HasPrefix(line, "p99_ns"):
 			okRow = len(cols) >= 5 && cols[1] == "1000" && cols[2] == "1010" && cols[3] == "+1.0%" && cols[4] == "ok"
 		case strings.HasPrefix(line, "gone.qps"):
-			missingRow = strings.Contains(line, "warn (missing)")
+			missingRow = strings.Contains(line, "warn (missing in candidate)")
 		}
 	}
 	if !header || !failRow || !okRow || !missingRow {

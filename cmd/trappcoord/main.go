@@ -1,0 +1,166 @@
+// Command trappcoord fronts a partitioned TRAPP cluster: it dials the
+// framed listeners of N trappserver processes started with
+// -partition i/N, verifies their identities and table catalogs agree,
+// and serves the same HTTP + framed query surface a single trappserver
+// does — every query scatters to the partitions owning its buckets and
+// the per-partition interval answers gather back through the
+// associative fold, bit-identical to a single embedded system over the
+// same tuples.
+//
+//	POST /query      scatter-gather execute (single or batch SQL)
+//	GET  /subscribe  standing query re-multiplexed over per-partition
+//	                 subscription streams
+//	GET  /metrics    service metrics + per-partition health (ops,
+//	                 errors, retries, latency) under "cluster"
+//	GET  /metrics.prom  Prometheus text format
+//	GET  /healthz    liveness + the full partition topology (ring
+//	                 bucket ownership per node)
+//
+// Partition failures degrade instead of erroring where the paper's
+// semantics allow: a slow or down partition's last known fold state is
+// re-widened conservatively, so answers stay correct intervals — just
+// wider — and precision-unmet surfaces only when the bound truly can't
+// be met. -optimeout and -retries bound each per-partition attempt;
+// -slack tunes the re-widen growth per miss.
+//
+// Nodes are given as -nodes "p0=host:port,p1=host:port,..."; ids must
+// match the -partition indices the servers were placed with (p0 is
+// partition 0/N). -waitready retries the initial hello round so the
+// coordinator can start before its partitions finish booting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	gonet "net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"trapp/internal/partition"
+	"trapp/internal/refresh"
+	"trapp/internal/server"
+)
+
+func parseNodes(spec string) ([]partition.Node, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("no -nodes given")
+	}
+	var nodes []partition.Node
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad node %q (want id=host:port)", part)
+		}
+		nodes = append(nodes, partition.NewRemoteNode(id, addr))
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("no -nodes given")
+	}
+	return nodes, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":7080", "HTTP listen address")
+	framedAddr := flag.String("framed", ":7081", "framed binary-protocol listen address (empty: disabled)")
+	nodesSpec := flag.String("nodes", "", `partition nodes: "p0=host:port,p1=host:port,..." (addresses are the partitions' framed listeners)`)
+	opTimeout := flag.Duration("optimeout", 2*time.Second, "per-partition operation attempt timeout (0: request deadline only)")
+	retries := flag.Int("retries", 1, "extra attempts per failed partition operation")
+	slack := flag.Float64("slack", 0, "degraded-node re-widen slack per miss (0: engine default)")
+	waitReady := flag.Duration("waitready", 30*time.Second, "keep retrying the initial partition hello round this long")
+	maxInFlight := flag.Int("maxinflight", 0, "max concurrent /query requests (0: unlimited)")
+	maxSubs := flag.Int("maxsubs", 0, "max concurrent /subscribe streams (0: unlimited)")
+	clientBudget := flag.Float64("clientbudget", 0, "per-client cumulative refresh-cost ceiling (0: unlimited)")
+	slowQuery := flag.Duration("slowquery", 0, "log /query requests slower than this (0: disabled)")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof profiling endpoints")
+	flag.Parse()
+
+	nodes, err := parseNodes(*nodesSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trappcoord: %v\n", err)
+		os.Exit(1)
+	}
+	ccfg := partition.Config{
+		// Must match the solver the partition servers run, or plans
+		// chosen here diverge from the plans a single node would pick.
+		Options:       refresh.Options{Solver: refresh.SolverGreedyDensity},
+		OpTimeout:     *opTimeout,
+		Retries:       *retries,
+		DegradedSlack: *slack,
+	}
+
+	// The hello round needs every partition up; retry it so start order
+	// doesn't matter (CI boots servers and coordinator concurrently).
+	var cl *partition.Cluster
+	deadline := time.Now().Add(*waitReady)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		cl, err = partition.New(ctx, nodes, ccfg)
+		cancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "trappcoord: cluster not ready after %v: %v\n", *waitReady, err)
+			os.Exit(1)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	defer cl.Close()
+
+	info := map[string]any{
+		"role":       "coordinator",
+		"partitions": len(nodes),
+	}
+	srv := server.NewEngine(cl, server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxSubscribers: *maxSubs,
+		ClientBudget:   *clientBudget,
+		Info:           info,
+		SlowQuery:      *slowQuery,
+		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		EnablePprof:    *pprofOn,
+		Topology:       cl.Topology,
+	})
+
+	if *framedAddr != "" {
+		fln, err := srv.ListenAndServeFramed(*framedAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trappcoord: listen framed %s: %v\n", *framedAddr, err)
+			os.Exit(1)
+		}
+		if tcp, ok := fln.Addr().(*gonet.TCPAddr); ok {
+			info["framed_port"] = tcp.Port
+		}
+		fmt.Printf("trappcoord: framed protocol on %s\n", fln.Addr())
+	}
+
+	hs, ln, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trappcoord: listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trappcoord: coordinating %d partitions on http://%s\n", len(nodes), ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("trappcoord: draining")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "trappcoord: drain: %v\n", err)
+	}
+	_ = hs.Shutdown(ctx)
+	cl.Close()
+	fmt.Println("trappcoord: bye")
+}

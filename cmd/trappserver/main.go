@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"trapp/internal/experiment"
+	"trapp/internal/partition"
 	"trapp/internal/server"
 	itrapp "trapp/internal/trapp"
 	"trapp/internal/workload"
@@ -64,6 +65,7 @@ func main() {
 	latency := flag.Duration("latency", 0, "simulated wire latency per refresh transmission")
 	slowQuery := flag.Duration("slowquery", 0, "log /query requests slower than this (0: disabled)")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof profiling endpoints")
+	partSpec := flag.String("partition", "", `serve one partition of an N-way link cluster: "i/N" (0-based); the framed listener then also speaks the partition protocol for trappcoord`)
 	flag.Parse()
 
 	var (
@@ -71,10 +73,51 @@ func main() {
 		sc  *workload.Scale
 		net *workload.Network
 		err error
+
+		psvc *partition.Service    // partition mode: coordinator-facing frames
+		topo func() map[string]any // partition mode: /healthz topology
+		owns = func(int64) bool { return true }
 	)
-	if *objects > 0 {
+	switch {
+	case *partSpec != "":
+		if *objects > 0 {
+			fmt.Fprintln(os.Stderr, "trappserver: -partition and -objects are mutually exclusive")
+			os.Exit(1)
+		}
+		var pi, pn int
+		if _, serr := fmt.Sscanf(*partSpec, "%d/%d", &pi, &pn); serr != nil || pi < 0 || pi >= pn {
+			fmt.Fprintf(os.Stderr, "trappserver: bad -partition %q (want \"i/N\" with 0 <= i < N)\n", *partSpec)
+			os.Exit(1)
+		}
+		ids := experiment.PartitionIDs(pn)
+		var systems []*itrapp.System
+		var ring *partition.Ring
+		systems, net, ring, err = experiment.BuildLinkPartitions(*links, *sources, *seed, ids)
+		if err == nil {
+			// Placement needs the full ring, but this process serves only
+			// its own shard.
+			for j, s := range systems {
+				if j != pi {
+					s.Close()
+				}
+			}
+			sys = systems[pi]
+			psvc = partition.NewService(partition.NewLocalNode(ids[pi], sys))
+			buckets := ring.Buckets(pi)
+			owns = func(key int64) bool { return ring.OwnerOfKey(key) == pi }
+			topo = func() map[string]any {
+				return map[string]any{
+					"role":       "partition",
+					"id":         ids[pi],
+					"partitions": pn,
+					"buckets":    buckets,
+					"peers":      ids,
+				}
+			}
+		}
+	case *objects > 0:
 		sys, sc, err = experiment.BuildScaleSystem(*objects, *tenants, *seed)
-	} else {
+	default:
 		sys, net, err = experiment.BuildLinkSystem(*links, *sources, *seed)
 	}
 	if err != nil {
@@ -101,7 +144,10 @@ func main() {
 			"driven":  *drive > 0,
 		}
 	}
-	srv := server.New(sys, server.Config{
+	if *partSpec != "" {
+		info["partition"] = *partSpec
+	}
+	cfg := server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxSubscribers: *maxSubs,
 		ClientBudget:   *clientBudget,
@@ -109,7 +155,12 @@ func main() {
 		SlowQuery:      *slowQuery,
 		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		EnablePprof:    *pprofOn,
-	})
+		Topology:       topo,
+	}
+	if psvc != nil {
+		cfg.FramedExt = psvc
+	}
+	srv := server.New(sys, cfg)
 
 	// The driver animates the sources so subscriptions have something to
 	// stream: every interval the logical clock advances one tick (bounds
@@ -129,6 +180,9 @@ func main() {
 					return
 				case <-ticker.C:
 					for i, l := range net.Links {
+						if !owns(l.Key) {
+							continue
+						}
 						src := sys.Source(fmt.Sprintf("s%d", i%*sources))
 						if err := src.SetValue(l.Key, l.Step()); err != nil {
 							fmt.Fprintf(os.Stderr, "trappserver: drive: %v\n", err)

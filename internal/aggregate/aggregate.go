@@ -10,8 +10,8 @@ package aggregate
 
 import (
 	"fmt"
+	"math"
 	"slices"
-	"sort"
 
 	"trapp/internal/interval"
 	"trapp/internal/parallel"
@@ -363,22 +363,65 @@ func evalMax(inputs []Input) interval.Interval {
 // contribute only negative L to the lower bound and only positive H to the
 // upper bound (their bounds are effectively extended to include 0, since
 // they may contribute nothing).
+//
+// The summation is bucket-structured: contributions accumulate into
+// per-canonical-bucket subtotals which are then combined in ascending
+// bucket order (see bucketSums). Canonical input order is ascending
+// (bucket, key), so the per-bucket sequences are exactly the canonical
+// subsequences — the fold is a fixed regrouping of the canonical scan,
+// identical no matter how the inputs are split along bucket boundaries.
+// A cluster partition owning whole buckets can therefore ship its
+// subtotals and the coordinator's merge is bit-identical to a
+// single-node fold (DESIGN.md §14).
 func evalSum(inputs []Input, noPredicate bool) interval.Interval {
-	var lo, hi float64
+	var s bucketSums
 	for _, in := range inputs {
+		bk := relation.CanonicalBucket(in.Key)
 		if noPredicate || in.Class == predicate.Plus {
-			lo += in.Bound.Lo
-			hi += in.Bound.Hi
+			s.add(bk, in.Bound.Lo, in.Bound.Hi)
 			continue
 		}
-		if in.Bound.Lo < 0 {
-			lo += in.Bound.Lo
+		lo, hi := in.Bound.Lo, in.Bound.Hi
+		if lo >= 0 {
+			lo = 0
 		}
-		if in.Bound.Hi > 0 {
-			hi += in.Bound.Hi
+		if hi <= 0 {
+			hi = 0
 		}
+		s.add(bk, lo, hi)
 	}
-	return interval.Interval{Lo: lo, Hi: hi}
+	l, h := s.fold()
+	return interval.Interval{Lo: l, Hi: h}
+}
+
+// bucketSums is a pair of per-canonical-bucket running sums plus a
+// presence mask. A bucket participates in the final fold iff at least one
+// contribution was added to it — the presence rule that keeps the fold a
+// pure function of the contributing-input multiset (an untouched bucket
+// must not inject a +0.0 that could flip a −0.0 subtotal's sign).
+type bucketSums struct {
+	lo, hi  [relation.NumCanonicalBuckets]float64
+	present uint16
+}
+
+func (s *bucketSums) add(bucket int, lo, hi float64) {
+	s.lo[bucket] += lo
+	s.hi[bucket] += hi
+	s.present |= 1 << bucket
+}
+
+// fold combines the subtotals of the present buckets in ascending bucket
+// order — the one canonical combination order every layout and every
+// partition merge uses.
+func (s *bucketSums) fold() (lo, hi float64) {
+	for b := 0; b < relation.NumCanonicalBuckets; b++ {
+		if s.present&(1<<b) == 0 {
+			continue
+		}
+		lo += s.lo[b]
+		hi += s.hi[b]
+	}
+	return lo, hi
 }
 
 // evalCount implements sections 5.3 and 6.3. Without a predicate the
@@ -412,21 +455,49 @@ func evalAvgTight(inputs []Input) interval.Interval {
 	if len(inputs) == 0 {
 		return interval.Empty
 	}
-	var sl, sh float64
+	// The T+ seed sums are bucket-structured like evalSum's, so a
+	// partition's seed subtotals merge into the global seed bit-identically
+	// (DESIGN.md §14). T? bounds participate only through the value-sorted
+	// prefix fold below, which is already order-independent.
+	var seeds bucketSums
 	k := 0
 	var maybes []Input
 	for _, in := range inputs {
 		if in.Class == predicate.Plus {
-			sl += in.Bound.Lo
-			sh += in.Bound.Hi
+			seeds.add(relation.CanonicalBucket(in.Key), in.Bound.Lo, in.Bound.Hi)
 			k++
 		} else {
 			maybes = append(maybes, in)
 		}
 	}
+	sl, sh := seeds.fold()
 	lo := foldAvg(sl, k, maybes, func(in Input) float64 { return in.Bound.Lo }, true)
 	hi := foldAvg(sh, k, maybes, func(in Input) float64 { return in.Bound.Hi }, false)
 	return interval.Interval{Lo: lo, Hi: hi}
+}
+
+// canonicalFloatCmp is a total order on endpoint values: ascending, with
+// −0.0 ordered before +0.0. sort.Float64s treats the two zeros as equal,
+// which would leave the fold sequence — and hence the folded sum's sign
+// bits — dependent on input order; the tie-break makes the sorted
+// sequence a pure function of the value multiset, so partitioned and
+// single-node folds over the same multiset are bit-identical.
+func canonicalFloatCmp(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	sa, sb := math.Signbit(a), math.Signbit(b)
+	switch {
+	case sa == sb:
+		return 0
+	case sa:
+		return -1
+	default:
+		return 1
+	}
 }
 
 // foldAvg performs the Appendix E prefix-averaging fold. s and k are the
@@ -439,7 +510,7 @@ func foldAvg(s float64, k int, maybes []Input, endpoint func(Input) float64, min
 	for i, in := range maybes {
 		vals[i] = endpoint(in)
 	}
-	sort.Float64s(vals)
+	slices.SortFunc(vals, canonicalFloatCmp)
 	if !minimize {
 		for i, j := 0, len(vals)-1; i < j; i, j = i+1, j-1 {
 			vals[i], vals[j] = vals[j], vals[i]

@@ -1,0 +1,348 @@
+package aggregate
+
+import (
+	"trapp/internal/interval"
+	"trapp/internal/predicate"
+	"trapp/internal/relation"
+)
+
+// This file defines State, a mergeable partial fold of one aggregate
+// over a subset of a relation's tuples — the unit a cluster partition
+// computes locally and ships to the scatter-gather coordinator.
+//
+// Bit-identity across the split is by construction, not by luck
+// (DESIGN.md §14): every order-sensitive accumulation in the engine is
+// bucket-structured (per-canonical-bucket subtotals combined in
+// ascending bucket order — see evalSum/evalAvgTight/foldAcc), and a
+// partition owns whole canonical buckets. A partition's local canonical
+// scan therefore produces exactly the per-bucket subtotals the
+// single-node scan would produce for those buckets, and merging states
+// replays the single-node combination operation for operation:
+//
+//   - MIN/MAX are selections; ties (equal float values, e.g. ±0.0) are
+//     broken by canonical tuple order, which each Selection carries as
+//     the winning tuple's key.
+//   - COUNT is integer arithmetic — exactly associative.
+//   - SUM and the AVG T+ seed carry per-bucket float subtotals plus a
+//     presence mask; the merged fold adds present buckets in ascending
+//     bucket order, the same sequence of float additions a single node
+//     performs.
+//   - AVG's T? endpoints participate through the Appendix E
+//     prefix-averaging fold, which sorts the merged endpoint multiset
+//     under a total order (canonicalFloatCmp) — a pure function of the
+//     multiset, so concatenation order across partitions is irrelevant.
+//
+// Merging states whose bucket presence masks overlap is still sound
+// (subtotals add), but bit-identity with a single-node fold is only
+// guaranteed for bucket-disjoint states.
+
+// Selection is one MIN/MAX reduction: the best endpoint value seen plus
+// the key of the tuple it came from, used to break exact-value ties
+// (±0.0) by canonical order so merged selections pick the same tuple a
+// single-node canonical scan would.
+type Selection struct {
+	Valid bool
+	Val   float64
+	Key   int64
+}
+
+// take offers a candidate to the selection. better reports whether a
+// strictly beats b; on equal values the canonically earlier key wins —
+// exactly the "first occurrence in canonical order" a strict-inequality
+// scan keeps.
+func (s *Selection) take(val float64, key int64, better func(a, b float64) bool) {
+	switch {
+	case !s.Valid:
+		s.Valid, s.Val, s.Key = true, val, key
+	case better(val, s.Val):
+		s.Val, s.Key = val, key
+	case val == s.Val && relation.CanonicalLess(key, s.Key):
+		s.Val, s.Key = val, key
+	}
+}
+
+func lessF(a, b float64) bool { return a < b }
+func moreF(a, b float64) bool { return a > b }
+
+// merge folds another selection into s under the same total order.
+func (s *Selection) merge(o Selection, better func(a, b float64) bool) {
+	if o.Valid {
+		s.take(o.Val, o.Key, better)
+	}
+}
+
+// State is a mergeable partial bounded-answer fold for one aggregate
+// over a tuple subset. Produce one with StateOf or CollectState, combine
+// bucket-disjoint states with Merge, and finalize with Answer. All
+// fields are exported so states can cross a wire.
+type State struct {
+	Fn     Func
+	NoPred bool
+	// TableLen is the scanned cardinality of the subset (all tuples, not
+	// just contributing ones) — summed by Merge, consumed by COUNT
+	// without a predicate.
+	TableLen int
+
+	// MIN state: Lo = min L over T+∪T?, HiPlus = min H over T+.
+	// MAX state: Hi = max H over T+∪T?, LoPlus = max L over T+.
+	MinLo, MinHiPlus Selection
+	MaxHi, MaxLoPlus Selection
+
+	// SUM per-bucket endpoint subtotals.
+	SumLo, SumHi [relation.NumCanonicalBuckets]float64
+	SumPresent   uint16
+
+	// COUNT tallies.
+	Plus, Maybe int
+
+	// AVG T+ per-bucket seed subtotals, seed count, and the retained T?
+	// bounds for the Appendix E fold. AvgAny records whether any input
+	// contributed at all (Empty answer otherwise).
+	AvgSeedLo, AvgSeedHi [relation.NumCanonicalBuckets]float64
+	AvgSeedPresent       uint16
+	AvgK                 int
+	AvgAny               bool
+	AvgMaybes            []interval.Interval
+}
+
+// NewState returns an empty state for the aggregate.
+func NewState(fn Func, noPred bool) State {
+	return State{Fn: fn, NoPred: noPred}
+}
+
+// Feed folds one contributing (T+ or surviving T?) bound for the keyed
+// tuple, with arithmetic identical to foldAcc.feed.
+func (s *State) Feed(key int64, b interval.Interval, cls predicate.Class) {
+	switch s.Fn {
+	case Min:
+		s.MinLo.take(b.Lo, key, lessF)
+		if cls == predicate.Plus {
+			s.MinHiPlus.take(b.Hi, key, lessF)
+		}
+	case Max:
+		s.MaxHi.take(b.Hi, key, moreF)
+		if cls == predicate.Plus {
+			s.MaxLoPlus.take(b.Lo, key, moreF)
+		}
+	case Sum:
+		bk := relation.CanonicalBucket(key)
+		lo, hi := b.Lo, b.Hi
+		if !(s.NoPred || cls == predicate.Plus) {
+			if lo >= 0 {
+				lo = 0
+			}
+			if hi <= 0 {
+				hi = 0
+			}
+		}
+		s.SumLo[bk] += lo
+		s.SumHi[bk] += hi
+		s.SumPresent |= 1 << bk
+	case Count:
+		if cls == predicate.Plus {
+			s.Plus++
+		} else {
+			s.Maybe++
+		}
+	case Avg:
+		s.AvgAny = true
+		if cls == predicate.Plus {
+			bk := relation.CanonicalBucket(key)
+			s.AvgSeedLo[bk] += b.Lo
+			s.AvgSeedHi[bk] += b.Hi
+			s.AvgSeedPresent |= 1 << bk
+			s.AvgK++
+		} else {
+			s.AvgMaybes = append(s.AvgMaybes, b)
+		}
+	}
+}
+
+// Merge folds another state (same Fn and NoPred) into s. Merging is
+// commutative and associative for bucket-disjoint states; see the file
+// comment for the overlap caveat.
+func (s *State) Merge(o *State) {
+	s.TableLen += o.TableLen
+	switch s.Fn {
+	case Min:
+		s.MinLo.merge(o.MinLo, lessF)
+		s.MinHiPlus.merge(o.MinHiPlus, lessF)
+	case Max:
+		s.MaxHi.merge(o.MaxHi, moreF)
+		s.MaxLoPlus.merge(o.MaxLoPlus, moreF)
+	case Sum:
+		for b := 0; b < relation.NumCanonicalBuckets; b++ {
+			if o.SumPresent&(1<<b) == 0 {
+				continue
+			}
+			if s.SumPresent&(1<<b) == 0 {
+				s.SumLo[b], s.SumHi[b] = o.SumLo[b], o.SumHi[b]
+			} else {
+				s.SumLo[b] += o.SumLo[b]
+				s.SumHi[b] += o.SumHi[b]
+			}
+			s.SumPresent |= 1 << b
+		}
+	case Count:
+		s.Plus += o.Plus
+		s.Maybe += o.Maybe
+	case Avg:
+		s.AvgAny = s.AvgAny || o.AvgAny
+		for b := 0; b < relation.NumCanonicalBuckets; b++ {
+			if o.AvgSeedPresent&(1<<b) == 0 {
+				continue
+			}
+			if s.AvgSeedPresent&(1<<b) == 0 {
+				s.AvgSeedLo[b], s.AvgSeedHi[b] = o.AvgSeedLo[b], o.AvgSeedHi[b]
+			} else {
+				s.AvgSeedLo[b] += o.AvgSeedLo[b]
+				s.AvgSeedHi[b] += o.AvgSeedHi[b]
+			}
+			s.AvgSeedPresent |= 1 << b
+		}
+		s.AvgK += o.AvgK
+		s.AvgMaybes = append(s.AvgMaybes, o.AvgMaybes...)
+	}
+}
+
+// Answer finalizes the fold into the bounded answer, with arithmetic
+// identical to foldAcc.answer / EvalInputs.
+func (s *State) Answer() interval.Interval {
+	switch s.Fn {
+	case Min:
+		if !s.MinLo.Valid {
+			return interval.Empty
+		}
+		if !s.MinHiPlus.Valid {
+			return interval.Interval{Lo: s.MinLo.Val, Hi: interval.Unbounded.Hi}
+		}
+		return interval.Interval{Lo: s.MinLo.Val, Hi: s.MinHiPlus.Val}
+	case Max:
+		if !s.MaxHi.Valid {
+			return interval.Empty
+		}
+		if !s.MaxLoPlus.Valid {
+			return interval.Interval{Lo: interval.Unbounded.Lo, Hi: s.MaxHi.Val}
+		}
+		return interval.Interval{Lo: s.MaxLoPlus.Val, Hi: s.MaxHi.Val}
+	case Sum:
+		var lo, hi float64
+		for b := 0; b < relation.NumCanonicalBuckets; b++ {
+			if s.SumPresent&(1<<b) == 0 {
+				continue
+			}
+			lo += s.SumLo[b]
+			hi += s.SumHi[b]
+		}
+		return interval.Interval{Lo: lo, Hi: hi}
+	case Count:
+		if s.NoPred {
+			return interval.Point(float64(s.TableLen))
+		}
+		return interval.Interval{Lo: float64(s.Plus), Hi: float64(s.Plus + s.Maybe)}
+	default: // Avg
+		if !s.AvgAny {
+			return interval.Empty
+		}
+		var sl, sh float64
+		for b := 0; b < relation.NumCanonicalBuckets; b++ {
+			if s.AvgSeedPresent&(1<<b) == 0 {
+				continue
+			}
+			sl += s.AvgSeedLo[b]
+			sh += s.AvgSeedHi[b]
+		}
+		maybes := make([]Input, len(s.AvgMaybes))
+		for i, b := range s.AvgMaybes {
+			maybes[i] = Input{Bound: b, Class: predicate.Maybe}
+		}
+		lo := foldAvg(sl, s.AvgK, maybes, func(in Input) float64 { return in.Bound.Lo }, true)
+		hi := foldAvg(sh, s.AvgK, maybes, func(in Input) float64 { return in.Bound.Hi }, false)
+		return interval.Interval{Lo: lo, Hi: hi}
+	}
+}
+
+// StateOf builds the state from pre-collected inputs (any order —
+// feeding is order-insensitive by construction).
+func StateOf(inputs []Input, fn Func, noPred bool, tableLen int) State {
+	s := NewState(fn, noPred)
+	s.TableLen = tableLen
+	for _, in := range inputs {
+		s.Feed(in.Key, in.Bound, in.Class)
+	}
+	return s
+}
+
+// CollectState computes the state for the aggregate over column col of
+// the store under predicate p, in one streaming pass without
+// materializing inputs (the shrink refinement is applied, matching
+// Collect/EvalStoreStream).
+func CollectState(st *relation.Store, col int, fn Func, p predicate.Expr) State {
+	c := newCollector(col, p, true)
+	s := NewState(fn, predicate.IsTrivial(p))
+	for si := 0; si < st.NumShards(); si++ {
+		st.ViewShard(si, func(t *relation.Table) {
+			s.TableLen += t.Len()
+			c.scanState(t, &s)
+		})
+	}
+	return s
+}
+
+// scanState is scanFold feeding a State instead of a foldAcc.
+func (c collector) scanState(t *relation.Table, s *State) {
+	for i := 0; i < t.Len(); i++ {
+		tu := t.At(i)
+		cls := predicate.Plus
+		if !c.trivial {
+			cls = predicate.ClassifyTuple(c.p, tu)
+		}
+		if cls == predicate.Minus {
+			continue
+		}
+		b := tu.Bounds[c.col]
+		if cls == predicate.Maybe {
+			sh := b.Intersect(c.restr)
+			if sh.IsEmpty() {
+				continue
+			}
+			b = sh
+		}
+		s.Feed(tu.Key, b, cls)
+	}
+}
+
+// MergeInputs concatenates per-partition input snapshots into the
+// single canonical snapshot a whole-relation scan would produce: the
+// union is sorted into canonical order and Index reassigned to the
+// canonical position (per-partition indexes are partition-local).
+// Plans chosen from the merged snapshot are bit-identical to plans a
+// single node holding all tuples would choose, because the inputs are.
+func MergeInputs(parts ...[]Input) []Input {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	merged := make([]Input, 0, n)
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	sortCanonical(merged)
+	for i := range merged {
+		merged[i].Index = i
+	}
+	return merged
+}
+
+// MergeStates merges bucket-disjoint per-partition states (in any
+// order) into the global state. The slice is not modified; an empty
+// slice yields the zero state for the aggregate.
+func MergeStates(fn Func, noPred bool, states []*State) State {
+	out := NewState(fn, noPred)
+	for _, st := range states {
+		if st != nil {
+			out.Merge(st)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trapp/internal/interval"
+	"trapp/internal/predicate"
+	"trapp/internal/relation"
+)
+
+// bitsEqual compares two intervals bit for bit — the cluster-merge
+// contract is bit-identity, not approximate equality.
+func bitsEqual(a, b interval.Interval) bool {
+	return math.Float64bits(a.Lo) == math.Float64bits(b.Lo) &&
+		math.Float64bits(a.Hi) == math.Float64bits(b.Hi)
+}
+
+// TestQuickMergedStateBitIdentical is the cluster-merge contract as a
+// property: splitting a table's inputs into bucket-disjoint partitions,
+// folding each partition into a State, and merging the states yields an
+// answer bit-identical to the single-scan fold — for random tables,
+// predicates, partition counts, and bucket→partition assignments.
+func TestQuickMergedStateBitIdentical(t *testing.T) {
+	fns := []Func{Min, Max, Sum, Count, Avg}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tab, _ := randTableAndMaster(r, 1+r.Intn(24))
+		p := randPred(r)
+		noPred := predicate.IsTrivial(p)
+		nparts := 1 + r.Intn(4)
+		owner := make([]int, relation.NumCanonicalBuckets)
+		for b := range owner {
+			owner[b] = r.Intn(nparts)
+		}
+		// Per-partition scanned cardinality: every tuple counts toward its
+		// owner, contributing or not (a partition's TableLen is its local
+		// store cardinality).
+		partLen := make([]int, nparts)
+		for i := 0; i < tab.Len(); i++ {
+			partLen[owner[relation.CanonicalBucket(tab.At(i).Key)]]++
+		}
+		for _, fn := range fns {
+			for _, c := range []int{0, 1} {
+				inputs := Collect(tab, c, p, true)
+				want := EvalInputs(inputs, fn, noPred, tab.Len())
+
+				parts := make([][]Input, nparts)
+				for _, in := range inputs {
+					pi := owner[relation.CanonicalBucket(in.Key)]
+					parts[pi] = append(parts[pi], in)
+				}
+				states := make([]*State, nparts)
+				for pi := range parts {
+					st := StateOf(parts[pi], fn, noPred, partLen[pi])
+					states[pi] = &st
+				}
+				// Merge in a random order: the result must not depend on it.
+				r.Shuffle(len(states), func(i, j int) { states[i], states[j] = states[j], states[i] })
+				merged := MergeStates(fn, noPred, states)
+				got := merged.Answer()
+				if !bitsEqual(got, want) {
+					t.Logf("seed %d: %v col %d pred %v nparts %d: merged %v want %v",
+						seed, fn, c, p, nparts, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCollectStateMatchesStream: the streaming State collection
+// over a canonical store answers bit-identically to EvalStoreStream —
+// the single-node arithmetic the merged cluster fold must reproduce.
+func TestQuickCollectStateMatchesStream(t *testing.T) {
+	fns := []Func{Min, Max, Sum, Count, Avg}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tab, _ := randTableAndMaster(r, 1+r.Intn(24))
+		st := relation.NewStore(tab.Schema(), 0)
+		for i := 0; i < tab.Len(); i++ {
+			st.MustInsert(tab.At(i).Clone())
+		}
+		p := randPred(r)
+		for _, fn := range fns {
+			for _, c := range []int{0, 1} {
+				want, _ := EvalStoreStream(st, c, fn, p)
+				cs := CollectState(st, c, fn, p)
+				got := cs.Answer()
+				if !bitsEqual(got, want) {
+					t.Logf("seed %d: %v col %d pred %v: state %v stream %v",
+						seed, fn, c, p, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSignedZeroSelectionMerge pins the ±0.0 tie-break: when −0.0 and
+// +0.0 both appear, MIN/MAX pick the canonically-first occurrence, and
+// the merged selection must reproduce that exact sign bit regardless of
+// which partition held which zero.
+func TestSignedZeroSelectionMerge(t *testing.T) {
+	s := relation.NewSchema(relation.Column{Name: "v", Kind: relation.Bounded})
+	negZero := math.Copysign(0, -1)
+	for swap := 0; swap < 2; swap++ {
+		tab := relation.NewTable(s)
+		vals := []float64{negZero, 0}
+		if swap == 1 {
+			vals[0], vals[1] = vals[1], vals[0]
+		}
+		for i, v := range vals {
+			tab.MustInsert(relation.Tuple{
+				Key:    int64(i + 1),
+				Bounds: []interval.Interval{interval.Point(v)},
+				Cost:   1,
+			})
+		}
+		for _, fn := range []Func{Min, Max, Sum} {
+			inputs := Collect(tab, 0, nil, true)
+			want := EvalInputs(inputs, fn, true, tab.Len())
+			var states []*State
+			for _, in := range inputs {
+				st := StateOf([]Input{in}, fn, true, 1)
+				states = append(states, &st)
+			}
+			// Both merge orders must reproduce the single-scan answer.
+			for ord := 0; ord < 2; ord++ {
+				ss := []*State{states[ord], states[1-ord]}
+				merged := MergeStates(fn, true, ss)
+				got := merged.Answer()
+				if !bitsEqual(got, want) {
+					t.Errorf("swap %d %v order %d: merged %v (bits %x/%x) want %v (bits %x/%x)",
+						swap, fn, ord, got, math.Float64bits(got.Lo), math.Float64bits(got.Hi),
+						want, math.Float64bits(want.Lo), math.Float64bits(want.Hi))
+				}
+			}
+		}
+	}
+}

@@ -62,7 +62,7 @@ func (c collector) scanFold(t *relation.Table, acc *foldAcc) {
 			}
 			b = s
 		}
-		acc.feed(b, cls)
+		acc.feed(tu.Key, b, cls)
 	}
 }
 
@@ -76,26 +76,28 @@ type foldAcc struct {
 	// MIN/MAX state (evalMin/evalMax replicas).
 	lo, hi interval.Interval
 
-	// SUM state (evalSum replica).
-	sumLo, sumHi float64
+	// SUM state (evalSum replica): per-bucket subtotals folded in
+	// ascending bucket order at finalization.
+	sums bucketSums
 
 	// COUNT state.
 	plus, maybe int
 
-	// AVG state (evalAvgTight replica): T+ endpoint sums and count, T?
-	// bounds retained for the prefix-averaging fold.
-	avgSL, avgSH float64
-	avgK         int
-	avgAny       bool
-	maybes       []Input
+	// AVG state (evalAvgTight replica): bucket-structured T+ endpoint
+	// seed sums and count, T? bounds retained for the prefix-averaging
+	// fold.
+	avgSeeds bucketSums
+	avgK     int
+	avgAny   bool
+	maybes   []Input
 }
 
 func (a *foldAcc) init() {
 	a.lo, a.hi = interval.Empty, interval.Empty
 }
 
-// feed folds one contributing (T+ or T?) bound.
-func (a *foldAcc) feed(b interval.Interval, cls predicate.Class) {
+// feed folds one contributing (T+ or T?) bound for the keyed tuple.
+func (a *foldAcc) feed(key int64, b interval.Interval, cls predicate.Class) {
 	switch a.fn {
 	case Min:
 		if a.lo.IsEmpty() || b.Lo < a.lo.Lo {
@@ -116,17 +118,19 @@ func (a *foldAcc) feed(b interval.Interval, cls predicate.Class) {
 			}
 		}
 	case Sum:
+		bk := relation.CanonicalBucket(key)
 		if a.noPred || cls == predicate.Plus {
-			a.sumLo += b.Lo
-			a.sumHi += b.Hi
+			a.sums.add(bk, b.Lo, b.Hi)
 			return
 		}
-		if b.Lo < 0 {
-			a.sumLo += b.Lo
+		lo, hi := b.Lo, b.Hi
+		if lo >= 0 {
+			lo = 0
 		}
-		if b.Hi > 0 {
-			a.sumHi += b.Hi
+		if hi <= 0 {
+			hi = 0
 		}
+		a.sums.add(bk, lo, hi)
 	case Count:
 		if cls == predicate.Plus {
 			a.plus++
@@ -136,11 +140,10 @@ func (a *foldAcc) feed(b interval.Interval, cls predicate.Class) {
 	case Avg:
 		a.avgAny = true
 		if cls == predicate.Plus {
-			a.avgSL += b.Lo
-			a.avgSH += b.Hi
+			a.avgSeeds.add(relation.CanonicalBucket(key), b.Lo, b.Hi)
 			a.avgK++
 		} else {
-			a.maybes = append(a.maybes, Input{Bound: b, Class: cls})
+			a.maybes = append(a.maybes, Input{Key: key, Bound: b, Class: cls})
 		}
 	}
 }
@@ -166,7 +169,8 @@ func (a *foldAcc) answer(tableLen int) interval.Interval {
 		}
 		return interval.Interval{Lo: a.lo.Lo, Hi: a.hi.Lo}
 	case Sum:
-		return interval.Interval{Lo: a.sumLo, Hi: a.sumHi}
+		lo, hi := a.sums.fold()
+		return interval.Interval{Lo: lo, Hi: hi}
 	case Count:
 		if a.noPred {
 			return interval.Point(float64(tableLen))
@@ -176,8 +180,9 @@ func (a *foldAcc) answer(tableLen int) interval.Interval {
 		if !a.avgAny {
 			return interval.Empty
 		}
-		lo := foldAvg(a.avgSL, a.avgK, a.maybes, func(in Input) float64 { return in.Bound.Lo }, true)
-		hi := foldAvg(a.avgSH, a.avgK, a.maybes, func(in Input) float64 { return in.Bound.Hi }, false)
+		sl, sh := a.avgSeeds.fold()
+		lo := foldAvg(sl, a.avgK, a.maybes, func(in Input) float64 { return in.Bound.Lo }, true)
+		hi := foldAvg(sh, a.avgK, a.maybes, func(in Input) float64 { return in.Bound.Hi }, false)
 		return interval.Interval{Lo: lo, Hi: hi}
 	}
 }

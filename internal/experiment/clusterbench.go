@@ -1,0 +1,187 @@
+package experiment
+
+// Cluster benchmark (E19): closed-loop clients through the
+// scatter-gather coordinator over N in-process partitions, against the
+// same link workload and query mix as the single-node concurrent
+// benchmark (E13) — so BENCH_cluster.json exposes the coordination
+// overhead directly: nodes=1 is the coordinator fronting one partition
+// holding everything, nodes=N splits the same tuples N ways.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trapp/internal/partition"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/source"
+)
+
+// ClusterResult is one cluster benchmark run, with the coordinator's
+// per-partition health breakdown attached.
+type ClusterResult struct {
+	// Nodes is the partition count.
+	Nodes int `json:"nodes"`
+	// Clients is the number of closed-loop client goroutines.
+	Clients int `json:"clients"`
+	// Queries completed in the measurement window.
+	Queries int64 `json:"queries"`
+	// Elapsed is the wall-clock measurement window.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// QPS is Queries / Elapsed.
+	QPS float64 `json:"qps"`
+	// P50 and P99 are query latency percentiles across all clients.
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// RefreshCost totals the refresh cost paid by measured queries.
+	RefreshCost float64 `json:"refresh_cost"`
+	// Unmet counts measured queries ending in precision-unmet.
+	Unmet int64 `json:"unmet"`
+	// DegradedQueries counts queries answered from degraded fallback
+	// state (should be 0 on a healthy loopback cluster).
+	DegradedQueries int64 `json:"degraded_queries"`
+	// Partitions is the coordinator's per-partition health snapshot.
+	Partitions []partition.NodeMetrics `json:"partitions"`
+}
+
+// ClusterBench builds an N-partition link cluster in-process and drives
+// it with closed-loop clients for the given window. A background
+// sweeper random-walks every link through its owning partition's source
+// and advances every partition clock once per sweep, mirroring the E13
+// read-mostly regime.
+func ClusterBench(nodes, clients, links, srcCount int, seed int64, duration, warmup time.Duration) (ClusterResult, error) {
+	systems, netw, ring, err := BuildLinkPartitions(links, srcCount, seed, PartitionIDs(nodes))
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	defer func() {
+		for _, s := range systems {
+			s.Close()
+		}
+	}()
+	ns := make([]partition.Node, len(systems))
+	for i, sys := range systems {
+		ns[i] = partition.NewLocalNode(fmt.Sprintf("p%d", i), sys)
+	}
+	cl, err := partition.New(context.Background(), ns,
+		partition.Config{Options: refresh.Options{Solver: refresh.SolverGreedyDensity}})
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	defer cl.Close()
+	schema := systems[0].MountedCache("links").Schema()
+
+	var (
+		stop      atomic.Bool
+		measuring atomic.Bool
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		lats      []time.Duration
+		queries   atomic.Int64
+		unmet     atomic.Int64
+		costBits  atomic.Uint64 // refresh cost as float bits, CAS-accumulated
+	)
+	addCost := func(c float64) {
+		for {
+			old := costBits.Load()
+			if costBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+c)) {
+				return
+			}
+		}
+	}
+	// One sweeper owns every link (Link.Step mutates walk state); each
+	// push goes to the source on the link's owning partition.
+	srcs := make([]*source.Source, len(netw.Links))
+	for i, l := range netw.Links {
+		srcs[i] = systems[ring.OwnerOfKey(l.Key)].Source(fmt.Sprintf("s%d", i%srcCount))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			for _, sys := range systems {
+				sys.Clock.Advance(1)
+			}
+			for i, l := range netw.Links {
+				if err := srcs[i].SetValue(l.Key, l.Step()); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			local := make([]time.Duration, 0, 4096)
+			ctx := context.Background()
+			for !stop.Load() {
+				q := MixQuery(rng, schema, links)
+				t0 := time.Now()
+				res, err := cl.ExecuteCtx(ctx, q)
+				switch {
+				case err == nil:
+				case errors.As(err, &query.ErrPrecisionUnmet{}):
+					unmet.Add(1)
+				default:
+					panic(err)
+				}
+				if !measuring.Load() {
+					continue
+				}
+				local = append(local, time.Since(t0))
+				queries.Add(1)
+				addCost(res.RefreshCost)
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(seed + int64(c) + 1)
+	}
+
+	if warmup > 0 {
+		time.Sleep(warmup)
+	}
+	start := time.Now()
+	measuring.Store(true)
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(math.Ceil(p*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lats[i]
+	}
+	cm := cl.ClusterMetrics().(partition.Metrics)
+	n := queries.Load()
+	return ClusterResult{
+		Nodes:           nodes,
+		Clients:         clients,
+		Queries:         n,
+		Elapsed:         elapsed,
+		QPS:             float64(n) / elapsed.Seconds(),
+		P50:             pct(0.50),
+		P99:             pct(0.99),
+		RefreshCost:     math.Float64frombits(costBits.Load()),
+		Unmet:           unmet.Load(),
+		DegradedQueries: cm.Degraded,
+		Partitions:      cm.Partitions,
+	}, nil
+}

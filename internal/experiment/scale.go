@@ -489,18 +489,18 @@ func Scale(opts ScaleOptions) (ScaleResult, error) {
 	cancelSubs()
 
 	out := ScaleResult{
-		Objects:       opts.Objects,
-		Tenants:       opts.Tenants,
-		Sources:       scaleSources,
-		Clients:       opts.Clients,
-		Updaters:      opts.Updaters,
-		Subscribers:   opts.Subscribers,
-		QueryS:        opts.QueryS,
-		UpdateS:       opts.UpdateS,
-		TicksPerPhase: opts.TicksPerPhase,
-		Seed:          opts.Seed,
-		Build:         build,
-		Notifications: smAfter.Notifications - smBefore.Notifications,
+		Objects:          opts.Objects,
+		Tenants:          opts.Tenants,
+		Sources:          scaleSources,
+		Clients:          opts.Clients,
+		Updaters:         opts.Updaters,
+		Subscribers:      opts.Subscribers,
+		QueryS:           opts.QueryS,
+		UpdateS:          opts.UpdateS,
+		TicksPerPhase:    opts.TicksPerPhase,
+		Seed:             opts.Seed,
+		Build:            build,
+		Notifications:    smAfter.Notifications - smBefore.Notifications,
 		SchedRefreshCost: smAfter.RefreshCost - smBefore.RefreshCost,
 		RefreshCost:      statsAfter.QueryRefreshCost - statsBefore.QueryRefreshCost,
 	}

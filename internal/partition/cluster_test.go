@@ -1,0 +1,415 @@
+package partition_test
+
+// Cluster differential tests: a 3-partition cluster — in-process
+// LocalNodes and real framed servers over loopback — runs the benchmark
+// query mix in lockstep with a single embedded system holding the same
+// tuples, and every interval, plan-cost total, and typed error must
+// match bit for bit (DESIGN.md §14's bit-identity claim, enforced).
+// Plus the fan-out cancellation contract: a deadline expiring
+// mid-scatter returns the best merged interval under ErrPrecisionUnmet,
+// leaks no goroutines, and charges each installed refresh exactly once.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/experiment"
+	"trapp/internal/interval"
+	"trapp/internal/partition"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/server"
+	itrapp "trapp/internal/trapp"
+	"trapp/internal/workload"
+)
+
+const (
+	diffLinks  = 64
+	diffSrcs   = 4
+	diffParts  = 3
+	diffSeed   = int64(7)
+	diffQuerys = 160
+)
+
+// buildPair builds the single system and its partitioned twin.
+func buildPair(t *testing.T) (*itrapp.System, *workload.Network, []*itrapp.System, *workload.Network, *partition.Ring) {
+	t.Helper()
+	single, netS, err := experiment.BuildLinkSystem(diffLinks, diffSrcs, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(single.Close)
+	parts, netP, ring, err := experiment.BuildLinkPartitions(diffLinks, diffSrcs, diffSeed, experiment.PartitionIDs(diffParts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, p := range parts {
+			p.Close()
+		}
+	})
+	return single, netS, parts, netP, ring
+}
+
+// startPartitionServer serves one partition over a loopback framed
+// listener, the way a real trappserver process does.
+func startPartitionServer(t *testing.T, id string, sys *itrapp.System) string {
+	t.Helper()
+	node := partition.NewLocalNode(id, sys)
+	srv := server.New(sys, server.Config{FramedExt: partition.NewService(node)})
+	ln, err := srv.ListenAndServeFramed("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+func newCluster(t *testing.T, nodes []partition.Node) *partition.Cluster {
+	t.Helper()
+	cl, err := partition.New(context.Background(), nodes, partition.Config{
+		Options: refresh.Options{Solver: refresh.SolverGreedyDensity},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// normalizeMsgs blanks error messages when both sides carry the same
+// code: the typed fields are the parity contract; message prefixes may
+// differ between the partition path and local wrapping.
+func normalizeMsgs(a, b *server.WireError) {
+	if a != nil && b != nil && a.Code == b.Code {
+		a.Message, b.Message = "", ""
+	}
+}
+
+// runClusterDifferential drives the single system and the cluster in
+// lockstep — identical queries, option variants, pushes, and clock
+// advances — and asserts bit-identical wire results.
+func runClusterDifferential(t *testing.T, mkNodes func(t *testing.T, parts []*itrapp.System) []partition.Node) {
+	single, netS, parts, netP, ring := buildPair(t)
+	cl := newCluster(t, mkNodes(t, parts))
+
+	schema := single.MountedCache("links").Schema()
+	rng := rand.New(rand.NewSource(diffSeed + 4242))
+	ctx := context.Background()
+	for i := 0; i < diffQuerys; i++ {
+		if i%8 == 3 {
+			// Lockstep mutation round: step the same links in both
+			// generator instances (identical walks by construction) and
+			// push each value to the single system and to the partition
+			// owning the key.
+			for j := 0; j < 8; j++ {
+				li := rng.Intn(diffLinks)
+				lS, lP := netS.Links[li], netP.Links[li]
+				vs, vp := lS.Step(), lP.Step()
+				if !reflect.DeepEqual(vs, vp) {
+					t.Fatalf("generator divergence at link %d: %v vs %v", li, vs, vp)
+				}
+				name := fmt.Sprintf("s%d", li%diffSrcs)
+				if err := single.Source(name).SetValue(lS.Key, vs); err != nil {
+					t.Fatal(err)
+				}
+				if err := parts[ring.OwnerOfKey(lP.Key)].Source(name).SetValue(lP.Key, vp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			single.Clock.Advance(1)
+			for _, p := range parts {
+				p.Clock.Advance(1)
+			}
+		}
+
+		q := experiment.MixQuery(rng, schema, diffLinks)
+		var opts []query.ExecOption
+		switch i % 4 {
+		case 1: // the cost-bounded dual
+			opts = append(opts, query.WithCostBudget(2+rng.Float64()*8))
+		case 2: // the fresh-data extreme
+			opts = append(opts, query.WithMode(query.ModePrecise))
+		case 3: // an already-expired deadline: deterministic best-effort
+			opts = append(opts, query.WithDeadline(time.Now().Add(-time.Millisecond)))
+		}
+
+		wantRes, wantErr := single.ExecuteCtx(ctx, q, opts...)
+		gotRes, gotErr := cl.ExecuteCtx(ctx, q, opts...)
+		want := server.ToWireResult(wantRes, wantErr)
+		got := server.ToWireResult(gotRes, gotErr)
+		got.ChooseTimeNS, want.ChooseTimeNS = 0, 0
+		normalizeMsgs(got.Error, want.Error)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d (%s, variant %d): cluster %+v != single %+v", i, q, i%4, got, want)
+		}
+	}
+}
+
+func TestClusterDifferentialLocal(t *testing.T) {
+	runClusterDifferential(t, func(t *testing.T, parts []*itrapp.System) []partition.Node {
+		nodes := make([]partition.Node, len(parts))
+		for i, id := range experiment.PartitionIDs(len(parts)) {
+			nodes[i] = partition.NewLocalNode(id, parts[i])
+		}
+		return nodes
+	})
+}
+
+func TestClusterDifferentialRemote(t *testing.T) {
+	runClusterDifferential(t, func(t *testing.T, parts []*itrapp.System) []partition.Node {
+		nodes := make([]partition.Node, len(parts))
+		for i, id := range experiment.PartitionIDs(len(parts)) {
+			nodes[i] = partition.NewRemoteNode(id, startPartitionServer(t, id, parts[i]))
+		}
+		return nodes
+	})
+}
+
+// TestClusterBatchDifferential pins the batch contract: the coordinator
+// executes batch statements sequentially, each answering exactly as if
+// issued alone.
+func TestClusterBatchDifferential(t *testing.T) {
+	single, _, parts, _, _ := buildPair(t)
+	nodes := make([]partition.Node, len(parts))
+	for i, id := range experiment.PartitionIDs(len(parts)) {
+		nodes[i] = partition.NewLocalNode(id, parts[i])
+	}
+	cl := newCluster(t, nodes)
+	schema := single.MountedCache("links").Schema()
+	rng := rand.New(rand.NewSource(diffSeed + 99))
+	qs := make([]query.Query, 5)
+	for i := range qs {
+		qs[i] = experiment.MixQuery(rng, schema, diffLinks)
+	}
+	ctx := context.Background()
+	results, errs, err := cl.ExecuteBatchDetailed(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		wantRes, wantErr := single.ExecuteCtx(ctx, q)
+		want := server.ToWireResult(wantRes, wantErr)
+		got := server.ToWireResult(results[i], errs[i])
+		got.ChooseTimeNS, want.ChooseTimeNS = 0, 0
+		normalizeMsgs(got.Error, want.Error)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("batch statement %d (%s): cluster %+v != single %+v", i, q, got, want)
+		}
+	}
+}
+
+// TestClusterSubscription checks the re-multiplexed standing query: the
+// first merged update must wait for every partition, merge to the
+// cluster-wide fold, and later pushes must flow through.
+func TestClusterSubscription(t *testing.T) {
+	_, _, parts, netP, ring := buildPair(t)
+	nodes := make([]partition.Node, len(parts))
+	for i, id := range experiment.PartitionIDs(len(parts)) {
+		nodes[i] = partition.NewLocalNode(id, parts[i])
+	}
+	cl := newCluster(t, nodes)
+
+	q := query.NewQuery("links", aggregate.Sum, workload.ColLatency)
+	q.Within = math.Inf(1) // pure change feed; Met must still be true
+	sub, err := cl.SubscribeCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	var first interval.Interval
+	select {
+	case u := <-sub.Updates():
+		if !u.Met {
+			t.Fatalf("unconstrained subscription not met: %+v", u)
+		}
+		first = u.Answer
+	case <-time.After(5 * time.Second):
+		t.Fatal("no initial merged update")
+	}
+
+	// The merged initial answer must equal the scattered imprecise fold.
+	res, err := cl.ExecuteCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != res.Answer {
+		t.Fatalf("initial merged update %v != scattered fold %v", first, res.Answer)
+	}
+
+	// A push through the owning partition must surface a fresh update.
+	l := netP.Links[0]
+	vals := l.Step()
+	owner := ring.OwnerOfKey(l.Key)
+	if err := parts[owner].Source("s0").SetValue(l.Key, vals); err != nil {
+		t.Fatal(err)
+	}
+	parts[owner].Clock.Advance(1)
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case u, ok := <-sub.Updates():
+			if !ok {
+				t.Fatal("update stream closed early")
+			}
+			if u.Answer != first {
+				return // merged answer moved with the push
+			}
+		case <-deadline:
+			t.Fatal("no merged update after push")
+		}
+	}
+}
+
+// slowNode delays refresh fan-outs so a deadline reliably expires
+// mid-scatter.
+type slowNode struct {
+	partition.Node
+	delay time.Duration
+}
+
+func (s *slowNode) Refresh(ctx context.Context, shape string, keys []int64) (partition.RefreshOutcome, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return partition.RefreshOutcome{}, ctx.Err()
+	}
+	return s.Node.Refresh(ctx, shape, keys)
+}
+
+// TestClusterFanoutCancellation: a deadline expiring mid-refresh-scatter
+// must return the best merged interval under ErrPrecisionUnmet with the
+// deadline as cause, leak no goroutines, and never double-charge the
+// cost ledger for the refreshes that did land.
+func TestClusterFanoutCancellation(t *testing.T) {
+	_, _, parts, netP, ring := buildPair(t)
+	// Age the caches: push a fresh value for every link so bounds carry
+	// the full static width and the precise query below must plan
+	// refreshes on every partition.
+	for li, l := range netP.Links {
+		if err := parts[ring.OwnerOfKey(l.Key)].Source(fmt.Sprintf("s%d", li%diffSrcs)).SetValue(l.Key, l.Step()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range parts {
+		p.Clock.Advance(1)
+	}
+	ids := experiment.PartitionIDs(len(parts))
+	nodes := make([]partition.Node, len(parts))
+	for i, id := range ids {
+		var n partition.Node = partition.NewLocalNode(id, parts[i])
+		if i > 0 {
+			n = &slowNode{Node: n, delay: 2 * time.Second}
+		}
+		nodes[i] = n
+	}
+	cl := newCluster(t, nodes)
+
+	before := runtime.NumGoroutine()
+
+	q := query.NewQuery("links", aggregate.Sum, workload.ColLatency)
+	q.Within = 0.01 // needs refreshes everywhere; unmeetable before the deadline
+	res, err := cl.ExecuteCtx(context.Background(), q,
+		query.WithDeadline(time.Now().Add(150*time.Millisecond)))
+
+	var pu query.ErrPrecisionUnmet
+	if !errors.As(err, &pu) {
+		t.Fatalf("want ErrPrecisionUnmet, got %v", err)
+	}
+	if !errors.Is(pu.Cause, context.DeadlineExceeded) {
+		t.Fatalf("want deadline cause, got %v", pu.Cause)
+	}
+	if res.Answer.IsEmpty() || math.IsInf(res.Answer.Width(), 1) {
+		t.Fatalf("want best merged interval, got %v", res.Answer)
+	}
+	if pu.Achieved != res.Answer {
+		t.Fatalf("achieved %v != answer %v", pu.Achieved, res.Answer)
+	}
+	if pu.Spent != res.RefreshCost {
+		t.Fatalf("spent %g != charged refresh cost %g", pu.Spent, res.RefreshCost)
+	}
+	// Only the fast partition's installs may be charged; the slow
+	// partitions' outcomes are unconfirmed and must cost nothing.
+	if res.Refreshed > 0 && res.RefreshCost <= 0 {
+		t.Fatalf("charged %d refreshes at zero cost", res.Refreshed)
+	}
+
+	// Scatter goroutines must all exit once the query returns.
+	ok := false
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			ok = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+	}
+}
+
+// TestClusterLedgerSingleCharge drives the coordinator through a real
+// server with a client cost ceiling and checks the ledger drains by
+// exactly the refresh cost each query reports — charged once, not once
+// per partition.
+func TestClusterLedgerSingleCharge(t *testing.T) {
+	_, _, parts, _, _ := buildPair(t)
+	nodes := make([]partition.Node, len(parts))
+	for i, id := range experiment.PartitionIDs(len(parts)) {
+		nodes[i] = partition.NewLocalNode(id, parts[i])
+	}
+	cl := newCluster(t, nodes)
+
+	const ceiling = 500.0
+	srv := server.NewEngine(cl, server.Config{ClientBudget: ceiling})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	remaining := ceiling
+	for i := 0; i < 3; i++ {
+		body, _ := json.Marshal(server.QueryRequest{
+			SQL:  "SELECT SUM(links.latency) WITHIN 0.5 FROM links",
+			Mode: "precise",
+		})
+		req, _ := http.NewRequest("POST", ts.URL+"/query", bytes.NewReader(body))
+		req.Header.Set("X-Trapp-Client", "ledger-test")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qr server.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if qr.Error != nil {
+			t.Fatalf("query %d failed: %+v", i, qr.Error)
+		}
+		if len(qr.Results) != 1 || qr.BudgetRemaining == nil {
+			t.Fatalf("query %d: unexpected response %+v", i, qr)
+		}
+		spent := float64(qr.Results[0].RefreshCost)
+		remaining -= spent
+		if got := float64(*qr.BudgetRemaining); got != remaining {
+			t.Fatalf("query %d: ledger %g after spending %g, want %g (double charge?)",
+				i, got, spent, remaining)
+		}
+	}
+}

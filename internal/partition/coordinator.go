@@ -1,0 +1,673 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/obs"
+	"trapp/internal/parallel"
+	"trapp/internal/predicate"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+	"trapp/internal/sql"
+)
+
+// Config tunes the scatter-gather coordinator.
+type Config struct {
+	// Options are the refresh solver options the coordinator plans with;
+	// they must match the options the partition engines run, or plans
+	// chosen here diverge from single-node plans.
+	Options refresh.Options
+	// OpTimeout bounds each per-partition operation attempt; zero means
+	// only the request context limits it.
+	OpTimeout time.Duration
+	// Retries is the number of extra attempts after a failed partition
+	// operation (all node operations are idempotent). The retry fires
+	// immediately — with OpTimeout set it acts as a hedge against a
+	// stuck node rather than a backoff loop.
+	Retries int
+	// DegradedSlack is the conservative per-degraded-partition widening:
+	// when a partition stays unreachable after retries and the
+	// coordinator falls back to its last good fold state, the merged
+	// answer is expanded by DegradedSlack for each degraded partition so
+	// staleness degrades precision instead of soundness claims.
+	DegradedSlack float64
+}
+
+// nodeStats is the per-partition health ledger behind ClusterMetrics.
+type nodeStats struct {
+	ops      atomic.Int64
+	errors   atomic.Int64
+	retries  atomic.Int64
+	degraded atomic.Int64
+	lat      obs.Histogram
+}
+
+// NodeMetrics is one partition's health snapshot.
+type NodeMetrics struct {
+	ID       string                `json:"id"`
+	Buckets  []int                 `json:"buckets"`
+	Ops      int64                 `json:"ops"`
+	Errors   int64                 `json:"errors"`
+	Retries  int64                 `json:"retries"`
+	Degraded int64                 `json:"degraded"`
+	Latency  obs.HistogramSnapshot `json:"latency"`
+}
+
+// Metrics is the coordinator's health snapshot: per-partition operation
+// counts, retry/degradation tallies, and op latency histograms.
+type Metrics struct {
+	Queries    int64         `json:"queries"`
+	Degraded   int64         `json:"degraded_queries"`
+	Partitions []NodeMetrics `json:"partitions"`
+}
+
+// Cluster is the scatter-gather coordinator: a query.Processor replica
+// whose scan, plan, and refresh phases fan out to the partitions owning
+// the relation's canonical buckets. It implements the server Engine
+// surface (ExecuteCtx / ExecuteBatchDetailed / SubscribeCtx / Catalog),
+// so cmd/trappcoord serves a cluster through the exact HTTP and framed
+// paths a single node serves an embedded system.
+type Cluster struct {
+	nodes []Node
+	ring  *Ring
+	cfg   Config
+
+	catalog sql.MapCatalog
+	closed  atomic.Bool
+
+	queries    atomic.Int64
+	degradedQs atomic.Int64
+	stats      []nodeStats
+
+	// Last good fold state per shape and partition — the degradation
+	// fallback. Bounded by clearing wholesale past maxStateEntries
+	// shapes.
+	mu   sync.Mutex
+	last map[string][]*aggregate.State
+
+	subSeq atomic.Int64
+}
+
+// New assembles a coordinator over the given partitions: each node is
+// greeted, the table catalogs are required to agree, and bucket
+// ownership is fixed by rendezvous hashing of the node IDs.
+func New(ctx context.Context, nodes []Node, cfg Config) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("partition: cluster needs at least one node")
+	}
+	ids := make([]string, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.ID()
+	}
+	ring, err := NewRing(ids)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		nodes: nodes,
+		ring:  ring,
+		cfg:   cfg,
+		stats: make([]nodeStats, len(nodes)),
+		last:  make(map[string][]*aggregate.State),
+	}
+	var ref Hello
+	for i, n := range nodes {
+		h, err := call(cl, ctx, i, func(ctx context.Context) (Hello, error) { return n.Hello(ctx) })
+		if err != nil {
+			return nil, fmt.Errorf("partition: hello %s: %w", n.ID(), err)
+		}
+		if i == 0 {
+			ref = h
+			cl.catalog = make(sql.MapCatalog, len(h.Tables))
+			for _, t := range h.Tables {
+				cl.catalog[t.Name] = relation.NewSchema(t.Columns...)
+			}
+			continue
+		}
+		if err := sameTables(ref, h); err != nil {
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// sameTables checks two topology advertisements serve identical tables.
+func sameTables(a, b Hello) error {
+	if len(a.Tables) != len(b.Tables) {
+		return fmt.Errorf("partition: %s serves %d tables, %s serves %d",
+			a.ID, len(a.Tables), b.ID, len(b.Tables))
+	}
+	for i, ta := range a.Tables {
+		tb := b.Tables[i]
+		if ta.Name != tb.Name || len(ta.Columns) != len(tb.Columns) {
+			return fmt.Errorf("partition: table mismatch between %s and %s: %q vs %q", a.ID, b.ID, ta.Name, tb.Name)
+		}
+		for j, ca := range ta.Columns {
+			if ca != tb.Columns[j] {
+				return fmt.Errorf("partition: schema mismatch for %q between %s and %s", ta.Name, a.ID, b.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// Ring returns the cluster's bucket-ownership assignment.
+func (cl *Cluster) Ring() *Ring { return cl.ring }
+
+// Catalog implements the server engine surface over the agreed tables.
+func (cl *Cluster) Catalog() sql.Catalog { return cl.catalog }
+
+// Close marks the cluster closed and releases the nodes.
+func (cl *Cluster) Close() {
+	if cl.closed.Swap(true) {
+		return
+	}
+	for _, n := range cl.nodes {
+		n.Close()
+	}
+}
+
+// ClusterMetrics returns the per-partition health snapshot; the server
+// metrics endpoint feature-detects this method and inlines the result.
+func (cl *Cluster) ClusterMetrics() any {
+	m := Metrics{Queries: cl.queries.Load(), Degraded: cl.degradedQs.Load()}
+	for i := range cl.nodes {
+		s := &cl.stats[i]
+		m.Partitions = append(m.Partitions, NodeMetrics{
+			ID:       cl.nodes[i].ID(),
+			Buckets:  cl.ring.Buckets(i),
+			Ops:      s.ops.Load(),
+			Errors:   s.errors.Load(),
+			Retries:  s.retries.Load(),
+			Degraded: s.degraded.Load(),
+			Latency:  s.lat.Snapshot(),
+		})
+	}
+	return m
+}
+
+// Topology returns the coordinator's partition map for /healthz: each
+// partition's ID and the canonical buckets (key ranges under the
+// canonical hash) it owns.
+func (cl *Cluster) Topology() map[string]any {
+	parts := make([]map[string]any, len(cl.nodes))
+	for i := range cl.nodes {
+		parts[i] = map[string]any{
+			"id":      cl.nodes[i].ID(),
+			"buckets": cl.ring.Buckets(i),
+		}
+	}
+	return map[string]any{
+		"role":       "coordinator",
+		"partitions": parts,
+	}
+}
+
+// call runs one idempotent partition operation with the configured
+// per-attempt timeout and bounded retry, recording health telemetry.
+// The parent context aborts retries immediately.
+func call[T any](cl *Cluster, ctx context.Context, node int, fn func(ctx context.Context) (T, error)) (T, error) {
+	s := &cl.stats[node]
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if cl.cfg.OpTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, cl.cfg.OpTimeout)
+		}
+		t0 := time.Now()
+		v, err := fn(actx)
+		s.lat.ObserveDuration(time.Since(t0))
+		if cancel != nil {
+			cancel()
+		}
+		s.ops.Add(1)
+		if err == nil {
+			return v, nil
+		}
+		s.errors.Add(1)
+		lastErr = err
+		if ctx.Err() != nil {
+			// The request itself is done; surface its error, not the
+			// attempt's.
+			var zero T
+			return zero, ctx.Err()
+		}
+		if attempt >= cl.cfg.Retries {
+			var zero T
+			return zero, lastErr
+		}
+		s.retries.Add(1)
+	}
+}
+
+// rememberState records a partition's latest good fold state for the
+// shape — the degradation fallback.
+func (cl *Cluster) rememberState(shape string, node int, st *aggregate.State) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	states, ok := cl.last[shape]
+	if !ok {
+		if len(cl.last) >= maxStateEntries {
+			clear(cl.last)
+		}
+		states = make([]*aggregate.State, len(cl.nodes))
+		cl.last[shape] = states
+	}
+	states[node] = st
+}
+
+// lastState returns the degradation fallback for a partition, or nil.
+func (cl *Cluster) lastState(shape string, node int) *aggregate.State {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if states, ok := cl.last[shape]; ok {
+		return states[node]
+	}
+	return nil
+}
+
+// coordCtxErr maps a partition-reported context cutoff onto the
+// coordinator's own context error — the cause a single node would carry.
+func coordCtxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.DeadlineExceeded
+}
+
+// cutoffRes mirrors the processor's cutoff shaping: a request stopped by
+// context cancellation returns the best interval achieved so far, with a
+// typed ErrPrecisionUnmet when the constraint is still unmet.
+func cutoffRes(res query.Result, q query.Query, cause error) (query.Result, error) {
+	if query.Satisfies(res.Answer, q.Within) {
+		return res, cause
+	}
+	return res, query.ErrPrecisionUnmet{Achieved: res.Answer, Spent: res.RefreshCost, Cause: cause}
+}
+
+// Execute runs a query with a background context and default options.
+func (cl *Cluster) Execute(q query.Query) (query.Result, error) {
+	return cl.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx implements the server engine surface: the single-node
+// three-step bounded execution, scattered.
+func (cl *Cluster) ExecuteCtx(ctx context.Context, q query.Query, opts ...query.ExecOption) (query.Result, error) {
+	return cl.ExecuteConfig(ctx, q, query.BuildExecConfig(opts...))
+}
+
+// ExecuteConfig mirrors the single-node System.executeConfig →
+// Processor.ExecuteConfig pipeline phase for phase — same validation
+// order, same phase boundaries, same error shaping — with each phase
+// scattered to the partitions and gathered through the mergeable fold:
+//
+//	Phase 1   State ops     → MergeStates  → initial answer (+fast path)
+//	Phase 2   Inputs ops    → MergeInputs  → ChoosePlan (at coordinator)
+//	Phase 3   Refresh ops   → plan-order cost fold → merged refold
+//
+// Bit-identity with a single node holding all tuples is by construction:
+// see the package comment and DESIGN.md §14.
+func (cl *Cluster) ExecuteConfig(ctx context.Context, q query.Query, cfg query.ExecConfig) (query.Result, error) {
+	if cl.closed.Load() {
+		return query.Result{}, query.ErrClosed
+	}
+	cl.queries.Add(1)
+	if _, ok := cl.catalog[q.Table]; !ok {
+		return query.Result{}, fmt.Errorf("partition: %w: %q not mounted", query.ErrUnknownTable, q.Table)
+	}
+	if len(q.GroupBy) > 0 {
+		return query.Result{}, fmt.Errorf("query: GROUP BY query requires ExecuteGroupBy")
+	}
+	q, ropts := cfg.Resolve(q, cl.cfg.Options)
+	if cfg.HasBudget && (cfg.Budget < 0 || math.IsNaN(cfg.Budget)) {
+		return query.Result{}, fmt.Errorf("query: invalid cost budget %g", cfg.Budget)
+	}
+	if !cfg.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, cfg.Deadline)
+		defer cancel()
+		cfg.Deadline = time.Time{}
+	}
+	if q.RelativeWithin > 0 {
+		return query.Result{}, fmt.Errorf("partition: relative precision constraints are not supported in cluster mode")
+	}
+	sch := cl.catalog[q.Table]
+	if _, ok := sch.Lookup(q.Column); !ok {
+		return query.Result{}, fmt.Errorf("%w: %q.%q", query.ErrUnknownColumn, q.Table, q.Column)
+	}
+	if q.Within < 0 || math.IsNaN(q.Within) {
+		return query.Result{}, fmt.Errorf("query: invalid precision constraint %g", q.Within)
+	}
+	// Scan boundary: a request that arrives already expired does no work.
+	if err := ctx.Err(); err != nil {
+		return query.Result{}, err
+	}
+
+	tr := cfg.TraceRoot
+	if tr == nil && cfg.Trace {
+		tr = obs.NewTrace(q.String())
+	}
+	var root *obs.Span
+	if tr != nil {
+		root = tr.Root
+		defer tr.Finish()
+	}
+
+	shape := shapeOf(q)
+	noPred := predicate.IsTrivial(q.Where)
+	n := len(cl.nodes)
+
+	var res query.Result
+	res.Trace = tr
+
+	// Phase 1: scatter the fold. Each partition syncs its cache bounds
+	// and returns its local State; the gather merges bucket-disjoint
+	// states into the global initial answer.
+	scatterSp := root.StartSpan("scatter-state")
+	states := make([]*aggregate.State, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range cl.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := call(cl, ctx, i, func(ctx context.Context) (aggregate.State, error) {
+				return cl.nodes[i].State(ctx, shape)
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			states[i] = &st
+		}(i)
+	}
+	wg.Wait()
+	var degraded []int
+	var degCause error
+	for i, err := range errs {
+		if err == nil {
+			cl.rememberState(shape, i, states[i])
+			continue
+		}
+		if cached := cl.lastState(shape, i); cached != nil && ctx.Err() == nil {
+			// The partition stayed unreachable through the retries: fall
+			// back to its last good state and re-widen below, degrading
+			// precision instead of failing the query.
+			cl.stats[i].degraded.Add(1)
+			states[i] = cached
+			degraded = append(degraded, i)
+			degCause = err
+			continue
+		}
+		// No sound fallback: without this partition's tuples any answer
+		// would be unsound, so the query fails like a single node whose
+		// scan could not run.
+		if scatterSp != nil {
+			scatterSp.End()
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return query.Result{}, ctxErr
+		}
+		return query.Result{}, fmt.Errorf("partition %s: state: %w", cl.nodes[i].ID(), err)
+	}
+	merged := aggregate.MergeStates(q.Agg, noPred, states)
+	res.Initial = merged.Answer()
+	if len(degraded) > 0 {
+		cl.degradedQs.Add(1)
+		res.Initial = res.Initial.Expand(cl.cfg.DegradedSlack * float64(len(degraded)))
+	}
+	if scatterSp != nil {
+		scatterSp.SetDetail("parts=%d degraded=%d width=%g", n, len(degraded), res.Initial.Width())
+		scatterSp.End()
+	}
+	res.Answer = res.Initial
+	res.Met = query.Satisfies(res.Answer, q.Within)
+	budgetDual := cfg.HasBudget && cfg.Mode != query.ModeImprecise
+	if res.Met && !(budgetDual && math.IsInf(q.Within, 1)) {
+		return res, nil
+	}
+	if len(degraded) > 0 {
+		// A stale fallback state cannot be refreshed through its dead
+		// partition; stop at the widened merged answer.
+		if !res.Met {
+			return res, query.ErrPrecisionUnmet{Achieved: res.Answer, Spent: 0, Cause: degCause}
+		}
+		return res, nil
+	}
+
+	// Plan boundary.
+	if err := ctx.Err(); err != nil {
+		return cutoffRes(res, q, err)
+	}
+
+	// Phase 2: scatter the classified snapshots and plan centrally over
+	// the merged canonical inputs — the same inputs, in the same order,
+	// a single node would classify, so the same plan.
+	inputsSp := root.StartSpan("scatter-inputs")
+	perInputs := make([][]aggregate.Input, n)
+	lens := make([]int, n)
+	for i := range errs {
+		errs[i] = nil
+	}
+	for i := range cl.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			type snap struct {
+				inputs []aggregate.Input
+				n      int
+			}
+			sn, err := call(cl, ctx, i, func(ctx context.Context) (snap, error) {
+				inputs, tableLen, err := cl.nodes[i].Inputs(ctx, shape)
+				return snap{inputs, tableLen}, err
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			perInputs[i], lens[i] = sn.inputs, sn.n
+		}(i)
+	}
+	wg.Wait()
+	tableLen := 0
+	planParts := perInputs[:0:0]
+	excluded := 0
+	for i, err := range errs {
+		if err == nil {
+			planParts = append(planParts, perInputs[i])
+			tableLen += lens[i]
+			continue
+		}
+		if inputsSp != nil {
+			inputsSp.End()
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return cutoffRes(res, q, ctxErr)
+		}
+		// A partition that answered phase 1 but not phase 2 keeps its
+		// (current) phase-1 state in the final merge; its tuples are
+		// simply not candidates for refresh this request — sound, since
+		// fewer refreshes only leave the answer wider.
+		excluded++
+		tableLen += states[i].TableLen
+	}
+	inputs := aggregate.MergeInputs(planParts...)
+	if inputsSp != nil {
+		inputsSp.SetDetail("inputs=%d excluded=%d", len(inputs), excluded)
+		inputsSp.End()
+	}
+
+	chooseSp := root.StartSpan("choose")
+	start := time.Now()
+	plan, err := query.ChoosePlan(inputs, q, noPred, tableLen, cfg, ropts)
+	res.ChooseTime = time.Since(start)
+	if chooseSp != nil {
+		chooseSp.SetDetail("%s", plan.Describe())
+		chooseSp.End()
+	}
+	if err != nil {
+		return res, err
+	}
+
+	var ctxErr error
+	if plan.Len() > 0 {
+		// Fan-out boundary.
+		if err := ctx.Err(); err != nil {
+			return cutoffRes(res, q, err)
+		}
+		tr.SetPlanCosts(plan.Keys, plan.Costs)
+		refreshSp := root.StartSpan("refresh")
+
+		// Phase 3: route each planned key to its owning partition and
+		// scatter the refresh fan-outs.
+		perKeys := make([][]int64, n)
+		for _, key := range plan.Keys {
+			o := cl.ring.OwnerOfKey(key)
+			perKeys[o] = append(perKeys[o], key)
+		}
+		outs := make([]*RefreshOutcome, n)
+		for i := range errs {
+			errs[i] = nil
+		}
+		for i := range cl.nodes {
+			if len(perKeys[i]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				out, err := call(cl, ctx, i, func(ctx context.Context) (RefreshOutcome, error) {
+					return cl.nodes[i].Refresh(ctx, shape, perKeys[i])
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				outs[i] = &out
+			}(i)
+		}
+		wg.Wait()
+
+		installed := make(map[int64]bool, len(plan.Keys))
+		final := make([]*aggregate.State, n)
+		var hardErr error
+		for i := range cl.nodes {
+			if len(perKeys[i]) == 0 {
+				final[i] = states[i]
+				continue
+			}
+			if errs[i] != nil {
+				// The partition's installs (if any) are unconfirmed:
+				// charge nothing for them and keep its wider phase-1
+				// state — conservative, therefore sound.
+				final[i] = states[i]
+				if parallel.IsContextError(errs[i]) || ctx.Err() != nil {
+					ctxErr = coordCtxErr(ctx)
+				} else if hardErr == nil {
+					hardErr = fmt.Errorf("partition %s: refresh: %w", cl.nodes[i].ID(), errs[i])
+				}
+				continue
+			}
+			for _, k := range outs[i].Installed {
+				installed[k] = true
+			}
+			if outs[i].Cut {
+				ctxErr = coordCtxErr(ctx)
+			}
+			final[i] = &outs[i].State
+			cl.rememberState(shape, i, &outs[i].State)
+		}
+		// The paid costs fold in plan order — the same deterministic
+		// float addition sequence a single node's runPlan performs, so
+		// the cluster's RefreshCost is bit-identical.
+		var installedKeys []int64
+		if refreshSp != nil {
+			installedKeys = make([]int64, 0, len(installed))
+		}
+		for j, key := range plan.Keys {
+			if !installed[key] {
+				continue
+			}
+			res.Refreshed++
+			res.RefreshCost += plan.Costs[j]
+			if refreshSp != nil {
+				installedKeys = append(installedKeys, key)
+			}
+		}
+		refreshSp.RecordKeys(installedKeys)
+		refreshSp.End()
+		if hardErr != nil {
+			return res, hardErr
+		}
+
+		// Merged refold: refreshed partitions contribute their
+		// post-refresh states, untouched ones their phase-1 states.
+		foldSp := root.StartSpan("fold")
+		mergedFinal := aggregate.MergeStates(q.Agg, noPred, final)
+		res.Answer = mergedFinal.Answer()
+		res.Met = query.Satisfies(res.Answer, q.Within)
+		if foldSp != nil {
+			foldSp.SetDetail("width=%g", res.Answer.Width())
+			foldSp.End()
+		}
+	}
+	if ctxErr != nil && !res.Met {
+		return res, query.ErrPrecisionUnmet{Achieved: res.Answer, Spent: res.RefreshCost, Cause: ctxErr}
+	}
+	if ctxErr != nil {
+		return res, nil // cut short, but the constraint held anyway
+	}
+	if budgetDual && !res.Met && !math.IsInf(q.Within, 1) {
+		return res, query.ErrBudgetExhausted{Achieved: res.Answer, Spent: res.RefreshCost, Budget: cfg.Budget}
+	}
+	return res, nil
+}
+
+// ExecuteBatchDetailed implements the server engine surface. The
+// coordinator executes batch statements as a sequential per-query loop:
+// unlike the single-node batch executor it does not merge the plans into
+// shared refresh rounds (cross-partition plan sharing would change
+// per-query cost attribution), so a batched statement answers exactly as
+// if issued alone — the property the cluster differential test pins.
+func (cl *Cluster) ExecuteBatchDetailed(ctx context.Context, qs []query.Query, opts ...query.ExecOption) ([]query.Result, []error, error) {
+	if cl.closed.Load() {
+		return nil, nil, query.ErrClosed
+	}
+	for _, q := range qs {
+		if _, ok := cl.catalog[q.Table]; !ok {
+			return nil, nil, fmt.Errorf("partition: %w: %q not mounted", query.ErrUnknownTable, q.Table)
+		}
+	}
+	cfg := query.BuildExecConfig(opts...)
+	results := make([]query.Result, len(qs))
+	perQuery := make([]error, len(qs))
+	for i, q := range qs {
+		res, err := cl.ExecuteConfig(ctx, q, cfg)
+		results[i] = res
+		switch {
+		case err == nil,
+			isTyped(err):
+			perQuery[i] = err
+		default:
+			return nil, nil, err
+		}
+	}
+	return results, perQuery, nil
+}
+
+// isTyped reports whether an execution error is a per-query outcome
+// (partial results the batch keeps) rather than a whole-batch failure.
+func isTyped(err error) bool {
+	switch err.(type) {
+	case query.ErrPrecisionUnmet, query.ErrBudgetExhausted:
+		return true
+	}
+	return parallel.IsContextError(err)
+}

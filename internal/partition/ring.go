@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"fmt"
+
+	"trapp/internal/relation"
+)
+
+// Ring assigns the engine's canonical buckets to nodes by rendezvous
+// (highest-random-weight) hashing: bucket b belongs to the node whose
+// mixed score hash(node.ID) ⊕ b is highest. The assignment is a pure
+// function of the node ID set, every coordinator computes the same
+// ownership independently, and removing a node moves only that node's
+// buckets — the consistent-hash property, without a token ring to
+// maintain.
+//
+// Partitions own whole canonical buckets because bit-identical state
+// merging requires bucket-disjoint partitions (see aggregate.State); the
+// bucket count therefore also caps the cluster width at
+// relation.NumCanonicalBuckets nodes.
+type Ring struct {
+	ids   []string
+	owner [relation.NumCanonicalBuckets]int
+}
+
+// fibMix is the Fibonacci multiplier also used by the canonical bucket
+// hash; here it mixes the node hash with the bucket index.
+const fibMix = 0x9E3779B97F4A7C15
+
+// fnv64 hashes a node ID (FNV-1a).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// NewRing computes the bucket→node assignment for the given node IDs.
+// IDs must be unique; between 1 and relation.NumCanonicalBuckets nodes
+// are supported.
+func NewRing(ids []string) (*Ring, error) {
+	if len(ids) == 0 || len(ids) > relation.NumCanonicalBuckets {
+		return nil, fmt.Errorf("partition: ring wants 1..%d nodes, got %d",
+			relation.NumCanonicalBuckets, len(ids))
+	}
+	seen := make(map[string]bool, len(ids))
+	hashes := make([]uint64, len(ids))
+	for i, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("partition: duplicate node id %q", id)
+		}
+		seen[id] = true
+		hashes[i] = fnv64(id)
+	}
+	r := &Ring{ids: append([]string(nil), ids...)}
+	for b := 0; b < relation.NumCanonicalBuckets; b++ {
+		best, bestScore := 0, uint64(0)
+		for i, h := range hashes {
+			score := (h ^ (uint64(b+1) * fibMix)) * fibMix
+			// Ties break toward the lexicographically smaller ID so the
+			// assignment stays a pure function of the ID set.
+			if i == 0 || score > bestScore || (score == bestScore && r.ids[i] < r.ids[best]) {
+				best, bestScore = i, score
+			}
+		}
+		r.owner[b] = best
+	}
+	return r, nil
+}
+
+// N returns the node count.
+func (r *Ring) N() int { return len(r.ids) }
+
+// IDs returns the node IDs in ring order.
+func (r *Ring) IDs() []string { return append([]string(nil), r.ids...) }
+
+// Owner returns the index of the node owning a canonical bucket.
+func (r *Ring) Owner(bucket int) int { return r.owner[bucket] }
+
+// OwnerOfKey returns the index of the node owning a tuple key.
+func (r *Ring) OwnerOfKey(key int64) int {
+	return r.owner[relation.CanonicalBucket(key)]
+}
+
+// Buckets returns the canonical buckets owned by node i, ascending.
+func (r *Ring) Buckets(i int) []int {
+	var bs []int
+	for b, o := range r.owner {
+		if o == i {
+			bs = append(bs, b)
+		}
+	}
+	return bs
+}

@@ -1,0 +1,142 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/continuous"
+	"trapp/internal/predicate"
+	"trapp/internal/query"
+	"trapp/internal/server"
+)
+
+// clusterSub is a standing query maintained across the cluster: every
+// partition runs a local subscription for the shape, streams its fold
+// state on change, and the coordinator re-multiplexes the streams into
+// one merged answer stream.
+type clusterSub struct {
+	q       query.Query
+	updates chan continuous.Update
+	cancel  context.CancelFunc
+}
+
+// Updates implements the server subscription surface.
+func (s *clusterSub) Updates() <-chan continuous.Update { return s.updates }
+
+// Close tears the cluster subscription down; the update channel closes
+// once every partition stream has ended.
+func (s *clusterSub) Close() { s.cancel() }
+
+// Query returns the subscribed query.
+func (s *clusterSub) Query() query.Query { return s.q }
+
+// SubscribeCtx implements the server engine surface: a standing query
+// over the whole partitioned relation. Because tuples are key-hash
+// sharded, every partition holds a slice of every table, so the
+// subscription fans out to all partitions; each runs a local standing
+// query whose repair target is the pro-rata share Within/N (a heuristic
+// — local widths do not add across MIN/MAX, so the coordinator always
+// recomputes Met on the merged answer against the full constraint).
+func (cl *Cluster) SubscribeCtx(ctx context.Context, q query.Query) (server.Subscription, error) {
+	if cl.closed.Load() {
+		return nil, query.ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if _, ok := cl.catalog[q.Table]; !ok {
+		return nil, fmt.Errorf("partition: %w: %q not mounted", query.ErrUnknownTable, q.Table)
+	}
+	if len(q.GroupBy) > 0 {
+		return nil, fmt.Errorf("partition: GROUP BY subscriptions are not supported in cluster mode")
+	}
+	if q.RelativeWithin > 0 {
+		return nil, fmt.Errorf("partition: relative precision constraints are not supported in cluster mode")
+	}
+	if q.Within < 0 || math.IsNaN(q.Within) {
+		return nil, fmt.Errorf("continuous: invalid precision constraint %g", q.Within)
+	}
+	shape := shapeOf(q)
+	share := q.Within
+	if !math.IsInf(share, 1) {
+		share = q.Within / float64(len(cl.nodes))
+	}
+	subCtx, cancel := context.WithCancel(ctx)
+	chans := make([]<-chan Update, len(cl.nodes))
+	for i, n := range cl.nodes {
+		ch, err := n.Subscribe(subCtx, shape, share)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("partition %s: subscribe: %w", n.ID(), err)
+		}
+		chans[i] = ch
+	}
+	cs := &clusterSub{q: q, updates: make(chan continuous.Update, 1), cancel: cancel}
+	go cs.mux(q, chans)
+	return cs, nil
+}
+
+// mux fans the per-partition update streams into the merged stream. The
+// first merged update is emitted only once every partition has reported
+// at least one state (a partial merge would silently exclude tuples);
+// after that every partition update re-merges and re-emits, coalescing
+// so a slow consumer sees the latest merged answer rather than backlog.
+func (s *clusterSub) mux(q query.Query, chans []<-chan Update) {
+	noPred := predicate.IsTrivial(q.Where)
+	type tagged struct {
+		i int
+		u Update
+	}
+	in := make(chan tagged)
+	var wg sync.WaitGroup
+	for i, ch := range chans {
+		wg.Add(1)
+		go func(i int, ch <-chan Update) {
+			defer wg.Done()
+			for u := range ch {
+				in <- tagged{i, u}
+			}
+		}(i, ch)
+	}
+	go func() {
+		wg.Wait()
+		close(in)
+	}()
+
+	latest := make([]*aggregate.State, len(chans))
+	have := 0
+	var seq, maxAt int64
+	for t := range in {
+		if latest[t.i] == nil {
+			have++
+		}
+		st := t.u.State
+		latest[t.i] = &st
+		if t.u.At > maxAt {
+			maxAt = t.u.At
+		}
+		if have < len(chans) {
+			continue
+		}
+		merged := aggregate.MergeStates(q.Agg, noPred, latest)
+		ans := merged.Answer()
+		seq++
+		u := continuous.Update{Seq: seq, At: maxAt, Answer: ans, Met: query.Satisfies(ans, q.Within)}
+		select {
+		case s.updates <- u:
+		default:
+			select {
+			case <-s.updates:
+			default:
+			}
+			select {
+			case s.updates <- u:
+			default:
+			}
+		}
+	}
+	close(s.updates)
+}

@@ -1,0 +1,245 @@
+package partition
+
+// Codec round-trips: every encoded partition frame must decode to the
+// identical value (raw IEEE-754 bits make float fields bit-exact), and
+// error responses must reconstruct the context sentinels the
+// coordinator's degradation taxonomy branches on.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/interval"
+	"trapp/internal/predicate"
+	"trapp/internal/relation"
+)
+
+func randSelection(rng *rand.Rand) aggregate.Selection {
+	if rng.Intn(3) == 0 {
+		return aggregate.Selection{}
+	}
+	return aggregate.Selection{Valid: true, Val: rng.NormFloat64() * 100, Key: rng.Int63n(1e6)}
+}
+
+func randState(rng *rand.Rand) aggregate.State {
+	s := aggregate.State{
+		Fn:       aggregate.Func(rng.Intn(5)),
+		NoPred:   rng.Intn(2) == 0,
+		TableLen: rng.Intn(1000),
+		MinLo:    randSelection(rng), MinHiPlus: randSelection(rng),
+		MaxHi: randSelection(rng), MaxLoPlus: randSelection(rng),
+		SumPresent:     uint16(rng.Intn(256)),
+		Plus:           rng.Intn(500),
+		Maybe:          rng.Intn(500),
+		AvgSeedPresent: uint16(rng.Intn(256)),
+		AvgK:           rng.Intn(100),
+		AvgAny:         rng.Intn(2) == 0,
+	}
+	for i := range s.SumLo {
+		s.SumLo[i] = rng.NormFloat64() * 10
+		s.SumHi[i] = s.SumLo[i] + rng.Float64()
+		s.AvgSeedLo[i] = rng.NormFloat64()
+		s.AvgSeedHi[i] = s.AvgSeedLo[i] + rng.Float64()
+	}
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		lo := rng.NormFloat64() * 50
+		s.AvgMaybes = append(s.AvgMaybes, interval.Interval{Lo: lo, Hi: lo + rng.Float64()*3})
+	}
+	return s
+}
+
+func TestWireStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		want := randState(rng)
+		frame := AppendStateResp(nil, uint32(i), &want)
+		id, got, remoteErr, err := DecodeStateResp(frame[4:])
+		if err != nil || remoteErr != nil {
+			t.Fatalf("decode: %v / %v", err, remoteErr)
+		}
+		if id != uint32(i) {
+			t.Fatalf("id %d != %d", id, i)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("state round trip diverged:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestWireInputsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var want []aggregate.Input
+	for i := 0; i < 64; i++ {
+		want = append(want, aggregate.Input{
+			Key:   rng.Int63n(1e6),
+			Bound: interval.Interval{Lo: rng.NormFloat64(), Hi: rng.NormFloat64() + 5},
+			Cost:  float64(1 + rng.Intn(10)),
+			Class: predicate.Class(1 + rng.Intn(2)),
+		})
+	}
+	frame := AppendInputsResp(nil, 7, want, 321)
+	id, got, tableLen, remoteErr, err := DecodeInputsResp(frame[4:])
+	if err != nil || remoteErr != nil || id != 7 || tableLen != 321 {
+		t.Fatalf("decode: id=%d len=%d %v / %v", id, tableLen, err, remoteErr)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("inputs round trip diverged")
+	}
+}
+
+func TestWireRefreshRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	want := RefreshOutcome{Cut: true, Installed: []int64{3, 1, 4, 15}, State: randState(rng)}
+	frame := AppendRefreshResp(nil, 9, &want)
+	id, got, remoteErr, err := DecodeRefreshResp(frame[4:])
+	if err != nil || remoteErr != nil || id != 9 {
+		t.Fatalf("decode: %v / %v", err, remoteErr)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("refresh round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWireHelloRoundTrip(t *testing.T) {
+	want := Hello{ID: "p1", Tables: []TableSchema{{
+		Name: "links",
+		Columns: []relation.Column{
+			{Name: "latency", Kind: relation.Bounded},
+			{Name: "from", Kind: relation.Exact},
+		},
+	}}}
+	frame := AppendHelloResp(nil, 3, &want)
+	id, got, remoteErr, err := DecodeHelloResp(frame[4:])
+	if err != nil || remoteErr != nil || id != 3 {
+		t.Fatalf("decode: %v / %v", err, remoteErr)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hello round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWireRequestRoundTrips(t *testing.T) {
+	id, dl, shape, err := decodeStateReq(AppendStateReq(nil, 5, 1234, "SELECT ...")[4:])
+	if err != nil || id != 5 || dl != 1234 || shape != "SELECT ..." {
+		t.Fatalf("state req: %d %d %q %v", id, dl, shape, err)
+	}
+	id, dl, shape, keys, err := decodeRefreshReq(AppendRefreshReq(nil, 6, 99, "Q", []int64{8, 2, 5})[4:])
+	if err != nil || id != 6 || dl != 99 || shape != "Q" || !reflect.DeepEqual(keys, []int64{8, 2, 5}) {
+		t.Fatalf("refresh req: %d %d %q %v %v", id, dl, shape, keys, err)
+	}
+	id, shape, within, err := decodeSubscribeReq(AppendSubscribeReq(nil, 8, "S", math.Inf(1))[4:])
+	if err != nil || id != 8 || shape != "S" || !math.IsInf(within, 1) {
+		t.Fatalf("subscribe req: %d %q %g %v", id, shape, within, err)
+	}
+}
+
+func TestWireErrorReconstruction(t *testing.T) {
+	cases := []struct {
+		in   error
+		want error
+	}{
+		{context.DeadlineExceeded, context.DeadlineExceeded},
+		{context.Canceled, context.Canceled},
+		{fmt.Errorf("refresh failed: %w", context.DeadlineExceeded), context.DeadlineExceeded},
+		{errors.New("partition exploded"), nil},
+	}
+	for _, tc := range cases {
+		frame := AppendErrResp(nil, frameStateResp, 1, tc.in)
+		_, _, remoteErr, err := DecodeStateResp(frame[4:])
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if remoteErr == nil {
+			t.Fatalf("no remote error for %v", tc.in)
+		}
+		if tc.want != nil && !errors.Is(remoteErr, tc.want) {
+			t.Fatalf("%v did not reconstruct as %v (got %v)", tc.in, tc.want, remoteErr)
+		}
+		if tc.want == nil && (errors.Is(remoteErr, context.DeadlineExceeded) || errors.Is(remoteErr, context.Canceled)) {
+			t.Fatalf("generic error gained a context identity: %v", remoteErr)
+		}
+		if remoteErr.Error() != tc.in.Error() {
+			t.Fatalf("message %q != %q", remoteErr.Error(), tc.in.Error())
+		}
+	}
+}
+
+func TestWireTruncationRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	st := randState(rng)
+	frame := AppendStateResp(nil, 1, &st)
+	payload := frame[4:]
+	for cut := 1; cut < len(payload); cut += 7 {
+		if _, _, remoteErr, err := DecodeStateResp(payload[:len(payload)-cut]); err == nil && remoteErr == nil {
+			t.Fatalf("truncation by %d accepted", cut)
+		}
+	}
+	// Trailing garbage must be rejected too.
+	if _, _, remoteErr, err := DecodeStateResp(append(append([]byte{}, payload...), 0)); err == nil && remoteErr == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestRingProperties(t *testing.T) {
+	ids := []string{"pa", "pb", "pc", "pd"}
+	r1, err := NewRing(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determinism and order-independence.
+	r2, err := NewRing([]string{"pd", "pb", "pa", "pc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < relation.NumCanonicalBuckets; b++ {
+		if r1.IDs()[r1.Owner(b)] != r2.IDs()[r2.Owner(b)] {
+			t.Fatalf("bucket %d owner differs across id orderings", b)
+		}
+	}
+	// Full coverage: every bucket owned, every key routed consistently.
+	for key := int64(0); key < 1000; key++ {
+		o := r1.OwnerOfKey(key)
+		if o < 0 || o >= len(ids) {
+			t.Fatalf("key %d routed to %d", key, o)
+		}
+		b := relation.CanonicalBucket(key)
+		if r1.Owner(b) != o {
+			t.Fatalf("key %d: bucket owner mismatch", key)
+		}
+	}
+	// Buckets partition across nodes.
+	seen := make(map[int]bool)
+	for i := range ids {
+		for _, b := range r1.Buckets(i) {
+			if seen[b] {
+				t.Fatalf("bucket %d owned twice", b)
+			}
+			seen[b] = true
+		}
+	}
+	if len(seen) != relation.NumCanonicalBuckets {
+		t.Fatalf("only %d buckets owned", len(seen))
+	}
+	// A single node owns everything; too many nodes is rejected.
+	solo, err := NewRing([]string{"only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < relation.NumCanonicalBuckets; b++ {
+		if solo.Owner(b) != 0 {
+			t.Fatalf("solo ring bucket %d not owned by node 0", b)
+		}
+	}
+	if _, err := NewRing(make([]string, relation.NumCanonicalBuckets+1)); err == nil {
+		t.Fatal("oversized ring accepted")
+	}
+	if _, err := NewRing([]string{"dup", "dup"}); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+}

@@ -136,6 +136,16 @@ func WithTrace() ExecOption {
 	return func(c *ExecConfig) { c.Trace = true }
 }
 
+// Resolve rewrites a query for the configured mode and returns the
+// refresh options the request should solve with — the same resolution
+// ExecuteConfig performs before its three-step execution. Exported for
+// the partition coordinator, which mirrors the single-node execution
+// skeleton over scattered per-partition folds and must apply the exact
+// same mode/solver rewrites.
+func (c ExecConfig) Resolve(q Query, base refresh.Options) (Query, refresh.Options) {
+	return c.apply(q, base)
+}
+
 // apply rewrites a query for the configured mode and returns the
 // refresh options this request should solve with.
 func (c ExecConfig) apply(q Query, base refresh.Options) (Query, refresh.Options) {

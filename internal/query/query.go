@@ -636,6 +636,15 @@ func (p *Processor) ExecuteConfig(ctx context.Context, q Query, cfg ExecConfig) 
 	return res, nil
 }
 
+// ChoosePlan selects the refresh plan for one request — the exact plan
+// selection ExecuteConfig runs between its scan and refresh phases.
+// Exported for the partition coordinator: planning over the merged
+// canonical inputs of all partitions with this function yields the same
+// plan a single node holding the whole relation would compute.
+func ChoosePlan(inputs []aggregate.Input, q Query, noPred bool, tableLen int, cfg ExecConfig, opts refresh.Options) (refresh.Plan, error) {
+	return choosePlan(inputs, q, noPred, tableLen, cfg, opts)
+}
+
 // choosePlan selects the refresh plan for one request. Cost-budgeted
 // requests with a finite constraint R first try the classic minimum-cost
 // plan for R and keep it when it fits the budget (meeting R as cheaply

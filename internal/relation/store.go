@@ -92,6 +92,19 @@ var defaultShift = func() uint {
 	return shift
 }()
 
+// CanonicalBucket returns the key's bucket in the canonical order: its
+// hash shard under DefaultShards. Buckets are the unit of both fold
+// structure (order-sensitive folds combine per-bucket subtotals in
+// ascending bucket order — see aggregate.State) and cluster partitioning
+// (a partition owns whole buckets, so per-partition partial folds merge
+// into the global fold bit-identically).
+func CanonicalBucket(key int64) int {
+	return int((uint64(key) * fibMult) >> defaultShift)
+}
+
+// NumCanonicalBuckets is the canonical bucket count, DefaultShards.
+const NumCanonicalBuckets = DefaultShards
+
 // CanonicalLess is the canonical tuple order every order-sensitive fold
 // over a cached relation uses: ascending (hash shard under
 // DefaultShards, key). For a store with the default shard count, visiting

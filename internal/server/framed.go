@@ -30,7 +30,25 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 )
+
+// FrameExtBase is the first payload type byte reserved for extension
+// frames: a framed connection whose first payload byte is at or above it
+// is dispatched to Config.FramedExt instead of the core request decoder.
+// The partition wire protocol (internal/partition) lives here.
+const FrameExtBase byte = 0x10
+
+// FramedExtHandler extends the framed transport with additional frame
+// types. ServeExtFrame receives the whole payload (payload[0] is the
+// type byte) and either returns a complete response frame to queue on
+// the connection's writer, or takes the connection over (takeOver=true:
+// the handler owns conn until it returns — how streaming extensions like
+// partition subscriptions run). A non-nil error closes the connection.
+// The context is the server's base context, canceled on Shutdown.
+type FramedExtHandler interface {
+	ServeExtFrame(ctx context.Context, payload []byte, conn net.Conn, bw *bufio.Writer) (resp []byte, takeOver bool, err error)
+}
 
 // ListenAndServeFramed serves the framed protocol on addr until
 // Shutdown. The accept loop runs on its own goroutine; the returned
@@ -111,6 +129,23 @@ func (s *Server) ServeFramed(conn net.Conn) {
 		}
 		s.requests.Add(1)
 		flush := br.Buffered() == 0
+		if len(payload) > 0 && payload[0] >= FrameExtBase && s.cfg.FramedExt != nil {
+			t0 := time.Now()
+			out, takeOver, eerr := s.cfg.FramedExt.ServeExtFrame(s.baseCtx, payload, conn, bw)
+			s.framedLatency.ObserveDuration(time.Since(t0))
+			if eerr != nil || takeOver {
+				return
+			}
+			if len(out) > 0 {
+				if _, werr := bw.Write(out); werr != nil {
+					return
+				}
+				if flush && bw.Flush() != nil {
+					return
+				}
+			}
+			continue
+		}
 		id, req, ferr := DecodeRequest(payload)
 		if ferr != nil {
 			if !writeResp(id, QueryResponse{Error: &WireError{
@@ -136,6 +171,8 @@ func (s *Server) ServeFramed(conn net.Conn) {
 // transport-agnostic pipeline: same admission gates, same parse cache,
 // same budget ledgers, same error accounting as POST /query.
 func (s *Server) runFramed(client string, req QueryRequest) (QueryResponse, float64) {
+	t0 := time.Now()
+	defer func() { s.framedLatency.ObserveDuration(time.Since(t0)) }()
 	if s.draining.Load() {
 		s.counter(CodeDraining).Add(1)
 		return QueryResponse{Error: &WireError{Code: CodeDraining, Message: "server draining"}}, 0

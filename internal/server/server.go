@@ -16,12 +16,52 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trapp/internal/continuous"
+	"trapp/internal/netsim"
 	"trapp/internal/obs"
 	"trapp/internal/query"
 	"trapp/internal/source"
 	"trapp/internal/sql"
 	itrapp "trapp/internal/trapp"
 )
+
+// Subscription is the standing-query surface the service layer needs
+// from whatever engine it fronts: the coalesced update stream and a
+// teardown. *continuous.Subscription satisfies it; so does the
+// partition coordinator's re-multiplexed cluster subscription.
+type Subscription interface {
+	Updates() <-chan continuous.Update
+	Close()
+}
+
+// Engine is the query surface the service layer serves: an embedded
+// System, or the partition coordinator scatter-gathering a cluster —
+// the same HTTP and framed paths answer for both, which is what lets
+// the cluster differential suite compare them wire-result for
+// wire-result. Optional capabilities (network stats, engine histograms,
+// width telemetry, plan-cache introspection, cluster health) are
+// feature-detected by SnapshotMetrics, so a partial engine serves with
+// a partial /metrics rather than not at all.
+type Engine interface {
+	Catalog() sql.Catalog
+	ExecuteCtx(ctx context.Context, q query.Query, opts ...query.ExecOption) (query.Result, error)
+	ExecuteBatchDetailed(ctx context.Context, qs []query.Query, opts ...query.ExecOption) ([]query.Result, []error, error)
+	SubscribeCtx(ctx context.Context, q query.Query) (Subscription, error)
+}
+
+// systemEngine adapts the embedded System to Engine (only SubscribeCtx
+// needs adapting, for the concrete-vs-interface return).
+type systemEngine struct {
+	*itrapp.System
+}
+
+func (e systemEngine) SubscribeCtx(ctx context.Context, q query.Query) (Subscription, error) {
+	sub, err := e.System.SubscribeCtx(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
 
 // Config tunes the service layer.
 type Config struct {
@@ -65,12 +105,21 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ — off by
 	// default since profiling endpoints should not be public.
 	EnablePprof bool
+	// Topology, when set, is published by /healthz as the node's
+	// partition topology: a trappserver reports its partition id and
+	// key-range (canonical bucket) ownership plus its peer list, a
+	// trappcoord reports the whole partition map.
+	Topology func() map[string]any
+	// FramedExt, when set, receives extension frames (payload type at
+	// or above FrameExtBase) arriving on framed connections — the hook
+	// the partition service mounts its scatter-gather operations on.
+	FramedExt FramedExtHandler
 }
 
 // Server serves a System over HTTP. Create with New, mount Handler (or
 // ListenAndServe), stop with Shutdown.
 type Server struct {
-	sys *itrapp.System
+	eng Engine
 	cfg Config
 	mux *http.ServeMux
 
@@ -105,6 +154,10 @@ type Server struct {
 	// (admission to response write), exported by /metrics and
 	// /metrics.prom alongside the engine's phase histograms.
 	queryLatency obs.Histogram
+	// framedLatency is the framed-path twin: per-request latency from
+	// frame decode to response append, covering both core requests and
+	// extension frames.
+	framedLatency obs.Histogram
 	// reqSeq numbers requests for X-Trapp-Request-Id.
 	reqSeq atomic.Int64
 	// parsed memoizes statement compilation (one cache per server, bound
@@ -158,8 +211,14 @@ type ledger struct {
 // drains HTTP work but leaves the engine running (callers close it
 // afterwards if they own it).
 func New(sys *itrapp.System, cfg Config) *Server {
+	return NewEngine(systemEngine{sys}, cfg)
+}
+
+// NewEngine wraps any Engine — the partition coordinator's entry point;
+// see New for lifecycle semantics.
+func NewEngine(eng Engine, cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{sys: sys, cfg: cfg, baseCtx: ctx, drain: cancel, start: time.Now(),
+	s := &Server{eng: eng, cfg: cfg, baseCtx: ctx, drain: cancel, start: time.Now(),
 		parsed: sql.NewParseCache()}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -403,7 +462,7 @@ func (s *Server) parseRequest(src string, allowGroupBy, allowExplain bool) ([]qu
 		explain []bool
 	)
 	for i, stmt := range stmts {
-		st, err := s.parsed.Parse(stmt, s.sys.Catalog())
+		st, err := s.parsed.Parse(stmt, s.eng.Catalog())
 		if err != nil {
 			we := EncodeError(err)
 			if we.Pos != nil {
@@ -589,7 +648,7 @@ func (s *Server) run(ctx context.Context, client string, req QueryRequest, qs []
 			}
 			var res query.Result
 			var qerr error
-			res, qerr = s.sys.ExecuteCtx(ctx, qs[i], qopts...)
+			res, qerr = s.eng.ExecuteCtx(ctx, qs[i], qopts...)
 			if qerr != nil && !errors.Is(qerr, query.ErrPrecisionUnmet{}) && !errors.Is(qerr, query.ErrBudgetExhausted{}) {
 				err = qerr
 				break
@@ -604,7 +663,7 @@ func (s *Server) run(ctx context.Context, client string, req QueryRequest, qs []
 			opts = append(opts, query.WithCostBudget(budget))
 		}
 		var res query.Result
-		res, err = s.sys.ExecuteCtx(ctx, qs[0], opts...)
+		res, err = s.eng.ExecuteCtx(ctx, qs[0], opts...)
 		if err == nil || errors.Is(err, query.ErrPrecisionUnmet{}) || errors.Is(err, query.ErrBudgetExhausted{}) {
 			// Partial outcomes still carry a sound result; report them
 			// per-statement like the batch path does.
@@ -614,7 +673,7 @@ func (s *Server) run(ctx context.Context, client string, req QueryRequest, qs []
 		if hasBudget {
 			opts = append(opts, query.WithCostBudget(budget))
 		}
-		results, perQuery, err = s.sys.ExecuteBatchDetailed(ctx, qs, opts...)
+		results, perQuery, err = s.eng.ExecuteBatchDetailed(ctx, qs, opts...)
 	}
 	for _, res := range results {
 		spent += res.RefreshCost
@@ -706,7 +765,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 
-	sub, err := s.sys.SubscribeCtx(ctx, qs[0])
+	sub, err := s.eng.SubscribeCtx(ctx, qs[0])
 	if err != nil {
 		s.fail(w, EncodeError(err))
 		return
@@ -775,6 +834,13 @@ type Metrics struct {
 	// QueryLatency is the server-side /query handler latency histogram
 	// (nanoseconds, log-bucketed).
 	QueryLatency obs.HistogramSnapshot `json:"query_latency"`
+	// FramedLatency is the framed-path per-request latency histogram
+	// (frame decode to response append; nanoseconds, log-bucketed).
+	FramedLatency obs.HistogramSnapshot `json:"framed_latency"`
+	// Cluster is the partition coordinator's per-partition health
+	// snapshot (partition.Metrics), present only when the served engine
+	// is a cluster.
+	Cluster any `json:"cluster,omitempty"`
 	// Engine is the engine's always-on histogram set: per-phase request
 	// latency, refresh batch sizes, and the paper's precision–cost
 	// telemetry (width ratio, cost per unit width). Keys are fixed; see
@@ -878,54 +944,75 @@ func (s *Server) SnapshotMetrics() Metrics {
 		m.ErrorsByCode[code.(string)] = v.(*atomic.Int64).Load()
 		return true
 	})
-	st := s.sys.Stats()
-	m.Network = NetworkMetrics{
-		QueryRefreshCost: st.QueryRefreshCost,
-		ValueRefreshCost: st.ValueRefreshCost,
-	}
-	for k, n := range st.Messages {
-		if m.Network.Messages == nil {
-			m.Network.Messages = make(map[string]int64)
+	// Engine introspection is feature-detected: the embedded System
+	// implements all of it, the partition coordinator only what makes
+	// sense at a coordinator (cluster health instead of store internals).
+	if sp, ok := s.eng.(interface{ Stats() netsim.Stats }); ok {
+		st := sp.Stats()
+		m.Network = NetworkMetrics{
+			QueryRefreshCost: st.QueryRefreshCost,
+			ValueRefreshCost: st.ValueRefreshCost,
 		}
-		m.Network.Messages[k.String()] = n
-	}
-	for id, ss := range st.PerSource {
-		if m.Network.PerSource == nil {
-			m.Network.PerSource = make(map[string]SourceMetrics)
-		}
-		sm := SourceMetrics{QueryRefreshCost: ss.QueryRefreshCost, ValueRefreshCost: ss.ValueRefreshCost}
-		for k, n := range ss.Messages {
-			if sm.Messages == nil {
-				sm.Messages = make(map[string]int64)
+		for k, n := range st.Messages {
+			if m.Network.Messages == nil {
+				m.Network.Messages = make(map[string]int64)
 			}
-			sm.Messages[k.String()] = n
+			m.Network.Messages[k.String()] = n
 		}
-		m.Network.PerSource[id] = sm
+		for id, ss := range st.PerSource {
+			if m.Network.PerSource == nil {
+				m.Network.PerSource = make(map[string]SourceMetrics)
+			}
+			sm := SourceMetrics{QueryRefreshCost: ss.QueryRefreshCost, ValueRefreshCost: ss.ValueRefreshCost}
+			for k, n := range ss.Messages {
+				if sm.Messages == nil {
+					sm.Messages = make(map[string]int64)
+				}
+				sm.Messages[k.String()] = n
+			}
+			m.Network.PerSource[id] = sm
+		}
 	}
-	cm := s.sys.SubscriptionMetrics()
-	m.Continuous = ContinuousMetrics{
-		Rounds:           cm.Rounds,
-		Notifications:    cm.Notifications,
-		RefreshBatches:   cm.RefreshBatches,
-		RefreshedObjects: cm.RefreshedObjects,
-		RefreshCost:      cm.RefreshCost,
-		SharedRefreshes:  cm.SharedRefreshes,
-		Views:            cm.Views,
-		Subscriptions:    cm.Subscriptions,
+	if cp, ok := s.eng.(interface{ SubscriptionMetrics() continuous.Metrics }); ok {
+		cm := cp.SubscriptionMetrics()
+		m.Continuous = ContinuousMetrics{
+			Rounds:           cm.Rounds,
+			Notifications:    cm.Notifications,
+			RefreshBatches:   cm.RefreshBatches,
+			RefreshedObjects: cm.RefreshedObjects,
+			RefreshCost:      cm.RefreshCost,
+			SharedRefreshes:  cm.SharedRefreshes,
+			Views:            cm.Views,
+			Subscriptions:    cm.Subscriptions,
+		}
 	}
 	m.QueryLatency = s.queryLatency.Snapshot()
-	m.Engine = s.sys.Metrics().Snapshot()
-	m.Sources = s.sys.WidthTelemetry()
-	counters := s.sys.Metrics().Counters()
-	m.PlanCache = PlanCacheMetrics{
-		Hits:          counters["plan_cache_hits"],
-		Misses:        counters["plan_cache_misses"],
-		Invalidations: counters["plan_cache_invalidations"],
+	m.FramedLatency = s.framedLatency.Snapshot()
+	if ep, ok := s.eng.(interface{ Metrics() *obs.EngineMetrics }); ok {
+		if em := ep.Metrics(); em != nil {
+			m.Engine = em.Snapshot()
+			counters := em.Counters()
+			m.PlanCache = PlanCacheMetrics{
+				Hits:          counters["plan_cache_hits"],
+				Misses:        counters["plan_cache_misses"],
+				Invalidations: counters["plan_cache_invalidations"],
+			}
+			if total := m.PlanCache.Hits + m.PlanCache.Misses + m.PlanCache.Invalidations; total > 0 {
+				m.PlanCache.HitRate = float64(m.PlanCache.Hits) / float64(total)
+			}
+		}
 	}
-	if total := m.PlanCache.Hits + m.PlanCache.Misses + m.PlanCache.Invalidations; total > 0 {
-		m.PlanCache.HitRate = float64(m.PlanCache.Hits) / float64(total)
+	if wp, ok := s.eng.(interface {
+		WidthTelemetry() map[string]source.WidthTelemetry
+	}); ok {
+		m.Sources = wp.WidthTelemetry()
 	}
-	m.PlanCache.FoldEntries, m.PlanCache.ScanEntries = s.sys.Processor().PlanCacheSizes()
+	if pp, ok := s.eng.(interface{ Processor() *query.Processor }); ok {
+		m.PlanCache.FoldEntries, m.PlanCache.ScanEntries = pp.Processor().PlanCacheSizes()
+	}
+	if cp, ok := s.eng.(interface{ ClusterMetrics() any }); ok {
+		m.Cluster = cp.ClusterMetrics()
+	}
 	m.ParseCache.Hits, m.ParseCache.Misses, m.ParseCache.Entries = s.parsed.Stats()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -995,6 +1082,8 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 
 	pw.Histo("trapp_query_latency_seconds", "Server-side /query handler latency.",
 		nil, m.QueryLatency, 1e9)
+	pw.Histo("trapp_framed_latency_seconds", "Server-side framed-path request latency.",
+		nil, m.FramedLatency, 1e9)
 	for _, p := range promPhases {
 		pw.Histo("trapp_phase_duration_seconds", "Engine phase latency by phase.",
 			map[string]string{"phase": p.phase}, m.Engine[p.key], 1e9)
@@ -1053,10 +1142,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status, state = 503, "draining"
 	}
-	writeJSON(w, status, map[string]any{
+	body := map[string]any{
 		"status":   state,
 		"uptime_s": time.Since(s.start).Seconds(),
 		"build":    buildInfo(),
 		"workload": s.cfg.Info,
-	})
+	}
+	if s.cfg.Topology != nil {
+		body["topology"] = s.cfg.Topology()
+	}
+	writeJSON(w, status, body)
 }

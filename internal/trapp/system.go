@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -152,6 +153,20 @@ func (s *System) MountedCache(tableName string) *cache.Cache {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.tables[tableName]
+}
+
+// Tables returns the mounted table names in sorted order — the node's
+// half of the cluster Hello exchange, where a partition advertises what
+// it serves so the coordinator can assemble its catalog.
+func (s *System) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // sysCatalog adapts mounted tables to the SQL parser's catalog.
