@@ -27,6 +27,14 @@
 // match the -partition indices the servers were placed with (p0 is
 // partition 0/N). -waitready retries the initial hello round so the
 // coordinator can start before its partitions finish booting.
+//
+// The coordinator itself is stateless — durability lives in the
+// partition servers: start each with its own -data directory and a
+// restarted partition recovers its shard of the tuples bit-identically
+// (bounds conservatively re-widened until re-handshaked), with the
+// recovery reported on that partition's /healthz. The coordinator's
+// hello round then re-verifies the recovered catalog, and its degraded
+// re-widening covers the window while a partition is down.
 package main
 
 import (

@@ -1,23 +1,40 @@
-// Command trappload generates the experiment workloads as CSV for external
-// analysis or plotting.
+// Command trappload generates the experiment workloads as CSV for
+// external analysis or plotting, and doubles as a load driver against a
+// running trappserver.
 //
 // Usage:
 //
 //	trappload -kind stocks  [-n 90]  [-seed ...]   # day-range quotes
 //	trappload -kind network [-nodes 50] [-links 200] [-steps 100] [-seed ...]
+//	trappload -remote http://host:7090 [-queries 200] [-concurrency 4] [-seed ...]
 //
 // The stocks output has one row per synthetic stock (symbol, low, high,
 // close, cost) — the input of the Figure 5/6 experiments. The network
 // output has one row per link per step (step, key, from, to, latency,
 // bandwidth, traffic, cost).
+//
+// -remote drives POST /query against a server's links table with a
+// randomized bounded-aggregation mix — small WITHIN values, so most
+// queries pay query-initiated refreshes. That is what the crash-recovery
+// e2e needs: real write traffic through the server's WAL while it is
+// killed mid-stream. Exits non-zero if any request fails at the
+// transport level or returns a non-partial error.
 package main
 
 import (
+	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"trapp/internal/experiment"
 	"trapp/internal/workload"
@@ -30,7 +47,18 @@ func main() {
 	links := flag.Int("links", 200, "network links")
 	steps := flag.Int("steps", 100, "network update rounds")
 	seed := flag.Int64("seed", experiment.DefaultSeed, "generator seed")
+	remote := flag.String("remote", "", "drive POST /query against this server base URL instead of writing CSV")
+	queries := flag.Int("queries", 200, "-remote: number of queries to send")
+	concurrency := flag.Int("concurrency", 4, "-remote: concurrent client connections")
 	flag.Parse()
+
+	if *remote != "" {
+		if err := driveRemote(*remote, *queries, *concurrency, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -47,6 +75,61 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
 		os.Exit(2)
 	}
+}
+
+// driveRemote sends a randomized bounded-aggregation mix over the links
+// table. Tight WITHIN constraints make most queries refresh — the point
+// is to generate server-side write traffic, not to benchmark.
+func driveRemote(base string, queries, concurrency int, seed int64) error {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	aggs := []string{"MIN", "MAX", "AVG", "SUM"}
+	cols := []string{"latency", "bandwidth", "traffic"}
+	withins := []string{"1", "2", "5", "25"}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		failed atomic.Int64
+		firstE atomic.Pointer[string]
+	)
+	record := func(err error) {
+		failed.Add(1)
+		msg := err.Error()
+		firstE.CompareAndSwap(nil, &msg)
+	}
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(worker)))
+			for next.Add(1) <= int64(queries) {
+				sql := fmt.Sprintf("SELECT %s(%s) WITHIN %s FROM links",
+					aggs[rng.Intn(len(aggs))], cols[rng.Intn(len(cols))], withins[rng.Intn(len(withins))])
+				body, _ := json.Marshal(map[string]string{"sql": sql})
+				resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					record(err)
+					continue
+				}
+				out, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				// 200 is success; 206-style partials (precision unmet under
+				// load) still answered soundly. Anything else is a failure.
+				if resp.StatusCode >= 400 {
+					record(fmt.Errorf("%s: status %d: %s", sql, resp.StatusCode, out))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	fmt.Printf("trappload: %d queries against %s, %d failed\n", queries, base, failed.Load())
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("trappload: %d/%d remote queries failed (first: %s)", n, queries, *firstE.Load())
+	}
+	return nil
 }
 
 func writeStocks(w *csv.Writer, n int, seed int64) {

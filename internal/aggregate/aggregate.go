@@ -218,7 +218,7 @@ func Collect(t *relation.Table, col int, p predicate.Expr, shrink bool) []Input 
 // in the canonical order, so the inputs (and every answer or refresh
 // plan computed from them) are bit-identical to a flat-table scan over
 // the same tuples. A default-sharded store's scan emits canonical order
-// natively (shards in index order, key-sorted tuples within each shard —
+// natively (shards in index order, canonically sorted tuples within each shard —
 // see relation.CanonicalLess), so the common case never sorts.
 // Input.Index holds the input's position in the canonical order, since a
 // sharded store has no global physical positions. The returned tableLen
@@ -401,7 +401,7 @@ func evalSum(inputs []Input, noPredicate bool) interval.Interval {
 // must not inject a +0.0 that could flip a −0.0 subtotal's sign).
 type bucketSums struct {
 	lo, hi  [relation.NumCanonicalBuckets]float64
-	present uint16
+	present uint64
 }
 
 func (s *bucketSums) add(bucket int, lo, hi float64) {

@@ -90,7 +90,7 @@ type State struct {
 
 	// SUM per-bucket endpoint subtotals.
 	SumLo, SumHi [relation.NumCanonicalBuckets]float64
-	SumPresent   uint16
+	SumPresent   uint64
 
 	// COUNT tallies.
 	Plus, Maybe int
@@ -99,7 +99,7 @@ type State struct {
 	// bounds for the Appendix E fold. AvgAny records whether any input
 	// contributed at all (Empty answer otherwise).
 	AvgSeedLo, AvgSeedHi [relation.NumCanonicalBuckets]float64
-	AvgSeedPresent       uint16
+	AvgSeedPresent       uint64
 	AvgK                 int
 	AvgAny               bool
 	AvgMaybes            []interval.Interval

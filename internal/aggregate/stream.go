@@ -10,7 +10,7 @@ import (
 // processor's hot path: the bounded answer is folded tuple by tuple
 // during the shard scans themselves, without materializing any Input
 // slice. A default-sharded store's scan order — shards in index order,
-// key-sorted tuples within each shard — IS the canonical order
+// canonically sorted tuples within each shard — IS the canonical order
 // (relation.CanonicalLess), and the per-aggregate accumulation replays
 // EvalInputs' arithmetic operation for operation, so the streamed answer
 // is bit-identical to EvalInputs(CollectStore(...)) — the property the

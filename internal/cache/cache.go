@@ -121,6 +121,21 @@ type Cache struct {
 
 	wmu     sync.Mutex
 	watched []*source.Source // sources watched for membership events
+
+	// wal, when non-nil (durable caches built by OpenDurable), receives a
+	// record for every mastered mutation — membership changes and refresh
+	// installs — under the same shard state mutex as the store write, so
+	// the log's per-shard order matches the table's. Derived rewrites
+	// (Sync re-materializing bound functions) are NOT logged: bounds are
+	// re-widened on recovery anyway (DESIGN.md §15), so logging them would
+	// buy nothing and triple the log volume.
+	wal *relation.WAL
+	// walErr latches the first WAL failure from a path that cannot return
+	// it (a source push); surfaced via WALHealth.
+	walErr atomic.Pointer[error]
+	// rewidened counts tuples whose bounds were reset to the conservative
+	// floor at recovery.
+	rewidened int
 }
 
 // SetMetrics points the cache at the engine-wide histogram set; batch
@@ -221,26 +236,30 @@ func (c *Cache) ObserveDemand(key int64, subscribers int) {
 // source's first refresh. The tuple's refresh cost is the source's cost
 // for the object.
 func (c *Cache) Subscribe(src *source.Source, key int64, exactVals []float64) error {
-	si, err := c.subscribe(src, key, exactVals)
+	si, tk, err := c.subscribe(src, key, exactVals)
 	if err != nil {
+		return err
+	}
+	if err := c.commitWAL(tk); err != nil {
 		return err
 	}
 	c.notify(Event{Kind: ObjectAdded, Key: key, Shard: si})
 	return nil
 }
 
-// subscribe is Subscribe without the listener notification; it returns
-// with no cache lock held.
-func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) (int, error) {
+// subscribe is Subscribe without the listener notification or log
+// commit; it returns with no cache lock held.
+func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) (int, relation.Ticket, error) {
+	var tk relation.Ticket
 	r, err := src.Subscribe(key, c)
 	if err != nil {
-		return 0, err
+		return 0, tk, err
 	}
 	cost, _ := src.Cost(key)
 	schema := c.store.Schema()
 	bcols := schema.BoundedColumns()
 	if len(r.Values) != len(bcols) {
-		return 0, fmt.Errorf("cache %s: source sent %d values, schema has %d bounded columns",
+		return 0, tk, fmt.Errorf("cache %s: source sent %d values, schema has %d bounded columns",
 			c.id, len(r.Values), len(bcols))
 	}
 
@@ -258,7 +277,7 @@ func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) (i
 	for col := 0; col < schema.NumColumns(); col++ {
 		if schema.Column(col).Kind == relation.Exact {
 			if ei >= len(exactVals) {
-				return 0, fmt.Errorf("cache %s: missing exact value for column %q",
+				return 0, tk, fmt.Errorf("cache %s: missing exact value for column %q",
 					c.id, schema.Column(col).Name)
 			}
 			tu.Bounds[col] = interval.Point(exactVals[ei])
@@ -269,8 +288,9 @@ func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) (i
 		}
 	}
 	if err := c.store.Insert(tu); err != nil {
-		return 0, err
+		return 0, tk, err
 	}
+	tk = c.logInsert(&tu)
 	sh.sources[key] = src
 	sh.bounds[key] = r.Bounds
 	sh.lastSeq[key] = r.Seq
@@ -278,7 +298,7 @@ func (c *Cache) subscribe(src *source.Source, key int64, exactVals []float64) (i
 	// last Sync; mark just this key so the next same-tick Sync settles it
 	// without rewriting the shard.
 	sh.dirtyKeys[key] = struct{}{}
-	return si, nil
+	return si, tk, nil
 }
 
 // ApplyRefresh installs new bounds for an object; it is invoked by sources
@@ -295,9 +315,12 @@ func (c *Cache) ApplyRefresh(r source.Refresh) {
 func (c *Cache) apply(r source.Refresh) bool {
 	sh, si := c.shardFor(r.Key)
 	sh.mu.Lock()
-	installed := c.applyLocked(sh, r)
+	installed, tk := c.applyLocked(sh, r)
 	sh.mu.Unlock()
 	if installed {
+		if err := c.commitWAL(tk); err != nil {
+			c.latchWALError(err)
+		}
 		c.notify(Event{Kind: RefreshApplied, Key: r.Key, Shard: si, Refresh: r.Kind})
 	}
 	return installed
@@ -311,14 +334,20 @@ func (c *Cache) apply(r source.Refresh) bool {
 // exact values as point bounds — the cache-side half of the refresh
 // step, done here so it is atomic with respect to concurrent pushes.
 // Caller holds sh.mu; the shard's table write lock is taken here.
-// Reports whether the refresh was installed.
-func (c *Cache) applyLocked(sh *cacheShard, r source.Refresh) bool {
+// Reports whether the refresh was installed, plus the log ticket to
+// commit once the shard mutex is released.
+func (c *Cache) applyLocked(sh *cacheShard, r source.Refresh) (bool, relation.Ticket) {
+	var tk relation.Ticket
 	if r.Seq != 0 && r.Seq <= sh.lastSeq[r.Key] {
-		return false // a newer refresh for this object was already applied
+		return false, tk // a newer refresh for this object was already applied
 	}
 	now := c.clock.Now()
+	var pushed []interval.Interval
 	installed := c.store.Update(r.Key, func(t *relation.Table, i int) {
 		bcols := t.Schema().BoundedColumns()
+		if r.Kind != source.QueryInitiated && c.wal != nil {
+			pushed = make([]interval.Interval, len(bcols))
+		}
 		for j, col := range bcols {
 			// Best effort: bounds from a source are never empty and exact
 			// columns are not refreshed, so SetBound cannot fail here.
@@ -328,12 +357,21 @@ func (c *Cache) applyLocked(sh *cacheShard, r source.Refresh) bool {
 				// time-varying bound.
 				_ = t.SetBound(i, col, interval.Point(r.Values[j]))
 			} else {
-				_ = t.SetBound(i, col, r.Bounds[j].At(now))
+				iv := r.Bounds[j].At(now)
+				_ = t.SetBound(i, col, iv)
+				if pushed != nil {
+					pushed[j] = iv
+				}
 			}
 		}
 	})
 	if !installed {
-		return false // object was deleted; stale refresh
+		return false, tk // object was deleted; stale refresh
+	}
+	if r.Kind == source.QueryInitiated {
+		tk = c.logRefresh(r.Key, r.Values)
+	} else {
+		tk = c.logPush(r.Key, pushed)
 	}
 	sh.bounds[r.Key] = r.Bounds
 	sh.lastSeq[r.Key] = r.Seq
@@ -351,7 +389,7 @@ func (c *Cache) applyLocked(sh *cacheShard, r source.Refresh) bool {
 		// collapse for it is settled.
 		delete(sh.dirtyKeys, r.Key)
 	}
-	return true
+	return true, tk
 }
 
 // parallelSyncMin is the cached-table size at which Sync fans stale-shard
@@ -620,8 +658,15 @@ func (c *Cache) Drop(key int64) bool {
 	delete(sh.lastSeq, key)
 	delete(sh.dirtyKeys, key)
 	deleted := c.store.Delete(key)
+	var tk relation.Ticket
+	if deleted {
+		tk = c.logDelete(key)
+	}
 	sh.mu.Unlock()
 	if deleted {
+		if err := c.commitWAL(tk); err != nil {
+			c.latchWALError(err)
+		}
 		c.notify(Event{Kind: ObjectDropped, Key: key, Shard: si})
 	}
 	return deleted

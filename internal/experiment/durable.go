@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+
+	"trapp/internal/boundfn"
+	"trapp/internal/cache"
+	"trapp/internal/partition"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+	"trapp/internal/trapp"
+	"trapp/internal/workload"
+)
+
+// BuildLinkSystemDurable is BuildLinkSystem over a durable cache: the
+// "links" table is backed by a WAL + snapshot data directory, so a
+// process restarted against the same directory recovers the cached
+// values bit-identically. The builder mirrors the in-memory construction
+// exactly — same network generator, same sources, same width policy —
+// but cached keys found in the directory are re-handshaked with their
+// source (fresh bound promises over the recovered values) instead of
+// re-subscribed, which would have rebuilt the state trivially and hidden
+// recovery bugs. Keys the regenerated workload no longer contains are
+// dropped, so the mounted table always matches the workload either way.
+func BuildLinkSystemDurable(links, srcCount int, seed int64, dir string, opts relation.WALOptions) (*trapp.System, *workload.Network, cache.Recovery, error) {
+	net, err := workload.NewNetwork(max(2, links/8), links, seed)
+	if err != nil {
+		return nil, nil, cache.Recovery{}, err
+	}
+	sys := trapp.NewSystem(refresh.Options{Solver: refresh.SolverGreedyDensity})
+	c, rec, err := sys.AddDurableCache("monitor", workload.LinkSchema(), dir, opts)
+	if err != nil {
+		return nil, nil, cache.Recovery{}, err
+	}
+	for si := 0; si < srcCount; si++ {
+		if _, err := sys.AddSource(fmt.Sprintf("s%d", si), nil); err != nil {
+			return nil, nil, rec, err
+		}
+	}
+	live := make(map[int64]bool, len(net.Links))
+	for i, l := range net.Links {
+		live[l.Key] = true
+		src := sys.Source(fmt.Sprintf("s%d", i%srcCount))
+		if err := src.AddObject(l.Key, l.Values(), l.Cost, boundfn.StaticWidth(0.5)); err != nil {
+			return nil, nil, rec, err
+		}
+		if _, ok := c.Store().Get(l.Key); ok {
+			continue // recovered from disk; re-attached below
+		}
+		if err := c.Subscribe(src, l.Key, []float64{float64(l.From), float64(l.To)}); err != nil {
+			return nil, nil, rec, err
+		}
+	}
+	// Recovered keys the regenerated workload no longer has are dropped;
+	// the rest re-earn their precision through a fresh handshake.
+	for _, key := range c.Unattached() {
+		if !live[key] {
+			c.Drop(key)
+		}
+	}
+	if _, err := sys.Rehandshake(c); err != nil {
+		return nil, nil, rec, err
+	}
+	if err := sys.Mount("links", c); err != nil {
+		return nil, nil, rec, err
+	}
+	return sys, net, rec, nil
+}
+
+// BuildLinkPartitionDurable builds partition pi of the N-way link
+// cluster (the same placement as BuildLinkPartitions) over a durable
+// cache. Each partition server owns its own data directory, so a
+// restarted node recovers exactly its shard of the tuples — values
+// bit-identical, bounds re-earned through the handshake — and the
+// coordinator's scatter-gather answers stay correct across the restart.
+func BuildLinkPartitionDurable(links, srcCount int, seed int64, ids []string, pi int, dir string, opts relation.WALOptions) (*trapp.System, *workload.Network, *partition.Ring, cache.Recovery, error) {
+	ring, err := partition.NewRing(ids)
+	if err != nil {
+		return nil, nil, nil, cache.Recovery{}, err
+	}
+	netw, err := workload.NewNetwork(max(2, links/8), links, seed)
+	if err != nil {
+		return nil, nil, nil, cache.Recovery{}, err
+	}
+	sys := trapp.NewSystem(refresh.Options{Solver: refresh.SolverGreedyDensity})
+	c, rec, err := sys.AddDurableCache("monitor", workload.LinkSchema(), dir, opts)
+	if err != nil {
+		return nil, nil, nil, cache.Recovery{}, err
+	}
+	for si := 0; si < srcCount; si++ {
+		if _, err := sys.AddSource(fmt.Sprintf("s%d", si), nil); err != nil {
+			return nil, nil, nil, rec, err
+		}
+	}
+	live := make(map[int64]bool, len(netw.Links))
+	for i, l := range netw.Links {
+		if ring.OwnerOfKey(l.Key) != pi {
+			continue
+		}
+		live[l.Key] = true
+		src := sys.Source(fmt.Sprintf("s%d", i%srcCount))
+		if err := src.AddObject(l.Key, l.Values(), l.Cost, boundfn.StaticWidth(0.5)); err != nil {
+			return nil, nil, nil, rec, err
+		}
+		if _, ok := c.Store().Get(l.Key); ok {
+			continue // recovered from disk; re-attached below
+		}
+		if err := c.Subscribe(src, l.Key, []float64{float64(l.From), float64(l.To)}); err != nil {
+			return nil, nil, nil, rec, err
+		}
+	}
+	// Keys recovered from a previous life that this partition no longer
+	// owns (or the regenerated workload no longer has) are dropped.
+	for _, key := range c.Unattached() {
+		if !live[key] {
+			c.Drop(key)
+		}
+	}
+	if _, err := sys.Rehandshake(c); err != nil {
+		return nil, nil, nil, rec, err
+	}
+	if err := sys.Mount("links", c); err != nil {
+		return nil, nil, nil, rec, err
+	}
+	return sys, netw, ring, rec, nil
+}

@@ -1,0 +1,86 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"trapp/internal/relation"
+)
+
+// TestRingWiderThanEight pins the regression where placement was keyed
+// by an 8-bucket canonical order, capping clusters at 8 nodes: rings of
+// every size up to relation.NumCanonicalBuckets must build, cover all
+// buckets, and keep the rendezvous property that removing one node moves
+// only that node's buckets.
+func TestRingWiderThanEight(t *testing.T) {
+	if relation.NumCanonicalBuckets <= 8 {
+		t.Fatalf("NumCanonicalBuckets = %d, rings larger than 8 nodes impossible",
+			relation.NumCanonicalBuckets)
+	}
+	makeIDs := func(n int) []string {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("p%d", i)
+		}
+		return ids
+	}
+	for n := 1; n <= relation.NumCanonicalBuckets; n++ {
+		ids := makeIDs(n)
+		r, err := NewRing(ids)
+		if err != nil {
+			t.Fatalf("NewRing(%d nodes): %v", n, err)
+		}
+		// Every bucket owned by a valid node; Buckets partitions them.
+		owned := 0
+		for i := 0; i < n; i++ {
+			owned += len(r.Buckets(i))
+		}
+		if owned != relation.NumCanonicalBuckets {
+			t.Fatalf("%d nodes: %d buckets owned, want %d",
+				n, owned, relation.NumCanonicalBuckets)
+		}
+		for b := 0; b < relation.NumCanonicalBuckets; b++ {
+			if o := r.Owner(b); o < 0 || o >= n {
+				t.Fatalf("%d nodes: bucket %d owned by %d", n, b, o)
+			}
+		}
+	}
+	// Minimal-disruption property across every width that can shrink:
+	// dropping the last node must not move a surviving node's buckets.
+	for n := 2; n <= relation.NumCanonicalBuckets; n++ {
+		ids := makeIDs(n)
+		full, err := NewRing(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smaller, err := NewRing(ids[:n-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < relation.NumCanonicalBuckets; b++ {
+			before := full.IDs()[full.Owner(b)]
+			after := smaller.IDs()[smaller.Owner(b)]
+			if before != ids[n-1] && before != after {
+				t.Fatalf("%d→%d nodes: bucket %d moved %s→%s though %s survived",
+					n, n-1, b, before, after, before)
+			}
+		}
+	}
+	// Wide rings spread load: with 9+ nodes (the old impossible case)
+	// more than 8 distinct nodes must actually own buckets once the node
+	// count clears the old cap enough for rendezvous to reach them all.
+	r, err := NewRing(makeIDs(relation.NumCanonicalBuckets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[int]bool)
+	for b := 0; b < relation.NumCanonicalBuckets; b++ {
+		distinct[r.Owner(b)] = true
+	}
+	if len(distinct) <= 8 {
+		t.Fatalf("full-width ring uses only %d distinct nodes", len(distinct))
+	}
+	if _, err := NewRing(makeIDs(relation.NumCanonicalBuckets + 1)); err == nil {
+		t.Fatal("ring wider than the bucket count accepted")
+	}
+}

@@ -460,7 +460,7 @@ func appendState(dst []byte, s *aggregate.State) []byte {
 		dst = appendF64(dst, sel.Val)
 		dst = appendU64(dst, uint64(sel.Key))
 	}
-	dst = appendU16(dst, s.SumPresent)
+	dst = appendU64(dst, s.SumPresent)
 	for _, v := range s.SumLo {
 		dst = appendF64(dst, v)
 	}
@@ -469,7 +469,7 @@ func appendState(dst []byte, s *aggregate.State) []byte {
 	}
 	dst = appendU64(dst, uint64(s.Plus))
 	dst = appendU64(dst, uint64(s.Maybe))
-	dst = appendU16(dst, s.AvgSeedPresent)
+	dst = appendU64(dst, s.AvgSeedPresent)
 	for _, v := range s.AvgSeedLo {
 		dst = appendF64(dst, v)
 	}
@@ -518,7 +518,7 @@ func decodeState(r *wireReader) (aggregate.State, error) {
 		}
 		sel.Key = int64(k)
 	}
-	if s.SumPresent, err = r.u16("sumPresent"); err != nil {
+	if s.SumPresent, err = r.u64("sumPresent"); err != nil {
 		return s, err
 	}
 	for i := range s.SumLo {
@@ -541,7 +541,7 @@ func decodeState(r *wireReader) (aggregate.State, error) {
 		return s, err
 	}
 	s.Maybe = int(maybe)
-	if s.AvgSeedPresent, err = r.u16("avgSeedPresent"); err != nil {
+	if s.AvgSeedPresent, err = r.u64("avgSeedPresent"); err != nil {
 		return s, err
 	}
 	for i := range s.AvgSeedLo {

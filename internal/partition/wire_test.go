@@ -34,10 +34,10 @@ func randState(rng *rand.Rand) aggregate.State {
 		TableLen: rng.Intn(1000),
 		MinLo:    randSelection(rng), MinHiPlus: randSelection(rng),
 		MaxHi: randSelection(rng), MaxLoPlus: randSelection(rng),
-		SumPresent:     uint16(rng.Intn(256)),
+		SumPresent:     rng.Uint64(),
 		Plus:           rng.Intn(500),
 		Maybe:          rng.Intn(500),
-		AvgSeedPresent: uint16(rng.Intn(256)),
+		AvgSeedPresent: rng.Uint64(),
 		AvgK:           rng.Intn(100),
 		AvgAny:         rng.Intn(2) == 0,
 	}

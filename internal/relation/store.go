@@ -28,9 +28,9 @@ const fibMult = 0x9E3779B97F4A7C15
 // Iteration is deterministic: shard membership depends only on the key
 // and the shard count, shards are always visited in ascending index
 // order, and the aggregation layer canonicalizes collected tuples into
-// ascending key order — so bounded answers computed over a Store are
-// bit-identical to those computed over a flat reference table holding the
-// same tuples (see aggregate.Collect).
+// the canonical (bucket, key) order — so bounded answers computed over a
+// Store are bit-identical to those computed over a flat reference table
+// holding the same tuples (see aggregate.Collect).
 type Store struct {
 	schema *Schema
 	shift  uint // 64 − log2(len(shards))
@@ -81,42 +81,48 @@ func (s *Store) ShardOf(key int64) int {
 	return int((uint64(key) * fibMult) >> s.shift)
 }
 
-// defaultShift is the hash shift of a DefaultShards-sized store, used by
-// the canonical order below.
-var defaultShift = func() uint {
+// NumCanonicalBuckets is the canonical bucket count. It is deliberately
+// larger than DefaultShards: buckets are the placement unit of the
+// partition tier (a ring assigns whole buckets to nodes, so the bucket
+// count caps the cluster width and sets the rebalancing grain), while the
+// shard count stays small to keep the per-query fixed scan overhead low.
+// It must be a power of two no smaller than any store's shard count for
+// the natural-scan-order property below to hold.
+const NumCanonicalBuckets = 64
+
+// canonicalShift is the hash shift selecting the top log2(NumCanonicalBuckets)
+// bits, used by the canonical order below.
+var canonicalShift = func() uint {
 	n, shift := 1, uint(64)
-	for n < DefaultShards {
+	for n < NumCanonicalBuckets {
 		n <<= 1
 		shift--
 	}
 	return shift
 }()
 
-// CanonicalBucket returns the key's bucket in the canonical order: its
-// hash shard under DefaultShards. Buckets are the unit of both fold
-// structure (order-sensitive folds combine per-bucket subtotals in
-// ascending bucket order — see aggregate.State) and cluster partitioning
-// (a partition owns whole buckets, so per-partition partial folds merge
-// into the global fold bit-identically).
+// CanonicalBucket returns the key's bucket in the canonical order: the
+// top log2(NumCanonicalBuckets) bits of its Fibonacci hash. Buckets are
+// the unit of both fold structure (order-sensitive folds combine
+// per-bucket subtotals in ascending bucket order — see aggregate.State)
+// and cluster partitioning (a partition owns whole buckets, so
+// per-partition partial folds merge into the global fold bit-identically).
 func CanonicalBucket(key int64) int {
-	return int((uint64(key) * fibMult) >> defaultShift)
+	return int((uint64(key) * fibMult) >> canonicalShift)
 }
 
-// NumCanonicalBuckets is the canonical bucket count, DefaultShards.
-const NumCanonicalBuckets = DefaultShards
-
 // CanonicalLess is the canonical tuple order every order-sensitive fold
-// over a cached relation uses: ascending (hash shard under
-// DefaultShards, key). For a store with the default shard count, visiting
-// shards in index order and each shard's key-sorted tuples in sequence
-// IS canonical order — the hot path pays nothing for determinism — while
-// other layouts (the flat reference table, test stores with explicit
-// shard counts) reorder their scans to match. The order depends only on
-// the key set, so answers and refresh plans are bit-identical across
-// physical layouts.
+// over a cached relation uses: ascending (canonical bucket, key). A
+// store's shard index is the top log2(nshards) hash bits — a prefix of
+// the bucket bits whenever nshards ≤ NumCanonicalBuckets — so visiting
+// shards in index order and each shard's canonically sorted tuples in
+// sequence IS canonical order: the hot path pays nothing for
+// determinism, while other layouts (the flat reference table) reorder
+// their scans to match. The order depends only on the key set, so
+// answers and refresh plans are bit-identical across physical layouts.
 func CanonicalLess(a, b int64) bool {
-	sa := (uint64(a) * fibMult) >> defaultShift
-	sb := (uint64(b) * fibMult) >> defaultShift
+	sa := (uint64(a) * fibMult) >> canonicalShift
+	sb := (uint64(b) * fibMult) >> canonicalShift
 	if sa != sb {
 		return sa < sb
 	}
@@ -124,9 +130,11 @@ func CanonicalLess(a, b int64) bool {
 }
 
 // Canonical reports whether this store's natural scan order (shards in
-// index order, key-sorted within each shard) is already the canonical
-// order — true exactly for the default shard count.
-func (s *Store) Canonical() bool { return len(s.shards) == DefaultShards }
+// index order, canonically sorted within each shard) is already the
+// canonical order — true whenever the shard index bits are a prefix of
+// the canonical bucket bits, i.e. for any shard count up to
+// NumCanonicalBuckets.
+func (s *Store) Canonical() bool { return len(s.shards) <= NumCanonicalBuckets }
 
 // Len returns the total number of tuples across all shards. Like the
 // flat Table's Len it equals the master cardinality, maintained as a
@@ -220,10 +228,10 @@ func (s *Store) Get(key int64) (Tuple, bool) {
 
 // Insert adds a tuple to its owning shard, with the flat Table's
 // validation rules. Keys are unique store-wide because every duplicate
-// hashes to the same shard. Each shard's tuples are kept in ascending
-// key order — the store invariant that lets scans emit canonical
-// key-ordered inputs by merging shard runs instead of sorting (mutations
-// pay the O(shard) splice; scans are the hot path).
+// hashes to the same shard. Each shard's tuples are kept in canonical
+// order (CanonicalLess) — the store invariant that lets scans emit
+// canonically ordered inputs by concatenating shard runs instead of
+// sorting (mutations pay the O(shard) splice; scans are the hot path).
 func (s *Store) Insert(tu Tuple) error {
 	sh := &s.shards[s.ShardOf(tu.Key)]
 	sh.mu.Lock()
@@ -233,7 +241,7 @@ func (s *Store) Insert(tu Tuple) error {
 		return err
 	}
 	// Table.Insert appends; rotate the new tuple back to its sorted slot.
-	for i := len(t.tuples) - 1; i > 0 && t.tuples[i-1].Key > tu.Key; i-- {
+	for i := len(t.tuples) - 1; i > 0 && CanonicalLess(tu.Key, t.tuples[i-1].Key); i-- {
 		t.tuples[i], t.tuples[i-1] = t.tuples[i-1], t.tuples[i]
 		t.byKey[t.tuples[i].Key] = i
 		t.byKey[t.tuples[i-1].Key] = i - 1
@@ -251,8 +259,8 @@ func (s *Store) MustInsert(tu Tuple) {
 }
 
 // Delete removes the tuple with the given key, locking only its shard
-// and preserving the shard's ascending key order (Table.Delete's
-// swap-remove would break it).
+// and preserving the shard's canonical order (Table.Delete's swap-remove
+// would break it).
 func (s *Store) Delete(key int64) bool {
 	sh := &s.shards[s.ShardOf(key)]
 	sh.mu.Lock()

@@ -127,12 +127,18 @@ func (s *Server) ServeFramed(conn net.Conn) {
 			}
 			return
 		}
+		// One histogram observation per frame, covering the whole
+		// server-side lifecycle: request decode, execution, response
+		// encode, and the flush when this frame drains the pipeline.
+		// Timing only the execution (as runFramed once did) hid the codec
+		// and write cost, so the client's percentiles — which fold in
+		// queue wait at pipeline depth — had no server-side complement to
+		// subtract against.
+		t0 := time.Now()
 		s.requests.Add(1)
 		flush := br.Buffered() == 0
 		if len(payload) > 0 && payload[0] >= FrameExtBase && s.cfg.FramedExt != nil {
-			t0 := time.Now()
 			out, takeOver, eerr := s.cfg.FramedExt.ServeExtFrame(s.baseCtx, payload, conn, bw)
-			s.framedLatency.ObserveDuration(time.Since(t0))
 			if eerr != nil || takeOver {
 				return
 			}
@@ -144,13 +150,16 @@ func (s *Server) ServeFramed(conn net.Conn) {
 					return
 				}
 			}
+			s.framedLatency.ObserveDuration(time.Since(t0))
 			continue
 		}
 		id, req, ferr := DecodeRequest(payload)
 		if ferr != nil {
-			if !writeResp(id, QueryResponse{Error: &WireError{
+			ok := writeResp(id, QueryResponse{Error: &WireError{
 				Code: CodeInvalid, Message: ferr.Error(),
-			}}, true) {
+			}}, true)
+			s.framedLatency.ObserveDuration(time.Since(t0))
+			if !ok {
 				return
 			}
 			if payload[0] != FrameRequest {
@@ -161,7 +170,9 @@ func (s *Server) ServeFramed(conn net.Conn) {
 			continue
 		}
 		resp, _ := s.runFramed(client, req)
-		if !writeResp(id, resp, flush) {
+		ok := writeResp(id, resp, flush)
+		s.framedLatency.ObserveDuration(time.Since(t0))
+		if !ok {
 			return
 		}
 	}
@@ -171,8 +182,6 @@ func (s *Server) ServeFramed(conn net.Conn) {
 // transport-agnostic pipeline: same admission gates, same parse cache,
 // same budget ledgers, same error accounting as POST /query.
 func (s *Server) runFramed(client string, req QueryRequest) (QueryResponse, float64) {
-	t0 := time.Now()
-	defer func() { s.framedLatency.ObserveDuration(time.Since(t0)) }()
 	if s.draining.Load() {
 		s.counter(CodeDraining).Add(1)
 		return QueryResponse{Error: &WireError{Code: CodeDraining, Message: "server draining"}}, 0

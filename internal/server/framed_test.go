@@ -220,3 +220,35 @@ func TestFramedShutdownClosesConnections(t *testing.T) {
 		}
 	}
 }
+
+// TestFramedLatencyCoversEveryFrame pins the framed histogram's
+// coverage: one observation per frame, including frames whose request
+// fails to decode — the server-side percentiles must account for codec
+// work and error frames, not just successfully executed requests.
+func TestFramedLatencyCoversEveryFrame(t *testing.T) {
+	sys := buildSystem(t, 1, 2)
+	srv := New(sys, Config{})
+	conn, br := dialTestFramed(t, srv)
+
+	if resp := framedExchange(t, conn, br, 1, QueryRequest{SQL: "SELECT SUM(value) FROM vals"}); resp.Error != nil {
+		t.Fatalf("query failed: %+v", resp.Error)
+	}
+	// A request-typed frame with a truncated body: DecodeRequest fails,
+	// the server answers an error frame and keeps the connection.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1)
+	if _, err := conn.Write(append(hdr[:], FrameRequest)); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	payload, err := ReadFrame(br, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, resp, ferr := DecodeResponse(payload); ferr != nil || resp.Error == nil || resp.Error.Code != CodeInvalid {
+		t.Fatalf("want invalid-error frame, got ferr=%v resp=%+v", ferr, resp)
+	}
+	if got := srv.SnapshotMetrics().FramedLatency.Count; got != 2 {
+		t.Fatalf("framed latency observed %d frames, want 2 (good + undecodable)", got)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -87,8 +88,9 @@ type Config struct {
 	// MaxClients caps the number of distinct client ledgers kept when
 	// ClientBudget is active (the client key is untrusted input, so
 	// the map must not grow without bound). Past the cap, unseen
-	// clients share a fixed array of hashed overflow ledgers. 0 means
-	// DefaultMaxClients.
+	// clients draw from a fixed array of hashed overflow ledgers (one
+	// key per slot; colliding keys spill into a bounded LRU so clients
+	// never share a budget). 0 means DefaultMaxClients.
 	MaxClients int
 	// Info is an arbitrary workload descriptor published by /healthz and
 	// /metrics (trappserver records links/sources/seed here so
@@ -154,9 +156,10 @@ type Server struct {
 	// (admission to response write), exported by /metrics and
 	// /metrics.prom alongside the engine's phase histograms.
 	queryLatency obs.Histogram
-	// framedLatency is the framed-path twin: per-request latency from
-	// frame decode to response append, covering both core requests and
-	// extension frames.
+	// framedLatency is the framed-path twin: per-frame latency covering
+	// the whole server-side lifecycle — request decode, execution,
+	// response encode, and the flush when the frame drains its pipeline —
+	// for both core requests and extension frames.
 	framedLatency obs.Histogram
 	// reqSeq numbers requests for X-Trapp-Request-Id.
 	reqSeq atomic.Int64
@@ -168,21 +171,32 @@ type Server struct {
 	// listeners are tracked for Shutdown teardown.
 	framedConns     atomic.Int64
 	framedListeners sync.Map // net.Listener → struct{}
-	// overflow holds the ledgers shared by clients past MaxClients,
-	// hashed by client key. A single shared ledger serializes every
-	// overflow request on one mutex — and, worse, pools their budgets —
-	// so overflow traffic is spread over a fixed array of ledgers:
-	// memory stays bounded no matter how many keys an adversary mints,
-	// while honest clients that land past the cap contend (and share a
-	// budget) only with the ~1/overflowShards of overflow keys hashing
-	// to the same slot.
-	overflow [overflowShards]ledger
+	// overflow holds the ledgers of clients past MaxClients, hashed by
+	// client key. Each slot remembers the key that claimed it, so a hash
+	// collision between two distinct overflow keys is detected instead of
+	// silently pooling their budgets (which would let one client exhaust
+	// another's ceiling); colliding keys spill into overflowSpill, a
+	// bounded LRU of per-key ledgers. Memory stays bounded no matter how
+	// many keys an adversary mints — the array is fixed and the spill
+	// capped — while every honest client keeps a budget of its own.
+	overflow [overflowShards]overflowSlot
+	// overflowSpill holds the per-key fallback ledgers for overflow keys
+	// whose slot is owned by a different key.
+	overflowSpill ledgerLRU
 }
 
-// overflowShards is the size of the shared overflow-ledger array; a
-// power of two, sized so that overflow contention is negligible next to
-// the query work itself.
+// overflowShards is the size of the overflow-ledger array; a power of
+// two, sized so that overflow contention is negligible next to the
+// query work itself.
 const overflowShards = 64
+
+// overflowSlot is one entry of the hashed overflow array: a ledger plus
+// the client key that first claimed it, the collision detector.
+type overflowSlot struct {
+	mu    sync.Mutex
+	owner string
+	led   ledger
+}
 
 // fnv32a is FNV-1a over the client key, used to pick an overflow slot.
 func fnv32a(s string) uint32 {
@@ -205,6 +219,65 @@ const DefaultMaxClients = 10000
 type ledger struct {
 	mu    sync.Mutex
 	spent float64
+}
+
+// overflowSpillCap bounds the collision-spill LRU: at most this many
+// per-key ledgers are retained for overflow keys that lost the race for
+// their hashed slot.
+const overflowSpillCap = 1024
+
+// ledgerLRU is a bounded most-recently-used cache of per-key ledgers.
+// When full, admitting a new key evicts the least recently used entry;
+// an evicted key that returns starts a fresh ledger. That forgiveness is
+// the price of bounded memory over attacker-controlled keys — an
+// adversary must keep minting and cycling distinct keys to reset spend,
+// and gains nothing over minting fresh keys in the first place — while
+// an honest client's ledger survives as long as it keeps requesting.
+type ledgerLRU struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+// lruEntry is one spill ledger and the key owning it (needed to delete
+// the map entry on eviction).
+type lruEntry struct {
+	key string
+	led ledger
+}
+
+// get returns the key's ledger, creating (and possibly evicting) as
+// needed. The returned pointer stays valid after eviction — an in-flight
+// request keeps metering against it; only the map forgets it.
+func (l *ledgerLRU) get(key string) *ledger {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.entries == nil {
+		l.entries = make(map[string]*list.Element)
+		l.order = list.New()
+	}
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+		return &el.Value.(*lruEntry).led
+	}
+	if l.order.Len() >= overflowSpillCap {
+		back := l.order.Back()
+		l.order.Remove(back)
+		delete(l.entries, back.Value.(*lruEntry).key)
+	}
+	e := &lruEntry{key: key}
+	l.entries[key] = l.order.PushFront(e)
+	return &e.led
+}
+
+// len reports the retained entry count (tests assert the bound).
+func (l *ledgerLRU) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.order == nil {
+		return 0
+	}
+	return l.order.Len()
 }
 
 // New wraps a System. The server does not own the system: Shutdown
@@ -378,9 +451,13 @@ func clientKey(r *http.Request) string {
 
 // ledgerFor returns the client's spend ledger, creating it on first
 // use. The map is bounded: once MaxClients distinct keys exist, unseen
-// clients share a hashed overflow ledger instead of allocating (the key
-// is client-controlled, so an adversary must not be able to grow the
-// map without bound).
+// clients take a hashed overflow slot instead of allocating (the key is
+// client-controlled, so an adversary must not be able to grow the map
+// without bound). Each overflow slot belongs to the first key that
+// claims it; a different key hashing to an owned slot gets its own
+// ledger from the bounded spill LRU rather than sharing the slot's
+// budget — a collision must never let one client drain another's
+// ceiling.
 func (s *Server) ledgerFor(key string) *ledger {
 	if v, ok := s.clientLedgers.Load(key); ok {
 		return v.(*ledger)
@@ -390,7 +467,17 @@ func (s *Server) ledgerFor(key string) *ledger {
 		max = DefaultMaxClients
 	}
 	if s.clientCount.Load() >= int64(max) {
-		return &s.overflow[fnv32a(key)%overflowShards]
+		slot := &s.overflow[fnv32a(key)%overflowShards]
+		slot.mu.Lock()
+		if slot.owner == "" {
+			slot.owner = key
+		}
+		owned := slot.owner == key
+		slot.mu.Unlock()
+		if owned {
+			return &slot.led
+		}
+		return s.overflowSpill.get(key)
 	}
 	v, loaded := s.clientLedgers.LoadOrStore(key, &ledger{})
 	if !loaded {
@@ -834,8 +921,9 @@ type Metrics struct {
 	// QueryLatency is the server-side /query handler latency histogram
 	// (nanoseconds, log-bucketed).
 	QueryLatency obs.HistogramSnapshot `json:"query_latency"`
-	// FramedLatency is the framed-path per-request latency histogram
-	// (frame decode to response append; nanoseconds, log-bucketed).
+	// FramedLatency is the framed-path per-frame latency histogram
+	// (request decode through response encode and flush; nanoseconds,
+	// log-bucketed).
 	FramedLatency obs.HistogramSnapshot `json:"framed_latency"`
 	// Cluster is the partition coordinator's per-partition health
 	// snapshot (partition.Metrics), present only when the served engine

@@ -352,10 +352,11 @@ func TestClientLedgerMapIsBounded(t *testing.T) {
 
 	// Client A takes the one ledger slot and spends from it; B and C
 	// arrive past the cap and land in the hashed overflow array without
-	// allocating. Pick B and C so they collide on one overflow slot —
-	// then C observes B's spend, proving they share a ledger rather
-	// than getting per-key state. The clock advances between requests
-	// so each precise query finds regrown bounds to pay for.
+	// growing the map. Pick B and C so they collide on one overflow
+	// slot — the collision must be detected and each must still meter
+	// against its own budget, never observing the other's spend. The
+	// clock advances between requests so each precise query finds
+	// regrown bounds to pay for.
 	keyB := "ovf-0"
 	keyC := ""
 	for i := 1; keyC == ""; i++ {
@@ -369,12 +370,75 @@ func TestClientLedgerMapIsBounded(t *testing.T) {
 	afterB := remaining(keyB)
 	sys.Clock.Advance(50)
 	afterC := remaining(keyC)
-	if afterC > afterB+1e-9 {
-		t.Errorf("colliding overflow clients do not share a ledger: %s left %g, %s then saw %g",
-			keyB, afterB, keyC, afterC)
-	}
 	if afterB >= 100 {
 		t.Errorf("client %s spent nothing (remaining %g) — precise query should cost", keyB, afterB)
+	}
+	// B and C run the same query against the same regrown bounds, so
+	// with isolated budgets they end with equal remainders; a pooled
+	// ledger would charge C on top of B's spend, leaving C strictly less.
+	if afterC < afterB-1e-9 {
+		t.Errorf("colliding overflow client %s saw %s's spend (remaining %g after B left %g): budgets pooled",
+			keyC, keyB, afterC, afterB)
+	}
+	if n := srv.clientCount.Load(); n != 1 {
+		t.Errorf("ledger map grew past MaxClients: %d entries", n)
+	}
+}
+
+// TestOverflowLedgerCollisionIsolation pins the collision semantics at
+// the ledger layer: past MaxClients, two keys hashing to the same
+// overflow slot must get distinct ledgers (the second spills into the
+// bounded LRU), one client's exhaustion must not touch the other's
+// remaining budget, and re-requesting a key must find the same ledger.
+func TestOverflowLedgerCollisionIsolation(t *testing.T) {
+	s := &Server{cfg: Config{ClientBudget: 10, MaxClients: 1}}
+	s.ledgerFor("pinned") // take the one real slot
+
+	keyB := "ovf-0"
+	keyC := ""
+	for i := 1; keyC == ""; i++ {
+		k := fmt.Sprintf("ovf-%d", i)
+		if fnv32a(k)%overflowShards == fnv32a(keyB)%overflowShards {
+			keyC = k
+		}
+	}
+	lb, lc := s.ledgerFor(keyB), s.ledgerFor(keyC)
+	if lb == lc {
+		t.Fatalf("colliding overflow keys %q and %q share a ledger", keyB, keyC)
+	}
+	// Drain B entirely; C's ceiling must be untouched.
+	if eff, _ := lb.reserve(10, nil); eff != 10 {
+		t.Fatalf("B reserved %g, want the full ceiling 10", eff)
+	}
+	if rem := lc.remaining(10); rem != 10 {
+		t.Fatalf("C's budget drained to %g by B's spend", rem)
+	}
+	// Ledger identity is stable across lookups.
+	if s.ledgerFor(keyB) != lb || s.ledgerFor(keyC) != lc {
+		t.Fatal("repeat lookups returned different ledgers")
+	}
+}
+
+// TestOverflowSpillIsBounded proves an adversary minting colliding keys
+// cannot grow the spill past its cap, and that eviction forgets spend
+// without breaking in-flight metering.
+func TestOverflowSpillIsBounded(t *testing.T) {
+	var lru ledgerLRU
+	first := lru.get("k-0")
+	first.reserve(10, nil)
+	for i := 1; i < overflowSpillCap+64; i++ {
+		lru.get(fmt.Sprintf("k-%d", i))
+	}
+	if n := lru.len(); n != overflowSpillCap {
+		t.Fatalf("spill holds %d ledgers, want cap %d", n, overflowSpillCap)
+	}
+	// k-0 was the LRU victim: a fresh ledger with forgotten spend, while
+	// the evicted pointer stays safe to meter against.
+	first.refund(10, 0)
+	if again := lru.get("k-0"); again == first {
+		t.Fatal("evicted key returned its old ledger")
+	} else if rem := again.remaining(10); rem != 10 {
+		t.Fatalf("re-admitted key inherited spend: remaining %g", rem)
 	}
 }
 

@@ -178,7 +178,21 @@ func (s *Source) Subscribe(key int64, sub Subscriber) (Refresh, error) {
 	reg := &registration{sub: sub}
 	r := s.makeRefreshLocked(key, o, reg, QueryInitiated)
 	r.Kind = ValueInitiated // initial push is not charged as a query refresh
-	s.regs[key] = append(s.regs[key], reg)
+	// Replace any prior registration for the same subscriber instead of
+	// accumulating duplicates: a cache re-handshaking after recovery (or
+	// retrying a racy subscribe) must end up with exactly one live
+	// registration, or every future push would be delivered N times.
+	replaced := false
+	for i, old := range s.regs[key] {
+		if old.sub == sub {
+			s.regs[key][i] = reg
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.regs[key] = append(s.regs[key], reg)
+	}
 	return r, nil
 }
 

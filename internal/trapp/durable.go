@@ -1,0 +1,124 @@
+package trapp
+
+import (
+	"fmt"
+
+	"trapp/internal/cache"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+)
+
+// Durable system assembly: caches backed by the relation layer's WAL +
+// snapshot store (DESIGN.md §15). A durable cache recovers its mastered
+// state on open — values bit-identical, bounds collapsed to the
+// conservative floor — and the system re-attaches recovered objects to
+// their sources by the SourceID each tuple carries.
+
+// Open assembles the common durable deployment in one call: a fresh
+// System whose single cache is backed by dir's WAL + snapshots, mounted
+// under table. On a fresh directory it is an empty durable system; on
+// reopen it replays snapshot + log into a bit-identical store — values
+// exact, every bounded column at the conservative floor. Re-attach the
+// recovered objects by adding the system's sources and calling
+// Rehandshake; close with CloseDurable.
+func Open(dir, table string, schema *relation.Schema, opts refresh.Options, wopts relation.WALOptions) (*System, *cache.Cache, cache.Recovery, error) {
+	sys := NewSystem(opts)
+	c, rec, err := sys.AddDurableCache(table, schema, dir, wopts)
+	if err != nil {
+		return nil, nil, cache.Recovery{}, err
+	}
+	if err := sys.Mount(table, c); err != nil {
+		_ = c.CloseWAL()
+		return nil, nil, cache.Recovery{}, err
+	}
+	return sys, c, rec, nil
+}
+
+// AddDurableCache creates a durable cache backed by the data directory,
+// with the default shard count. Reopening a directory recovers its
+// state; the returned Recovery reports what was reconstructed.
+func (s *System) AddDurableCache(id string, schema *relation.Schema, dir string, opts relation.WALOptions) (*cache.Cache, cache.Recovery, error) {
+	return s.AddDurableCacheSharded(id, schema, 0, dir, opts)
+}
+
+// AddDurableCacheSharded is AddDurableCache with an explicit shard
+// count, validated against the directory's META file on reopen.
+func (s *System) AddDurableCacheSharded(id string, schema *relation.Schema, nshards int, dir string, opts relation.WALOptions) (*cache.Cache, cache.Recovery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.caches[id]; dup {
+		return nil, cache.Recovery{}, fmt.Errorf("trapp: duplicate cache %q", id)
+	}
+	c, rec, err := cache.OpenDurableSharded(id, s.Clock, schema, nshards, dir, opts)
+	if err != nil {
+		return nil, cache.Recovery{}, err
+	}
+	s.caches[id] = c
+	if s.recoveries == nil {
+		s.recoveries = make(map[string]cache.Recovery)
+	}
+	s.recoveries[id] = rec
+	return c, rec, nil
+}
+
+// Recoveries returns the per-cache recovery summaries of every durable
+// cache added to this system, keyed by cache id — the /healthz recovery
+// surface.
+func (s *System) Recoveries() map[string]cache.Recovery {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]cache.Recovery, len(s.recoveries))
+	for id, rec := range s.recoveries {
+		out[id] = rec
+	}
+	return out
+}
+
+// Rehandshake re-attaches every recovered-but-unattached object of the
+// cache to its owning source, resolved by the SourceID the recovered
+// tuple carries. Objects whose source is missing from the system, or no
+// longer offers the object, are left at the conservative floor — a
+// recovery cannot manufacture a promise nobody is making — and their
+// keys are returned. Call after the system's sources have been added.
+func (s *System) Rehandshake(c *cache.Cache) (unattached []int64, err error) {
+	for _, key := range c.Unattached() {
+		tu, ok := c.Store().Get(key)
+		if !ok {
+			continue // dropped since listed
+		}
+		s.mu.RLock()
+		src := s.sources[tu.SourceID]
+		s.mu.RUnlock()
+		if src == nil {
+			unattached = append(unattached, key)
+			continue
+		}
+		if herr := c.Rehandshake(src, key); herr != nil {
+			// Source exists but no longer offers the object (or the
+			// handshake failed): the floor stays, queries stay correct.
+			unattached = append(unattached, key)
+			continue
+		}
+	}
+	return unattached, nil
+}
+
+// CloseDurable closes the system and flushes every durable cache's log.
+// The first WAL close failure is returned; the system is closed either
+// way.
+func (s *System) CloseDurable() error {
+	s.Close()
+	s.mu.RLock()
+	caches := make([]*cache.Cache, 0, len(s.caches))
+	for _, c := range s.caches {
+		caches = append(caches, c)
+	}
+	s.mu.RUnlock()
+	var first error
+	for _, c := range caches {
+		if err := c.CloseWAL(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

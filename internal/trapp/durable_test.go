@@ -1,0 +1,330 @@
+package trapp
+
+// Crash-recovery differential suite for the durable cache (DESIGN.md
+// §15). One randomized workload — pushes, clock ticks, deletes,
+// inserts, Oracle refreshes, mixed bounded queries — replays against an
+// in-memory cache and a WAL-backed cache: every answer must be
+// bit-identical live (the log is write-only overhead). Then the durable
+// side "crashes" (the WAL is simply abandoned, SIGKILL-style: group
+// commit already made every acknowledged record durable) and the
+// directory is reopened: values must recover bit-identically, every
+// bounded column must sit at the conservative floor until its source is
+// re-handshaked, and recovery itself must be deterministic across
+// repeated reopens.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"trapp/internal/aggregate"
+	"trapp/internal/boundfn"
+	"trapp/internal/interval"
+	"trapp/internal/query"
+	"trapp/internal/refresh"
+	"trapp/internal/relation"
+)
+
+// diffSchema is the differential workload's table schema.
+func diffSchema() *relation.Schema {
+	return relation.NewSchema(
+		relation.Column{Name: "grp", Kind: relation.Exact},
+		relation.Column{Name: "value", Kind: relation.Bounded},
+	)
+}
+
+// newDurableDiffSystem mirrors newDiffSystem over a durable cache.
+func newDurableDiffSystem(t *testing.T, dir string, nshards int) *diffSystem {
+	t.Helper()
+	sys := NewSystem(refresh.Options{})
+	c, rec, err := sys.AddDurableCacheSharded("monitor", diffSchema(), nshards, dir, relation.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recovered() {
+		t.Fatalf("fresh directory claims recovery: %+v", rec)
+	}
+	d := &diffSystem{sys: sys, c: c}
+	for si := 0; si < diffSources; si++ {
+		src, err := sys.AddSource(fmt.Sprintf("s%d", si), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.srcs = append(d.srcs, src)
+	}
+	for si := 0; si < diffSources; si++ {
+		for oi := 0; oi < diffObjects; oi++ {
+			key := int64(si*1000 + oi)
+			d.addObject(t, key, 100+float64(key%97))
+		}
+	}
+	if err := sys.Mount("vals", c); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDurableDifferentialAndCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	mem := newDiffSystem(t, relation.DefaultShards)
+	dur := newDurableDiffSystem(t, dir, relation.DefaultShards)
+
+	rng := rand.New(rand.NewSource(20260808))
+	live := mem.c.Keys()
+	nextKey := int64(9000)
+	const steps = 500
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(9); {
+		case op < 2: // source push
+			if len(live) == 0 {
+				continue
+			}
+			key := live[rng.Intn(len(live))]
+			v := 100 + float64(key%97) + (rng.Float64()*2-1)*12
+			si := int(key/1000) % diffSources
+			if err := mem.srcs[si].SetValue(key, []float64{v}); err != nil {
+				t.Fatal(err)
+			}
+			if err := dur.srcs[si].SetValue(key, []float64{v}); err != nil {
+				t.Fatal(err)
+			}
+		case op == 2: // clock tick
+			mem.sys.Clock.Advance(1)
+			dur.sys.Clock.Advance(1)
+		case op == 3 && len(live) > 40: // propagated delete
+			i := rng.Intn(len(live))
+			key := live[i]
+			if !mem.c.Drop(key) || !dur.c.Drop(key) {
+				t.Fatalf("step %d: drop %d failed", step, key)
+			}
+			live = append(live[:i], live[i+1:]...)
+		case op == 4 && rng.Intn(2) == 0: // insert a fresh object
+			nextKey++
+			v := 100 + float64(nextKey%97)
+			mem.addObject(t, nextKey, v)
+			dur.addObject(t, nextKey, v)
+			live = append(live, nextKey)
+		case op == 5: // Oracle single-object refresh
+			if len(live) == 0 {
+				continue
+			}
+			key := live[rng.Intn(len(live))]
+			_, ok1 := mem.c.Master(key)
+			_, ok2 := dur.c.Master(key)
+			if ok1 != ok2 {
+				t.Fatalf("step %d: Master(%d) diverged: %v vs %v", step, key, ok1, ok2)
+			}
+		default: // bounded query: answers must be bit-identical
+			q := diffQuery(rng)
+			q.GroupBy = nil
+			memRes, err1 := mem.sys.ExecuteCtx(context.Background(), q)
+			durRes, err2 := dur.sys.ExecuteCtx(context.Background(), q)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("step %d %v: errors differ: %v vs %v", step, q, err1, err2)
+			}
+			if err1 == nil && !sameAnswer(memRes, durRes) {
+				t.Fatalf("step %d %v: results differ:\nmemory  %+v\ndurable %+v", step, q, memRes, durRes)
+			}
+		}
+	}
+	if err := dur.c.WALHealth(); err != nil {
+		t.Fatalf("WAL failure during workload: %v", err)
+	}
+
+	// Final full-state comparison: every tuple bit-identical.
+	mem.c.Sync()
+	dur.c.Sync()
+	memKeys, durKeys := mem.c.Keys(), dur.c.Keys()
+	if fmt.Sprint(memKeys) != fmt.Sprint(durKeys) {
+		t.Fatalf("key sets differ: %v vs %v", memKeys, durKeys)
+	}
+	for _, key := range memKeys {
+		a, _ := mem.c.Store().Get(key)
+		b, _ := dur.c.Store().Get(key)
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("key %d tuples differ:\nmemory  %+v\ndurable %+v", key, a, b)
+		}
+	}
+
+	// Pre-crash facts the recovery must reproduce.
+	wantDigest := dur.c.Store().ValueDigest()
+	wantKeys := durKeys
+	type exactState struct {
+		grp      float64
+		cost     float64
+		sourceID string
+	}
+	wantExact := make(map[int64]exactState, len(wantKeys))
+	grpCol := dur.c.Schema().MustLookup("grp")
+	valCol := dur.c.Schema().MustLookup("value")
+	for _, key := range wantKeys {
+		tu, _ := dur.c.Store().Get(key)
+		wantExact[key] = exactState{grp: tu.Bounds[grpCol].Lo, cost: tu.Cost, sourceID: tu.SourceID}
+	}
+	// SIGKILL: the durable system is abandoned, not closed. Everything
+	// acknowledged by group commit is already on disk.
+
+	// Reopen #1: values exact, bounds at the floor.
+	sys2 := NewSystem(refresh.Options{})
+	c2, rec, err := sys2.AddDurableCacheSharded("monitor", diffSchema(), relation.DefaultShards, dir, relation.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Recovered() {
+		t.Fatalf("reopen found nothing: %+v", rec)
+	}
+	if rec.Rewidened != len(wantKeys) {
+		t.Fatalf("rewidened %d tuples, want %d", rec.Rewidened, len(wantKeys))
+	}
+	if fmt.Sprint(c2.Keys()) != fmt.Sprint(wantKeys) {
+		t.Fatalf("recovered keys differ:\ngot  %v\nwant %v", c2.Keys(), wantKeys)
+	}
+	if got := c2.Store().ValueDigest(); got != wantDigest {
+		t.Fatalf("value digest diverged across crash: %x != %x", got, wantDigest)
+	}
+	for _, key := range wantKeys {
+		tu, _ := c2.Store().Get(key)
+		want := wantExact[key]
+		if tu.Bounds[grpCol].Lo != want.grp || tu.Cost != want.cost || tu.SourceID != want.sourceID {
+			t.Fatalf("key %d exact state diverged: got (%g,%g,%q) want (%g,%g,%q)",
+				key, tu.Bounds[grpCol].Lo, tu.Cost, tu.SourceID, want.grp, want.cost, want.sourceID)
+		}
+		if tu.Bounds[valCol] != interval.Unbounded {
+			t.Fatalf("key %d recovered bound %v narrower than the conservative floor", key, tu.Bounds[valCol])
+		}
+	}
+	if got := len(c2.Unattached()); got != len(wantKeys) {
+		t.Fatalf("%d unattached keys after recovery, want all %d", got, len(wantKeys))
+	}
+
+	// The floor is load-bearing: a bounded answer served before any
+	// re-handshake must be infinitely wide, never a narrower interval
+	// fabricated from stale promises.
+	if err := sys2.Mount("vals", c2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys2.ExecuteCtx(context.Background(), query.NewQuery("vals", aggregate.Min, "value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.Answer.Width(), 1) {
+		t.Fatalf("recovered cache answered %v before re-handshake: precision fabricated from stale bounds", res.Answer)
+	}
+	if err := c2.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen #2: recovery is deterministic — bit-identical values again.
+	sys3 := NewSystem(refresh.Options{})
+	c3, _, err := sys3.AddDurableCacheSharded("monitor", diffSchema(), relation.DefaultShards, dir, relation.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c3.Store().ValueDigest(); got != wantDigest {
+		t.Fatalf("second recovery diverged from first: %x != %x", got, wantDigest)
+	}
+
+	// Re-handshake: precision is re-earned per object from live sources.
+	for si := 0; si < diffSources; si++ {
+		if _, err := sys3.AddSource(fmt.Sprintf("s%d", si), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, key := range wantKeys {
+		src := sys3.Source(fmt.Sprintf("s%d", int(key/1000)%diffSources))
+		v := 100 + float64(key%97)
+		if err := src.AddObject(key, []float64{v}, float64(1+key%5), boundfn.NewAdaptiveWidth(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	unattached, err := sys3.Rehandshake(c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unattached) != 0 {
+		t.Fatalf("%d keys still unattached after rehandshake: %v", len(unattached), unattached)
+	}
+	c3.Sync()
+	for _, key := range wantKeys {
+		tu, _ := c3.Store().Get(key)
+		if math.IsInf(tu.Bounds[valCol].Width(), 1) {
+			t.Fatalf("key %d still at the floor after rehandshake", key)
+		}
+	}
+	// Exact values survived the handshake untouched.
+	if got := c3.Store().ValueDigest(); got == 0 {
+		t.Fatal("degenerate digest")
+	}
+	for _, key := range wantKeys {
+		tu, _ := c3.Store().Get(key)
+		if tu.Bounds[grpCol].Lo != wantExact[key].grp {
+			t.Fatalf("key %d exact column rewritten by rehandshake", key)
+		}
+	}
+	// And the system serves precise answers again.
+	if err := sys3.Mount("vals", c3); err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery("vals", aggregate.Count, "value")
+	res, err = sys3.ExecuteCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Lo != float64(len(wantKeys)) {
+		t.Fatalf("COUNT after recovery = %v, want %d", res.Answer, len(wantKeys))
+	}
+	if err := sys3.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenRoundTrip exercises the one-call durable assembly: a system
+// opened over a directory, closed, and reopened recovers its values
+// bit-identically with bounds at the conservative floor.
+func TestOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sys, c, rec, err := Open(dir, "vals", diffSchema(), refresh.Options{}, relation.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recovered() {
+		t.Fatalf("fresh directory claims recovery: %+v", rec)
+	}
+	src, err := sys.AddSource("s0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := int64(1); key <= 20; key++ {
+		if err := src.AddObject(key, []float64{float64(40 + key)}, 1, boundfn.NewAdaptiveWidth(2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Subscribe(src, key, []float64{float64(key % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	digest := c.Store().ValueDigest()
+	if err := sys.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, c2, rec2, err := Open(dir, "vals", diffSchema(), refresh.Options{}, relation.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.CloseDurable()
+	if !rec2.Recovered() || rec2.Rewidened != 20 {
+		t.Fatalf("recovery %+v, want 20 rewidened tuples", rec2)
+	}
+	if got := c2.Store().ValueDigest(); got != digest {
+		t.Fatalf("values diverged across reopen: %x != %x", got, digest)
+	}
+	valCol := c2.Schema().MustLookup("value")
+	for _, key := range c2.Keys() {
+		tu, _ := c2.Store().Get(key)
+		if tu.Bounds[valCol] != interval.Unbounded {
+			t.Fatalf("key %d reopened with bound %v, want the floor", key, tu.Bounds[valCol])
+		}
+	}
+}

@@ -52,6 +52,9 @@ type System struct {
 	tables  map[string]*cache.Cache // query table name → backing cache
 	proc    *query.Processor
 	engine  *continuous.Engine
+	// recoveries records what each durable cache reconstructed at open
+	// (see AddDurableCache); nil until the first durable cache is added.
+	recoveries map[string]cache.Recovery
 }
 
 // NewSystem creates an empty system with the given refresh options.

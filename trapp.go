@@ -280,6 +280,35 @@ type Source = source.Source
 // Cache stores bounds and serves bounded queries.
 type Cache = cache.Cache
 
+// WALOptions configures a durable cache's write-ahead log (Commit
+// durability mode and the auto-checkpoint byte threshold).
+type WALOptions = relation.WALOptions
+
+// WAL durability modes for WALOptions.Sync.
+const (
+	// SyncGroup makes every committed mutation durable via batched fsync.
+	SyncGroup = relation.SyncGroup
+	// SyncNever skips fsync on commit; a crash loses the OS write-back
+	// window but recovery still replays the valid prefix exactly.
+	SyncNever = relation.SyncNever
+)
+
+// Recovery reports what a durable cache reconstructed at open: the
+// snapshot generation, records replayed, torn tails tolerated, and how
+// many tuples were re-widened to the conservative bound floor.
+type Recovery = cache.Recovery
+
+// Open assembles a durable single-table system over a data directory:
+// every cache mutation is logged through a per-shard group-committed
+// WAL with periodic compacted snapshots, and reopening the directory
+// recovers the cached state — values bit-identical, bounds conservatively
+// collapsed to [-Inf, +Inf] until their sources re-promise them (add the
+// sources, then call System.Rehandshake). A crash can therefore never
+// manufacture precision. Close with System.CloseDurable.
+func Open(dir, table string, schema *Schema, opts Options, wopts WALOptions) (*System, *Cache, Recovery, error) {
+	return itrapp.Open(dir, table, schema, opts, wopts)
+}
+
 // Stats aggregates refresh traffic counters.
 type Stats = netsim.Stats
 
